@@ -1,0 +1,73 @@
+/// Ablation: database accounting vs fluid ground truth, end to end.
+///
+/// The paper's evaluation estimates time and energy "using the
+/// information of our allocation model" (database lookups per allocation
+/// interval). This harness re-runs the evaluation with every server
+/// simulated at phase-level fluid fidelity — the same physics the
+/// database was measured from — and compares the two backends per
+/// strategy. The deltas are the end-to-end modeling error of the paper's
+/// methodology (mix-granularity + co-start assumption + interval
+/// weighting).
+
+#include <iostream>
+#include <memory>
+
+#include "bench/harness_common.hpp"
+#include "core/proactive.hpp"
+#include "datacenter/ground_truth.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace aeva;
+  const modeldb::ModelDatabase& db = bench::shared_database();
+  // A 3000-VM slice keeps the fluid backend quick while preserving load
+  // pressure on a proportionally smaller cloud.
+  const trace::PreparedWorkload workload =
+      bench::standard_workload(db, 2026, 3000);
+  datacenter::CloudConfig cloud;
+  cloud.server_count = 18;
+
+  const datacenter::Simulator db_sim(db, cloud);
+  const datacenter::GroundTruthSimulator fluid_sim(
+      db, testbed::testbed_server(), cloud);
+
+  std::cout << "== Ablation: DB-interval accounting vs fluid ground truth "
+               "(18 servers, 3k VMs) ==\n\n";
+  util::TablePrinter table({"strategy", "backend", "makespan(s)",
+                            "energy(MJ)", "SLA(%)", "mean busy"});
+  const auto run_both = [&](const core::Allocator& strategy) {
+    const datacenter::SimMetrics a = db_sim.run(workload, strategy);
+    const datacenter::SimMetrics b = fluid_sim.run(workload, strategy);
+    table.add_row({strategy.name(), "database",
+                   util::format_fixed(a.makespan_s, 0),
+                   util::format_fixed(a.energy_j / 1e6, 1),
+                   util::format_fixed(a.sla_violation_pct, 2),
+                   util::format_fixed(a.mean_busy_servers, 1)});
+    table.add_row({strategy.name(), "fluid truth",
+                   util::format_fixed(b.makespan_s, 0),
+                   util::format_fixed(b.energy_j / 1e6, 1),
+                   util::format_fixed(b.sla_violation_pct, 2),
+                   util::format_fixed(b.mean_busy_servers, 1)});
+    table.add_row({strategy.name(), "delta",
+                   util::format_fixed(
+                       100.0 * (b.makespan_s - a.makespan_s) / a.makespan_s,
+                       1) + "%",
+                   util::format_fixed(
+                       100.0 * (b.energy_j - a.energy_j) / a.energy_j, 1) +
+                       "%",
+                   "-", "-"});
+  };
+
+  run_both(core::FirstFitAllocator(2));
+  core::ProactiveConfig config;
+  config.alpha = 0.5;
+  run_both(core::ProactiveAllocator(db, config));
+
+  table.print(std::cout);
+  std::cout << "\nagreement within a few percent validates the paper's "
+               "database-driven evaluation; the residual is the cost of "
+               "collapsing phase-level dynamics into per-mix aggregate "
+               "records.\n";
+  return 0;
+}

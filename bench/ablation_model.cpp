@@ -1,0 +1,92 @@
+/// Ablation microbenchmarks (google-benchmark): the model-database hot
+/// paths — exact binary-search lookup, proportional off-grid estimation —
+/// and the testbed microsimulator itself (the campaign's unit of work).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness_common.hpp"
+#include "core/proactive.hpp"
+#include "datacenter/simulator.hpp"
+#include "metering/power_meter.hpp"
+#include "testbed/microsim.hpp"
+#include "workload/registry.hpp"
+
+namespace {
+
+using namespace aeva;
+
+void BM_DbExactLookup(benchmark::State& state) {
+  const modeldb::ModelDatabase& db = bench::shared_database();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const modeldb::Record& probe = db.records()[i % db.size()];
+    benchmark::DoNotOptimize(db.find(probe.key));
+    ++i;
+  }
+}
+BENCHMARK(BM_DbExactLookup);
+
+void BM_DbProportionalEstimate(benchmark::State& state) {
+  const modeldb::ModelDatabase& db = bench::shared_database();
+  // Off-grid keys force the clamp-and-scale path.
+  const workload::ClassCounts keys[] = {
+      {9, 0, 0}, {0, 11, 0}, {7, 7, 7}, {6, 2, 9}, {20, 0, 1}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.estimate(keys[i % 5]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DbProportionalEstimate);
+
+void BM_MicroSimRun(benchmark::State& state) {
+  const testbed::MicroSim sim(testbed::testbed_server());
+  const int n = static_cast<int>(state.range(0));
+  std::vector<testbed::VmRun> vms;
+  for (int i = 0; i < n; ++i) {
+    const auto& app = workload::canonical_app(
+        workload::kAllProfileClasses[static_cast<std::size_t>(i) % 3]);
+    vms.push_back(testbed::VmRun{app, 0.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(vms));
+  }
+}
+BENCHMARK(BM_MicroSimRun)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DatacenterSimulation(benchmark::State& state) {
+  // End-to-end cost of one evaluation run, per VM.
+  const modeldb::ModelDatabase& db = bench::shared_database();
+  const int vms = static_cast<int>(state.range(0));
+  const trace::PreparedWorkload workload =
+      bench::standard_workload(db, 7, vms);
+  datacenter::CloudConfig cloud;
+  cloud.server_count = std::max(4, vms / 160);
+  const datacenter::Simulator sim(db, cloud);
+  core::ProactiveConfig config;
+  config.alpha = 0.5;
+  const core::ProactiveAllocator pa(db, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(workload, pa));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(workload.total_vms));
+}
+BENCHMARK(BM_DatacenterSimulation)->Arg(500)->Arg(2000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_PowerMetering(benchmark::State& state) {
+  const testbed::MicroSim sim(testbed::testbed_server());
+  const testbed::SimResult run = sim.run(
+      {testbed::VmRun{workload::find_app("linpack"), 0.0},
+       testbed::VmRun{workload::find_app("beffio"), 0.0}});
+  metering::PowerMeter meter(metering::MeterSpec{}, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.measure(run.power_w));
+  }
+}
+BENCHMARK(BM_PowerMetering);
+
+}  // namespace
+
+BENCHMARK_MAIN();

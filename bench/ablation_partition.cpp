@@ -1,0 +1,81 @@
+/// Ablation microbenchmarks (google-benchmark): cost of the partition
+/// search machinery — Orlov set-partition generation, the typed
+/// (multiset) quotient enumeration the allocator actually uses, and
+/// end-to-end allocator latency per job request.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness_common.hpp"
+#include "core/proactive.hpp"
+#include "partition/set_partition.hpp"
+#include "partition/typed_partition.hpp"
+
+namespace {
+
+using namespace aeva;
+
+void BM_OrlovSetPartitions(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    partition::SetPartitionGenerator gen(n);
+    std::uint64_t count = 1;
+    while (gen.next()) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+    total += count;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.counters["bell"] = static_cast<double>(partition::bell_number(n));
+}
+BENCHMARK(BM_OrlovSetPartitions)->Arg(6)->Arg(9)->Arg(12);
+
+void BM_TypedPartitions(benchmark::State& state) {
+  const int per_class = static_cast<int>(state.range(0));
+  const workload::ClassCounts total{per_class, per_class, per_class};
+  std::uint64_t visited_total = 0;
+  for (auto _ : state) {
+    const std::size_t visited = partition::count_typed_partitions(
+        total, [](const workload::ClassCounts&) { return true; });
+    benchmark::DoNotOptimize(visited);
+    visited_total += visited;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(visited_total));
+}
+BENCHMARK(BM_TypedPartitions)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_AllocatorLatency(benchmark::State& state) {
+  const modeldb::ModelDatabase& db = bench::shared_database();
+  core::ProactiveConfig config;
+  config.alpha = 0.5;
+  const core::ProactiveAllocator allocator(db, config);
+
+  const int job_vms = static_cast<int>(state.range(0));
+  std::vector<core::VmRequest> vms;
+  for (int i = 0; i < job_vms; ++i) {
+    core::VmRequest vm;
+    vm.id = i + 1;
+    vm.profile = workload::kAllProfileClasses[static_cast<std::size_t>(i) % 3];
+    vms.push_back(vm);
+  }
+  std::vector<core::ServerState> servers;
+  for (int s = 0; s < 60; ++s) {
+    core::ServerState server;
+    server.id = s;
+    if (s % 3 == 0) {
+      server.allocated = workload::ClassCounts{1, 1, 0};
+      server.powered = true;
+    }
+    servers.push_back(server);
+  }
+  for (auto _ : state) {
+    const core::AllocationResult result = allocator.allocate(vms, servers);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AllocatorLatency)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

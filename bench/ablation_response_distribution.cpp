@@ -1,0 +1,51 @@
+/// Ablation: response-time distributions.
+///
+/// The paper reports aggregate makespan and %SLA; this harness looks under
+/// the hood at the per-VM response-time distribution (P50/P90/P99/max) of
+/// every strategy — the quantity SLAs are really written against. It shows
+/// *where* first-fit's violations come from (a long queueing tail) and why
+/// PROACTIVE's contention-capped co-location keeps the tail short.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/harness_common.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace aeva;
+  const modeldb::ModelDatabase& db = bench::shared_database();
+  const trace::PreparedWorkload workload = bench::standard_workload(db);
+  datacenter::CloudConfig cloud = bench::smaller_cloud();
+  cloud.record_completions = true;
+  const datacenter::Simulator sim(db, cloud);
+  const bench::StrategyRoster roster(db);
+
+  std::cout << "== Ablation: per-VM response-time distribution (SMALLER "
+               "cloud) ==\n\n";
+  util::TablePrinter table({"strategy", "P50(s)", "P90(s)", "P99(s)",
+                            "max(s)", "mean wait(s)"});
+  for (const auto& strategy : roster.strategies) {
+    const datacenter::SimMetrics metrics = sim.run(workload, *strategy);
+    std::vector<double> responses;
+    responses.reserve(metrics.completions.size());
+    util::RunningStats waits;
+    for (const datacenter::VmCompletion& c : metrics.completions) {
+      responses.push_back(c.response_s());
+      waits.add(c.wait_s());
+    }
+    table.add_row({strategy->name(),
+                   util::format_fixed(util::percentile(responses, 0.50), 0),
+                   util::format_fixed(util::percentile(responses, 0.90), 0),
+                   util::format_fixed(util::percentile(responses, 0.99), 0),
+                   util::format_fixed(util::percentile(responses, 1.0), 0),
+                   util::format_fixed(waits.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nfirst-fit's P99 blows up with queueing (FF) or "
+               "contention (FF-3); PROACTIVE's execution-stretch QoS caps "
+               "the tail by construction.\n";
+  return 0;
+}

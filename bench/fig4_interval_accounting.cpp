@@ -1,0 +1,43 @@
+/// Reproduces **Figure 4** — "Possible VM allocation outcome over time":
+/// the interval-weighted accounting example. The paper computes
+///   ExecTime_VM1 = 0.7·1200 s + 0.3·1800 s = 1380 s
+///   Energy       = 0.35·15 kJ + 0.15·20 kJ + 0.5·12 kJ = 14.25 kJ
+/// and this harness reproduces both numbers exactly through the
+/// accounting helpers the simulator is built on.
+
+#include <iostream>
+
+#include "datacenter/accounting.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace aeva::datacenter;
+
+  std::cout << "== Figure 4: interval-weighted accounting ==\n\n";
+  std::cout << "VM1 spends 70% of its execution under allocation A "
+               "(estimate 1200 s)\nand 30% under allocation B (estimate "
+               "1800 s):\n";
+  const double exec_vm1 = interval_weighted_time_s({
+      {0.7, 1200.0},
+      {0.3, 1800.0},
+  });
+  std::cout << "  ExecTime_VM1 = 0.7*1200 + 0.3*1800 = "
+            << aeva::util::format_fixed(exec_vm1, 0) << " s (paper: 1380 s)\n\n";
+
+  std::cout << "the outcome spends 35% in interval A (15 kJ), 15% in B "
+               "(20 kJ), 50% in C (12 kJ):\n";
+  const double energy = interval_weighted_energy_j({
+      {0.35, 15000.0},
+      {0.15, 20000.0},
+      {0.50, 12000.0},
+  });
+  std::cout << "  Energy = 0.35*15 + 0.15*20 + 0.5*12 = "
+            << aeva::util::format_fixed(energy / 1000.0, 2)
+            << " kJ (paper: 14.25 kJ)\n\n";
+
+  const bool ok = exec_vm1 == 1380.0 && energy == 14250.0;
+  std::cout << (ok ? "exact match with the paper's example"
+                   : "MISMATCH with the paper's example")
+            << "\n";
+  return ok ? 0 : 1;
+}

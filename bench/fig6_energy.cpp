@@ -1,0 +1,73 @@
+/// Reproduces **Figure 6** — "Energy consumption (J)": total cloud energy
+/// per strategy and cloud size. Expected shape: PROACTIVE saves around
+/// 12 % on average versus the first-fit family; the energy goal (PA-1)
+/// edges out the performance goal (PA-0) by a few percent with PA-0.5 in
+/// between (spread < ~3 %); and the SMALLER system consumes less energy
+/// than the over-dimensioned LARGER one.
+
+#include <iostream>
+
+#include "bench/evaluation_common.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace aeva;
+  const std::vector<bench::EvalCell> cells = bench::run_evaluation();
+
+  std::cout << "== Figure 6: Energy consumption (J) ==\n\n";
+  util::TablePrinter table({"strategy", "cloud", "energy(MJ)",
+                            "vs FF family avg"});
+  for (const std::string cloud : {"SMALLER", "LARGER"}) {
+    double ff_family = 0.0;
+    int ff_count = 0;
+    for (const auto& cell : cells) {
+      if (cell.cloud == cloud && cell.strategy.rfind("FF", 0) == 0) {
+        ff_family += cell.metrics.energy_j;
+        ++ff_count;
+      }
+    }
+    ff_family /= ff_count;
+    for (const auto& cell : cells) {
+      if (cell.cloud != cloud) {
+        continue;
+      }
+      const double delta =
+          100.0 * (cell.metrics.energy_j - ff_family) / ff_family;
+      table.add_row({cell.strategy, cell.cloud,
+                     util::format_fixed(cell.metrics.energy_j / 1e6, 1),
+                     util::format_fixed(delta, 1) + "%"});
+    }
+  }
+  table.print(std::cout);
+
+  // Headline numbers.
+  const auto find = [&](const std::string& strategy, const std::string& cloud) {
+    for (const auto& cell : cells) {
+      if (cell.strategy == strategy && cell.cloud == cloud) {
+        return cell.metrics.energy_j;
+      }
+    }
+    return 0.0;
+  };
+  double ff_avg = 0.0;
+  for (const std::string s : {"FF", "FF-2", "FF-3"}) {
+    ff_avg += find(s, "SMALLER");
+  }
+  ff_avg /= 3.0;
+  const double pa1 = find("PA-1", "SMALLER");
+  const double pa0 = find("PA-0", "SMALLER");
+  std::cout << "\nPROACTIVE (PA-1) vs FF family avg (SMALLER): "
+            << util::format_fixed(100.0 * (ff_avg - pa1) / ff_avg, 1)
+            << "% less energy (paper: ~12% on average)\n";
+  std::cout << "PA-1 vs PA-0 (LARGER): "
+            << util::format_fixed(100.0 *
+                                      (find("PA-0", "LARGER") -
+                                       find("PA-1", "LARGER")) /
+                                      find("PA-0", "LARGER"),
+                                  1)
+            << "% less energy with the energy goal (paper: ~3%)\n";
+  std::cout << "PA-1 vs PA-0 (SMALLER): "
+            << util::format_fixed(100.0 * (pa0 - pa1) / pa0, 1) << "%\n";
+  return 0;
+}

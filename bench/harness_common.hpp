@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file harness_common.hpp
+/// Shared helpers for the figure/table reproduction binaries: a cached
+/// model database (the campaign is deterministic, so all harnesses agree),
+/// the standard strategy roster, and the standard workload pipeline.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "core/types.hpp"
+#include "datacenter/simulator.hpp"
+#include "modeldb/campaign.hpp"
+#include "modeldb/database.hpp"
+#include "testbed/server_config.hpp"
+#include "trace/generator.hpp"
+#include "trace/prepare.hpp"
+#include "util/rng.hpp"
+
+namespace aeva::bench {
+
+/// Builds (once) the model database from the default campaign.
+inline const modeldb::ModelDatabase& shared_database() {
+  static const modeldb::ModelDatabase db = [] {
+    modeldb::CampaignConfig config;
+    config.server = testbed::testbed_server();
+    config.threads = 0;  // parallel sweep; results are thread-count-invariant
+    return modeldb::Campaign(config).build();
+  }();
+  return db;
+}
+
+/// The paper's six strategies (Sect. IV-D) over the given database.
+struct StrategyRoster {
+  std::vector<std::unique_ptr<core::Allocator>> strategies;
+
+  explicit StrategyRoster(const modeldb::ModelDatabase& db) {
+    strategies.push_back(std::make_unique<core::FirstFitAllocator>(1));
+    strategies.push_back(std::make_unique<core::FirstFitAllocator>(2));
+    strategies.push_back(std::make_unique<core::FirstFitAllocator>(3));
+    for (const double alpha : {1.0, 0.0, 0.5}) {
+      core::ProactiveConfig config;
+      config.alpha = alpha;
+      strategies.push_back(
+          std::make_unique<core::ProactiveAllocator>(db, config));
+    }
+  }
+};
+
+/// The standard evaluation workload: synthetic EGEE-like trace, cleaned
+/// and prepared, requesting ~10,000 VMs (Sect. IV-B/E). `target_vms` lets
+/// extension benches scale the load while keeping the trace shape.
+inline trace::PreparedWorkload standard_workload(
+    const modeldb::ModelDatabase& db, std::uint64_t seed = 2026,
+    int target_vms = 10000) {
+  util::Rng rng(seed);
+  trace::GeneratorConfig gen;
+  // Scaling the job count (not truncating the prepared stream) keeps the
+  // arrival *density* proportional to the requested VM total.
+  gen.target_jobs = static_cast<int>(
+      static_cast<long long>(gen.target_jobs) * target_vms / 10000);
+  trace::SwfTrace raw = trace::generate_egee_like(gen, rng);
+  trace::clean(raw);
+
+  trace::PreparationConfig prep;
+  prep.target_total_vms = target_vms;
+  for (const workload::ProfileClass profile : workload::kAllProfileClasses) {
+    prep.solo_time_s[static_cast<std::size_t>(profile)] =
+        db.base().of(profile).solo_time_s;
+  }
+  return trace::prepare_workload(raw, prep, rng);
+}
+
+/// Cloud sizes of Sect. IV-E: SMALLER is the loaded reference, LARGER is
+/// over-dimensioned by ~15 %.
+inline datacenter::CloudConfig smaller_cloud() {
+  datacenter::CloudConfig cloud;
+  cloud.server_count = 60;
+  return cloud;
+}
+
+inline datacenter::CloudConfig larger_cloud() {
+  datacenter::CloudConfig cloud;
+  cloud.server_count = 69;
+  return cloud;
+}
+
+}  // namespace aeva::bench

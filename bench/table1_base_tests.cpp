@@ -1,0 +1,65 @@
+/// Reproduces **Table I** — "Summary of parameters obtained in base tests":
+/// the optimal VM counts per class for performance (OSP*) and energy
+/// (OSE*), and the solo runtimes (T*), derived from the base campaign
+/// (1..16 same-type VMs per server). Also prints the underlying curves so
+/// the optima can be eyeballed.
+
+#include <iostream>
+
+#include "bench/harness_common.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+#include "workload/registry.hpp"
+
+int main() {
+  using namespace aeva;
+
+  modeldb::CampaignConfig config;
+  config.server = testbed::testbed_server();
+  const modeldb::Campaign campaign(config);
+
+  std::cout << "== Table I: parameters obtained in base tests ==\n\n";
+
+  const std::vector<modeldb::BaseCurve> curves = campaign.run_base_tests();
+  for (const modeldb::BaseCurve& curve : curves) {
+    std::cout << "-- base curve: "
+              << workload::to_string(curve.profile) << " ("
+              << workload::canonical_app(curve.profile).name << ") --\n";
+    util::TablePrinter table(
+        {"#VMs", "Time(s)", "avgTimeVM(s)", "Energy(J)", "E/VM(J)",
+         "MaxPower(W)"});
+    for (const modeldb::Record& r : curve.by_count) {
+      table.add_row({std::to_string(r.key.total()),
+                     util::format_fixed(r.time_s, 1),
+                     util::format_fixed(r.avg_time_vm_s, 1),
+                     util::format_fixed(r.energy_j, 0),
+                     util::format_fixed(r.energy_per_vm_j(), 0),
+                     util::format_fixed(r.max_power_w, 1)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  const modeldb::BaseParameters base =
+      modeldb::Campaign::derive_parameters(curves);
+  util::TablePrinter summary({"parameter", "CPU", "Memory", "I/O"});
+  summary.add_row({"#VMs that optimize performance (OSP*)",
+                   std::to_string(base.cpu.osp), std::to_string(base.mem.osp),
+                   std::to_string(base.io.osp)});
+  summary.add_row({"#VMs that optimize energy (OSE*)",
+                   std::to_string(base.cpu.ose), std::to_string(base.mem.ose),
+                   std::to_string(base.io.ose)});
+  summary.add_row({"Run time of single test on 1 VM (T*)",
+                   util::format_fixed(base.cpu.solo_time_s, 1),
+                   util::format_fixed(base.mem.solo_time_s, 1),
+                   util::format_fixed(base.io.solo_time_s, 1)});
+  summary.add_row({"OS* = max(OSP*, OSE*)", std::to_string(base.cpu.os()),
+                   std::to_string(base.mem.os()),
+                   std::to_string(base.io.os())});
+  summary.print(std::cout);
+
+  std::cout << "\ncombination experiments required: "
+            << base.combination_experiment_count()
+            << "  [(OSC+1)(OSM+1)(OSI+1) - (1+OSC+OSM+OSI)]\n";
+  return 0;
+}

@@ -1,0 +1,288 @@
+/// aeva_cli — the whole toolchain as one command-line tool.
+///
+/// Subcommands (first positional argument):
+///   campaign  --db model.csv --aux model_aux.csv [--max-base 16]
+///             run the benchmarking campaign and persist the model
+///   profile   --app fftw
+///             profile one benchmark on the simulated testbed
+///   generate  --out trace.swf [--jobs 4600] [--span 48000] [--seed 2026]
+///             synthesize an EGEE-like SWF trace (with imperfections)
+///   clean     --in trace.swf --out clean.swf
+///             strip failed/cancelled/anomalous jobs
+///   prepare   --in clean.swf --out prepared.swf --db model.csv
+///             --aux model_aux.csv [--vms 10000] [--seed 2026]
+///             [--chain 0.0]
+///             assign profiles/VM counts/QoS and write annotated SWF
+///   lookup    --db model.csv --aux model_aux.csv --key 2,3,1
+///             query the model: measured / proportional / extrapolated /
+///             learned estimates for a (Ncpu,Nmem,Nio) mix
+///   simulate  --db model.csv --aux model_aux.csv --trace clean.swf
+///             [--prepared] [--strategy PA-0.5] [--servers 60]
+///             [--vms 10000] [--backfill 0] [--migrate]
+///             run the cloud simulation (with --prepared, --trace is an
+///             annotated workload produced by `prepare`)
+///
+/// Every step consumes the previous step's files, so the paper's pipeline
+/// (benchmark → model → trace → clean → prepare → simulate) can be driven
+/// exactly as its authors did, from a shell.
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/baselines.hpp"
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "datacenter/simulator.hpp"
+#include "modeldb/campaign.hpp"
+#include "modeldb/learned_model.hpp"
+#include "profiling/profiler.hpp"
+#include "trace/generator.hpp"
+#include "trace/prepare.hpp"
+#include "trace/prepared_swf.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+#include "workload/registry.hpp"
+
+namespace {
+
+using namespace aeva;
+
+int usage() {
+  std::cerr
+      << "usage: aeva_cli <campaign|profile|generate|clean|prepare|lookup|simulate> "
+         "[options]\n"
+         "  campaign --db FILE --aux FILE [--max-base N] [--no-noise]\n"
+         "  profile  --app NAME\n"
+         "  generate --out FILE [--jobs N] [--span SECONDS] [--seed N]\n"
+         "  clean    --in FILE --out FILE\n"
+         "  prepare  --in FILE --out FILE --db FILE --aux FILE [--vms N]\n"
+         "           [--seed N] [--chain F]\n"
+         "  lookup   --db FILE --aux FILE --key C,M,I\n"
+         "  simulate --db FILE --aux FILE --trace FILE [--strategy NAME]\n"
+         "           [--servers N] [--vms N] [--seed N] [--backfill N]\n"
+         "           [--migrate]\n";
+  return 2;
+}
+
+int cmd_campaign(const util::Args& args) {
+  modeldb::CampaignConfig config;
+  config.server = testbed::testbed_server();
+  config.max_base_vms = static_cast<int>(args.get_int("max-base", 16));
+  config.meter_noise = !args.has("no-noise");
+  const modeldb::Campaign campaign(config);
+  std::cout << "running base tests (1.." << config.max_base_vms
+            << " VMs x 3 classes) and combinations...\n";
+  const modeldb::ModelDatabase db = campaign.build();
+  const std::string db_path = args.get_string("db", "model.csv");
+  const std::string aux_path = args.get_string("aux", "model_aux.csv");
+  db.save(db_path, aux_path);
+  std::cout << "wrote " << db.size() << " records to " << db_path
+            << " and Table-I parameters to " << aux_path << "\n";
+  return 0;
+}
+
+int cmd_profile(const util::Args& args) {
+  const std::string name = args.get_string("app", "fftw");
+  const profiling::Profiler profiler;
+  const profiling::ApplicationProfile profile =
+      profiler.profile(workload::find_app(name));
+  util::TablePrinter table({"subsystem", "mean", "peak", "intensive"});
+  for (const auto& report : profile.subsystems) {
+    table.add_row({std::string(workload::to_string(report.subsystem)),
+                   util::format_fixed(report.mean_natural, 2),
+                   util::format_fixed(report.peak_natural, 2),
+                   report.intensive ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << "class: " << workload::to_string(profile.mapped_class)
+            << ", solo runtime "
+            << util::format_fixed(profile.runtime_s, 0) << " s\n";
+  return 0;
+}
+
+int cmd_generate(const util::Args& args) {
+  trace::GeneratorConfig config;
+  config.target_jobs = static_cast<int>(args.get_int("jobs", 4600));
+  config.span_s = args.get_double("span", config.span_s);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2026)));
+  const trace::SwfTrace trace = trace::generate_egee_like(config, rng);
+  const std::string out = args.get_string("out", "trace.swf");
+  trace::write_swf_file(out, trace);
+  std::cout << "wrote " << trace.jobs.size() << " jobs to " << out << "\n";
+  return 0;
+}
+
+int cmd_clean(const util::Args& args) {
+  const std::string in = args.get_string("in", "trace.swf");
+  const std::string out = args.get_string("out", "clean.swf");
+  trace::SwfTrace trace = trace::read_swf_file(in);
+  const trace::CleanStats stats = trace::clean(trace);
+  trace::write_swf_file(out, trace);
+  std::cout << "removed " << stats.failed << " failed, " << stats.cancelled
+            << " cancelled, " << stats.anomalies << " anomalies; kept "
+            << trace.jobs.size() << " jobs in " << out << "\n";
+  return 0;
+}
+
+std::unique_ptr<core::Allocator> make_strategy(
+    const std::string& name, const modeldb::ModelDatabase& db) {
+  if (name == "FF") return std::make_unique<core::FirstFitAllocator>(1);
+  if (name == "FF-2") return std::make_unique<core::FirstFitAllocator>(2);
+  if (name == "FF-3") return std::make_unique<core::FirstFitAllocator>(3);
+  if (name == "BF-2")
+    return std::make_unique<core::SlotFitAllocator>(
+        core::SlotFitAllocator::Policy::kBestFit, 2);
+  if (name == "WF-2")
+    return std::make_unique<core::SlotFitAllocator>(
+        core::SlotFitAllocator::Policy::kWorstFit, 2);
+  if (name == "RAND-2")
+    return std::make_unique<core::RandomFitAllocator>(2026, 2);
+  if (name == "VEC")
+    return std::make_unique<core::VectorFitAllocator>(
+        core::VectorFitAllocator::from_registry(1.0));
+  core::ProactiveConfig config;
+  if (name == "PA-1") {
+    config.alpha = 1.0;
+  } else if (name == "PA-0") {
+    config.alpha = 0.0;
+  } else if (name == "PA-0.5") {
+    config.alpha = 0.5;
+  } else {
+    throw std::invalid_argument("unknown strategy: " + name);
+  }
+  return std::make_unique<core::ProactiveAllocator>(db, config);
+}
+
+int cmd_prepare(const util::Args& args) {
+  const modeldb::ModelDatabase db = modeldb::ModelDatabase::load(
+      args.get_string("db", "model.csv"),
+      args.get_string("aux", "model_aux.csv"));
+  const trace::SwfTrace raw =
+      trace::read_swf_file(args.get_string("in", "clean.swf"));
+  trace::PreparationConfig config;
+  config.target_total_vms = static_cast<int>(args.get_int("vms", 10000));
+  config.workflow_chain_fraction = args.get_double("chain", 0.0);
+  for (const workload::ProfileClass profile : workload::kAllProfileClasses) {
+    config.solo_time_s[static_cast<std::size_t>(profile)] =
+        db.base().of(profile).solo_time_s;
+  }
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2026)));
+  const trace::PreparedWorkload workload =
+      trace::prepare_workload(raw, config, rng);
+  const std::string out = args.get_string("out", "prepared.swf");
+  trace::write_swf_file(out, trace::prepared_to_swf(workload));
+  std::cout << "prepared " << workload.jobs.size() << " jobs ("
+            << workload.total_vms << " VMs, CPU/MEM/IO "
+            << workload.vm_mix.cpu << "/" << workload.vm_mix.mem << "/"
+            << workload.vm_mix.io << ") into " << out << "\n";
+  return 0;
+}
+
+int cmd_lookup(const util::Args& args) {
+  const modeldb::ModelDatabase db = modeldb::ModelDatabase::load(
+      args.get_string("db", "model.csv"),
+      args.get_string("aux", "model_aux.csv"));
+  const std::vector<std::string> parts =
+      util::split(args.get_string("key", "1,1,1"), ',');
+  if (parts.size() != 3) {
+    throw std::invalid_argument("--key expects C,M,I");
+  }
+  workload::ClassCounts key;
+  key.cpu = static_cast<int>(util::parse_int(parts[0]).value_or(-1));
+  key.mem = static_cast<int>(util::parse_int(parts[1]).value_or(-1));
+  key.io = static_cast<int>(util::parse_int(parts[2]).value_or(-1));
+
+  const modeldb::LearnedModel learned(db);
+  util::TablePrinter table({"estimator", "Time(s)", "avgTimeVM(s)",
+                            "Energy(kJ)", "MaxPower(W)"});
+  const auto put = [&](const char* name, const modeldb::Record& r) {
+    table.add_row({name, util::format_fixed(r.time_s, 1),
+                   util::format_fixed(r.avg_time_vm_s, 1),
+                   util::format_fixed(r.energy_j / 1e3, 1),
+                   util::format_fixed(r.max_power_w, 1)});
+  };
+  std::cout << "key (" << key.cpu << "," << key.mem << "," << key.io
+            << ") is " << (db.measured(key) ? "measured" : "off-grid")
+            << "\n";
+  put("proportional (paper)", db.estimate(key));
+  put("edge-slope extrapolated", db.estimate_extrapolated(key));
+  put("IDW k-NN", learned.predict(key));
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(const util::Args& args) {
+  const modeldb::ModelDatabase db = modeldb::ModelDatabase::load(
+      args.get_string("db", "model.csv"),
+      args.get_string("aux", "model_aux.csv"));
+  trace::SwfTrace raw =
+      trace::read_swf_file(args.get_string("trace", "clean.swf"));
+
+  trace::PreparedWorkload workload;
+  if (args.has("prepared")) {
+    workload = trace::swf_to_prepared(raw);
+  } else {
+    trace::PreparationConfig prep;
+    prep.target_total_vms = static_cast<int>(args.get_int("vms", 10000));
+    for (const workload::ProfileClass profile :
+         workload::kAllProfileClasses) {
+      prep.solo_time_s[static_cast<std::size_t>(profile)] =
+          db.base().of(profile).solo_time_s;
+    }
+    util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2026)));
+    workload = trace::prepare_workload(raw, prep, rng);
+  }
+
+  datacenter::CloudConfig cloud;
+  cloud.server_count = static_cast<int>(args.get_int("servers", 60));
+  cloud.backfill_window = static_cast<int>(args.get_int("backfill", 0));
+  cloud.migration.enabled = args.has("migrate");
+  const datacenter::Simulator sim(db, cloud);
+
+  const auto strategy =
+      make_strategy(args.get_string("strategy", "PA-0.5"), db);
+  const datacenter::SimMetrics m = sim.run(workload, *strategy);
+
+  util::TablePrinter table({"metric", "value"});
+  table.add_row({"strategy", strategy->name()});
+  table.add_row({"jobs / VMs", std::to_string(m.jobs) + " / " +
+                                   std::to_string(m.vms)});
+  table.add_row({"makespan (s)", util::format_fixed(m.makespan_s, 0)});
+  table.add_row({"energy (MJ)", util::format_fixed(m.energy_j / 1e6, 2)});
+  table.add_row(
+      {"SLA violations (%)", util::format_fixed(m.sla_violation_pct, 2)});
+  table.add_row({"mean response (s)",
+                 util::format_fixed(m.mean_response_s, 0)});
+  table.add_row({"mean wait (s)", util::format_fixed(m.mean_wait_s, 1)});
+  table.add_row({"mean busy servers",
+                 util::format_fixed(m.mean_busy_servers, 1)});
+  table.add_row({"migrations", std::to_string(m.migrations)});
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv);
+    if (args.positional().empty()) {
+      return usage();
+    }
+    const std::string command = args.positional().front();
+    if (command == "campaign") return cmd_campaign(args);
+    if (command == "profile") return cmd_profile(args);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "clean") return cmd_clean(args);
+    if (command == "prepare") return cmd_prepare(args);
+    if (command == "lookup") return cmd_lookup(args);
+    if (command == "simulate") return cmd_simulate(args);
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

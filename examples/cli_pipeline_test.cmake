@@ -1,0 +1,14 @@
+# Drives the aeva_cli pipeline end to end: generate -> clean -> campaign ->
+# simulate. Any non-zero exit fails the test.
+function(run)
+  execute_process(COMMAND ${CLI} ${ARGN} RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "aeva_cli ${ARGN} failed with ${code}")
+  endif()
+endfunction()
+
+run(generate --out cli_t.swf --jobs 400 --seed 11)
+run(clean --in cli_t.swf --out cli_c.swf)
+run(campaign --db cli_m.csv --aux cli_a.csv --max-base 8)
+run(simulate --db cli_m.csv --aux cli_a.csv --trace cli_c.swf
+    --vms 700 --servers 8 --strategy PA-0.5)

@@ -1,0 +1,111 @@
+/// Example: trace-driven cloud simulation under a chosen strategy.
+///
+/// Builds the empirical model database from the (simulated) testbed
+/// campaign, synthesizes an EGEE-like workload, and replays it on a cloud
+/// of rack servers under one of the paper's allocation strategies.
+///
+/// Usage:
+///   datacenter_sim [--strategy FF|FF-2|FF-3|PA-1|PA-0|PA-0.5]
+///                  [--servers 60] [--vms 10000] [--seed 2026]
+
+#include <iostream>
+#include <memory>
+
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "datacenter/simulator.hpp"
+#include "modeldb/campaign.hpp"
+#include "trace/generator.hpp"
+#include "trace/prepare.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+std::unique_ptr<aeva::core::Allocator> make_strategy(
+    const std::string& name, const aeva::modeldb::ModelDatabase& db) {
+  using namespace aeva::core;
+  if (name == "FF") return std::make_unique<FirstFitAllocator>(1);
+  if (name == "FF-2") return std::make_unique<FirstFitAllocator>(2);
+  if (name == "FF-3") return std::make_unique<FirstFitAllocator>(3);
+  ProactiveConfig config;
+  if (name == "PA-1") {
+    config.alpha = 1.0;
+  } else if (name == "PA-0") {
+    config.alpha = 0.0;
+  } else if (name == "PA-0.5") {
+    config.alpha = 0.5;
+  } else {
+    throw std::invalid_argument("unknown strategy: " + name);
+  }
+  return std::make_unique<ProactiveAllocator>(db, config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aeva;
+  const util::Args args(argc, argv);
+  const std::string strategy_name = args.get_string("strategy", "PA-0.5");
+  const int servers = static_cast<int>(args.get_int("servers", 60));
+  const int target_vms = static_cast<int>(args.get_int("vms", 10000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+
+  std::cout << "building model database from the testbed campaign...\n";
+  modeldb::CampaignConfig campaign_config;
+  campaign_config.server = testbed::testbed_server();
+  const modeldb::ModelDatabase db =
+      modeldb::Campaign(campaign_config).build();
+  std::cout << "  " << db.size() << " records, grid extent ("
+            << db.grid_extent().cpu << "," << db.grid_extent().mem << ","
+            << db.grid_extent().io << ")\n";
+
+  std::cout << "synthesizing and preparing the EGEE-like workload...\n";
+  util::Rng rng(seed);
+  trace::GeneratorConfig gen;
+  trace::SwfTrace raw = trace::generate_egee_like(gen, rng);
+  const trace::CleanStats cleaned = trace::clean(raw);
+  std::cout << "  cleaned: " << cleaned.failed << " failed, "
+            << cleaned.cancelled << " cancelled, " << cleaned.anomalies
+            << " anomalies removed; " << raw.jobs.size() << " jobs kept\n";
+
+  trace::PreparationConfig prep;
+  prep.target_total_vms = target_vms;
+  for (const workload::ProfileClass profile : workload::kAllProfileClasses) {
+    prep.solo_time_s[static_cast<std::size_t>(profile)] =
+        db.base().of(profile).solo_time_s;
+  }
+  const trace::PreparedWorkload workload =
+      trace::prepare_workload(raw, prep, rng);
+  std::cout << "  " << workload.jobs.size() << " job requests, "
+            << workload.total_vms << " VMs (CPU/MEM/IO = "
+            << workload.vm_mix.cpu << "/" << workload.vm_mix.mem << "/"
+            << workload.vm_mix.io << ")\n";
+
+  const auto strategy = make_strategy(strategy_name, db);
+  datacenter::CloudConfig cloud;
+  cloud.server_count = servers;
+  const datacenter::Simulator sim(db, cloud);
+
+  std::cout << "simulating strategy " << strategy->name() << " on "
+            << servers << " servers...\n";
+  const datacenter::SimMetrics metrics = sim.run(workload, *strategy);
+
+  std::cout << "\nresults (" << strategy->name() << ", " << servers
+            << " servers):\n"
+            << "  makespan        : " << util::format_fixed(metrics.makespan_s, 0)
+            << " s\n"
+            << "  energy          : " << util::format_fixed(metrics.energy_j / 1e6, 2)
+            << " MJ\n"
+            << "  SLA violations  : "
+            << util::format_fixed(metrics.sla_violation_pct, 2) << " % ("
+            << metrics.sla_violations << "/" << metrics.vms << " VMs)\n"
+            << "  mean response   : "
+            << util::format_fixed(metrics.mean_response_s, 0) << " s\n"
+            << "  mean wait       : "
+            << util::format_fixed(metrics.mean_wait_s, 0) << " s\n"
+            << "  busy servers    : mean "
+            << util::format_fixed(metrics.mean_busy_servers, 1) << ", peak "
+            << util::format_fixed(metrics.peak_busy_servers, 0) << "\n";
+  return 0;
+}

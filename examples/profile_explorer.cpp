@@ -1,0 +1,73 @@
+/// Example: application profiling on the simulated testbed.
+///
+/// Runs any built-in benchmark (or all of them) solo on an idle server,
+/// samples the four subsystem collectors at 1 Hz (mpstat / perfctr /
+/// iostat / netstat equivalents), prints the utilization summary, and
+/// shows the intensity classification the allocation model keys on.
+///
+/// Usage: profile_explorer [--app fftw] [--all]
+
+#include <iostream>
+
+#include "profiling/profiler.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+#include "workload/registry.hpp"
+
+namespace {
+
+void explore(const aeva::profiling::Profiler& profiler,
+             const aeva::workload::AppSpec& app) {
+  using namespace aeva;
+  const profiling::ApplicationProfile profile = profiler.profile(app);
+  std::cout << "== " << profile.app_name << " ==\n";
+  std::cout << "solo runtime: " << util::format_fixed(profile.runtime_s, 0)
+            << " s\n";
+  util::TablePrinter table(
+      {"subsystem", "mean demand", "peak demand", "intensive?"});
+  for (const auto& report : profile.subsystems) {
+    const char* unit = "";
+    switch (report.subsystem) {
+      case workload::Subsystem::kCpu:
+        unit = " cores";
+        break;
+      case workload::Subsystem::kMemory:
+        unit = " bw-share";
+        break;
+      default:
+        unit = " MB/s";
+        break;
+    }
+    table.add_row({std::string(workload::to_string(report.subsystem)),
+                   util::format_fixed(report.mean_natural, 2) + unit,
+                   util::format_fixed(report.peak_natural, 2) + unit,
+                   report.intensive ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << "model class: " << workload::to_string(profile.mapped_class)
+            << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aeva;
+  const util::Args args(argc, argv);
+  const profiling::Profiler profiler;
+
+  if (args.has("all")) {
+    for (const workload::AppSpec& app : workload::builtin_apps()) {
+      explore(profiler, app);
+    }
+    return 0;
+  }
+  const std::string name = args.get_string("app", "fftw");
+  explore(profiler, workload::find_app(name));
+  std::cout << "available benchmarks:";
+  for (const std::string& n : workload::builtin_app_names()) {
+    std::cout << " " << n;
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+/// Example: capacity planning with the α tradeoff.
+///
+/// For a pending batch of VM requests, sweeps the optimization goal α from
+/// pure performance (0) to pure energy (1) and prints the estimated
+/// execution-time / energy frontier together with the consolidation
+/// footprint (how many servers each plan powers on). This is the decision
+/// support view a datacenter operator would use to pick α.
+///
+/// Usage: tradeoff_planner [--cpu 4] [--mem 4] [--io 4] [--servers 8]
+
+#include <iostream>
+#include <set>
+
+#include "core/proactive.hpp"
+#include "modeldb/campaign.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aeva;
+  const util::Args args(argc, argv);
+  const int n_cpu = static_cast<int>(args.get_int("cpu", 4));
+  const int n_mem = static_cast<int>(args.get_int("mem", 4));
+  const int n_io = static_cast<int>(args.get_int("io", 4));
+  const int n_servers = static_cast<int>(args.get_int("servers", 8));
+
+  modeldb::CampaignConfig campaign_config;
+  campaign_config.server = testbed::testbed_server();
+  const modeldb::ModelDatabase db =
+      modeldb::Campaign(campaign_config).build();
+
+  std::vector<core::VmRequest> request;
+  std::int64_t id = 1;
+  for (int i = 0; i < n_cpu; ++i) {
+    request.push_back(core::VmRequest{id++, workload::ProfileClass::kCpu,
+                                      1e12});
+  }
+  for (int i = 0; i < n_mem; ++i) {
+    request.push_back(core::VmRequest{id++, workload::ProfileClass::kMem,
+                                      1e12});
+  }
+  for (int i = 0; i < n_io; ++i) {
+    request.push_back(core::VmRequest{id++, workload::ProfileClass::kIo,
+                                      1e12});
+  }
+  std::vector<core::ServerState> servers;
+  for (int s = 0; s < n_servers; ++s) {
+    servers.push_back(core::ServerState{s, workload::ClassCounts{}, false});
+  }
+
+  std::cout << "planning " << request.size() << " VMs (" << n_cpu << " CPU, "
+            << n_mem << " MEM, " << n_io << " IO) on " << n_servers
+            << " idle servers\n\n";
+  util::TablePrinter table({"alpha", "goal", "est mean time(s)",
+                            "est energy(kJ)", "servers used",
+                            "partitions examined"});
+  for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    core::ProactiveConfig config;
+    config.alpha = alpha;
+    const core::ProactiveAllocator allocator(db, config);
+    const core::AllocationResult result =
+        allocator.allocate(request, servers);
+    if (!result.complete) {
+      table.add_row({util::format_fixed(alpha, 2), "-", "infeasible", "-",
+                     "-", std::to_string(result.partitions_examined)});
+      continue;
+    }
+    std::set<int> used;
+    for (const core::Placement& p : result.placements) {
+      used.insert(p.server_id);
+    }
+    const char* goal = alpha == 0.0   ? "performance"
+                       : alpha == 1.0 ? "energy"
+                                      : "tradeoff";
+    table.add_row({util::format_fixed(alpha, 2), goal,
+                   util::format_fixed(result.score.est_time_s, 0),
+                   util::format_fixed(result.score.est_energy_j / 1e3, 0),
+                   std::to_string(used.size()),
+                   std::to_string(result.partitions_examined)});
+  }
+  table.print(std::cout);
+  std::cout << "\nhigher alpha -> fewer servers powered, longer estimated "
+               "times; pick the row matching your SLA headroom.\n";
+  return 0;
+}

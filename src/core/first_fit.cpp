@@ -1,0 +1,70 @@
+#include "core/first_fit.hpp"
+
+#include "util/error.hpp"
+
+namespace aeva::core {
+
+FirstFitAllocator::FirstFitAllocator(int multiplex, int cpus_per_server)
+    : FirstFitAllocator(multiplex, std::vector<int>{cpus_per_server}) {}
+
+FirstFitAllocator::FirstFitAllocator(int multiplex,
+                                     std::vector<int> cpus_by_hardware)
+    : multiplex_(multiplex), cpus_by_hardware_(std::move(cpus_by_hardware)) {
+  AEVA_REQUIRE(multiplex >= 1, "multiplex factor must be >= 1, got ",
+               multiplex);
+  AEVA_REQUIRE(!cpus_by_hardware_.empty(), "need at least one hardware class");
+  for (const int cpus : cpus_by_hardware_) {
+    AEVA_REQUIRE(cpus >= 1, "servers need at least one CPU");
+  }
+}
+
+int FirstFitAllocator::server_capacity(int hardware) const {
+  AEVA_REQUIRE(hardware >= 0 && static_cast<std::size_t>(hardware) <
+                                    cpus_by_hardware_.size(),
+               "unknown hardware class ", hardware);
+  return multiplex_ * cpus_by_hardware_[static_cast<std::size_t>(hardware)];
+}
+
+AllocationResult FirstFitAllocator::allocate(
+    const std::vector<VmRequest>& vms,
+    const std::vector<ServerState>& servers) const {
+  AllocationResult result;
+  if (vms.empty()) {
+    result.complete = true;
+    return result;
+  }
+
+  // Track residual capacity without mutating the caller's states.
+  std::vector<int> free_slots;
+  free_slots.reserve(servers.size());
+  for (const ServerState& server : servers) {
+    free_slots.push_back(server_capacity(server.hardware) -
+                         server.allocated.total());
+  }
+
+  for (const VmRequest& vm : vms) {
+    bool placed = false;
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      if (free_slots[s] > 0) {
+        result.placements.push_back(Placement{vm.id, servers[s].id});
+        --free_slots[s];
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // All-or-nothing: the job request waits for capacity.
+      result.placements.clear();
+      result.complete = false;
+      return result;
+    }
+  }
+  result.complete = true;
+  return result;
+}
+
+std::string FirstFitAllocator::name() const {
+  return multiplex_ == 1 ? "FF" : "FF-" + std::to_string(multiplex_);
+}
+
+}  // namespace aeva::core

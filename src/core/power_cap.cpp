@@ -1,0 +1,68 @@
+#include "core/power_cap.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace aeva::core {
+
+PowerCapAllocator::PowerCapAllocator(std::unique_ptr<Allocator> inner,
+                                     const modeldb::ModelDatabase& db,
+                                     double cap_w)
+    : inner_(std::move(inner)), db_(&db), cap_w_(cap_w) {
+  AEVA_REQUIRE(inner_ != nullptr, "null inner allocator");
+  AEVA_REQUIRE(cap_w_ > 0.0, "power cap must be positive, got ", cap_w);
+}
+
+double PowerCapAllocator::predicted_power_w(
+    const std::vector<ServerState>& servers) const {
+  double total = 0.0;
+  for (const ServerState& server : servers) {
+    if (server.allocated.total() > 0) {
+      total += db_->estimate(server.allocated).avg_power_w();
+    }
+  }
+  return total;
+}
+
+AllocationResult PowerCapAllocator::allocate(
+    const std::vector<VmRequest>& vms,
+    const std::vector<ServerState>& servers) const {
+  AllocationResult result = inner_->allocate(vms, servers);
+  if (!result.complete || result.placements.empty()) {
+    return result;
+  }
+  // Apply the placements to a scratch copy and re-predict the draw.
+  std::map<int, workload::ClassCounts> mixes;
+  for (const ServerState& server : servers) {
+    mixes[server.id] = server.allocated;
+  }
+  std::map<std::int64_t, workload::ProfileClass> profile_of;
+  for (const VmRequest& vm : vms) {
+    profile_of[vm.id] = vm.profile;
+  }
+  for (const Placement& placement : result.placements) {
+    ++mixes[placement.server_id].of(profile_of.at(placement.vm_id));
+  }
+  double total = 0.0;
+  for (const auto& [id, mix] : mixes) {
+    if (mix.total() > 0) {
+      total += db_->estimate(mix).avg_power_w();
+    }
+  }
+  if (total > cap_w_) {
+    // Over budget: the request waits for load to drain.
+    AllocationResult rejected;
+    rejected.partitions_examined = result.partitions_examined;
+    return rejected;
+  }
+  return result;
+}
+
+std::string PowerCapAllocator::name() const {
+  return "CAP" + util::format_fixed(cap_w_ / 1000.0, 1) + "kW(" +
+         inner_->name() + ")";
+}
+
+}  // namespace aeva::core

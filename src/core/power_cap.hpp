@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file power_cap.hpp
+/// Cluster power budgeting.
+///
+/// Datacenters are routinely provisioned against a branch-circuit power
+/// budget; an energy-aware allocator must be able to respect one. This
+/// decorator predicts the cluster's total draw from the empirical model
+/// (each busy server draws its mix's mean power) and refuses placements
+/// that would exceed the cap — the request stays queued until load drains,
+/// exactly like a QoS rejection.
+
+#include <memory>
+
+#include "core/types.hpp"
+#include "modeldb/database.hpp"
+
+namespace aeva::core {
+
+/// Wraps any strategy with a cluster-wide power cap.
+class PowerCapAllocator final : public Allocator {
+ public:
+  /// `inner` is owned; `db` must outlive the guard; `cap_w` > 0 is the
+  /// total budget across all busy servers (idle-off machines draw 0).
+  PowerCapAllocator(std::unique_ptr<Allocator> inner,
+                    const modeldb::ModelDatabase& db, double cap_w);
+
+  [[nodiscard]] AllocationResult allocate(
+      const std::vector<VmRequest>& vms,
+      const std::vector<ServerState>& servers) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+  /// Predicted cluster draw for the given states (busy servers only).
+  [[nodiscard]] double predicted_power_w(
+      const std::vector<ServerState>& servers) const;
+
+  [[nodiscard]] double cap_w() const noexcept { return cap_w_; }
+
+ private:
+  std::unique_ptr<Allocator> inner_;
+  const modeldb::ModelDatabase* db_;
+  double cap_w_;
+};
+
+}  // namespace aeva::core

@@ -1,0 +1,343 @@
+#include "core/proactive.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "partition/typed_partition.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace aeva::core {
+
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+ProactiveAllocator::ProactiveAllocator(const modeldb::ModelDatabase& db,
+                                       ProactiveConfig config)
+    : ProactiveAllocator(std::vector<const modeldb::ModelDatabase*>{&db},
+                         config) {}
+
+ProactiveAllocator::ProactiveAllocator(
+    std::vector<const modeldb::ModelDatabase*> dbs, ProactiveConfig config)
+    : config_(config) {
+  AEVA_REQUIRE(config_.alpha >= 0.0 && config_.alpha <= 1.0,
+               "alpha must be in [0, 1], got ", config_.alpha);
+  AEVA_REQUIRE(config_.max_partitions >= 1, "partition budget must be >= 1");
+  AEVA_REQUIRE(!dbs.empty(), "need at least one model database");
+  models_.reserve(dbs.size());
+  for (const modeldb::ModelDatabase* db : dbs) {
+    AEVA_REQUIRE(db != nullptr, "null model database");
+    models_.emplace_back(*db, config.server_vm_cap);
+  }
+}
+
+const CostModel& ProactiveAllocator::cost_model(int hardware) const {
+  AEVA_REQUIRE(hardware >= 0 &&
+                   static_cast<std::size_t>(hardware) < models_.size(),
+               "unknown hardware class ", hardware, " (have ",
+               models_.size(), ")");
+  return models_[static_cast<std::size_t>(hardware)];
+}
+
+namespace {
+
+/// One placed block with its estimation context.
+struct PlacedBlock {
+  ClassCounts block;
+  std::size_t server_index = 0;
+  double time_per_class[workload::kProfileClassCount] = {0.0, 0.0, 0.0};
+  double marginal_energy_j = 0.0;
+};
+
+/// A fully evaluated candidate partition.
+struct Candidate {
+  std::vector<PlacedBlock> blocks;
+  double est_time_s = 0.0;
+  double est_energy_j = 0.0;
+  double combined = 0.0;
+  bool qos_ok = true;
+};
+
+}  // namespace
+
+AllocationResult ProactiveAllocator::allocate(
+    const std::vector<VmRequest>& vms,
+    const std::vector<ServerState>& servers) const {
+  AllocationResult result;
+  if (vms.empty()) {
+    result.complete = true;
+    return result;
+  }
+
+  ClassCounts request;
+  for (const VmRequest& vm : vms) {
+    ++request.of(vm.profile);
+  }
+  const double n_vms = static_cast<double>(vms.size());
+  // Normalization references always come from hardware class 0 so ranks
+  // stay comparable across a heterogeneous fleet.
+  const double time_ref = models_.front().time_reference_s(request);
+  const double energy_ref = models_.front().energy_reference_j(request);
+  const double alpha = config_.alpha;
+
+  // Current allocations and their standalone energies (cached: the
+  // marginal energy of the first block landing on a busy server needs it).
+  std::vector<ClassCounts> base_alloc;
+  std::vector<double> base_energy;
+  base_alloc.reserve(servers.size());
+  base_energy.reserve(servers.size());
+  for (const ServerState& server : servers) {
+    base_alloc.push_back(server.allocated);
+    base_energy.push_back(
+        cost_model(server.hardware).mix_energy_j(server.allocated));
+  }
+
+  // Deadlines per class, tightest first, used by the QoS check.
+  std::vector<double> deadlines[workload::kProfileClassCount];
+  for (const VmRequest& vm : vms) {
+    deadlines[static_cast<int>(vm.profile)].push_back(vm.max_exec_time_s);
+  }
+  for (auto& list : deadlines) {
+    std::sort(list.begin(), list.end());
+  }
+
+  // Evaluates one typed partition: greedy marginal-cost server choice per
+  // block (ties → first server of the list, as in the paper), then the
+  // aggregate α-weighted rank and the QoS feasibility check.
+  const auto evaluate =
+      [&](const partition::TypedPartition& blocks) -> std::optional<Candidate> {
+    Candidate cand;
+    std::vector<ClassCounts> alloc = base_alloc;
+    std::vector<double> energy_before = base_energy;
+    // A partition's blocks are per-server groups by definition: two blocks
+    // sharing a server would be the coarser partition with those blocks
+    // merged, which the enumeration visits separately. Keeping servers
+    // distinct also keeps every block's estimate valid for the final mix.
+    std::vector<bool> used(servers.size(), false);
+
+    for (const ClassCounts& block : blocks) {
+      // Prefer servers where the block's estimated times respect every
+      // affected class's tightest deadline; fall back to QoS-violating
+      // options only when no server passes (the candidate then fails the
+      // final QoS check and can only be selected via the relaxed path).
+      std::optional<std::size_t> best_server;
+      bool best_qos_pass = false;
+      double best_rank = 0.0;
+      PlacedBlock best_placed;
+      for (std::size_t s = 0; s < servers.size(); ++s) {
+        if (used[s]) {
+          continue;
+        }
+        const CostModel& model = cost_model(servers[s].hardware);
+        const ClassCounts combined = alloc[s] + block;
+        if (!model.feasible(combined)) {
+          continue;
+        }
+        const modeldb::Record rec = model.estimate(combined);
+        double time_contrib = 0.0;
+        bool qos_pass = true;
+        PlacedBlock placed;
+        placed.block = block;
+        placed.server_index = s;
+        for (const ProfileClass profile : workload::kAllProfileClasses) {
+          const int ci = static_cast<int>(profile);
+          const double t =
+              block.of(profile) > 0 ? rec.time_of(profile) : 0.0;
+          placed.time_per_class[ci] = t;
+          time_contrib += block.of(profile) * t;
+          if (block.of(profile) > 0 && !deadlines[ci].empty() &&
+              t > deadlines[ci].front()) {
+            qos_pass = false;
+          }
+        }
+        // Marginal energy over the server's existing commitment. Record
+        // energies include the 125 W powered-on baseline, so placing on an
+        // empty (off) server pays its full wake-up cost while co-locating
+        // on a busy server pays only the increment — the consolidation
+        // incentive of the energy goal.
+        placed.marginal_energy_j = rec.energy_j - energy_before[s];
+        const double energy_norm =
+            placed.marginal_energy_j / (n_vms * energy_ref);
+        const double time_norm = time_contrib / block.total() / time_ref;
+        const double rank =
+            config_.goal == ProactiveGoal::kEnergyDelayProduct
+                ? std::max(energy_norm, 0.0) * time_norm
+                : alpha * energy_norm + (1.0 - alpha) * time_norm;
+        const bool better =
+            !best_server.has_value() ||
+            (qos_pass && !best_qos_pass) ||
+            (qos_pass == best_qos_pass && rank < best_rank);
+        if (better) {
+          best_server = s;
+          best_qos_pass = qos_pass;
+          best_rank = rank;
+          best_placed = placed;
+        }
+      }
+      if (!best_server.has_value()) {
+        return std::nullopt;  // no server can host this block
+      }
+      const std::size_t s = *best_server;
+      alloc[s] = alloc[s] + block;
+      used[s] = true;
+      cand.blocks.push_back(best_placed);
+    }
+
+    double time_sum = 0.0;
+    double energy_sum = 0.0;
+    for (const PlacedBlock& placed : cand.blocks) {
+      for (const ProfileClass profile : workload::kAllProfileClasses) {
+        time_sum += placed.block.of(profile) *
+                    placed.time_per_class[static_cast<int>(profile)];
+      }
+      energy_sum += placed.marginal_energy_j;
+    }
+    cand.est_time_s = time_sum / n_vms;
+    cand.est_energy_j = energy_sum;
+    const double total_energy_norm = energy_sum / (n_vms * energy_ref);
+    const double total_time_norm = cand.est_time_s / time_ref;
+    cand.combined =
+        config_.goal == ProactiveGoal::kEnergyDelayProduct
+            ? std::max(total_energy_norm, 0.0) * total_time_norm
+            : alpha * total_energy_norm + (1.0 - alpha) * total_time_norm;
+
+    // QoS: for each class, the k-th smallest estimated time must fit under
+    // the k-th tightest deadline (optimal matching by exchange argument).
+    for (const ProfileClass profile : workload::kAllProfileClasses) {
+      const int ci = static_cast<int>(profile);
+      if (deadlines[ci].empty()) {
+        continue;
+      }
+      std::vector<double> times;
+      for (const PlacedBlock& placed : cand.blocks) {
+        for (int k = 0; k < placed.block.of(profile); ++k) {
+          times.push_back(placed.time_per_class[ci]);
+        }
+      }
+      std::sort(times.begin(), times.end());
+      for (std::size_t k = 0; k < times.size(); ++k) {
+        if (times[k] > deadlines[ci][k]) {
+          cand.qos_ok = false;
+          break;
+        }
+      }
+      if (!cand.qos_ok) {
+        break;
+      }
+    }
+    return cand;
+  };
+
+  // Brute-force search over typed partitions (quotient of Orlov's set
+  // partition enumeration — see src/partition).
+  std::optional<Candidate> best_any;
+  std::optional<Candidate> best_qos;
+  std::size_t examined = 0;
+  partition::for_each_typed_partition(
+      request,
+      [&](const ClassCounts& block) {
+        // A block is worth enumerating if some hardware class can host it.
+        for (const CostModel& model : models_) {
+          if (model.feasible(block)) {
+            return true;
+          }
+        }
+        return false;
+      },
+      std::max<std::size_t>(servers.size(), 1),  // one server per block
+      [&](const partition::TypedPartition& blocks) {
+        ++examined;
+        const std::optional<Candidate> cand = evaluate(blocks);
+        if (cand.has_value()) {
+          if (!best_any.has_value() || cand->combined < best_any->combined) {
+            best_any = cand;
+          }
+          if (cand->qos_ok &&
+              (!best_qos.has_value() || cand->combined < best_qos->combined)) {
+            best_qos = cand;
+          }
+        }
+        return examined < config_.max_partitions;
+      });
+  result.partitions_examined = examined;
+
+  std::optional<Candidate> chosen;
+  if (!config_.enforce_qos) {
+    chosen = best_any;
+  } else if (best_qos.has_value()) {
+    chosen = best_qos;
+  } else if (config_.fallback_best_effort) {
+    chosen = best_any;
+  }
+  if (!chosen.has_value()) {
+    // Either the cluster cannot host the request at all, or every feasible
+    // placement would break the QoS guarantees: the request stays queued.
+    return result;
+  }
+  result.satisfied_qos = chosen->qos_ok;
+  result.score.est_time_s = chosen->est_time_s;
+  result.score.est_energy_j = chosen->est_energy_j;
+  result.score.combined = chosen->combined;
+
+  // Map typed blocks back onto concrete VMs: per class, the VM with the
+  // tightest deadline goes to the block slot with the smallest estimated
+  // time (the matching the QoS check assumed).
+  for (const ProfileClass profile : workload::kAllProfileClasses) {
+    const int ci = static_cast<int>(profile);
+    std::vector<const VmRequest*> class_vms;
+    for (const VmRequest& vm : vms) {
+      if (vm.profile == profile) {
+        class_vms.push_back(&vm);
+      }
+    }
+    if (class_vms.empty()) {
+      continue;
+    }
+    std::stable_sort(class_vms.begin(), class_vms.end(),
+                     [](const VmRequest* a, const VmRequest* b) {
+                       return a->max_exec_time_s < b->max_exec_time_s;
+                     });
+    struct Slot {
+      double time = 0.0;
+      std::size_t server_index = 0;
+    };
+    std::vector<Slot> slots;
+    for (const PlacedBlock& placed : chosen->blocks) {
+      for (int k = 0; k < placed.block.of(profile); ++k) {
+        slots.push_back(Slot{placed.time_per_class[ci], placed.server_index});
+      }
+    }
+    AEVA_ASSERT(slots.size() == class_vms.size(),
+                "block slots do not cover the request for class ",
+                workload::to_string(profile));
+    std::stable_sort(slots.begin(), slots.end(),
+                     [](const Slot& a, const Slot& b) {
+                       return a.time < b.time;
+                     });
+    for (std::size_t k = 0; k < class_vms.size(); ++k) {
+      result.placements.push_back(
+          Placement{class_vms[k]->id, servers[slots[k].server_index].id});
+    }
+  }
+  result.complete = true;
+  return result;
+}
+
+std::string ProactiveAllocator::name() const {
+  if (config_.goal == ProactiveGoal::kEnergyDelayProduct) {
+    return "PA-EDP";
+  }
+  const double alpha = config_.alpha;
+  if (alpha == 0.0) return "PA-0";
+  if (alpha == 1.0) return "PA-1";
+  std::string text = util::format_fixed(alpha, 2);
+  while (!text.empty() && text.back() == '0') {
+    text.pop_back();
+  }
+  if (!text.empty() && text.back() == '.') {
+    text.pop_back();
+  }
+  return "PA-" + text;
+}
+
+}  // namespace aeva::core

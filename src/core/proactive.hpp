@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file proactive.hpp
+/// The paper's contribution: proactive application-centric energy-aware VM
+/// allocation (Sect. III-D, Fig. 3).
+///
+/// Given the empirical model database, an optimization goal α (1 → minimize
+/// energy, 0 → minimize execution time, in between → weighted tradeoff), a
+/// set of servers with their current allocations, and a set of VMs with
+/// profiles and QoS deadlines, the allocator brute-force searches the set
+/// partitions of the VM set (via the Orlov-style typed enumeration in
+/// src/partition), scores every feasible partition by a database lookup,
+/// and returns the placement that best matches the goal while satisfying
+/// the QoS constraints. Ties between servers of equal rank resolve to the
+/// first server of the list, as in the paper.
+
+#include <cstddef>
+
+#include "core/cost_model.hpp"
+#include "core/types.hpp"
+#include "modeldb/database.hpp"
+
+namespace aeva::core {
+
+/// Optimization goal shape.
+enum class ProactiveGoal {
+  /// The paper's α-weighted blend of energy and time.
+  kAlphaWeighted,
+  /// Minimize the energy-delay product (the database's EDP column):
+  /// scale-free, parameterless middle ground between the two extremes.
+  kEnergyDelayProduct,
+};
+
+/// Tuning of the proactive allocator.
+struct ProactiveConfig {
+  /// Goal shape; α applies only to the weighted form.
+  ProactiveGoal goal = ProactiveGoal::kAlphaWeighted;
+  /// Energy-vs-performance tradeoff: weight α on energy, 1−α on time.
+  double alpha = 0.5;
+  /// When true (default — "disregarding the QoS guarantees … might be not
+  /// acceptable for production systems"), partitions whose estimated VM
+  /// execution times violate a deadline are rejected; if *every* partition
+  /// violates QoS, the allocation fails and the request stays queued.
+  bool enforce_qos = true;
+  /// With `enforce_qos`, permits falling back to the best QoS-violating
+  /// placement instead of failing — the "relaxed" variant of Sect. III-D.
+  bool fallback_best_effort = false;
+  /// Brute-force budget: the search stops after examining this many
+  /// partitions and returns the best found so far. The paper's requests
+  /// carry 1–4 VMs, far below this bound.
+  std::size_t max_partitions = 200000;
+  /// Per-server VM cap (testbed benchmarked up to 16 VMs).
+  int server_vm_cap = 16;
+};
+
+/// The proactive allocator (strategies PA-1 / PA-0 / PA-0.5 of Sect. IV-D
+/// are instances with α = 1, 0, 0.5).
+class ProactiveAllocator final : public Allocator {
+ public:
+  /// Homogeneous fleet: one empirical model for every server. The database
+  /// must outlive the allocator.
+  ProactiveAllocator(const modeldb::ModelDatabase& db, ProactiveConfig config);
+
+  /// Heterogeneous fleet (the paper's future work i): one model per
+  /// hardware class; `ServerState::hardware` indexes into `dbs`. All
+  /// databases must outlive the allocator; `dbs` must be non-empty and
+  /// contain no nulls. Cost normalization references come from class 0.
+  ProactiveAllocator(std::vector<const modeldb::ModelDatabase*> dbs,
+                     ProactiveConfig config);
+
+  [[nodiscard]] AllocationResult allocate(
+      const std::vector<VmRequest>& vms,
+      const std::vector<ServerState>& servers) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const ProactiveConfig& config() const noexcept {
+    return config_;
+  }
+  /// The hardware-class-0 cost model (homogeneous callers' view).
+  [[nodiscard]] const CostModel& cost_model() const noexcept {
+    return models_.front();
+  }
+  /// Cost model of a hardware class; throws on an unknown class.
+  [[nodiscard]] const CostModel& cost_model(int hardware) const;
+
+ private:
+  ProactiveConfig config_;
+  std::vector<CostModel> models_;
+};
+
+}  // namespace aeva::core

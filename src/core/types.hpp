@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file types.hpp
+/// Common vocabulary of the allocation layer.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "workload/profile.hpp"
+
+namespace aeva::core {
+
+/// One VM awaiting placement: its application profile (assumed known in
+/// advance, e.g. specified in the job definition — Sect. III) and its QoS
+/// guarantee (maximum execution time).
+struct VmRequest {
+  std::int64_t id = 0;
+  workload::ProfileClass profile{};
+  double max_exec_time_s = std::numeric_limits<double>::infinity();
+};
+
+/// A physical server and its current allocation, summarized as class
+/// counts (all the model database needs), plus whether it has been powered
+/// on. Servers power on at first use and stay on for the rest of the run
+/// (Sect. IV-A fixes a 125 W draw for a powered-on server); an energy-aware
+/// allocator therefore pays a premium for waking a cold server.
+struct ServerState {
+  int id = 0;
+  workload::ClassCounts allocated;
+  bool powered = false;
+  /// Hardware class index (heterogeneous-fleet extension): selects which
+  /// empirical model describes this machine. 0 is the default testbed.
+  int hardware = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return allocated.total() == 0; }
+};
+
+/// One placement decision: VM → server.
+struct Placement {
+  std::int64_t vm_id = 0;
+  int server_id = 0;
+};
+
+/// Estimated cost of an accepted allocation.
+struct AllocationScore {
+  double est_time_s = 0.0;    ///< mean estimated per-VM execution time
+  double est_energy_j = 0.0;  ///< total marginal energy across servers
+  double combined = 0.0;      ///< α-weighted rank (lower is better)
+};
+
+/// Outcome of one allocation call.
+struct AllocationResult {
+  std::vector<Placement> placements;
+  AllocationScore score;
+  bool complete = false;       ///< every requested VM was placed
+  bool satisfied_qos = true;   ///< no estimated deadline violations
+  std::size_t partitions_examined = 0;  ///< search effort (proactive only)
+};
+
+/// Strategy interface shared by the proactive allocator and the first-fit
+/// baselines; the datacenter simulator drives either uniformly.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Places `vms` onto `servers` (whose states reflect current residency).
+  /// Implementations never mutate `servers`; the caller applies the
+  /// returned placements. When the cluster lacks room, `complete` is false
+  /// and `placements` is empty — allocation is all-or-nothing per request,
+  /// matching the paper's per-job-request granularity.
+  [[nodiscard]] virtual AllocationResult allocate(
+      const std::vector<VmRequest>& vms,
+      const std::vector<ServerState>& servers) const = 0;
+
+  /// Display name, e.g. "FF-2" or "PA-0.5".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace aeva::core

@@ -1,0 +1,39 @@
+#include "datacenter/accounting.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace aeva::datacenter {
+
+namespace {
+
+double weighted_sum(const std::vector<WeightedValue>& intervals,
+                    const char* what) {
+  AEVA_REQUIRE(!intervals.empty(), "no intervals for ", what);
+  double wsum = 0.0;
+  double acc = 0.0;
+  for (const WeightedValue& interval : intervals) {
+    AEVA_REQUIRE(interval.weight >= 0.0, "negative interval weight in ",
+                 what);
+    AEVA_REQUIRE(interval.value >= 0.0, "negative interval value in ", what);
+    wsum += interval.weight;
+    acc += interval.weight * interval.value;
+  }
+  AEVA_REQUIRE(std::abs(wsum - 1.0) <= 1e-9,
+               "interval weights must sum to 1, got ", wsum, " in ", what);
+  return acc;
+}
+
+}  // namespace
+
+double interval_weighted_time_s(const std::vector<WeightedValue>& intervals) {
+  return weighted_sum(intervals, "execution-time accounting");
+}
+
+double interval_weighted_energy_j(
+    const std::vector<WeightedValue>& intervals) {
+  return weighted_sum(intervals, "energy accounting");
+}
+
+}  // namespace aeva::datacenter

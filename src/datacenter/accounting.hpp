@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file accounting.hpp
+/// Interval-weighted accounting (Fig. 4).
+///
+/// "As VM allocations may vary over time, we compute the estimated
+/// execution time and energy consumption with the weighted average of the
+/// values associated to each interval of time." The paper's example:
+/// ExecTime_VM1 = 0.7·1200 s + 0.3·1800 s = 1380 s and
+/// Energy = 0.35·15 kJ + 0.15·20 kJ + 0.5·12 kJ = 14.25 kJ.
+///
+/// These helpers implement that arithmetic verbatim; the online simulator
+/// uses the equivalent progress-rate formulation (see simulator.hpp).
+
+#include <vector>
+
+namespace aeva::datacenter {
+
+/// One allocation interval's contribution: its relative weight and the
+/// model value (estimated time or energy) associated with the allocation
+/// present during that interval.
+struct WeightedValue {
+  double weight = 0.0;  ///< fraction of the outcome spent in this interval
+  double value = 0.0;   ///< model estimate for this interval's allocation
+};
+
+/// Weighted-average execution time of one VM across allocation intervals.
+/// Weights must be non-negative and sum to 1 (±1e-9).
+[[nodiscard]] double interval_weighted_time_s(
+    const std::vector<WeightedValue>& intervals);
+
+/// Weighted energy of a whole outcome across allocation intervals (same
+/// weight contract).
+[[nodiscard]] double interval_weighted_energy_j(
+    const std::vector<WeightedValue>& intervals);
+
+}  // namespace aeva::datacenter

@@ -1,0 +1,233 @@
+#include "datacenter/ground_truth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "workload/registry.hpp"
+
+namespace aeva::datacenter {
+
+using core::Placement;
+using core::ServerState;
+using core::VmRequest;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+}  // namespace
+
+GroundTruthSimulator::GroundTruthSimulator(const modeldb::ModelDatabase& db,
+                                           testbed::ServerConfig hardware,
+                                           CloudConfig cloud)
+    : db_(&db), hardware_(hardware), cloud_(std::move(cloud)) {
+  hardware_.validate();
+  AEVA_REQUIRE(cloud_.server_count >= 1, "cloud needs at least one server");
+  AEVA_REQUIRE(!cloud_.migration.enabled,
+               "the fluid backend does not support migration sweeps");
+  AEVA_REQUIRE(cloud_.hardware.empty(),
+               "the fluid backend models a homogeneous fleet");
+}
+
+SimMetrics GroundTruthSimulator::run(const trace::PreparedWorkload& workload,
+                                     const core::Allocator& allocator) const {
+  AEVA_REQUIRE(!workload.jobs.empty(), "empty workload");
+  const auto& jobs = workload.jobs;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    AEVA_REQUIRE(jobs[i].submit_s >= jobs[i - 1].submit_s,
+                 "workload not sorted by submission time at job ", i);
+  }
+
+  for (const trace::JobRequest& job : jobs) {
+    AEVA_REQUIRE(job.depends_on == 0,
+                 "the fluid backend does not model workflow dependencies "
+                 "(job ",
+                 job.id, ")");
+  }
+
+  const auto n_servers = static_cast<std::size_t>(cloud_.server_count);
+  std::vector<testbed::OnlineServer> servers;
+  servers.reserve(n_servers);
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    servers.emplace_back(hardware_);
+  }
+  std::vector<bool> powered(n_servers, false);
+
+  // handle → owning job index, per server.
+  std::vector<std::map<std::int64_t, std::size_t>> owner(n_servers);
+
+  std::deque<std::size_t> queue;
+  SimMetrics metrics;
+  metrics.jobs = jobs.size();
+  util::RunningStats response_stats;
+  util::RunningStats wait_stats;
+
+  const double t0 = jobs.front().submit_s;
+  double now = t0;
+  std::size_t next_job = 0;
+  std::int64_t next_vm_id = 1;
+  double busy_server_time = 0.0;
+
+  const auto server_states = [&] {
+    std::vector<ServerState> states;
+    states.reserve(n_servers);
+    for (std::size_t s = 0; s < n_servers; ++s) {
+      states.push_back(ServerState{static_cast<int>(s), servers[s].mix(),
+                                   powered[s], 0});
+    }
+    return states;
+  };
+
+  // Attempts one queued job (by queue position).
+  const auto try_admit = [&](std::size_t queue_pos) -> bool {
+    const std::size_t j = queue[queue_pos];
+    const trace::JobRequest& job = jobs[j];
+    std::vector<VmRequest> request;
+    const double exec_bound =
+        job.max_exec_stretch * db_->base().of(job.profile).solo_time_s;
+    for (int k = 0; k < job.vm_count; ++k) {
+      VmRequest vm;
+      vm.id = next_vm_id + k;
+      vm.profile = job.profile;
+      vm.max_exec_time_s = exec_bound > 0.0 ? exec_bound : kInf;
+      request.push_back(vm);
+    }
+    const core::AllocationResult result =
+        allocator.allocate(request, server_states());
+    if (!result.complete) {
+      return false;
+    }
+    const workload::AppSpec& app = workload::canonical_app(job.profile);
+    for (const Placement& placement : result.placements) {
+      AEVA_REQUIRE(placement.server_id >= 0 &&
+                       placement.server_id < cloud_.server_count,
+                   "allocator returned invalid server ", placement.server_id);
+      const auto s = static_cast<std::size_t>(placement.server_id);
+      const std::int64_t handle =
+          servers[s].add_vm(app, job.runtime_scale);
+      owner[s][handle] = j;
+      powered[s] = true;
+      wait_stats.add(now - job.submit_s);
+    }
+    next_vm_id += job.vm_count;
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
+    return true;
+  };
+
+  const auto drain_queue = [&] {
+    while (!queue.empty()) {
+      if (try_admit(0)) {
+        continue;
+      }
+      bool backfilled = false;
+      const auto window =
+          static_cast<std::size_t>(std::max(0, cloud_.backfill_window));
+      for (std::size_t p = 1; p < queue.size() && p <= window; ++p) {
+        if (try_admit(p)) {
+          backfilled = true;
+          break;
+        }
+      }
+      if (!backfilled) {
+        return;
+      }
+    }
+  };
+
+  std::size_t guard = 0;
+  const std::size_t max_events =
+      jobs.size() * 4 + static_cast<std::size_t>(workload.total_vms) * 64 +
+      (1u << 16);
+  std::vector<std::int64_t> completed;
+  while (next_job < jobs.size() || !queue.empty() ||
+         [&] {
+           for (std::size_t s = 0; s < n_servers; ++s) {
+             if (servers[s].resident() > 0) return true;
+           }
+           return false;
+         }()) {
+    AEVA_ASSERT(++guard <= max_events,
+                "ground-truth simulation event budget exhausted");
+
+    const double next_arrival =
+        next_job < jobs.size() ? jobs[next_job].submit_s : kInf;
+    double next_completion = kInf;
+    for (std::size_t s = 0; s < n_servers; ++s) {
+      next_completion = std::min(next_completion,
+                                 now + servers[s].next_event_in());
+    }
+    const double next_event = std::min(next_arrival, next_completion);
+    if (!std::isfinite(next_event)) {
+      throw std::runtime_error(
+          "ground-truth simulation deadlocked: queued jobs but no running "
+          "VMs and no future arrivals (strategy '" +
+          allocator.name() + "' cannot place the head-of-line job)");
+    }
+
+    const double dt = next_event - now;
+    if (dt > 0.0) {
+      double busy = 0.0;
+      double power = 0.0;
+      for (std::size_t s = 0; s < n_servers; ++s) {
+        if (servers[s].resident() > 0) {
+          busy += 1.0;
+          power += servers[s].power_w();
+        }
+      }
+      metrics.energy_j += power * dt;
+      busy_server_time += busy * dt;
+      metrics.peak_busy_servers = std::max(metrics.peak_busy_servers, busy);
+    }
+
+    // Advance every server to the event instant (phase boundaries inside
+    // the step are impossible by construction of next_event; completions
+    // land exactly at its end).
+    for (std::size_t s = 0; s < n_servers; ++s) {
+      if (servers[s].resident() == 0) {
+        continue;
+      }
+      completed.clear();
+      servers[s].advance(dt + kEps, completed);
+      for (const std::int64_t handle : completed) {
+        const auto it = owner[s].find(handle);
+        AEVA_ASSERT(it != owner[s].end(), "unknown VM handle completed");
+        const trace::JobRequest& job = jobs[it->second];
+        const double response = next_event - job.submit_s;
+        response_stats.add(response);
+        if (response > job.deadline_s + kEps) {
+          ++metrics.sla_violations;
+        }
+        ++metrics.vms;
+        owner[s].erase(it);
+      }
+    }
+    now = next_event;
+
+    while (next_job < jobs.size() && jobs[next_job].submit_s <= now + kEps) {
+      queue.push_back(next_job);
+      ++next_job;
+    }
+    drain_queue();
+  }
+
+  metrics.makespan_s = now - t0;
+  metrics.mean_response_s = response_stats.mean();
+  metrics.mean_wait_s = wait_stats.mean();
+  metrics.sla_violation_pct =
+      metrics.vms > 0
+          ? 100.0 * static_cast<double>(metrics.sla_violations) /
+                static_cast<double>(metrics.vms)
+          : 0.0;
+  metrics.mean_busy_servers =
+      metrics.makespan_s > 0.0 ? busy_server_time / metrics.makespan_s : 0.0;
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    metrics.servers_powered += powered[s] ? 1 : 0;
+  }
+  return metrics;
+}
+
+}  // namespace aeva::datacenter

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file ground_truth.hpp
+/// Ground-truth datacenter co-simulation.
+///
+/// The paper's evaluation accounts time and energy by *looking up the
+/// empirical database* (Sect. IV-A) — our `Simulator` reproduces exactly
+/// that. This second backend replaces the accounting with reality: every
+/// cloud machine is a fluid `testbed::OnlineServer` running the actual
+/// phase-level application models the database was measured from, while
+/// the allocation strategy keeps its database beliefs. Comparing the two
+/// backends on the same workload quantifies the end-to-end error of the
+/// paper's methodology (see `bench/ablation_groundtruth`).
+
+#include "core/types.hpp"
+#include "datacenter/simulator.hpp"
+#include "modeldb/database.hpp"
+#include "testbed/online_server.hpp"
+#include "trace/prepare.hpp"
+
+namespace aeva::datacenter {
+
+/// Fluid-reality cloud simulator. Jobs execute the canonical benchmark of
+/// their class, stretched by the job's runtime scale.
+class GroundTruthSimulator {
+ public:
+  /// `db` feeds the allocator's QoS bounds (and is what a model-driven
+  /// strategy consults); `hardware` describes every machine; `cloud`
+  /// supplies size and backfill policy (migration is not supported by the
+  /// fluid backend and must be disabled).
+  GroundTruthSimulator(const modeldb::ModelDatabase& db,
+                       testbed::ServerConfig hardware, CloudConfig cloud);
+
+  /// Executes the workload; same contract as Simulator::run.
+  [[nodiscard]] SimMetrics run(const trace::PreparedWorkload& workload,
+                               const core::Allocator& allocator) const;
+
+  [[nodiscard]] const CloudConfig& cloud() const noexcept { return cloud_; }
+
+ private:
+  const modeldb::ModelDatabase* db_;
+  testbed::ServerConfig hardware_;
+  CloudConfig cloud_;
+};
+
+}  // namespace aeva::datacenter

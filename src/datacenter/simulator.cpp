@@ -1,0 +1,620 @@
+#include "datacenter/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "workload/registry.hpp"
+
+namespace aeva::datacenter {
+
+using core::Placement;
+using core::ServerState;
+using core::VmRequest;
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+Simulator::Simulator(const modeldb::ModelDatabase& db, CloudConfig cloud)
+    : Simulator(std::vector<const modeldb::ModelDatabase*>{&db},
+                std::move(cloud)) {}
+
+Simulator::Simulator(std::vector<const modeldb::ModelDatabase*> dbs,
+                     CloudConfig cloud)
+    : dbs_(std::move(dbs)), cloud_(std::move(cloud)) {
+  AEVA_REQUIRE(cloud_.server_count >= 1, "cloud needs at least one server");
+  AEVA_REQUIRE(cloud_.idle_power_w >= 0.0, "negative idle power");
+  AEVA_REQUIRE(!dbs_.empty(), "need at least one model database");
+  for (const modeldb::ModelDatabase* db : dbs_) {
+    AEVA_REQUIRE(db != nullptr, "null model database");
+  }
+  if (!cloud_.hardware.empty()) {
+    AEVA_REQUIRE(cloud_.hardware.size() ==
+                     static_cast<std::size_t>(cloud_.server_count),
+                 "hardware map size ", cloud_.hardware.size(),
+                 " does not match server count ", cloud_.server_count);
+    for (const int h : cloud_.hardware) {
+      AEVA_REQUIRE(h >= 0 && static_cast<std::size_t>(h) < dbs_.size(),
+                   "hardware class ", h, " has no model database");
+    }
+  }
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+
+/// One resident VM.
+struct RunningVm {
+  std::int64_t vm_id = 0;
+  std::size_t job_index = 0;
+  ProfileClass profile{};
+  double runtime_scale = 1.0;
+  int server = 0;
+  double start_s = 0.0;    ///< allocation instant
+  double remaining = 1.0;  ///< normalized work left
+  double rate = 0.0;       ///< progress per second under the current mix
+  bool migrating = false;
+  double migration_done_s = 0.0;  ///< transfer completion time while in flight
+  int dest_server = -1;           ///< reserved destination while in flight
+};
+
+/// Per-server runtime state.
+struct ServerRt {
+  ClassCounts alloc;
+  double busy_power_w = 0.0;  ///< record mean power while hosting VMs
+  bool powered = false;       ///< powered on at first use, stays on
+};
+
+}  // namespace
+
+SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
+                          const core::Allocator& allocator,
+                          const IntervalObserver& observer) const {
+  AEVA_REQUIRE(!workload.jobs.empty(), "empty workload");
+  const auto& jobs = workload.jobs;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    AEVA_REQUIRE(jobs[i].submit_s >= jobs[i - 1].submit_s,
+                 "workload not sorted by submission time at job ", i);
+  }
+
+  const auto n_servers = static_cast<std::size_t>(cloud_.server_count);
+  std::vector<ServerRt> servers(n_servers);
+  std::vector<RunningVm> running;
+  std::deque<std::size_t> queue;  // indices into jobs, FCFS
+
+  // Workflow dependencies (JobRequest::depends_on): map job ids to
+  // indices, track per-job completion, park dependents until release.
+  std::map<long long, std::size_t> index_of_id;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    index_of_id[jobs[i].id] = i;
+  }
+  std::vector<int> vms_left(jobs.size());
+  std::vector<bool> job_done(jobs.size(), false);
+  std::vector<std::vector<std::size_t>> dependents(jobs.size());
+  std::size_t parked = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    vms_left[i] = jobs[i].vm_count;
+    if (jobs[i].depends_on != 0) {
+      const auto it = index_of_id.find(jobs[i].depends_on);
+      AEVA_REQUIRE(it != index_of_id.end(), "job ", jobs[i].id,
+                   " depends on unknown job ", jobs[i].depends_on);
+      AEVA_REQUIRE(it->second < i, "job ", jobs[i].id,
+                   " depends on a later job ", jobs[i].depends_on);
+    }
+  }
+
+  SimMetrics metrics;
+  metrics.jobs = jobs.size();
+  util::RunningStats response_stats;
+  util::RunningStats wait_stats;
+
+  const double t0 = jobs.front().submit_s;
+  double now = t0;
+  std::size_t next_job = 0;
+  std::int64_t next_vm_id = 1;
+  double busy_server_time = 0.0;  // ∫ busy_count dt
+
+  // Hardware class of each server (class 0 when no map is configured).
+  const auto hardware_of = [&](std::size_t s) {
+    return cloud_.hardware.empty() ? 0 : cloud_.hardware[s];
+  };
+
+  // Refreshes the cached record-derived quantities of one server: its mean
+  // power and the progress rate of every VM it hosts.
+  const auto refresh_server = [&](int server_id) {
+    ServerRt& server = servers[static_cast<std::size_t>(server_id)];
+    if (server.alloc.total() == 0) {
+      server.busy_power_w = 0.0;
+      return;
+    }
+    const modeldb::Record rec =
+        db_of(hardware_of(static_cast<std::size_t>(server_id)))
+            .estimate(server.alloc);
+    server.busy_power_w = std::max(rec.avg_power_w(), cloud_.idle_power_w);
+    for (RunningVm& vm : running) {
+      if (vm.server == server_id) {
+        const double est = rec.time_of(vm.profile);
+        AEVA_ASSERT(est > 0.0, "non-positive estimated time");
+        vm.rate = 1.0 / (vm.runtime_scale * est);
+        if (vm.migrating) {
+          vm.rate *= cloud_.migration.degradation;
+        }
+      }
+    }
+  };
+
+  // Builds the allocator view of the cluster.
+  const auto server_states = [&] {
+    std::vector<ServerState> states;
+    states.reserve(n_servers);
+    for (std::size_t s = 0; s < n_servers; ++s) {
+      states.push_back(ServerState{static_cast<int>(s), servers[s].alloc,
+                                   servers[s].powered, hardware_of(s)});
+    }
+    return states;
+  };
+
+  // Attempts to place one queued job (addressed by queue position); on
+  // success the job is admitted and removed from the queue.
+  const auto try_admit = [&](std::size_t queue_pos) -> bool {
+    {
+      const std::size_t j = queue[queue_pos];
+      const trace::JobRequest& job = jobs[j];
+      std::vector<VmRequest> request;
+      request.reserve(static_cast<std::size_t>(job.vm_count));
+      // Per-type execution-time QoS: the allocator may only use mixes whose
+      // estimated execution time stays within the contention cap. Database
+      // estimates are in canonical-app time units, so the bound is too.
+      const double exec_bound =
+          job.max_exec_stretch *
+          db_of(0).base().of(job.profile).solo_time_s;
+      for (int k = 0; k < job.vm_count; ++k) {
+        VmRequest vm;
+        vm.id = next_vm_id + k;
+        vm.profile = job.profile;
+        vm.max_exec_time_s = exec_bound > 0.0 ? exec_bound : kInf;
+        request.push_back(vm);
+      }
+      const core::AllocationResult result =
+          allocator.allocate(request, server_states());
+      if (!result.complete) {
+        return false;  // no room (or no QoS-feasible room) right now
+      }
+      AEVA_ASSERT(result.placements.size() == request.size(),
+                  "allocator placed ", result.placements.size(), " of ",
+                  request.size(), " VMs");
+      for (const Placement& placement : result.placements) {
+        AEVA_REQUIRE(placement.server_id >= 0 &&
+                         placement.server_id < cloud_.server_count,
+                     "allocator returned invalid server ",
+                     placement.server_id);
+        RunningVm vm;
+        vm.vm_id = placement.vm_id;
+        vm.job_index = j;
+        vm.profile = job.profile;
+        vm.runtime_scale = job.runtime_scale;
+        vm.server = placement.server_id;
+        vm.start_s = now;
+        running.push_back(vm);
+        ServerRt& host = servers[static_cast<std::size_t>(placement.server_id)];
+        ++host.alloc.of(job.profile);
+        host.powered = true;
+        wait_stats.add(now - job.submit_s);
+      }
+      next_vm_id += job.vm_count;
+      // Refresh every touched server once.
+      std::vector<int> touched;
+      for (const Placement& placement : result.placements) {
+        touched.push_back(placement.server_id);
+      }
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      for (const int s : touched) {
+        refresh_server(s);
+      }
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
+      return true;
+    }
+  };
+
+  // Admits queued jobs: FCFS first; when the head cannot be placed and
+  // backfilling is enabled, up to `backfill_window` younger jobs may jump
+  // ahead (aggressive backfill, no reservations).
+  const auto drain_queue = [&] {
+    while (!queue.empty()) {
+      if (try_admit(0)) {
+        continue;
+      }
+      bool backfilled = false;
+      const auto window =
+          static_cast<std::size_t>(std::max(0, cloud_.backfill_window));
+      for (std::size_t p = 1; p < queue.size() && p <= window; ++p) {
+        if (try_admit(p)) {
+          backfilled = true;
+          break;
+        }
+      }
+      if (!backfilled) {
+        return;
+      }
+    }
+  };
+
+  // --- reactive consolidation (live migration) ----------------------------
+  const MigrationConfig& mig = cloud_.migration;
+  if (mig.enabled) {
+    AEVA_REQUIRE(mig.check_interval_s > 0.0, "sweep interval must be positive");
+    AEVA_REQUIRE(mig.evict_below_vms >= 1, "eviction threshold must be >= 1");
+    AEVA_REQUIRE(mig.max_concurrent >= 1, "need at least one migration slot");
+    AEVA_REQUIRE(mig.transfer_mbps > 0.0, "transfer bandwidth must be positive");
+    AEVA_REQUIRE(mig.degradation > 0.0 && mig.degradation <= 1.0,
+                 "degradation factor out of (0, 1]");
+    AEVA_REQUIRE(mig.downtime_work_fraction >= 0.0 &&
+                     mig.downtime_work_fraction < 1.0,
+                 "downtime work fraction out of [0, 1)");
+    if (mig.trigger == MigrationConfig::Trigger::kThermal) {
+      AEVA_REQUIRE(mig.thermal_map != nullptr,
+                   "thermal trigger requires a thermal map");
+      AEVA_REQUIRE(mig.thermal_map->server_count() >= cloud_.server_count,
+                   "thermal map covers ", mig.thermal_map->server_count(),
+                   " servers, cloud has ", cloud_.server_count);
+    }
+  }
+  double next_sweep = mig.enabled ? t0 + mig.check_interval_s : kInf;
+
+  // Memory copied per migrating VM: the class's canonical footprint.
+  const auto transfer_seconds = [&](ProfileClass profile) {
+    return workload::canonical_app(profile).mem_footprint_mb /
+           mig.transfer_mbps;
+  };
+
+  // Consolidation sweep: evict the VMs of lightly loaded servers onto
+  // busier compatible machines so the sources can power down.
+  const auto consolidation_sweep = [&] {
+    int in_flight = 0;
+    for (const RunningVm& vm : running) {
+      in_flight += vm.migrating ? 1 : 0;
+    }
+    // Servers already involved in a transfer are off limits.
+    std::vector<bool> frozen(n_servers, false);
+    for (const RunningVm& vm : running) {
+      if (vm.migrating) {
+        frozen[static_cast<std::size_t>(vm.server)] = true;
+        frozen[static_cast<std::size_t>(vm.dest_server)] = true;
+      }
+    }
+    for (std::size_t src = 0; src < n_servers; ++src) {
+      if (in_flight >= mig.max_concurrent) {
+        break;
+      }
+      const int load = servers[src].alloc.total();
+      if (load == 0 || load > mig.evict_below_vms || frozen[src]) {
+        continue;
+      }
+      // Tentatively rehome every VM of this server.
+      std::vector<std::pair<std::size_t, std::size_t>> plan;  // vm, dest
+      std::vector<ClassCounts> tentative(n_servers);
+      for (std::size_t s = 0; s < n_servers; ++s) {
+        tentative[s] = servers[s].alloc;
+      }
+      bool ok = true;
+      for (std::size_t v = 0; v < running.size() && ok; ++v) {
+        const RunningVm& vm = running[v];
+        if (vm.server != static_cast<int>(src) || vm.migrating) {
+          if (vm.server == static_cast<int>(src) && vm.migrating) {
+            ok = false;  // server already draining
+          }
+          continue;
+        }
+        bool placed = false;
+        for (std::size_t dst = 0; dst < n_servers && !placed; ++dst) {
+          if (dst == src || frozen[dst]) {
+            continue;
+          }
+          // Consolidate toward equally-or-more-loaded busy machines; an
+          // empty destination would just move the problem, and a lighter
+          // one would invert it (ping-pong guard).
+          if (tentative[dst].total() == 0 ||
+              tentative[dst].total() < servers[src].alloc.total()) {
+            continue;
+          }
+          ClassCounts combined = tentative[dst];
+          ++combined.of(vm.profile);
+          const core::CostModel model(db_of(hardware_of(dst)));
+          if (!model.feasible(combined)) {
+            continue;
+          }
+          plan.emplace_back(v, dst);
+          tentative[dst] = combined;
+          placed = true;
+        }
+        ok = placed;
+      }
+      if (!ok || plan.empty() ||
+          in_flight + static_cast<int>(plan.size()) > mig.max_concurrent) {
+        continue;
+      }
+      // Commit: reserve destinations and start the transfers.
+      for (const auto& [v, dst] : plan) {
+        RunningVm& vm = running[v];
+        vm.migrating = true;
+        vm.dest_server = static_cast<int>(dst);
+        vm.migration_done_s = now + transfer_seconds(vm.profile);
+        vm.remaining += mig.downtime_work_fraction;  // stop-and-copy loss
+        ++servers[dst].alloc.of(vm.profile);
+        servers[dst].powered = true;
+        frozen[dst] = true;
+        ++in_flight;
+        ++metrics.migrations;
+        metrics.migration_transfer_s += transfer_seconds(vm.profile);
+        refresh_server(static_cast<int>(dst));
+      }
+      frozen[src] = true;
+      refresh_server(static_cast<int>(src));  // degradation on the movers
+    }
+  };
+
+  // Reactive thermal sweep ([3]): servers over the inlet redline shed one
+  // VM each toward the coolest feasible machine.
+  const auto thermal_sweep = [&] {
+    int in_flight = 0;
+    for (const RunningVm& vm : running) {
+      in_flight += vm.migrating ? 1 : 0;
+    }
+    std::vector<bool> frozen(n_servers, false);
+    for (const RunningVm& vm : running) {
+      if (vm.migrating) {
+        frozen[static_cast<std::size_t>(vm.server)] = true;
+        frozen[static_cast<std::size_t>(vm.dest_server)] = true;
+      }
+    }
+    // Instantaneous power picture → predicted inlets.
+    std::vector<double> power(
+        static_cast<std::size_t>(mig.thermal_map->server_count()), 0.0);
+    for (std::size_t s = 0; s < n_servers; ++s) {
+      power[s] = servers[s].alloc.total() > 0 ? servers[s].busy_power_w : 0.0;
+    }
+    const std::vector<double> inlets = mig.thermal_map->inlet_temps(power);
+    const double redline = mig.thermal_map->config().inlet_limit_c;
+
+    // Hottest offenders first.
+    std::vector<std::size_t> order;
+    for (std::size_t s = 0; s < n_servers; ++s) {
+      if (inlets[s] > redline && servers[s].alloc.total() > 0 && !frozen[s]) {
+        order.push_back(s);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return inlets[a] > inlets[b];
+    });
+
+    for (const std::size_t src : order) {
+      if (in_flight >= mig.max_concurrent) {
+        break;
+      }
+      // First resident, non-migrating VM of the hot server.
+      RunningVm* mover = nullptr;
+      for (RunningVm& vm : running) {
+        if (vm.server == static_cast<int>(src) && !vm.migrating) {
+          mover = &vm;
+          break;
+        }
+      }
+      if (mover == nullptr) {
+        continue;
+      }
+      // Coolest feasible destination comfortably under the redline.
+      std::size_t best = n_servers;
+      for (std::size_t dst = 0; dst < n_servers; ++dst) {
+        if (dst == src || frozen[dst] || inlets[dst] > redline - 1.0) {
+          continue;
+        }
+        ClassCounts combined = servers[dst].alloc;
+        ++combined.of(mover->profile);
+        const core::CostModel model(db_of(hardware_of(dst)));
+        if (!model.feasible(combined)) {
+          continue;
+        }
+        if (best == n_servers || inlets[dst] < inlets[best]) {
+          best = dst;
+        }
+      }
+      if (best == n_servers) {
+        continue;
+      }
+      mover->migrating = true;
+      mover->dest_server = static_cast<int>(best);
+      mover->migration_done_s = now + transfer_seconds(mover->profile);
+      mover->remaining += mig.downtime_work_fraction;
+      ++servers[best].alloc.of(mover->profile);
+      servers[best].powered = true;
+      frozen[best] = true;
+      frozen[src] = true;
+      ++in_flight;
+      ++metrics.migrations;
+      metrics.migration_transfer_s += transfer_seconds(mover->profile);
+      refresh_server(static_cast<int>(best));
+      refresh_server(static_cast<int>(src));
+    }
+  };
+
+  std::size_t guard = 0;
+  const std::size_t max_events = jobs.size() * 4 +
+                                 static_cast<std::size_t>(workload.total_vms) *
+                                     6 +
+                                 (1u << 17);
+  while (next_job < jobs.size() || !queue.empty() || !running.empty() ||
+         parked > 0) {
+    AEVA_ASSERT(++guard <= max_events,
+                "simulation event budget exhausted — strategy starved the "
+                "queue or the model diverged");
+
+    // Next event: job arrival, earliest VM completion, finished transfer,
+    // or a consolidation sweep (only meaningful while VMs run).
+    const double next_arrival =
+        next_job < jobs.size() ? jobs[next_job].submit_s : kInf;
+    double next_completion = kInf;
+    double next_transfer = kInf;
+    for (const RunningVm& vm : running) {
+      next_completion = std::min(next_completion, now + vm.remaining / vm.rate);
+      if (vm.migrating) {
+        next_transfer = std::min(next_transfer, vm.migration_done_s);
+      }
+    }
+    const double sweep_event =
+        mig.enabled && !running.empty() ? next_sweep : kInf;
+    const double next_event = std::min(
+        {next_arrival, next_completion, next_transfer, sweep_event});
+    if (!std::isfinite(next_event)) {
+      throw std::runtime_error(
+          "datacenter simulation deadlocked: queued jobs but no running VMs "
+          "and no future arrivals (strategy '" +
+          allocator.name() + "' cannot place the head-of-line job)");
+    }
+
+    // Accrue energy and progress over [now, next_event].
+    const double dt = next_event - now;
+    if (dt > 0.0) {
+      double busy = 0.0;
+      double power = 0.0;
+      for (const ServerRt& server : servers) {
+        if (server.alloc.total() > 0) {
+          // Hosting servers draw the model record's mean power, which
+          // includes the fixed 125 W baseline of a powered-on machine.
+          busy += 1.0;
+          power += server.busy_power_w;
+        }
+        // Empty servers are powered off — consolidation "minimizes the
+        // number of servers that are in operation" (Sect. I).
+      }
+      metrics.energy_j += power * dt;
+      if (observer) {
+        std::vector<double> per_server(n_servers, 0.0);
+        for (std::size_t s = 0; s < n_servers; ++s) {
+          per_server[s] = servers[s].busy_power_w;
+        }
+        observer(now, next_event, per_server);
+      }
+      busy_server_time += busy * dt;
+      metrics.peak_busy_servers = std::max(metrics.peak_busy_servers, busy);
+      for (RunningVm& vm : running) {
+        vm.remaining -= vm.rate * dt;
+      }
+      now = next_event;
+    }
+
+    // Process arrivals at `now`; jobs with an unmet dependency park until
+    // their predecessor completes.
+    while (next_job < jobs.size() && jobs[next_job].submit_s <= now + kEps) {
+      const trace::JobRequest& job = jobs[next_job];
+      if (job.depends_on != 0 &&
+          !job_done[index_of_id.at(job.depends_on)]) {
+        dependents[index_of_id.at(job.depends_on)].push_back(next_job);
+        ++parked;
+      } else {
+        queue.push_back(next_job);
+      }
+      ++next_job;
+    }
+
+    // Finish transfers whose copy completed: the VM switches to its
+    // reserved destination and the source drops it.
+    for (RunningVm& vm : running) {
+      if (vm.migrating && vm.migration_done_s <= now + kEps) {
+        const int source = vm.server;
+        --servers[static_cast<std::size_t>(source)].alloc.of(vm.profile);
+        vm.server = vm.dest_server;
+        vm.migrating = false;
+        vm.dest_server = -1;
+        refresh_server(source);
+        refresh_server(vm.server);
+      }
+    }
+
+    // Process completions at `now`.
+    for (std::size_t i = 0; i < running.size();) {
+      RunningVm& vm = running[i];
+      if (vm.remaining <= kEps || vm.remaining / vm.rate <= kEps) {
+        const trace::JobRequest& job = jobs[vm.job_index];
+        const double response = now - job.submit_s;
+        response_stats.add(response);
+        if (response > job.deadline_s + kEps) {
+          ++metrics.sla_violations;
+        }
+        ++metrics.vms;
+        if (cloud_.record_completions) {
+          metrics.completions.push_back(VmCompletion{
+              vm.vm_id, job.id, vm.profile, vm.server, job.submit_s,
+              vm.start_s, now});
+        }
+        // Workflow release: the job's last VM frees its dependents.
+        if (--vms_left[vm.job_index] == 0) {
+          job_done[vm.job_index] = true;
+          for (const std::size_t dependent : dependents[vm.job_index]) {
+            queue.push_back(dependent);
+            --parked;
+          }
+          dependents[vm.job_index].clear();
+        }
+        --servers[static_cast<std::size_t>(vm.server)].alloc.of(vm.profile);
+        const int touched = vm.server;
+        int abandoned_dest = -1;
+        if (vm.migrating) {
+          // The VM finished mid-copy: release the reservation.
+          abandoned_dest = vm.dest_server;
+          --servers[static_cast<std::size_t>(abandoned_dest)]
+                .alloc.of(vm.profile);
+        }
+        running[i] = running.back();
+        running.pop_back();
+        refresh_server(touched);
+        if (abandoned_dest >= 0) {
+          refresh_server(abandoned_dest);
+        }
+      } else {
+        ++i;
+      }
+    }
+
+    // Periodic migration sweep (catching up over idle gaps).
+    if (mig.enabled && next_sweep <= now + kEps) {
+      if (!running.empty()) {
+        if (mig.trigger == MigrationConfig::Trigger::kThermal) {
+          thermal_sweep();
+        } else {
+          consolidation_sweep();
+        }
+      }
+      while (next_sweep <= now + kEps) {
+        next_sweep += mig.check_interval_s;
+      }
+    }
+
+    drain_queue();
+  }
+
+  metrics.makespan_s = now - t0;
+  metrics.mean_response_s = response_stats.mean();
+  metrics.mean_wait_s = wait_stats.mean();
+  metrics.sla_violation_pct =
+      metrics.vms > 0
+          ? 100.0 * static_cast<double>(metrics.sla_violations) /
+                static_cast<double>(metrics.vms)
+          : 0.0;
+  metrics.mean_busy_servers =
+      metrics.makespan_s > 0.0 ? busy_server_time / metrics.makespan_s : 0.0;
+  for (const ServerRt& server : servers) {
+    metrics.servers_powered += server.powered ? 1 : 0;
+  }
+  return metrics;
+}
+
+}  // namespace aeva::datacenter

@@ -1,0 +1,33 @@
+#include "metering/power_meter.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace aeva::metering {
+
+PowerMeter::PowerMeter(MeterSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  AEVA_REQUIRE(spec_.sample_period_s > 0.0,
+               "meter sampling period must be positive");
+  AEVA_REQUIRE(spec_.accuracy_fraction >= 0.0, "negative meter accuracy");
+}
+
+MeterReading PowerMeter::measure(const util::TimeSeries& true_power_w) {
+  AEVA_REQUIRE(!true_power_w.empty(), "cannot meter an empty power trace");
+  MeterReading reading;
+  // 95% of gaussian mass lies within ±1.96σ; scale σ so the stated
+  // accuracy band is the 95% envelope.
+  const double sigma = spec_.accuracy_fraction / 1.96;
+  const util::TimeSeries grid = true_power_w.resample(spec_.sample_period_s);
+  for (const auto& sample : grid.samples()) {
+    const double gain = 1.0 + rng_.normal(0.0, sigma);
+    const double value = std::max(0.0, sample.value * gain);
+    reading.samples.append(sample.time_s, value);
+    reading.max_power_w = std::max(reading.max_power_w, value);
+  }
+  reading.energy_j = reading.samples.integrate();
+  return reading;
+}
+
+}  // namespace aeva::metering

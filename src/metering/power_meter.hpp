@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file power_meter.hpp
+/// Simulated wall-socket power meter.
+///
+/// Models the "Watts Up? .NET" meter the authors mounted between the wall
+/// outlet and the server (Sect. III-B): 1 Hz sampling, accuracy ±1.5 % of
+/// the measured power. Energy is estimated exactly the way the paper does —
+/// "by integrating the actual power measures over time".
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time_series.hpp"
+
+namespace aeva::metering {
+
+/// Meter characteristics.
+struct MeterSpec {
+  double sample_period_s = 1.0;    ///< 1 Hz
+  double accuracy_fraction = 0.015;  ///< ±1.5 % of reading
+};
+
+/// Result of metering one run.
+struct MeterReading {
+  util::TimeSeries samples{"metered power", "W"};
+  double energy_j = 0.0;     ///< trapezoidal integral of the samples
+  double max_power_w = 0.0;  ///< largest sampled value
+};
+
+/// Samples a ground-truth power trace at the meter's rate, applying
+/// multiplicative gaussian noise scaled so ~95 % of readings fall within
+/// the stated accuracy band.
+class PowerMeter {
+ public:
+  /// `seed` drives the noise stream; identical seeds → identical readings.
+  explicit PowerMeter(MeterSpec spec, std::uint64_t seed);
+
+  /// Meters a (piecewise-linear) true power trace. Throws on an empty
+  /// trace or a non-positive sampling period.
+  [[nodiscard]] MeterReading measure(const util::TimeSeries& true_power_w);
+
+  [[nodiscard]] const MeterSpec& spec() const noexcept { return spec_; }
+
+ private:
+  MeterSpec spec_;
+  util::Rng rng_;
+};
+
+}  // namespace aeva::metering

@@ -1,0 +1,201 @@
+#include "modeldb/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "workload/registry.hpp"
+
+namespace aeva::modeldb {
+
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+Campaign::Campaign(CampaignConfig config)
+    : config_(config), sim_(config.server) {
+  AEVA_REQUIRE(config_.max_base_vms >= 1, "base tests need at least 1 VM");
+}
+
+Record Campaign::measure_mix(const std::vector<testbed::VmRun>& vms,
+                             ClassCounts key) const {
+  const testbed::SimResult run = sim_.run(vms);
+
+  Record record;
+  record.key = key;
+  record.time_s = run.makespan_s;
+  record.avg_time_vm_s = run.avg_time_per_vm_s();
+
+  if (config_.meter_noise) {
+    // Derive a per-experiment noise stream so every experiment is
+    // independently metered yet the whole campaign stays deterministic.
+    const auto label = static_cast<std::uint64_t>(key.cpu) << 40 ^
+                       static_cast<std::uint64_t>(key.mem) << 20 ^
+                       static_cast<std::uint64_t>(key.io);
+    metering::PowerMeter meter(config_.meter, config_.meter_seed ^ label);
+    const metering::MeterReading reading = meter.measure(run.power_w);
+    record.energy_j = reading.energy_j;
+    record.max_power_w = reading.max_power_w;
+  } else {
+    record.energy_j = run.energy_j;
+    record.max_power_w = run.max_power_w;
+  }
+  record.edp = record.energy_j * record.time_s;
+
+  // Extension columns: per-class mean completion time.
+  util::RunningStats per_class[workload::kProfileClassCount];
+  for (const auto& vm : run.vms) {
+    per_class[static_cast<int>(vm.profile)].add(vm.runtime_s());
+  }
+  record.time_cpu_s =
+      per_class[static_cast<int>(ProfileClass::kCpu)].count() > 0
+          ? per_class[static_cast<int>(ProfileClass::kCpu)].mean()
+          : 0.0;
+  record.time_mem_s =
+      per_class[static_cast<int>(ProfileClass::kMem)].count() > 0
+          ? per_class[static_cast<int>(ProfileClass::kMem)].mean()
+          : 0.0;
+  record.time_io_s =
+      per_class[static_cast<int>(ProfileClass::kIo)].count() > 0
+          ? per_class[static_cast<int>(ProfileClass::kIo)].mean()
+          : 0.0;
+  return record;
+}
+
+Record Campaign::measure(ClassCounts key) const {
+  AEVA_REQUIRE(key.total() > 0, "cannot measure an empty allocation");
+  std::vector<testbed::VmRun> vms;
+  vms.reserve(static_cast<std::size_t>(key.total()));
+  for (const ProfileClass profile : workload::kAllProfileClasses) {
+    const workload::AppSpec& app = workload::canonical_app(profile);
+    for (int i = 0; i < key.of(profile); ++i) {
+      vms.push_back(testbed::VmRun{app, 0.0});
+    }
+  }
+  return measure_mix(vms, key);
+}
+
+std::vector<Record> Campaign::scaling_curve(const workload::AppSpec& app,
+                                            int max_vms) const {
+  AEVA_REQUIRE(max_vms >= 1, "scaling curve needs at least 1 VM");
+  app.validate();
+  std::vector<Record> curve;
+  curve.reserve(static_cast<std::size_t>(max_vms));
+  for (int n = 1; n <= max_vms; ++n) {
+    ClassCounts key;
+    key.of(app.profile) = n;
+    std::vector<testbed::VmRun> vms(
+        static_cast<std::size_t>(n), testbed::VmRun{app, 0.0});
+    curve.push_back(measure_mix(vms, key));
+  }
+  return curve;
+}
+
+std::vector<BaseCurve> Campaign::run_base_tests() const {
+  std::vector<BaseCurve> curves;
+  for (const ProfileClass profile : workload::kAllProfileClasses) {
+    BaseCurve curve;
+    curve.profile = profile;
+    curve.by_count =
+        scaling_curve(workload::canonical_app(profile), config_.max_base_vms);
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+BaseParameters Campaign::derive_parameters(
+    const std::vector<BaseCurve>& curves) {
+  AEVA_REQUIRE(!curves.empty(), "no base curves");
+  BaseParameters base;
+  for (const BaseCurve& curve : curves) {
+    AEVA_REQUIRE(!curve.by_count.empty(), "empty base curve");
+    BaseParameters::PerClass& entry = base.of(curve.profile);
+    entry.solo_time_s = curve.by_count.front().time_s;
+    double best_time = curve.by_count.front().avg_time_vm_s;
+    double best_energy = curve.by_count.front().energy_per_vm_j();
+    entry.osp = 1;
+    entry.ose = 1;
+    for (std::size_t i = 1; i < curve.by_count.size(); ++i) {
+      const Record& r = curve.by_count[i];
+      const int n = static_cast<int>(i) + 1;
+      AEVA_REQUIRE(r.key.total() == n, "base curve out of order at n=", n);
+      if (r.avg_time_vm_s < best_time) {
+        best_time = r.avg_time_vm_s;
+        entry.osp = n;
+      }
+      if (r.energy_per_vm_j() < best_energy) {
+        best_energy = r.energy_per_vm_j();
+        entry.ose = n;
+      }
+    }
+  }
+  return base;
+}
+
+std::vector<Record> Campaign::run_combinations(
+    const BaseParameters& base) const {
+  std::vector<ClassCounts> keys;
+  const int osc = base.cpu.os();
+  const int osm = base.mem.os();
+  const int osi = base.io.os();
+  for (int a = 0; a <= osc; ++a) {
+    for (int b = 0; b <= osm; ++b) {
+      for (int c = 0; c <= osi; ++c) {
+        const int nonzero = (a > 0 ? 1 : 0) + (b > 0 ? 1 : 0) + (c > 0 ? 1 : 0);
+        if (nonzero <= 1) {
+          continue;  // the all-zero key and the pure base tests
+        }
+        keys.push_back(ClassCounts{a, b, c});
+      }
+    }
+  }
+
+  // Experiments are independent and meter streams are key-derived, so the
+  // sweep parallelizes with bit-identical results for any worker count.
+  std::vector<Record> records(keys.size());
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t workers = std::min<std::size_t>(
+      keys.size(),
+      config_.threads > 0 ? static_cast<std::size_t>(config_.threads)
+                          : static_cast<std::size_t>(hardware));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      records[i] = measure(keys[i]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < keys.size();
+             i = next.fetch_add(1)) {
+          records[i] = measure(keys[i]);
+        }
+      });
+    }
+    for (std::thread& worker : pool) {
+      worker.join();
+    }
+  }
+
+  AEVA_ASSERT(static_cast<long long>(records.size()) ==
+                  base.combination_experiment_count(),
+              "combination count mismatch: ran ", records.size(),
+              ", formula says ", base.combination_experiment_count());
+  return records;
+}
+
+ModelDatabase Campaign::build() const {
+  const std::vector<BaseCurve> curves = run_base_tests();
+  const BaseParameters base = derive_parameters(curves);
+  std::vector<Record> records = run_combinations(base);
+  for (const BaseCurve& curve : curves) {
+    records.insert(records.end(), curve.by_count.begin(),
+                   curve.by_count.end());
+  }
+  return ModelDatabase(std::move(records), base);
+}
+
+}  // namespace aeva::modeldb

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file campaign.hpp
+/// The benchmarking campaign that creates the empirical model
+/// (Sect. III-B): base tests with 1..16 same-type VMs per server, followed
+/// by all combinations of workload types inside the optimal-scenario box,
+/// every run metered with the simulated wall-power meter.
+///
+/// This module plays the role of "a platform that we developed to
+/// automatically run the benchmarks and process the data" from the paper.
+
+#include <cstdint>
+#include <vector>
+
+#include "metering/power_meter.hpp"
+#include "modeldb/database.hpp"
+#include "modeldb/record.hpp"
+#include "testbed/microsim.hpp"
+#include "workload/app_spec.hpp"
+#include "workload/profile.hpp"
+
+namespace aeva::modeldb {
+
+/// Campaign parameters.
+struct CampaignConfig {
+  testbed::ServerConfig server;       ///< the testbed hardware
+  int max_base_vms = 16;              ///< base tests sweep 1..N VMs
+  metering::MeterSpec meter;          ///< wall-meter characteristics
+  bool meter_noise = true;            ///< false → noise-free integration
+  std::uint64_t meter_seed = 0x5eedULL;  ///< meter noise stream
+  /// Worker threads for the combination sweep. Every experiment is
+  /// independent and its meter stream is derived from its key, so the
+  /// results are bit-identical for any thread count. 0 → one thread per
+  /// hardware core.
+  int threads = 1;
+};
+
+/// One base-test curve: records for n = 1..max_base_vms of a single class.
+struct BaseCurve {
+  workload::ProfileClass profile{};
+  std::vector<Record> by_count;  ///< index i holds the (i+1)-VM outcome
+};
+
+/// Runs the measurement campaign on the (simulated) testbed and assembles
+/// the model database.
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config);
+
+  /// Runs a homogeneous scaling sweep of an arbitrary application
+  /// (1..max_vms instances started together) — this is how Fig. 2's FFTW
+  /// curve is produced. The records' keys use the app's profile class.
+  [[nodiscard]] std::vector<Record> scaling_curve(const workload::AppSpec& app,
+                                                  int max_vms) const;
+
+  /// Base tests for the three canonical class workloads.
+  [[nodiscard]] std::vector<BaseCurve> run_base_tests() const;
+
+  /// Derives Table I (OSP*/OSE*/T*) from the base curves.
+  [[nodiscard]] static BaseParameters derive_parameters(
+      const std::vector<BaseCurve>& curves);
+
+  /// Runs every combination in the optimal-scenario box, excluding the
+  /// all-zero key and the pure base tests —
+  /// (OSC+1)(OSM+1)(OSI+1) − (1+OSC+OSM+OSI) experiments.
+  [[nodiscard]] std::vector<Record> run_combinations(
+      const BaseParameters& base) const;
+
+  /// Full pipeline: base tests → parameters → combinations → database.
+  [[nodiscard]] ModelDatabase build() const;
+
+  /// Measures a single mixed allocation (used by the ground-truth
+  /// accounting ablation as well as the campaign itself).
+  [[nodiscard]] Record measure(workload::ClassCounts key) const;
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] Record measure_mix(
+      const std::vector<testbed::VmRun>& vms,
+      workload::ClassCounts key) const;
+
+  CampaignConfig config_;
+  testbed::MicroSim sim_;
+};
+
+}  // namespace aeva::modeldb

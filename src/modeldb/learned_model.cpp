@@ -1,0 +1,194 @@
+#include "modeldb/learned_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace aeva::modeldb {
+
+using workload::ClassCounts;
+
+LearnedModel::LearnedModel(const ModelDatabase& db, LearnedModelConfig config)
+    : records_(db.records()), base_(db.base()), config_(config) {
+  AEVA_REQUIRE(config_.neighbours >= 1, "k must be >= 1");
+  AEVA_REQUIRE(config_.distance_power > 0.0, "IDW exponent must be positive");
+  AEVA_REQUIRE(!records_.empty(), "no training records");
+}
+
+namespace {
+
+double key_distance(ClassCounts a, ClassCounts b) {
+  const double dc = a.cpu - b.cpu;
+  const double dm = a.mem - b.mem;
+  const double di = a.io - b.io;
+  return std::sqrt(dc * dc + dm * dm + di * di);
+}
+
+/// Intensive (per-VM / size-free) view of a record.
+struct Intensive {
+  double avg_time = 0.0;
+  double energy_per_vm = 0.0;
+  double max_power = 0.0;
+  double time_cpu = 0.0;
+  double time_mem = 0.0;
+  double time_io = 0.0;
+};
+
+Intensive to_intensive(const Record& r) {
+  Intensive out;
+  out.avg_time = r.avg_time_vm_s;
+  out.energy_per_vm = r.energy_per_vm_j();
+  out.max_power = r.max_power_w;
+  // Per-class times normalized by the mix's average time so they stay
+  // meaningful when blended across neighbours of different sizes.
+  const double avg = r.avg_time_vm_s > 0.0 ? r.avg_time_vm_s : 1.0;
+  out.time_cpu = r.time_cpu_s > 0.0 ? r.time_cpu_s / avg : 0.0;
+  out.time_mem = r.time_mem_s > 0.0 ? r.time_mem_s / avg : 0.0;
+  out.time_io = r.time_io_s > 0.0 ? r.time_io_s / avg : 0.0;
+  return out;
+}
+
+}  // namespace
+
+Record LearnedModel::predict_excluding(ClassCounts key,
+                                       std::ptrdiff_t excluded) const {
+  AEVA_REQUIRE(key.total() > 0, "cannot predict an empty mix");
+
+  // Exact training hit reproduces the measurement.
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (static_cast<std::ptrdiff_t>(i) == excluded) {
+      continue;
+    }
+    if (records_[i].key == key) {
+      return records_[i];
+    }
+  }
+
+  // k nearest neighbours by key distance (deterministic tie-break on the
+  // training order, which is the database sort order).
+  struct Scored {
+    double distance;
+    std::size_t index;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (static_cast<std::ptrdiff_t>(i) == excluded) {
+      continue;
+    }
+    scored.push_back(Scored{key_distance(key, records_[i].key), i});
+  }
+  AEVA_ASSERT(!scored.empty(), "no usable training records");
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.neighbours),
+                            scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end(), [](const Scored& a, const Scored& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      return a.index < b.index;
+                    });
+
+  Intensive blended;
+  double weight_sum = 0.0;
+  double class_w[3] = {0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < k; ++i) {
+    const Record& r = records_[scored[i].index];
+    const double w =
+        1.0 / std::pow(scored[i].distance, config_.distance_power);
+    const Intensive v = to_intensive(r);
+    blended.avg_time += w * v.avg_time;
+    blended.energy_per_vm += w * v.energy_per_vm;
+    blended.max_power += w * v.max_power;
+    // Class columns blend only over neighbours that actually contain the
+    // class, with their own weight mass.
+    if (v.time_cpu > 0.0) {
+      blended.time_cpu += w * v.time_cpu;
+      class_w[0] += w;
+    }
+    if (v.time_mem > 0.0) {
+      blended.time_mem += w * v.time_mem;
+      class_w[1] += w;
+    }
+    if (v.time_io > 0.0) {
+      blended.time_io += w * v.time_io;
+      class_w[2] += w;
+    }
+    weight_sum += w;
+  }
+  AEVA_ASSERT(weight_sum > 0.0, "zero IDW weight mass");
+  blended.avg_time /= weight_sum;
+  blended.energy_per_vm /= weight_sum;
+  blended.max_power /= weight_sum;
+  blended.time_cpu = class_w[0] > 0.0 ? blended.time_cpu / class_w[0] : 0.0;
+  blended.time_mem = class_w[1] > 0.0 ? blended.time_mem / class_w[1] : 0.0;
+  blended.time_io = class_w[2] > 0.0 ? blended.time_io / class_w[2] : 0.0;
+
+  // Reconstruct the extensive record for this mix size.
+  Record out;
+  out.key = key;
+  const double n = key.total();
+  out.avg_time_vm_s = blended.avg_time;
+  out.time_s = blended.avg_time * n;
+  out.energy_j = blended.energy_per_vm * n;
+  out.max_power_w = blended.max_power;
+  out.edp = out.energy_j * out.time_s;
+  // The normalized class ratios multiply the predicted average time.
+  out.time_cpu_s = key.cpu > 0 && blended.time_cpu > 0.0
+                       ? blended.time_cpu * out.avg_time_vm_s
+                       : 0.0;
+  out.time_mem_s = key.mem > 0 && blended.time_mem > 0.0
+                       ? blended.time_mem * out.avg_time_vm_s
+                       : 0.0;
+  out.time_io_s = key.io > 0 && blended.time_io > 0.0
+                      ? blended.time_io * out.avg_time_vm_s
+                      : 0.0;
+  return out;
+}
+
+Record LearnedModel::predict(ClassCounts key) const {
+  return predict_excluding(key, -1);
+}
+
+ModelDatabase LearnedModel::materialize(ClassCounts extent) const {
+  AEVA_REQUIRE(extent.cpu >= 0 && extent.mem >= 0 && extent.io >= 0,
+               "negative extent");
+  AEVA_REQUIRE(extent.total() > 0, "empty extent");
+  std::vector<Record> predicted;
+  for (int a = 0; a <= extent.cpu; ++a) {
+    for (int b = 0; b <= extent.mem; ++b) {
+      for (int c = 0; c <= extent.io; ++c) {
+        const ClassCounts key{a, b, c};
+        if (key.total() == 0) {
+          continue;
+        }
+        predicted.push_back(predict(key));
+      }
+    }
+  }
+  return ModelDatabase(std::move(predicted), base_);
+}
+
+LooStats LearnedModel::leave_one_out() const {
+  LooStats stats;
+  if (records_.size() < 2) {
+    return stats;
+  }
+  double time_err = 0.0;
+  double energy_err = 0.0;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record truth = records_[i];
+    const Record guess =
+        predict_excluding(truth.key, static_cast<std::ptrdiff_t>(i));
+    time_err += std::abs(guess.time_s - truth.time_s) / truth.time_s;
+    energy_err += std::abs(guess.energy_j - truth.energy_j) / truth.energy_j;
+    ++stats.samples;
+  }
+  stats.time_mape = time_err / static_cast<double>(stats.samples);
+  stats.energy_mape = energy_err / static_cast<double>(stats.samples);
+  return stats;
+}
+
+}  // namespace aeva::modeldb

@@ -1,0 +1,57 @@
+#include "modeldb/record.hpp"
+
+#include <stdexcept>
+
+namespace aeva::modeldb {
+
+using workload::ProfileClass;
+
+double Record::time_of(ProfileClass profile) const noexcept {
+  double value = 0.0;
+  switch (profile) {
+    case ProfileClass::kCpu:
+      value = time_cpu_s;
+      break;
+    case ProfileClass::kMem:
+      value = time_mem_s;
+      break;
+    case ProfileClass::kIo:
+      value = time_io_s;
+      break;
+  }
+  return value > 0.0 ? value : avg_time_vm_s;
+}
+
+const BaseParameters::PerClass& BaseParameters::of(
+    ProfileClass profile) const {
+  switch (profile) {
+    case ProfileClass::kCpu:
+      return cpu;
+    case ProfileClass::kMem:
+      return mem;
+    case ProfileClass::kIo:
+      return io;
+  }
+  throw std::invalid_argument("unknown profile class");
+}
+
+BaseParameters::PerClass& BaseParameters::of(ProfileClass profile) {
+  switch (profile) {
+    case ProfileClass::kCpu:
+      return cpu;
+    case ProfileClass::kMem:
+      return mem;
+    case ProfileClass::kIo:
+      return io;
+  }
+  throw std::invalid_argument("unknown profile class");
+}
+
+long long BaseParameters::combination_experiment_count() const noexcept {
+  const long long osc = cpu.os();
+  const long long osm = mem.os();
+  const long long osi = io.os();
+  return (osc + 1) * (osm + 1) * (osi + 1) - (1 + osc + osm + osi);
+}
+
+}  // namespace aeva::modeldb

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file record.hpp
+/// Rows of the empirical allocation-model database.
+///
+/// Field set follows Table II of the paper — `Ncpu`, `Nmem`, `Nio`, `Time`,
+/// `avgTimeVM`, `Energy`, `MaxPower`, `EDP` — plus clearly-marked extension
+/// columns with per-class average completion times, which the paper's
+/// Fig. 4 accounting implicitly requires (DESIGN.md §6).
+
+#include "workload/profile.hpp"
+
+namespace aeva::modeldb {
+
+/// One measured (or estimated) outcome for a VM mix on one server.
+struct Record {
+  /// (Ncpu, Nmem, Nio): the database search key (sorted ascending).
+  workload::ClassCounts key;
+
+  /// Total execution time of the outcome — latest VM completion (seconds).
+  double time_s = 0.0;
+
+  /// Average execution time per VM: time_s / (Ncpu+Nmem+Nio).
+  double avg_time_vm_s = 0.0;
+
+  /// Energy consumed to run the outcome (Joules).
+  double energy_j = 0.0;
+
+  /// Maximum power dissipation measured (Watts).
+  double max_power_w = 0.0;
+
+  /// Energy-delay product (Joules × seconds).
+  double edp = 0.0;
+
+  /// Extension columns: mean completion time of the VMs of each class in
+  /// this mix; 0 when the class is absent.
+  double time_cpu_s = 0.0;
+  double time_mem_s = 0.0;
+  double time_io_s = 0.0;
+
+  /// Mean power over the outcome (W); 0 for a zero-length outcome.
+  [[nodiscard]] double avg_power_w() const noexcept {
+    return time_s > 0.0 ? energy_j / time_s : 0.0;
+  }
+
+  /// Per-class mean completion time; falls back to `avg_time_vm_s` when the
+  /// class column was not populated.
+  [[nodiscard]] double time_of(workload::ProfileClass profile) const noexcept;
+
+  /// Energy per VM (J); the base-test energy-optimum criterion.
+  [[nodiscard]] double energy_per_vm_j() const noexcept {
+    const int n = key.total();
+    return n > 0 ? energy_j / n : 0.0;
+  }
+};
+
+/// Table I of the paper: parameters derived from the base tests.
+struct BaseParameters {
+  struct PerClass {
+    int osp = 1;            ///< #VMs minimizing avg execution time (OSP*)
+    int ose = 1;            ///< #VMs minimizing energy per VM (OSE*)
+    double solo_time_s = 0; ///< runtime of a single test on 1 VM (T*)
+
+    /// OS* = max(OSP*, OSE*) — the combination-grid bound (Sect. III-B).
+    [[nodiscard]] int os() const noexcept { return osp > ose ? osp : ose; }
+  };
+
+  PerClass cpu;
+  PerClass mem;
+  PerClass io;
+
+  [[nodiscard]] const PerClass& of(workload::ProfileClass profile) const;
+  [[nodiscard]] PerClass& of(workload::ProfileClass profile);
+
+  /// Number of combination experiments the campaign must run:
+  /// (OSC+1)(OSM+1)(OSI+1) − (1+OSC+OSM+OSI).
+  [[nodiscard]] long long combination_experiment_count() const noexcept;
+};
+
+}  // namespace aeva::modeldb

@@ -1,0 +1,90 @@
+#include "partition/set_partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace aeva::partition {
+
+SetPartitionGenerator::SetPartitionGenerator(int n)
+    : n_(n),
+      kappa_(static_cast<std::size_t>(std::max(n, 0)), 0),
+      max_(static_cast<std::size_t>(std::max(n, 0)), 0) {
+  AEVA_REQUIRE(n >= 1 && n <= 25, "set size must be in [1, 25], got ", n);
+}
+
+bool SetPartitionGenerator::next() {
+  // Orlov's successor rule: find the rightmost position (excluding 0, which
+  // is pinned to block 0) that can be incremented without breaking the
+  // restricted-growth property κ[i] ≤ M[i−1] + 1, increment it, and reset
+  // everything to its right to block 0.
+  for (int i = n_ - 1; i > 0; --i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (kappa_[ui] <= max_[ui - 1]) {
+      ++kappa_[ui];
+      max_[ui] = std::max(max_[ui - 1], kappa_[ui]);
+      for (int j = i + 1; j < n_; ++j) {
+        const auto uj = static_cast<std::size_t>(j);
+        kappa_[uj] = 0;
+        max_[uj] = max_[ui];
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Partition SetPartitionGenerator::partition() const {
+  return rgs_to_partition(kappa_);
+}
+
+int SetPartitionGenerator::block_count() const noexcept {
+  return max_[static_cast<std::size_t>(n_ - 1)] + 1;
+}
+
+std::uint64_t bell_number(int n) {
+  AEVA_REQUIRE(n >= 0 && n <= 25, "Bell number argument out of [0, 25]: ", n);
+  // Bell triangle.
+  std::vector<std::uint64_t> row = {1};
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::uint64_t> next_row;
+    next_row.reserve(row.size() + 1);
+    next_row.push_back(row.back());
+    for (const std::uint64_t v : row) {
+      next_row.push_back(next_row.back() + v);
+    }
+    row = std::move(next_row);
+  }
+  return row.front();
+}
+
+std::size_t for_each_partition(
+    int n, const std::function<bool(const Partition&)>& visit) {
+  AEVA_REQUIRE(static_cast<bool>(visit), "null visitor");
+  SetPartitionGenerator gen(n);
+  std::size_t visited = 0;
+  do {
+    ++visited;
+    if (!visit(gen.partition())) {
+      return visited;
+    }
+  } while (gen.next());
+  return visited;
+}
+
+Partition rgs_to_partition(const std::vector<int>& rgs) {
+  AEVA_REQUIRE(!rgs.empty(), "empty RGS");
+  int blocks = 0;
+  for (std::size_t i = 0; i < rgs.size(); ++i) {
+    AEVA_REQUIRE(rgs[i] >= 0 && rgs[i] <= blocks,
+                 "not a restricted growth string at position ", i);
+    blocks = std::max(blocks, rgs[i] + 1);
+  }
+  Partition out(static_cast<std::size_t>(blocks));
+  for (std::size_t i = 0; i < rgs.size(); ++i) {
+    out[static_cast<std::size_t>(rgs[i])].push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace aeva::partition

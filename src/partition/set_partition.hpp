@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file set_partition.hpp
+/// Efficient generation of set partitions.
+///
+/// The paper's brute-force allocation search enumerates partitions of the
+/// input VM set "using the search algorithm discussed in [21], which is
+/// efficient in terms of complexity" — M. Orlov, *Efficient Generation of
+/// Set Partitions* (2002). That scheme encodes a partition of an n-element
+/// set as a restricted growth string (RGS) κ with auxiliary maxima M and
+/// steps through all partitions in lexicographic order with O(n) work per
+/// step and no recursion. This file implements it, plus Bell numbers for
+/// counting and a blockwise materialization.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace aeva::partition {
+
+/// One block: indices of the elements it contains (ascending).
+using Block = std::vector<int>;
+
+/// A partition: disjoint blocks covering {0, …, n−1}, ordered by their
+/// smallest element (the canonical RGS block order).
+using Partition = std::vector<Block>;
+
+/// Iterates the set partitions of {0, …, n−1} in lexicographic RGS order.
+///
+/// Usage:
+///   SetPartitionGenerator gen(n);
+///   do { use(gen.partition()); } while (gen.next());
+class SetPartitionGenerator {
+ public:
+  /// n must be in [1, 25] (Bell(26) overflows 64 bits and enumeration
+  /// beyond that is hopeless anyway).
+  explicit SetPartitionGenerator(int n);
+
+  /// Advances to the next partition; false when exhausted (the generator
+  /// then stays on the last partition).
+  bool next();
+
+  /// The current restricted growth string: element i belongs to block
+  /// rgs()[i].
+  [[nodiscard]] const std::vector<int>& rgs() const noexcept { return kappa_; }
+
+  /// Materializes the current partition as blocks.
+  [[nodiscard]] Partition partition() const;
+
+  /// Number of blocks in the current partition.
+  [[nodiscard]] int block_count() const noexcept;
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+
+ private:
+  int n_;
+  std::vector<int> kappa_;  ///< RGS
+  std::vector<int> max_;    ///< M[i] = max(κ[0..i])
+};
+
+/// Bell number B(n) — the number of set partitions; n in [0, 25].
+[[nodiscard]] std::uint64_t bell_number(int n);
+
+/// Visits every partition of {0, …, n−1}; the visitor returns false to stop
+/// early. Returns the number of partitions visited.
+std::size_t for_each_partition(
+    int n, const std::function<bool(const Partition&)>& visit);
+
+/// Converts an RGS to blocks (shared by the generator and tests).
+[[nodiscard]] Partition rgs_to_partition(const std::vector<int>& rgs);
+
+}  // namespace aeva::partition

@@ -1,0 +1,104 @@
+#include "profiling/profiler.hpp"
+
+#include "util/error.hpp"
+
+namespace aeva::profiling {
+
+using workload::ProfileClass;
+using workload::Subsystem;
+
+std::vector<Subsystem> ApplicationProfile::intensive_subsystems() const {
+  std::vector<Subsystem> out;
+  for (const auto& report : subsystems) {
+    if (report.intensive) {
+      out.push_back(report.subsystem);
+    }
+  }
+  return out;
+}
+
+Profiler::Profiler(testbed::ServerConfig server, CollectorSpec collector,
+                   ClassifierThresholds thresholds)
+    : sim_(server), collector_(collector), thresholds_(thresholds) {
+  AEVA_REQUIRE(collector_.period_s > 0.0,
+               "collector period must be positive");
+  AEVA_REQUIRE(thresholds_.cpu_cores > 0.0 && thresholds_.mem_bw_share > 0.0 &&
+                   thresholds_.disk_mbps > 0.0 && thresholds_.net_mbps > 0.0,
+               "classifier thresholds must be positive");
+}
+
+Profiler::Profiler()
+    : Profiler(testbed::testbed_server(), CollectorSpec{},
+               ClassifierThresholds{}) {}
+
+ProfileClass map_to_class(bool cpu, bool mem, bool disk, bool net) {
+  if (disk || (net && !cpu)) {
+    return ProfileClass::kIo;
+  }
+  if (mem) {
+    return ProfileClass::kMem;
+  }
+  return ProfileClass::kCpu;
+}
+
+ApplicationProfile Profiler::profile(const workload::AppSpec& app) const {
+  app.validate();
+  const testbed::SimResult run =
+      sim_.run({testbed::VmRun{app, 0.0}});
+
+  ApplicationProfile out;
+  out.app_name = app.name;
+  out.runtime_s = run.vms.front().runtime_s();
+
+  const auto& cfg = sim_.config();
+  // Conversion from busy-share utilization to natural units per subsystem.
+  const auto natural_scale = [&](Subsystem s) {
+    switch (s) {
+      case Subsystem::kCpu:
+        return static_cast<double>(cfg.cores);  // share → cores
+      case Subsystem::kMemory:
+        return cfg.mem_bw_capacity;  // share → reference-bus units
+      case Subsystem::kDisk:
+        return cfg.disk_capacity_mbps();  // share → MB/s
+      case Subsystem::kNetwork:
+        return cfg.net_capacity_mbps();  // share → MB/s
+    }
+    return 1.0;
+  };
+  const auto threshold = [&](Subsystem s) {
+    switch (s) {
+      case Subsystem::kCpu:
+        return thresholds_.cpu_cores;
+      case Subsystem::kMemory:
+        return thresholds_.mem_bw_share;
+      case Subsystem::kDisk:
+        return thresholds_.disk_mbps;
+      case Subsystem::kNetwork:
+        return thresholds_.net_mbps;
+    }
+    return 0.0;
+  };
+
+  for (std::size_t i = 0; i < workload::kAllSubsystems.size(); ++i) {
+    const Subsystem sub = workload::kAllSubsystems[i];
+    SubsystemReport report;
+    report.subsystem = sub;
+    report.utilization = run.utilization.of(sub).resample(collector_.period_s);
+    const double scale = natural_scale(sub);
+    report.mean_natural =
+        run.utilization.of(sub).time_weighted_mean() * scale;
+    report.peak_natural = run.utilization.of(sub).max_value() * scale;
+    report.intensive = report.mean_natural >= threshold(sub);
+    out.subsystems[i] = std::move(report);
+  }
+
+  const auto flagged = [&](Subsystem s) {
+    return out.subsystems[static_cast<std::size_t>(s)].intensive;
+  };
+  out.mapped_class =
+      map_to_class(flagged(Subsystem::kCpu), flagged(Subsystem::kMemory),
+                   flagged(Subsystem::kDisk), flagged(Subsystem::kNetwork));
+  return out;
+}
+
+}  // namespace aeva::profiling

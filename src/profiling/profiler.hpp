@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file profiler.hpp
+/// Application profiling along the four subsystem dimensions.
+///
+/// Emulates the paper's profiling workflow (Sect. III-A): run the
+/// application on an otherwise idle server while OS-level collectors
+/// sample subsystem activity — `mpstat` for CPU, `perfctr`/PAPI L2-miss
+/// counters for memory activity, `iostat` for disk, `netstat` for the
+/// network — then label the application X-intensive for every subsystem X
+/// whose *average* demand is significant, and map the labels onto the three
+/// model-database classes (CPU / MEM / IO).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "testbed/microsim.hpp"
+#include "util/time_series.hpp"
+#include "workload/app_spec.hpp"
+#include "workload/profile.hpp"
+
+namespace aeva::profiling {
+
+/// Sampling cadence of the collectors (the paper's tools report at ~1 Hz).
+struct CollectorSpec {
+  double period_s = 1.0;
+};
+
+/// "Significant average demand" thresholds, in natural per-subsystem units:
+/// CPU in cores, memory in bandwidth share, disk and network in MB/s.
+struct ClassifierThresholds {
+  double cpu_cores = 0.35;
+  double mem_bw_share = 0.15;
+  double disk_mbps = 25.0;
+  double net_mbps = 10.0;
+};
+
+/// Measured behaviour of one subsystem while the application ran.
+struct SubsystemReport {
+  workload::Subsystem subsystem{};
+  util::TimeSeries utilization;  ///< sampled busy share of capacity, [0,1]
+  double mean_natural = 0.0;     ///< mean demand in natural units (see above)
+  double peak_natural = 0.0;     ///< peak demand in natural units
+  bool intensive = false;        ///< mean demand ≥ classifier threshold
+};
+
+/// Full profiling outcome for one application.
+struct ApplicationProfile {
+  std::string app_name;
+  double runtime_s = 0.0;  ///< solo runtime on the idle server
+  std::array<SubsystemReport, workload::kSubsystemCount> subsystems;
+
+  /// The model-database class the intensity labels map to.
+  workload::ProfileClass mapped_class{};
+
+  /// Subsystems flagged intensive, in enum order.
+  [[nodiscard]] std::vector<workload::Subsystem> intensive_subsystems() const;
+};
+
+/// Profiles applications by running them solo on a simulated testbed
+/// server and sampling the subsystem collectors.
+class Profiler {
+ public:
+  Profiler(testbed::ServerConfig server, CollectorSpec collector,
+           ClassifierThresholds thresholds);
+
+  /// Convenience: default collectors/thresholds on the default testbed.
+  Profiler();
+
+  /// Runs `app` alone on the server and produces its profile.
+  [[nodiscard]] ApplicationProfile profile(const workload::AppSpec& app) const;
+
+  [[nodiscard]] const ClassifierThresholds& thresholds() const noexcept {
+    return thresholds_;
+  }
+
+ private:
+  testbed::MicroSim sim_;
+  CollectorSpec collector_;
+  ClassifierThresholds thresholds_;
+};
+
+/// Maps intensity flags onto the paper's three classes:
+/// disk-intensive (or network-intensive without CPU intensity) → IO,
+/// otherwise memory-intensive → MEM, otherwise → CPU.
+[[nodiscard]] workload::ProfileClass map_to_class(bool cpu, bool mem,
+                                                  bool disk, bool net);
+
+}  // namespace aeva::profiling

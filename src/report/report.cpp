@@ -1,0 +1,155 @@
+#include "report/report.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace aeva::report {
+
+Table::Table(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {
+  AEVA_REQUIRE(!title_.empty(), "table needs a title");
+  AEVA_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  AEVA_REQUIRE(cells.size() == header_.size(), "row arity ", cells.size(),
+               " does not match header arity ", header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::caption(std::string text) {
+  caption_ = std::move(text);
+  return *this;
+}
+
+namespace {
+
+std::string md_escape(const std::string& cell) {
+  std::string out;
+  for (const char c : cell) {
+    if (c == '|') {
+      out += "\\|";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  os << "**" << title_ << "**\n\n";
+  os << "|";
+  for (const std::string& h : header_) {
+    os << " " << md_escape(h) << " |";
+  }
+  os << "\n|";
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    os << "---|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    os << "|";
+    for (const std::string& cell : row) {
+      os << " " << md_escape(cell) << " |";
+    }
+    os << "\n";
+  }
+  if (!caption_.empty()) {
+    os << "\n*" << caption_ << "*\n";
+  }
+  return os.str();
+}
+
+util::CsvTable Table::to_csv() const {
+  util::CsvTable csv;
+  csv.header = header_;
+  csv.rows = rows_;
+  return csv;
+}
+
+Report::Report(std::string title) : title_(std::move(title)) {
+  AEVA_REQUIRE(!title_.empty(), "report needs a title");
+}
+
+Report& Report::paragraph(std::string text) {
+  blocks_.push_back(Block{Block::Kind::kParagraph, std::move(text), 0});
+  return *this;
+}
+
+Report& Report::section(std::string heading) {
+  blocks_.push_back(Block{Block::Kind::kSection, std::move(heading), 0});
+  return *this;
+}
+
+Report& Report::table(Table table) {
+  blocks_.push_back(Block{Block::Kind::kTable, "", tables_.size()});
+  tables_.push_back(std::move(table));
+  return *this;
+}
+
+std::string Report::to_markdown() const {
+  std::ostringstream os;
+  os << "# " << title_ << "\n\n";
+  for (const Block& block : blocks_) {
+    switch (block.kind) {
+      case Block::Kind::kParagraph:
+        os << block.text << "\n\n";
+        break;
+      case Block::Kind::kSection:
+        os << "## " << block.text << "\n\n";
+        break;
+      case Block::Kind::kTable:
+        os << tables_[block.table_index].to_markdown() << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+void Report::write(const std::string& directory) const {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create report directory " + directory +
+                             ": " + ec.message());
+  }
+  const std::filesystem::path dir(directory);
+  {
+    std::ofstream md(dir / "report.md");
+    if (!md) {
+      throw std::runtime_error("cannot write report.md in " + directory);
+    }
+    md << to_markdown();
+  }
+  for (const Table& table : tables_) {
+    util::write_csv_file((dir / (slugify(table.title()) + ".csv")).string(),
+                         table.to_csv());
+  }
+}
+
+std::string slugify(const std::string& title) {
+  std::string slug;
+  bool dash_pending = false;
+  for (const unsigned char c : title) {
+    if (std::isalnum(c) != 0) {
+      if (dash_pending && !slug.empty()) {
+        slug += '-';
+      }
+      dash_pending = false;
+      slug += static_cast<char>(std::tolower(c));
+    } else {
+      dash_pending = true;
+    }
+  }
+  return slug.empty() ? "table" : slug;
+}
+
+}  // namespace aeva::report

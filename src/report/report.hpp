@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file report.hpp
+/// Structured experiment reporting.
+///
+/// Benches print tables to stdout; this module additionally captures them
+/// as structured data and renders Markdown and CSV artifacts, so a full
+/// reproduction run can leave a self-contained report directory behind
+/// (see examples/paper_reproduction.cpp).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace aeva::report {
+
+/// One named table of string cells (header + rows), with optional caption.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header);
+
+  /// Adds a data row; arity must match the header.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Free-form caption shown under the table in Markdown.
+  Table& caption(std::string text);
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+  /// GitHub-flavoured Markdown rendering.
+  [[nodiscard]] std::string to_markdown() const;
+
+  /// CSV rendering (header + rows).
+  [[nodiscard]] util::CsvTable to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string caption_;
+};
+
+/// An ordered collection of tables plus prose sections, renderable as one
+/// Markdown document and a sidecar CSV per table.
+class Report {
+ public:
+  explicit Report(std::string title);
+
+  /// Appends a prose paragraph (Markdown allowed).
+  Report& paragraph(std::string text);
+
+  /// Appends a section heading.
+  Report& section(std::string heading);
+
+  /// Appends a table (copied).
+  Report& table(Table table);
+
+  /// Renders the whole report as Markdown.
+  [[nodiscard]] std::string to_markdown() const;
+
+  /// Writes `<dir>/report.md` plus one `<dir>/<slug>.csv` per table.
+  /// Creates the directory; throws std::runtime_error on I/O failure.
+  void write(const std::string& directory) const;
+
+  [[nodiscard]] std::size_t table_count() const noexcept {
+    return tables_.size();
+  }
+
+ private:
+  struct Block {
+    enum class Kind { kParagraph, kSection, kTable } kind;
+    std::string text;        // paragraph / section
+    std::size_t table_index = 0;
+  };
+
+  std::string title_;
+  std::vector<Block> blocks_;
+  std::vector<Table> tables_;
+};
+
+/// Filesystem-safe slug of a title ("Figure 5 — Makespan" → "figure-5-makespan").
+[[nodiscard]] std::string slugify(const std::string& title);
+
+}  // namespace aeva::report

@@ -1,0 +1,90 @@
+#include "testbed/contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace aeva::testbed {
+
+SubsystemLoads solve_contention(const ServerConfig& cfg,
+                                const std::vector<ActivePhase>& phases,
+                                std::vector<double>& rates) {
+  SubsystemLoads loads;
+  rates.assign(phases.size(), 0.0);
+  if (phases.empty()) {
+    return loads;
+  }
+  const auto n = static_cast<double>(phases.size());
+
+  // --- capacities ----------------------------------------------------------
+  const double cores = static_cast<double>(cfg.cores);
+  const double hypervisor_burn =
+      std::min(cores * 0.5, cfg.per_vm_cpu_overhead * n);
+  const double cpu_cap = cores - hypervisor_burn;
+  const double inflation = 1.0 + cfg.sched_overhead * std::max(0.0, n - cores);
+  const double disk_cap = cfg.disk_capacity_mbps();
+  const double net_cap = cfg.net_capacity_mbps();
+
+  // --- memory overcommit ----------------------------------------------------
+  double footprint = 0.0;
+  for (const ActivePhase& phase : phases) {
+    footprint += phase.footprint_mb;
+  }
+  const double avail = cfg.guest_mem_mb();
+  const double over_mb = std::max(0.0, footprint - avail);
+  const double over_ratio = over_mb / avail;
+  const double thrash = 1.0 + cfg.thrash_coeff * over_ratio * over_ratio;
+  const double swap_mbps = cfg.swap_disk_mbps_per_gb * (over_mb / 1024.0);
+
+  // --- total demands --------------------------------------------------------
+  double cpu_demand = 0.0;
+  double mem_demand = 0.0;
+  double disk_demand = swap_mbps;
+  double net_demand = 0.0;
+  for (const ActivePhase& phase : phases) {
+    const workload::Demand& d = *phase.demand;
+    cpu_demand += d.cpu_cores * inflation;
+    mem_demand += d.mem_bw_share;
+    disk_demand += d.disk_mbps;
+    net_demand += d.net_mbps;
+  }
+
+  // --- proportional grant ratios ---------------------------------------------
+  const auto ratio = [](double cap, double demand) {
+    return demand <= cap ? 1.0 : cap / demand;
+  };
+  const double rho_cpu = ratio(cpu_cap, cpu_demand);
+  const double rho_mem = ratio(cfg.mem_bw_capacity, mem_demand);
+  const double rho_disk = ratio(disk_cap, disk_demand);
+  const double rho_net = ratio(net_cap, net_demand);
+
+  // --- per-VM progress rates ---------------------------------------------------
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const workload::Demand& d = *phases[i].demand;
+    double rate = 1.0;
+    if (d.cpu_cores > 0.0) rate = std::min(rate, rho_cpu);
+    if (d.mem_bw_share > 0.0) rate = std::min(rate, rho_mem);
+    if (d.disk_mbps > 0.0) rate = std::min(rate, rho_disk);
+    if (d.net_mbps > 0.0) rate = std::min(rate, rho_net);
+    rates[i] = rate / thrash;
+    AEVA_ASSERT(rates[i] > 0.0, "VM stalled with zero progress rate");
+  }
+
+  // --- subsystem utilizations for the power model ------------------------------
+  const double granted_cpu = std::min(cpu_demand * rho_cpu, cpu_cap);
+  loads.cpu = std::min(1.0, (granted_cpu + hypervisor_burn) / cores);
+  loads.memory =
+      std::min(1.0, mem_demand * rho_mem / cfg.mem_bw_capacity);
+  loads.disk = std::min(1.0, disk_demand * rho_disk / disk_cap);
+  loads.network = std::min(1.0, net_demand * rho_net / net_cap);
+  return loads;
+}
+
+double instantaneous_power_w(const PowerModel& pm,
+                             const SubsystemLoads& loads) {
+  return pm.idle_w + pm.cpu_max_w * loads.cpu + pm.mem_max_w * loads.memory +
+         pm.disk_max_w * loads.disk + pm.net_max_w * loads.network;
+}
+
+}  // namespace aeva::testbed

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file contention.hpp
+/// The proportional-share contention core shared by the batch
+/// microsimulator (`MicroSim`) and the online server (`OnlineServer`).
+///
+/// Given the set of phases currently executing on one server, computes
+/// each VM's fluid progress rate and the subsystem utilizations that feed
+/// the power model. Semantics (see microsim.hpp): every demanded resource
+/// is granted proportionally under oversubscription, a phase progresses at
+/// its most-throttled resource's share, hypervisor and scheduling overhead
+/// tax the CPU, and memory overcommit applies a global thrashing slowdown
+/// plus swap traffic on the disks.
+
+#include <vector>
+
+#include "testbed/server_config.hpp"
+#include "workload/app_spec.hpp"
+
+namespace aeva::testbed {
+
+/// One active VM's view for the contention solve.
+struct ActivePhase {
+  const workload::Demand* demand = nullptr;  ///< current phase demand
+  double footprint_mb = 0.0;                 ///< resident set of the VM
+};
+
+/// Subsystem busy shares (each in [0, 1]) for the power model.
+struct SubsystemLoads {
+  double cpu = 0.0;
+  double memory = 0.0;
+  double disk = 0.0;
+  double network = 0.0;
+};
+
+/// Computes per-VM progress rates (written into `rates`, resized to match
+/// `phases`) and returns the subsystem loads. An empty set yields zero
+/// loads.
+SubsystemLoads solve_contention(const ServerConfig& config,
+                                const std::vector<ActivePhase>& phases,
+                                std::vector<double>& rates);
+
+/// Instantaneous power draw for the given loads.
+[[nodiscard]] double instantaneous_power_w(const PowerModel& power,
+                                           const SubsystemLoads& loads);
+
+}  // namespace aeva::testbed

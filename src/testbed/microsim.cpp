@@ -1,0 +1,194 @@
+#include "testbed/microsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "testbed/contention.hpp"
+#include "util/error.hpp"
+
+namespace aeva::testbed {
+
+using workload::Demand;
+using workload::ProfileClass;
+using workload::Subsystem;
+
+const util::TimeSeries& UtilizationTrace::of(Subsystem s) const {
+  switch (s) {
+    case Subsystem::kCpu:
+      return cpu;
+    case Subsystem::kMemory:
+      return memory;
+    case Subsystem::kDisk:
+      return disk;
+    case Subsystem::kNetwork:
+      return network;
+  }
+  throw std::invalid_argument("unknown subsystem");
+}
+
+double SimResult::avg_time_per_vm_s() const {
+  AEVA_REQUIRE(!vms.empty(), "no VM outcomes");
+  double max_finish = 0.0;
+  for (const auto& vm : vms) {
+    max_finish = std::max(max_finish, vm.finish_s);
+  }
+  return max_finish / static_cast<double>(vms.size());
+}
+
+MicroSim::MicroSim(ServerConfig config) : config_(config) {
+  config_.validate();
+}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Mutable per-VM execution state.
+struct VmState {
+  const workload::AppSpec* app = nullptr;
+  double start_s = 0.0;
+  std::size_t phase = 0;          // current phase index
+  double remaining_nominal_s = 0; // work left in current phase at rate 1
+  bool started = false;
+  bool finished = false;
+  double finish_s = 0.0;
+  double rate = 0.0;              // progress rate for the current interval
+};
+
+/// Computes per-VM progress rates and subsystem utilizations for the set
+/// of currently active VMs via the shared contention core.
+SubsystemLoads compute_rates(const ServerConfig& cfg,
+                             std::vector<VmState*>& active) {
+  std::vector<ActivePhase> phases;
+  phases.reserve(active.size());
+  for (const VmState* vm : active) {
+    phases.push_back(ActivePhase{&vm->app->phases[vm->phase].demand,
+                                 vm->app->mem_footprint_mb});
+  }
+  std::vector<double> rates;
+  const SubsystemLoads loads = solve_contention(cfg, phases, rates);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    active[i]->rate = rates[i];
+  }
+  return loads;
+}
+
+}  // namespace
+
+SimResult MicroSim::run(const std::vector<VmRun>& vms) const {
+  AEVA_REQUIRE(!vms.empty(), "MicroSim::run needs at least one VM");
+  std::vector<VmState> states(vms.size());
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    vms[i].app.validate();
+    AEVA_REQUIRE(vms[i].start_s >= 0.0, "negative VM start time: ",
+                 vms[i].start_s);
+    states[i].app = &vms[i].app;
+    states[i].start_s = vms[i].start_s;
+    states[i].remaining_nominal_s = vms[i].app.phases.front().nominal_s;
+  }
+
+  SimResult result;
+  double now = states.front().start_s;
+  for (const auto& s : states) {
+    now = std::min(now, s.start_s);
+  }
+
+  const auto record = [&](double t0, double t1, const SubsystemLoads& loads) {
+    const double p = instantaneous_power_w(config_.power, loads);
+    result.power_w.append(t0, p);
+    result.power_w.append(t1, p);
+    result.utilization.cpu.append(t0, loads.cpu);
+    result.utilization.cpu.append(t1, loads.cpu);
+    result.utilization.memory.append(t0, loads.memory);
+    result.utilization.memory.append(t1, loads.memory);
+    result.utilization.disk.append(t0, loads.disk);
+    result.utilization.disk.append(t1, loads.disk);
+    result.utilization.network.append(t0, loads.network);
+    result.utilization.network.append(t1, loads.network);
+    result.max_power_w = std::max(result.max_power_w, p);
+  };
+
+  std::size_t remaining = states.size();
+  std::size_t guard = 0;
+  const std::size_t max_events = 64 + states.size() * 64 +
+                                 [&] {
+                                   std::size_t phases = 0;
+                                   for (const auto& s : states) {
+                                     phases += s.app->phases.size();
+                                   }
+                                   return phases * 4;
+                                 }();
+  while (remaining > 0) {
+    AEVA_ASSERT(++guard <= max_events,
+                "microsim event budget exhausted — model diverged");
+
+    // Activate VMs whose start time has arrived.
+    std::vector<VmState*> active;
+    double next_start = std::numeric_limits<double>::infinity();
+    for (auto& s : states) {
+      if (s.finished) {
+        continue;
+      }
+      if (s.start_s <= now + kEps) {
+        s.started = true;
+        active.push_back(&s);
+      } else {
+        next_start = std::min(next_start, s.start_s);
+      }
+    }
+
+    if (active.empty()) {
+      // Idle gap until the next arrival: baseline power only.
+      AEVA_ASSERT(std::isfinite(next_start), "no active VMs and no arrivals");
+      record(now, next_start, SubsystemLoads{});
+      now = next_start;
+      continue;
+    }
+
+    const SubsystemLoads loads = compute_rates(config_, active);
+
+    // Earliest next event: a phase completion or a pending VM start.
+    double dt = next_start - now;
+    for (const VmState* vm : active) {
+      dt = std::min(dt, vm->remaining_nominal_s / vm->rate);
+    }
+    AEVA_ASSERT(dt > 0.0 && std::isfinite(dt), "non-positive event step");
+
+    record(now, now + dt, loads);
+
+    for (VmState* vm : active) {
+      vm->remaining_nominal_s -= vm->rate * dt;
+      if (vm->remaining_nominal_s <= kEps * vm->app->phases[vm->phase].nominal_s +
+                                         kEps) {
+        ++vm->phase;
+        if (vm->phase >= vm->app->phases.size()) {
+          vm->finished = true;
+          vm->finish_s = now + dt;
+          --remaining;
+        } else {
+          vm->remaining_nominal_s = vm->app->phases[vm->phase].nominal_s;
+        }
+      }
+    }
+    now += dt;
+  }
+
+  double first_start = std::numeric_limits<double>::infinity();
+  double last_finish = 0.0;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    VmOutcome outcome;
+    outcome.app_name = states[i].app->name;
+    outcome.profile = states[i].app->profile;
+    outcome.start_s = states[i].start_s;
+    outcome.finish_s = states[i].finish_s;
+    result.vms.push_back(outcome);
+    first_start = std::min(first_start, outcome.start_s);
+    last_finish = std::max(last_finish, outcome.finish_s);
+  }
+  result.makespan_s = last_finish - first_start;
+  result.energy_j = result.power_w.integrate();
+  return result;
+}
+
+}  // namespace aeva::testbed

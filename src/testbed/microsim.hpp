@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file microsim.hpp
+/// Fluid-flow simulator of one virtualized server.
+///
+/// This is the stand-in for the paper's physical testbed (DESIGN.md,
+/// substitution table): it runs a set of VM-hosted applications to
+/// completion under proportional-share contention on four subsystems
+/// (CPU, memory bandwidth, disk, network), hypervisor/scheduling overhead,
+/// and memory-overcommit thrashing, and records power and per-subsystem
+/// utilization over time. The benchmarking campaign (`modeldb::Campaign`)
+/// drives it exactly the way the authors drove their Dell servers.
+///
+/// Model: at any instant each active VM executes one phase of its
+/// application. Every demanded resource is granted proportionally when
+/// oversubscribed; the phase progresses at the rate of its most-throttled
+/// resource, further slowed by the thrashing multiplier when resident
+/// footprints exceed guest memory. Events (VM starts, phase completions)
+/// are processed in order; between events all rates are constant, so the
+/// simulation is exact, not time-stepped.
+
+#include <string>
+#include <vector>
+
+#include "testbed/server_config.hpp"
+#include "util/time_series.hpp"
+#include "workload/app_spec.hpp"
+#include "workload/profile.hpp"
+
+namespace aeva::testbed {
+
+/// One VM to run: an application model plus its arrival time.
+struct VmRun {
+  workload::AppSpec app;
+  double start_s = 0.0;
+};
+
+/// Completion record for one VM.
+struct VmOutcome {
+  std::string app_name;
+  workload::ProfileClass profile{};
+  double start_s = 0.0;
+  double finish_s = 0.0;
+
+  /// Wall-clock residence time on the server.
+  [[nodiscard]] double runtime_s() const noexcept { return finish_s - start_s; }
+};
+
+/// Per-subsystem utilization traces (each value is the busy share of the
+/// subsystem's total capacity, in [0, 1]).
+struct UtilizationTrace {
+  util::TimeSeries cpu{"cpu", "share"};
+  util::TimeSeries memory{"memory", "share"};
+  util::TimeSeries disk{"disk", "share"};
+  util::TimeSeries network{"network", "share"};
+
+  /// Access by subsystem enum.
+  [[nodiscard]] const util::TimeSeries& of(workload::Subsystem s) const;
+};
+
+/// Full result of one server run.
+struct SimResult {
+  std::vector<VmOutcome> vms;
+  double makespan_s = 0.0;       ///< latest finish − earliest start
+  double energy_j = 0.0;         ///< exact ∫P dt (noise-free ground truth)
+  double max_power_w = 0.0;      ///< peak instantaneous power
+  util::TimeSeries power_w{"power", "W"};  ///< event-aligned power trace
+  UtilizationTrace utilization;
+
+  /// The paper's figure of merit: max execution time / #VMs (Sect. III).
+  [[nodiscard]] double avg_time_per_vm_s() const;
+};
+
+/// The server simulator. Stateless between runs; safe to share const.
+class MicroSim {
+ public:
+  /// Validates and stores the hardware description.
+  explicit MicroSim(ServerConfig config);
+
+  /// Runs the given VMs to completion and returns the full trace.
+  /// Throws std::invalid_argument on an empty VM set, an invalid app spec,
+  /// or a negative start time.
+  [[nodiscard]] SimResult run(const std::vector<VmRun>& vms) const;
+
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+
+ private:
+  ServerConfig config_;
+};
+
+}  // namespace aeva::testbed

@@ -1,0 +1,122 @@
+#include "testbed/online_server.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace aeva::testbed {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+OnlineServer::OnlineServer(ServerConfig config) : config_(config) {
+  config_.validate();
+}
+
+std::int64_t OnlineServer::add_vm(const workload::AppSpec& app,
+                                  double runtime_scale) {
+  app.validate();
+  AEVA_REQUIRE(runtime_scale > 0.0, "runtime scale must be positive, got ",
+               runtime_scale);
+  Vm vm;
+  vm.handle = next_handle_++;
+  vm.app = app.scaled_runtime(runtime_scale);
+  vm.phase = 0;
+  vm.remaining_nominal_s = vm.app.phases.front().nominal_s;
+  vms_.push_back(std::move(vm));
+  resolve();
+  return vms_.back().handle;
+}
+
+void OnlineServer::resolve() {
+  std::vector<ActivePhase> phases;
+  phases.reserve(vms_.size());
+  for (const Vm& vm : vms_) {
+    phases.push_back(ActivePhase{&vm.app.phases[vm.phase].demand,
+                                 vm.app.mem_footprint_mb});
+  }
+  std::vector<double> rates;
+  loads_ = solve_contention(config_, phases, rates);
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    vms_[i].rate = rates[i];
+  }
+}
+
+double OnlineServer::next_event_in() const {
+  double soonest = std::numeric_limits<double>::infinity();
+  for (const Vm& vm : vms_) {
+    soonest = std::min(soonest, vm.remaining_nominal_s / vm.rate);
+  }
+  return soonest;
+}
+
+void OnlineServer::advance(double dt, std::vector<std::int64_t>& completed) {
+  AEVA_REQUIRE(dt >= 0.0, "cannot advance time backwards: ", dt);
+  double left = dt;
+  // Generous budget: every sub-step but the last retires at least one
+  // phase of some VM.
+  std::size_t phase_budget = 16;
+  for (const Vm& vm : vms_) {
+    phase_budget += vm.app.phases.size() + 1;
+  }
+  std::size_t guard = 0;
+  while (left > kEps && !vms_.empty()) {
+    AEVA_ASSERT(++guard <= phase_budget * 4,
+                "online server sub-step budget exhausted");
+
+    const double step = std::min(left, next_event_in());
+    // Accrue progress for the sub-step.
+    for (Vm& vm : vms_) {
+      vm.remaining_nominal_s -= vm.rate * step;
+    }
+    left -= step;
+
+    // Retire finished phases / VMs.
+    bool membership_changed = false;
+    bool phase_changed = false;
+    for (std::size_t i = 0; i < vms_.size();) {
+      Vm& vm = vms_[i];
+      if (vm.remaining_nominal_s <=
+          kEps * vm.app.phases[vm.phase].nominal_s + kEps) {
+        ++vm.phase;
+        if (vm.phase >= vm.app.phases.size()) {
+          completed.push_back(vm.handle);
+          vms_.erase(vms_.begin() + static_cast<std::ptrdiff_t>(i));
+          membership_changed = true;
+          continue;
+        }
+        vm.remaining_nominal_s = vm.app.phases[vm.phase].nominal_s;
+        phase_changed = true;
+      }
+      ++i;
+    }
+    if (membership_changed || phase_changed) {
+      resolve();
+    }
+  }
+}
+
+double OnlineServer::power_w() const {
+  return instantaneous_power_w(config_.power, loads_);
+}
+
+workload::ClassCounts OnlineServer::mix() const {
+  workload::ClassCounts counts;
+  for (const Vm& vm : vms_) {
+    ++counts.of(vm.app.profile);
+  }
+  return counts;
+}
+
+std::vector<ResidentVm> OnlineServer::residents() const {
+  std::vector<ResidentVm> out;
+  out.reserve(vms_.size());
+  for (const Vm& vm : vms_) {
+    out.push_back(ResidentVm{vm.handle, vm.app.profile});
+  }
+  return out;
+}
+
+}  // namespace aeva::testbed

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file online_server.hpp
+/// Incremental (online) fluid server.
+///
+/// Where `MicroSim` runs a fixed VM set to completion (the benchmarking
+/// campaign's shape), the online server is driven from outside: VMs arrive
+/// at arbitrary times, time advances in caller-chosen steps, completions
+/// are reported as they happen. Same contention physics (the shared
+/// `solve_contention` core), so a VM set admitted at t = 0 completes at
+/// exactly the MicroSim times — a property the tests pin down.
+///
+/// This is the substrate for the ground-truth datacenter co-simulation:
+/// one OnlineServer per cloud machine, replacing the model-database
+/// accounting with the fluid "reality" the database was measured from.
+
+#include <cstdint>
+#include <vector>
+
+#include "testbed/contention.hpp"
+#include "testbed/server_config.hpp"
+#include "workload/app_spec.hpp"
+#include "workload/profile.hpp"
+
+namespace aeva::testbed {
+
+/// One resident VM's public view.
+struct ResidentVm {
+  std::int64_t handle = 0;
+  workload::ProfileClass profile{};
+};
+
+/// The online server.
+class OnlineServer {
+ public:
+  explicit OnlineServer(ServerConfig config);
+
+  /// Admits a VM running `app` stretched by `runtime_scale` (> 0); returns
+  /// a caller-unique handle. The app spec is copied.
+  std::int64_t add_vm(const workload::AppSpec& app, double runtime_scale);
+
+  /// Advances the server by `dt` (≥ 0) seconds of wall-clock time,
+  /// appending the handles of VMs that completed (in completion order).
+  /// Completions exactly at the end of the step are reported.
+  void advance(double dt, std::vector<std::int64_t>& completed);
+
+  /// Seconds until the next internal event (phase boundary or completion)
+  /// under current conditions; +inf when idle. Advancing beyond this is
+  /// safe (the server sub-steps internally), but event-driven callers use
+  /// it to pick exact step sizes.
+  [[nodiscard]] double next_event_in() const;
+
+  /// Instantaneous power draw (idle baseline when no VM is resident).
+  [[nodiscard]] double power_w() const;
+
+  /// Resident VM count / class mix / handles.
+  [[nodiscard]] int resident() const noexcept {
+    return static_cast<int>(vms_.size());
+  }
+  [[nodiscard]] workload::ClassCounts mix() const;
+  [[nodiscard]] std::vector<ResidentVm> residents() const;
+
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Vm {
+    std::int64_t handle = 0;
+    workload::AppSpec app;  ///< runtime-scaled copy
+    std::size_t phase = 0;
+    double remaining_nominal_s = 0.0;
+    double rate = 0.0;
+  };
+
+  /// Recomputes all rates and the cached loads after any membership or
+  /// phase change.
+  void resolve();
+
+  ServerConfig config_;
+  std::vector<Vm> vms_;
+  SubsystemLoads loads_;
+  std::int64_t next_handle_ = 1;
+};
+
+}  // namespace aeva::testbed

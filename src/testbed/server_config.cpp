@@ -1,0 +1,49 @@
+#include "testbed/server_config.hpp"
+
+#include "util/error.hpp"
+
+namespace aeva::testbed {
+
+void ServerConfig::validate() const {
+  AEVA_REQUIRE(cores > 0, "server needs at least one core");
+  AEVA_REQUIRE(mem_capacity_mb > 0.0, "memory capacity must be positive");
+  AEVA_REQUIRE(mem_reserved_mb >= 0.0 && mem_reserved_mb < mem_capacity_mb,
+               "reserved memory must leave room for guests: reserved=",
+               mem_reserved_mb, " capacity=", mem_capacity_mb);
+  AEVA_REQUIRE(mem_bw_capacity > 0.0, "memory bandwidth must be positive");
+  AEVA_REQUIRE(disk_mbps > 0.0 && disk_count > 0, "disk subsystem empty");
+  AEVA_REQUIRE(nic_mbps > 0.0 && nic_count > 0, "network subsystem empty");
+  AEVA_REQUIRE(per_vm_cpu_overhead >= 0.0, "negative hypervisor overhead");
+  AEVA_REQUIRE(sched_overhead >= 0.0, "negative scheduling overhead");
+  AEVA_REQUIRE(thrash_coeff >= 0.0, "negative thrashing coefficient");
+  AEVA_REQUIRE(swap_disk_mbps_per_gb >= 0.0, "negative swap traffic");
+  AEVA_REQUIRE(power.idle_w >= 0.0 && power.cpu_max_w >= 0.0 &&
+                   power.mem_max_w >= 0.0 && power.disk_max_w >= 0.0 &&
+                   power.net_max_w >= 0.0,
+               "negative power coefficient");
+}
+
+ServerConfig testbed_server() {
+  ServerConfig config;  // defaults model the Dell/X3220 testbed
+  config.validate();
+  return config;
+}
+
+ServerConfig bigbox_server() {
+  ServerConfig config;
+  config.cores = 8;
+  config.mem_capacity_mb = 8192.0;
+  config.mem_reserved_mb = 768.0;
+  config.mem_bw_capacity = 2.0;  // dual memory controllers
+  config.disk_count = 4;
+  config.nic_count = 2;
+  config.power.idle_w = 210.0;
+  config.power.cpu_max_w = 150.0;
+  config.power.mem_max_w = 24.0;
+  config.power.disk_max_w = 30.0;
+  config.power.net_max_w = 8.0;
+  config.validate();
+  return config;
+}
+
+}  // namespace aeva::testbed

@@ -1,0 +1,69 @@
+#include "thermal/thermal_guard.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace aeva::thermal {
+
+ThermalGuardAllocator::ThermalGuardAllocator(
+    std::unique_ptr<core::Allocator> inner, const modeldb::ModelDatabase& db,
+    const ThermalMap& map, GuardConfig config)
+    : inner_(std::move(inner)), db_(&db), map_(&map), config_(config) {
+  AEVA_REQUIRE(inner_ != nullptr, "null inner allocator");
+  AEVA_REQUIRE(config_.soft_limit_c > map.config().cold_aisle_c,
+               "soft limit must exceed the cold-aisle temperature");
+}
+
+std::vector<double> ThermalGuardAllocator::predicted_inlets(
+    const std::vector<core::ServerState>& servers) const {
+  std::vector<double> power(static_cast<std::size_t>(map_->server_count()),
+                            0.0);
+  for (const core::ServerState& server : servers) {
+    AEVA_REQUIRE(server.id >= 0 && server.id < map_->server_count(),
+                 "server ", server.id, " outside the thermal map");
+    if (server.allocated.total() > 0) {
+      power[static_cast<std::size_t>(server.id)] =
+          db_->estimate(server.allocated).avg_power_w();
+    } else if (server.powered) {
+      power[static_cast<std::size_t>(server.id)] = 125.0;
+    }
+  }
+  return map_->inlet_temps(power);
+}
+
+core::AllocationResult ThermalGuardAllocator::allocate(
+    const std::vector<core::VmRequest>& vms,
+    const std::vector<core::ServerState>& servers) const {
+  const std::vector<double> inlets = predicted_inlets(servers);
+  std::vector<core::ServerState> cool;
+  cool.reserve(servers.size());
+  for (const core::ServerState& server : servers) {
+    if (inlets[static_cast<std::size_t>(server.id)] <= config_.soft_limit_c) {
+      cool.push_back(server);
+    }
+  }
+  // Rank the surviving servers coolest-first: inner strategies break ties
+  // toward the front of the list, so equal-cost placements drift away
+  // from hot zones instead of marching along the rack.
+  std::stable_sort(cool.begin(), cool.end(),
+                   [&](const core::ServerState& a,
+                       const core::ServerState& b) {
+                     return inlets[static_cast<std::size_t>(a.id)] <
+                            inlets[static_cast<std::size_t>(b.id)];
+                   });
+  if (!cool.empty()) {
+    core::AllocationResult guarded = inner_->allocate(vms, cool);
+    if (guarded.complete) {
+      return guarded;
+    }
+  }
+  // Fall back to the unmasked cluster rather than starving the queue.
+  return inner_->allocate(vms, servers);
+}
+
+std::string ThermalGuardAllocator::name() const {
+  return "TG(" + inner_->name() + ")";
+}
+
+}  // namespace aeva::thermal

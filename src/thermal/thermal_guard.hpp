@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file thermal_guard.hpp
+/// Proactive thermal guard: an Allocator decorator that predicts inlet
+/// temperatures from the cluster's current allocations (via the empirical
+/// power model) and hides servers whose inlets would cross a soft
+/// threshold from the inner strategy — proactive avoidance of the
+/// "undesired thermal behavior (e.g., equipment overheating)" that the
+/// paper's reactive predecessor [3] had to migrate away from.
+
+#include <memory>
+
+#include "core/types.hpp"
+#include "modeldb/database.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace aeva::thermal {
+
+/// Guard parameters.
+struct GuardConfig {
+  /// Servers whose predicted inlet exceeds this are masked (defaults to
+  /// 1 °C under the redline).
+  double soft_limit_c = 31.0;
+};
+
+/// Wraps any allocation strategy with thermal masking. When masking every
+/// server would make the request unplaceable, the guard falls back to the
+/// full server list (availability beats thermal comfort, as in reactive
+/// schemes that only act when possible).
+class ThermalGuardAllocator final : public core::Allocator {
+ public:
+  /// `inner` is owned; `db` and `map` must outlive the guard. `map`'s
+  /// server count must cover every server id passed to allocate().
+  ThermalGuardAllocator(std::unique_ptr<core::Allocator> inner,
+                        const modeldb::ModelDatabase& db,
+                        const ThermalMap& map, GuardConfig config = {});
+
+  [[nodiscard]] core::AllocationResult allocate(
+      const std::vector<core::VmRequest>& vms,
+      const std::vector<core::ServerState>& servers) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+  /// Predicted inlet temperatures for the given cluster state (exposed for
+  /// tests and reporting).
+  [[nodiscard]] std::vector<double> predicted_inlets(
+      const std::vector<core::ServerState>& servers) const;
+
+ private:
+  std::unique_ptr<core::Allocator> inner_;
+  const modeldb::ModelDatabase* db_;
+  const ThermalMap* map_;
+  GuardConfig config_;
+};
+
+}  // namespace aeva::thermal

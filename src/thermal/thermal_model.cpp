@@ -1,0 +1,70 @@
+#include "thermal/thermal_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace aeva::thermal {
+
+ThermalMap::ThermalMap(int server_count, ThermalConfig config)
+    : server_count_(server_count), config_(config) {
+  AEVA_REQUIRE(server_count >= 1, "need at least one server");
+  AEVA_REQUIRE(config_.watts_to_delta_c >= 0.0, "negative heat coefficient");
+  AEVA_REQUIRE(config_.recirculation >= 0.0 && config_.recirculation < 1.0,
+               "recirculation fraction out of [0, 1)");
+  AEVA_REQUIRE(config_.crac_cop > 0.0, "CRAC COP must be positive");
+  AEVA_REQUIRE(config_.inlet_limit_c > config_.cold_aisle_c,
+               "inlet redline must exceed the cold-aisle temperature");
+
+  AEVA_REQUIRE(config_.servers_per_row >= 0, "negative row width");
+  const std::size_t row_width =
+      config_.servers_per_row > 0
+          ? static_cast<std::size_t>(config_.servers_per_row)
+          : static_cast<std::size_t>(server_count_);
+  const auto n = static_cast<std::size_t>(server_count_);
+  weights_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;  // a server does not ingest its own exhaust directly
+      }
+      if (i / row_width != j / row_width) {
+        continue;  // hot-aisle containment between rows
+      }
+      const auto distance = static_cast<double>(
+          i > j ? i - j : j - i);
+      weights_[i * n + j] =
+          config_.recirculation * std::pow(0.5, distance - 1.0);
+    }
+  }
+}
+
+std::vector<double> ThermalMap::inlet_temps(
+    const std::vector<double>& power_w) const {
+  AEVA_REQUIRE(power_w.size() == static_cast<std::size_t>(server_count_),
+               "power vector size ", power_w.size(),
+               " does not match server count ", server_count_);
+  const auto n = static_cast<std::size_t>(server_count_);
+  std::vector<double> inlets(n, config_.cold_aisle_c);
+  for (std::size_t i = 0; i < n; ++i) {
+    double rise = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      rise += weights_[i * n + j] * config_.watts_to_delta_c * power_w[j];
+    }
+    inlets[i] += rise;
+  }
+  return inlets;
+}
+
+double ThermalMap::peak_inlet_c(const std::vector<double>& power_w) const {
+  const std::vector<double> inlets = inlet_temps(power_w);
+  return *std::max_element(inlets.begin(), inlets.end());
+}
+
+double ThermalMap::cooling_power_w(double it_power_w) const {
+  AEVA_REQUIRE(it_power_w >= 0.0, "negative IT power");
+  return it_power_w / config_.crac_cop;
+}
+
+}  // namespace aeva::thermal

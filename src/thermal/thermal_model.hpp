@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file thermal_model.hpp
+/// Datacenter thermal substrate — the paper's future work ii
+/// ("integrating the proposed solution with schemes for autonomic thermal
+/// management in instrumented datacenters") and the thermal context of the
+/// authors' prior work [3].
+///
+/// The model is the standard abstract heat-recirculation formulation
+/// (Tang et al.): every server heats its exhaust proportionally to its
+/// power draw, a fixed fraction of that exhaust recirculates into the
+/// inlets of nearby machines (decaying geometrically with rack distance),
+/// and the CRAC supplies air at a fixed cold-aisle temperature. Inlet
+/// temperatures then follow T_in = T_cold + D · k · P in steady state,
+/// which is accurate at the multi-minute granularity of VM allocation.
+
+#include <cstddef>
+#include <vector>
+
+namespace aeva::thermal {
+
+/// Thermal environment parameters.
+struct ThermalConfig {
+  double cold_aisle_c = 18.0;      ///< CRAC supply temperature
+  double inlet_limit_c = 32.0;     ///< redline inlet temperature
+  double watts_to_delta_c = 0.10;  ///< exhaust rise per Watt of IT load
+  /// Fraction of a server's exhaust heat reaching its immediate rack
+  /// neighbours' inlets; halves per additional slot of distance.
+  double recirculation = 0.20;
+  /// CRAC coefficient of performance: cooling energy = IT energy / COP.
+  double crac_cop = 4.0;
+  /// Rack-row width: exhaust recirculates only among servers in the same
+  /// row (hot-aisle containment between rows). 0 → one single row.
+  int servers_per_row = 20;
+};
+
+/// Static rack topology plus the recirculation solve.
+class ThermalMap {
+ public:
+  /// `server_count` machines in one rack row. Throws on a degenerate
+  /// configuration.
+  ThermalMap(int server_count, ThermalConfig config);
+
+  /// Steady-state inlet temperature per server for the given instantaneous
+  /// power draws (W); `power_w.size()` must equal the server count.
+  [[nodiscard]] std::vector<double> inlet_temps(
+      const std::vector<double>& power_w) const;
+
+  /// Largest inlet temperature under the given draws.
+  [[nodiscard]] double peak_inlet_c(const std::vector<double>& power_w) const;
+
+  /// Cooling power that the CRAC spends extracting the given IT power.
+  [[nodiscard]] double cooling_power_w(double it_power_w) const;
+
+  [[nodiscard]] int server_count() const noexcept { return server_count_; }
+  [[nodiscard]] const ThermalConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  int server_count_;
+  ThermalConfig config_;
+  /// Row-major recirculation weights D[i][j]: share of server j's exhaust
+  /// temperature rise appearing at server i's inlet.
+  std::vector<double> weights_;
+};
+
+}  // namespace aeva::thermal

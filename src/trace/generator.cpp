@@ -1,0 +1,211 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace aeva::trace {
+
+SwfTrace generate_egee_like(const GeneratorConfig& config, util::Rng& rng) {
+  AEVA_REQUIRE(config.target_jobs >= 1, "need at least one job");
+  AEVA_REQUIRE(config.span_s > 0.0, "submission window must be positive");
+  AEVA_REQUIRE(config.min_burst >= 1 && config.max_burst >= config.min_burst,
+               "bad burst bounds [", config.min_burst, ", ", config.max_burst,
+               "]");
+  AEVA_REQUIRE(config.runtime_sigma >= 0.0, "negative runtime sigma");
+  AEVA_REQUIRE(config.max_procs >= 1, "need at least one processor");
+  AEVA_REQUIRE(config.failed_fraction >= 0.0 &&
+                   config.cancelled_fraction >= 0.0 &&
+                   config.anomaly_fraction >= 0.0 &&
+                   config.failed_fraction + config.cancelled_fraction +
+                           config.anomaly_fraction <
+                       1.0,
+               "imperfection fractions must be non-negative and sum < 1");
+
+  SwfTrace trace;
+  trace.comments = {
+      "; synthetic EGEE-like trace (aeva trace generator)",
+      "; bursts of 1..5 jobs, log-normal runtimes, power-of-two processors",
+  };
+
+  const double mean_burst =
+      0.5 * (config.min_burst + config.max_burst);
+  const double burst_rate =
+      static_cast<double>(config.target_jobs) / (mean_burst * config.span_s);
+
+  long long id = 1;
+  double t = 0.0;
+  while (static_cast<int>(trace.jobs.size()) < config.target_jobs) {
+    t += rng.exponential(burst_rate);
+    if (t > config.span_s) {
+      // Wrap into the window rather than stretching the span: keeps the
+      // offered-load density as configured.
+      t = rng.uniform(0.0, config.span_s);
+    }
+    const auto burst = static_cast<int>(
+        rng.uniform_int(config.min_burst, config.max_burst));
+
+    // A workflow burst: same executable, same processor request, similar
+    // runtimes.
+    const int executable = static_cast<int>(rng.uniform_int(1, 40));
+    int procs = 1;
+    const int doublings = static_cast<int>(rng.uniform_int(
+        0, static_cast<std::int64_t>(std::log2(config.max_procs))));
+    for (int d = 0; d < doublings; ++d) {
+      procs *= 2;
+    }
+    const double burst_runtime =
+        std::min(config.max_runtime_s,
+                 rng.lognormal(config.runtime_mu, config.runtime_sigma));
+
+    for (int k = 0; k < burst; ++k) {
+      SwfJob job;
+      job.job_id = id++;
+      job.submit_s = t + rng.uniform(0.0, 30.0);  // seconds apart in a burst
+      job.run_s = std::max(
+          1.0, burst_runtime * rng.uniform(0.9, 1.1));  // per-job jitter
+      job.wait_s = 0.0;
+      job.allocated_procs = procs;
+      job.requested_procs = procs;
+      job.avg_cpu_s = job.run_s * rng.uniform(0.5, 1.0);
+      job.used_mem_kb = rng.uniform(64.0, 2048.0) * 1024.0;
+      job.requested_s = job.run_s * rng.uniform(1.0, 3.0);
+      job.requested_mem_kb = job.used_mem_kb;
+      job.user_id = static_cast<int>(rng.uniform_int(1, 200));
+      job.group_id = static_cast<int>(rng.uniform_int(1, 20));
+      job.executable = executable;
+      job.queue = static_cast<int>(rng.uniform_int(1, 4));
+      job.partition = 1;
+      job.status = static_cast<int>(SwfStatus::kCompleted);
+
+      // Imperfections, to be stripped by trace::clean.
+      const double dice = rng.uniform();
+      if (dice < config.failed_fraction) {
+        job.status = static_cast<int>(SwfStatus::kFailed);
+      } else if (dice < config.failed_fraction + config.cancelled_fraction) {
+        job.status = static_cast<int>(SwfStatus::kCancelled);
+        job.run_s = 0.0;
+      } else if (dice < config.failed_fraction + config.cancelled_fraction +
+                            config.anomaly_fraction) {
+        job.run_s = 0.0;  // anomaly: completed but zero runtime
+      }
+      trace.jobs.push_back(job);
+    }
+  }
+
+  std::stable_sort(trace.jobs.begin(), trace.jobs.end(),
+                   [](const SwfJob& a, const SwfJob& b) {
+                     return a.submit_s < b.submit_s;
+                   });
+  long long renumber = 1;
+  for (SwfJob& job : trace.jobs) {
+    job.job_id = renumber++;
+  }
+  return trace;
+}
+
+SwfTrace generate_daily_cycle(const DailyCycleConfig& config,
+                              util::Rng& rng) {
+  AEVA_REQUIRE(config.target_jobs >= 1, "need at least one job");
+  AEVA_REQUIRE(config.days > 0.0, "span must be positive");
+  AEVA_REQUIRE(config.peak_to_trough >= 1.0,
+               "peak-to-trough ratio must be >= 1");
+  AEVA_REQUIRE(config.runtime_gamma_shape > 0.0 &&
+                   config.runtime_gamma_scale_s > 0.0,
+               "gamma runtime parameters must be positive");
+  AEVA_REQUIRE(config.min_burst >= 1 && config.max_burst >= config.min_burst,
+               "bad burst bounds");
+  AEVA_REQUIRE(config.max_procs >= 1, "need at least one processor");
+  AEVA_REQUIRE(config.failed_fraction >= 0.0 &&
+                   config.cancelled_fraction >= 0.0 &&
+                   config.failed_fraction + config.cancelled_fraction < 1.0,
+               "imperfection fractions must be non-negative and sum < 1");
+
+  SwfTrace trace;
+  trace.comments = {
+      "; synthetic daily-cycle trace (Lublin-Feitelson-style model)",
+      "; sinusoidal arrival intensity, gamma runtimes",
+  };
+
+  const double span_s = config.days * 86400.0;
+  const double mean_burst = 0.5 * (config.min_burst + config.max_burst);
+  // Intensity λ(t) = base · (1 + a·sin(...)) with a chosen so that
+  // max/min = peak_to_trough; thinning against λ_max samples the process.
+  const double a = (config.peak_to_trough - 1.0) / (config.peak_to_trough + 1.0);
+  const double base_rate =
+      static_cast<double>(config.target_jobs) / (mean_burst * span_s);
+  const double lambda_max = base_rate * (1.0 + a);
+  const double peak_s = config.peak_hour * 3600.0;
+  const auto intensity = [&](double t) {
+    constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+    return base_rate *
+           (1.0 + a * std::cos(kTwoPi * (t - peak_s) / 86400.0));
+  };
+
+  long long id = 1;
+  double t = 0.0;
+  while (static_cast<int>(trace.jobs.size()) < config.target_jobs) {
+    // Thinning: candidate at rate λ_max, accept with λ(t)/λ_max.
+    t += rng.exponential(lambda_max);
+    if (t > span_s) {
+      t = rng.uniform(0.0, span_s);  // wrap to keep density as configured
+    }
+    if (!rng.bernoulli(intensity(t) / lambda_max)) {
+      continue;
+    }
+    const auto burst = static_cast<int>(
+        rng.uniform_int(config.min_burst, config.max_burst));
+    const int executable = static_cast<int>(rng.uniform_int(1, 40));
+    int procs = 1;
+    const int doublings = static_cast<int>(rng.uniform_int(
+        0, static_cast<std::int64_t>(std::log2(config.max_procs))));
+    for (int d = 0; d < doublings; ++d) {
+      procs *= 2;
+    }
+    const double burst_runtime = std::min(
+        config.max_runtime_s,
+        rng.gamma(config.runtime_gamma_shape, config.runtime_gamma_scale_s));
+
+    for (int k = 0; k < burst; ++k) {
+      SwfJob job;
+      job.job_id = id++;
+      job.submit_s = t + rng.uniform(0.0, 30.0);
+      job.run_s = std::max(1.0, burst_runtime * rng.uniform(0.9, 1.1));
+      job.wait_s = 0.0;
+      job.allocated_procs = procs;
+      job.requested_procs = procs;
+      job.avg_cpu_s = job.run_s * rng.uniform(0.5, 1.0);
+      job.used_mem_kb = rng.uniform(64.0, 2048.0) * 1024.0;
+      job.requested_s = job.run_s * rng.uniform(1.0, 3.0);
+      job.requested_mem_kb = job.used_mem_kb;
+      job.user_id = static_cast<int>(rng.uniform_int(1, 200));
+      job.group_id = static_cast<int>(rng.uniform_int(1, 20));
+      job.executable = executable;
+      job.queue = static_cast<int>(rng.uniform_int(1, 4));
+      job.partition = 1;
+      job.status = static_cast<int>(SwfStatus::kCompleted);
+      const double dice = rng.uniform();
+      if (dice < config.failed_fraction) {
+        job.status = static_cast<int>(SwfStatus::kFailed);
+      } else if (dice <
+                 config.failed_fraction + config.cancelled_fraction) {
+        job.status = static_cast<int>(SwfStatus::kCancelled);
+        job.run_s = 0.0;
+      }
+      trace.jobs.push_back(job);
+    }
+  }
+
+  std::stable_sort(trace.jobs.begin(), trace.jobs.end(),
+                   [](const SwfJob& x, const SwfJob& y) {
+                     return x.submit_s < y.submit_s;
+                   });
+  long long renumber = 1;
+  for (SwfJob& job : trace.jobs) {
+    job.job_id = renumber++;
+  }
+  return trace;
+}
+
+}  // namespace aeva::trace

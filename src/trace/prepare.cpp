@@ -1,0 +1,82 @@
+#include "trace/prepare.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace aeva::trace {
+
+using workload::ProfileClass;
+
+PreparedWorkload prepare_workload(const SwfTrace& trace,
+                                  const PreparationConfig& config,
+                                  util::Rng& rng) {
+  AEVA_REQUIRE(!trace.jobs.empty(), "empty trace — run the generator first");
+  AEVA_REQUIRE(config.min_vms_per_job >= 1 &&
+                   config.max_vms_per_job >= config.min_vms_per_job,
+               "bad VM-per-job bounds");
+  AEVA_REQUIRE(config.min_burst >= 1 && config.max_burst >= config.min_burst,
+               "bad burst bounds");
+  AEVA_REQUIRE(config.reference_runtime_s > 0.0,
+               "reference runtime must be positive");
+  AEVA_REQUIRE(config.min_runtime_scale > 0.0 &&
+                   config.max_runtime_scale >= config.min_runtime_scale,
+               "bad runtime-scale bounds");
+  for (const double f : config.qos_factor) {
+    AEVA_REQUIRE(f > 0.0, "QoS factor must be positive");
+  }
+  AEVA_REQUIRE(config.workflow_chain_fraction >= 0.0 &&
+                   config.workflow_chain_fraction <= 1.0,
+               "chain fraction out of [0, 1]");
+
+  PreparedWorkload prepared;
+  long long id = 1;
+  int burst_left = 0;
+  bool burst_started = false;
+  ProfileClass burst_profile = ProfileClass::kCpu;
+
+  for (const SwfJob& job : trace.jobs) {
+    if (config.target_total_vms > 0 &&
+        prepared.total_vms >= config.target_total_vms) {
+      break;
+    }
+    // Profiles are assigned uniformly *by bursts*: consecutive jobs model a
+    // scientific workflow with identical resource requirements.
+    if (burst_left == 0) {
+      burst_left = static_cast<int>(
+          rng.uniform_int(config.min_burst, config.max_burst));
+      burst_profile = workload::kAllProfileClasses[static_cast<std::size_t>(
+          rng.uniform_int(0, workload::kProfileClassCount - 1))];
+      burst_started = true;
+    }
+    --burst_left;
+
+    JobRequest request;
+    request.id = id++;
+    request.submit_s = job.submit_s;
+    request.profile = burst_profile;
+    request.vm_count = static_cast<int>(
+        rng.uniform_int(config.min_vms_per_job, config.max_vms_per_job));
+    request.runtime_scale =
+        std::clamp(job.run_s / config.reference_runtime_s,
+                   config.min_runtime_scale, config.max_runtime_scale);
+    const auto ci = static_cast<std::size_t>(burst_profile);
+    request.deadline_s = config.qos_factor[ci] * config.solo_time_s[ci];
+    request.max_exec_stretch = config.qos_exec_stretch[ci];
+    // Workflow chaining: a non-first burst member may require its
+    // predecessor's completion.
+    if (!burst_started && config.workflow_chain_fraction > 0.0 &&
+        rng.bernoulli(config.workflow_chain_fraction)) {
+      request.depends_on = request.id - 1;
+    }
+    burst_started = false;
+
+    prepared.total_vms += request.vm_count;
+    prepared.vm_mix.of(burst_profile) += request.vm_count;
+    prepared.jobs.push_back(request);
+  }
+  AEVA_REQUIRE(!prepared.jobs.empty(), "preparation produced no jobs");
+  return prepared;
+}
+
+}  // namespace aeva::trace

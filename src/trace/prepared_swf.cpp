@@ -1,0 +1,70 @@
+#include "trace/prepared_swf.hpp"
+
+#include "util/error.hpp"
+
+namespace aeva::trace {
+
+using workload::ProfileClass;
+
+SwfTrace prepared_to_swf(const PreparedWorkload& workload) {
+  AEVA_REQUIRE(!workload.jobs.empty(), "empty workload");
+  SwfTrace trace;
+  trace.comments = {
+      "; aeva prepared workload (annotated SWF)",
+      "; executable: 1=CPU 2=MEM 3=IO; requested_procs: VM count;",
+      "; run_s: runtime_scale x " +
+          std::to_string(static_cast<int>(kPreparedSwfReferenceRuntime)) +
+          "; requested_s: response deadline; think_s: stretch x 1000",
+  };
+  for (const JobRequest& job : workload.jobs) {
+    SwfJob row;
+    row.job_id = job.id;
+    row.submit_s = job.submit_s;
+    row.wait_s = 0.0;
+    row.run_s = job.runtime_scale * kPreparedSwfReferenceRuntime;
+    row.allocated_procs = job.vm_count;
+    row.requested_procs = job.vm_count;
+    row.requested_s = job.deadline_s;
+    row.executable = static_cast<int>(job.profile) + 1;
+    row.preceding_job = job.depends_on == 0 ? -1 : job.depends_on;
+    row.think_s = job.max_exec_stretch * 1000.0;
+    row.status = static_cast<int>(SwfStatus::kCompleted);
+    trace.jobs.push_back(row);
+  }
+  return trace;
+}
+
+PreparedWorkload swf_to_prepared(const SwfTrace& trace) {
+  AEVA_REQUIRE(!trace.jobs.empty(), "empty trace");
+  PreparedWorkload workload;
+  for (const SwfJob& row : trace.jobs) {
+    JobRequest job;
+    job.id = row.job_id;
+    job.submit_s = row.submit_s;
+    AEVA_REQUIRE(row.executable >= 1 &&
+                     row.executable <= workload::kProfileClassCount,
+                 "job ", row.job_id, " has unknown profile code ",
+                 row.executable);
+    job.profile = workload::kAllProfileClasses[static_cast<std::size_t>(
+        row.executable - 1)];
+    AEVA_REQUIRE(row.requested_procs >= 1, "job ", row.job_id,
+                 " requests no VMs");
+    job.vm_count = row.requested_procs;
+    AEVA_REQUIRE(row.run_s > 0.0, "job ", row.job_id,
+                 " has non-positive runtime");
+    job.runtime_scale = row.run_s / kPreparedSwfReferenceRuntime;
+    AEVA_REQUIRE(row.requested_s > 0.0, "job ", row.job_id,
+                 " has non-positive deadline");
+    job.deadline_s = row.requested_s;
+    AEVA_REQUIRE(row.think_s > 0.0, "job ", row.job_id,
+                 " has non-positive stretch bound");
+    job.max_exec_stretch = row.think_s / 1000.0;
+    job.depends_on = row.preceding_job <= 0 ? 0 : row.preceding_job;
+    workload.total_vms += job.vm_count;
+    workload.vm_mix.of(job.profile) += job.vm_count;
+    workload.jobs.push_back(job);
+  }
+  return workload;
+}
+
+}  // namespace aeva::trace

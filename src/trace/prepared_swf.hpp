@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file prepared_swf.hpp
+/// SWF interop for prepared workloads.
+///
+/// A `PreparedWorkload` carries information plain SWF lacks (profile
+/// class, VM count, runtime scale, QoS); this module round-trips it
+/// through an *annotated* SWF encoding so prepared workloads can be
+/// exchanged as ordinary trace files:
+///
+///   field 8  (requested_procs)  ← vm_count
+///   field 4  (run_s)            ← runtime_scale × reference runtime
+///   field 9  (requested_s)      ← response deadline (seconds)
+///   field 14 (executable)       ← profile class (1 = CPU, 2 = MEM, 3 = IO)
+///   field 17 (preceding_job)    ← depends_on (−1 = independent)
+///   field 18 (think_s)          ← execution-stretch QoS × 1000
+///
+/// Everything uses standard SWF fields, so third-party SWF tooling can
+/// still read the files.
+
+#include "trace/prepare.hpp"
+#include "trace/swf.hpp"
+
+namespace aeva::trace {
+
+/// Reference runtime used to encode/decode runtime scales (seconds).
+inline constexpr double kPreparedSwfReferenceRuntime = 1000.0;
+
+/// Encodes a prepared workload as annotated SWF.
+[[nodiscard]] SwfTrace prepared_to_swf(const PreparedWorkload& workload);
+
+/// Decodes an annotated SWF back into a prepared workload. Throws
+/// std::invalid_argument on an unknown profile code or broken dependency.
+[[nodiscard]] PreparedWorkload swf_to_prepared(const SwfTrace& trace);
+
+}  // namespace aeva::trace

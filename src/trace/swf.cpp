@@ -1,0 +1,142 @@
+#include "trace/swf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace aeva::trace {
+
+SwfTrace parse_swf(std::istream& in) {
+  SwfTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    if (trimmed.front() == ';') {
+      trace.comments.push_back(trimmed);
+      continue;
+    }
+    const std::vector<std::string> fields = util::split_whitespace(trimmed);
+    AEVA_REQUIRE(fields.size() == 18, "SWF line ", line_no, " has ",
+                 fields.size(), " fields, expected 18");
+    const auto num = [&](std::size_t i) {
+      const auto parsed = util::parse_double(fields[i]);
+      AEVA_REQUIRE(parsed.has_value(), "SWF line ", line_no, " field ", i + 1,
+                   " is not numeric: ", fields[i]);
+      return *parsed;
+    };
+    SwfJob job;
+    job.job_id = static_cast<long long>(num(0));
+    job.submit_s = num(1);
+    job.wait_s = num(2);
+    job.run_s = num(3);
+    job.allocated_procs = static_cast<int>(num(4));
+    job.avg_cpu_s = num(5);
+    job.used_mem_kb = num(6);
+    job.requested_procs = static_cast<int>(num(7));
+    job.requested_s = num(8);
+    job.requested_mem_kb = num(9);
+    job.status = static_cast<int>(num(10));
+    job.user_id = static_cast<int>(num(11));
+    job.group_id = static_cast<int>(num(12));
+    job.executable = static_cast<int>(num(13));
+    job.queue = static_cast<int>(num(14));
+    job.partition = static_cast<int>(num(15));
+    job.preceding_job = static_cast<long long>(num(16));
+    job.think_s = num(17);
+    trace.jobs.push_back(job);
+  }
+  return trace;
+}
+
+void write_swf(std::ostream& out, const SwfTrace& trace) {
+  for (const std::string& comment : trace.comments) {
+    out << comment << '\n';
+  }
+  for (const SwfJob& j : trace.jobs) {
+    out << j.job_id << ' ' << util::format_fixed(j.submit_s, 0) << ' '
+        << util::format_fixed(j.wait_s, 0) << ' '
+        << util::format_fixed(j.run_s, 0) << ' ' << j.allocated_procs << ' '
+        << util::format_fixed(j.avg_cpu_s, 0) << ' '
+        << util::format_fixed(j.used_mem_kb, 0) << ' ' << j.requested_procs
+        << ' ' << util::format_fixed(j.requested_s, 0) << ' '
+        << util::format_fixed(j.requested_mem_kb, 0) << ' ' << j.status << ' '
+        << j.user_id << ' ' << j.group_id << ' ' << j.executable << ' '
+        << j.queue << ' ' << j.partition << ' ' << j.preceding_job << ' '
+        << util::format_fixed(j.think_s, 0) << '\n';
+  }
+}
+
+SwfTrace read_swf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open SWF file for reading: " + path);
+  }
+  return parse_swf(in);
+}
+
+void write_swf_file(const std::string& path, const SwfTrace& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open SWF file for writing: " + path);
+  }
+  write_swf(out, trace);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("failed writing SWF file: " + path);
+  }
+}
+
+SwfTrace merge_traces(const std::vector<SwfTrace>& traces) {
+  AEVA_REQUIRE(!traces.empty(), "nothing to merge");
+  SwfTrace merged;
+  for (const SwfTrace& t : traces) {
+    merged.comments.insert(merged.comments.end(), t.comments.begin(),
+                           t.comments.end());
+    merged.jobs.insert(merged.jobs.end(), t.jobs.begin(), t.jobs.end());
+  }
+  std::stable_sort(merged.jobs.begin(), merged.jobs.end(),
+                   [](const SwfJob& a, const SwfJob& b) {
+                     return a.submit_s < b.submit_s;
+                   });
+  long long id = 1;
+  for (SwfJob& job : merged.jobs) {
+    job.job_id = id++;
+  }
+  return merged;
+}
+
+CleanStats clean(SwfTrace& trace) {
+  CleanStats stats;
+  std::vector<SwfJob> kept;
+  kept.reserve(trace.jobs.size());
+  for (const SwfJob& job : trace.jobs) {
+    if (job.status == static_cast<int>(SwfStatus::kFailed)) {
+      ++stats.failed;
+      continue;
+    }
+    if (job.status == static_cast<int>(SwfStatus::kCancelled)) {
+      ++stats.cancelled;
+      continue;
+    }
+    const bool anomalous = job.run_s <= 0.0 || job.submit_s < 0.0 ||
+                           (job.allocated_procs <= 0 &&
+                            job.requested_procs <= 0);
+    if (anomalous) {
+      ++stats.anomalies;
+      continue;
+    }
+    kept.push_back(job);
+  }
+  trace.jobs = std::move(kept);
+  return stats;
+}
+
+}  // namespace aeva::trace

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file swf.hpp
+/// Standard Workload Format (SWF) traces.
+///
+/// The paper converts Grid Observatory / EGEE logs to SWF [24], merges the
+/// multiple files into one, and cleans the result (failed jobs, cancelled
+/// jobs, anomalies) before simulation (Sect. IV-B). This module implements
+/// that toolchain: the 18-field SWF record, a tolerant parser, a writer,
+/// merging, and cleaning.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aeva::trace {
+
+/// SWF job status codes (field 11).
+enum class SwfStatus : int {
+  kFailed = 0,
+  kCompleted = 1,
+  kPartialToBeContinued = 2,
+  kPartialLast = 3,
+  kCancelled = 5,
+};
+
+/// One SWF record; field names follow the SWF definition. Unknown values
+/// are −1 per the standard.
+struct SwfJob {
+  long long job_id = -1;          ///< 1: job number
+  double submit_s = -1.0;         ///< 2: submit time
+  double wait_s = -1.0;           ///< 3: wait time
+  double run_s = -1.0;            ///< 4: run time
+  int allocated_procs = -1;       ///< 5: number of allocated processors
+  double avg_cpu_s = -1.0;        ///< 6: average CPU time used
+  double used_mem_kb = -1.0;      ///< 7: used memory
+  int requested_procs = -1;       ///< 8: requested number of processors
+  double requested_s = -1.0;      ///< 9: requested time
+  double requested_mem_kb = -1.0; ///< 10: requested memory
+  int status = 1;                 ///< 11: status
+  int user_id = -1;               ///< 12
+  int group_id = -1;              ///< 13
+  int executable = -1;            ///< 14: executable (application) number
+  int queue = -1;                 ///< 15
+  int partition = -1;             ///< 16
+  long long preceding_job = -1;   ///< 17
+  double think_s = -1.0;          ///< 18: think time after preceding job
+};
+
+/// An SWF document: header comments (`;` lines) plus jobs.
+struct SwfTrace {
+  std::vector<std::string> comments;
+  std::vector<SwfJob> jobs;
+};
+
+/// Parses SWF text; `;` comment lines are collected, blank lines skipped,
+/// and a malformed data line throws std::invalid_argument with its number.
+[[nodiscard]] SwfTrace parse_swf(std::istream& in);
+
+/// Serializes a trace (comments first, then one line per job).
+void write_swf(std::ostream& out, const SwfTrace& trace);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+[[nodiscard]] SwfTrace read_swf_file(const std::string& path);
+void write_swf_file(const std::string& path, const SwfTrace& trace);
+
+/// Merges several traces into one: jobs re-sorted by submit time and
+/// renumbered from 1, comments concatenated — "as they are usually
+/// composed of multiple files we combined them into a single file".
+[[nodiscard]] SwfTrace merge_traces(const std::vector<SwfTrace>& traces);
+
+/// What `clean` removed.
+struct CleanStats {
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t anomalies = 0;  ///< non-positive runtime/procs, negative submit
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return failed + cancelled + anomalies;
+  }
+};
+
+/// Removes failed jobs, cancelled jobs, and anomalies, in place
+/// (Sect. IV-B). Surviving jobs keep their relative order.
+CleanStats clean(SwfTrace& trace);
+
+}  // namespace aeva::trace

@@ -1,0 +1,67 @@
+#include "util/args.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace aeva::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (starts_with(token, "--")) {
+      const std::string name = token.substr(2);
+      AEVA_REQUIRE(!name.empty() && name[0] != '-',
+                   "malformed option token: ", token);
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        options_[name] = argv[i + 1];
+        ++i;
+      } else {
+        options_[name] = "";  // boolean flag
+      }
+    } else {
+      positional_.push_back(token);
+    }
+  }
+}
+
+std::optional<std::string> Args::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string Args::get_string(const std::string& name,
+                             const std::string& fallback) const {
+  const auto value = get(name);
+  return value.has_value() && !value->empty() ? *value : fallback;
+}
+
+long long Args::get_int(const std::string& name, long long fallback) const {
+  const auto value = get(name);
+  if (!value.has_value() || value->empty()) {
+    return fallback;
+  }
+  const auto parsed = parse_int(*value);
+  AEVA_REQUIRE(parsed.has_value(), "option --", name,
+               " expects an integer, got: ", *value);
+  return *parsed;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto value = get(name);
+  if (!value.has_value() || value->empty()) {
+    return fallback;
+  }
+  const auto parsed = parse_double(*value);
+  AEVA_REQUIRE(parsed.has_value(), "option --", name,
+               " expects a number, got: ", *value);
+  return *parsed;
+}
+
+bool Args::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+}  // namespace aeva::util

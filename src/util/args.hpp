@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file args.hpp
+/// Tiny `--key value` / `--flag` command-line parser used by the examples
+/// and benchmark harness binaries.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aeva::util {
+
+/// Parsed command line.
+///
+/// Grammar: `--name value` binds an option, a bare `--name` at the end or
+/// followed by another option is a boolean flag, everything else is a
+/// positional argument.
+class Args {
+ public:
+  /// Parses argv (argv[0] is skipped). Throws std::invalid_argument on a
+  /// malformed token (e.g. `---x`).
+  Args(int argc, const char* const* argv);
+
+  /// Raw option lookup.
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  /// String option with default.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+
+  /// Integer option with default; throws on unparseable value.
+  [[nodiscard]] long long get_int(const std::string& name,
+                                  long long fallback) const;
+
+  /// Double option with default; throws on unparseable value.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// True if `--name` appeared (as a flag or with a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Positional arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace aeva::util

@@ -1,0 +1,175 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace aeva::util {
+
+std::size_t CsvTable::column(const std::string& name) const {
+  const auto it = std::find(header.begin(), header.end(), name);
+  AEVA_REQUIRE(it != header.end(), "no such CSV column: ", name);
+  return static_cast<std::size_t>(it - header.begin());
+}
+
+bool CsvTable::has_column(const std::string& name) const {
+  return std::find(header.begin(), header.end(), name) != header.end();
+}
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string csv_encode_row(const CsvRow& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += needs_quoting(row[i]) ? quote(row[i]) : row[i];
+  }
+  return out;
+}
+
+CsvRow csv_decode_row(const std::string& line) {
+  CsvRow fields;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF input.
+    } else {
+      field += c;
+    }
+  }
+  AEVA_REQUIRE(!in_quotes, "unterminated quote in CSV row: ", line);
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+CsvTable parse_csv(std::istream& in) {
+  CsvTable table;
+  std::vector<CsvRow> all;
+  CsvRow fields;
+  std::string field;
+  bool in_quotes = false;
+  bool any_char = false;
+  char c = 0;
+  while (in.get(c)) {
+    any_char = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      fields.push_back(std::move(field));
+      field.clear();
+      all.push_back(std::move(fields));
+      fields.clear();
+    } else if (c == '\r') {
+      // Swallowed; \n terminates the row.
+    } else {
+      field += c;
+    }
+  }
+  AEVA_REQUIRE(!in_quotes, "unterminated quote at end of CSV document");
+  if (any_char && (!field.empty() || !fields.empty())) {
+    fields.push_back(std::move(field));
+    all.push_back(std::move(fields));
+  }
+  if (all.empty()) {
+    return table;
+  }
+  table.header = std::move(all.front());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (all[i].size() == 1 && all[i][0].empty()) {
+      continue;  // trailing blank line
+    }
+    AEVA_REQUIRE(all[i].size() == table.header.size(),
+                 "CSV row ", i, " has ", all[i].size(), " fields, header has ",
+                 table.header.size());
+    table.rows.push_back(std::move(all[i]));
+  }
+  return table;
+}
+
+CsvTable parse_csv_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_csv(in);
+}
+
+void write_csv(std::ostream& out, const CsvTable& table) {
+  out << csv_encode_row(table.header) << '\n';
+  for (const auto& row : table.rows) {
+    out << csv_encode_row(row) << '\n';
+  }
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open CSV file for reading: " + path);
+  }
+  return parse_csv(in);
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open CSV file for writing: " + path);
+  }
+  write_csv(out, table);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("failed writing CSV file: " + path);
+  }
+}
+
+}  // namespace aeva::util

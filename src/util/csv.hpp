@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV reading/writing.
+///
+/// The paper stores its empirical allocation model "in a plain-text file
+/// with comma-separated values (CSV) instead of an actual database
+/// management system" (Sect. III-C); this module provides that storage
+/// layer. Fields containing commas, quotes, or newlines are quoted per
+/// RFC 4180.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aeva::util {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// In-memory CSV document: a header row plus data rows.
+struct CsvTable {
+  CsvRow header;
+  std::vector<CsvRow> rows;
+
+  /// Index of a header column; throws std::invalid_argument if absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+
+  /// True if the header contains the named column.
+  [[nodiscard]] bool has_column(const std::string& name) const;
+};
+
+/// Serializes one row, quoting fields as needed.
+[[nodiscard]] std::string csv_encode_row(const CsvRow& row);
+
+/// Parses one encoded line into fields (handles quoted fields; does NOT
+/// handle embedded newlines — use parse_csv for full documents).
+[[nodiscard]] CsvRow csv_decode_row(const std::string& line);
+
+/// Parses a full CSV document from a stream; first row is the header.
+/// Handles quoted fields including embedded newlines. Every data row must
+/// have the same arity as the header.
+[[nodiscard]] CsvTable parse_csv(std::istream& in);
+
+/// Convenience: parse a CSV document held in a string.
+[[nodiscard]] CsvTable parse_csv_text(const std::string& text);
+
+/// Writes a full CSV document to a stream.
+void write_csv(std::ostream& out, const CsvTable& table);
+
+/// Reads a CSV file from disk; throws std::runtime_error on I/O failure.
+[[nodiscard]] CsvTable read_csv_file(const std::string& path);
+
+/// Writes a CSV file to disk; throws std::runtime_error on I/O failure.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace aeva::util

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file error.hpp
+/// Error-handling helpers shared by every aeva module.
+///
+/// Precondition violations on public APIs throw `std::invalid_argument`
+/// (callers may pass bad data); broken internal invariants throw
+/// `std::logic_error` (these indicate bugs). Both macros evaluate their
+/// condition exactly once.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aeva {
+
+/// Builds a formatted message from stream-style parts.
+template <typename... Parts>
+[[nodiscard]] std::string format_message(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace aeva
+
+/// Validate a public-API precondition; throws std::invalid_argument.
+#define AEVA_REQUIRE(cond, ...)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      throw std::invalid_argument(::aeva::format_message(              \
+          __FILE__, ":", __LINE__, ": requirement failed: ", #cond,    \
+          " — ", __VA_ARGS__));                                        \
+    }                                                                  \
+  } while (false)
+
+/// Validate an internal invariant; throws std::logic_error.
+#define AEVA_ASSERT(cond, ...)                                         \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      throw std::logic_error(::aeva::format_message(                   \
+          __FILE__, ":", __LINE__, ": invariant violated: ", #cond,    \
+          " — ", __VA_ARGS__));                                        \
+    }                                                                  \
+  } while (false)

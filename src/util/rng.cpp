@@ -1,0 +1,154 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace aeva::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  AEVA_REQUIRE(lo <= hi, "uniform bounds out of order: ", lo, " > ", hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  AEVA_REQUIRE(lo <= hi, "uniform_int bounds out of order: ", lo, " > ", hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % span;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) {
+    draw = (*this)();
+  }
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+bool Rng::bernoulli(double p) {
+  AEVA_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range: ", p);
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  AEVA_REQUIRE(rate > 0.0, "exponential rate must be positive, got ", rate);
+  // 1 - uniform() is in (0, 1], so the log argument is never zero.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+  AEVA_REQUIRE(stddev >= 0.0, "stddev must be non-negative, got ", stddev);
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  AEVA_REQUIRE(sigma >= 0.0, "sigma must be non-negative, got ", sigma);
+  return std::exp(mu + sigma * normal());
+}
+
+double Rng::weibull(double shape, double scale) {
+  AEVA_REQUIRE(shape > 0.0, "weibull shape must be positive, got ", shape);
+  AEVA_REQUIRE(scale > 0.0, "weibull scale must be positive, got ", scale);
+  double u = 1.0 - uniform();  // in (0, 1]
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double Rng::gamma(double shape, double scale) {
+  AEVA_REQUIRE(shape > 0.0, "gamma shape must be positive, got ", shape);
+  AEVA_REQUIRE(scale > 0.0, "gamma scale must be positive, got ", scale);
+  if (shape < 1.0) {
+    // Boost: G(k) = G(k+1) · U^{1/k}.
+    const double boosted = gamma(shape + 1.0, 1.0);
+    double u = uniform();
+    while (u <= 0.0) {
+      u = uniform();
+    }
+    return scale * boosted * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) {
+      continue;
+    }
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return scale * d * v;
+    }
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+Rng Rng::fork(std::uint64_t label) noexcept {
+  std::uint64_t mix = state_[0] ^ rotl(label, 29) ^ 0xa0761d6478bd642fULL;
+  const std::uint64_t child_seed = splitmix64(mix);
+  // Advance our own state so repeated forks with the same label differ.
+  (void)(*this)();
+  return Rng(child_seed);
+}
+
+}  // namespace aeva::util

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace aeva::util {
+
+RunningStats::RunningStats() noexcept
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void RunningStats::add(double value) noexcept {
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStats::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> sample, double q) {
+  AEVA_REQUIRE(!sample.empty(), "percentile of empty sample");
+  AEVA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) {
+    return sample.front();
+  }
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+double mean_of(const std::vector<double>& sample) {
+  AEVA_REQUIRE(!sample.empty(), "mean of empty sample");
+  RunningStats stats;
+  for (double v : sample) {
+    stats.add(v);
+  }
+  return stats.mean();
+}
+
+double weighted_mean(const std::vector<double>& values,
+                     const std::vector<double>& weights) {
+  AEVA_REQUIRE(values.size() == weights.size(),
+               "values/weights size mismatch: ", values.size(), " vs ",
+               weights.size());
+  AEVA_REQUIRE(!values.empty(), "weighted mean of empty sample");
+  double acc = 0.0;
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    AEVA_REQUIRE(weights[i] >= 0.0, "negative weight at index ", i);
+    acc += values[i] * weights[i];
+    wsum += weights[i];
+  }
+  AEVA_REQUIRE(wsum > 0.0, "weights sum to zero");
+  return acc / wsum;
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  AEVA_REQUIRE(xs.size() == ys.size(), "sample size mismatch: ", xs.size(),
+               " vs ", ys.size());
+  AEVA_REQUIRE(xs.size() >= 2, "pearson needs at least 2 points");
+  const double mx = mean_of(xs);
+  const double my = mean_of(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  AEVA_REQUIRE(sxx > 0.0 && syy > 0.0, "pearson of constant sample");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace aeva::util

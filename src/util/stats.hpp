@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small statistics toolkit used by the profiler, the benchmarking
+/// campaign, and the evaluation harness.
+
+#include <cstddef>
+#include <vector>
+
+namespace aeva::util {
+
+/// Streaming accumulator for count / mean / variance / extrema
+/// (Welford's algorithm, numerically stable).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double value) noexcept;
+
+  /// Number of observations so far.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// Arithmetic mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-reduction safe).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_;
+  double max_;
+
+ public:
+  RunningStats() noexcept;
+};
+
+/// Linear-interpolated percentile of a sample, q in [0, 1].
+/// The input is copied and sorted; throws std::invalid_argument when the
+/// sample is empty or q is out of range.
+[[nodiscard]] double percentile(std::vector<double> sample, double q);
+
+/// Mean of a sample; throws std::invalid_argument when empty.
+[[nodiscard]] double mean_of(const std::vector<double>& sample);
+
+/// Weighted mean of (value, weight) pairs; weights must be non-negative and
+/// sum to a positive value.
+[[nodiscard]] double weighted_mean(const std::vector<double>& values,
+                                   const std::vector<double>& weights);
+
+/// Pearson correlation coefficient of two equal-length samples
+/// (>= 2 points, non-zero variance in both).
+[[nodiscard]] double pearson(const std::vector<double>& xs,
+                             const std::vector<double>& ys);
+
+}  // namespace aeva::util

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file strings.hpp
+/// String helpers shared by the SWF trace parser and CLI utilities.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aeva::util {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delimiter);
+
+/// Splits on runs of ASCII whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string trim(std::string_view text);
+
+/// Parses a base-10 integer; nullopt on any malformed input.
+[[nodiscard]] std::optional<long long> parse_int(std::string_view text);
+
+/// Parses a floating-point number; nullopt on any malformed input.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view separator);
+
+/// Formats a double with fixed precision (printf "%.*f").
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+}  // namespace aeva::util

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file table_printer.hpp
+/// Fixed-width text tables for the benchmark harness — every figure/table
+/// reproduction prints its rows through this so outputs are uniform and
+/// grep-friendly.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aeva::util {
+
+/// Column-aligned plain-text table.
+class TablePrinter {
+ public:
+  /// Sets the column headers; must be called before adding rows.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; arity must match the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline.
+  void print(std::ostream& out) const;
+
+  /// Renders to a string (for tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aeva::util

@@ -1,0 +1,102 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace aeva::util {
+
+TimeSeries::TimeSeries(std::string name, std::string unit)
+    : name_(std::move(name)), unit_(std::move(unit)) {}
+
+void TimeSeries::append(double time_s, double value) {
+  AEVA_REQUIRE(std::isfinite(time_s) && std::isfinite(value),
+               "non-finite sample (", time_s, ", ", value, ")");
+  if (!samples_.empty()) {
+    AEVA_REQUIRE(time_s >= samples_.back().time_s,
+                 "samples must be time-ordered: ", time_s, " < ",
+                 samples_.back().time_s);
+  }
+  samples_.push_back(Sample{time_s, value});
+}
+
+double TimeSeries::start_time() const {
+  AEVA_REQUIRE(!samples_.empty(), "empty time series");
+  return samples_.front().time_s;
+}
+
+double TimeSeries::end_time() const {
+  AEVA_REQUIRE(!samples_.empty(), "empty time series");
+  return samples_.back().time_s;
+}
+
+double TimeSeries::integrate() const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const double dt = samples_[i].time_s - samples_[i - 1].time_s;
+    acc += 0.5 * (samples_[i].value + samples_[i - 1].value) * dt;
+  }
+  return acc;
+}
+
+double TimeSeries::time_weighted_mean() const {
+  AEVA_REQUIRE(!samples_.empty(), "empty time series");
+  const double span = end_time() - start_time();
+  if (span <= 0.0) {
+    return samples_.back().value;
+  }
+  return integrate() / span;
+}
+
+double TimeSeries::max_value() const {
+  AEVA_REQUIRE(!samples_.empty(), "empty time series");
+  double best = samples_.front().value;
+  for (const auto& s : samples_) {
+    best = std::max(best, s.value);
+  }
+  return best;
+}
+
+double TimeSeries::value_at(double time_s) const {
+  AEVA_REQUIRE(!samples_.empty(), "empty time series");
+  if (time_s < samples_.front().time_s) {
+    return samples_.front().value;
+  }
+  if (time_s >= samples_.back().time_s) {
+    return samples_.back().value;
+  }
+  // First sample strictly after the query; at a step discontinuity
+  // (duplicate timestamps) the latest sample at the query time wins.
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), time_s,
+      [](double t, const Sample& s) { return t < s.time_s; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  if (lo.time_s == time_s) {
+    return lo.value;
+  }
+  const double dt = hi.time_s - lo.time_s;
+  const double frac = (time_s - lo.time_s) / dt;
+  return lo.value + frac * (hi.value - lo.value);
+}
+
+TimeSeries TimeSeries::resample(double period_s) const {
+  AEVA_REQUIRE(period_s > 0.0, "resample period must be positive, got ",
+               period_s);
+  AEVA_REQUIRE(!samples_.empty(), "empty time series");
+  TimeSeries out(name_, unit_);
+  const double t0 = start_time();
+  const double t1 = end_time();
+  for (std::size_t k = 0;; ++k) {
+    const double t = t0 + static_cast<double>(k) * period_s;
+    if (t >= t1) {
+      out.append(t1, value_at(t1));  // the grid always covers the endpoint
+      break;
+    }
+    out.append(t, value_at(t));
+  }
+  return out;
+}
+
+}  // namespace aeva::util

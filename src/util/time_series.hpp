@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file time_series.hpp
+/// Sampled time series: the common currency between the power meter, the
+/// subsystem-utilization profilers, and the report printers.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aeva::util {
+
+/// One (time, value) sample.
+struct Sample {
+  double time_s = 0.0;
+  double value = 0.0;
+};
+
+/// A time-ordered sequence of samples with numeric utilities.
+///
+/// Samples must be appended in non-decreasing time order; `append` enforces
+/// this so integration and resampling stay well-defined.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Constructs with a human-readable name and unit (used by reports).
+  TimeSeries(std::string name, std::string unit);
+
+  /// Appends a sample; throws if `time_s` precedes the previous sample.
+  void append(double time_s, double value);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& unit() const noexcept { return unit_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const Sample& operator[](std::size_t i) const {
+    return samples_[i];
+  }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// First/last sample times; throw std::invalid_argument when empty.
+  [[nodiscard]] double start_time() const;
+  [[nodiscard]] double end_time() const;
+
+  /// Trapezoidal integral of value over time (e.g. W × s → J).
+  /// Zero for fewer than two samples.
+  [[nodiscard]] double integrate() const noexcept;
+
+  /// Time-weighted mean value over the covered span; throws when empty.
+  [[nodiscard]] double time_weighted_mean() const;
+
+  /// Largest sampled value; throws when empty.
+  [[nodiscard]] double max_value() const;
+
+  /// Piecewise-linear interpolation at `time_s`, clamped to the endpoints.
+  /// Throws when empty.
+  [[nodiscard]] double value_at(double time_s) const;
+
+  /// Resamples onto a uniform grid with the given period (> 0), covering
+  /// [start_time, end_time]. Throws when empty.
+  [[nodiscard]] TimeSeries resample(double period_s) const;
+
+ private:
+  std::string name_;
+  std::string unit_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace aeva::util

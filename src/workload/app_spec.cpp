@@ -1,0 +1,60 @@
+#include "workload/app_spec.hpp"
+
+#include "util/error.hpp"
+
+namespace aeva::workload {
+
+double AppSpec::nominal_runtime_s() const noexcept {
+  double total = 0.0;
+  for (const auto& phase : phases) {
+    total += phase.nominal_s;
+  }
+  return total;
+}
+
+Demand AppSpec::average_demand() const {
+  const double total = nominal_runtime_s();
+  AEVA_REQUIRE(total > 0.0, "app ", name, " has zero nominal runtime");
+  Demand avg;
+  for (const auto& phase : phases) {
+    const double w = phase.nominal_s / total;
+    avg.cpu_cores += w * phase.demand.cpu_cores;
+    avg.mem_bw_share += w * phase.demand.mem_bw_share;
+    avg.disk_mbps += w * phase.demand.disk_mbps;
+    avg.net_mbps += w * phase.demand.net_mbps;
+  }
+  return avg;
+}
+
+AppSpec AppSpec::scaled_runtime(double factor) const {
+  AEVA_REQUIRE(factor > 0.0, "runtime scale must be positive, got ", factor);
+  AppSpec out = *this;
+  for (auto& phase : out.phases) {
+    phase.nominal_s *= factor;
+  }
+  return out;
+}
+
+void AppSpec::validate() const {
+  AEVA_REQUIRE(!name.empty(), "app spec needs a name");
+  AEVA_REQUIRE(!phases.empty(), "app ", name, " has no phases");
+  AEVA_REQUIRE(mem_footprint_mb >= 0.0, "app ", name,
+               " has negative memory footprint");
+  for (const auto& phase : phases) {
+    AEVA_REQUIRE(phase.nominal_s > 0.0, "app ", name, " phase ", phase.name,
+                 " has non-positive duration");
+    const Demand& d = phase.demand;
+    AEVA_REQUIRE(d.cpu_cores >= 0.0 && d.cpu_cores <= 1.0, "app ", name,
+                 " phase ", phase.name,
+                 " cpu demand out of [0,1] (single process per VM): ",
+                 d.cpu_cores);
+    AEVA_REQUIRE(d.mem_bw_share >= 0.0 && d.mem_bw_share <= 1.0, "app ", name,
+                 " phase ", phase.name, " memory-bandwidth share out of [0,1]");
+    AEVA_REQUIRE(d.disk_mbps >= 0.0, "app ", name, " phase ", phase.name,
+                 " negative disk demand");
+    AEVA_REQUIRE(d.net_mbps >= 0.0, "app ", name, " phase ", phase.name,
+                 " negative network demand");
+  }
+}
+
+}  // namespace aeva::workload

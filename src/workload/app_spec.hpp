@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file app_spec.hpp
+/// Phase-based synthetic models of HPC benchmark applications.
+///
+/// The paper runs real benchmarks (HPL Linpack, FFTW, sysbench, b_eff_io,
+/// bonnie++) on a physical testbed; we model each as a sequence of phases
+/// with explicit per-subsystem demands (DESIGN.md, substitution table).
+/// "An application usually demands the services of a given subsystem in
+/// discrete time windows" (Sect. III-A) — phases are those windows.
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hpp"
+
+namespace aeva::workload {
+
+/// Instantaneous resource demand of one VM during a phase.
+///
+/// `cpu_cores` is the vCPU demand in physical-core units; the paper assumes
+/// a single process per VM, so it never exceeds 1.0. Bandwidth demands are
+/// in MB/s against the server's shared subsystem capacities.
+struct Demand {
+  double cpu_cores = 0.0;
+  double mem_bw_share = 0.0;  ///< fraction of server memory bandwidth
+  double disk_mbps = 0.0;
+  double net_mbps = 0.0;
+};
+
+/// One execution phase: a demand vector plus the time the phase takes when
+/// every demand is fully granted (`nominal_s`). Under contention the phase
+/// stretches by the reciprocal of its most-throttled resource share.
+struct Phase {
+  std::string name;
+  Demand demand;
+  double nominal_s = 0.0;
+};
+
+/// A complete synthetic application model.
+struct AppSpec {
+  std::string name;          ///< benchmark identifier, e.g. "fftw"
+  ProfileClass profile{};    ///< class label used by the model database
+  double mem_footprint_mb = 0.0;  ///< resident set while running
+  std::vector<Phase> phases;
+
+  /// End-to-end runtime with all demands granted (sum of phase nominals).
+  [[nodiscard]] double nominal_runtime_s() const noexcept;
+
+  /// Time-weighted average demand across phases.
+  [[nodiscard]] Demand average_demand() const;
+
+  /// Returns a copy whose phase durations are multiplied by `factor` (> 0);
+  /// used to instantiate trace jobs of varying lengths from one benchmark
+  /// shape.
+  [[nodiscard]] AppSpec scaled_runtime(double factor) const;
+
+  /// Validates invariants (non-empty phases, positive durations, demands in
+  /// range); throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+}  // namespace aeva::workload

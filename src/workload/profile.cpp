@@ -1,0 +1,39 @@
+#include "workload/profile.hpp"
+
+namespace aeva::workload {
+
+std::string_view to_string(Subsystem subsystem) noexcept {
+  switch (subsystem) {
+    case Subsystem::kCpu:
+      return "cpu";
+    case Subsystem::kMemory:
+      return "memory";
+    case Subsystem::kDisk:
+      return "disk";
+    case Subsystem::kNetwork:
+      return "network";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ProfileClass profile) noexcept {
+  switch (profile) {
+    case ProfileClass::kCpu:
+      return "CPU";
+    case ProfileClass::kMem:
+      return "MEM";
+    case ProfileClass::kIo:
+      return "IO";
+  }
+  return "unknown";
+}
+
+std::optional<ProfileClass> parse_profile_class(
+    std::string_view text) noexcept {
+  if (text == "CPU") return ProfileClass::kCpu;
+  if (text == "MEM") return ProfileClass::kMem;
+  if (text == "IO") return ProfileClass::kIo;
+  return std::nullopt;
+}
+
+}  // namespace aeva::workload

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file profile.hpp
+/// Application profile taxonomy.
+///
+/// The paper classifies each application (and hence each VM) as CPU-,
+/// memory-, or I/O-intensive based on its usage of four server subsystems:
+/// CPU, memory, disk (storage), and network interface (Sect. III-A). The
+/// model database is keyed by counts of the three classes; the profiler
+/// reports intensity along all four subsystem dimensions (an application
+/// may be intensive along several, e.g. CPU *and* network — Fig. 1 right).
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace aeva::workload {
+
+/// The four profiled server subsystems.
+enum class Subsystem { kCpu = 0, kMemory = 1, kDisk = 2, kNetwork = 3 };
+
+/// Number of profiled subsystems.
+inline constexpr int kSubsystemCount = 4;
+
+/// All subsystems, for iteration.
+inline constexpr std::array<Subsystem, kSubsystemCount> kAllSubsystems = {
+    Subsystem::kCpu, Subsystem::kMemory, Subsystem::kDisk,
+    Subsystem::kNetwork};
+
+/// The paper's three workload classes used as the model-database key.
+enum class ProfileClass { kCpu = 0, kMem = 1, kIo = 2 };
+
+/// Number of workload classes.
+inline constexpr int kProfileClassCount = 3;
+
+/// All profile classes, for iteration.
+inline constexpr std::array<ProfileClass, kProfileClassCount>
+    kAllProfileClasses = {ProfileClass::kCpu, ProfileClass::kMem,
+                          ProfileClass::kIo};
+
+/// Human-readable subsystem name ("cpu", "memory", "disk", "network").
+[[nodiscard]] std::string_view to_string(Subsystem subsystem) noexcept;
+
+/// Human-readable class name ("CPU", "MEM", "IO").
+[[nodiscard]] std::string_view to_string(ProfileClass profile) noexcept;
+
+/// Parses a class name (case-sensitive: "CPU", "MEM", "IO").
+[[nodiscard]] std::optional<ProfileClass> parse_profile_class(
+    std::string_view text) noexcept;
+
+/// Count of VMs per profile class: the model-database key
+/// (Ncpu, Nmem, Nio) of Table II.
+struct ClassCounts {
+  int cpu = 0;
+  int mem = 0;
+  int io = 0;
+
+  [[nodiscard]] int total() const noexcept { return cpu + mem + io; }
+
+  [[nodiscard]] int of(ProfileClass profile) const noexcept {
+    switch (profile) {
+      case ProfileClass::kCpu:
+        return cpu;
+      case ProfileClass::kMem:
+        return mem;
+      case ProfileClass::kIo:
+        return io;
+    }
+    return 0;
+  }
+
+  /// Mutable access by class.
+  int& of(ProfileClass profile) noexcept {
+    switch (profile) {
+      case ProfileClass::kMem:
+        return mem;
+      case ProfileClass::kIo:
+        return io;
+      case ProfileClass::kCpu:
+      default:
+        return cpu;
+    }
+  }
+
+  friend ClassCounts operator+(ClassCounts a, ClassCounts b) noexcept {
+    return ClassCounts{a.cpu + b.cpu, a.mem + b.mem, a.io + b.io};
+  }
+
+  friend ClassCounts operator-(ClassCounts a, ClassCounts b) noexcept {
+    return ClassCounts{a.cpu - b.cpu, a.mem - b.mem, a.io - b.io};
+  }
+
+  friend bool operator==(ClassCounts a, ClassCounts b) noexcept {
+    return a.cpu == b.cpu && a.mem == b.mem && a.io == b.io;
+  }
+
+  /// Lexicographic order on (cpu, mem, io): the database sort key
+  /// (Sect. III-C).
+  friend bool operator<(ClassCounts a, ClassCounts b) noexcept {
+    if (a.cpu != b.cpu) return a.cpu < b.cpu;
+    if (a.mem != b.mem) return a.mem < b.mem;
+    return a.io < b.io;
+  }
+};
+
+}  // namespace aeva::workload

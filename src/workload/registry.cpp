@@ -1,0 +1,195 @@
+#include "workload/registry.hpp"
+
+#include "util/error.hpp"
+
+namespace aeva::workload {
+
+namespace {
+
+AppSpec make_linpack() {
+  AppSpec app;
+  app.name = "linpack";
+  app.profile = ProfileClass::kCpu;
+  app.mem_footprint_mb = 300.0;
+  app.phases = {
+      Phase{"factorize", Demand{0.92, 0.12, 0.0, 0.0}, 1200.0},
+  };
+  return app;
+}
+
+AppSpec make_fftw() {
+  AppSpec app;
+  app.name = "fftw";
+  app.profile = ProfileClass::kCpu;
+  app.mem_footprint_mb = 330.0;
+  // "single thread, with long initialization phase" (Sect. III-B). The
+  // transform itself is memory-latency bound, so its effective core demand
+  // sits well below one full core — this is what lets ~9 single-threaded
+  // FFTW VMs share 4 cores productively before contention wins (Fig. 2).
+  app.phases = {
+      Phase{"init", Demand{0.30, 0.02, 15.0, 0.0}, 180.0},
+      Phase{"transform", Demand{0.30, 0.07, 0.0, 0.0}, 720.0},
+  };
+  return app;
+}
+
+AppSpec make_sysbench() {
+  AppSpec app;
+  app.name = "sysbench";
+  app.profile = ProfileClass::kMem;
+  app.mem_footprint_mb = 380.0;
+  app.phases = {
+      Phase{"prepare", Demand{0.60, 0.10, 20.0, 0.0}, 60.0},
+      Phase{"oltp", Demand{0.50, 0.22, 8.0, 0.0}, 940.0},
+  };
+  return app;
+}
+
+AppSpec make_stream() {
+  AppSpec app;
+  app.name = "stream";
+  app.profile = ProfileClass::kMem;
+  app.mem_footprint_mb = 420.0;
+  app.phases = {
+      Phase{"triad", Demand{0.30, 0.30, 0.0, 0.0}, 800.0},
+  };
+  return app;
+}
+
+AppSpec make_beffio() {
+  AppSpec app;
+  app.name = "beffio";
+  app.profile = ProfileClass::kIo;
+  app.mem_footprint_mb = 160.0;
+  // b_eff_io is an MPI-I/O benchmark: disk-dominant with a visible
+  // network component from the MPI exchanges.
+  app.phases = {
+      Phase{"write", Demand{0.18, 0.03, 45.0, 12.0}, 600.0},
+      Phase{"read", Demand{0.20, 0.03, 50.0, 12.0}, 500.0},
+  };
+  return app;
+}
+
+AppSpec make_bonnie() {
+  AppSpec app;
+  app.name = "bonnie";
+  app.profile = ProfileClass::kIo;
+  app.mem_footprint_mb = 128.0;
+  app.phases = {
+      Phase{"create", Demand{0.20, 0.02, 60.0, 0.0}, 300.0},
+      Phase{"rewrite", Demand{0.15, 0.02, 70.0, 0.0}, 400.0},
+      Phase{"read", Demand{0.22, 0.02, 65.0, 0.0}, 300.0},
+  };
+  return app;
+}
+
+AppSpec make_mpicompute() {
+  AppSpec app;
+  app.name = "mpicompute";
+  app.profile = ProfileClass::kCpu;
+  app.mem_footprint_mb = 256.0;
+  // CPU- cum network-intensive workload of Fig. 1 (right): compute bursts
+  // alternate with MPI exchange windows.
+  for (int iteration = 0; iteration < 12; ++iteration) {
+    const std::string tag = std::to_string(iteration);
+    app.phases.push_back(
+        Phase{"compute" + tag, Demand{0.95, 0.12, 0.0, 0.0}, 40.0});
+    app.phases.push_back(
+        Phase{"exchange" + tag, Demand{0.30, 0.02, 0.0, 60.0}, 15.0});
+  }
+  return app;
+}
+
+AppSpec make_montecarlo() {
+  AppSpec app;
+  app.name = "montecarlo";
+  app.profile = ProfileClass::kCpu;
+  app.mem_footprint_mb = 64.0;
+  // Embarrassingly parallel sampling kernel: saturates its core, touches
+  // almost nothing else.
+  app.phases = {
+      Phase{"sample", Demand{0.98, 0.02, 0.0, 0.0}, 950.0},
+  };
+  return app;
+}
+
+AppSpec make_cg() {
+  AppSpec app;
+  app.name = "cg";
+  app.profile = ProfileClass::kMem;
+  app.mem_footprint_mb = 500.0;
+  // NAS CG archetype: sparse matrix-vector products, latency-bound on the
+  // memory subsystem with moderate core usage.
+  app.phases = {
+      Phase{"spmv", Demand{0.40, 0.28, 0.0, 0.0}, 1050.0},
+  };
+  return app;
+}
+
+AppSpec make_ft() {
+  AppSpec app;
+  app.name = "ft";
+  app.profile = ProfileClass::kCpu;
+  app.mem_footprint_mb = 384.0;
+  // NAS FT archetype: compute-heavy FFT stages punctuated by all-to-all
+  // transposes on the interconnect.
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    const std::string tag = std::to_string(iteration);
+    app.phases.push_back(
+        Phase{"fft" + tag, Demand{0.90, 0.15, 0.0, 0.0}, 90.0});
+    app.phases.push_back(
+        Phase{"transpose" + tag, Demand{0.40, 0.10, 0.0, 70.0}, 30.0});
+  }
+  return app;
+}
+
+std::vector<AppSpec> make_all() {
+  std::vector<AppSpec> apps = {
+      make_linpack(), make_fftw(),   make_sysbench(),   make_stream(),
+      make_beffio(),  make_bonnie(), make_mpicompute(), make_montecarlo(),
+      make_cg(),      make_ft(),
+  };
+  for (const auto& app : apps) {
+    app.validate();
+  }
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<AppSpec>& builtin_apps() {
+  static const std::vector<AppSpec> apps = make_all();
+  return apps;
+}
+
+std::vector<std::string> builtin_app_names() {
+  std::vector<std::string> names;
+  names.reserve(builtin_apps().size());
+  for (const auto& app : builtin_apps()) {
+    names.push_back(app.name);
+  }
+  return names;
+}
+
+const AppSpec& find_app(std::string_view name) {
+  for (const auto& app : builtin_apps()) {
+    if (app.name == name) {
+      return app;
+    }
+  }
+  throw std::invalid_argument("unknown benchmark: " + std::string(name));
+}
+
+const AppSpec& canonical_app(ProfileClass profile) {
+  switch (profile) {
+    case ProfileClass::kCpu:
+      return find_app("linpack");
+    case ProfileClass::kMem:
+      return find_app("sysbench");
+    case ProfileClass::kIo:
+      return find_app("beffio");
+  }
+  throw std::invalid_argument("unknown profile class");
+}
+
+}  // namespace aeva::workload

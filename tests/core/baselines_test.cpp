@@ -1,0 +1,205 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace aeva::core {
+namespace {
+
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+std::vector<VmRequest> make_request(int count, ProfileClass profile) {
+  std::vector<VmRequest> vms;
+  for (int i = 0; i < count; ++i) {
+    VmRequest vm;
+    vm.id = i + 1;
+    vm.profile = profile;
+    vms.push_back(vm);
+  }
+  return vms;
+}
+
+std::vector<ServerState> make_servers(
+    std::initializer_list<ClassCounts> allocations) {
+  std::vector<ServerState> servers;
+  int id = 0;
+  for (const ClassCounts& counts : allocations) {
+    servers.push_back(ServerState{id++, counts, counts.total() > 0});
+  }
+  return servers;
+}
+
+TEST(SlotFit, Names) {
+  EXPECT_EQ(SlotFitAllocator(SlotFitAllocator::Policy::kBestFit, 1).name(),
+            "BF");
+  EXPECT_EQ(SlotFitAllocator(SlotFitAllocator::Policy::kWorstFit, 2).name(),
+            "WF-2");
+}
+
+TEST(SlotFit, BestFitPicksTightestServer) {
+  const SlotFitAllocator bf(SlotFitAllocator::Policy::kBestFit, 1);
+  const auto servers =
+      make_servers({ClassCounts{1, 0, 0}, ClassCounts{3, 0, 0},
+                    ClassCounts{}});
+  const auto result =
+      bf.allocate(make_request(1, ProfileClass::kCpu), servers);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.placements[0].server_id, 1);  // only one free slot
+}
+
+TEST(SlotFit, WorstFitPicksEmptiestServer) {
+  const SlotFitAllocator wf(SlotFitAllocator::Policy::kWorstFit, 1);
+  const auto servers =
+      make_servers({ClassCounts{1, 0, 0}, ClassCounts{3, 0, 0},
+                    ClassCounts{}});
+  const auto result =
+      wf.allocate(make_request(1, ProfileClass::kCpu), servers);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.placements[0].server_id, 2);
+}
+
+TEST(SlotFit, BestFitTieBreaksToFirstServer) {
+  const SlotFitAllocator bf(SlotFitAllocator::Policy::kBestFit, 1);
+  const auto servers = make_servers({ClassCounts{}, ClassCounts{}});
+  const auto result =
+      bf.allocate(make_request(1, ProfileClass::kMem), servers);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.placements[0].server_id, 0);
+}
+
+TEST(SlotFit, AllOrNothing) {
+  const SlotFitAllocator bf(SlotFitAllocator::Policy::kBestFit, 1);
+  const auto servers = make_servers({ClassCounts{3, 0, 0}});
+  const auto result =
+      bf.allocate(make_request(2, ProfileClass::kCpu), servers);
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.placements.empty());
+}
+
+TEST(SlotFit, RespectsMultiplexCapacity) {
+  const SlotFitAllocator bf(SlotFitAllocator::Policy::kBestFit, 2);  // 8/srv
+  const auto servers = make_servers({ClassCounts{6, 0, 0}});
+  const auto result =
+      bf.allocate(make_request(2, ProfileClass::kIo), servers);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(SlotFit, RejectsBadConstruction) {
+  EXPECT_THROW(SlotFitAllocator(SlotFitAllocator::Policy::kBestFit, 0),
+               std::invalid_argument);
+}
+
+TEST(RandomFit, DeterministicForSameSeedAndRequest) {
+  const RandomFitAllocator a(42, 1);
+  const RandomFitAllocator b(42, 1);
+  const auto servers = make_servers(
+      {ClassCounts{}, ClassCounts{}, ClassCounts{}, ClassCounts{}});
+  const auto vms = make_request(3, ProfileClass::kCpu);
+  const auto ra = a.allocate(vms, servers);
+  const auto rb = b.allocate(vms, servers);
+  ASSERT_EQ(ra.placements.size(), rb.placements.size());
+  for (std::size_t i = 0; i < ra.placements.size(); ++i) {
+    EXPECT_EQ(ra.placements[i].server_id, rb.placements[i].server_id);
+  }
+}
+
+TEST(RandomFit, SpreadsAcrossServersOverManyRequests) {
+  const RandomFitAllocator rand(7, 1);
+  const auto servers = make_servers(
+      {ClassCounts{}, ClassCounts{}, ClassCounts{}, ClassCounts{}});
+  std::set<int> chosen;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<VmRequest> vm = {VmRequest{i + 1, ProfileClass::kCpu, 1e9}};
+    const auto result = rand.allocate(vm, servers);
+    ASSERT_TRUE(result.complete);
+    chosen.insert(result.placements[0].server_id);
+  }
+  EXPECT_EQ(chosen.size(), 4u);
+}
+
+TEST(RandomFit, FailsWhenFull) {
+  const RandomFitAllocator rand(7, 1);
+  const auto servers = make_servers({ClassCounts{4, 0, 0}});
+  const auto result =
+      rand.allocate(make_request(1, ProfileClass::kCpu), servers);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(VectorFit, FromRegistryBuildsNormalizedDemands) {
+  const VectorFitAllocator vec = VectorFitAllocator::from_registry(1.0);
+  for (const ProfileClass profile : workload::kAllProfileClasses) {
+    const DemandVector& d = vec.demand_of(profile);
+    EXPECT_GT(d.cpu + d.mem + d.disk + d.net, 0.0);
+    EXPECT_LE(d.cpu, 1.0);
+    EXPECT_LE(d.mem, 1.0);
+    EXPECT_LE(d.disk, 1.0);
+    EXPECT_LE(d.net, 1.0);
+  }
+  // IO class is disk-heavy, CPU class is cpu-heavy.
+  EXPECT_GT(vec.demand_of(ProfileClass::kIo).disk,
+            vec.demand_of(ProfileClass::kCpu).disk);
+  EXPECT_GT(vec.demand_of(ProfileClass::kCpu).cpu,
+            vec.demand_of(ProfileClass::kIo).cpu);
+}
+
+TEST(VectorFit, PacksComplementaryClassesTogether) {
+  // After seeding one server with CPU VMs and one with IO VMs, an incoming
+  // IO VM prefers the CPU-loaded server's ample disk headroom over the
+  // disk-loaded one... dot-product favours residual capacity along disk.
+  const VectorFitAllocator vec = VectorFitAllocator::from_registry(1.0);
+  const auto servers =
+      make_servers({ClassCounts{0, 0, 3}, ClassCounts{3, 0, 0}});
+  const auto result =
+      vec.allocate(make_request(1, ProfileClass::kIo), servers);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.placements[0].server_id, 1);
+}
+
+TEST(VectorFit, RespectsCapacityPerDimension) {
+  // Four beffio VMs saturate the disk (4 × ~0.26 ≈ 1.0): a fifth IO VM
+  // must go elsewhere.
+  const VectorFitAllocator vec = VectorFitAllocator::from_registry(1.0);
+  const auto servers =
+      make_servers({ClassCounts{0, 0, 4}, ClassCounts{}});
+  const auto result =
+      vec.allocate(make_request(1, ProfileClass::kIo), servers);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.placements[0].server_id, 1);
+}
+
+TEST(VectorFit, OvercommitRelaxesFit) {
+  const VectorFitAllocator strict = VectorFitAllocator::from_registry(1.0);
+  const VectorFitAllocator loose = VectorFitAllocator::from_registry(1.5);
+  const auto servers = make_servers({ClassCounts{0, 0, 4}});
+  const auto vms = make_request(1, ProfileClass::kIo);
+  EXPECT_FALSE(strict.allocate(vms, servers).complete);
+  EXPECT_TRUE(loose.allocate(vms, servers).complete);
+}
+
+TEST(VectorFit, Names) {
+  EXPECT_EQ(VectorFitAllocator::from_registry(1.0).name(), "VEC");
+  EXPECT_EQ(VectorFitAllocator::from_registry(1.5).name(), "VEC-1.5");
+}
+
+TEST(VectorFit, RejectsBadConstruction) {
+  EXPECT_THROW((void)VectorFitAllocator::from_registry(0.5),
+               std::invalid_argument);
+  std::array<DemandVector, workload::kProfileClassCount> zero{};
+  EXPECT_THROW((void)VectorFitAllocator(zero, 1.0), std::invalid_argument);
+}
+
+TEST(Baselines, EmptyRequestsComplete) {
+  const auto servers = make_servers({ClassCounts{}});
+  EXPECT_TRUE(SlotFitAllocator(SlotFitAllocator::Policy::kBestFit, 1)
+                  .allocate({}, servers)
+                  .complete);
+  EXPECT_TRUE(RandomFitAllocator(1, 1).allocate({}, servers).complete);
+  EXPECT_TRUE(
+      VectorFitAllocator::from_registry(1.0).allocate({}, servers).complete);
+}
+
+}  // namespace
+}  // namespace aeva::core

@@ -1,0 +1,136 @@
+#include "core/first_fit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aeva::core {
+namespace {
+
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+std::vector<VmRequest> make_request(int count, ProfileClass profile) {
+  std::vector<VmRequest> vms;
+  for (int i = 0; i < count; ++i) {
+    VmRequest vm;
+    vm.id = i + 1;
+    vm.profile = profile;
+    vms.push_back(vm);
+  }
+  return vms;
+}
+
+std::vector<ServerState> make_servers(int count) {
+  std::vector<ServerState> servers;
+  for (int i = 0; i < count; ++i) {
+    servers.push_back(ServerState{i, ClassCounts{}, false});
+  }
+  return servers;
+}
+
+TEST(FirstFit, NamesMatchPaper) {
+  EXPECT_EQ(FirstFitAllocator(1).name(), "FF");
+  EXPECT_EQ(FirstFitAllocator(2).name(), "FF-2");
+  EXPECT_EQ(FirstFitAllocator(3).name(), "FF-3");
+}
+
+TEST(FirstFit, CapacityIsMultiplexTimesCpus) {
+  EXPECT_EQ(FirstFitAllocator(1).server_capacity(), 4);
+  EXPECT_EQ(FirstFitAllocator(2).server_capacity(), 8);
+  EXPECT_EQ(FirstFitAllocator(3).server_capacity(), 12);
+  EXPECT_EQ(FirstFitAllocator(2, 8).server_capacity(), 16);
+}
+
+TEST(FirstFit, FillsFirstServerFirst) {
+  const FirstFitAllocator ff(1);
+  const auto result =
+      ff.allocate(make_request(3, ProfileClass::kCpu), make_servers(3));
+  ASSERT_TRUE(result.complete);
+  ASSERT_EQ(result.placements.size(), 3u);
+  for (const Placement& p : result.placements) {
+    EXPECT_EQ(p.server_id, 0);
+  }
+}
+
+TEST(FirstFit, OverflowsToNextServer) {
+  const FirstFitAllocator ff(1);  // 4 VMs per server
+  const auto result =
+      ff.allocate(make_request(6, ProfileClass::kMem), make_servers(2));
+  ASSERT_TRUE(result.complete);
+  int on_first = 0;
+  int on_second = 0;
+  for (const Placement& p : result.placements) {
+    (p.server_id == 0 ? on_first : on_second) += 1;
+  }
+  EXPECT_EQ(on_first, 4);
+  EXPECT_EQ(on_second, 2);
+}
+
+TEST(FirstFit, RespectsExistingAllocations) {
+  const FirstFitAllocator ff(1);
+  std::vector<ServerState> servers = make_servers(2);
+  servers[0].allocated = ClassCounts{3, 0, 0};  // one slot left
+  const auto result =
+      ff.allocate(make_request(2, ProfileClass::kIo), servers);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.placements[0].server_id, 0);
+  EXPECT_EQ(result.placements[1].server_id, 1);
+}
+
+TEST(FirstFit, AllOrNothingWhenFull) {
+  const FirstFitAllocator ff(1);
+  std::vector<ServerState> servers = make_servers(1);
+  servers[0].allocated = ClassCounts{2, 1, 0};  // one slot left
+  const auto result =
+      ff.allocate(make_request(2, ProfileClass::kCpu), servers);
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.placements.empty());
+}
+
+TEST(FirstFit, MultiplexingRaisesCapacity) {
+  const FirstFitAllocator ff3(3);  // 12 per server
+  const auto result =
+      ff3.allocate(make_request(12, ProfileClass::kCpu), make_servers(1));
+  ASSERT_TRUE(result.complete);
+  for (const Placement& p : result.placements) {
+    EXPECT_EQ(p.server_id, 0);
+  }
+}
+
+TEST(FirstFit, EmptyRequestIsComplete) {
+  const FirstFitAllocator ff(1);
+  const auto result = ff.allocate({}, make_servers(1));
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.placements.empty());
+}
+
+TEST(FirstFit, NoServersMeansIncomplete) {
+  const FirstFitAllocator ff(1);
+  const auto result = ff.allocate(make_request(1, ProfileClass::kCpu), {});
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(FirstFit, IgnoresProfiles) {
+  // First-fit is blind to application classes: mixed requests pack the
+  // same way as homogeneous ones.
+  const FirstFitAllocator ff(1);
+  std::vector<VmRequest> mixed;
+  for (int i = 0; i < 4; ++i) {
+    VmRequest vm;
+    vm.id = i;
+    vm.profile = workload::kAllProfileClasses[static_cast<std::size_t>(i) % 3];
+    mixed.push_back(vm);
+  }
+  const auto result = ff.allocate(mixed, make_servers(2));
+  ASSERT_TRUE(result.complete);
+  for (const Placement& p : result.placements) {
+    EXPECT_EQ(p.server_id, 0);
+  }
+}
+
+TEST(FirstFit, RejectsBadConstruction) {
+  EXPECT_THROW(FirstFitAllocator(0), std::invalid_argument);
+  EXPECT_THROW(FirstFitAllocator(1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::core

@@ -1,0 +1,134 @@
+#include "core/power_cap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "datacenter/simulator.hpp"
+#include "testing/shared_db.hpp"
+
+namespace aeva::core {
+namespace {
+
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+PowerCapAllocator make_guard(double cap_w) {
+  ProactiveConfig config;
+  config.alpha = 0.5;
+  return PowerCapAllocator(std::make_unique<ProactiveAllocator>(db(), config),
+                           db(), cap_w);
+}
+
+std::vector<ServerState> empty_servers(int count) {
+  std::vector<ServerState> servers;
+  for (int i = 0; i < count; ++i) {
+    servers.push_back(ServerState{i, ClassCounts{}, false, 0});
+  }
+  return servers;
+}
+
+std::vector<VmRequest> one_vm(ProfileClass profile) {
+  return {VmRequest{1, profile, 1e12}};
+}
+
+TEST(PowerCap, NameEncodesBudget) {
+  EXPECT_EQ(make_guard(9000.0).name(), "CAP9.0kW(PA-0.5)");
+}
+
+TEST(PowerCap, GenerousCapIsTransparent) {
+  const PowerCapAllocator guard = make_guard(1e9);
+  const auto result = guard.allocate(one_vm(ProfileClass::kCpu),
+                                     empty_servers(2));
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(PowerCap, TightCapRejectsPlacement) {
+  // A single busy server draws ≥125 W; a 100 W budget admits nothing.
+  const PowerCapAllocator guard = make_guard(100.0);
+  const auto result = guard.allocate(one_vm(ProfileClass::kIo),
+                                     empty_servers(2));
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.placements.empty());
+}
+
+TEST(PowerCap, PredictedPowerCountsBusyServersOnly) {
+  const PowerCapAllocator guard = make_guard(1e9);
+  std::vector<ServerState> servers = empty_servers(3);
+  EXPECT_DOUBLE_EQ(guard.predicted_power_w(servers), 0.0);
+  servers[1].allocated = ClassCounts{2, 0, 0};
+  const double one = guard.predicted_power_w(servers);
+  EXPECT_GT(one, 125.0);
+  servers[2].allocated = ClassCounts{0, 1, 1};
+  EXPECT_GT(guard.predicted_power_w(servers), one);
+}
+
+TEST(PowerCap, BudgetBindsOnTheMarginalServer) {
+  // Budget for roughly one busy server: the first placement lands, a
+  // second one that needs another machine is rejected.
+  const double solo_power =
+      db().estimate(ClassCounts{1, 0, 0}).avg_power_w();
+  const auto& base = db().base();
+  const PowerCapAllocator guard = make_guard(solo_power + 60.0);
+
+  std::vector<ServerState> servers = empty_servers(2);
+  const auto first = guard.allocate(one_vm(ProfileClass::kCpu), servers);
+  ASSERT_TRUE(first.complete);
+  // Saturate server 0 up to the OS box so the next VM needs server 1.
+  servers[0].allocated =
+      ClassCounts{base.cpu.os(), base.mem.os(), base.io.os()};
+  servers[0].powered = true;
+  const auto second = guard.allocate(one_vm(ProfileClass::kCpu), servers);
+  EXPECT_FALSE(second.complete);
+}
+
+TEST(PowerCap, RejectsBadConstruction) {
+  ProactiveConfig config;
+  EXPECT_THROW(PowerCapAllocator(nullptr, db(), 1000.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PowerCapAllocator(std::make_unique<ProactiveAllocator>(db(), config),
+                        db(), 0.0),
+      std::invalid_argument);
+}
+
+TEST(PowerCap, SimulationRespectsTheBudgetThroughout) {
+  // End to end: the observer verifies the instantaneous cluster draw never
+  // exceeds the cap (modulo the accounting granularity).
+  trace::PreparedWorkload workload;
+  long long id = 1;
+  for (int i = 0; i < 12; ++i) {
+    trace::JobRequest job;
+    job.id = id++;
+    job.submit_s = i * 40.0;
+    job.profile = workload::kAllProfileClasses[static_cast<std::size_t>(i) % 3];
+    job.vm_count = 2;
+    job.runtime_scale = 1.0;
+    job.deadline_s = 1e9;
+    workload.jobs.push_back(job);
+    workload.total_vms += 2;
+  }
+  datacenter::CloudConfig cloud;
+  cloud.server_count = 8;
+  const datacenter::Simulator sim(db(), cloud);
+  const double cap = 900.0;
+  const PowerCapAllocator guard = make_guard(cap);
+  double peak = 0.0;
+  const datacenter::SimMetrics metrics = sim.run(
+      workload, guard, [&](double, double, const std::vector<double>& p) {
+        double total = 0.0;
+        for (const double w : p) {
+          total += w;
+        }
+        peak = std::max(peak, total);
+      });
+  EXPECT_EQ(metrics.vms, 24u);
+  EXPECT_LE(peak, cap * 1.001);
+}
+
+}  // namespace
+}  // namespace aeva::core

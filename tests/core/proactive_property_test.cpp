@@ -1,0 +1,229 @@
+/// Property suites for the proactive allocator: invariants that must hold
+/// for any request and any cluster state, exercised over randomized
+/// scenarios.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/proactive.hpp"
+#include "testing/shared_db.hpp"
+#include "util/rng.hpp"
+
+namespace aeva::core {
+namespace {
+
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+struct Scenario {
+  std::vector<VmRequest> vms;
+  std::vector<ServerState> servers;
+  double alpha = 0.5;
+};
+
+Scenario random_scenario(util::Rng& rng) {
+  Scenario scenario;
+  scenario.alpha = rng.uniform(0.0, 1.0);
+  const int vm_count = static_cast<int>(rng.uniform_int(1, 6));
+  for (int i = 0; i < vm_count; ++i) {
+    VmRequest vm;
+    vm.id = i + 1;
+    vm.profile = workload::kAllProfileClasses[static_cast<std::size_t>(
+        rng.uniform_int(0, 2))];
+    // Mix of generous and occasionally binding deadlines.
+    vm.max_exec_time_s =
+        rng.bernoulli(0.3) ? rng.uniform(1000.0, 4000.0) : 1e12;
+    scenario.vms.push_back(vm);
+  }
+  const int server_count = static_cast<int>(rng.uniform_int(1, 8));
+  const auto& base = db().base();
+  for (int s = 0; s < server_count; ++s) {
+    ServerState server;
+    server.id = s;
+    if (rng.bernoulli(0.5)) {
+      server.allocated.cpu =
+          static_cast<int>(rng.uniform_int(0, base.cpu.os()));
+      server.allocated.mem =
+          static_cast<int>(rng.uniform_int(0, base.mem.os()));
+      server.allocated.io =
+          static_cast<int>(rng.uniform_int(0, base.io.os()));
+      server.powered = server.allocated.total() > 0;
+    }
+    scenario.servers.push_back(server);
+  }
+  return scenario;
+}
+
+class ProactiveProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProactiveProperty, PlacementsAreWellFormed) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 25; ++round) {
+    const Scenario scenario = random_scenario(rng);
+    ProactiveConfig config;
+    config.alpha = scenario.alpha;
+    const ProactiveAllocator allocator(db(), config);
+    const AllocationResult result =
+        allocator.allocate(scenario.vms, scenario.servers);
+    if (!result.complete) {
+      EXPECT_TRUE(result.placements.empty());
+      continue;
+    }
+    // Every VM placed exactly once, on a known server.
+    std::set<std::int64_t> placed;
+    std::map<int, ClassCounts> mixes;
+    for (const ServerState& server : scenario.servers) {
+      mixes[server.id] = server.allocated;
+    }
+    for (const Placement& p : result.placements) {
+      EXPECT_TRUE(placed.insert(p.vm_id).second);
+      ASSERT_TRUE(mixes.count(p.server_id));
+      ++mixes[p.server_id].of(
+          scenario.vms[static_cast<std::size_t>(p.vm_id - 1)].profile);
+    }
+    EXPECT_EQ(placed.size(), scenario.vms.size());
+    // Resulting mixes stay inside the OS box.
+    const CostModel& model = allocator.cost_model();
+    for (const auto& [id, mix] : mixes) {
+      EXPECT_TRUE(model.feasible(mix)) << "server " << id;
+    }
+  }
+}
+
+TEST_P(ProactiveProperty, QosHonouredWheneverReported) {
+  util::Rng rng(GetParam() ^ 0xfeedULL);
+  for (int round = 0; round < 25; ++round) {
+    const Scenario scenario = random_scenario(rng);
+    ProactiveConfig config;
+    config.alpha = scenario.alpha;
+    const ProactiveAllocator allocator(db(), config);
+    const AllocationResult result =
+        allocator.allocate(scenario.vms, scenario.servers);
+    if (!result.complete || !result.satisfied_qos) {
+      continue;
+    }
+    // Reconstruct final mixes and verify every VM's estimate fits its
+    // deadline under the chosen placement.
+    std::map<int, ClassCounts> mixes;
+    for (const ServerState& server : scenario.servers) {
+      mixes[server.id] = server.allocated;
+    }
+    for (const Placement& p : result.placements) {
+      ++mixes[p.server_id].of(
+          scenario.vms[static_cast<std::size_t>(p.vm_id - 1)].profile);
+    }
+    // Group VM deadlines and estimated slots per (server, class); the
+    // allocator promises a perfect matching, which for equal estimates
+    // within one server reduces to the per-VM check.
+    for (const Placement& p : result.placements) {
+      const VmRequest& vm =
+          scenario.vms[static_cast<std::size_t>(p.vm_id - 1)];
+      const double est = allocator.cost_model().vm_time_s(
+          vm.profile, mixes[p.server_id]);
+      EXPECT_LE(est, vm.max_exec_time_s + 1e-6)
+          << "vm " << vm.id << " on server " << p.server_id;
+    }
+  }
+}
+
+TEST_P(ProactiveProperty, DeterministicAcrossIdenticalCalls) {
+  util::Rng rng(GetParam() ^ 0xbeefULL);
+  const Scenario scenario = random_scenario(rng);
+  ProactiveConfig config;
+  config.alpha = scenario.alpha;
+  const ProactiveAllocator allocator(db(), config);
+  const AllocationResult a =
+      allocator.allocate(scenario.vms, scenario.servers);
+  const AllocationResult b =
+      allocator.allocate(scenario.vms, scenario.servers);
+  EXPECT_EQ(a.complete, b.complete);
+  ASSERT_EQ(a.placements.size(), b.placements.size());
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].vm_id, b.placements[i].vm_id);
+    EXPECT_EQ(a.placements[i].server_id, b.placements[i].server_id);
+  }
+  EXPECT_DOUBLE_EQ(a.score.combined, b.score.combined);
+}
+
+TEST_P(ProactiveProperty, AlphaZeroMinimizesTimeAmongAlphas) {
+  // PA-0's estimated mean time is never beaten by other alphas on the
+  // same scenario (it optimizes exactly that metric over the same
+  // candidate set).
+  util::Rng rng(GetParam() ^ 0x5a5aULL);
+  for (int round = 0; round < 10; ++round) {
+    Scenario scenario = random_scenario(rng);
+    for (VmRequest& vm : scenario.vms) {
+      vm.max_exec_time_s = 1e12;  // QoS off: identical candidate sets
+    }
+    double best_time = 0.0;
+    double pa0_time = 0.0;
+    bool pa0_complete = false;
+    bool all_complete = true;
+    for (const double alpha : {0.0, 0.5, 1.0}) {
+      ProactiveConfig config;
+      config.alpha = alpha;
+      const ProactiveAllocator allocator(db(), config);
+      const AllocationResult result =
+          allocator.allocate(scenario.vms, scenario.servers);
+      if (!result.complete) {
+        all_complete = false;
+        break;
+      }
+      if (alpha == 0.0) {
+        pa0_time = result.score.est_time_s;
+        pa0_complete = true;
+      } else {
+        best_time = best_time == 0.0
+                        ? result.score.est_time_s
+                        : std::min(best_time, result.score.est_time_s);
+      }
+    }
+    if (all_complete && pa0_complete && best_time > 0.0) {
+      EXPECT_LE(pa0_time, best_time + 1e-6);
+    }
+  }
+}
+
+TEST_P(ProactiveProperty, AlphaOneMinimizesEnergyAmongAlphas) {
+  util::Rng rng(GetParam() ^ 0xa5a5ULL);
+  for (int round = 0; round < 10; ++round) {
+    Scenario scenario = random_scenario(rng);
+    for (VmRequest& vm : scenario.vms) {
+      vm.max_exec_time_s = 1e12;
+    }
+    double pa1_energy = 0.0;
+    double other_best = 0.0;
+    bool all_complete = true;
+    for (const double alpha : {1.0, 0.5, 0.0}) {
+      ProactiveConfig config;
+      config.alpha = alpha;
+      const ProactiveAllocator allocator(db(), config);
+      const AllocationResult result =
+          allocator.allocate(scenario.vms, scenario.servers);
+      if (!result.complete) {
+        all_complete = false;
+        break;
+      }
+      if (alpha == 1.0) {
+        pa1_energy = result.score.est_energy_j;
+      } else {
+        other_best = other_best == 0.0
+                         ? result.score.est_energy_j
+                         : std::min(other_best, result.score.est_energy_j);
+      }
+    }
+    if (all_complete && other_best > 0.0) {
+      EXPECT_LE(pa1_energy, other_best + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProactiveProperty,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace aeva::core

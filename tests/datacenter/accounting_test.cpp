@@ -1,0 +1,57 @@
+#include "datacenter/accounting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aeva::datacenter {
+namespace {
+
+TEST(IntervalAccounting, PaperExecTimeExampleExact) {
+  // ExecTime_VM1 = 0.7·1200 + 0.3·1800 = 1380 s (Fig. 4).
+  EXPECT_DOUBLE_EQ(
+      interval_weighted_time_s({{0.7, 1200.0}, {0.3, 1800.0}}), 1380.0);
+}
+
+TEST(IntervalAccounting, PaperEnergyExampleExact) {
+  // Energy = 0.35·15 kJ + 0.15·20 kJ + 0.5·12 kJ = 14.25 kJ (Fig. 4).
+  EXPECT_DOUBLE_EQ(interval_weighted_energy_j(
+                       {{0.35, 15000.0}, {0.15, 20000.0}, {0.5, 12000.0}}),
+                   14250.0);
+}
+
+TEST(IntervalAccounting, SingleIntervalIsIdentity) {
+  EXPECT_DOUBLE_EQ(interval_weighted_time_s({{1.0, 777.0}}), 777.0);
+}
+
+TEST(IntervalAccounting, ZeroWeightIntervalContributesNothing) {
+  EXPECT_DOUBLE_EQ(
+      interval_weighted_time_s({{1.0, 100.0}, {0.0, 99999.0}}), 100.0);
+}
+
+TEST(IntervalAccounting, WeightsMustSumToOne) {
+  EXPECT_THROW((void)interval_weighted_time_s({{0.5, 100.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)interval_weighted_energy_j({{0.7, 100.0}, {0.7, 100.0}}),
+      std::invalid_argument);
+}
+
+TEST(IntervalAccounting, WeightsWithinToleranceAccepted) {
+  EXPECT_NO_THROW((void)interval_weighted_time_s(
+      {{0.5, 1.0}, {0.5 + 5e-10, 1.0}}));
+}
+
+TEST(IntervalAccounting, RejectsNegativeWeightOrValue) {
+  EXPECT_THROW(
+      (void)interval_weighted_time_s({{-0.5, 1.0}, {1.5, 1.0}}),
+      std::invalid_argument);
+  EXPECT_THROW((void)interval_weighted_energy_j({{1.0, -1.0}}),
+               std::invalid_argument);
+}
+
+TEST(IntervalAccounting, RejectsEmpty) {
+  EXPECT_THROW((void)interval_weighted_time_s({}), std::invalid_argument);
+  EXPECT_THROW((void)interval_weighted_energy_j({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::datacenter

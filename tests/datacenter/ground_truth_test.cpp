@@ -1,0 +1,154 @@
+#include "datacenter/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "testing/shared_db.hpp"
+#include "workload/registry.hpp"
+
+namespace aeva::datacenter {
+namespace {
+
+using trace::JobRequest;
+using trace::PreparedWorkload;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+PreparedWorkload small_workload() {
+  PreparedWorkload workload;
+  long long id = 1;
+  double t = 0.0;
+  for (int i = 0; i < 9; ++i) {
+    JobRequest job;
+    job.id = id++;
+    job.submit_s = t;
+    job.profile = workload::kAllProfileClasses[static_cast<std::size_t>(i) % 3];
+    job.vm_count = 1 + i % 3;
+    job.runtime_scale = 1.0;
+    job.deadline_s = 1e9;
+    job.max_exec_stretch = 3.0;
+    workload.total_vms += job.vm_count;
+    workload.jobs.push_back(job);
+    t += 150.0;
+  }
+  return workload;
+}
+
+CloudConfig small_cloud(int servers = 6) {
+  CloudConfig cloud;
+  cloud.server_count = servers;
+  return cloud;
+}
+
+TEST(GroundTruth, CompletesEveryVm) {
+  const GroundTruthSimulator sim(db(), testbed::testbed_server(),
+                                 small_cloud());
+  const core::FirstFitAllocator ff(2);
+  const SimMetrics metrics = sim.run(small_workload(), ff);
+  EXPECT_EQ(metrics.vms, static_cast<std::size_t>(small_workload().total_vms));
+  EXPECT_GT(metrics.makespan_s, 0.0);
+  EXPECT_GT(metrics.energy_j, 0.0);
+}
+
+TEST(GroundTruth, SoloJobMatchesFluidRuntimeExactly) {
+  // One VM on an empty cloud runs at its app's nominal runtime (the fluid
+  // ground truth), not the database estimate.
+  const GroundTruthSimulator sim(db(), testbed::testbed_server(),
+                                 small_cloud(1));
+  PreparedWorkload workload;
+  JobRequest job;
+  job.id = 1;
+  job.submit_s = 0.0;
+  job.profile = ProfileClass::kCpu;
+  job.vm_count = 1;
+  job.runtime_scale = 1.5;
+  job.deadline_s = 1e9;
+  workload.jobs.push_back(job);
+  workload.total_vms = 1;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics = sim.run(workload, ff);
+  const double nominal =
+      workload::canonical_app(ProfileClass::kCpu).nominal_runtime_s();
+  EXPECT_NEAR(metrics.makespan_s, 1.5 * nominal, 1e-3);
+}
+
+TEST(GroundTruth, TracksDbBackendWithinModelError) {
+  // The two backends must agree on the big picture: same workload, same
+  // strategy, metrics within a modest band (the DB was measured on this
+  // very fluid model).
+  const core::ProactiveAllocator pa(db(), core::ProactiveConfig{});
+  const Simulator db_sim(db(), small_cloud());
+  const GroundTruthSimulator fluid_sim(db(), testbed::testbed_server(),
+                                       small_cloud());
+  const SimMetrics a = db_sim.run(small_workload(), pa);
+  const SimMetrics b = fluid_sim.run(small_workload(), pa);
+  EXPECT_EQ(a.vms, b.vms);
+  EXPECT_NEAR(b.makespan_s, a.makespan_s, 0.30 * a.makespan_s);
+  EXPECT_NEAR(b.energy_j, a.energy_j, 0.30 * a.energy_j);
+}
+
+TEST(GroundTruth, DeterministicAcrossRuns) {
+  const GroundTruthSimulator sim(db(), testbed::testbed_server(),
+                                 small_cloud());
+  const core::FirstFitAllocator ff(2);
+  const SimMetrics a = sim.run(small_workload(), ff);
+  const SimMetrics b = sim.run(small_workload(), ff);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+}
+
+TEST(GroundTruth, EnergyOnlyForBusyServers) {
+  const GroundTruthSimulator sim(db(), testbed::testbed_server(),
+                                 small_cloud(30));
+  PreparedWorkload workload;
+  JobRequest job;
+  job.id = 1;
+  job.submit_s = 0.0;
+  job.profile = ProfileClass::kIo;
+  job.vm_count = 1;
+  job.runtime_scale = 1.0;
+  job.deadline_s = 1e9;
+  workload.jobs.push_back(job);
+  workload.total_vms = 1;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics = sim.run(workload, ff);
+  // One busy server: mean power between idle and peak of the testbed.
+  const double mean_power = metrics.energy_j / metrics.makespan_s;
+  EXPECT_GT(mean_power, 125.0);
+  EXPECT_LT(mean_power, testbed::testbed_server().power.peak_w());
+  EXPECT_EQ(metrics.servers_powered, 1u);
+}
+
+TEST(GroundTruth, RejectsUnsupportedConfigurations) {
+  CloudConfig with_migration = small_cloud();
+  with_migration.migration.enabled = true;
+  EXPECT_THROW(GroundTruthSimulator(db(), testbed::testbed_server(),
+                                    with_migration),
+               std::invalid_argument);
+  CloudConfig hetero = small_cloud(2);
+  hetero.hardware = {0, 0};
+  EXPECT_THROW(GroundTruthSimulator(db(), testbed::testbed_server(), hetero),
+               std::invalid_argument);
+}
+
+TEST(GroundTruth, ThrowsOnPermanentlyUnplaceableJob) {
+  const GroundTruthSimulator sim(db(), testbed::testbed_server(),
+                                 small_cloud(1));
+  PreparedWorkload workload;
+  JobRequest job;
+  job.id = 1;
+  job.submit_s = 0.0;
+  job.profile = ProfileClass::kCpu;
+  job.vm_count = 4;
+  job.runtime_scale = 1.0;
+  job.deadline_s = 1e9;
+  workload.jobs.push_back(job);
+  workload.total_vms = 4;
+  const core::FirstFitAllocator ff(1, 2);  // only 2 slots per server
+  EXPECT_THROW((void)sim.run(workload, ff), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aeva::datacenter

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "datacenter/simulator.hpp"
+#include "testing/shared_db.hpp"
+
+namespace aeva::datacenter {
+namespace {
+
+using trace::JobRequest;
+using trace::PreparedWorkload;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+/// A workload whose second wave leaves servers lightly loaded: staggered
+/// single-VM jobs of very different lengths, so short jobs drain and leave
+/// stragglers behind — the classic consolidation opportunity.
+PreparedWorkload straggler_workload() {
+  PreparedWorkload workload;
+  long long id = 1;
+  for (int i = 0; i < 12; ++i) {
+    JobRequest job;
+    job.id = id++;
+    job.submit_s = i * 10.0;
+    job.profile = ProfileClass::kCpu;
+    job.vm_count = 1;
+    job.runtime_scale = (i % 4 == 0) ? 3.0 : 0.5;  // stragglers + short jobs
+    job.deadline_s = 1e9;
+    workload.jobs.push_back(job);
+    workload.total_vms += 1;
+  }
+  return workload;
+}
+
+CloudConfig migration_cloud(int servers = 8) {
+  CloudConfig cloud;
+  cloud.server_count = servers;
+  cloud.migration.enabled = true;
+  cloud.migration.check_interval_s = 300.0;
+  return cloud;
+}
+
+TEST(Migration, DisabledByDefaultChangesNothing) {
+  CloudConfig plain;
+  plain.server_count = 8;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics a =
+      Simulator(db(), plain).run(straggler_workload(), ff);
+  EXPECT_EQ(a.migrations, 0u);
+  EXPECT_DOUBLE_EQ(a.migration_transfer_s, 0.0);
+}
+
+TEST(Migration, SweepConsolidatesStragglers) {
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics with = Simulator(db(), migration_cloud())
+                              .run(straggler_workload(), ff);
+  EXPECT_GT(with.migrations, 0u);
+  EXPECT_GT(with.migration_transfer_s, 0.0);
+}
+
+TEST(Migration, ConsolidationReducesBusyServerTime) {
+  const core::FirstFitAllocator ff(1);
+  CloudConfig plain;
+  plain.server_count = 8;
+  const SimMetrics without =
+      Simulator(db(), plain).run(straggler_workload(), ff);
+  const SimMetrics with = Simulator(db(), migration_cloud())
+                              .run(straggler_workload(), ff);
+  EXPECT_LT(with.mean_busy_servers, without.mean_busy_servers);
+}
+
+TEST(Migration, AllVmsStillComplete) {
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics = Simulator(db(), migration_cloud())
+                                 .run(straggler_workload(), ff);
+  EXPECT_EQ(metrics.vms,
+            static_cast<std::size_t>(straggler_workload().total_vms));
+}
+
+TEST(Migration, DowntimeExtendsCompletionTimes) {
+  // Migration is costly: the migrated stragglers lose stop-and-copy work,
+  // so the makespan must not shrink (nothing was queue-bound here).
+  const core::FirstFitAllocator ff(1);
+  CloudConfig plain;
+  plain.server_count = 8;
+  const SimMetrics without =
+      Simulator(db(), plain).run(straggler_workload(), ff);
+  CloudConfig costly = migration_cloud();
+  costly.migration.downtime_work_fraction = 0.05;
+  const SimMetrics with =
+      Simulator(db(), costly).run(straggler_workload(), ff);
+  if (with.migrations > 0) {
+    EXPECT_GE(with.makespan_s, without.makespan_s - 1e-6);
+  }
+}
+
+TEST(Migration, ProactivePlacementNeedsFewerMigrations) {
+  // The paper's thesis: application-centric proactive allocation avoids
+  // costly migrations. Compare migrations triggered by the sweep under
+  // first-fit vs PROACTIVE on the same workload.
+  const core::FirstFitAllocator ff(1);
+  core::ProactiveConfig config;
+  config.alpha = 1.0;
+  const core::ProactiveAllocator pa(db(), config);
+  const SimMetrics ff_run = Simulator(db(), migration_cloud())
+                                .run(straggler_workload(), ff);
+  const SimMetrics pa_run = Simulator(db(), migration_cloud())
+                                .run(straggler_workload(), pa);
+  EXPECT_LE(pa_run.migrations, ff_run.migrations);
+}
+
+TEST(Migration, RespectsConcurrencyCap) {
+  CloudConfig capped = migration_cloud();
+  capped.migration.max_concurrent = 1;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics =
+      Simulator(db(), capped).run(straggler_workload(), ff);
+  // With a single slot the sweep can still work, just more slowly.
+  EXPECT_EQ(metrics.vms,
+            static_cast<std::size_t>(straggler_workload().total_vms));
+}
+
+TEST(Migration, RejectsBadConfig) {
+  const core::FirstFitAllocator ff(1);
+  CloudConfig bad = migration_cloud();
+  bad.migration.check_interval_s = 0.0;
+  EXPECT_THROW((void)Simulator(db(), bad).run(straggler_workload(), ff),
+               std::invalid_argument);
+  bad = migration_cloud();
+  bad.migration.degradation = 0.0;
+  EXPECT_THROW((void)Simulator(db(), bad).run(straggler_workload(), ff),
+               std::invalid_argument);
+  bad = migration_cloud();
+  bad.migration.downtime_work_fraction = 1.0;
+  EXPECT_THROW((void)Simulator(db(), bad).run(straggler_workload(), ff),
+               std::invalid_argument);
+  bad = migration_cloud();
+  bad.migration.transfer_mbps = 0.0;
+  EXPECT_THROW((void)Simulator(db(), bad).run(straggler_workload(), ff),
+               std::invalid_argument);
+}
+
+TEST(Migration, DeterministicAcrossRuns) {
+  const core::FirstFitAllocator ff(1);
+  const Simulator sim(db(), migration_cloud());
+  const SimMetrics a = sim.run(straggler_workload(), ff);
+  const SimMetrics b = sim.run(straggler_workload(), ff);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+}  // namespace
+}  // namespace aeva::datacenter

@@ -1,0 +1,284 @@
+#include "datacenter/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "util/stats.hpp"
+#include "testing/shared_db.hpp"
+
+namespace aeva::datacenter {
+namespace {
+
+using trace::JobRequest;
+using trace::PreparedWorkload;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+PreparedWorkload tiny_workload() {
+  PreparedWorkload workload;
+  long long id = 1;
+  double t = 0.0;
+  for (const ProfileClass profile : workload::kAllProfileClasses) {
+    for (int k = 0; k < 4; ++k) {
+      JobRequest job;
+      job.id = id++;
+      job.submit_s = t;
+      job.profile = profile;
+      job.vm_count = 1 + k % 3;
+      job.runtime_scale = 1.0;
+      job.deadline_s = 1e9;
+      job.max_exec_stretch = 3.0;
+      workload.total_vms += job.vm_count;
+      workload.vm_mix.of(profile) += job.vm_count;
+      workload.jobs.push_back(job);
+      t += 100.0;
+    }
+  }
+  return workload;
+}
+
+CloudConfig tiny_cloud(int servers = 8) {
+  CloudConfig cloud;
+  cloud.server_count = servers;
+  return cloud;
+}
+
+TEST(Simulator, RunsTinyWorkloadWithFirstFit) {
+  const Simulator sim(db(), tiny_cloud());
+  const core::FirstFitAllocator ff(2);
+  const SimMetrics metrics = sim.run(tiny_workload(), ff);
+  EXPECT_EQ(metrics.vms, static_cast<std::size_t>(tiny_workload().total_vms));
+  EXPECT_EQ(metrics.jobs, tiny_workload().jobs.size());
+  EXPECT_GT(metrics.makespan_s, 0.0);
+  EXPECT_GT(metrics.energy_j, 0.0);
+}
+
+TEST(Simulator, RunsTinyWorkloadWithProactive) {
+  const Simulator sim(db(), tiny_cloud());
+  core::ProactiveConfig config;
+  config.alpha = 0.5;
+  const core::ProactiveAllocator pa(db(), config);
+  const SimMetrics metrics = sim.run(tiny_workload(), pa);
+  EXPECT_EQ(metrics.vms, static_cast<std::size_t>(tiny_workload().total_vms));
+  EXPECT_DOUBLE_EQ(metrics.sla_violation_pct, 0.0);
+}
+
+TEST(Simulator, SingleJobMatchesModelEstimate) {
+  const Simulator sim(db(), tiny_cloud(1));
+  PreparedWorkload workload;
+  JobRequest job;
+  job.id = 1;
+  job.submit_s = 0.0;
+  job.profile = ProfileClass::kCpu;
+  job.vm_count = 1;
+  job.runtime_scale = 1.0;
+  job.deadline_s = 1e9;
+  workload.jobs.push_back(job);
+  workload.total_vms = 1;
+
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics = sim.run(workload, ff);
+  // Alone on an empty cloud the VM runs at the pure single-VM estimate.
+  workload::ClassCounts solo{1, 0, 0};
+  EXPECT_NEAR(metrics.makespan_s, db().estimate(solo).time_of(job.profile),
+              1e-6);
+  EXPECT_NEAR(metrics.energy_j,
+              db().estimate(solo).avg_power_w() * metrics.makespan_s,
+              metrics.energy_j * 1e-9);
+}
+
+TEST(Simulator, RuntimeScaleStretchesExecution) {
+  const Simulator sim(db(), tiny_cloud(1));
+  PreparedWorkload workload;
+  JobRequest job;
+  job.id = 1;
+  job.submit_s = 0.0;
+  job.profile = ProfileClass::kIo;
+  job.vm_count = 1;
+  job.runtime_scale = 2.5;
+  job.deadline_s = 1e9;
+  workload.jobs.push_back(job);
+  workload.total_vms = 1;
+
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics = sim.run(workload, ff);
+  workload::ClassCounts solo{0, 0, 1};
+  EXPECT_NEAR(metrics.makespan_s,
+              2.5 * db().estimate(solo).time_of(job.profile), 1e-6);
+}
+
+TEST(Simulator, QueueingDelaysSecondJobOnTinyCloud) {
+  const Simulator sim(db(), tiny_cloud(1));
+  PreparedWorkload workload;
+  for (int i = 0; i < 2; ++i) {
+    JobRequest job;
+    job.id = i + 1;
+    job.submit_s = 0.0;
+    job.profile = ProfileClass::kMem;
+    job.vm_count = 4;
+    job.runtime_scale = 1.0;
+    job.deadline_s = 1e9;
+    workload.jobs.push_back(job);
+    workload.total_vms += 4;
+  }
+  const core::FirstFitAllocator ff(1);  // 4 VMs per server: jobs serialize
+  const SimMetrics metrics = sim.run(workload, ff);
+  EXPECT_GT(metrics.mean_wait_s, 0.0);
+  const double single = db().estimate({0, 4, 0}).time_of(ProfileClass::kMem);
+  EXPECT_NEAR(metrics.makespan_s, 2.0 * single, single * 0.01);
+}
+
+TEST(Simulator, SlaViolationsCountMissedDeadlines) {
+  const Simulator sim(db(), tiny_cloud(1));
+  PreparedWorkload workload;
+  JobRequest job;
+  job.id = 1;
+  job.submit_s = 0.0;
+  job.profile = ProfileClass::kCpu;
+  job.vm_count = 1;
+  job.runtime_scale = 1.0;
+  job.deadline_s = 10.0;  // impossible response bound
+  workload.jobs.push_back(job);
+  workload.total_vms = 1;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics = sim.run(workload, ff);
+  EXPECT_EQ(metrics.sla_violations, 1u);
+  EXPECT_DOUBLE_EQ(metrics.sla_violation_pct, 100.0);
+}
+
+TEST(Simulator, EnergyOnlyAccruesForBusyServers) {
+  // One short job on a big cloud: energy must reflect a single busy
+  // server, not the idle fleet.
+  const Simulator sim(db(), tiny_cloud(50));
+  PreparedWorkload workload;
+  JobRequest job;
+  job.id = 1;
+  job.submit_s = 0.0;
+  job.profile = ProfileClass::kIo;
+  job.vm_count = 1;
+  job.runtime_scale = 1.0;
+  job.deadline_s = 1e9;
+  workload.jobs.push_back(job);
+  workload.total_vms = 1;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics = sim.run(workload, ff);
+  workload::ClassCounts solo{0, 0, 1};
+  const double one_server =
+      db().estimate(solo).avg_power_w() * metrics.makespan_s;
+  EXPECT_NEAR(metrics.energy_j, one_server, one_server * 1e-9);
+}
+
+TEST(Simulator, BusyServerMetrics) {
+  const Simulator sim(db(), tiny_cloud(4));
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics = sim.run(tiny_workload(), ff);
+  EXPECT_GT(metrics.mean_busy_servers, 0.0);
+  EXPECT_LE(metrics.mean_busy_servers, 4.0);
+  EXPECT_LE(metrics.peak_busy_servers, 4.0);
+  EXPECT_GE(metrics.peak_busy_servers, metrics.mean_busy_servers);
+  EXPECT_GE(metrics.servers_powered, 1u);
+  EXPECT_LE(metrics.servers_powered, 4u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const Simulator sim(db(), tiny_cloud());
+  const core::FirstFitAllocator ff(3);
+  const SimMetrics a = sim.run(tiny_workload(), ff);
+  const SimMetrics b = sim.run(tiny_workload(), ff);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.sla_violations, b.sla_violations);
+}
+
+TEST(Simulator, ThrowsWhenJobCanNeverBePlaced) {
+  const Simulator sim(db(), tiny_cloud(1));
+  PreparedWorkload workload;
+  JobRequest job;
+  job.id = 1;
+  job.submit_s = 0.0;
+  job.profile = ProfileClass::kCpu;
+  job.vm_count = 4;
+  job.runtime_scale = 1.0;
+  job.deadline_s = 1e9;
+  workload.jobs.push_back(job);
+  workload.total_vms = 4;
+  // FF with multiplex 1 on a 2-CPU server can host only 2 VMs: the 4-VM
+  // job is permanently unplaceable.
+  const core::FirstFitAllocator ff(1, 2);
+  EXPECT_THROW((void)sim.run(workload, ff), std::runtime_error);
+}
+
+TEST(Simulator, RejectsBadInputs) {
+  CloudConfig no_servers;
+  no_servers.server_count = 0;
+  EXPECT_THROW(Simulator(db(), no_servers), std::invalid_argument);
+  CloudConfig bad_map = tiny_cloud(2);
+  bad_map.hardware = {0};  // size mismatch
+  EXPECT_THROW(Simulator(db(), bad_map), std::invalid_argument);
+  CloudConfig bad_class = tiny_cloud(2);
+  bad_class.hardware = {0, 1};  // class 1 has no database
+  EXPECT_THROW(Simulator(db(), bad_class), std::invalid_argument);
+  const Simulator sim(db(), tiny_cloud());
+  const core::FirstFitAllocator ff(1);
+  EXPECT_THROW((void)sim.run(PreparedWorkload{}, ff), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsUnsortedWorkload) {
+  const Simulator sim(db(), tiny_cloud());
+  PreparedWorkload workload = tiny_workload();
+  std::swap(workload.jobs.front().submit_s, workload.jobs.back().submit_s);
+  const core::FirstFitAllocator ff(1);
+  EXPECT_THROW((void)sim.run(workload, ff), std::invalid_argument);
+}
+
+TEST(Simulator, CompletionRecordsOffByDefault) {
+  const Simulator sim(db(), tiny_cloud());
+  const core::FirstFitAllocator ff(2);
+  const SimMetrics metrics = sim.run(tiny_workload(), ff);
+  EXPECT_TRUE(metrics.completions.empty());
+}
+
+TEST(Simulator, CompletionRecordsCoverEveryVm) {
+  CloudConfig cloud = tiny_cloud();
+  cloud.record_completions = true;
+  const Simulator sim(db(), cloud);
+  const core::FirstFitAllocator ff(2);
+  const SimMetrics metrics = sim.run(tiny_workload(), ff);
+  ASSERT_EQ(metrics.completions.size(), metrics.vms);
+  for (const VmCompletion& c : metrics.completions) {
+    EXPECT_GE(c.start_s, c.submit_s);
+    EXPECT_GT(c.finish_s, c.start_s);
+    EXPECT_GE(c.server, 0);
+    EXPECT_LT(c.server, cloud.server_count);
+    EXPECT_DOUBLE_EQ(c.response_s(), c.finish_s - c.submit_s);
+    EXPECT_DOUBLE_EQ(c.wait_s(), c.start_s - c.submit_s);
+  }
+}
+
+TEST(Simulator, CompletionRecordsMatchAggregates) {
+  CloudConfig cloud = tiny_cloud();
+  cloud.record_completions = true;
+  const Simulator sim(db(), cloud);
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics = sim.run(tiny_workload(), ff);
+  util::RunningStats responses;
+  for (const VmCompletion& c : metrics.completions) {
+    responses.add(c.response_s());
+  }
+  EXPECT_NEAR(responses.mean(), metrics.mean_response_s, 1e-9);
+}
+
+TEST(Simulator, MoreServersNeverSlower) {
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics small = Simulator(db(), tiny_cloud(2)).run(
+      tiny_workload(), ff);
+  const SimMetrics large = Simulator(db(), tiny_cloud(16)).run(
+      tiny_workload(), ff);
+  EXPECT_LE(large.makespan_s, small.makespan_s + 1e-6);
+  EXPECT_LE(large.mean_wait_s, small.mean_wait_s + 1e-6);
+}
+
+}  // namespace
+}  // namespace aeva::datacenter

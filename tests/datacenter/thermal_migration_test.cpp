@@ -1,0 +1,147 @@
+/// Tests for the reactive thermal-migration trigger — the authors' prior
+/// work [3], re-implemented as a sweep policy of the cloud simulator.
+
+#include <gtest/gtest.h>
+
+#include "core/first_fit.hpp"
+#include "datacenter/simulator.hpp"
+#include "testing/shared_db.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace aeva::datacenter {
+namespace {
+
+using trace::JobRequest;
+using trace::PreparedWorkload;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+const thermal::ThermalMap& map20() {
+  static const thermal::ThermalMap map(20, thermal::ThermalConfig{});
+  return map;
+}
+
+/// A hot-zone workload: long CPU jobs that first-fit packs contiguously
+/// onto the first few servers, pushing their neighbours over the redline.
+PreparedWorkload hot_pack_workload() {
+  PreparedWorkload workload;
+  for (int i = 0; i < 8; ++i) {
+    JobRequest job;
+    job.id = i + 1;
+    job.submit_s = i * 5.0;
+    job.profile = ProfileClass::kCpu;
+    job.vm_count = 4;
+    job.runtime_scale = 2.0;
+    job.deadline_s = 1e9;
+    workload.jobs.push_back(job);
+    workload.total_vms += 4;
+  }
+  return workload;
+}
+
+CloudConfig thermal_cloud() {
+  CloudConfig cloud;
+  cloud.server_count = 20;
+  cloud.migration.enabled = true;
+  cloud.migration.trigger = MigrationConfig::Trigger::kThermal;
+  cloud.migration.thermal_map = &map20();
+  cloud.migration.check_interval_s = 120.0;
+  return cloud;
+}
+
+/// Thermal observer over a run: peak inlet plus redline dwell time.
+struct ThermalWatch {
+  double peak = 0.0;
+  double overheat_server_seconds = 0.0;
+  Simulator::IntervalObserver observer() {
+    return [this](double t0, double t1, const std::vector<double>& power) {
+      const std::vector<double> inlets = map20().inlet_temps(power);
+      for (const double inlet : inlets) {
+        peak = std::max(peak, inlet);
+        if (inlet > map20().config().inlet_limit_c) {
+          overheat_server_seconds += t1 - t0;
+        }
+      }
+    };
+  }
+};
+
+TEST(ThermalMigration, SweepMigratesAwayFromHotZone) {
+  const core::FirstFitAllocator ff(1);
+  const Simulator sim(db(), thermal_cloud());
+  const SimMetrics metrics = sim.run(hot_pack_workload(), ff);
+  EXPECT_GT(metrics.migrations, 0u);
+  EXPECT_EQ(metrics.vms,
+            static_cast<std::size_t>(hot_pack_workload().total_vms));
+}
+
+TEST(ThermalMigration, ReducesRedlineDwellTime) {
+  // Reactive management cannot prevent the initial spike (the sweep fires
+  // after the hot pack forms — exactly why the paper argues for proactive
+  // placement), but it must cut the *time spent* over the redline.
+  const core::FirstFitAllocator ff(1);
+
+  CloudConfig plain;
+  plain.server_count = 20;
+  ThermalWatch before;
+  (void)Simulator(db(), plain).run(hot_pack_workload(), ff,
+                                   before.observer());
+
+  ThermalWatch after;
+  (void)Simulator(db(), thermal_cloud())
+      .run(hot_pack_workload(), ff, after.observer());
+
+  EXPECT_GT(before.peak, map20().config().inlet_limit_c)
+      << "scenario must actually overheat without intervention";
+  EXPECT_GT(before.overheat_server_seconds, 0.0);
+  EXPECT_LT(after.overheat_server_seconds,
+            0.5 * before.overheat_server_seconds);
+}
+
+TEST(ThermalMigration, QuietCloudNeverMigrates) {
+  // One small job cannot overheat anything: no migrations fire.
+  const core::FirstFitAllocator ff(1);
+  PreparedWorkload workload;
+  JobRequest job;
+  job.id = 1;
+  job.submit_s = 0.0;
+  job.profile = ProfileClass::kIo;
+  job.vm_count = 1;
+  job.runtime_scale = 1.0;
+  job.deadline_s = 1e9;
+  workload.jobs.push_back(job);
+  workload.total_vms = 1;
+  const SimMetrics metrics =
+      Simulator(db(), thermal_cloud()).run(workload, ff);
+  EXPECT_EQ(metrics.migrations, 0u);
+}
+
+TEST(ThermalMigration, RequiresThermalMap) {
+  CloudConfig bad = thermal_cloud();
+  bad.migration.thermal_map = nullptr;
+  const core::FirstFitAllocator ff(1);
+  EXPECT_THROW((void)Simulator(db(), bad).run(hot_pack_workload(), ff),
+               std::invalid_argument);
+}
+
+TEST(ThermalMigration, MapMustCoverTheCloud) {
+  static const thermal::ThermalMap tiny(2, thermal::ThermalConfig{});
+  CloudConfig bad = thermal_cloud();
+  bad.migration.thermal_map = &tiny;
+  const core::FirstFitAllocator ff(1);
+  EXPECT_THROW((void)Simulator(db(), bad).run(hot_pack_workload(), ff),
+               std::invalid_argument);
+}
+
+TEST(ThermalMigration, Deterministic) {
+  const core::FirstFitAllocator ff(1);
+  const Simulator sim(db(), thermal_cloud());
+  const SimMetrics a = sim.run(hot_pack_workload(), ff);
+  const SimMetrics b = sim.run(hot_pack_workload(), ff);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+}
+
+}  // namespace
+}  // namespace aeva::datacenter

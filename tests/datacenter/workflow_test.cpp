@@ -1,0 +1,181 @@
+/// Workflow-dependency scheduling: jobs carrying `depends_on` start only
+/// after their predecessor completes (SWF field 17, the paper's
+/// "scientific HPC workflows" framing).
+
+#include <gtest/gtest.h>
+
+#include "core/first_fit.hpp"
+#include "datacenter/ground_truth.hpp"
+#include "datacenter/simulator.hpp"
+#include "testing/shared_db.hpp"
+#include "trace/generator.hpp"
+
+namespace aeva::datacenter {
+namespace {
+
+using trace::JobRequest;
+using trace::PreparedWorkload;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+JobRequest make_job(long long id, double submit_s, long long depends_on = 0) {
+  JobRequest job;
+  job.id = id;
+  job.submit_s = submit_s;
+  job.profile = ProfileClass::kCpu;
+  job.vm_count = 1;
+  job.runtime_scale = 1.0;
+  job.deadline_s = 1e9;
+  job.depends_on = depends_on;
+  return job;
+}
+
+CloudConfig roomy_cloud() {
+  CloudConfig cloud;
+  cloud.server_count = 8;
+  cloud.record_completions = true;
+  return cloud;
+}
+
+TEST(Workflow, ChainedJobsRunStrictlySequentially) {
+  PreparedWorkload workload;
+  workload.jobs = {make_job(1, 0.0), make_job(2, 0.0, 1),
+                   make_job(3, 0.0, 2)};
+  workload.total_vms = 3;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics =
+      Simulator(db(), roomy_cloud()).run(workload, ff);
+  ASSERT_EQ(metrics.completions.size(), 3u);
+  // Completion records are emitted in completion order; with ample room
+  // each stage starts exactly when its predecessor finishes.
+  const double solo = db().base().cpu.solo_time_s;
+  EXPECT_NEAR(metrics.completions[0].finish_s, solo, 1e-6);
+  EXPECT_NEAR(metrics.completions[1].start_s, solo, 1e-6);
+  EXPECT_NEAR(metrics.completions[2].finish_s, 3.0 * solo, 1e-6);
+  EXPECT_NEAR(metrics.makespan_s, 3.0 * solo, 1e-6);
+}
+
+TEST(Workflow, IndependentJobsUnaffected) {
+  PreparedWorkload workload;
+  workload.jobs = {make_job(1, 0.0), make_job(2, 0.0), make_job(3, 0.0)};
+  workload.total_vms = 3;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics =
+      Simulator(db(), roomy_cloud()).run(workload, ff);
+  // All three co-run; makespan bounded by the 3-VM co-location estimate.
+  EXPECT_LT(metrics.makespan_s, 2.0 * db().base().cpu.solo_time_s);
+}
+
+TEST(Workflow, FanOutReleasesAllDependentsTogether) {
+  PreparedWorkload workload;
+  workload.jobs = {make_job(1, 0.0), make_job(2, 0.0, 1),
+                   make_job(3, 0.0, 1)};
+  workload.total_vms = 3;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics =
+      Simulator(db(), roomy_cloud()).run(workload, ff);
+  ASSERT_EQ(metrics.completions.size(), 3u);
+  const double solo = db().base().cpu.solo_time_s;
+  EXPECT_NEAR(metrics.completions[1].start_s, solo, 1e-6);
+  EXPECT_NEAR(metrics.completions[2].start_s, solo, 1e-6);
+}
+
+TEST(Workflow, DependentArrivingAfterPredecessorCompletesRunsImmediately) {
+  PreparedWorkload workload;
+  const double late = 2.0 * db().base().cpu.solo_time_s;
+  workload.jobs = {make_job(1, 0.0), make_job(2, late, 1)};
+  workload.total_vms = 2;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics metrics =
+      Simulator(db(), roomy_cloud()).run(workload, ff);
+  ASSERT_EQ(metrics.completions.size(), 2u);
+  EXPECT_NEAR(metrics.completions[1].start_s, late, 1e-6);
+}
+
+TEST(Workflow, RejectsUnknownOrForwardDependencies) {
+  const core::FirstFitAllocator ff(1);
+  PreparedWorkload unknown;
+  unknown.jobs = {make_job(1, 0.0, 99)};
+  unknown.total_vms = 1;
+  EXPECT_THROW((void)Simulator(db(), roomy_cloud()).run(unknown, ff),
+               std::invalid_argument);
+
+  PreparedWorkload forward;
+  forward.jobs = {make_job(1, 0.0, 2), make_job(2, 1.0)};
+  forward.total_vms = 2;
+  EXPECT_THROW((void)Simulator(db(), roomy_cloud()).run(forward, ff),
+               std::invalid_argument);
+}
+
+TEST(Workflow, GroundTruthBackendRefusesDependencies) {
+  PreparedWorkload workload;
+  workload.jobs = {make_job(1, 0.0), make_job(2, 0.0, 1)};
+  workload.total_vms = 2;
+  CloudConfig cloud;
+  cloud.server_count = 4;
+  const GroundTruthSimulator sim(db(), testbed::testbed_server(), cloud);
+  const core::FirstFitAllocator ff(1);
+  EXPECT_THROW((void)sim.run(workload, ff), std::invalid_argument);
+}
+
+TEST(Workflow, PrepareChainsBurstMembers) {
+  util::Rng rng(31);
+  trace::GeneratorConfig gen;
+  gen.target_jobs = 1500;
+  trace::SwfTrace raw = trace::generate_egee_like(gen, rng);
+  trace::clean(raw);
+  trace::PreparationConfig config;
+  config.workflow_chain_fraction = 1.0;
+  config.target_total_vms = 0;
+  const PreparedWorkload workload =
+      trace::prepare_workload(raw, config, rng);
+  std::size_t chained = 0;
+  for (const JobRequest& job : workload.jobs) {
+    if (job.depends_on != 0) {
+      EXPECT_EQ(job.depends_on, job.id - 1);
+      ++chained;
+    }
+  }
+  // Every non-first burst member chains; with mean burst 3 that is ~2/3.
+  EXPECT_GT(static_cast<double>(chained) / workload.jobs.size(), 0.5);
+}
+
+TEST(Workflow, PrepareDefaultsToIndependentJobs) {
+  util::Rng rng(32);
+  trace::GeneratorConfig gen;
+  gen.target_jobs = 600;
+  trace::SwfTrace raw = trace::generate_egee_like(gen, rng);
+  trace::clean(raw);
+  const PreparedWorkload workload =
+      trace::prepare_workload(raw, trace::PreparationConfig{}, rng);
+  for (const JobRequest& job : workload.jobs) {
+    EXPECT_EQ(job.depends_on, 0);
+  }
+}
+
+TEST(Workflow, ChainedWorkloadCompletesEndToEnd) {
+  util::Rng rng(33);
+  trace::GeneratorConfig gen;
+  gen.target_jobs = 400;
+  gen.span_s = 4000.0;
+  trace::SwfTrace raw = trace::generate_egee_like(gen, rng);
+  trace::clean(raw);
+  trace::PreparationConfig config;
+  config.workflow_chain_fraction = 0.8;
+  config.target_total_vms = 600;
+  for (const ProfileClass profile : workload::kAllProfileClasses) {
+    config.solo_time_s[static_cast<std::size_t>(profile)] =
+        db().base().of(profile).solo_time_s;
+  }
+  const PreparedWorkload workload =
+      trace::prepare_workload(raw, config, rng);
+  CloudConfig cloud;
+  cloud.server_count = 10;
+  const core::FirstFitAllocator ff(2);
+  const SimMetrics metrics = Simulator(db(), cloud).run(workload, ff);
+  EXPECT_EQ(metrics.vms, static_cast<std::size_t>(workload.total_vms));
+}
+
+}  // namespace
+}  // namespace aeva::datacenter

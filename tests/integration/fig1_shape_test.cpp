@@ -1,0 +1,88 @@
+/// Integration: the Fig. 1 calibration contract — subsystem-utilization
+/// signatures of the profiled workloads match the published plots'
+/// qualitative shape.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "profiling/profiler.hpp"
+#include "workload/registry.hpp"
+
+namespace aeva {
+namespace {
+
+using profiling::ApplicationProfile;
+using workload::Subsystem;
+
+const ApplicationProfile& profile_of(const char* name) {
+  static std::map<std::string, ApplicationProfile> cache;
+  const auto it = cache.find(name);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  static const profiling::Profiler profiler;
+  return cache.emplace(name, profiler.profile(workload::find_app(name)))
+      .first->second;
+}
+
+double mean_util(const ApplicationProfile& profile, Subsystem s) {
+  return profile.subsystems[static_cast<std::size_t>(s)]
+      .utilization.time_weighted_mean();
+}
+
+TEST(Fig1Shape, CpuWorkloadHasHighCpuLowRest) {
+  // Fig. 1 (left): CPU high and flat, disk/network near zero.
+  const ApplicationProfile& p = profile_of("linpack");
+  EXPECT_GT(mean_util(p, Subsystem::kCpu), 0.20);
+  EXPECT_LT(mean_util(p, Subsystem::kDisk), 0.01);
+  EXPECT_LT(mean_util(p, Subsystem::kNetwork), 0.01);
+}
+
+TEST(Fig1Shape, MpiComputeAlternatesNetworkWindows) {
+  // Fig. 1 (right): network activity comes in discrete windows — the
+  // sampled series must contain both idle and busy network samples.
+  const ApplicationProfile& p = profile_of("mpicompute");
+  const auto& net =
+      p.subsystems[static_cast<std::size_t>(Subsystem::kNetwork)].utilization;
+  std::size_t idle = 0;
+  std::size_t busy = 0;
+  for (const auto& sample : net.samples()) {
+    if (sample.value < 0.01) {
+      ++idle;
+    }
+    if (sample.value > 0.10) {
+      ++busy;
+    }
+  }
+  EXPECT_GT(idle, net.size() / 4) << "network never idles";
+  EXPECT_GT(busy, net.size() / 20) << "network never spikes";
+}
+
+TEST(Fig1Shape, MpiComputeCpuStaysBusyThroughout) {
+  const ApplicationProfile& p = profile_of("mpicompute");
+  const auto& cpu =
+      p.subsystems[static_cast<std::size_t>(Subsystem::kCpu)].utilization;
+  // Even the exchange windows keep a noticeable CPU share.
+  for (const auto& sample : cpu.samples()) {
+    EXPECT_GT(sample.value, 0.05);
+  }
+}
+
+TEST(Fig1Shape, IoWorkloadDemandsDiskInWindows) {
+  const ApplicationProfile& p = profile_of("bonnie");
+  EXPECT_GT(mean_util(p, Subsystem::kDisk), 0.25);
+  EXPECT_LT(mean_util(p, Subsystem::kCpu), 0.10);
+}
+
+TEST(Fig1Shape, ClassifierAgreesWithPaperLabels) {
+  EXPECT_EQ(profile_of("linpack").mapped_class,
+            workload::ProfileClass::kCpu);
+  EXPECT_EQ(profile_of("mpicompute").mapped_class,
+            workload::ProfileClass::kCpu);
+  EXPECT_EQ(profile_of("bonnie").mapped_class, workload::ProfileClass::kIo);
+}
+
+}  // namespace
+}  // namespace aeva

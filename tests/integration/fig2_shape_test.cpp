@@ -1,0 +1,67 @@
+/// Integration: the Fig. 2 calibration contract. The FFTW base curve on
+/// the simulated testbed must exhibit the published shape — shortest
+/// average execution time at ~9 VMs and significant degradation past 11,
+/// approaching sequential-execution cost.
+
+#include <gtest/gtest.h>
+
+#include "modeldb/campaign.hpp"
+#include "workload/registry.hpp"
+
+namespace aeva {
+namespace {
+
+const std::vector<modeldb::Record>& fftw_curve() {
+  static const std::vector<modeldb::Record> curve = [] {
+    modeldb::CampaignConfig config;
+    config.server = testbed::testbed_server();
+    return modeldb::Campaign(config).scaling_curve(
+        workload::find_app("fftw"), 16);
+  }();
+  return curve;
+}
+
+double avg_at(int n) {
+  return fftw_curve()[static_cast<std::size_t>(n) - 1].avg_time_vm_s;
+}
+
+TEST(Fig2Shape, OptimumAtNineVms) {
+  int best = 1;
+  for (int n = 2; n <= 16; ++n) {
+    if (avg_at(n) < avg_at(best)) {
+      best = n;
+    }
+  }
+  EXPECT_EQ(best, 9) << "paper: shortest average execution time at 9 VMs";
+}
+
+TEST(Fig2Shape, DecreasingUpToOptimum) {
+  for (int n = 2; n <= 9; ++n) {
+    EXPECT_LT(avg_at(n), avg_at(n - 1)) << "n=" << n;
+  }
+}
+
+TEST(Fig2Shape, SignificantIncreaseBeyondEleven) {
+  // "With more than 11 VMs the average execution time increases
+  // significantly."
+  EXPECT_GT(avg_at(12), avg_at(11) * 1.2);
+  EXPECT_GT(avg_at(13), avg_at(9) * 2.0);
+}
+
+TEST(Fig2Shape, ApproachesSequentialCostAtHighCounts) {
+  // Sequential execution costs one solo runtime per VM on average.
+  const double solo = fftw_curve()[0].time_s;
+  EXPECT_GT(avg_at(16), 0.8 * solo);
+}
+
+TEST(Fig2Shape, MildPlateauBetweenNineAndEleven) {
+  EXPECT_LT(avg_at(11), avg_at(9) * 1.25);
+}
+
+TEST(Fig2Shape, SoloRuntimeMatchesSpec) {
+  EXPECT_NEAR(fftw_curve()[0].time_s,
+              workload::find_app("fftw").nominal_runtime_s(), 1e-6);
+}
+
+}  // namespace
+}  // namespace aeva

@@ -1,0 +1,90 @@
+/// Integration: decorator composition — the power cap wrapped around the
+/// thermal guard wrapped around the proactive allocator. Each layer's
+/// contract must survive stacking.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/power_cap.hpp"
+#include "core/proactive.hpp"
+#include "datacenter/simulator.hpp"
+#include "testing/shared_db.hpp"
+#include "thermal/thermal_guard.hpp"
+
+namespace aeva {
+namespace {
+
+using core::ServerState;
+using core::VmRequest;
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+const thermal::ThermalMap& map8() {
+  static const thermal::ThermalMap map(8, thermal::ThermalConfig{});
+  return map;
+}
+
+std::unique_ptr<core::Allocator> stacked(double cap_w) {
+  core::ProactiveConfig config;
+  config.alpha = 0.5;
+  auto inner = std::make_unique<core::ProactiveAllocator>(db(), config);
+  auto guarded = std::make_unique<thermal::ThermalGuardAllocator>(
+      std::move(inner), db(), map8());
+  return std::make_unique<core::PowerCapAllocator>(std::move(guarded), db(),
+                                                   cap_w);
+}
+
+std::vector<ServerState> empty_servers(int count) {
+  std::vector<ServerState> servers;
+  for (int i = 0; i < count; ++i) {
+    servers.push_back(ServerState{i, ClassCounts{}, false, 0});
+  }
+  return servers;
+}
+
+TEST(GuardComposition, NameShowsTheWholeStack) {
+  EXPECT_EQ(stacked(9000.0)->name(), "CAP9.0kW(TG(PA-0.5))");
+}
+
+TEST(GuardComposition, GenerousLimitsPassThrough) {
+  const auto stack = stacked(1e9);
+  std::vector<VmRequest> vms = {VmRequest{1, ProfileClass::kCpu, 1e12},
+                                VmRequest{2, ProfileClass::kIo, 1e12}};
+  const auto result = stack->allocate(vms, empty_servers(8));
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(GuardComposition, PowerCapStillBinds) {
+  const auto stack = stacked(50.0);  // below any busy server's draw
+  std::vector<VmRequest> vms = {VmRequest{1, ProfileClass::kMem, 1e12}};
+  const auto result = stack->allocate(vms, empty_servers(8));
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(GuardComposition, RunsAFullSimulation) {
+  trace::PreparedWorkload workload;
+  long long id = 1;
+  for (int i = 0; i < 9; ++i) {
+    trace::JobRequest job;
+    job.id = id++;
+    job.submit_s = i * 60.0;
+    job.profile = workload::kAllProfileClasses[static_cast<std::size_t>(i) % 3];
+    job.vm_count = 2;
+    job.runtime_scale = 1.0;
+    job.deadline_s = 1e9;
+    workload.jobs.push_back(job);
+    workload.total_vms += 2;
+  }
+  datacenter::CloudConfig cloud;
+  cloud.server_count = 8;
+  const datacenter::Simulator sim(db(), cloud);
+  const auto stack = stacked(1500.0);
+  const datacenter::SimMetrics metrics = sim.run(workload, *stack);
+  EXPECT_EQ(metrics.vms, 18u);
+}
+
+}  // namespace
+}  // namespace aeva

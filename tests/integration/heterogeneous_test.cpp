@@ -1,0 +1,174 @@
+/// Integration: the heterogeneous-hardware extension (the paper's future
+/// work i). A second server class ("bigbox": 8 cores, 8 GB, 4 disks) gets
+/// its own benchmarking campaign and model database; the allocator and the
+/// simulator pick the model by each server's hardware class.
+
+#include <gtest/gtest.h>
+
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "datacenter/simulator.hpp"
+#include "testing/shared_db.hpp"
+
+namespace aeva {
+namespace {
+
+using core::ServerState;
+using core::VmRequest;
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& small_db() { return testing::shared_db(); }
+
+const modeldb::ModelDatabase& big_db() {
+  static const modeldb::ModelDatabase db = [] {
+    modeldb::CampaignConfig config;
+    config.server = testbed::bigbox_server();
+    return modeldb::Campaign(config).build();
+  }();
+  return db;
+}
+
+TEST(Heterogeneous, BigboxHostsMoreVmsBeforeDegrading) {
+  // The 8-core box sustains more same-type VMs: its performance-optimal
+  // CPU count exceeds the 4-core testbed's.
+  EXPECT_GT(big_db().base().cpu.os(), small_db().base().cpu.os());
+}
+
+TEST(Heterogeneous, BigboxDrawsMorePower) {
+  const auto solo = ClassCounts{1, 0, 0};
+  EXPECT_GT(big_db().estimate(solo).avg_power_w(),
+            small_db().estimate(solo).avg_power_w());
+}
+
+TEST(Heterogeneous, SoloTimesAgreeAcrossHardware) {
+  // A lone VM is uncontended on either box: solo runtimes match the app.
+  for (const ProfileClass profile : workload::kAllProfileClasses) {
+    EXPECT_NEAR(big_db().base().of(profile).solo_time_s,
+                small_db().base().of(profile).solo_time_s, 1.0);
+  }
+}
+
+TEST(Heterogeneous, AllocatorUsesPerClassModels) {
+  const std::vector<const modeldb::ModelDatabase*> dbs = {&small_db(),
+                                                          &big_db()};
+  core::ProactiveConfig config;
+  config.alpha = 0.0;
+  const core::ProactiveAllocator allocator(dbs, config);
+  EXPECT_EQ(&allocator.cost_model(0).db(), &small_db());
+  EXPECT_EQ(&allocator.cost_model(1).db(), &big_db());
+  EXPECT_THROW((void)allocator.cost_model(2), std::invalid_argument);
+}
+
+TEST(Heterogeneous, PerformanceGoalPrefersBiggerBoxUnderLoad) {
+  // Both servers hold 4 CPU VMs; the big box still runs them uncontended,
+  // so a time-driven allocator must pick it for the next CPU VM.
+  const std::vector<const modeldb::ModelDatabase*> dbs = {&small_db(),
+                                                          &big_db()};
+  core::ProactiveConfig config;
+  config.alpha = 0.0;
+  const core::ProactiveAllocator allocator(dbs, config);
+  std::vector<ServerState> servers = {
+      ServerState{0, ClassCounts{4, 0, 0}, true, 0},
+      ServerState{1, ClassCounts{4, 0, 0}, true, 1},
+  };
+  std::vector<VmRequest> vms = {VmRequest{1, ProfileClass::kCpu, 1e12}};
+  const auto result = allocator.allocate(vms, servers);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.placements[0].server_id, 1);
+}
+
+TEST(Heterogeneous, RejectsBadConstruction) {
+  core::ProactiveConfig config;
+  EXPECT_THROW(core::ProactiveAllocator(
+                   std::vector<const modeldb::ModelDatabase*>{}, config),
+               std::invalid_argument);
+  EXPECT_THROW(core::ProactiveAllocator(
+                   std::vector<const modeldb::ModelDatabase*>{nullptr},
+                   config),
+               std::invalid_argument);
+}
+
+TEST(Heterogeneous, SimulatorRunsMixedFleet) {
+  datacenter::CloudConfig cloud;
+  cloud.server_count = 6;
+  cloud.hardware = {0, 0, 0, 0, 1, 1};
+  const datacenter::Simulator sim({&small_db(), &big_db()}, cloud);
+
+  trace::PreparedWorkload workload;
+  long long id = 1;
+  for (int i = 0; i < 12; ++i) {
+    trace::JobRequest job;
+    job.id = id++;
+    job.submit_s = i * 50.0;
+    job.profile = workload::kAllProfileClasses[static_cast<std::size_t>(i) % 3];
+    job.vm_count = 2;
+    job.runtime_scale = 1.0;
+    job.deadline_s = 1e9;
+    workload.jobs.push_back(job);
+    workload.total_vms += 2;
+  }
+
+  core::ProactiveConfig config;
+  config.alpha = 0.5;
+  const core::ProactiveAllocator pa({&small_db(), &big_db()}, config);
+  const datacenter::SimMetrics metrics = sim.run(workload, pa);
+  EXPECT_EQ(metrics.vms, 24u);
+  EXPECT_GT(metrics.energy_j, 0.0);
+}
+
+TEST(Heterogeneous, MixedFleetBeatsEqualCountSmallFleetOnMakespan) {
+  // Replacing two small servers with two big ones adds capacity; a
+  // hardware-aware PROACTIVE must not get slower.
+  trace::PreparedWorkload workload;
+  long long id = 1;
+  for (int i = 0; i < 30; ++i) {
+    trace::JobRequest job;
+    job.id = id++;
+    job.submit_s = i * 20.0;
+    job.profile = workload::kAllProfileClasses[static_cast<std::size_t>(i) % 3];
+    job.vm_count = 3;
+    job.runtime_scale = 1.0;
+    job.deadline_s = 1e9;
+    workload.jobs.push_back(job);
+    workload.total_vms += 3;
+  }
+
+  core::ProactiveConfig config;
+  config.alpha = 0.0;
+
+  datacenter::CloudConfig homogeneous;
+  homogeneous.server_count = 4;
+  const core::ProactiveAllocator pa_homo(small_db(), config);
+  const double t_homo = datacenter::Simulator(small_db(), homogeneous)
+                            .run(workload, pa_homo)
+                            .makespan_s;
+
+  datacenter::CloudConfig mixed;
+  mixed.server_count = 4;
+  mixed.hardware = {0, 0, 1, 1};
+  const core::ProactiveAllocator pa_mixed({&small_db(), &big_db()}, config);
+  const double t_mixed = datacenter::Simulator({&small_db(), &big_db()}, mixed)
+                             .run(workload, pa_mixed)
+                             .makespan_s;
+  EXPECT_LE(t_mixed, t_homo + 1e-6);
+}
+
+TEST(Heterogeneous, FirstFitHonoursPerClassCpuCounts) {
+  const core::FirstFitAllocator ff(1, std::vector<int>{4, 8});
+  EXPECT_EQ(ff.server_capacity(0), 4);
+  EXPECT_EQ(ff.server_capacity(1), 8);
+  EXPECT_THROW((void)ff.server_capacity(2), std::invalid_argument);
+
+  std::vector<ServerState> servers = {
+      ServerState{0, ClassCounts{4, 0, 0}, true, 0},  // small box full
+      ServerState{1, ClassCounts{4, 0, 0}, true, 1},  // big box half full
+  };
+  std::vector<VmRequest> vms = {VmRequest{1, ProfileClass::kMem, 1e12}};
+  const auto result = ff.allocate(vms, servers);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.placements[0].server_id, 1);
+}
+
+}  // namespace
+}  // namespace aeva

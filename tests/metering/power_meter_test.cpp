@@ -1,0 +1,120 @@
+#include "metering/power_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aeva::metering {
+namespace {
+
+util::TimeSeries constant_power(double watts, double duration_s) {
+  util::TimeSeries series("power", "W");
+  series.append(0.0, watts);
+  series.append(duration_s, watts);
+  return series;
+}
+
+TEST(PowerMeter, SamplesAtOneHertz) {
+  PowerMeter meter(MeterSpec{}, 1);
+  const MeterReading reading = meter.measure(constant_power(100.0, 10.0));
+  EXPECT_EQ(reading.samples.size(), 11u);  // 0..10 inclusive
+  EXPECT_DOUBLE_EQ(reading.samples.start_time(), 0.0);
+  EXPECT_DOUBLE_EQ(reading.samples.end_time(), 10.0);
+}
+
+TEST(PowerMeter, DeterministicForSameSeed) {
+  const auto trace = constant_power(150.0, 100.0);
+  PowerMeter a(MeterSpec{}, 42);
+  PowerMeter b(MeterSpec{}, 42);
+  const MeterReading ra = a.measure(trace);
+  const MeterReading rb = b.measure(trace);
+  EXPECT_DOUBLE_EQ(ra.energy_j, rb.energy_j);
+  EXPECT_DOUBLE_EQ(ra.max_power_w, rb.max_power_w);
+}
+
+TEST(PowerMeter, DifferentSeedsDiffer) {
+  const auto trace = constant_power(150.0, 100.0);
+  PowerMeter a(MeterSpec{}, 1);
+  PowerMeter b(MeterSpec{}, 2);
+  EXPECT_NE(a.measure(trace).energy_j, b.measure(trace).energy_j);
+}
+
+TEST(PowerMeter, NoiseWithinAccuracyEnvelope) {
+  // ±1.5% is the 95% envelope; allow the odd 1-in-1e4 excursion to 3σ.
+  const auto trace = constant_power(200.0, 2000.0);
+  PowerMeter meter(MeterSpec{}, 7);
+  const MeterReading reading = meter.measure(trace);
+  int outside = 0;
+  for (const auto& sample : reading.samples.samples()) {
+    if (std::abs(sample.value - 200.0) / 200.0 > 0.015) {
+      ++outside;
+    }
+  }
+  EXPECT_LT(static_cast<double>(outside) / reading.samples.size(), 0.10);
+}
+
+TEST(PowerMeter, EnergyCloseToGroundTruth) {
+  // Integration of many noisy samples averages out: energy error well
+  // below the per-sample accuracy.
+  const double truth = 200.0 * 3600.0;
+  PowerMeter meter(MeterSpec{}, 99);
+  const MeterReading reading = meter.measure(constant_power(200.0, 3600.0));
+  EXPECT_NEAR(reading.energy_j, truth, truth * 0.002);
+}
+
+TEST(PowerMeter, ZeroAccuracyIsExact) {
+  MeterSpec spec;
+  spec.accuracy_fraction = 0.0;
+  PowerMeter meter(spec, 5);
+  const MeterReading reading = meter.measure(constant_power(123.0, 60.0));
+  EXPECT_DOUBLE_EQ(reading.max_power_w, 123.0);
+  EXPECT_NEAR(reading.energy_j, 123.0 * 60.0, 1e-9);
+}
+
+TEST(PowerMeter, TracksMaxPower) {
+  util::TimeSeries trace("power", "W");
+  trace.append(0.0, 100.0);
+  trace.append(10.0, 300.0);
+  trace.append(20.0, 100.0);
+  MeterSpec spec;
+  spec.accuracy_fraction = 0.0;
+  PowerMeter meter(spec, 5);
+  EXPECT_DOUBLE_EQ(meter.measure(trace).max_power_w, 300.0);
+}
+
+TEST(PowerMeter, ReadingsNeverNegative) {
+  // Even with absurd noise, readings clamp at zero.
+  MeterSpec spec;
+  spec.accuracy_fraction = 5.0;
+  PowerMeter meter(spec, 3);
+  const MeterReading reading = meter.measure(constant_power(1.0, 500.0));
+  for (const auto& sample : reading.samples.samples()) {
+    EXPECT_GE(sample.value, 0.0);
+  }
+}
+
+TEST(PowerMeter, RejectsBadInputs) {
+  MeterSpec bad;
+  bad.sample_period_s = 0.0;
+  EXPECT_THROW(PowerMeter(bad, 1), std::invalid_argument);
+
+  bad = MeterSpec{};
+  bad.accuracy_fraction = -0.1;
+  EXPECT_THROW(PowerMeter(bad, 1), std::invalid_argument);
+
+  PowerMeter meter(MeterSpec{}, 1);
+  EXPECT_THROW((void)meter.measure(util::TimeSeries{}),
+               std::invalid_argument);
+}
+
+TEST(PowerMeter, CustomSamplePeriod) {
+  MeterSpec spec;
+  spec.sample_period_s = 0.5;
+  spec.accuracy_fraction = 0.0;
+  PowerMeter meter(spec, 1);
+  const MeterReading reading = meter.measure(constant_power(100.0, 10.0));
+  EXPECT_EQ(reading.samples.size(), 21u);
+}
+
+}  // namespace
+}  // namespace aeva::metering

@@ -1,0 +1,217 @@
+#include "modeldb/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/registry.hpp"
+
+namespace aeva::modeldb {
+namespace {
+
+CampaignConfig fast_config() {
+  CampaignConfig config;
+  config.server = testbed::testbed_server();
+  config.max_base_vms = 8;  // smaller sweep keeps unit tests quick
+  return config;
+}
+
+TEST(Campaign, ScalingCurveHasOneRecordPerCount) {
+  const Campaign campaign(fast_config());
+  const auto curve =
+      campaign.scaling_curve(workload::find_app("linpack"), 6);
+  ASSERT_EQ(curve.size(), 6u);
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].key.total(), static_cast<int>(i) + 1);
+    EXPECT_EQ(curve[i].key.cpu, static_cast<int>(i) + 1);
+    EXPECT_GT(curve[i].time_s, 0.0);
+    EXPECT_GT(curve[i].energy_j, 0.0);
+    EXPECT_NEAR(curve[i].avg_time_vm_s,
+                curve[i].time_s / curve[i].key.total(), 1e-6);
+  }
+}
+
+TEST(Campaign, ScalingCurveKeyFollowsProfileClass) {
+  const Campaign campaign(fast_config());
+  const auto curve =
+      campaign.scaling_curve(workload::find_app("sysbench"), 3);
+  for (const Record& r : curve) {
+    EXPECT_EQ(r.key.cpu, 0);
+    EXPECT_EQ(r.key.io, 0);
+    EXPECT_GT(r.key.mem, 0);
+  }
+}
+
+TEST(Campaign, BaseTestsCoverAllClasses) {
+  const Campaign campaign(fast_config());
+  const auto curves = campaign.run_base_tests();
+  ASSERT_EQ(curves.size(), 3u);
+  for (const BaseCurve& curve : curves) {
+    EXPECT_EQ(curve.by_count.size(), 8u);
+  }
+}
+
+TEST(Campaign, DeriveParametersFindsOptima) {
+  const Campaign campaign(fast_config());
+  const auto curves = campaign.run_base_tests();
+  const BaseParameters base = Campaign::derive_parameters(curves);
+  for (const workload::ProfileClass profile : workload::kAllProfileClasses) {
+    const auto& entry = base.of(profile);
+    EXPECT_GE(entry.osp, 1);
+    EXPECT_LE(entry.osp, 8);
+    EXPECT_GE(entry.ose, 1);
+    EXPECT_LE(entry.ose, 8);
+    EXPECT_NEAR(
+        entry.solo_time_s,
+        workload::canonical_app(profile).nominal_runtime_s(), 1.0);
+  }
+}
+
+TEST(Campaign, DeriveParametersPicksArgmin) {
+  // Hand-built curves with known optima.
+  BaseCurve curve;
+  curve.profile = workload::ProfileClass::kCpu;
+  for (int n = 1; n <= 5; ++n) {
+    Record r;
+    r.key = {n, 0, 0};
+    r.time_s = (n == 3) ? 2.0 * n : 3.0 * n;  // avg time minimal at n=3
+    r.avg_time_vm_s = r.time_s / n;
+    r.energy_j = (n == 4) ? 50.0 * n : 100.0 * n;  // energy/VM min at n=4
+    curve.by_count.push_back(r);
+  }
+  const BaseParameters base = Campaign::derive_parameters({curve});
+  EXPECT_EQ(base.cpu.osp, 3);
+  EXPECT_EQ(base.cpu.ose, 4);
+  EXPECT_EQ(base.cpu.os(), 4);
+}
+
+TEST(Campaign, CombinationCountMatchesFormula) {
+  const Campaign campaign(fast_config());
+  const BaseParameters base =
+      Campaign::derive_parameters(campaign.run_base_tests());
+  const auto records = campaign.run_combinations(base);
+  EXPECT_EQ(static_cast<long long>(records.size()),
+            base.combination_experiment_count());
+}
+
+TEST(Campaign, CombinationsExcludePureAndEmptyKeys) {
+  const Campaign campaign(fast_config());
+  const BaseParameters base =
+      Campaign::derive_parameters(campaign.run_base_tests());
+  for (const Record& r : campaign.run_combinations(base)) {
+    const int nonzero =
+        (r.key.cpu > 0) + (r.key.mem > 0) + (r.key.io > 0);
+    EXPECT_GE(nonzero, 2) << "pure or empty key leaked into combinations";
+  }
+}
+
+TEST(Campaign, BuildProducesSearchableDatabase) {
+  const Campaign campaign(fast_config());
+  const ModelDatabase db = campaign.build();
+  // Base tests (3 × 8) + combinations.
+  EXPECT_EQ(static_cast<long long>(db.size()),
+            24 + db.base().combination_experiment_count());
+  // Every in-box mixed key is measured.
+  EXPECT_TRUE(db.measured({1, 1, 0}));
+  EXPECT_TRUE(db.measured({1, 1, 1}));
+  // Pure keys up to the base sweep are measured.
+  EXPECT_TRUE(db.measured({8, 0, 0}));
+}
+
+TEST(Campaign, MeasureRecordsPerClassTimes) {
+  const Campaign campaign(fast_config());
+  const Record r = campaign.measure({1, 1, 1});
+  EXPECT_GT(r.time_cpu_s, 0.0);
+  EXPECT_GT(r.time_mem_s, 0.0);
+  EXPECT_GT(r.time_io_s, 0.0);
+  // With CPU/MEM/IO canonical apps the longest class bounds the total.
+  EXPECT_NEAR(r.time_s,
+              std::max({r.time_cpu_s, r.time_mem_s, r.time_io_s}), 1e-6);
+}
+
+TEST(Campaign, MeasureRejectsEmptyKey) {
+  const Campaign campaign(fast_config());
+  EXPECT_THROW((void)campaign.measure({0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Campaign, DeterministicWithSameSeed) {
+  const Campaign a(fast_config());
+  const Campaign b(fast_config());
+  const Record ra = a.measure({2, 1, 0});
+  const Record rb = b.measure({2, 1, 0});
+  EXPECT_DOUBLE_EQ(ra.energy_j, rb.energy_j);
+  EXPECT_DOUBLE_EQ(ra.max_power_w, rb.max_power_w);
+}
+
+TEST(Campaign, MeterNoiseSeedChangesEnergyOnly) {
+  CampaignConfig c1 = fast_config();
+  CampaignConfig c2 = fast_config();
+  c2.meter_seed = c1.meter_seed + 1;
+  const Record r1 = Campaign(c1).measure({2, 2, 0});
+  const Record r2 = Campaign(c2).measure({2, 2, 0});
+  EXPECT_DOUBLE_EQ(r1.time_s, r2.time_s);  // timing is meter-independent
+  EXPECT_NE(r1.energy_j, r2.energy_j);     // metered energy differs
+}
+
+TEST(Campaign, NoiseFreeModeMatchesGroundTruth) {
+  CampaignConfig config = fast_config();
+  config.meter_noise = false;
+  const Campaign campaign(config);
+  const Record r = campaign.measure({1, 0, 1});
+  // Without noise the metered energy equals the exact integral.
+  testbed::MicroSim sim(config.server);
+  const auto truth = sim.run(
+      {testbed::VmRun{workload::canonical_app(workload::ProfileClass::kCpu),
+                      0.0},
+       testbed::VmRun{workload::canonical_app(workload::ProfileClass::kIo),
+                      0.0}});
+  EXPECT_NEAR(r.energy_j, truth.energy_j, truth.energy_j * 1e-9);
+}
+
+TEST(Campaign, MeteredEnergyWithinNoiseOfGroundTruth) {
+  const Campaign noisy(fast_config());
+  CampaignConfig clean_config = fast_config();
+  clean_config.meter_noise = false;
+  const Campaign clean(clean_config);
+  const Record a = noisy.measure({2, 2, 2});
+  const Record b = clean.measure({2, 2, 2});
+  EXPECT_NEAR(a.energy_j, b.energy_j, b.energy_j * 0.01);
+}
+
+TEST(Campaign, EdpIsEnergyTimesTime) {
+  const Campaign campaign(fast_config());
+  const Record r = campaign.measure({1, 2, 0});
+  EXPECT_NEAR(r.edp, r.energy_j * r.time_s, 1e-3);
+}
+
+TEST(Campaign, ParallelSweepIsBitIdenticalToSerial) {
+  // Every combination experiment is independent with a key-derived meter
+  // stream, so the thread count must not change a single bit.
+  CampaignConfig serial = fast_config();
+  serial.threads = 1;
+  CampaignConfig parallel = fast_config();
+  parallel.threads = 4;
+  const ModelDatabase a = Campaign(serial).build();
+  const ModelDatabase b = Campaign(parallel).build();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].key, b.records()[i].key);
+    EXPECT_DOUBLE_EQ(a.records()[i].time_s, b.records()[i].time_s);
+    EXPECT_DOUBLE_EQ(a.records()[i].energy_j, b.records()[i].energy_j);
+    EXPECT_DOUBLE_EQ(a.records()[i].max_power_w, b.records()[i].max_power_w);
+  }
+}
+
+TEST(Campaign, AutoThreadCountWorks) {
+  CampaignConfig config = fast_config();
+  config.threads = 0;  // one per hardware core
+  const ModelDatabase db = Campaign(config).build();
+  EXPECT_GT(db.size(), 0u);
+}
+
+TEST(Campaign, RejectsBadConfig) {
+  CampaignConfig config = fast_config();
+  config.max_base_vms = 0;
+  EXPECT_THROW((void)Campaign{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::modeldb

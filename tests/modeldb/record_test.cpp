@@ -1,0 +1,87 @@
+#include "modeldb/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aeva::modeldb {
+namespace {
+
+using workload::ProfileClass;
+
+Record sample_record() {
+  Record r;
+  r.key = {2, 1, 1};
+  r.time_s = 2000.0;
+  r.avg_time_vm_s = 500.0;
+  r.energy_j = 400000.0;
+  r.max_power_w = 220.0;
+  r.edp = r.energy_j * r.time_s;
+  r.time_cpu_s = 1800.0;
+  r.time_mem_s = 1600.0;
+  r.time_io_s = 2000.0;
+  return r;
+}
+
+TEST(Record, AvgPower) {
+  EXPECT_DOUBLE_EQ(sample_record().avg_power_w(), 200.0);
+  Record empty;
+  EXPECT_DOUBLE_EQ(empty.avg_power_w(), 0.0);
+}
+
+TEST(Record, TimeOfUsesExtensionColumns) {
+  const Record r = sample_record();
+  EXPECT_DOUBLE_EQ(r.time_of(ProfileClass::kCpu), 1800.0);
+  EXPECT_DOUBLE_EQ(r.time_of(ProfileClass::kMem), 1600.0);
+  EXPECT_DOUBLE_EQ(r.time_of(ProfileClass::kIo), 2000.0);
+}
+
+TEST(Record, TimeOfFallsBackToAvgTime) {
+  Record r = sample_record();
+  r.time_mem_s = 0.0;  // class column absent
+  EXPECT_DOUBLE_EQ(r.time_of(ProfileClass::kMem), r.avg_time_vm_s);
+}
+
+TEST(Record, EnergyPerVm) {
+  EXPECT_DOUBLE_EQ(sample_record().energy_per_vm_j(), 100000.0);
+  Record empty;
+  EXPECT_DOUBLE_EQ(empty.energy_per_vm_j(), 0.0);
+}
+
+TEST(BaseParameters, PerClassAccessors) {
+  BaseParameters base;
+  base.cpu.osp = 4;
+  base.mem.ose = 7;
+  base.io.solo_time_s = 1100.0;
+  EXPECT_EQ(base.of(ProfileClass::kCpu).osp, 4);
+  EXPECT_EQ(base.of(ProfileClass::kMem).ose, 7);
+  EXPECT_DOUBLE_EQ(base.of(ProfileClass::kIo).solo_time_s, 1100.0);
+
+  base.of(ProfileClass::kCpu).ose = 9;
+  EXPECT_EQ(base.cpu.ose, 9);
+}
+
+TEST(BaseParameters, OsIsMaxOfOspOse) {
+  BaseParameters::PerClass entry;
+  entry.osp = 5;
+  entry.ose = 3;
+  EXPECT_EQ(entry.os(), 5);
+  entry.ose = 8;
+  EXPECT_EQ(entry.os(), 8);
+}
+
+TEST(BaseParameters, CombinationCountMatchesPaperFormula) {
+  // (OSC+1)(OSM+1)(OSI+1) − (1+OSC+OSM+OSI), Sect. III-B.
+  BaseParameters base;
+  base.cpu.osp = base.cpu.ose = 5;
+  base.mem.osp = base.mem.ose = 6;
+  base.io.osp = base.io.ose = 4;
+  EXPECT_EQ(base.combination_experiment_count(),
+            6LL * 7 * 5 - (1 + 5 + 6 + 4));
+}
+
+TEST(BaseParameters, CombinationCountDegenerate) {
+  BaseParameters base;  // all OS = 1
+  EXPECT_EQ(base.combination_experiment_count(), 2LL * 2 * 2 - 4);
+}
+
+}  // namespace
+}  // namespace aeva::modeldb

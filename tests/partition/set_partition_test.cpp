@@ -1,0 +1,165 @@
+#include "partition/set_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aeva::partition {
+namespace {
+
+TEST(BellNumber, KnownValues) {
+  EXPECT_EQ(bell_number(0), 1u);
+  EXPECT_EQ(bell_number(1), 1u);
+  EXPECT_EQ(bell_number(2), 2u);
+  EXPECT_EQ(bell_number(3), 5u);
+  EXPECT_EQ(bell_number(4), 15u);
+  EXPECT_EQ(bell_number(5), 52u);
+  EXPECT_EQ(bell_number(6), 203u);
+  EXPECT_EQ(bell_number(10), 115975u);
+  EXPECT_EQ(bell_number(25), 4638590332229999353ULL);
+}
+
+TEST(BellNumber, RejectsOutOfRange) {
+  EXPECT_THROW((void)bell_number(-1), std::invalid_argument);
+  EXPECT_THROW((void)bell_number(26), std::invalid_argument);
+}
+
+TEST(SetPartitionGenerator, CountsMatchBellNumbers) {
+  for (int n = 1; n <= 10; ++n) {
+    SetPartitionGenerator gen(n);
+    std::uint64_t count = 1;
+    while (gen.next()) {
+      ++count;
+    }
+    EXPECT_EQ(count, bell_number(n)) << "n=" << n;
+  }
+}
+
+TEST(SetPartitionGenerator, FirstPartitionIsSingleBlock) {
+  SetPartitionGenerator gen(4);
+  const Partition p = gen.partition();
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], (Block{0, 1, 2, 3}));
+  EXPECT_EQ(gen.block_count(), 1);
+}
+
+TEST(SetPartitionGenerator, LastPartitionIsAllSingletons) {
+  SetPartitionGenerator gen(4);
+  while (gen.next()) {
+  }
+  const Partition p = gen.partition();
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(gen.block_count(), 4);
+}
+
+TEST(SetPartitionGenerator, EveryPartitionIsValid) {
+  SetPartitionGenerator gen(6);
+  do {
+    const Partition p = gen.partition();
+    std::set<int> seen;
+    for (const Block& block : p) {
+      EXPECT_FALSE(block.empty());
+      for (const int e : block) {
+        EXPECT_TRUE(seen.insert(e).second) << "element repeated";
+      }
+    }
+    EXPECT_EQ(seen.size(), 6u) << "elements missing";
+  } while (gen.next());
+}
+
+TEST(SetPartitionGenerator, AllPartitionsDistinct) {
+  SetPartitionGenerator gen(7);
+  std::set<std::vector<int>> seen;
+  do {
+    EXPECT_TRUE(seen.insert(gen.rgs()).second);
+  } while (gen.next());
+  EXPECT_EQ(seen.size(), bell_number(7));
+}
+
+TEST(SetPartitionGenerator, RgsLexicographicOrder) {
+  SetPartitionGenerator gen(5);
+  std::vector<int> previous = gen.rgs();
+  while (gen.next()) {
+    EXPECT_LT(previous, gen.rgs());
+    previous = gen.rgs();
+  }
+}
+
+TEST(SetPartitionGenerator, NextReturnsFalseWhenExhaustedAndStays) {
+  SetPartitionGenerator gen(3);
+  while (gen.next()) {
+  }
+  const std::vector<int> last = gen.rgs();
+  EXPECT_FALSE(gen.next());
+  EXPECT_EQ(gen.rgs(), last);
+}
+
+TEST(SetPartitionGenerator, SingleElement) {
+  SetPartitionGenerator gen(1);
+  EXPECT_EQ(gen.partition().size(), 1u);
+  EXPECT_FALSE(gen.next());
+}
+
+TEST(SetPartitionGenerator, RejectsOutOfRangeSize) {
+  EXPECT_THROW(SetPartitionGenerator(0), std::invalid_argument);
+  EXPECT_THROW(SetPartitionGenerator(26), std::invalid_argument);
+}
+
+TEST(ForEachPartition, VisitsAll) {
+  std::size_t count = 0;
+  const std::size_t visited =
+      for_each_partition(5, [&](const Partition&) {
+        ++count;
+        return true;
+      });
+  EXPECT_EQ(count, bell_number(5));
+  EXPECT_EQ(visited, bell_number(5));
+}
+
+TEST(ForEachPartition, EarlyStop) {
+  std::size_t count = 0;
+  const std::size_t visited =
+      for_each_partition(6, [&](const Partition&) {
+        ++count;
+        return count < 10;
+      });
+  EXPECT_EQ(count, 10u);
+  EXPECT_EQ(visited, 10u);
+}
+
+TEST(ForEachPartition, RejectsNullVisitor) {
+  EXPECT_THROW(for_each_partition(3, nullptr), std::invalid_argument);
+}
+
+TEST(RgsToPartition, BlocksOrderedBySmallestElement) {
+  const Partition p = rgs_to_partition({0, 1, 0, 2, 1});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], (Block{0, 2}));
+  EXPECT_EQ(p[1], (Block{1, 4}));
+  EXPECT_EQ(p[2], (Block{3}));
+}
+
+TEST(RgsToPartition, RejectsInvalidStrings) {
+  EXPECT_THROW((void)rgs_to_partition({}), std::invalid_argument);
+  EXPECT_THROW((void)rgs_to_partition({1}), std::invalid_argument);
+  EXPECT_THROW((void)rgs_to_partition({0, 2}), std::invalid_argument);
+  EXPECT_THROW((void)rgs_to_partition({0, -1}), std::invalid_argument);
+}
+
+/// Property: block counts across all partitions of n elements follow the
+/// Stirling numbers of the second kind.
+TEST(SetPartitionGenerator, BlockCountsFollowStirlingNumbers) {
+  // S(5, k) for k = 1..5.
+  const std::uint64_t stirling[5] = {1, 15, 25, 10, 1};
+  std::uint64_t counts[5] = {0, 0, 0, 0, 0};
+  SetPartitionGenerator gen(5);
+  do {
+    ++counts[static_cast<std::size_t>(gen.block_count()) - 1];
+  } while (gen.next());
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(counts[k], stirling[k]) << "k=" << (k + 1);
+  }
+}
+
+}  // namespace
+}  // namespace aeva::partition

@@ -1,0 +1,144 @@
+#include "profiling/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/registry.hpp"
+
+namespace aeva::profiling {
+namespace {
+
+using workload::ProfileClass;
+using workload::Subsystem;
+
+TEST(MapToClass, DiskIntensiveIsIo) {
+  EXPECT_EQ(map_to_class(false, false, true, false), ProfileClass::kIo);
+  EXPECT_EQ(map_to_class(true, true, true, true), ProfileClass::kIo);
+}
+
+TEST(MapToClass, NetworkWithoutCpuIsIo) {
+  EXPECT_EQ(map_to_class(false, false, false, true), ProfileClass::kIo);
+}
+
+TEST(MapToClass, NetworkWithCpuIsCpu) {
+  // A CPU- cum network-intensive MPI code is a CPU workload for the model.
+  EXPECT_EQ(map_to_class(true, false, false, true), ProfileClass::kCpu);
+}
+
+TEST(MapToClass, MemoryBeatsCpu) {
+  EXPECT_EQ(map_to_class(true, true, false, false), ProfileClass::kMem);
+}
+
+TEST(MapToClass, DefaultIsCpu) {
+  EXPECT_EQ(map_to_class(false, false, false, false), ProfileClass::kCpu);
+  EXPECT_EQ(map_to_class(true, false, false, false), ProfileClass::kCpu);
+}
+
+TEST(Profiler, ClassifiesAllBuiltinsAsTheirRegistryClass) {
+  // The registry's labels and the measurement-driven classifier must
+  // agree — this is the consistency check between Sect. III-A profiling
+  // and the model database keying.
+  const Profiler profiler;
+  for (const workload::AppSpec& app : workload::builtin_apps()) {
+    const ApplicationProfile profile = profiler.profile(app);
+    EXPECT_EQ(profile.mapped_class, app.profile) << app.name;
+  }
+}
+
+TEST(Profiler, LinpackIsCpuIntensiveOnly) {
+  const Profiler profiler;
+  const ApplicationProfile profile =
+      profiler.profile(workload::find_app("linpack"));
+  const auto intensive = profile.intensive_subsystems();
+  ASSERT_EQ(intensive.size(), 1u);
+  EXPECT_EQ(intensive[0], Subsystem::kCpu);
+}
+
+TEST(Profiler, MpiComputeIsCpuAndNetworkIntensive) {
+  // Fig. 1 (right): intensive along multiple dimensions.
+  const Profiler profiler;
+  const ApplicationProfile profile =
+      profiler.profile(workload::find_app("mpicompute"));
+  const auto intensive = profile.intensive_subsystems();
+  ASSERT_EQ(intensive.size(), 2u);
+  EXPECT_EQ(intensive[0], Subsystem::kCpu);
+  EXPECT_EQ(intensive[1], Subsystem::kNetwork);
+}
+
+TEST(Profiler, BeffioIsDiskAndNetworkIntensive) {
+  const Profiler profiler;
+  const ApplicationProfile profile =
+      profiler.profile(workload::find_app("beffio"));
+  bool disk = false;
+  bool net = false;
+  for (const Subsystem s : profile.intensive_subsystems()) {
+    disk |= s == Subsystem::kDisk;
+    net |= s == Subsystem::kNetwork;
+  }
+  EXPECT_TRUE(disk);
+  EXPECT_TRUE(net);
+}
+
+TEST(Profiler, RuntimeMatchesSoloExecution) {
+  const Profiler profiler;
+  const ApplicationProfile profile =
+      profiler.profile(workload::find_app("fftw"));
+  EXPECT_NEAR(profile.runtime_s,
+              workload::find_app("fftw").nominal_runtime_s(), 1e-6);
+}
+
+TEST(Profiler, MeanNaturalUnitsAreSane) {
+  const Profiler profiler;
+  const ApplicationProfile profile =
+      profiler.profile(workload::find_app("linpack"));
+  // Single linpack VM: ~0.92 cores plus a small hypervisor tax.
+  const auto& cpu = profile.subsystems[static_cast<int>(Subsystem::kCpu)];
+  EXPECT_NEAR(cpu.mean_natural, 0.94, 0.05);
+  // No disk or network activity.
+  const auto& disk = profile.subsystems[static_cast<int>(Subsystem::kDisk)];
+  EXPECT_NEAR(disk.mean_natural, 0.0, 1e-6);
+}
+
+TEST(Profiler, UtilizationSeriesSampledAtCollectorPeriod) {
+  const Profiler profiler;
+  const ApplicationProfile profile =
+      profiler.profile(workload::find_app("bonnie"));
+  const auto& series = profile.subsystems[0].utilization;
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_NEAR(series[1].time_s - series[0].time_s, 1.0, 1e-9);
+}
+
+TEST(Profiler, ThresholdBoundaryBehaviour) {
+  // An app exactly at the CPU threshold counts as intensive (>=).
+  ClassifierThresholds thresholds;
+  CollectorSpec collector;
+  testbed::ServerConfig server = testbed::testbed_server();
+  server.per_vm_cpu_overhead = 0.0;  // exact demand observable
+  const Profiler profiler(server, collector, thresholds);
+
+  workload::AppSpec app;
+  app.name = "boundary";
+  app.profile = ProfileClass::kCpu;
+  app.mem_footprint_mb = 16.0;
+  app.phases = {workload::Phase{
+      "p", workload::Demand{thresholds.cpu_cores, 0.0, 0.0, 0.0}, 100.0}};
+  const ApplicationProfile profile = profiler.profile(app);
+  EXPECT_TRUE(
+      profile.subsystems[static_cast<int>(Subsystem::kCpu)].intensive);
+}
+
+TEST(Profiler, RejectsBadConfiguration) {
+  ClassifierThresholds thresholds;
+  thresholds.cpu_cores = 0.0;
+  EXPECT_THROW(Profiler(testbed::testbed_server(), CollectorSpec{},
+                        thresholds),
+               std::invalid_argument);
+
+  CollectorSpec collector;
+  collector.period_s = 0.0;
+  EXPECT_THROW(Profiler(testbed::testbed_server(), collector,
+                        ClassifierThresholds{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::profiling

@@ -1,0 +1,92 @@
+#include "report/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace aeva::report {
+namespace {
+
+TEST(Slugify, Basics) {
+  EXPECT_EQ(slugify("Figure 5 — Makespan"), "figure-5-makespan");
+  EXPECT_EQ(slugify("Table II"), "table-ii");
+  EXPECT_EQ(slugify("___"), "table");
+  EXPECT_EQ(slugify("Already-Clean"), "already-clean");
+}
+
+TEST(Table, MarkdownRendering) {
+  Table table("Demo", {"a", "b"});
+  table.add_row({"1", "2"}).caption("a caption");
+  const std::string md = table.to_markdown();
+  EXPECT_NE(md.find("**Demo**"), std::string::npos);
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+  EXPECT_NE(md.find("*a caption*"), std::string::npos);
+}
+
+TEST(Table, EscapesPipes) {
+  Table table("T", {"x"});
+  table.add_row({"a|b"});
+  EXPECT_NE(table.to_markdown().find("a\\|b"), std::string::npos);
+}
+
+TEST(Table, CsvExport) {
+  Table table("T", {"x", "y"});
+  table.add_row({"1", "2"});
+  const util::CsvTable csv = table.to_csv();
+  EXPECT_EQ(csv.header, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(csv.rows.size(), 1u);
+}
+
+TEST(Table, RejectsBadInput) {
+  EXPECT_THROW(Table("", {"a"}), std::invalid_argument);
+  EXPECT_THROW(Table("t", {}), std::invalid_argument);
+  Table table("t", {"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Report, MarkdownComposition) {
+  Report report("My Reproduction");
+  report.section("Results")
+      .paragraph("Some prose.")
+      .table(Table("Numbers", {"k", "v"}).add_row({"a", "1"}));
+  const std::string md = report.to_markdown();
+  EXPECT_NE(md.find("# My Reproduction"), std::string::npos);
+  EXPECT_NE(md.find("## Results"), std::string::npos);
+  EXPECT_NE(md.find("Some prose."), std::string::npos);
+  EXPECT_NE(md.find("**Numbers**"), std::string::npos);
+  EXPECT_EQ(report.table_count(), 1u);
+}
+
+TEST(Report, WriteProducesMarkdownAndCsvs) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "aeva_report_test").string();
+  std::filesystem::remove_all(dir);
+
+  Report report("Repro");
+  report.table(Table("Figure 5", {"s", "m"}).add_row({"FF", "61520"}));
+  report.table(Table("Figure 6", {"s", "e"}).add_row({"FF", "649.7"}));
+  report.write(dir);
+
+  EXPECT_TRUE(std::filesystem::exists(dir + "/report.md"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/figure-5.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/figure-6.csv"));
+  const util::CsvTable csv = util::read_csv_file(dir + "/figure-5.csv");
+  ASSERT_EQ(csv.rows.size(), 1u);
+  EXPECT_EQ(csv.rows[0][1], "61520");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Report, WriteFailsOnUnwritableTarget) {
+  Report report("Repro");
+  report.table(Table("T", {"a"}).add_row({"1"}));
+  EXPECT_THROW(report.write("/proc/cannot/create/this"), std::runtime_error);
+}
+
+TEST(Report, RejectsEmptyTitle) {
+  EXPECT_THROW(Report(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::report

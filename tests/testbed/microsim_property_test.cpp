@@ -1,0 +1,156 @@
+/// Property suites for the testbed microsimulator: conservation laws and
+/// monotonicity that must hold for *any* admissible workload, exercised
+/// over randomized app specs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testbed/microsim.hpp"
+#include "util/rng.hpp"
+#include "workload/registry.hpp"
+
+namespace aeva::testbed {
+namespace {
+
+using workload::AppSpec;
+using workload::Demand;
+using workload::Phase;
+using workload::ProfileClass;
+
+/// Random but valid app spec.
+AppSpec random_app(util::Rng& rng, int index) {
+  AppSpec app;
+  // (two-step append avoids a GCC 12 -Wrestrict false positive on
+  // operator+ with a string literal)
+  app.name = "rand";
+  app.name += std::to_string(index);
+  app.profile = workload::kAllProfileClasses[static_cast<std::size_t>(
+      rng.uniform_int(0, 2))];
+  app.mem_footprint_mb = rng.uniform(32.0, 700.0);
+  const int phases = static_cast<int>(rng.uniform_int(1, 4));
+  for (int p = 0; p < phases; ++p) {
+    Phase phase;
+    phase.name = "p";
+    phase.name += std::to_string(p);
+    phase.demand = Demand{rng.uniform(0.05, 1.0), rng.uniform(0.0, 0.4),
+                          rng.uniform(0.0, 60.0), rng.uniform(0.0, 40.0)};
+    phase.nominal_s = rng.uniform(50.0, 800.0);
+    app.phases.push_back(phase);
+  }
+  return app;
+}
+
+class MicroSimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MicroSimProperty, RuntimeNeverBeatsNominal) {
+  // Contention can only slow an application down.
+  util::Rng rng(GetParam());
+  const MicroSim sim(testbed_server());
+  std::vector<VmRun> vms;
+  const int count = static_cast<int>(rng.uniform_int(1, 10));
+  for (int i = 0; i < count; ++i) {
+    vms.push_back(VmRun{random_app(rng, i), rng.uniform(0.0, 200.0)});
+  }
+  const SimResult result = sim.run(vms);
+  ASSERT_EQ(result.vms.size(), vms.size());
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    EXPECT_GE(result.vms[i].runtime_s() + 1e-6,
+              vms[i].app.nominal_runtime_s())
+        << vms[i].app.name;
+  }
+}
+
+TEST_P(MicroSimProperty, EnergyBoundedByPowerEnvelope) {
+  util::Rng rng(GetParam() ^ 0xabcdULL);
+  const ServerConfig config = testbed_server();
+  const MicroSim sim(config);
+  std::vector<VmRun> vms;
+  const int count = static_cast<int>(rng.uniform_int(1, 8));
+  for (int i = 0; i < count; ++i) {
+    vms.push_back(VmRun{random_app(rng, i), 0.0});
+  }
+  const SimResult result = sim.run(vms);
+  EXPECT_GE(result.energy_j,
+            config.power.idle_w * result.makespan_s - 1e-6);
+  EXPECT_LE(result.energy_j,
+            config.power.peak_w() * result.makespan_s + 1e-6);
+}
+
+TEST_P(MicroSimProperty, AddingAVmNeverSpeedsOthersUp) {
+  util::Rng rng(GetParam() ^ 0x7777ULL);
+  const MicroSim sim(testbed_server());
+  std::vector<VmRun> base;
+  const int count = static_cast<int>(rng.uniform_int(1, 6));
+  for (int i = 0; i < count; ++i) {
+    base.push_back(VmRun{random_app(rng, i), 0.0});
+  }
+  const SimResult before = sim.run(base);
+
+  std::vector<VmRun> extended = base;
+  extended.push_back(VmRun{random_app(rng, 99), 0.0});
+  const SimResult after = sim.run(extended);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_GE(after.vms[i].finish_s + 1e-6, before.vms[i].finish_s)
+        << "VM " << i << " finished earlier with more contention";
+  }
+}
+
+TEST_P(MicroSimProperty, ShiftingAllStartsShiftsAllFinishes) {
+  // Time-invariance: delaying every arrival by Δ delays every completion
+  // by exactly Δ.
+  util::Rng rng(GetParam() ^ 0x1357ULL);
+  const MicroSim sim(testbed_server());
+  std::vector<VmRun> vms;
+  const int count = static_cast<int>(rng.uniform_int(1, 6));
+  for (int i = 0; i < count; ++i) {
+    vms.push_back(VmRun{random_app(rng, i), rng.uniform(0.0, 100.0)});
+  }
+  const SimResult base = sim.run(vms);
+
+  const double shift = 500.0;
+  std::vector<VmRun> shifted = vms;
+  for (VmRun& vm : shifted) {
+    vm.start_s += shift;
+  }
+  const SimResult moved = sim.run(shifted);
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    EXPECT_NEAR(moved.vms[i].finish_s, base.vms[i].finish_s + shift, 1e-6);
+  }
+  EXPECT_NEAR(moved.makespan_s, base.makespan_s, 1e-6);
+}
+
+TEST_P(MicroSimProperty, UtilizationNeverExceedsCapacity) {
+  util::Rng rng(GetParam() ^ 0x2468ULL);
+  const MicroSim sim(testbed_server());
+  std::vector<VmRun> vms;
+  const int count = static_cast<int>(rng.uniform_int(2, 12));
+  for (int i = 0; i < count; ++i) {
+    vms.push_back(VmRun{random_app(rng, i), 0.0});
+  }
+  const SimResult result = sim.run(vms);
+  for (const workload::Subsystem s : workload::kAllSubsystems) {
+    for (const auto& sample : result.utilization.of(s).samples()) {
+      EXPECT_LE(sample.value, 1.0 + 1e-9) << workload::to_string(s);
+      EXPECT_GE(sample.value, -1e-12);
+    }
+  }
+}
+
+TEST_P(MicroSimProperty, FasterHardwareNeverSlower) {
+  util::Rng rng(GetParam() ^ 0x9999ULL);
+  std::vector<VmRun> vms;
+  const int count = static_cast<int>(rng.uniform_int(2, 8));
+  for (int i = 0; i < count; ++i) {
+    vms.push_back(VmRun{random_app(rng, i), 0.0});
+  }
+  const SimResult small = MicroSim(testbed_server()).run(vms);
+  const SimResult big = MicroSim(bigbox_server()).run(vms);
+  EXPECT_LE(big.makespan_s, small.makespan_s + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MicroSimProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace aeva::testbed

@@ -1,0 +1,105 @@
+/// OnlineServer contention behaviour beyond the MicroSim-equivalence
+/// contract: dynamic membership changes must re-solve rates and power the
+/// same way the batch engine would.
+
+#include <gtest/gtest.h>
+
+#include "testbed/online_server.hpp"
+#include "workload/registry.hpp"
+
+namespace aeva::testbed {
+namespace {
+
+using workload::AppSpec;
+using workload::Demand;
+using workload::Phase;
+using workload::ProfileClass;
+
+AppSpec cpu_hog(double nominal_s) {
+  AppSpec app;
+  app.name = "hog";
+  app.profile = ProfileClass::kCpu;
+  app.mem_footprint_mb = 64.0;
+  app.phases = {Phase{"burn", Demand{1.0, 0.0, 0.0, 0.0}, nominal_s}};
+  return app;
+}
+
+TEST(OnlineServerContention, RatesDropWhenVmsJoin) {
+  ServerConfig config = testbed_server();
+  config.per_vm_cpu_overhead = 0.0;
+  config.sched_overhead = 0.0;
+  OnlineServer server(config);
+  // Four hogs saturate four cores; time to completion = nominal.
+  for (int i = 0; i < 4; ++i) {
+    (void)server.add_vm(cpu_hog(400.0), 1.0);
+  }
+  EXPECT_NEAR(server.next_event_in(), 400.0, 1e-9);
+  // Four more: proportional share halves every rate.
+  for (int i = 0; i < 4; ++i) {
+    (void)server.add_vm(cpu_hog(400.0), 1.0);
+  }
+  EXPECT_NEAR(server.next_event_in(), 800.0, 1e-9);
+}
+
+TEST(OnlineServerContention, RatesRecoverWhenVmsLeave) {
+  ServerConfig config = testbed_server();
+  config.per_vm_cpu_overhead = 0.0;
+  config.sched_overhead = 0.0;
+  OnlineServer server(config);
+  (void)server.add_vm(cpu_hog(100.0), 1.0);  // finishes first
+  for (int i = 0; i < 7; ++i) {
+    (void)server.add_vm(cpu_hog(800.0), 1.0);
+  }
+  // Eight full-core demands on four cores: everyone at rate 1/2.
+  std::vector<std::int64_t> done;
+  server.advance(200.0, done);  // the short VM completes at t = 200
+  ASSERT_EQ(done.size(), 1u);
+  // Seven remain: rate 4/7; the residual 700 nominal seconds take 1225.
+  EXPECT_NEAR(server.next_event_in(), 700.0 / (4.0 / 7.0), 1e-6);
+}
+
+TEST(OnlineServerContention, PowerTracksMembership) {
+  OnlineServer server(testbed_server());
+  const double idle = server.power_w();
+  (void)server.add_vm(cpu_hog(500.0), 1.0);
+  const double one = server.power_w();
+  (void)server.add_vm(cpu_hog(500.0), 1.0);
+  const double two = server.power_w();
+  EXPECT_GT(one, idle);
+  EXPECT_GT(two, one);
+  std::vector<std::int64_t> done;
+  server.advance(1e6, done);
+  EXPECT_DOUBLE_EQ(server.power_w(), idle);
+}
+
+TEST(OnlineServerContention, OvercommitThrashesOnline) {
+  const ServerConfig config = testbed_server();
+  OnlineServer lean(config);
+  OnlineServer fat(config);
+  AppSpec small = cpu_hog(300.0);
+  small.mem_footprint_mb = 100.0;
+  AppSpec big = cpu_hog(300.0);
+  big.mem_footprint_mb = config.guest_mem_mb();  // one VM fills guest RAM
+  (void)lean.add_vm(small, 1.0);
+  (void)lean.add_vm(small, 1.0);
+  (void)fat.add_vm(big, 1.0);
+  (void)fat.add_vm(big, 1.0);  // 2× overcommit → thrash
+  EXPECT_GT(fat.next_event_in(), 1.5 * lean.next_event_in());
+}
+
+TEST(OnlineServerContention, MultiPhaseTransitionsChangeLoads) {
+  // beffio switches from write to read phases; disk demand changes at the
+  // boundary, which the online engine must re-solve mid-advance.
+  OnlineServer server(testbed_server());
+  (void)server.add_vm(workload::find_app("beffio"), 1.0);
+  std::vector<std::int64_t> done;
+  server.advance(599.0, done);  // still in the write phase
+  const double p_write = server.power_w();
+  server.advance(2.0, done);  // crossed into the read phase
+  const double p_read = server.power_w();
+  EXPECT_NE(p_write, p_read);
+  EXPECT_TRUE(done.empty());
+}
+
+}  // namespace
+}  // namespace aeva::testbed

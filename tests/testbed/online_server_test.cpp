@@ -1,0 +1,204 @@
+#include "testbed/online_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "testbed/microsim.hpp"
+#include "util/rng.hpp"
+#include "workload/registry.hpp"
+
+namespace aeva::testbed {
+namespace {
+
+using workload::ProfileClass;
+
+TEST(OnlineServer, EmptyServerIdles) {
+  OnlineServer server(testbed_server());
+  EXPECT_EQ(server.resident(), 0);
+  EXPECT_TRUE(std::isinf(server.next_event_in()));
+  EXPECT_DOUBLE_EQ(server.power_w(), testbed_server().power.idle_w);
+  std::vector<std::int64_t> done;
+  server.advance(1000.0, done);
+  EXPECT_TRUE(done.empty());
+}
+
+TEST(OnlineServer, SoloVmCompletesAtNominalTime) {
+  OnlineServer server(testbed_server());
+  const auto handle = server.add_vm(workload::find_app("linpack"), 1.0);
+  EXPECT_EQ(server.resident(), 1);
+  EXPECT_NEAR(server.next_event_in(), 1200.0, 1e-6);
+
+  std::vector<std::int64_t> done;
+  server.advance(1199.0, done);
+  EXPECT_TRUE(done.empty());
+  server.advance(1.0 + 1e-6, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], handle);
+  EXPECT_EQ(server.resident(), 0);
+}
+
+TEST(OnlineServer, RuntimeScaleStretchesCompletion) {
+  OnlineServer server(testbed_server());
+  (void)server.add_vm(workload::find_app("beffio"), 2.0);
+  EXPECT_NEAR(server.next_event_in(), 2.0 * 600.0, 1e-6);  // first phase
+}
+
+TEST(OnlineServer, MixTracksResidentClasses) {
+  OnlineServer server(testbed_server());
+  (void)server.add_vm(workload::find_app("linpack"), 1.0);
+  (void)server.add_vm(workload::find_app("sysbench"), 1.0);
+  (void)server.add_vm(workload::find_app("beffio"), 1.0);
+  EXPECT_EQ(server.mix(), (workload::ClassCounts{1, 1, 1}));
+  EXPECT_EQ(server.residents().size(), 3u);
+}
+
+TEST(OnlineServer, PowerRisesWithLoad) {
+  OnlineServer server(testbed_server());
+  const double idle = server.power_w();
+  (void)server.add_vm(workload::find_app("linpack"), 1.0);
+  EXPECT_GT(server.power_w(), idle);
+}
+
+TEST(OnlineServer, HandlesAreUniqueAndStable) {
+  OnlineServer server(testbed_server());
+  const auto h1 = server.add_vm(workload::find_app("linpack"), 1.0);
+  const auto h2 = server.add_vm(workload::find_app("linpack"), 1.0);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(OnlineServer, RejectsBadInputs) {
+  OnlineServer server(testbed_server());
+  EXPECT_THROW((void)server.add_vm(workload::find_app("linpack"), 0.0),
+               std::invalid_argument);
+  std::vector<std::int64_t> done;
+  EXPECT_THROW(server.advance(-1.0, done), std::invalid_argument);
+}
+
+/// Equivalence contract: a VM set admitted at t = 0 completes at exactly
+/// the MicroSim's completion times, for any step pattern.
+class OnlineEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(OnlineEquivalence, MatchesMicroSimCompletionTimes) {
+  const auto [count, chunk_s] = GetParam();
+  const char* names[] = {"linpack", "sysbench", "beffio", "fftw", "bonnie"};
+
+  std::vector<VmRun> batch;
+  OnlineServer server(testbed_server());
+  std::map<std::int64_t, std::size_t> index_of;
+  for (int i = 0; i < count; ++i) {
+    const workload::AppSpec& app =
+        workload::find_app(names[static_cast<std::size_t>(i) % 5]);
+    batch.push_back(VmRun{app, 0.0});
+    index_of[server.add_vm(app, 1.0)] = static_cast<std::size_t>(i);
+  }
+  const SimResult expected = MicroSim(testbed_server()).run(batch);
+
+  // Drive the online server with fixed-size chunks and record completion
+  // times at sub-step resolution via next_event_in.
+  std::vector<double> online_finish(static_cast<std::size_t>(count), -1.0);
+  double now = 0.0;
+  std::vector<std::int64_t> done;
+  std::size_t finished = 0;
+  while (finished < static_cast<std::size_t>(count) && now < 1e8) {
+    // Step either a full chunk or exactly to the next event, whichever is
+    // sooner, so completion timestamps stay exact.
+    const double step = std::min(chunk_s, server.next_event_in());
+    done.clear();
+    server.advance(step, done);
+    now += step;
+    for (const std::int64_t handle : done) {
+      online_finish[index_of[handle]] = now;
+      ++finished;
+    }
+  }
+  for (int i = 0; i < count; ++i) {
+    EXPECT_NEAR(online_finish[static_cast<std::size_t>(i)],
+                expected.vms[static_cast<std::size_t>(i)].finish_s, 1e-5)
+        << names[static_cast<std::size_t>(i) % 5];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Batches, OnlineEquivalence,
+    ::testing::Combine(::testing::Values(1, 3, 5, 8, 12),
+                       ::testing::Values(50.0, 333.3, 10000.0)));
+
+TEST(OnlineServer, StaggeredArrivalsMatchMicroSimStarts) {
+  // Admit VMs at different times online; MicroSim models the same via
+  // start offsets.
+  const workload::AppSpec& app = workload::find_app("linpack");
+  const SimResult expected = MicroSim(testbed_server())
+                                 .run({VmRun{app, 0.0}, VmRun{app, 300.0},
+                                       VmRun{app, 600.0}});
+
+  OnlineServer server(testbed_server());
+  std::map<std::int64_t, int> index_of;
+  std::vector<double> finish(3, -1.0);
+  std::vector<std::int64_t> done;
+  double now = 0.0;
+  index_of[server.add_vm(app, 1.0)] = 0;
+  const auto drive_until = [&](double target) {
+    while (now < target - 1e-9) {
+      const double step = std::min(target - now, server.next_event_in());
+      done.clear();
+      server.advance(step, done);
+      now += step;
+      for (const std::int64_t handle : done) {
+        finish[static_cast<std::size_t>(index_of[handle])] = now;
+      }
+    }
+  };
+  drive_until(300.0);
+  index_of[server.add_vm(app, 1.0)] = 1;
+  drive_until(600.0);
+  index_of[server.add_vm(app, 1.0)] = 2;
+  drive_until(10000.0);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(finish[static_cast<std::size_t>(i)],
+                expected.vms[static_cast<std::size_t>(i)].finish_s, 1e-5)
+        << "vm " << i;
+  }
+}
+
+TEST(OnlineServer, RandomizedChunkingIsChunkInvariant) {
+  // Property: the completion times do not depend on how the caller slices
+  // time (as long as steps never overshoot events, per the contract).
+  const workload::AppSpec& app = workload::find_app("sysbench");
+  util::Rng rng(77);
+
+  const auto run_with_chunks = [&](util::Rng& chunk_rng) {
+    OnlineServer server(testbed_server());
+    for (int i = 0; i < 6; ++i) {
+      (void)server.add_vm(app, 1.0);
+    }
+    double now = 0.0;
+    std::vector<std::int64_t> done;
+    std::vector<double> finishes;
+    while (server.resident() > 0 && now < 1e7) {
+      const double step =
+          std::min(chunk_rng.uniform(10.0, 500.0), server.next_event_in());
+      done.clear();
+      server.advance(step, done);
+      now += step;
+      for (std::size_t k = 0; k < done.size(); ++k) {
+        finishes.push_back(now);
+      }
+    }
+    return finishes;
+  };
+  util::Rng rng_a = rng.fork(1);
+  util::Rng rng_b = rng.fork(2);
+  const std::vector<double> a = run_with_chunks(rng_a);
+  const std::vector<double> b = run_with_chunks(rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace aeva::testbed

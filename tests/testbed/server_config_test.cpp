@@ -1,0 +1,76 @@
+#include "testbed/server_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aeva::testbed {
+namespace {
+
+TEST(ServerConfig, DefaultMatchesTestbed) {
+  const ServerConfig config = testbed_server();
+  // Dell server: quad-core Xeon X3220, 4 GB, two disks, two 1 GbE NICs.
+  EXPECT_EQ(config.cores, 4);
+  EXPECT_DOUBLE_EQ(config.mem_capacity_mb, 4096.0);
+  EXPECT_EQ(config.disk_count, 2);
+  EXPECT_EQ(config.nic_count, 2);
+  // The paper's fixed powered-on draw.
+  EXPECT_DOUBLE_EQ(config.power.idle_w, 125.0);
+}
+
+TEST(ServerConfig, AggregateCapacities) {
+  const ServerConfig config = testbed_server();
+  EXPECT_DOUBLE_EQ(config.disk_capacity_mbps(),
+                   config.disk_mbps * config.disk_count);
+  EXPECT_DOUBLE_EQ(config.net_capacity_mbps(),
+                   config.nic_mbps * config.nic_count);
+  EXPECT_DOUBLE_EQ(config.guest_mem_mb(),
+                   config.mem_capacity_mb - config.mem_reserved_mb);
+}
+
+TEST(PowerModel, PeakSumsComponents) {
+  PowerModel pm;
+  EXPECT_DOUBLE_EQ(pm.peak_w(), pm.idle_w + pm.cpu_max_w + pm.mem_max_w +
+                                    pm.disk_max_w + pm.net_max_w);
+}
+
+TEST(ServerConfig, ValidateRejectsBadCores) {
+  ServerConfig config = testbed_server();
+  config.cores = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(ServerConfig, ValidateRejectsReservedAboveCapacity) {
+  ServerConfig config = testbed_server();
+  config.mem_reserved_mb = config.mem_capacity_mb;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(ServerConfig, ValidateRejectsEmptySubsystems) {
+  ServerConfig config = testbed_server();
+  config.disk_count = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = testbed_server();
+  config.nic_mbps = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(ServerConfig, ValidateRejectsNegativeOverheads) {
+  ServerConfig config = testbed_server();
+  config.per_vm_cpu_overhead = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = testbed_server();
+  config.sched_overhead = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = testbed_server();
+  config.thrash_coeff = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = testbed_server();
+  config.power.cpu_max_w = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::testbed

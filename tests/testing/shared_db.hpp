@@ -1,0 +1,22 @@
+#pragma once
+
+/// Test helper: one lazily-built model database shared by the core,
+/// datacenter, and integration suites (the campaign is deterministic, so
+/// sharing is safe and keeps the test binary fast).
+
+#include "modeldb/campaign.hpp"
+#include "modeldb/database.hpp"
+#include "testbed/server_config.hpp"
+
+namespace aeva::testing {
+
+inline const modeldb::ModelDatabase& shared_db() {
+  static const modeldb::ModelDatabase db = [] {
+    modeldb::CampaignConfig config;
+    config.server = testbed::testbed_server();
+    return modeldb::Campaign(config).build();
+  }();
+  return db;
+}
+
+}  // namespace aeva::testing

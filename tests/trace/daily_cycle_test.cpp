@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace aeva::trace {
+namespace {
+
+SwfTrace make_trace(std::uint64_t seed = 1,
+                    DailyCycleConfig config = DailyCycleConfig{}) {
+  util::Rng rng(seed);
+  return generate_daily_cycle(config, rng);
+}
+
+TEST(DailyCycle, ProducesAtLeastTargetJobs) {
+  DailyCycleConfig config;
+  config.target_jobs = 1000;
+  const SwfTrace trace = make_trace(1, config);
+  EXPECT_GE(trace.jobs.size(), 1000u);
+}
+
+TEST(DailyCycle, DeterministicInSeed) {
+  DailyCycleConfig config;
+  config.target_jobs = 500;
+  const SwfTrace a = make_trace(9, config);
+  const SwfTrace b = make_trace(9, config);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].submit_s, b.jobs[i].submit_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].run_s, b.jobs[i].run_s);
+  }
+}
+
+TEST(DailyCycle, SubmitsSortedAndWithinSpan) {
+  DailyCycleConfig config;
+  config.target_jobs = 800;
+  const SwfTrace trace = make_trace(2, config);
+  double previous = 0.0;
+  for (const SwfJob& job : trace.jobs) {
+    EXPECT_GE(job.submit_s, previous);
+    EXPECT_LE(job.submit_s, config.days * 86400.0 + 31.0);
+    previous = job.submit_s;
+  }
+}
+
+TEST(DailyCycle, PeakHourReceivesMoreArrivalsThanTrough) {
+  DailyCycleConfig config;
+  config.target_jobs = 8000;
+  config.peak_to_trough = 4.0;
+  const SwfTrace trace = make_trace(3, config);
+  // Bucket arrivals by hour of day and compare the peak bucket (14:00)
+  // against the trough (02:00), each widened to a 4-hour window.
+  std::array<int, 24> by_hour{};
+  for (const SwfJob& job : trace.jobs) {
+    const int hour =
+        static_cast<int>(std::fmod(job.submit_s, 86400.0) / 3600.0) % 24;
+    ++by_hour[static_cast<std::size_t>(hour)];
+  }
+  int peak = 0;
+  int trough = 0;
+  for (int h = 12; h < 16; ++h) {
+    peak += by_hour[static_cast<std::size_t>(h)];
+  }
+  for (int h = 0; h < 4; ++h) {
+    trough += by_hour[static_cast<std::size_t>(h)];
+  }
+  EXPECT_GT(peak, trough * 2);
+}
+
+TEST(DailyCycle, RuntimesFollowGammaMoments) {
+  DailyCycleConfig config;
+  config.target_jobs = 6000;
+  config.max_runtime_s = 1e9;  // no truncation for the moment check
+  config.failed_fraction = 0.0;
+  config.cancelled_fraction = 0.0;
+  const SwfTrace trace = make_trace(4, config);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const SwfJob& job : trace.jobs) {
+    sum += job.run_s;
+    ++n;
+  }
+  const double mean = sum / static_cast<double>(n);
+  // Burst members share a base runtime with ±10% jitter; the mean is
+  // preserved. Gamma mean = shape × scale = 1440 s.
+  EXPECT_NEAR(mean,
+              config.runtime_gamma_shape * config.runtime_gamma_scale_s,
+              120.0);
+}
+
+TEST(DailyCycle, CleansLikeAnyTrace) {
+  SwfTrace trace = make_trace(5);
+  const CleanStats stats = clean(trace);
+  EXPECT_GT(stats.total(), 0u);
+  for (const SwfJob& job : trace.jobs) {
+    EXPECT_EQ(job.status, static_cast<int>(SwfStatus::kCompleted));
+  }
+}
+
+TEST(DailyCycle, RejectsBadConfig) {
+  util::Rng rng(1);
+  DailyCycleConfig config;
+  config.peak_to_trough = 0.5;
+  EXPECT_THROW((void)generate_daily_cycle(config, rng),
+               std::invalid_argument);
+  config = DailyCycleConfig{};
+  config.days = 0.0;
+  EXPECT_THROW((void)generate_daily_cycle(config, rng),
+               std::invalid_argument);
+  config = DailyCycleConfig{};
+  config.runtime_gamma_shape = 0.0;
+  EXPECT_THROW((void)generate_daily_cycle(config, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::trace

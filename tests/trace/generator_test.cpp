@@ -1,0 +1,149 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace aeva::trace {
+namespace {
+
+SwfTrace small_trace(std::uint64_t seed = 1,
+                     GeneratorConfig config = GeneratorConfig{}) {
+  config.target_jobs = 800;
+  util::Rng rng(seed);
+  return generate_egee_like(config, rng);
+}
+
+TEST(Generator, ProducesAtLeastTargetJobs) {
+  const SwfTrace trace = small_trace();
+  EXPECT_GE(trace.jobs.size(), 800u);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const SwfTrace a = small_trace(7);
+  const SwfTrace b = small_trace(7);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].submit_s, b.jobs[i].submit_s);
+    EXPECT_DOUBLE_EQ(a.jobs[i].run_s, b.jobs[i].run_s);
+    EXPECT_EQ(a.jobs[i].status, b.jobs[i].status);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const SwfTrace a = small_trace(1);
+  const SwfTrace b = small_trace(2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.jobs.size(), b.jobs.size()); ++i) {
+    any_diff |= a.jobs[i].run_s != b.jobs[i].run_s;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, SubmitTimesSortedAndWithinSpan) {
+  GeneratorConfig config;
+  config.target_jobs = 800;
+  const SwfTrace trace = small_trace(3, config);
+  double previous = 0.0;
+  for (const SwfJob& job : trace.jobs) {
+    EXPECT_GE(job.submit_s, previous);
+    EXPECT_GE(job.submit_s, 0.0);
+    EXPECT_LE(job.submit_s, config.span_s + 31.0);  // intra-burst jitter
+    previous = job.submit_s;
+  }
+}
+
+TEST(Generator, JobIdsAreSequential) {
+  const SwfTrace trace = small_trace();
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    EXPECT_EQ(trace.jobs[i].job_id, static_cast<long long>(i) + 1);
+  }
+}
+
+TEST(Generator, ImperfectionFractionsRoughlyRespected) {
+  GeneratorConfig config;
+  config.target_jobs = 4000;
+  util::Rng rng(5);
+  const SwfTrace trace = generate_egee_like(config, rng);
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  for (const SwfJob& job : trace.jobs) {
+    failed += job.status == static_cast<int>(SwfStatus::kFailed) ? 1 : 0;
+    cancelled +=
+        job.status == static_cast<int>(SwfStatus::kCancelled) ? 1 : 0;
+  }
+  const double n = static_cast<double>(trace.jobs.size());
+  EXPECT_NEAR(failed / n, config.failed_fraction, 0.02);
+  EXPECT_NEAR(cancelled / n, config.cancelled_fraction, 0.02);
+}
+
+TEST(Generator, CleaningLeavesOnlyUsableJobs) {
+  SwfTrace trace = small_trace(9);
+  const std::size_t before = trace.jobs.size();
+  const CleanStats stats = clean(trace);
+  EXPECT_GT(stats.total(), 0u);
+  EXPECT_EQ(trace.jobs.size() + stats.total(), before);
+  for (const SwfJob& job : trace.jobs) {
+    EXPECT_GT(job.run_s, 0.0);
+    EXPECT_EQ(job.status, static_cast<int>(SwfStatus::kCompleted));
+  }
+}
+
+TEST(Generator, ProcessorsArePowersOfTwo) {
+  const SwfTrace trace = small_trace(11);
+  for (const SwfJob& job : trace.jobs) {
+    const int p = job.requested_procs;
+    EXPECT_GT(p, 0);
+    EXPECT_EQ(p & (p - 1), 0) << p;
+    EXPECT_LE(p, 64);
+  }
+}
+
+TEST(Generator, RuntimesTruncatedAtMax) {
+  GeneratorConfig config;
+  config.target_jobs = 2000;
+  config.max_runtime_s = 3000.0;
+  util::Rng rng(13);
+  const SwfTrace trace = generate_egee_like(config, rng);
+  for (const SwfJob& job : trace.jobs) {
+    // Cancelled/anomalous jobs have zeroed runtimes; others obey the cap
+    // plus the ±10% per-job jitter.
+    EXPECT_LE(job.run_s, 3000.0 * 1.1 + 1e-9);
+  }
+}
+
+TEST(Generator, BurstsShareExecutable) {
+  // Jobs submitted within seconds of each other in a burst carry the same
+  // executable id reasonably often — verify bursts exist at all by
+  // checking consecutive-job executable repeats.
+  const SwfTrace trace = small_trace(17);
+  std::size_t repeats = 0;
+  for (std::size_t i = 1; i < trace.jobs.size(); ++i) {
+    repeats += trace.jobs[i].executable == trace.jobs[i - 1].executable;
+  }
+  EXPECT_GT(repeats, trace.jobs.size() / 5);
+}
+
+TEST(Generator, RejectsBadConfig) {
+  util::Rng rng(1);
+  GeneratorConfig config;
+  config.target_jobs = 0;
+  EXPECT_THROW((void)generate_egee_like(config, rng), std::invalid_argument);
+
+  config = GeneratorConfig{};
+  config.span_s = 0.0;
+  EXPECT_THROW((void)generate_egee_like(config, rng), std::invalid_argument);
+
+  config = GeneratorConfig{};
+  config.min_burst = 3;
+  config.max_burst = 2;
+  EXPECT_THROW((void)generate_egee_like(config, rng), std::invalid_argument);
+
+  config = GeneratorConfig{};
+  config.failed_fraction = 0.6;
+  config.cancelled_fraction = 0.5;
+  EXPECT_THROW((void)generate_egee_like(config, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::trace

@@ -1,0 +1,193 @@
+#include "trace/prepare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/generator.hpp"
+
+namespace aeva::trace {
+namespace {
+
+SwfTrace clean_trace(std::uint64_t seed = 1) {
+  GeneratorConfig config;
+  config.target_jobs = 2000;
+  util::Rng rng(seed);
+  SwfTrace trace = generate_egee_like(config, rng);
+  clean(trace);
+  return trace;
+}
+
+TEST(Prepare, VmCountsWithinBounds) {
+  util::Rng rng(2);
+  const PreparedWorkload prepared =
+      prepare_workload(clean_trace(), PreparationConfig{}, rng);
+  for (const JobRequest& job : prepared.jobs) {
+    EXPECT_GE(job.vm_count, 1);
+    EXPECT_LE(job.vm_count, 4);
+  }
+}
+
+TEST(Prepare, StopsAtTargetVms) {
+  util::Rng rng(3);
+  PreparationConfig config;
+  config.target_total_vms = 500;
+  const PreparedWorkload prepared =
+      prepare_workload(clean_trace(), config, rng);
+  EXPECT_GE(prepared.total_vms, 500);
+  EXPECT_LE(prepared.total_vms, 503);  // last job may overshoot by <4
+}
+
+TEST(Prepare, ZeroTargetUsesWholeTrace) {
+  util::Rng rng(4);
+  PreparationConfig config;
+  config.target_total_vms = 0;
+  const SwfTrace trace = clean_trace();
+  const PreparedWorkload prepared = prepare_workload(trace, config, rng);
+  EXPECT_EQ(prepared.jobs.size(), trace.jobs.size());
+}
+
+TEST(Prepare, TotalsAreConsistent) {
+  util::Rng rng(5);
+  const PreparedWorkload prepared =
+      prepare_workload(clean_trace(), PreparationConfig{}, rng);
+  int total = 0;
+  workload::ClassCounts mix;
+  for (const JobRequest& job : prepared.jobs) {
+    total += job.vm_count;
+    mix.of(job.profile) += job.vm_count;
+  }
+  EXPECT_EQ(total, prepared.total_vms);
+  EXPECT_EQ(mix, prepared.vm_mix);
+}
+
+TEST(Prepare, ProfilesAssignedByBursts) {
+  // Consecutive jobs share profiles in runs of 1..5; check both that runs
+  // exist and that no run exceeds the configured maximum... run length can
+  // exceed max_burst only when two adjacent bursts draw the same class.
+  util::Rng rng(6);
+  const PreparedWorkload prepared =
+      prepare_workload(clean_trace(), PreparationConfig{}, rng);
+  std::size_t same_as_previous = 0;
+  for (std::size_t i = 1; i < prepared.jobs.size(); ++i) {
+    same_as_previous +=
+        prepared.jobs[i].profile == prepared.jobs[i - 1].profile;
+  }
+  // With bursts of mean 3 the repeat share is far above the 1/3 expected
+  // from i.i.d. assignment.
+  EXPECT_GT(static_cast<double>(same_as_previous) / prepared.jobs.size(),
+            0.55);
+}
+
+TEST(Prepare, AllClassesRepresented) {
+  util::Rng rng(7);
+  const PreparedWorkload prepared =
+      prepare_workload(clean_trace(), PreparationConfig{}, rng);
+  EXPECT_GT(prepared.vm_mix.cpu, 0);
+  EXPECT_GT(prepared.vm_mix.mem, 0);
+  EXPECT_GT(prepared.vm_mix.io, 0);
+}
+
+TEST(Prepare, RoughlyUniformClassShares) {
+  util::Rng rng(8);
+  PreparationConfig config;
+  config.target_total_vms = 0;
+  const PreparedWorkload prepared =
+      prepare_workload(clean_trace(), config, rng);
+  const double total = prepared.total_vms;
+  EXPECT_NEAR(prepared.vm_mix.cpu / total, 1.0 / 3.0, 0.08);
+  EXPECT_NEAR(prepared.vm_mix.mem / total, 1.0 / 3.0, 0.08);
+  EXPECT_NEAR(prepared.vm_mix.io / total, 1.0 / 3.0, 0.08);
+}
+
+TEST(Prepare, RuntimeScaleClamped) {
+  util::Rng rng(9);
+  PreparationConfig config;
+  const PreparedWorkload prepared =
+      prepare_workload(clean_trace(), config, rng);
+  for (const JobRequest& job : prepared.jobs) {
+    EXPECT_GE(job.runtime_scale, config.min_runtime_scale);
+    EXPECT_LE(job.runtime_scale, config.max_runtime_scale);
+  }
+}
+
+TEST(Prepare, DeadlinesArePerType) {
+  util::Rng rng(10);
+  PreparationConfig config;
+  const PreparedWorkload prepared =
+      prepare_workload(clean_trace(), config, rng);
+  std::map<workload::ProfileClass, double> deadline;
+  for (const JobRequest& job : prepared.jobs) {
+    const auto [it, inserted] = deadline.emplace(job.profile, job.deadline_s);
+    if (!inserted) {
+      EXPECT_DOUBLE_EQ(it->second, job.deadline_s)
+          << "deadline varies within a class";
+    }
+    const auto ci = static_cast<std::size_t>(job.profile);
+    EXPECT_DOUBLE_EQ(job.deadline_s,
+                     config.qos_factor[ci] * config.solo_time_s[ci]);
+    EXPECT_DOUBLE_EQ(job.max_exec_stretch, config.qos_exec_stretch[ci]);
+  }
+}
+
+TEST(Prepare, SubmitOrderAndIdsPreserved) {
+  util::Rng rng(11);
+  const PreparedWorkload prepared =
+      prepare_workload(clean_trace(), PreparationConfig{}, rng);
+  for (std::size_t i = 0; i < prepared.jobs.size(); ++i) {
+    EXPECT_EQ(prepared.jobs[i].id, static_cast<long long>(i) + 1);
+    if (i > 0) {
+      EXPECT_GE(prepared.jobs[i].submit_s, prepared.jobs[i - 1].submit_s);
+    }
+  }
+}
+
+TEST(Prepare, DeterministicInRngState) {
+  util::Rng rng_a(12);
+  util::Rng rng_b(12);
+  const SwfTrace trace = clean_trace();
+  const PreparedWorkload a =
+      prepare_workload(trace, PreparationConfig{}, rng_a);
+  const PreparedWorkload b =
+      prepare_workload(trace, PreparationConfig{}, rng_b);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].profile, b.jobs[i].profile);
+    EXPECT_EQ(a.jobs[i].vm_count, b.jobs[i].vm_count);
+  }
+}
+
+TEST(Prepare, RejectsBadInputs) {
+  util::Rng rng(13);
+  EXPECT_THROW((void)prepare_workload(SwfTrace{}, PreparationConfig{}, rng),
+               std::invalid_argument);
+
+  PreparationConfig config;
+  config.min_vms_per_job = 0;
+  EXPECT_THROW((void)prepare_workload(clean_trace(), config, rng),
+               std::invalid_argument);
+
+  config = PreparationConfig{};
+  config.max_vms_per_job = 0;
+  EXPECT_THROW((void)prepare_workload(clean_trace(), config, rng),
+               std::invalid_argument);
+
+  config = PreparationConfig{};
+  config.reference_runtime_s = 0.0;
+  EXPECT_THROW((void)prepare_workload(clean_trace(), config, rng),
+               std::invalid_argument);
+
+  config = PreparationConfig{};
+  config.qos_factor[0] = 0.0;
+  EXPECT_THROW((void)prepare_workload(clean_trace(), config, rng),
+               std::invalid_argument);
+
+  config = PreparationConfig{};
+  config.min_runtime_scale = 2.0;
+  config.max_runtime_scale = 1.0;
+  EXPECT_THROW((void)prepare_workload(clean_trace(), config, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::trace

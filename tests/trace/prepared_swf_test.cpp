@@ -1,0 +1,91 @@
+#include "trace/prepared_swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace aeva::trace {
+namespace {
+
+PreparedWorkload sample_workload() {
+  util::Rng rng(5);
+  GeneratorConfig gen;
+  gen.target_jobs = 600;
+  SwfTrace raw = generate_egee_like(gen, rng);
+  clean(raw);
+  PreparationConfig config;
+  config.target_total_vms = 0;
+  config.workflow_chain_fraction = 0.5;
+  return prepare_workload(raw, config, rng);
+}
+
+TEST(PreparedSwf, RoundTripPreservesEveryField) {
+  const PreparedWorkload original = sample_workload();
+  const PreparedWorkload back = swf_to_prepared(prepared_to_swf(original));
+  ASSERT_EQ(back.jobs.size(), original.jobs.size());
+  EXPECT_EQ(back.total_vms, original.total_vms);
+  EXPECT_EQ(back.vm_mix, original.vm_mix);
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    const JobRequest& a = original.jobs[i];
+    const JobRequest& b = back.jobs[i];
+    EXPECT_EQ(b.id, a.id);
+    EXPECT_DOUBLE_EQ(b.submit_s, a.submit_s);
+    EXPECT_EQ(b.profile, a.profile);
+    EXPECT_EQ(b.vm_count, a.vm_count);
+    EXPECT_NEAR(b.runtime_scale, a.runtime_scale, 1e-9);
+    EXPECT_NEAR(b.deadline_s, a.deadline_s, 1e-9);
+    EXPECT_NEAR(b.max_exec_stretch, a.max_exec_stretch, 1e-9);
+    EXPECT_EQ(b.depends_on, a.depends_on);
+  }
+}
+
+TEST(PreparedSwf, SurvivesTextSerialization) {
+  // The annotated trace must survive the plain SWF writer/parser too —
+  // note the writer emits whole seconds, so sub-second precision rounds.
+  const PreparedWorkload original = sample_workload();
+  std::ostringstream out;
+  write_swf(out, prepared_to_swf(original));
+  std::istringstream in(out.str());
+  const PreparedWorkload back = swf_to_prepared(parse_swf(in));
+  ASSERT_EQ(back.jobs.size(), original.jobs.size());
+  for (std::size_t i = 0; i < original.jobs.size(); i += 13) {
+    EXPECT_EQ(back.jobs[i].profile, original.jobs[i].profile);
+    EXPECT_EQ(back.jobs[i].vm_count, original.jobs[i].vm_count);
+    EXPECT_NEAR(back.jobs[i].runtime_scale, original.jobs[i].runtime_scale,
+                1e-3);
+    EXPECT_EQ(back.jobs[i].depends_on, original.jobs[i].depends_on);
+  }
+}
+
+TEST(PreparedSwf, ThirdPartySwfFieldsAreSane) {
+  const SwfTrace annotated = prepared_to_swf(sample_workload());
+  for (const SwfJob& row : annotated.jobs) {
+    EXPECT_GE(row.requested_procs, 1);
+    EXPECT_LE(row.requested_procs, 4);
+    EXPECT_GT(row.run_s, 0.0);
+    EXPECT_EQ(row.status, static_cast<int>(SwfStatus::kCompleted));
+  }
+}
+
+TEST(PreparedSwf, RejectsCorruptEncodings) {
+  SwfTrace bad = prepared_to_swf(sample_workload());
+  bad.jobs[0].executable = 9;
+  EXPECT_THROW((void)swf_to_prepared(bad), std::invalid_argument);
+
+  bad = prepared_to_swf(sample_workload());
+  bad.jobs[0].requested_procs = 0;
+  EXPECT_THROW((void)swf_to_prepared(bad), std::invalid_argument);
+
+  bad = prepared_to_swf(sample_workload());
+  bad.jobs[0].think_s = 0.0;
+  EXPECT_THROW((void)swf_to_prepared(bad), std::invalid_argument);
+
+  EXPECT_THROW((void)swf_to_prepared(SwfTrace{}), std::invalid_argument);
+  EXPECT_THROW((void)prepared_to_swf(PreparedWorkload{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::trace

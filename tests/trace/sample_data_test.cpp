@@ -1,0 +1,54 @@
+/// Tests against the committed sample trace (data/sample_egee.swf): the
+/// file-driven pipeline must keep loading the artifact a user would start
+/// from. The path is wired in by CMake as AEVA_SAMPLE_TRACE.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/prepare.hpp"
+#include "trace/swf.hpp"
+#include "util/rng.hpp"
+
+#ifndef AEVA_SAMPLE_TRACE
+#error "AEVA_SAMPLE_TRACE must be defined by the build"
+#endif
+
+namespace aeva::trace {
+namespace {
+
+TEST(SampleData, LoadsCommittedTrace) {
+  const SwfTrace trace = read_swf_file(AEVA_SAMPLE_TRACE);
+  EXPECT_EQ(trace.jobs.size(), 220u);
+  EXPECT_EQ(trace.comments.size(), 2u);
+}
+
+TEST(SampleData, CleansAndPrepares) {
+  SwfTrace trace = read_swf_file(AEVA_SAMPLE_TRACE);
+  const CleanStats stats = clean(trace);
+  EXPECT_GT(stats.total(), 0u);
+  EXPECT_GT(trace.jobs.size(), 150u);
+
+  util::Rng rng(1);
+  PreparationConfig config;
+  config.target_total_vms = 0;
+  const PreparedWorkload workload = prepare_workload(trace, config, rng);
+  EXPECT_EQ(workload.jobs.size(), trace.jobs.size());
+  EXPECT_GT(workload.total_vms, 0);
+}
+
+TEST(SampleData, RoundTripsThroughWriter) {
+  const SwfTrace trace = read_swf_file(AEVA_SAMPLE_TRACE);
+  std::ostringstream out;
+  write_swf(out, trace);
+  std::istringstream in(out.str());
+  const SwfTrace reparsed = parse_swf(in);
+  ASSERT_EQ(reparsed.jobs.size(), trace.jobs.size());
+  for (std::size_t i = 0; i < trace.jobs.size(); i += 17) {
+    EXPECT_DOUBLE_EQ(reparsed.jobs[i].submit_s, trace.jobs[i].submit_s);
+    EXPECT_DOUBLE_EQ(reparsed.jobs[i].run_s, trace.jobs[i].run_s);
+  }
+}
+
+}  // namespace
+}  // namespace aeva::trace

@@ -1,0 +1,187 @@
+#include "trace/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+namespace aeva::trace {
+namespace {
+
+const char* kSample =
+    "; Comment: tiny trace\n"
+    "; Version: 2\n"
+    "1 0 5 100 4 90 1024 4 200 2048 1 10 2 7 1 1 -1 -1\n"
+    "2 30 0 250 8 200 512 8 300 1024 1 11 2 7 2 1 -1 -1\n"
+    "\n"
+    "3 60 10 0 1 0 0 1 10 0 5 12 3 8 1 1 -1 -1\n";
+
+TEST(SwfParse, ParsesJobsAndComments) {
+  std::istringstream in(kSample);
+  const SwfTrace trace = parse_swf(in);
+  ASSERT_EQ(trace.jobs.size(), 3u);
+  EXPECT_EQ(trace.comments.size(), 2u);
+  EXPECT_EQ(trace.jobs[0].job_id, 1);
+  EXPECT_DOUBLE_EQ(trace.jobs[0].submit_s, 0.0);
+  EXPECT_DOUBLE_EQ(trace.jobs[0].run_s, 100.0);
+  EXPECT_EQ(trace.jobs[0].allocated_procs, 4);
+  EXPECT_EQ(trace.jobs[1].requested_procs, 8);
+  EXPECT_EQ(trace.jobs[2].status, 5);  // cancelled
+  EXPECT_EQ(trace.jobs[2].preceding_job, -1);
+}
+
+TEST(SwfParse, RejectsWrongArity) {
+  std::istringstream in("1 2 3\n");
+  EXPECT_THROW((void)parse_swf(in), std::invalid_argument);
+}
+
+TEST(SwfParse, RejectsNonNumeric) {
+  std::istringstream in(
+      "1 0 5 abc 4 90 1024 4 200 2048 1 10 2 7 1 1 -1 -1\n");
+  EXPECT_THROW((void)parse_swf(in), std::invalid_argument);
+}
+
+TEST(SwfParse, EmptyInput) {
+  std::istringstream in("");
+  const SwfTrace trace = parse_swf(in);
+  EXPECT_TRUE(trace.jobs.empty());
+}
+
+TEST(SwfRoundTrip, WriteThenParse) {
+  std::istringstream in(kSample);
+  const SwfTrace trace = parse_swf(in);
+  std::ostringstream out;
+  write_swf(out, trace);
+  std::istringstream back(out.str());
+  const SwfTrace reparsed = parse_swf(back);
+  ASSERT_EQ(reparsed.jobs.size(), trace.jobs.size());
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    EXPECT_EQ(reparsed.jobs[i].job_id, trace.jobs[i].job_id);
+    EXPECT_DOUBLE_EQ(reparsed.jobs[i].submit_s, trace.jobs[i].submit_s);
+    EXPECT_DOUBLE_EQ(reparsed.jobs[i].run_s, trace.jobs[i].run_s);
+    EXPECT_EQ(reparsed.jobs[i].status, trace.jobs[i].status);
+  }
+  EXPECT_EQ(reparsed.comments, trace.comments);
+}
+
+TEST(SwfFiles, DiskRoundTrip) {
+  std::istringstream in(kSample);
+  const SwfTrace trace = parse_swf(in);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "aeva_swf_test.swf").string();
+  write_swf_file(path, trace);
+  const SwfTrace loaded = read_swf_file(path);
+  EXPECT_EQ(loaded.jobs.size(), trace.jobs.size());
+  std::filesystem::remove(path);
+}
+
+TEST(SwfFiles, MissingFileThrows) {
+  EXPECT_THROW((void)read_swf_file("/no/such/file.swf"), std::runtime_error);
+}
+
+TEST(SwfMerge, SortsBySubmitAndRenumbers) {
+  SwfTrace a;
+  SwfJob job;
+  job.run_s = 10.0;
+  job.allocated_procs = 1;
+  job.job_id = 7;
+  job.submit_s = 100.0;
+  a.jobs.push_back(job);
+  job.job_id = 8;
+  job.submit_s = 10.0;
+  a.jobs.push_back(job);
+
+  SwfTrace b;
+  job.job_id = 3;
+  job.submit_s = 50.0;
+  b.jobs.push_back(job);
+  b.comments.push_back("; from b");
+
+  const SwfTrace merged = merge_traces({a, b});
+  ASSERT_EQ(merged.jobs.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged.jobs[0].submit_s, 10.0);
+  EXPECT_DOUBLE_EQ(merged.jobs[1].submit_s, 50.0);
+  EXPECT_DOUBLE_EQ(merged.jobs[2].submit_s, 100.0);
+  EXPECT_EQ(merged.jobs[0].job_id, 1);
+  EXPECT_EQ(merged.jobs[2].job_id, 3);
+  EXPECT_EQ(merged.comments.size(), 1u);
+}
+
+TEST(SwfMerge, RejectsEmptyInput) {
+  EXPECT_THROW((void)merge_traces({}), std::invalid_argument);
+}
+
+TEST(SwfClean, RemovesFailedCancelledAnomalies) {
+  SwfTrace trace;
+  SwfJob good;
+  good.run_s = 100.0;
+  good.allocated_procs = 2;
+  good.submit_s = 0.0;
+  good.status = static_cast<int>(SwfStatus::kCompleted);
+  trace.jobs.push_back(good);
+
+  SwfJob failed = good;
+  failed.status = static_cast<int>(SwfStatus::kFailed);
+  trace.jobs.push_back(failed);
+
+  SwfJob cancelled = good;
+  cancelled.status = static_cast<int>(SwfStatus::kCancelled);
+  trace.jobs.push_back(cancelled);
+
+  SwfJob zero_runtime = good;
+  zero_runtime.run_s = 0.0;
+  trace.jobs.push_back(zero_runtime);
+
+  SwfJob negative_submit = good;
+  negative_submit.submit_s = -5.0;
+  trace.jobs.push_back(negative_submit);
+
+  SwfJob no_procs = good;
+  no_procs.allocated_procs = -1;
+  no_procs.requested_procs = -1;
+  trace.jobs.push_back(no_procs);
+
+  const CleanStats stats = clean(trace);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.anomalies, 3u);
+  EXPECT_EQ(stats.total(), 5u);
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_EQ(trace.jobs[0].status, static_cast<int>(SwfStatus::kCompleted));
+}
+
+TEST(SwfClean, KeepsRequestedProcsOnlyJobs) {
+  // Grid traces often lack allocated_procs but carry the request.
+  SwfTrace trace;
+  SwfJob job;
+  job.run_s = 50.0;
+  job.allocated_procs = -1;
+  job.requested_procs = 16;
+  job.submit_s = 0.0;
+  trace.jobs.push_back(job);
+  const CleanStats stats = clean(trace);
+  EXPECT_EQ(stats.total(), 0u);
+  EXPECT_EQ(trace.jobs.size(), 1u);
+}
+
+TEST(SwfClean, PreservesOrder) {
+  SwfTrace trace;
+  for (int i = 0; i < 5; ++i) {
+    SwfJob job;
+    job.job_id = i;
+    job.submit_s = i * 10.0;
+    job.run_s = 10.0;
+    job.allocated_procs = 1;
+    job.status = i == 2 ? 0 : 1;
+    trace.jobs.push_back(job);
+  }
+  clean(trace);
+  ASSERT_EQ(trace.jobs.size(), 4u);
+  EXPECT_EQ(trace.jobs[0].job_id, 0);
+  EXPECT_EQ(trace.jobs[1].job_id, 1);
+  EXPECT_EQ(trace.jobs[2].job_id, 3);
+  EXPECT_EQ(trace.jobs[3].job_id, 4);
+}
+
+}  // namespace
+}  // namespace aeva::trace

@@ -1,0 +1,63 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aeva::util {
+namespace {
+
+Args make_args(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, OptionWithValue) {
+  const Args args = make_args({"--alpha", "0.5"});
+  EXPECT_EQ(args.get("alpha").value(), "0.5");
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.5);
+}
+
+TEST(Args, BooleanFlagAtEnd) {
+  const Args args = make_args({"--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose").value(), "");
+}
+
+TEST(Args, FlagFollowedByOption) {
+  const Args args = make_args({"--quiet", "--n", "7"});
+  EXPECT_TRUE(args.has("quiet"));
+  EXPECT_EQ(args.get_int("n", 0), 7);
+}
+
+TEST(Args, Positional) {
+  const Args args = make_args({"input.swf", "--n", "3", "output.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.swf");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+}
+
+TEST(Args, Defaults) {
+  const Args args = make_args({});
+  EXPECT_EQ(args.get_string("mode", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("count", 9), 9);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+  EXPECT_FALSE(args.has("anything"));
+}
+
+TEST(Args, TypedParseErrors) {
+  const Args args = make_args({"--n", "seven"});
+  EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("n", 0.0), std::invalid_argument);
+}
+
+TEST(Args, RejectsMalformedToken) {
+  EXPECT_THROW(make_args({"---x"}), std::invalid_argument);
+}
+
+TEST(Args, LastOccurrenceWins) {
+  const Args args = make_args({"--n", "1", "--n", "2"});
+  EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace aeva::util

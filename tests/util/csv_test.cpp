@@ -1,0 +1,134 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace aeva::util {
+namespace {
+
+TEST(CsvEncode, PlainFields) {
+  EXPECT_EQ(csv_encode_row({"a", "b", "c"}), "a,b,c");
+}
+
+TEST(CsvEncode, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_encode_row({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(csv_encode_row({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_encode_row({"line\nbreak"}), "\"line\nbreak\"");
+}
+
+TEST(CsvEncode, EmptyFieldsPreserved) {
+  EXPECT_EQ(csv_encode_row({"", "", ""}), ",,");
+}
+
+TEST(CsvDecode, PlainRow) {
+  const CsvRow row = csv_decode_row("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(CsvDecode, QuotedFieldWithComma) {
+  const CsvRow row = csv_decode_row("\"a,b\",c");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "a,b");
+  EXPECT_EQ(row[1], "c");
+}
+
+TEST(CsvDecode, EscapedQuote) {
+  const CsvRow row = csv_decode_row("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], "say \"hi\"");
+}
+
+TEST(CsvDecode, ToleratesCarriageReturn) {
+  const CsvRow row = csv_decode_row("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(CsvDecode, RejectsUnterminatedQuote) {
+  EXPECT_THROW((void)csv_decode_row("\"oops"), std::invalid_argument);
+}
+
+TEST(CsvRoundTrip, EncodeDecodeIsIdentity) {
+  const CsvRow original = {"plain", "with,comma", "with\"quote", "", "end"};
+  EXPECT_EQ(csv_decode_row(csv_encode_row(original)), original);
+}
+
+TEST(ParseCsv, HeaderAndRows) {
+  const CsvTable table = parse_csv_text("x,y\n1,2\n3,4\n");
+  ASSERT_EQ(table.header.size(), 2u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][1], "4");
+}
+
+TEST(ParseCsv, EmbeddedNewlineInQuotes) {
+  const CsvTable table = parse_csv_text("x\n\"a\nb\"\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "a\nb");
+}
+
+TEST(ParseCsv, MissingFinalNewline) {
+  const CsvTable table = parse_csv_text("x,y\n5,6");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "5");
+}
+
+TEST(ParseCsv, RejectsRaggedRows) {
+  EXPECT_THROW((void)parse_csv_text("x,y\n1\n"), std::invalid_argument);
+}
+
+TEST(ParseCsv, EmptyDocument) {
+  const CsvTable table = parse_csv_text("");
+  EXPECT_TRUE(table.header.empty());
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(ParseCsv, CrLfLineEndings) {
+  const CsvTable table = parse_csv_text("x,y\r\n1,2\r\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][1], "2");
+}
+
+TEST(CsvTable, ColumnLookup) {
+  const CsvTable table = parse_csv_text("alpha,beta\n1,2\n");
+  EXPECT_EQ(table.column("beta"), 1u);
+  EXPECT_TRUE(table.has_column("alpha"));
+  EXPECT_FALSE(table.has_column("gamma"));
+  EXPECT_THROW((void)table.column("gamma"), std::invalid_argument);
+}
+
+TEST(WriteCsv, RoundTripThroughStream) {
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows = {{"a", "plain"}, {"b", "has,comma"}};
+  std::ostringstream out;
+  write_csv(out, table);
+  const CsvTable parsed = parse_csv_text(out.str());
+  EXPECT_EQ(parsed.header, table.header);
+  EXPECT_EQ(parsed.rows, table.rows);
+}
+
+TEST(CsvFiles, RoundTripOnDisk) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "aeva_csv_test.csv").string();
+  CsvTable table;
+  table.header = {"k", "v"};
+  table.rows = {{"1", "one"}, {"2", "two"}};
+  write_csv_file(path, table);
+  const CsvTable loaded = read_csv_file(path);
+  EXPECT_EQ(loaded.header, table.header);
+  EXPECT_EQ(loaded.rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFiles, ReadMissingFileThrows) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/definitely/missing.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aeva::util

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace aeva::util {
+namespace {
+
+TEST(Gamma, MomentsMatchForShapeAboveOne) {
+  Rng rng(21);
+  const double shape = 2.5;
+  const double scale = 3.0;
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(shape, scale);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.05 * shape * scale);
+  EXPECT_NEAR(var, shape * scale * scale, 0.10 * shape * scale * scale);
+}
+
+TEST(Gamma, MomentsMatchForShapeBelowOne) {
+  Rng rng(22);
+  const double shape = 0.5;
+  const double scale = 2.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(shape, scale);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, shape * scale, 0.05 * shape * scale);
+}
+
+TEST(Gamma, ShapeOneIsExponential) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.gamma(1.0, 4.0);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Gamma, DeterministicInSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.gamma(1.8, 800.0), b.gamma(1.8, 800.0));
+  }
+}
+
+TEST(Gamma, RejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.gamma(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.gamma(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.gamma(-1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::util

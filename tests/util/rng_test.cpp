@@ -1,0 +1,248 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace aeva::util {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  std::uint64_t s1 = 1234;
+  std::uint64_t s2 = 1234;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t state = 42;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5.0, 11.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 11.0);
+  }
+}
+
+TEST(Rng, UniformRejectsBadBounds) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(9, 9), 9);
+  }
+}
+
+TEST(Rng, UniformIntRejectsBadBounds) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW((void)rng.bernoulli(1.5), std::invalid_argument);
+  EXPECT_THROW((void)rng.bernoulli(-0.1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(8);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleAndShift) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(11);
+  std::vector<double> values;
+  const int n = 50001;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    values.push_back(rng.lognormal(1.0, 0.5));
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[n / 2], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.weibull(1.0, 3.0);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);  // mean of Exp(scale=3)
+  EXPECT_THROW((void)rng.weibull(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.weibull(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(13);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1() == c2()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, RepeatedForksWithSameLabelDiffer) {
+  Rng parent(14);
+  Rng c1 = parent.fork(7);
+  Rng c2 = parent.fork(7);
+  EXPECT_NE(c1(), c2());
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(15);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = values;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, values);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(16);
+  std::vector<int> values(50);
+  for (int i = 0; i < 50; ++i) {
+    values[static_cast<std::size_t>(i)] = i;
+  }
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformIntUnbiasedOverSmallRange) {
+  Rng rng(GetParam());
+  std::array<int, 5> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1ULL, 42ULL, 0xdeadbeefULL,
+                                           0xffffffffffffffffULL, 2026ULL));
+
+}  // namespace
+}  // namespace aeva::util

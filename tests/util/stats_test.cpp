@@ -1,0 +1,180 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace aeva::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+  EXPECT_TRUE(std::isinf(stats.min()));
+  EXPECT_TRUE(std::isinf(stats.max()));
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Population variance of this classic sample is 4; unbiased = 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(99);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> sample = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 1.0), 5.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> sample = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.75), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.99), 7.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, -0.5), std::invalid_argument);
+}
+
+TEST(MeanOf, Basic) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW((void)mean_of({}), std::invalid_argument);
+}
+
+TEST(WeightedMean, Basic) {
+  EXPECT_DOUBLE_EQ(weighted_mean({1.0, 3.0}, {1.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(weighted_mean({1.0, 3.0}, {3.0, 1.0}), 1.5);
+}
+
+TEST(WeightedMean, RejectsBadWeights) {
+  EXPECT_THROW((void)weighted_mean({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)weighted_mean({1.0}, {-1.0}), std::invalid_argument);
+  EXPECT_THROW((void)weighted_mean({1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW((void)weighted_mean({}, {}), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, NearZeroForIndependentStreams) {
+  Rng rng(123);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 10000; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.05);
+}
+
+TEST(Pearson, RejectsDegenerateInput) {
+  EXPECT_THROW((void)pearson({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)pearson({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)pearson({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+/// Property: Welford mean/variance agree with the naive two-pass formulas
+/// across random samples.
+class StatsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsProperty, WelfordMatchesTwoPass) {
+  Rng rng(GetParam());
+  std::vector<double> sample;
+  RunningStats stats;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.uniform(-100.0, 100.0);
+    sample.push_back(v);
+    stats.add(v);
+  }
+  double mean = 0.0;
+  for (const double v : sample) {
+    mean += v;
+  }
+  mean /= n;
+  double var = 0.0;
+  for (const double v : sample) {
+    var += (v - mean) * (v - mean);
+  }
+  var /= (n - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL, 5ULL));
+
+}  // namespace
+}  // namespace aeva::util

@@ -1,0 +1,40 @@
+#include "util/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aeva::util {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TablePrinter, HeaderUnderline) {
+  TablePrinter table({"a"});
+  table.add_row({"1"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsArityMismatch) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, EmptyBodyStillPrintsHeader) {
+  TablePrinter table({"col"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aeva::util

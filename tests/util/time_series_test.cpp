@@ -1,0 +1,153 @@
+#include "util/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aeva::util {
+namespace {
+
+TEST(TimeSeries, NameAndUnit) {
+  const TimeSeries ts("power", "W");
+  EXPECT_EQ(ts.name(), "power");
+  EXPECT_EQ(ts.unit(), "W");
+  EXPECT_TRUE(ts.empty());
+}
+
+TEST(TimeSeries, AppendEnforcesTimeOrder) {
+  TimeSeries ts;
+  ts.append(0.0, 1.0);
+  ts.append(1.0, 2.0);
+  ts.append(1.0, 3.0);  // equal times allowed (step encoding)
+  EXPECT_THROW(ts.append(0.5, 4.0), std::invalid_argument);
+  EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(TimeSeries, AppendRejectsNonFinite) {
+  TimeSeries ts;
+  EXPECT_THROW(ts.append(std::nan(""), 1.0), std::invalid_argument);
+  EXPECT_THROW(ts.append(0.0, std::nan("")), std::invalid_argument);
+}
+
+TEST(TimeSeries, StartEndTimes) {
+  TimeSeries ts;
+  ts.append(2.0, 0.0);
+  ts.append(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(ts.start_time(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.end_time(), 5.0);
+  const TimeSeries empty;
+  EXPECT_THROW((void)empty.start_time(), std::invalid_argument);
+  EXPECT_THROW((void)empty.end_time(), std::invalid_argument);
+}
+
+TEST(TimeSeries, IntegrateConstant) {
+  TimeSeries ts;
+  ts.append(0.0, 100.0);
+  ts.append(10.0, 100.0);
+  EXPECT_DOUBLE_EQ(ts.integrate(), 1000.0);  // 100 W × 10 s = 1000 J
+}
+
+TEST(TimeSeries, IntegrateRamp) {
+  TimeSeries ts;
+  ts.append(0.0, 0.0);
+  ts.append(4.0, 8.0);
+  EXPECT_DOUBLE_EQ(ts.integrate(), 16.0);  // triangle area
+}
+
+TEST(TimeSeries, IntegrateStepFunction) {
+  // Step encoded as duplicate timestamps: 100 W for 2 s then 200 W for 3 s.
+  TimeSeries ts;
+  ts.append(0.0, 100.0);
+  ts.append(2.0, 100.0);
+  ts.append(2.0, 200.0);
+  ts.append(5.0, 200.0);
+  EXPECT_DOUBLE_EQ(ts.integrate(), 200.0 + 600.0);
+}
+
+TEST(TimeSeries, IntegrateDegenerate) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.integrate(), 0.0);
+  ts.append(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(ts.integrate(), 0.0);
+}
+
+TEST(TimeSeries, TimeWeightedMean) {
+  TimeSeries ts;
+  ts.append(0.0, 100.0);
+  ts.append(2.0, 100.0);
+  ts.append(2.0, 200.0);
+  ts.append(4.0, 200.0);
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(), 150.0);
+}
+
+TEST(TimeSeries, TimeWeightedMeanZeroSpan) {
+  TimeSeries ts;
+  ts.append(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(), 7.0);
+}
+
+TEST(TimeSeries, MaxValue) {
+  TimeSeries ts;
+  ts.append(0.0, 3.0);
+  ts.append(1.0, 9.0);
+  ts.append(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 9.0);
+}
+
+TEST(TimeSeries, ValueAtInterpolatesAndClamps) {
+  TimeSeries ts;
+  ts.append(0.0, 0.0);
+  ts.append(10.0, 100.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(20.0), 100.0);
+}
+
+TEST(TimeSeries, ValueAtStepDiscontinuity) {
+  TimeSeries ts;
+  ts.append(0.0, 1.0);
+  ts.append(2.0, 1.0);
+  ts.append(2.0, 5.0);
+  ts.append(4.0, 5.0);
+  // At the discontinuity the later sample wins.
+  EXPECT_DOUBLE_EQ(ts.value_at(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1.999), 1.0);
+}
+
+TEST(TimeSeries, ResampleUniformGrid) {
+  TimeSeries ts;
+  ts.append(0.0, 0.0);
+  ts.append(10.0, 10.0);
+  const TimeSeries grid = ts.resample(2.5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid[0].time_s, 0.0);
+  EXPECT_DOUBLE_EQ(grid[4].time_s, 10.0);
+  EXPECT_DOUBLE_EQ(grid[2].value, 5.0);
+}
+
+TEST(TimeSeries, ResamplePreservesIntegralOfLinearSignal) {
+  TimeSeries ts;
+  ts.append(0.0, 0.0);
+  ts.append(100.0, 200.0);
+  const TimeSeries grid = ts.resample(1.0);
+  EXPECT_NEAR(grid.integrate(), ts.integrate(), 1e-6);
+}
+
+TEST(TimeSeries, ResampleCoversEndWithNonDividingPeriod) {
+  TimeSeries ts;
+  ts.append(0.0, 1.0);
+  ts.append(10.0, 1.0);
+  const TimeSeries grid = ts.resample(3.0);
+  EXPECT_DOUBLE_EQ(grid.samples().back().time_s, 10.0);
+}
+
+TEST(TimeSeries, ResampleRejectsBadPeriod) {
+  TimeSeries ts;
+  ts.append(0.0, 1.0);
+  EXPECT_THROW((void)ts.resample(0.0), std::invalid_argument);
+  const TimeSeries empty;
+  EXPECT_THROW((void)empty.resample(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::util

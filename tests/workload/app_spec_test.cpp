@@ -1,0 +1,102 @@
+#include "workload/app_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aeva::workload {
+namespace {
+
+AppSpec two_phase_app() {
+  AppSpec app;
+  app.name = "test-app";
+  app.profile = ProfileClass::kCpu;
+  app.mem_footprint_mb = 256.0;
+  app.phases = {
+      Phase{"a", Demand{0.5, 0.1, 10.0, 0.0}, 100.0},
+      Phase{"b", Demand{1.0, 0.3, 0.0, 20.0}, 300.0},
+  };
+  return app;
+}
+
+TEST(AppSpec, NominalRuntimeSumsPhases) {
+  EXPECT_DOUBLE_EQ(two_phase_app().nominal_runtime_s(), 400.0);
+}
+
+TEST(AppSpec, AverageDemandIsTimeWeighted) {
+  const Demand avg = two_phase_app().average_demand();
+  EXPECT_DOUBLE_EQ(avg.cpu_cores, 0.25 * 0.5 + 0.75 * 1.0);
+  EXPECT_DOUBLE_EQ(avg.mem_bw_share, 0.25 * 0.1 + 0.75 * 0.3);
+  EXPECT_DOUBLE_EQ(avg.disk_mbps, 0.25 * 10.0);
+  EXPECT_DOUBLE_EQ(avg.net_mbps, 0.75 * 20.0);
+}
+
+TEST(AppSpec, ScaledRuntimeMultipliesPhases) {
+  const AppSpec scaled = two_phase_app().scaled_runtime(2.5);
+  EXPECT_DOUBLE_EQ(scaled.nominal_runtime_s(), 1000.0);
+  EXPECT_DOUBLE_EQ(scaled.phases[0].nominal_s, 250.0);
+  // Demands are untouched.
+  EXPECT_DOUBLE_EQ(scaled.phases[1].demand.cpu_cores, 1.0);
+  EXPECT_EQ(scaled.name, "test-app");
+}
+
+TEST(AppSpec, ScaledRuntimeRejectsNonPositive) {
+  EXPECT_THROW((void)two_phase_app().scaled_runtime(0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)two_phase_app().scaled_runtime(-1.0),
+               std::invalid_argument);
+}
+
+TEST(AppSpec, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(two_phase_app().validate());
+}
+
+TEST(AppSpec, ValidateRejectsEmptyName) {
+  AppSpec app = two_phase_app();
+  app.name.clear();
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+}
+
+TEST(AppSpec, ValidateRejectsNoPhases) {
+  AppSpec app = two_phase_app();
+  app.phases.clear();
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+}
+
+TEST(AppSpec, ValidateRejectsNonPositivePhaseDuration) {
+  AppSpec app = two_phase_app();
+  app.phases[0].nominal_s = 0.0;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+}
+
+TEST(AppSpec, ValidateRejectsCpuDemandAboveOneCore) {
+  // Single process per VM: vCPU demand cannot exceed one core.
+  AppSpec app = two_phase_app();
+  app.phases[1].demand.cpu_cores = 1.5;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+}
+
+TEST(AppSpec, ValidateRejectsNegativeDemands) {
+  AppSpec app = two_phase_app();
+  app.phases[0].demand.disk_mbps = -1.0;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+
+  app = two_phase_app();
+  app.phases[0].demand.net_mbps = -0.5;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+
+  app = two_phase_app();
+  app.phases[0].demand.mem_bw_share = 1.5;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+
+  app = two_phase_app();
+  app.mem_footprint_mb = -1.0;
+  EXPECT_THROW(app.validate(), std::invalid_argument);
+}
+
+TEST(AppSpec, AverageDemandRequiresPositiveRuntime) {
+  AppSpec app;
+  app.name = "degenerate";
+  EXPECT_THROW((void)app.average_demand(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::workload

@@ -1,0 +1,69 @@
+#include "workload/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aeva::workload {
+namespace {
+
+TEST(ProfileClass, NamesRoundTrip) {
+  for (const ProfileClass profile : kAllProfileClasses) {
+    const auto parsed = parse_profile_class(to_string(profile));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, profile);
+  }
+}
+
+TEST(ProfileClass, ParseRejectsUnknown) {
+  EXPECT_FALSE(parse_profile_class("cpu").has_value());  // case-sensitive
+  EXPECT_FALSE(parse_profile_class("").has_value());
+  EXPECT_FALSE(parse_profile_class("DISK").has_value());
+}
+
+TEST(Subsystem, Names) {
+  EXPECT_EQ(to_string(Subsystem::kCpu), "cpu");
+  EXPECT_EQ(to_string(Subsystem::kMemory), "memory");
+  EXPECT_EQ(to_string(Subsystem::kDisk), "disk");
+  EXPECT_EQ(to_string(Subsystem::kNetwork), "network");
+}
+
+TEST(ClassCounts, TotalAndAccessors) {
+  ClassCounts counts{2, 3, 4};
+  EXPECT_EQ(counts.total(), 9);
+  EXPECT_EQ(counts.of(ProfileClass::kCpu), 2);
+  EXPECT_EQ(counts.of(ProfileClass::kMem), 3);
+  EXPECT_EQ(counts.of(ProfileClass::kIo), 4);
+}
+
+TEST(ClassCounts, MutableAccessor) {
+  ClassCounts counts;
+  ++counts.of(ProfileClass::kMem);
+  counts.of(ProfileClass::kIo) = 5;
+  EXPECT_EQ(counts.mem, 1);
+  EXPECT_EQ(counts.io, 5);
+  EXPECT_EQ(counts.cpu, 0);
+}
+
+TEST(ClassCounts, Arithmetic) {
+  const ClassCounts a{1, 2, 3};
+  const ClassCounts b{4, 5, 6};
+  EXPECT_EQ(a + b, (ClassCounts{5, 7, 9}));
+  EXPECT_EQ(b - a, (ClassCounts{3, 3, 3}));
+}
+
+TEST(ClassCounts, EqualityAndOrdering) {
+  EXPECT_EQ((ClassCounts{1, 2, 3}), (ClassCounts{1, 2, 3}));
+  EXPECT_FALSE((ClassCounts{1, 2, 3}) == (ClassCounts{1, 2, 4}));
+  // Lexicographic (cpu, mem, io): the database sort key.
+  EXPECT_LT((ClassCounts{0, 9, 9}), (ClassCounts{1, 0, 0}));
+  EXPECT_LT((ClassCounts{1, 0, 9}), (ClassCounts{1, 1, 0}));
+  EXPECT_LT((ClassCounts{1, 1, 0}), (ClassCounts{1, 1, 1}));
+  EXPECT_FALSE((ClassCounts{1, 1, 1}) < (ClassCounts{1, 1, 1}));
+}
+
+TEST(ClassCounts, DefaultIsEmpty) {
+  const ClassCounts counts;
+  EXPECT_EQ(counts.total(), 0);
+}
+
+}  // namespace
+}  // namespace aeva::workload

@@ -1,0 +1,95 @@
+#include "workload/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aeva::workload {
+namespace {
+
+TEST(Registry, AllBuiltinsValidate) {
+  for (const AppSpec& app : builtin_apps()) {
+    EXPECT_NO_THROW(app.validate()) << app.name;
+  }
+}
+
+TEST(Registry, ContainsThePaperBenchmarks) {
+  const std::set<std::string> names = [] {
+    std::set<std::string> out;
+    for (const std::string& n : builtin_app_names()) {
+      out.insert(n);
+    }
+    return out;
+  }();
+  // HPL Linpack, FFTW (CPU); sysbench (memory); b_eff_io, bonnie++ (I/O).
+  EXPECT_TRUE(names.count("linpack"));
+  EXPECT_TRUE(names.count("fftw"));
+  EXPECT_TRUE(names.count("sysbench"));
+  EXPECT_TRUE(names.count("beffio"));
+  EXPECT_TRUE(names.count("bonnie"));
+}
+
+TEST(Registry, NamesAreUnique) {
+  const auto names = builtin_app_names();
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Registry, FindAppReturnsNamedSpec) {
+  EXPECT_EQ(find_app("fftw").name, "fftw");
+  EXPECT_EQ(find_app("fftw").profile, ProfileClass::kCpu);
+}
+
+TEST(Registry, FindAppRejectsUnknown) {
+  EXPECT_THROW((void)find_app("no-such-benchmark"), std::invalid_argument);
+  EXPECT_THROW((void)find_app(""), std::invalid_argument);
+}
+
+TEST(Registry, CanonicalAppsMatchTheirClass) {
+  for (const ProfileClass profile : kAllProfileClasses) {
+    EXPECT_EQ(canonical_app(profile).profile, profile)
+        << to_string(profile);
+  }
+}
+
+TEST(Registry, FftwHasLongInitializationPhase) {
+  // "single thread, with long initialization phase" (Sect. III-B).
+  const AppSpec& fftw = find_app("fftw");
+  ASSERT_GE(fftw.phases.size(), 2u);
+  EXPECT_EQ(fftw.phases.front().name, "init");
+  EXPECT_GE(fftw.phases.front().nominal_s, 60.0);
+}
+
+TEST(Registry, MpiComputeAlternatesComputeAndExchange) {
+  const AppSpec& app = find_app("mpicompute");
+  ASSERT_GE(app.phases.size(), 4u);
+  // Alternating pattern: compute phases demand CPU, exchange phases demand
+  // network.
+  for (std::size_t i = 0; i < app.phases.size(); i += 2) {
+    EXPECT_GT(app.phases[i].demand.cpu_cores, 0.5) << i;
+    EXPECT_GT(app.phases[i + 1].demand.net_mbps, 0.0) << i;
+  }
+}
+
+TEST(Registry, IoBenchmarksDemandDisk) {
+  for (const char* name : {"beffio", "bonnie"}) {
+    const Demand avg = find_app(name).average_demand();
+    EXPECT_GT(avg.disk_mbps, 25.0) << name;
+  }
+}
+
+TEST(Registry, MemoryBenchmarksDemandBandwidth) {
+  for (const char* name : {"sysbench", "stream"}) {
+    const Demand avg = find_app(name).average_demand();
+    EXPECT_GE(avg.mem_bw_share, 0.15) << name;
+  }
+}
+
+TEST(Registry, ReturnsStableReferences) {
+  const AppSpec& a = find_app("linpack");
+  const AppSpec& b = find_app("linpack");
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace aeva::workload
