@@ -1,0 +1,58 @@
+# First-class sanitizer wiring (replaces the ad-hoc CMAKE_CXX_FLAGS the CI
+# used to pass). Select with -DAEVA_SANITIZE=<mode>:
+#
+#   off       (default) no instrumentation
+#   address   AddressSanitizer + LeakSanitizer
+#   undefined UBSan, non-recoverable (any UB fails the test run)
+#   address,undefined    the CI "sanitize" job
+#   thread    ThreadSanitizer — the baseline future parallel-search PRs
+#             must keep clean (cannot be combined with address)
+#   fuzzer    libFuzzer + ASan + UBSan for the fuzz/ harnesses
+#             (requires clang; gcc builds get the standalone driver only)
+#
+# Flags go on every target via add_compile_options/add_link_options, so the
+# whole dependency tree is instrumented consistently — mixing instrumented
+# and uninstrumented TUs yields false negatives.
+
+set(AEVA_SANITIZE "off" CACHE STRING
+    "Sanitizer mode: off | address | undefined | address,undefined | thread | fuzzer")
+set_property(CACHE AEVA_SANITIZE PROPERTY STRINGS
+    off address undefined "address,undefined" thread fuzzer)
+
+set(AEVA_SANITIZER_AVAILABLE_FOR_FUZZING OFF)
+
+if(NOT AEVA_SANITIZE STREQUAL "off")
+  set(_aeva_san_flags "")
+  if(AEVA_SANITIZE STREQUAL "address")
+    set(_aeva_san_flags -fsanitize=address)
+  elseif(AEVA_SANITIZE STREQUAL "undefined")
+    # float-cast-overflow is named explicitly because gcc's `undefined`
+    # umbrella omits it, and out-of-range double->int casts are exactly the
+    # bug class the SWF/model-DB parsers guard against (fuzz/corpus/swf/
+    # reject_huge_procs.swf).
+    set(_aeva_san_flags -fsanitize=undefined,float-cast-overflow -fno-sanitize-recover=all)
+  elseif(AEVA_SANITIZE STREQUAL "address,undefined")
+    set(_aeva_san_flags -fsanitize=address,undefined,float-cast-overflow -fno-sanitize-recover=all)
+  elseif(AEVA_SANITIZE STREQUAL "thread")
+    set(_aeva_san_flags -fsanitize=thread)
+  elseif(AEVA_SANITIZE STREQUAL "fuzzer")
+    if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      # fuzzer-no-link instruments everything for coverage feedback; the
+      # harness executables add -fsanitize=fuzzer themselves for the driver.
+      set(_aeva_san_flags -fsanitize=fuzzer-no-link,address,undefined,float-cast-overflow
+                          -fno-sanitize-recover=all)
+      set(AEVA_SANITIZER_AVAILABLE_FOR_FUZZING ON)
+    else()
+      message(WARNING
+        "AEVA_SANITIZE=fuzzer needs clang (libFuzzer); building with "
+        "ASan+UBSan and the standalone corpus driver instead")
+      set(_aeva_san_flags -fsanitize=address,undefined,float-cast-overflow -fno-sanitize-recover=all)
+    endif()
+  else()
+    message(FATAL_ERROR "Unknown AEVA_SANITIZE value: ${AEVA_SANITIZE}")
+  endif()
+
+  add_compile_options(${_aeva_san_flags} -fno-omit-frame-pointer -g)
+  add_link_options(${_aeva_san_flags})
+  message(STATUS "aeva: sanitizers enabled: ${_aeva_san_flags}")
+endif()

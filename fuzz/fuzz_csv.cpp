@@ -1,0 +1,63 @@
+/// \file fuzz_csv.cpp
+/// Fuzz target for the RFC-4180 CSV layer (util/csv).
+///
+/// Contract: arbitrary bytes either parse into a CsvTable or are rejected
+/// with std::invalid_argument. Accepted tables must survive a
+/// write_csv → parse_csv round trip bit-identically (header and rows);
+/// any other exception type, sanitizer report, or round-trip mismatch is
+/// a finding.
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace {
+
+/// Escaping throw = crash under libFuzzer / the standalone driver.
+void expect(bool cond, const char* what) {
+  if (!cond) {
+    throw std::logic_error(std::string("fuzz_csv invariant failed: ") + what);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // Single-row decoder on the first line.
+  const std::size_t eol = text.find('\n');
+  const std::string first =
+      eol == std::string::npos ? text : text.substr(0, eol);
+  try {
+    (void)aeva::util::csv_decode_row(first);
+  } catch (const std::invalid_argument&) {
+    // Typed rejection is the documented behaviour for malformed rows.
+  }
+
+  // Full-document parser.
+  aeva::util::CsvTable table;
+  try {
+    table = aeva::util::parse_csv_text(text);
+  } catch (const std::invalid_argument&) {
+    return 0;
+  }
+
+  if (table.header.empty()) {
+    return 0;  // empty document
+  }
+  for (const auto& name : table.header) {
+    expect(table.has_column(name), "header column not found by has_column");
+  }
+
+  std::ostringstream out;
+  aeva::util::write_csv(out, table);
+  const aeva::util::CsvTable again = aeva::util::parse_csv_text(out.str());
+  expect(again.header == table.header, "round-trip header mismatch");
+  expect(again.rows == table.rows, "round-trip rows mismatch");
+  return 0;
+}

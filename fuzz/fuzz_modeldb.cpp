@@ -1,0 +1,93 @@
+/// \file fuzz_modeldb.cpp
+/// Fuzz target for the model-database CSV loader (modeldb/database,
+/// Table II schema).
+///
+/// Input layout: a records CSV, optionally followed by a line `@@AUX@@`
+/// and an auxiliary base-parameter CSV (the save()/load() pair of files
+/// concatenated). Contract: any input either yields a ModelDatabase or is
+/// rejected with std::invalid_argument; on success, lookups and the
+/// to_csv → from_csv round trip must not crash, hang, or trip a
+/// sanitizer.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "modeldb/database.hpp"
+#include "util/csv.hpp"
+#include "workload/profile.hpp"
+
+namespace {
+
+constexpr const char kAuxSeparator[] = "\n@@AUX@@\n";
+
+/// Aux table matching the shipped model_db_aux.csv shape, used when the
+/// input does not carry its own.
+aeva::util::CsvTable default_aux() {
+  aeva::util::CsvTable aux;
+  aux.header = {"param", "value"};
+  aux.rows = {{"OSPC", "4"}, {"OSEC", "8"}, {"TC", "61.6"},
+              {"OSPM", "2"}, {"OSEM", "4"}, {"TM", "127.9"},
+              {"OSPI", "2"}, {"OSEI", "4"}, {"TI", "227.8"}};
+  return aux;
+}
+
+void expect(bool cond, const char* what) {
+  if (!cond) {
+    throw std::logic_error(std::string("fuzz_modeldb invariant failed: ") +
+                           what);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  std::string records_text = text;
+  aeva::util::CsvTable aux = default_aux();
+
+  try {
+    const std::size_t sep = text.find(kAuxSeparator);
+    if (sep != std::string::npos) {
+      records_text = text.substr(0, sep);
+      aux = aeva::util::parse_csv_text(
+          text.substr(sep + sizeof(kAuxSeparator) - 1));
+    }
+    const aeva::util::CsvTable records =
+        aeva::util::parse_csv_text(records_text);
+    const aeva::modeldb::ModelDatabase db =
+        aeva::modeldb::ModelDatabase::from_csv(records, aux);
+
+    // Exercise the lookup surface the allocator relies on.
+    expect(db.size() == db.records().size(), "size() != records().size()");
+    const aeva::workload::ClassCounts extent = db.grid_extent();
+    expect(extent.cpu >= 0 && extent.mem >= 0 && extent.io >= 0,
+           "negative grid extent");
+    for (const auto& r : db.records()) {
+      const aeva::modeldb::Record* hit = db.find(r.key);
+      expect(hit != nullptr && hit->key == r.key,
+             "find() misses a stored key");
+      expect(db.measured(r.key), "measured() false for a stored key");
+    }
+    for (const aeva::workload::ClassCounts key :
+         {aeva::workload::ClassCounts{1, 0, 0},
+          aeva::workload::ClassCounts{1, 1, 1},
+          aeva::workload::ClassCounts{extent.cpu + 1, extent.mem, extent.io}}) {
+      const aeva::modeldb::Record est = db.estimate(key);
+      expect(est.key == key, "estimate() returned a different key");
+      (void)db.estimate_extrapolated(key);
+    }
+
+    // Round trip through the persistence schema. Precision loss in
+    // format_fixed can push tiny values below the >0 validation, which is
+    // a typed rejection, not a bug — hence inside the same try.
+    const aeva::modeldb::ModelDatabase again =
+        aeva::modeldb::ModelDatabase::from_csv(db.to_csv(), db.aux_to_csv());
+    expect(again.size() == db.size(), "round-trip record count mismatch");
+  } catch (const std::invalid_argument&) {
+    return 0;
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// \file fuzz_swf.cpp
+/// Fuzz target for the SWF trace parser (trace/swf).
+///
+/// Contract: arbitrary text either parses into an SwfTrace or is rejected
+/// with std::invalid_argument (malformed field, wrong arity, non-finite
+/// numeric, out-of-range integer field). Accepted traces must survive a
+/// write_swf → parse_swf round trip (same job/comment counts and ids) and
+/// clean() must never grow the job list.
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "trace/swf.hpp"
+
+namespace {
+
+void expect(bool cond, const char* what) {
+  if (!cond) {
+    throw std::logic_error(std::string("fuzz_swf invariant failed: ") + what);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  aeva::trace::SwfTrace trace;
+  try {
+    std::istringstream in(text);
+    trace = aeva::trace::parse_swf(in);
+  } catch (const std::invalid_argument&) {
+    return 0;
+  }
+
+  // Round trip: the writer emits integral seconds, so a re-parse must
+  // accept its own output and preserve the record structure.
+  std::ostringstream out;
+  aeva::trace::write_swf(out, trace);
+  std::istringstream in2(out.str());
+  const aeva::trace::SwfTrace again = aeva::trace::parse_swf(in2);
+  expect(again.jobs.size() == trace.jobs.size(),
+         "round-trip job count mismatch");
+  expect(again.comments.size() == trace.comments.size(),
+         "round-trip comment count mismatch");
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    expect(again.jobs[i].job_id == trace.jobs[i].job_id,
+           "round-trip job id mismatch");
+    expect(again.jobs[i].status == trace.jobs[i].status,
+           "round-trip status mismatch");
+  }
+
+  // clean() only removes.
+  aeva::trace::SwfTrace cleaned = trace;
+  const aeva::trace::CleanStats stats = aeva::trace::clean(cleaned);
+  expect(cleaned.jobs.size() + stats.total() == trace.jobs.size(),
+         "clean() dropped/added jobs inconsistently with its stats");
+
+  if (!trace.jobs.empty()) {
+    (void)aeva::trace::merge_traces({trace, trace});
+  }
+  return 0;
+}

@@ -233,7 +233,7 @@ AllocationResult ProactiveAllocator::allocate(
   std::optional<Candidate> best_any;
   std::optional<Candidate> best_qos;
   std::size_t examined = 0;
-  partition::for_each_typed_partition(
+  const std::size_t visited = partition::for_each_typed_partition(
       request,
       [&](const ClassCounts& block) {
         // A block is worth enumerating if some hardware class can host it.
@@ -259,6 +259,9 @@ AllocationResult ProactiveAllocator::allocate(
         }
         return examined < config_.max_partitions;
       });
+  AEVA_INVARIANT(visited == examined,
+                 "partition enumeration visited ", visited,
+                 " but the scorer saw ", examined);
   result.partitions_examined = examined;
 
   std::optional<Candidate> chosen;
@@ -307,7 +310,7 @@ AllocationResult ProactiveAllocator::allocate(
         slots.push_back(Slot{placed.time_per_class[ci], placed.server_index});
       }
     }
-    AEVA_ASSERT(slots.size() == class_vms.size(),
+    AEVA_INVARIANT(slots.size() == class_vms.size(),
                 "block slots do not cover the request for class ",
                 workload::to_string(profile));
     std::stable_sort(slots.begin(), slots.end(),

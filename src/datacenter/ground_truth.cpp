@@ -150,7 +150,7 @@ SimMetrics GroundTruthSimulator::run(const trace::PreparedWorkload& workload,
            }
            return false;
          }()) {
-    AEVA_ASSERT(++guard <= max_events,
+    AEVA_INVARIANT(++guard <= max_events,
                 "ground-truth simulation event budget exhausted");
 
     const double next_arrival =
@@ -194,7 +194,7 @@ SimMetrics GroundTruthSimulator::run(const trace::PreparedWorkload& workload,
       servers[s].advance(dt + kEps, completed);
       for (const std::int64_t handle : completed) {
         const auto it = owner[s].find(handle);
-        AEVA_ASSERT(it != owner[s].end(), "unknown VM handle completed");
+        AEVA_INVARIANT(it != owner[s].end(), "unknown VM handle completed");
         const trace::JobRequest& job = jobs[it->second];
         const double response = next_event - job.submit_s;
         response_stats.add(response);

@@ -141,7 +141,7 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
     for (RunningVm& vm : running) {
       if (vm.server == server_id) {
         const double est = rec.time_of(vm.profile);
-        AEVA_ASSERT(est > 0.0, "non-positive estimated time");
+        AEVA_INVARIANT(est > 0.0, "non-positive estimated time");
         vm.rate = 1.0 / (vm.runtime_scale * est);
         if (vm.migrating) {
           vm.rate *= cloud_.migration.degradation;
@@ -187,7 +187,7 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
       if (!result.complete) {
         return false;  // no room (or no QoS-feasible room) right now
       }
-      AEVA_ASSERT(result.placements.size() == request.size(),
+      AEVA_INVARIANT(result.placements.size() == request.size(),
                   "allocator placed ", result.placements.size(), " of ",
                   request.size(), " VMs");
       for (const Placement& placement : result.placements) {
@@ -453,7 +453,7 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
                                  (1u << 17);
   while (next_job < jobs.size() || !queue.empty() || !running.empty() ||
          parked > 0) {
-    AEVA_ASSERT(++guard <= max_events,
+    AEVA_INVARIANT(++guard <= max_events,
                 "simulation event budget exhausted — strategy starved the "
                 "queue or the model diverged");
 

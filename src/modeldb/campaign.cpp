@@ -180,7 +180,7 @@ std::vector<Record> Campaign::run_combinations(
     }
   }
 
-  AEVA_ASSERT(static_cast<long long>(records.size()) ==
+  AEVA_INVARIANT(static_cast<long long>(records.size()) ==
                   base.combination_experiment_count(),
               "combination count mismatch: ran ", records.size(),
               ", formula says ", base.combination_experiment_count());

@@ -102,7 +102,7 @@ Record ModelDatabase::estimate(ClassCounts key) const {
       }
     }
   }
-  AEVA_ASSERT(anchor != nullptr, "no anchor record found");
+  AEVA_INVARIANT(anchor != nullptr, "no anchor record found");
 
   // "Use the matching values proportionally": scale the anchor outcome by
   // the total-VM ratio.
@@ -222,14 +222,27 @@ namespace {
 double cell_double(const util::CsvTable& table, const util::CsvRow& row,
                    const std::string& column) {
   const auto parsed = util::parse_double(row[table.column(column)]);
-  AEVA_REQUIRE(parsed.has_value(), "bad numeric cell in column ", column);
+  // Non-finite cells are rejected here rather than propagated: an `inf`
+  // energy would silently poison every downstream EDP/rank computation
+  // (found by fuzz_modeldb, corpus/modeldb/reject_inf_energy.csv).
+  AEVA_REQUIRE(parsed.has_value() && std::isfinite(*parsed),
+               "bad numeric cell in column ", column);
   return *parsed;
 }
 
-int cell_int(const util::CsvTable& table, const util::CsvRow& row,
-             const std::string& column) {
+/// Largest admissible VM count per class in a loaded key. Far above any
+/// real testbed (the paper's cap is 16 VMs/server) while keeping
+/// ClassCounts::total() and L1 distances free of signed overflow for any
+/// combination of loaded keys (found by fuzz_modeldb,
+/// corpus/modeldb/reject_huge_count.csv).
+constexpr long long kMaxClassCount = 1000000;
+
+int cell_count(const util::CsvTable& table, const util::CsvRow& row,
+               const std::string& column) {
   const auto parsed = util::parse_int(row[table.column(column)]);
   AEVA_REQUIRE(parsed.has_value(), "bad integer cell in column ", column);
+  AEVA_REQUIRE(*parsed >= 0 && *parsed <= kMaxClassCount, "VM count in column ",
+               column, " out of range [0, ", kMaxClassCount, "]: ", *parsed);
   return static_cast<int>(*parsed);
 }
 
@@ -241,9 +254,9 @@ ModelDatabase ModelDatabase::from_csv(const util::CsvTable& records,
   parsed.reserve(records.rows.size());
   for (const auto& row : records.rows) {
     Record r;
-    r.key.cpu = cell_int(records, row, "Ncpu");
-    r.key.mem = cell_int(records, row, "Nmem");
-    r.key.io = cell_int(records, row, "Nio");
+    r.key.cpu = cell_count(records, row, "Ncpu");
+    r.key.mem = cell_count(records, row, "Nmem");
+    r.key.io = cell_count(records, row, "Nio");
     r.time_s = cell_double(records, row, "Time");
     r.avg_time_vm_s = cell_double(records, row, "avgTimeVM");
     r.energy_j = cell_double(records, row, "Energy");
@@ -261,14 +274,22 @@ ModelDatabase ModelDatabase::from_csv(const util::CsvTable& records,
   for (const auto& row : aux.rows) {
     const std::string& name = row[aux.column("param")];
     const double value = cell_double(aux, row, "value");
-    if (name == "OSPC") base.cpu.osp = static_cast<int>(value);
-    else if (name == "OSEC") base.cpu.ose = static_cast<int>(value);
+    // OS*/T* counts feed int fields: bound before the cast (an oversized
+    // double→int conversion is UB, not a wrap).
+    const auto count = [&]() {
+      AEVA_REQUIRE(value >= 0.0 && value <= static_cast<double>(kMaxClassCount),
+                   "auxiliary parameter ", name, " out of range [0, ",
+                   kMaxClassCount, "]: ", value);
+      return static_cast<int>(value);
+    };
+    if (name == "OSPC") base.cpu.osp = count();
+    else if (name == "OSEC") base.cpu.ose = count();
     else if (name == "TC") base.cpu.solo_time_s = value;
-    else if (name == "OSPM") base.mem.osp = static_cast<int>(value);
-    else if (name == "OSEM") base.mem.ose = static_cast<int>(value);
+    else if (name == "OSPM") base.mem.osp = count();
+    else if (name == "OSEM") base.mem.ose = count();
     else if (name == "TM") base.mem.solo_time_s = value;
-    else if (name == "OSPI") base.io.osp = static_cast<int>(value);
-    else if (name == "OSEI") base.io.ose = static_cast<int>(value);
+    else if (name == "OSPI") base.io.osp = count();
+    else if (name == "OSEI") base.io.ose = count();
     else if (name == "TI") base.io.solo_time_s = value;
     else AEVA_REQUIRE(false, "unknown auxiliary parameter: ", name);
   }

@@ -79,7 +79,7 @@ Record LearnedModel::predict_excluding(ClassCounts key,
     }
     scored.push_back(Scored{key_distance(key, records_[i].key), i});
   }
-  AEVA_ASSERT(!scored.empty(), "no usable training records");
+  AEVA_INVARIANT(!scored.empty(), "no usable training records");
   const std::size_t k =
       std::min<std::size_t>(static_cast<std::size_t>(config_.neighbours),
                             scored.size());
@@ -118,7 +118,7 @@ Record LearnedModel::predict_excluding(ClassCounts key,
     }
     weight_sum += w;
   }
-  AEVA_ASSERT(weight_sum > 0.0, "zero IDW weight mass");
+  AEVA_INVARIANT(weight_sum > 0.0, "zero IDW weight mass");
   blended.avg_time /= weight_sum;
   blended.energy_per_vm /= weight_sum;
   blended.max_power /= weight_sum;

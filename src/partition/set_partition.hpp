@@ -37,8 +37,9 @@ class SetPartitionGenerator {
   explicit SetPartitionGenerator(int n);
 
   /// Advances to the next partition; false when exhausted (the generator
-  /// then stays on the last partition).
-  bool next();
+  /// then stays on the last partition). Discarding the result loses the
+  /// only wrap-around signal, hence [[nodiscard]].
+  [[nodiscard]] bool next();
 
   /// The current restricted growth string: element i belongs to block
   /// rgs()[i].
@@ -63,7 +64,7 @@ class SetPartitionGenerator {
 
 /// Visits every partition of {0, …, n−1}; the visitor returns false to stop
 /// early. Returns the number of partitions visited.
-std::size_t for_each_partition(
+[[nodiscard]] std::size_t for_each_partition(
     int n, const std::function<bool(const Partition&)>& visit);
 
 /// Converts an RGS to blocks (shared by the generator and tests).

@@ -30,7 +30,7 @@ using TypedPartition = std::vector<workload::ClassCounts>;
 /// When some block of a partition fails `block_ok`, that partition is
 /// pruned (its refinements with smaller blocks are still generated).
 /// Throws std::invalid_argument on an empty multiset or null callbacks.
-std::size_t for_each_typed_partition(
+[[nodiscard]] std::size_t for_each_typed_partition(
     workload::ClassCounts total,
     const std::function<bool(const workload::ClassCounts&)>& block_ok,
     const std::function<bool(const TypedPartition&)>& visit);
@@ -39,14 +39,14 @@ std::size_t for_each_typed_partition(
 /// with more than `max_blocks` parts are pruned during generation (an
 /// allocator cannot use more blocks than it has servers). `max_blocks`
 /// must be ≥ 1.
-std::size_t for_each_typed_partition(
+[[nodiscard]] std::size_t for_each_typed_partition(
     workload::ClassCounts total,
     const std::function<bool(const workload::ClassCounts&)>& block_ok,
     std::size_t max_blocks,
     const std::function<bool(const TypedPartition&)>& visit);
 
 /// Convenience overload admitting every non-empty block.
-std::size_t for_each_typed_partition(
+[[nodiscard]] std::size_t for_each_typed_partition(
     workload::ClassCounts total,
     const std::function<bool(const TypedPartition&)>& visit);
 

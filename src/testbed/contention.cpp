@@ -68,7 +68,7 @@ SubsystemLoads solve_contention(const ServerConfig& cfg,
     if (d.disk_mbps > 0.0) rate = std::min(rate, rho_disk);
     if (d.net_mbps > 0.0) rate = std::min(rate, rho_net);
     rates[i] = rate / thrash;
-    AEVA_ASSERT(rates[i] > 0.0, "VM stalled with zero progress rate");
+    AEVA_INVARIANT(rates[i] > 0.0, "VM stalled with zero progress rate");
   }
 
   // --- subsystem utilizations for the power model ------------------------------

@@ -120,7 +120,7 @@ SimResult MicroSim::run(const std::vector<VmRun>& vms) const {
                                    return phases * 4;
                                  }();
   while (remaining > 0) {
-    AEVA_ASSERT(++guard <= max_events,
+    AEVA_INVARIANT(++guard <= max_events,
                 "microsim event budget exhausted — model diverged");
 
     // Activate VMs whose start time has arrived.
@@ -140,7 +140,7 @@ SimResult MicroSim::run(const std::vector<VmRun>& vms) const {
 
     if (active.empty()) {
       // Idle gap until the next arrival: baseline power only.
-      AEVA_ASSERT(std::isfinite(next_start), "no active VMs and no arrivals");
+      AEVA_INVARIANT(std::isfinite(next_start), "no active VMs and no arrivals");
       record(now, next_start, SubsystemLoads{});
       now = next_start;
       continue;
@@ -153,7 +153,7 @@ SimResult MicroSim::run(const std::vector<VmRun>& vms) const {
     for (const VmState* vm : active) {
       dt = std::min(dt, vm->remaining_nominal_s / vm->rate);
     }
-    AEVA_ASSERT(dt > 0.0 && std::isfinite(dt), "non-positive event step");
+    AEVA_INVARIANT(dt > 0.0 && std::isfinite(dt), "non-positive event step");
 
     record(now, now + dt, loads);
 

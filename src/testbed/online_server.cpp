@@ -63,7 +63,7 @@ void OnlineServer::advance(double dt, std::vector<std::int64_t>& completed) {
   }
   std::size_t guard = 0;
   while (left > kEps && !vms_.empty()) {
-    AEVA_ASSERT(++guard <= phase_budget * 4,
+    AEVA_INVARIANT(++guard <= phase_budget * 4,
                 "online server sub-step budget exhausted");
 
     const double step = std::min(left, next_event_in());

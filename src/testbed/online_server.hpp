@@ -36,8 +36,10 @@ class OnlineServer {
   explicit OnlineServer(ServerConfig config);
 
   /// Admits a VM running `app` stretched by `runtime_scale` (> 0); returns
-  /// a caller-unique handle. The app spec is copied.
-  std::int64_t add_vm(const workload::AppSpec& app, double runtime_scale);
+  /// a caller-unique handle — the only way to match a later completion
+  /// back to this VM, hence [[nodiscard]].
+  [[nodiscard]] std::int64_t add_vm(const workload::AppSpec& app,
+                                    double runtime_scale);
 
   /// Advances the server by `dt` (≥ 0) seconds of wall-clock time,
   /// appending the handles of VMs that completed (in completion order).

@@ -1,6 +1,7 @@
 #include "trace/swf.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -8,6 +9,20 @@
 #include "util/strings.hpp"
 
 namespace aeva::trace {
+
+namespace {
+
+// Integer SWF fields are range-checked before the cast: a value like 1e300
+// in the processor-count column must be a typed rejection, not the UB of an
+// out-of-range float→int conversion (found by fuzz_swf, see
+// fuzz/corpus/swf/reject_huge_procs.swf). −1 is the SWF "unknown" marker,
+// so the low bound is as permissive as the type allows.
+constexpr double kMaxIntField = 2147483647.0;          // INT_MAX, exact
+constexpr double kMinIntField = -2147483648.0;         // INT_MIN, exact
+constexpr double kMaxLongField = 9.0e18;               // < LLONG_MAX
+constexpr double kMinLongField = -9.0e18;
+
+}  // namespace
 
 SwfTrace parse_swf(std::istream& in) {
   SwfTrace trace;
@@ -28,28 +43,43 @@ SwfTrace parse_swf(std::istream& in) {
                  fields.size(), " fields, expected 18");
     const auto num = [&](std::size_t i) {
       const auto parsed = util::parse_double(fields[i]);
-      AEVA_REQUIRE(parsed.has_value(), "SWF line ", line_no, " field ", i + 1,
-                   " is not numeric: ", fields[i]);
+      AEVA_REQUIRE(parsed.has_value() && std::isfinite(*parsed), "SWF line ",
+                   line_no, " field ", i + 1,
+                   " is not a finite number: ", fields[i]);
       return *parsed;
     };
+    const auto int_num = [&](std::size_t i) {
+      const double value = num(i);
+      AEVA_REQUIRE(value >= kMinIntField && value <= kMaxIntField,
+                   "SWF line ", line_no, " field ", i + 1,
+                   " out of integer range: ", fields[i]);
+      return static_cast<int>(value);
+    };
+    const auto long_num = [&](std::size_t i) {
+      const double value = num(i);
+      AEVA_REQUIRE(value >= kMinLongField && value <= kMaxLongField,
+                   "SWF line ", line_no, " field ", i + 1,
+                   " out of id range: ", fields[i]);
+      return static_cast<long long>(value);
+    };
     SwfJob job;
-    job.job_id = static_cast<long long>(num(0));
+    job.job_id = long_num(0);
     job.submit_s = num(1);
     job.wait_s = num(2);
     job.run_s = num(3);
-    job.allocated_procs = static_cast<int>(num(4));
+    job.allocated_procs = int_num(4);
     job.avg_cpu_s = num(5);
     job.used_mem_kb = num(6);
-    job.requested_procs = static_cast<int>(num(7));
+    job.requested_procs = int_num(7);
     job.requested_s = num(8);
     job.requested_mem_kb = num(9);
-    job.status = static_cast<int>(num(10));
-    job.user_id = static_cast<int>(num(11));
-    job.group_id = static_cast<int>(num(12));
-    job.executable = static_cast<int>(num(13));
-    job.queue = static_cast<int>(num(14));
-    job.partition = static_cast<int>(num(15));
-    job.preceding_job = static_cast<long long>(num(16));
+    job.status = int_num(10);
+    job.user_id = int_num(11);
+    job.group_id = int_num(12);
+    job.executable = int_num(13);
+    job.queue = int_num(14);
+    job.partition = int_num(15);
+    job.preceding_job = long_num(16);
     job.think_s = num(17);
     trace.jobs.push_back(job);
   }

@@ -20,6 +20,23 @@ bool CsvTable::has_column(const std::string& name) const {
 
 namespace {
 
+/// Arity guard for untrusted documents: a "row" with more fields than this
+/// is garbage (the widest first-party schema, Table II, has 11 columns),
+/// and rejecting it early keeps adversarial inputs from ballooning memory
+/// quadratically via the per-row vectors (found by fuzz_csv).
+constexpr std::size_t kMaxFieldsPerRow = 100000;
+
+/// Bounds the malformed-input excerpt embedded in exception messages so a
+/// multi-megabyte line does not become a multi-megabyte what() string.
+std::string preview(const std::string& text) {
+  constexpr std::size_t kMax = 80;
+  if (text.size() <= kMax) {
+    return text;
+  }
+  return text.substr(0, kMax) + "… (" + std::to_string(text.size()) +
+         " bytes)";
+}
+
 bool needs_quoting(const std::string& field) {
   return field.find_first_of(",\"\n\r") != std::string::npos;
 }
@@ -69,6 +86,8 @@ CsvRow csv_decode_row(const std::string& line) {
     } else if (c == '"') {
       in_quotes = true;
     } else if (c == ',') {
+      AEVA_REQUIRE(fields.size() < kMaxFieldsPerRow,
+                   "CSV row exceeds ", kMaxFieldsPerRow, " fields");
       fields.push_back(std::move(field));
       field.clear();
     } else if (c == '\r') {
@@ -77,7 +96,7 @@ CsvRow csv_decode_row(const std::string& line) {
       field += c;
     }
   }
-  AEVA_REQUIRE(!in_quotes, "unterminated quote in CSV row: ", line);
+  AEVA_REQUIRE(!in_quotes, "unterminated quote in CSV row: ", preview(line));
   fields.push_back(std::move(field));
   return fields;
 }
@@ -106,6 +125,8 @@ CsvTable parse_csv(std::istream& in) {
     } else if (c == '"') {
       in_quotes = true;
     } else if (c == ',') {
+      AEVA_REQUIRE(fields.size() < kMaxFieldsPerRow,
+                   "CSV row exceeds ", kMaxFieldsPerRow, " fields");
       fields.push_back(std::move(field));
       field.clear();
     } else if (c == '\n') {

@@ -35,7 +35,13 @@ template <typename... Parts>
   } while (false)
 
 /// Validate an internal invariant; throws std::logic_error.
-#define AEVA_ASSERT(cond, ...)                                         \
+///
+/// Unlike the C `assert` macro this stays active in every build type — the
+/// simulator's numbers are only trustworthy if invariants hold in Release
+/// builds too — and unlike `abort` it unwinds, so a driver can report which
+/// experiment died. `tools/lint/aeva_lint.py` enforces that project code
+/// uses this (or AEVA_REQUIRE) instead of raw `assert`/`abort`.
+#define AEVA_INVARIANT(cond, ...)                                         \
   do {                                                                 \
     if (!(cond)) {                                                     \
       throw std::logic_error(::aeva::format_message(                   \

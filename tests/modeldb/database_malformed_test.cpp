@@ -1,0 +1,95 @@
+// Malformed model-DB fixtures exercising the hardened CSV-load error paths
+// (fuzz_modeldb findings): typed std::invalid_argument rejections instead
+// of UB casts or silent propagation of non-finite values into every
+// downstream energy/EDP number.
+
+#include "modeldb/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace aeva::modeldb {
+namespace {
+
+const char* kHeader = "Ncpu,Nmem,Nio,Time,avgTimeVM,Energy,MaxPower,EDP\n";
+
+util::CsvTable aux_table() {
+  return util::parse_csv_text(
+      "param,value\n"
+      "OSPC,2\nOSEC,2\nTC,1200\n"
+      "OSPM,2\nOSEM,2\nTM,1000\n"
+      "OSPI,2\nOSEI,2\nTI,1100\n");
+}
+
+ModelDatabase load_records(const std::string& rows) {
+  return ModelDatabase::from_csv(util::parse_csv_text(kHeader + rows),
+                                 aux_table());
+}
+
+TEST(ModelDbMalformed, RejectsOutOfRangeVmCount) {
+  // Previously wrapped through a long long → int cast into a bogus key.
+  EXPECT_THROW((void)load_records("99999999999,0,0,1.0,1.0,2.0,3.0,4.0\n"),
+               std::invalid_argument);
+}
+
+TEST(ModelDbMalformed, RejectsNegativeVmCount) {
+  EXPECT_THROW((void)load_records("-1,0,0,1.0,1.0,2.0,3.0,4.0\n"),
+               std::invalid_argument);
+}
+
+TEST(ModelDbMalformed, RejectsNonFiniteNumericCells) {
+  // `inf` satisfies energy > 0 and would poison every EDP downstream.
+  EXPECT_THROW((void)load_records("1,0,0,1.0,1.0,inf,3.0,4.0\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)load_records("1,0,0,nan,1.0,2.0,3.0,4.0\n"),
+               std::invalid_argument);
+}
+
+TEST(ModelDbMalformed, RejectsFractionalVmCount) {
+  EXPECT_THROW((void)load_records("1.5,0,0,1.0,1.0,2.0,3.0,4.0\n"),
+               std::invalid_argument);
+}
+
+TEST(ModelDbMalformed, RejectsTruncatedRow) {
+  EXPECT_THROW((void)load_records("1,0,0,1.0,1.0\n"), std::invalid_argument);
+}
+
+TEST(ModelDbMalformed, RejectsMissingSchemaColumn) {
+  EXPECT_THROW((void)ModelDatabase::from_csv(
+                   util::parse_csv_text("Ncpu,Nmem\n1,0\n"), aux_table()),
+               std::invalid_argument);
+}
+
+TEST(ModelDbMalformed, RejectsUnknownAuxParameter) {
+  EXPECT_THROW(
+      (void)ModelDatabase::from_csv(
+          util::parse_csv_text(std::string(kHeader) +
+                               "1,0,0,1.0,1.0,2.0,3.0,4.0\n"),
+          util::parse_csv_text("param,value\nBOGUS,1\n")),
+      std::invalid_argument);
+}
+
+TEST(ModelDbMalformed, RejectsOutOfRangeAuxCount) {
+  // Previously static_cast<int>(1e300) — undefined behaviour.
+  EXPECT_THROW(
+      (void)ModelDatabase::from_csv(
+          util::parse_csv_text(std::string(kHeader) +
+                               "1,0,0,1.0,1.0,2.0,3.0,4.0\n"),
+          util::parse_csv_text("param,value\nOSPC,1e300\n")),
+      std::invalid_argument);
+}
+
+TEST(ModelDbMalformed, ValidRecordsStillLoadAfterHardening) {
+  const ModelDatabase db = load_records(
+      "1,0,0,1200.0,1200.0,150000.0,140.0,180000000.0\n"
+      "0,1,0,1000.0,1000.0,140000.0,150.0,140000000.0\n");
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.measured({1, 0, 0}));
+  EXPECT_EQ(db.base().cpu.osp, 2);
+}
+
+}  // namespace
+}  // namespace aeva::modeldb

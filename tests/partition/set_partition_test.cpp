@@ -128,7 +128,7 @@ TEST(ForEachPartition, EarlyStop) {
 }
 
 TEST(ForEachPartition, RejectsNullVisitor) {
-  EXPECT_THROW(for_each_partition(3, nullptr), std::invalid_argument);
+  EXPECT_THROW((void)for_each_partition(3, nullptr), std::invalid_argument);
 }
 
 TEST(RgsToPartition, BlocksOrderedBySmallestElement) {

@@ -44,7 +44,7 @@ TEST(TypedPartition, MixedPairCounts) {
 
 TEST(TypedPartition, BlocksSumToTotal) {
   const ClassCounts total{2, 3, 1};
-  for_each_typed_partition(total, [&](const TypedPartition& blocks) {
+  (void)for_each_typed_partition(total, [&](const TypedPartition& blocks) {
     ClassCounts sum;
     for (const ClassCounts& block : blocks) {
       EXPECT_GT(block.total(), 0);
@@ -56,7 +56,7 @@ TEST(TypedPartition, BlocksSumToTotal) {
 }
 
 TEST(TypedPartition, CanonicalOrderIsNonIncreasing) {
-  for_each_typed_partition({2, 2, 2}, [](const TypedPartition& blocks) {
+  (void)for_each_typed_partition({2, 2, 2}, [](const TypedPartition& blocks) {
     for (std::size_t i = 1; i < blocks.size(); ++i) {
       EXPECT_FALSE(blocks[i - 1] < blocks[i]) << "blocks out of order";
     }
@@ -66,7 +66,7 @@ TEST(TypedPartition, CanonicalOrderIsNonIncreasing) {
 
 TEST(TypedPartition, NoDuplicatePartitions) {
   std::set<std::vector<std::tuple<int, int, int>>> seen;
-  for_each_typed_partition({3, 2, 1}, [&](const TypedPartition& blocks) {
+  (void)for_each_typed_partition({3, 2, 1}, [&](const TypedPartition& blocks) {
     std::vector<std::tuple<int, int, int>> key;
     for (const ClassCounts& block : blocks) {
       key.emplace_back(block.cpu, block.mem, block.io);
@@ -90,7 +90,7 @@ TEST(TypedPartition, MatchesQuotientOfSetPartitions) {
     labels.push_back(workload::ProfileClass::kIo);
 
   std::set<std::vector<std::tuple<int, int, int>>> signatures;
-  for_each_partition(total.total(), [&](const Partition& p) {
+  (void)for_each_partition(total.total(), [&](const Partition& p) {
     TypedPartition typed;
     for (const Block& block : p) {
       ClassCounts counts;
@@ -121,7 +121,7 @@ TEST(TypedPartition, BlockFilterPrunes) {
 TEST(TypedPartition, BlockFilterByCapacity) {
   // Blocks of at most 2 VMs.
   std::size_t max_block = 0;
-  for_each_typed_partition(
+  (void)for_each_typed_partition(
       {3, 1, 0},
       [](const ClassCounts& block) { return block.total() <= 2; },
       [&](const TypedPartition& blocks) {
@@ -165,7 +165,7 @@ TEST(TypedPartition, MaxBlocksPrunes) {
 }
 
 TEST(TypedPartition, MaxBlocksRespectedInVisitor) {
-  for_each_typed_partition(
+  (void)for_each_typed_partition(
       ClassCounts{2, 2, 1}, [](const ClassCounts&) { return true; }, 2,
       [](const TypedPartition& blocks) {
         EXPECT_LE(blocks.size(), 2u);
@@ -175,13 +175,13 @@ TEST(TypedPartition, MaxBlocksRespectedInVisitor) {
 
 TEST(TypedPartition, RejectsBadInput) {
   EXPECT_THROW(count_all({0, 0, 0}), std::invalid_argument);
-  EXPECT_THROW(for_each_typed_partition(
+  EXPECT_THROW((void)for_each_typed_partition(
                    ClassCounts{1, 0, 0},
                    [](const ClassCounts&) { return true; }, 0,
                    [](const TypedPartition&) { return true; }),
                std::invalid_argument);
   EXPECT_THROW(count_all({-1, 2, 0}), std::invalid_argument);
-  EXPECT_THROW(for_each_typed_partition({1, 0, 0}, nullptr),
+  EXPECT_THROW((void)for_each_typed_partition({1, 0, 0}, nullptr),
                std::invalid_argument);
 }
 
@@ -207,7 +207,7 @@ TEST_P(TypedQuotientSweep, AgreesWithSetPartitionQuotient) {
   for (int i = 0; i < c; ++i) labels.push_back(workload::ProfileClass::kIo);
 
   std::set<std::vector<std::tuple<int, int, int>>> signatures;
-  for_each_partition(total.total(), [&](const Partition& p) {
+  (void)for_each_partition(total.total(), [&](const Partition& p) {
     TypedPartition typed;
     for (const Block& block : p) {
       ClassCounts counts;

@@ -1,0 +1,101 @@
+// Malformed-SWF fixtures exercising the hardened parser error paths
+// (fuzz_swf findings): every rejection must be a typed
+// std::invalid_argument naming the line, never UB, a hang, or a silently
+// zero-filled job.
+
+#include "trace/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace aeva::trace {
+namespace {
+
+const char* kValidLine =
+    "1 791 0 1176 2 825 373968 2 2448 373968 1 97 18 39 4 1 -1 -1\n";
+
+SwfTrace parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_swf(in);
+}
+
+TEST(SwfMalformed, RejectsNanInIntegerField) {
+  // Previously static_cast<int>(NaN) — undefined behaviour.
+  EXPECT_THROW(
+      (void)parse("1 791 0 1176 nan 825 373968 2 2448 373968 1 97 18 39 4 1 "
+                  "-1 -1\n"),
+      std::invalid_argument);
+}
+
+TEST(SwfMalformed, RejectsNonFiniteTimeFields) {
+  EXPECT_THROW(
+      (void)parse("1 inf 0 1176 2 825 373968 2 2448 373968 1 97 18 39 4 1 "
+                  "-1 -1\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse("1 791 0 -inf 2 825 373968 2 2448 373968 1 97 18 39 4 1 "
+                  "-1 -1\n"),
+      std::invalid_argument);
+}
+
+TEST(SwfMalformed, RejectsOutOfRangeProcessorCount) {
+  // Previously static_cast<int>(1e300) — undefined behaviour.
+  EXPECT_THROW(
+      (void)parse("1 791 0 1176 1e300 825 373968 2 2448 373968 1 97 18 39 4 "
+                  "1 -1 -1\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse("1 791 0 1176 2 825 373968 2147483648 2448 373968 1 97 18 "
+                  "39 4 1 -1 -1\n"),
+      std::invalid_argument);
+}
+
+TEST(SwfMalformed, RejectsOutOfRangeJobId) {
+  EXPECT_THROW(
+      (void)parse("1e300 791 0 1176 2 825 373968 2 2448 373968 1 97 18 39 4 "
+                  "1 -1 -1\n"),
+      std::invalid_argument);
+}
+
+TEST(SwfMalformed, RejectsTruncatedLine) {
+  EXPECT_THROW((void)parse("1 791 0 1176 2 825 373968 2 2448\n"),
+               std::invalid_argument);
+}
+
+TEST(SwfMalformed, RejectsExtraFields) {
+  EXPECT_THROW(
+      (void)parse("1 791 0 1176 2 825 373968 2 2448 373968 1 97 18 39 4 1 "
+                  "-1 -1 42\n"),
+      std::invalid_argument);
+}
+
+TEST(SwfMalformed, ErrorMessageNamesTheLine) {
+  try {
+    (void)parse(std::string(kValidLine) + "2 3 4\n");
+    FAIL() << "parse_swf accepted a truncated line";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("line 2"), std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(SwfMalformed, BoundaryIntegerFieldsStillParse) {
+  // INT_MAX processors and a ±9e18 job id are extreme but in range.
+  const SwfTrace trace =
+      parse("9000000000000000000 791 0 1176 2147483647 825 373968 2 2448 "
+            "373968 1 97 18 39 4 1 -1 -1\n");
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_EQ(trace.jobs[0].job_id, 9000000000000000000LL);
+  EXPECT_EQ(trace.jobs[0].allocated_procs, 2147483647);
+}
+
+TEST(SwfMalformed, ValidLineStillParsesAfterHardening) {
+  const SwfTrace trace = parse(kValidLine);
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_EQ(trace.jobs[0].allocated_procs, 2);
+}
+
+}  // namespace
+}  // namespace aeva::trace

@@ -1,0 +1,43 @@
+// Hardening cases for the CSV layer added with the fuzz harnesses: arity
+// bombs are rejected and oversized malformed lines don't balloon into
+// oversized exception messages.
+
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace aeva::util {
+namespace {
+
+TEST(CsvHardening, RejectsRowsWithAbsurdFieldCounts) {
+  // 150k commas → 150k+1 fields, over the 100k bound.
+  const std::string bomb(150000, ',');
+  EXPECT_THROW((void)csv_decode_row(bomb), std::invalid_argument);
+  EXPECT_THROW((void)parse_csv_text(bomb + "\n"), std::invalid_argument);
+}
+
+TEST(CsvHardening, WideButSaneRowsStillParse) {
+  const std::string row(999, ',');  // 1000 empty fields
+  EXPECT_EQ(csv_decode_row(row).size(), 1000u);
+}
+
+TEST(CsvHardening, UnterminatedQuoteMessageIsBounded) {
+  const std::string huge = "\"" + std::string(1 << 20, 'x');
+  try {
+    (void)csv_decode_row(huge);
+    FAIL() << "unterminated quote accepted";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_LT(std::string(err.what()).size(), 512u)
+        << "exception message embeds the megabyte line";
+  }
+}
+
+TEST(CsvHardening, ParseCsvRejectsUnterminatedQuoteAtEof) {
+  EXPECT_THROW((void)parse_csv_text("a,b\n\"trunc"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::util

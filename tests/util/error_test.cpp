@@ -1,0 +1,82 @@
+// Tests for the error-handling macros (util/error.hpp): exception types,
+// message formatting, and single evaluation of the condition.
+
+#include "util/error.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace aeva {
+namespace {
+
+TEST(ErrorMacros, RequireThrowsInvalidArgumentWithFormattedMessage) {
+  const int vms = -3;
+  try {
+    AEVA_REQUIRE(vms >= 0, "vm count must be non-negative, got ", vms);
+    FAIL() << "AEVA_REQUIRE did not throw";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("requirement failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("vms >= 0"), std::string::npos)
+        << "stringified condition missing: " << what;
+    EXPECT_NE(what.find("vm count must be non-negative, got -3"),
+              std::string::npos)
+        << "streamed parts missing: " << what;
+  }
+}
+
+TEST(ErrorMacros, InvariantThrowsLogicErrorWithFormattedMessage) {
+  const double energy = -1.5;
+  try {
+    AEVA_INVARIANT(energy > 0.0, "energy went negative: ", energy);
+    FAIL() << "AEVA_INVARIANT did not throw";
+  } catch (const std::logic_error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("invariant violated"), std::string::npos) << what;
+    EXPECT_NE(what.find("energy > 0.0"), std::string::npos) << what;
+    EXPECT_NE(what.find("energy went negative: -1.5"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ErrorMacros, RequireIsDistinguishableFromInvariant) {
+  // The two macros throw different types so callers can tell "you passed
+  // bad data" (invalid_argument) from "aeva has a bug" (logic_error).
+  EXPECT_THROW(AEVA_REQUIRE(false, "precondition"), std::invalid_argument);
+  EXPECT_THROW(AEVA_INVARIANT(false, "invariant"), std::logic_error);
+  // logic_error is not an invalid_argument; the reverse subtyping holds in
+  // the standard hierarchy (invalid_argument derives from logic_error).
+  EXPECT_THROW(AEVA_REQUIRE(false, "precondition"), std::logic_error);
+}
+
+TEST(ErrorMacros, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  const auto touch = [&]() {
+    ++evaluations;
+    return true;
+  };
+  AEVA_REQUIRE(touch(), "never thrown");
+  EXPECT_EQ(evaluations, 1);
+  AEVA_INVARIANT(touch(), "never thrown");
+  EXPECT_EQ(evaluations, 2);
+
+  evaluations = 0;
+  const auto fail = [&]() {
+    ++evaluations;
+    return false;
+  };
+  EXPECT_THROW(AEVA_REQUIRE(fail(), "thrown"), std::invalid_argument);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ErrorMacros, MessagePartsAreStreamedInOrder) {
+  EXPECT_EQ(format_message("a=", 1, ", b=", 2.5, ", c=", "three"),
+            "a=1, b=2.5, c=three");
+  EXPECT_EQ(format_message("solo"), "solo");
+}
+
+}  // namespace
+}  // namespace aeva

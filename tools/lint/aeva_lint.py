@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""aeva_lint: project-specific lint rules clang-tidy cannot express.
+
+Rules (all scoped to first-party code under src/, see --paths):
+
+  raw-assert           No `assert(...)` / `abort()` / `std::terminate()`.
+                       Invariants must throw via AEVA_REQUIRE (public-API
+                       preconditions, std::invalid_argument) or
+                       AEVA_INVARIANT (internal invariants, std::logic_error)
+                       from src/util/error.hpp, so Release builds keep the
+                       checks and drivers can report which experiment died.
+
+  nondeterministic-random
+                       No `std::rand`, `srand`, `std::random_device`,
+                       `mt19937`, `default_random_engine`, or
+                       `#include <random>` outside src/util/rng.*.
+                       Trace-driven simulations must be bit-reproducible
+                       from explicit seeds (CONTRIBUTING.md); stdlib
+                       distributions differ across implementations.
+
+  stray-io             No stream/console writes (`std::cout`, `std::cerr`,
+                       `std::clog`, `printf`, `fprintf`, `puts`) outside
+                       src/report/ and src/util/table_printer.*. Library
+                       code reports through return values and exceptions;
+                       only the reporting layer talks to the terminal.
+                       (`snprintf` to a buffer is formatting, not I/O, and
+                       is allowed.)
+
+  header-standalone    Every .hpp must compile on its own
+                       (`$CXX -fsyntax-only -I src`), i.e. include what it
+                       uses. Skipped when no compiler is available or with
+                       --no-compile.
+
+Findings are reported as `path:line: [rule] message`, and optionally as a
+machine-readable JSON report (--json). Known, justified exceptions live in
+tools/lint/aeva_lint_allowlist.json as {rule: {"path-glob": "reason"}}.
+
+Exit status: 0 clean, 1 findings, 2 bad invocation/environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import re
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_PATHS = ["src"]
+
+
+def rel_to_repo(path: Path) -> str:
+    """Repo-relative posix path; paths outside the repo stay absolute."""
+    try:
+        return path.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+ALLOWLIST_PATH = Path(__file__).resolve().parent / "aeva_lint_allowlist.json"
+
+# (rule, compiled regex, message). Matched against comment- and
+# string-stripped source so prose mentioning assert/cout cannot trip it.
+PATTERN_RULES = [
+    (
+        "raw-assert",
+        re.compile(r"(?<![\w:])(assert|abort)\s*\(|std::terminate\s*\("),
+        "use AEVA_REQUIRE/AEVA_INVARIANT from util/error.hpp instead of "
+        "assert/abort (checks must survive Release and unwind)",
+    ),
+    (
+        "nondeterministic-random",
+        re.compile(
+            r"std::rand\b|(?<![\w:])srand\s*\(|random_device\b"
+            r"|mt19937|default_random_engine|#\s*include\s*<random>"
+        ),
+        "all randomness must flow from util::Rng with an explicit seed "
+        "(deterministic trace-driven simulation)",
+    ),
+    (
+        "stray-io",
+        re.compile(
+            r"std::(cout|cerr|clog)\b"
+            r"|std::(printf|fprintf|puts)\b"
+            r"|(?<![\w:.])(printf|fprintf|puts)\s*\("
+        ),
+        "library code must not write to the console; route output through "
+        "src/report or util::TablePrinter",
+    ),
+]
+
+# Files exempt from a rule by construction (the rule's own implementation
+# site). Further exceptions belong in the allowlist file with a reason.
+BUILTIN_EXEMPT = {
+    "nondeterministic-random": ["src/util/rng.hpp", "src/util/rng.cpp"],
+    "stray-io": ["src/report/*", "src/util/table_printer.*"],
+}
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string literals, and char literals, preserving
+    line structure so finding line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def load_allowlist(path: Path) -> dict[str, dict[str, str]]:
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        print(f"aeva_lint: malformed allowlist {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    data.pop("_comment", None)
+    for rule, entries in data.items():
+        if not isinstance(entries, dict):
+            print(
+                f"aeva_lint: allowlist rule {rule!r} must map "
+                "path-glob -> reason",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+    return data
+
+
+def is_exempt(rule: str, rel_path: str, allowlist) -> bool:
+    globs = list(BUILTIN_EXEMPT.get(rule, []))
+    globs += list(allowlist.get(rule, {}).keys())
+    return any(fnmatch.fnmatch(rel_path, g) for g in globs)
+
+
+def collect_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = (REPO_ROOT / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+        if p.is_file():
+            files.append(p)
+        elif p.is_dir():
+            files.extend(
+                f for f in sorted(p.rglob("*")) if f.suffix in SOURCE_SUFFIXES
+            )
+        else:
+            print(f"aeva_lint: no such path: {raw}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def run_pattern_rules(files: list[Path], allowlist) -> list[dict]:
+    findings = []
+    for path in files:
+        rel = rel_to_repo(path)
+        stripped = strip_comments_and_strings(
+            path.read_text(encoding="utf-8", errors="replace")
+        )
+        lines = stripped.splitlines()
+        for rule, regex, message in PATTERN_RULES:
+            if is_exempt(rule, rel, allowlist):
+                continue
+            for lineno, line in enumerate(lines, start=1):
+                if regex.search(line):
+                    findings.append(
+                        {
+                            "rule": rule,
+                            "path": rel,
+                            "line": lineno,
+                            "message": message,
+                            "excerpt": line.strip()[:120],
+                        }
+                    )
+    return findings
+
+
+def find_compiler() -> list[str] | None:
+    for cxx in ("c++", "g++", "clang++"):
+        if shutil.which(cxx):
+            return [cxx, "-std=c++20", "-fsyntax-only", "-I", str(REPO_ROOT / "src")]
+    return None
+
+
+def run_header_standalone(files: list[Path], allowlist, jobs: int) -> list[dict]:
+    base = find_compiler()
+    if base is None:
+        print(
+            "aeva_lint: no C++ compiler found; skipping header-standalone",
+            file=sys.stderr,
+        )
+        return []
+    headers = [
+        f
+        for f in files
+        if f.suffix in (".hpp", ".hh", ".h")
+        and not is_exempt(
+            "header-standalone", rel_to_repo(f), allowlist
+        )
+    ]
+
+    def check(path: Path):
+        proc = subprocess.run(
+            base + ["-x", "c++", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            first_error = next(
+                (l for l in proc.stderr.splitlines() if "error:" in l),
+                proc.stderr.strip().splitlines()[0] if proc.stderr.strip() else "?",
+            )
+            return {
+                "rule": "header-standalone",
+                "path": rel_to_repo(path),
+                "line": 1,
+                "message": "header does not compile standalone "
+                "(include what you use)",
+                "excerpt": first_error[:160],
+            }
+        return None
+
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        results = list(pool.map(check, headers))
+    return [r for r in results if r is not None]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=DEFAULT_PATHS,
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument("--json", metavar="FILE", help="write a JSON report")
+    parser.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="skip the header-standalone compile check",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=8, help="parallel header compiles"
+    )
+    parser.add_argument(
+        "--allowlist",
+        default=str(ALLOWLIST_PATH),
+        help="allowlist JSON (default: tools/lint/aeva_lint_allowlist.json)",
+    )
+    args = parser.parse_args()
+
+    allowlist = load_allowlist(Path(args.allowlist))
+    files = collect_files(args.paths)
+
+    findings = run_pattern_rules(files, allowlist)
+    if not args.no_compile:
+        findings += run_header_standalone(files, allowlist, args.jobs)
+    findings.sort(key=lambda f: (f["path"], f["line"], f["rule"]))
+
+    for f in findings:
+        print(
+            f"{f['path']}:{f['line']}: [{f['rule']}] {f['message']}\n"
+            f"    {f['excerpt']}"
+        )
+
+    report = {
+        "version": 1,
+        "checked_files": len(files),
+        "finding_count": len(findings),
+        "findings": findings,
+    }
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+
+    if findings:
+        print(
+            f"aeva_lint: {len(findings)} finding(s) in {len(files)} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"aeva_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

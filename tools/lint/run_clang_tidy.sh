@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# clang-tidy gate driver.
+#
+# Usage:
+#   tools/lint/run_clang_tidy.sh [--fix] [paths...]
+#
+# Configures a compile-commands build (build-tidy/ by default, override
+# with AEVA_TIDY_BUILD_DIR), then runs clang-tidy with the repo-root
+# .clang-tidy over every first-party translation unit (src/ by default).
+# Exits non-zero on any finding (WarningsAsErrors: '*').
+#
+# Environment:
+#   CLANG_TIDY           clang-tidy binary (default: clang-tidy)
+#   AEVA_TIDY_BUILD_DIR  compile-commands dir (default: build-tidy)
+#   AEVA_TIDY_JOBS       parallel jobs (default: nproc)
+#   AEVA_TIDY_STRICT=1   fail (exit 2) when clang-tidy is not installed;
+#                        the default is a diagnosed skip (exit 0) so that
+#                        gcc-only developer machines aren't blocked — CI
+#                        always sets AEVA_TIDY_STRICT=1.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+BUILD_DIR="${AEVA_TIDY_BUILD_DIR:-${ROOT}/build-tidy}"
+JOBS="${AEVA_TIDY_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+FIX_ARGS=()
+if [[ "${1:-}" == "--fix" ]]; then
+  FIX_ARGS=(--fix --fix-errors)
+  shift
+fi
+
+if ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+  if [[ "${AEVA_TIDY_STRICT:-0}" == "1" ]]; then
+    echo "run_clang_tidy: FATAL: '${CLANG_TIDY}' not found and AEVA_TIDY_STRICT=1" >&2
+    exit 2
+  fi
+  echo "run_clang_tidy: '${CLANG_TIDY}' not found; skipping (set AEVA_TIDY_STRICT=1 to fail instead)" >&2
+  exit 0
+fi
+
+# clang-tidy needs a compilation database; keep it in its own build dir so
+# the normal build's flags (e.g. sanitizers) never leak into analysis.
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  cmake -B "${BUILD_DIR}" -S "${ROOT}" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCMAKE_BUILD_TYPE=Debug \
+    ${AEVA_TIDY_CMAKE_ARGS:-} >/dev/null
+fi
+
+if [[ $# -gt 0 ]]; then
+  mapfile -t FILES < <(printf '%s\n' "$@")
+else
+  mapfile -t FILES < <(find "${ROOT}/src" -name '*.cpp' | sort)
+fi
+
+echo "run_clang_tidy: $(${CLANG_TIDY} --version | head -n1 | sed 's/^ *//')"
+echo "run_clang_tidy: ${#FILES[@]} translation units, ${JOBS} jobs"
+
+# Run in parallel; collect per-file logs and report every failing file.
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+status=0
+printf '%s\n' "${FILES[@]}" | xargs -P "${JOBS}" -I{} bash -c '
+  out="$1/$(echo "{}" | tr "/" "_").log"
+  if ! "$2" -p "$3" --quiet '"${FIX_ARGS[*]:-}"' "{}" >"${out}" 2>&1; then
+    echo "{}" >> "$1/failed"
+  fi
+  # clang-tidy exits 0 yet prints warnings when WarningsAsErrors misses a
+  # category; treat any "warning:"/"error:" line as a finding.
+  if grep -qE "(warning|error):" "${out}"; then
+    echo "{}" >> "$1/failed"
+  fi
+' _ "${TMP}" "${CLANG_TIDY}" "${BUILD_DIR}" || status=$?
+
+if [[ -f "${TMP}/failed" ]]; then
+  echo "run_clang_tidy: findings in:" >&2
+  sort -u "${TMP}/failed" >&2
+  for f in $(sort -u "${TMP}/failed"); do
+    cat "${TMP}/$(echo "${f}" | tr '/' '_').log" >&2
+  done
+  exit 1
+fi
+
+echo "run_clang_tidy: clean"
+exit "${status}"
