@@ -1,0 +1,71 @@
+/// \file fuzz_failure.cpp
+/// Fuzz target for the failure-script parser (datacenter/failure).
+///
+/// Contract: arbitrary text either parses into a list of FailureEvents or
+/// is rejected with std::invalid_argument (unknown kind, wrong arity,
+/// non-finite numbers, out-of-range magnitudes). Accepted scripts must
+/// survive a write_failure_script → parse_failure_script round trip with
+/// the same event count, kinds, and targets, and every accepted event must
+/// satisfy the documented field ranges.
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "datacenter/failure.hpp"
+
+namespace {
+
+void expect(bool cond, const char* what) {
+  if (!cond) {
+    throw std::logic_error(std::string("fuzz_failure invariant failed: ") +
+                           what);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  std::vector<aeva::datacenter::FailureEvent> events;
+  try {
+    events = aeva::datacenter::parse_failure_script(text);
+  } catch (const std::invalid_argument&) {
+    return 0;
+  }
+
+  // Accepted events must obey the documented ranges the parser promises.
+  for (const aeva::datacenter::FailureEvent& event : events) {
+    expect(event.server >= 0, "server index non-negative");
+    expect(event.at_s >= 0.0, "event time non-negative");
+    expect(event.duration_s >= 0.0, "duration non-negative");
+    if (event.kind == aeva::datacenter::FailureKind::kDegrade) {
+      expect(event.magnitude > 0.0 && event.magnitude <= 1.0,
+             "degrade multiplier in (0, 1]");
+    }
+    if (event.kind == aeva::datacenter::FailureKind::kBrownout) {
+      expect(event.magnitude > 0.0, "brownout cap positive");
+    }
+  }
+
+  // Round trip: the writer's output must re-parse to the same structure.
+  std::ostringstream out;
+  aeva::datacenter::write_failure_script(out, events);
+  std::vector<aeva::datacenter::FailureEvent> reparsed;
+  try {
+    reparsed = aeva::datacenter::parse_failure_script(out.str());
+  } catch (const std::invalid_argument&) {
+    expect(false, "writer output must re-parse");
+  }
+  expect(reparsed.size() == events.size(), "round trip preserves count");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    expect(reparsed[i].kind == events[i].kind, "round trip preserves kind");
+    expect(reparsed[i].server == events[i].server,
+           "round trip preserves server");
+  }
+  return 0;
+}

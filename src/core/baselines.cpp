@@ -52,8 +52,12 @@ AllocationResult SlotFitAllocator::allocate(
       }
     }
     if (chosen == servers.size()) {
-      result.placements.clear();
-      return result;  // all-or-nothing
+      result.placements.clear();  // all-or-nothing
+      result.outcome = AllocationOutcome{
+          AllocationPath::kRejected,
+          servers.empty() ? RejectReason::kNoServers
+                          : RejectReason::kNoFeasibleServer};
+      return result;
     }
     result.placements.push_back(Placement{vm.id, servers[chosen].id});
     --free_slots[chosen];
@@ -107,6 +111,10 @@ AllocationResult RandomFitAllocator::allocate(
     }
     if (candidates.empty()) {
       result.placements.clear();
+      result.outcome = AllocationOutcome{
+          AllocationPath::kRejected,
+          servers.empty() ? RejectReason::kNoServers
+                          : RejectReason::kNoFeasibleServer};
       return result;
     }
     const std::size_t pick = candidates[static_cast<std::size_t>(
@@ -212,6 +220,10 @@ AllocationResult VectorFitAllocator::allocate(
     }
     if (chosen == servers.size()) {
       result.placements.clear();
+      result.outcome = AllocationOutcome{
+          AllocationPath::kRejected,
+          servers.empty() ? RejectReason::kNoServers
+                          : RejectReason::kNoFeasibleServer};
       return result;
     }
     result.placements.push_back(Placement{vm.id, servers[chosen].id});

@@ -56,6 +56,10 @@ AllocationResult FirstFitAllocator::allocate(
       // All-or-nothing: the job request waits for capacity.
       result.placements.clear();
       result.complete = false;
+      result.outcome = AllocationOutcome{
+          AllocationPath::kRejected,
+          servers.empty() ? RejectReason::kNoServers
+                          : RejectReason::kNoFeasibleServer};
       return result;
     }
   }

@@ -55,6 +55,8 @@ AllocationResult PowerCapAllocator::allocate(
     // Over budget: the request waits for load to drain.
     AllocationResult rejected;
     rejected.partitions_examined = result.partitions_examined;
+    rejected.outcome = AllocationOutcome{AllocationPath::kRejected,
+                                         RejectReason::kGuardRejected};
     return rejected;
   }
   return result;

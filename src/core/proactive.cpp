@@ -29,6 +29,14 @@ ProactiveAllocator::ProactiveAllocator(
     AEVA_REQUIRE(db != nullptr, "null model database");
     models_.emplace_back(*db, config.server_vm_cap);
   }
+  if (config_.degrade_to_first_fit) {
+    AEVA_REQUIRE(config_.fallback_multiplex >= 1,
+                 "fallback multiplex factor must be >= 1, got ",
+                 config_.fallback_multiplex);
+    // Testbed servers have 4 CPUs regardless of hardware class.
+    fallback_.emplace(config_.fallback_multiplex,
+                      std::vector<int>(models_.size(), 4));
+  }
 }
 
 const CostModel& ProactiveAllocator::cost_model(int hardware) const {
@@ -273,8 +281,30 @@ AllocationResult ProactiveAllocator::allocate(
     chosen = best_any;
   }
   if (!chosen.has_value()) {
-    // Either the cluster cannot host the request at all, or every feasible
-    // placement would break the QoS guarantees: the request stays queued.
+    // Classify why the primary search failed before degrading: callers and
+    // tests branch on the reason instead of inferring it from `complete`.
+    RejectReason reason = RejectReason::kNoFeasibleServer;
+    if (servers.empty()) {
+      reason = RejectReason::kNoServers;  // all masked or failed
+    } else if (!best_any.has_value() &&
+               examined >= config_.max_partitions) {
+      reason = RejectReason::kSearchBudgetExhausted;
+    } else if (best_any.has_value()) {
+      reason = RejectReason::kQosInfeasible;
+    }
+    if (fallback_.has_value()) {
+      AllocationResult fb = fallback_->allocate(vms, servers);
+      if (fb.complete) {
+        fb.partitions_examined = examined;
+        fb.satisfied_qos = false;  // the slot-based fallback is QoS-blind
+        fb.outcome =
+            AllocationOutcome{AllocationPath::kFallbackFirstFit, reason};
+        return fb;
+      }
+    }
+    // Nothing could place the request: it stays queued, with the reason on
+    // record.
+    result.outcome = AllocationOutcome{AllocationPath::kRejected, reason};
     return result;
   }
   result.satisfied_qos = chosen->qos_ok;
@@ -327,12 +357,13 @@ AllocationResult ProactiveAllocator::allocate(
 }
 
 std::string ProactiveAllocator::name() const {
+  const std::string suffix = fallback_.has_value() ? "+FF" : "";
   if (config_.goal == ProactiveGoal::kEnergyDelayProduct) {
-    return "PA-EDP";
+    return "PA-EDP" + suffix;
   }
   const double alpha = config_.alpha;
-  if (alpha == 0.0) return "PA-0";
-  if (alpha == 1.0) return "PA-1";
+  if (alpha == 0.0) return "PA-0" + suffix;
+  if (alpha == 1.0) return "PA-1" + suffix;
   std::string text = util::format_fixed(alpha, 2);
   while (!text.empty() && text.back() == '0') {
     text.pop_back();
@@ -340,7 +371,7 @@ std::string ProactiveAllocator::name() const {
   if (!text.empty() && text.back() == '.') {
     text.pop_back();
   }
-  return "PA-" + text;
+  return "PA-" + text + suffix;
 }
 
 }  // namespace aeva::core

@@ -15,8 +15,10 @@
 /// first server of the list, as in the paper.
 
 #include <cstddef>
+#include <optional>
 
 #include "core/cost_model.hpp"
+#include "core/first_fit.hpp"
 #include "core/types.hpp"
 #include "modeldb/database.hpp"
 
@@ -51,6 +53,15 @@ struct ProactiveConfig {
   std::size_t max_partitions = 200000;
   /// Per-server VM cap (testbed benchmarked up to 16 VMs).
   int server_vm_cap = 16;
+  /// Graceful degradation: when the proactive search cannot place a
+  /// request (budget exhausted, every candidate violates QoS, or every
+  /// compatible server is masked), retry it through a slot-based first-fit
+  /// before rejecting. The result records which leg placed the request and
+  /// why the primary failed (AllocationOutcome), so no allocation path can
+  /// fail silently.
+  bool degrade_to_first_fit = false;
+  /// Multiplex factor of the first-fit fallback (VMs per CPU).
+  int fallback_multiplex = 2;
 };
 
 /// The proactive allocator (strategies PA-1 / PA-0 / PA-0.5 of Sect. IV-D
@@ -87,6 +98,8 @@ class ProactiveAllocator final : public Allocator {
  private:
   ProactiveConfig config_;
   std::vector<CostModel> models_;
+  /// Degradation leg (engaged only with `degrade_to_first_fit`).
+  std::optional<FirstFitAllocator> fallback_;
 };
 
 }  // namespace aeva::core

@@ -50,6 +50,57 @@ struct AllocationScore {
   double combined = 0.0;      ///< α-weighted rank (lower is better)
 };
 
+/// Which leg of the degradation chain produced the result. Production
+/// allocators degrade along an explicit chain (primary strategy →
+/// first-fit fallback → reject-with-reason) instead of silently handing
+/// back worst-case placements or empty results.
+enum class AllocationPath {
+  kPrimary,          ///< the strategy's own search placed the request
+  kFallbackFirstFit, ///< primary failed; a first-fit fallback placed it
+  kRejected,         ///< nothing could place it — see `reason`
+};
+
+/// Why the primary strategy could not place a request (also attached to
+/// fallback results, recording what the fallback recovered from).
+enum class RejectReason {
+  kNone,                   ///< placed by the primary path
+  kNoServers,              ///< empty server list — all masked or failed
+  kNoFeasibleServer,       ///< capacity/feasibility exhausted everywhere
+  kSearchBudgetExhausted,  ///< partition budget hit before any candidate
+  kQosInfeasible,          ///< candidates exist, all violate a deadline
+  kGuardRejected,          ///< a decorator (power cap, …) vetoed the result
+};
+
+/// Degradation record of one allocation call: which path produced the
+/// placements and, when the primary failed, why. Callers and tests assert
+/// on this instead of inferring behaviour from `complete` alone.
+struct AllocationOutcome {
+  AllocationPath path = AllocationPath::kPrimary;
+  RejectReason reason = RejectReason::kNone;
+};
+
+[[nodiscard]] constexpr const char* to_string(AllocationPath path) noexcept {
+  switch (path) {
+    case AllocationPath::kPrimary: return "primary";
+    case AllocationPath::kFallbackFirstFit: return "fallback-first-fit";
+    case AllocationPath::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kNoServers: return "no-servers";
+    case RejectReason::kNoFeasibleServer: return "no-feasible-server";
+    case RejectReason::kSearchBudgetExhausted:
+      return "search-budget-exhausted";
+    case RejectReason::kQosInfeasible: return "qos-infeasible";
+    case RejectReason::kGuardRejected: return "guard-rejected";
+  }
+  return "?";
+}
+
 /// Outcome of one allocation call.
 struct AllocationResult {
   std::vector<Placement> placements;
@@ -57,6 +108,7 @@ struct AllocationResult {
   bool complete = false;       ///< every requested VM was placed
   bool satisfied_qos = true;   ///< no estimated deadline violations
   std::size_t partitions_examined = 0;  ///< search effort (proactive only)
+  AllocationOutcome outcome;   ///< degradation-chain record
 };
 
 /// Strategy interface shared by the proactive allocator and the first-fit

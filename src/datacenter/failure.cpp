@@ -1,0 +1,244 @@
+#include "datacenter/failure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace aeva::datacenter {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate_event(const FailureEvent& event, int server_count,
+                    std::size_t index) {
+  AEVA_REQUIRE(event.server >= 0 && event.server < server_count,
+               "failure event ", index, " targets server ", event.server,
+               " outside the cloud of ", server_count);
+  AEVA_REQUIRE(std::isfinite(event.at_s) && event.at_s >= 0.0,
+               "failure event ", index, " has invalid time ", event.at_s);
+  AEVA_REQUIRE(std::isfinite(event.duration_s) && event.duration_s >= 0.0,
+               "failure event ", index, " has invalid duration ",
+               event.duration_s);
+  switch (event.kind) {
+    case FailureKind::kCrash:
+      break;
+    case FailureKind::kDegrade:
+      AEVA_REQUIRE(std::isfinite(event.magnitude) && event.magnitude > 0.0 &&
+                       event.magnitude <= 1.0,
+                   "degrade event ", index, " multiplier ", event.magnitude,
+                   " out of (0, 1]");
+      break;
+    case FailureKind::kBrownout:
+      AEVA_REQUIRE(std::isfinite(event.magnitude) && event.magnitude > 0.0,
+                   "brownout event ", index, " power cap ", event.magnitude,
+                   " must be positive");
+      break;
+  }
+}
+
+}  // namespace
+
+void FailureConfig::validate(int server_count) const {
+  if (!enabled) {
+    return;
+  }
+  AEVA_REQUIRE(std::isfinite(mtbf_s) && mtbf_s >= 0.0,
+               "MTBF must be non-negative, got ", mtbf_s);
+  if (mtbf_s > 0.0) {
+    AEVA_REQUIRE(std::isfinite(mttr_s) && mttr_s > 0.0,
+                 "MTTR must be positive when sampling crashes, got ", mttr_s);
+  }
+  AEVA_REQUIRE(recovery.checkpoint_period_s > 0.0,
+               "checkpoint period must be positive, got ",
+               recovery.checkpoint_period_s);
+  AEVA_REQUIRE(
+      recovery.checkpoint_tax >= 0.0 && recovery.checkpoint_tax < 1.0,
+      "checkpoint tax out of [0, 1): ", recovery.checkpoint_tax);
+  AEVA_REQUIRE(recovery.max_retries >= 0,
+               "max retries must be non-negative, got ",
+               recovery.max_retries);
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    validate_event(script[i], server_count, i);
+  }
+}
+
+FailureSchedule::FailureSchedule(const FailureConfig& config, int server_count,
+                                 double start_s)
+    : script_(config.script),
+      mtbf_s_(config.enabled ? config.mtbf_s : 0.0),
+      mttr_s_(config.mttr_s) {
+  if (!config.enabled) {
+    script_.clear();
+    return;
+  }
+  std::stable_sort(script_.begin(), script_.end(),
+                   [](const FailureEvent& a, const FailureEvent& b) {
+                     return a.at_s < b.at_s;
+                   });
+  const auto n = static_cast<std::size_t>(server_count);
+  sampled_next_.assign(n, kInf);
+  if (mtbf_s_ > 0.0) {
+    // One decorrelated stream per server so per-server crash processes are
+    // independent and insensitive to event interleaving elsewhere.
+    util::Rng root = util::named_stream(config.seed, "failures");
+    streams_.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      streams_.push_back(root.fork(static_cast<std::uint64_t>(s)));
+      sampled_next_[s] = start_s + streams_[s].exponential(1.0 / mtbf_s_);
+    }
+  }
+}
+
+double FailureSchedule::next_time() const noexcept {
+  double next = kInf;
+  if (script_next_ < script_.size()) {
+    next = script_[script_next_].at_s;
+  }
+  for (const double t : sampled_next_) {
+    next = std::min(next, t);
+  }
+  return next;
+}
+
+std::vector<FailureEvent> FailureSchedule::pop_due(double now) {
+  constexpr double kEps = 1e-9;
+  std::vector<FailureEvent> due;
+  while (script_next_ < script_.size() &&
+         script_[script_next_].at_s <= now + kEps) {
+    due.push_back(script_[script_next_]);
+    ++script_next_;
+  }
+  for (std::size_t s = 0; s < sampled_next_.size(); ++s) {
+    if (sampled_next_[s] <= now + kEps) {
+      FailureEvent crash;
+      crash.kind = FailureKind::kCrash;
+      crash.server = static_cast<int>(s);
+      crash.at_s = sampled_next_[s];
+      crash.duration_s = streams_[s].exponential(1.0 / mttr_s_);
+      // Suppressed until on_repair re-arms the server's process.
+      sampled_next_[s] = kInf;
+      due.push_back(crash);
+    }
+  }
+  return due;
+}
+
+void FailureSchedule::on_crash(int server) {
+  const auto s = static_cast<std::size_t>(server);
+  if (s < sampled_next_.size()) {
+    sampled_next_[s] = kInf;
+  }
+}
+
+void FailureSchedule::on_repair(int server, double repair_s) {
+  const auto s = static_cast<std::size_t>(server);
+  if (mtbf_s_ > 0.0 && s < streams_.size()) {
+    sampled_next_[s] = repair_s + streams_[s].exponential(1.0 / mtbf_s_);
+  }
+}
+
+// --- scripted-trace I/O -----------------------------------------------------
+
+namespace {
+
+double parse_field(const std::string& field, std::size_t lineno,
+                   const char* what) {
+  const auto parsed = util::parse_double(field);
+  AEVA_REQUIRE(parsed.has_value() && std::isfinite(*parsed),
+               "failure script line ", lineno, ": malformed ", what, " '",
+               field.substr(0, 32), "'");
+  return *parsed;
+}
+
+}  // namespace
+
+std::vector<FailureEvent> parse_failure_script(std::istream& in) {
+  std::vector<FailureEvent> events;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string text = util::trim(line);
+    if (text.empty() || text.front() == '#' || text.front() == ';') {
+      continue;
+    }
+    const std::vector<std::string> fields = util::split_whitespace(text);
+    FailureEvent event;
+    if (fields.front() == "crash") {
+      AEVA_REQUIRE(fields.size() == 4, "failure script line ", lineno,
+                   ": crash takes <server> <at_s> <repair_s>, got ",
+                   fields.size() - 1, " fields");
+      event.kind = FailureKind::kCrash;
+    } else if (fields.front() == "degrade") {
+      AEVA_REQUIRE(fields.size() == 5, "failure script line ", lineno,
+                   ": degrade takes <server> <at_s> <window_s> <mult>, got ",
+                   fields.size() - 1, " fields");
+      event.kind = FailureKind::kDegrade;
+    } else if (fields.front() == "brownout") {
+      AEVA_REQUIRE(fields.size() == 5, "failure script line ", lineno,
+                   ": brownout takes <server> <at_s> <window_s> <cap_w>, "
+                   "got ",
+                   fields.size() - 1, " fields");
+      event.kind = FailureKind::kBrownout;
+    } else {
+      AEVA_REQUIRE(false, "failure script line ", lineno,
+                   ": unknown event kind '", fields.front().substr(0, 32),
+                   "'");
+    }
+    const double server = parse_field(fields[1], lineno, "server index");
+    AEVA_REQUIRE(server >= 0.0 && server <= 1e9 &&
+                     server == std::floor(server),
+                 "failure script line ", lineno, ": server index ",
+                 fields[1].substr(0, 32), " is not a small non-negative "
+                 "integer");
+    event.server = static_cast<int>(server);
+    event.at_s = parse_field(fields[2], lineno, "event time");
+    AEVA_REQUIRE(event.at_s >= 0.0, "failure script line ", lineno,
+                 ": negative event time");
+    event.duration_s = parse_field(fields[3], lineno, "duration");
+    AEVA_REQUIRE(event.duration_s >= 0.0, "failure script line ", lineno,
+                 ": negative duration");
+    if (fields.size() == 5) {
+      event.magnitude = parse_field(fields[4], lineno, "magnitude");
+    }
+    // Re-use the config-level range checks (server bound checked at
+    // schedule build time, when the cloud size is known).
+    validate_event(event, std::numeric_limits<int>::max(), lineno);
+    events.push_back(event);
+  }
+  return events;
+}
+
+std::vector<FailureEvent> parse_failure_script(const std::string& text) {
+  std::istringstream in(text);
+  return parse_failure_script(in);
+}
+
+std::vector<FailureEvent> read_failure_script_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open failure script: " + path);
+  }
+  return parse_failure_script(in);
+}
+
+void write_failure_script(std::ostream& out,
+                          const std::vector<FailureEvent>& events) {
+  out << "# aeva failure script: kind server at_s duration_s [magnitude]\n";
+  for (const FailureEvent& event : events) {
+    out << to_string(event.kind) << ' ' << event.server << ' ' << event.at_s
+        << ' ' << event.duration_s;
+    if (event.kind != FailureKind::kCrash) {
+      out << ' ' << event.magnitude;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace aeva::datacenter

@@ -1,0 +1,173 @@
+#pragma once
+
+/// \file failure.hpp
+/// Fault injection & resilience model for the datacenter simulator.
+///
+/// The paper's evaluation (Sect. IV) assumes a fail-free cloud; production
+/// energy-aware allocators cannot (Beloglazov et al.'s taxonomy treats
+/// failure handling as first-class). This subsystem injects server-level
+/// faults into the interval-accounting event loop:
+///
+///  * **crash** — the server powers off instantly, every resident VM is
+///    lost, and the machine is masked from the allocator until its repair
+///    completes (it returns cold: the wake-up premium is paid again);
+///  * **degrade** — a transient slowdown: every VM on the server runs at a
+///    multiplier of its modeled progress rate for a window (correctable
+///    faults, noisy neighbours outside the model, throttling);
+///  * **brownout** — a power-capped interval: the server's draw is clamped
+///    to a watt budget and VM progress slows proportionally (DVFS-style).
+///
+/// Faults come from a deterministic script, from seeded per-server
+/// MTBF/MTTR exponential sampling, or both. Sampling draws from the
+/// dedicated `util::named_stream(seed, "failures")` stream, so enabling
+/// failures can never perturb trace generation or any other consumer of
+/// the experiment seed; with `FailureConfig::enabled == false` the
+/// simulator's behaviour is bit-identical to the fail-free model.
+///
+/// Lost VMs re-enter the queue under a recovery policy: restart from zero,
+/// periodic-checkpoint restart (resume at the last checkpoint boundary,
+/// paying a checkpoint-I/O progress tax while running), or abandon after N
+/// retries. docs/RESILIENCE.md specifies the semantics in full.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aeva::datacenter {
+
+/// Fault taxonomy.
+enum class FailureKind {
+  kCrash,     ///< server off, VMs lost, masked until repair
+  kDegrade,   ///< progress-rate multiplier for a window
+  kBrownout,  ///< power-capped interval (proportional slowdown)
+};
+
+[[nodiscard]] constexpr const char* to_string(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::kCrash: return "crash";
+    case FailureKind::kDegrade: return "degrade";
+    case FailureKind::kBrownout: return "brownout";
+  }
+  return "?";
+}
+
+/// One scheduled fault.
+struct FailureEvent {
+  FailureKind kind = FailureKind::kCrash;
+  int server = 0;       ///< target server index
+  double at_s = 0.0;    ///< absolute simulation time (same clock as submits)
+  /// Crash: repair time (masked window). Degrade/brownout: window length.
+  double duration_s = 0.0;
+  /// Degrade: progress-rate multiplier in (0, 1]. Brownout: power cap in
+  /// Watts (> 0). Ignored for crashes.
+  double magnitude = 1.0;
+};
+
+/// What happens to a VM lost in a crash.
+enum class RecoveryPolicy {
+  kRestartFromZero,    ///< all progress lost; the VM re-queues at work = 0
+  kCheckpointRestart,  ///< resume from the last periodic checkpoint
+  kAbandonAfterRetries,///< restart from zero at most `max_retries` times
+};
+
+[[nodiscard]] constexpr const char* to_string(RecoveryPolicy policy) noexcept {
+  switch (policy) {
+    case RecoveryPolicy::kRestartFromZero: return "restart-from-zero";
+    case RecoveryPolicy::kCheckpointRestart: return "checkpoint-restart";
+    case RecoveryPolicy::kAbandonAfterRetries: return "abandon-after-retries";
+  }
+  return "?";
+}
+
+/// Recovery tuning.
+struct RecoveryConfig {
+  RecoveryPolicy policy = RecoveryPolicy::kRestartFromZero;
+  /// Checkpoint-restart: wall-clock period between per-VM checkpoints,
+  /// counted from the VM's (re)start instant.
+  double checkpoint_period_s = 900.0;
+  /// Checkpoint-restart: fraction of progress rate lost to checkpoint I/O
+  /// while the VM runs (the progress tax), in [0, 1).
+  double checkpoint_tax = 0.02;
+  /// Abandon-after-retries: a VM is dropped once it has been restarted
+  /// this many times and is lost again (>= 0; 0 drops on the first loss).
+  int max_retries = 3;
+};
+
+/// Fault-injection configuration, carried by CloudConfig. Disabled by
+/// default; when disabled every other field is inert and the simulator is
+/// bit-identical to the fail-free model.
+struct FailureConfig {
+  bool enabled = false;
+  /// Deterministic scripted fault trace (applied in time order; see also
+  /// parse_failure_script for the on-disk format).
+  std::vector<FailureEvent> script;
+  /// Per-server mean time between sampled crashes, seconds. 0 disables
+  /// stochastic sampling (scripted faults only).
+  double mtbf_s = 0.0;
+  /// Mean time to repair for sampled crashes (exponential), seconds.
+  double mttr_s = 1800.0;
+  /// Seed of the dedicated "failures" sampling stream.
+  std::uint64_t seed = 2026;
+  RecoveryConfig recovery;
+
+  /// Validates ranges and that every scripted event targets a server in
+  /// [0, server_count). Throws std::invalid_argument.
+  void validate(int server_count) const;
+};
+
+/// Merged, time-ordered fault source: scripted events plus lazily sampled
+/// per-server crashes. One instance per simulation run.
+class FailureSchedule {
+ public:
+  /// `config` must outlive the schedule and already be validated;
+  /// `start_s` is the simulation start (first submission).
+  FailureSchedule(const FailureConfig& config, int server_count,
+                  double start_s);
+
+  /// Time of the earliest pending fault, or +infinity when none.
+  [[nodiscard]] double next_time() const noexcept;
+
+  /// Pops every fault due at or before `now` (script first, then sampled
+  /// crashes, each group in deterministic order).
+  [[nodiscard]] std::vector<FailureEvent> pop_due(double now);
+
+  /// Suppresses sampled crashes for a server that just went down.
+  void on_crash(int server);
+
+  /// Re-arms sampling for a repaired server from its repair instant.
+  void on_repair(int server, double repair_s);
+
+ private:
+  std::vector<FailureEvent> script_;   ///< sorted by at_s, stable
+  std::size_t script_next_ = 0;
+  std::vector<util::Rng> streams_;     ///< one sampling stream per server
+  std::vector<double> sampled_next_;   ///< +inf while down or unsampled
+  double mtbf_s_ = 0.0;
+  double mttr_s_ = 0.0;
+};
+
+/// Parses a scripted failure trace. Format, one event per line:
+///
+///     # comment (also ';')
+///     crash    <server> <at_s> <repair_s>
+///     degrade  <server> <at_s> <window_s> <rate-multiplier>
+///     brownout <server> <at_s> <window_s> <cap_w>
+///
+/// Throws std::invalid_argument on malformed input (unknown kind, wrong
+/// arity, non-finite numbers, out-of-range magnitudes).
+[[nodiscard]] std::vector<FailureEvent> parse_failure_script(std::istream& in);
+[[nodiscard]] std::vector<FailureEvent> parse_failure_script(
+    const std::string& text);
+
+/// Reads a script file; std::runtime_error when unreadable.
+[[nodiscard]] std::vector<FailureEvent> read_failure_script_file(
+    const std::string& path);
+
+/// Writes events in the parse_failure_script format (round-trippable).
+void write_failure_script(std::ostream& out,
+                          const std::vector<FailureEvent>& events);
+
+}  // namespace aeva::datacenter

@@ -63,13 +63,32 @@ struct RunningVm {
   bool migrating = false;
   double migration_done_s = 0.0;  ///< transfer completion time while in flight
   int dest_server = -1;           ///< reserved destination while in flight
+  // Resilience bookkeeping (inert while failures are disabled).
+  int retries = 0;           ///< times this VM has been lost and re-queued
+  double ckpt_done = 0.0;    ///< progress at the last checkpoint boundary
+  double next_ckpt_s = std::numeric_limits<double>::infinity();
 };
 
 /// Per-server runtime state.
 struct ServerRt {
   ClassCounts alloc;
   double busy_power_w = 0.0;  ///< record mean power while hosting VMs
-  bool powered = false;       ///< powered on at first use, stays on
+  bool powered = false;       ///< powered on at first use; a crash resets it
+  // Resilience state (inert while failures are disabled).
+  bool down = false;          ///< crashed, masked until repair_s
+  double repair_s = std::numeric_limits<double>::infinity();
+  double degrade_until = -std::numeric_limits<double>::infinity();
+  double degrade_mult = 1.0;
+  double brownout_until = -std::numeric_limits<double>::infinity();
+  double brownout_cap_w = std::numeric_limits<double>::infinity();
+  bool ever_powered = false;  ///< powered at least once (metrics survive crashes)
+};
+
+/// A VM lost to a crash, waiting to be re-placed.
+struct RestartVm {
+  std::size_t job_index = 0;
+  double resume_done = 0.0;  ///< progress restored at restart (checkpoint)
+  int retries = 0;           ///< losses so far, including the one queuing it
 };
 
 }  // namespace
@@ -88,6 +107,15 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
   std::vector<ServerRt> servers(n_servers);
   std::vector<RunningVm> running;
   std::deque<std::size_t> queue;  // indices into jobs, FCFS
+
+  // --- fault injection & recovery (failure.hpp) ---------------------------
+  const FailureConfig& fail = cloud_.failure;
+  fail.validate(cloud_.server_count);
+  const bool fail_on = fail.enabled;
+  const bool ckpt_on =
+      fail_on && fail.recovery.policy == RecoveryPolicy::kCheckpointRestart;
+  std::deque<RestartVm> restarts;  // lost VMs awaiting re-placement, FCFS
+  double useful_work_s = 0.0;      // solo-equivalent seconds of completed VMs
 
   // Workflow dependencies (JobRequest::depends_on): map job ids to
   // indices, track per-job completion, park dependents until release.
@@ -121,9 +149,17 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
   std::int64_t next_vm_id = 1;
   double busy_server_time = 0.0;  // ∫ busy_count dt
 
+  FailureSchedule failure_schedule(fail, cloud_.server_count, t0);
+
   // Hardware class of each server (class 0 when no map is configured).
   const auto hardware_of = [&](std::size_t s) {
     return cloud_.hardware.empty() ? 0 : cloud_.hardware[s];
+  };
+
+  // Lost/useful work is measured in canonical solo-time-equivalent seconds
+  // (class-0 base record), so the metric is placement-independent.
+  const auto solo_time = [&](ProfileClass profile) {
+    return db_of(0).base().of(profile).solo_time_s;
   };
 
   // Refreshes the cached record-derived quantities of one server: its mean
@@ -138,6 +174,23 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
         db_of(hardware_of(static_cast<std::size_t>(server_id)))
             .estimate(server.alloc);
     server.busy_power_w = std::max(rec.avg_power_w(), cloud_.idle_power_w);
+    // Failure modifiers: transient degradation windows slow every resident
+    // VM; a brownout clamps the server's draw and slows VMs by the same
+    // factor (DVFS-style); checkpointing VMs pay the checkpoint-I/O tax.
+    double fail_mult = 1.0;
+    if (fail_on) {
+      if (now < server.degrade_until) {
+        fail_mult *= server.degrade_mult;
+      }
+      if (now < server.brownout_until &&
+          server.busy_power_w > server.brownout_cap_w) {
+        fail_mult *= server.brownout_cap_w / server.busy_power_w;
+        server.busy_power_w = server.brownout_cap_w;
+      }
+      if (ckpt_on) {
+        fail_mult *= 1.0 - fail.recovery.checkpoint_tax;
+      }
+    }
     for (RunningVm& vm : running) {
       if (vm.server == server_id) {
         const double est = rec.time_of(vm.profile);
@@ -146,19 +199,40 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
         if (vm.migrating) {
           vm.rate *= cloud_.migration.degradation;
         }
+        if (fail_mult != 1.0) {
+          vm.rate *= fail_mult;
+        }
       }
     }
   };
 
-  // Builds the allocator view of the cluster.
+  // Builds the allocator view of the cluster. Crashed servers are masked:
+  // the allocator never sees them, so every strategy (and every decorator)
+  // is failure-aware without knowing about failures.
   const auto server_states = [&] {
     std::vector<ServerState> states;
     states.reserve(n_servers);
     for (std::size_t s = 0; s < n_servers; ++s) {
+      if (fail_on && servers[s].down) {
+        continue;
+      }
       states.push_back(ServerState{static_cast<int>(s), servers[s].alloc,
                                    servers[s].powered, hardware_of(s)});
     }
     return states;
+  };
+
+  // Workflow release: one VM of job `j` will never run again (completed or
+  // abandoned); when it was the last, dependents unpark.
+  const auto retire_vm_of_job = [&](std::size_t j) {
+    if (--vms_left[j] == 0) {
+      job_done[j] = true;
+      for (const std::size_t dependent : dependents[j]) {
+        queue.push_back(dependent);
+        --parked;
+      }
+      dependents[j].clear();
+    }
   };
 
   // Attempts to place one queued job (addressed by queue position); on
@@ -190,6 +264,9 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
       AEVA_INVARIANT(result.placements.size() == request.size(),
                   "allocator placed ", result.placements.size(), " of ",
                   request.size(), " VMs");
+      if (result.outcome.path == core::AllocationPath::kFallbackFirstFit) {
+        ++metrics.fallback_allocations;
+      }
       for (const Placement& placement : result.placements) {
         AEVA_REQUIRE(placement.server_id >= 0 &&
                          placement.server_id < cloud_.server_count,
@@ -202,10 +279,14 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
         vm.runtime_scale = job.runtime_scale;
         vm.server = placement.server_id;
         vm.start_s = now;
+        if (ckpt_on) {
+          vm.next_ckpt_s = now + fail.recovery.checkpoint_period_s;
+        }
         running.push_back(vm);
         ServerRt& host = servers[static_cast<std::size_t>(placement.server_id)];
         ++host.alloc.of(job.profile);
         host.powered = true;
+        host.ever_powered = true;
         wait_stats.add(now - job.submit_s);
       }
       next_vm_id += job.vm_count;
@@ -225,10 +306,64 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
     }
   };
 
-  // Admits queued jobs: FCFS first; when the head cannot be placed and
-  // backfilling is enabled, up to `backfill_window` younger jobs may jump
-  // ahead (aggressive backfill, no reservations).
+  // Re-places the head of the restart queue (one VM lost to a crash).
+  // Restarts go through the regular allocator, so recovery competes for
+  // capacity under the same strategy and QoS bounds as fresh admissions.
+  const auto try_restart = [&]() -> bool {
+    const RestartVm& restart = restarts.front();
+    const trace::JobRequest& job = jobs[restart.job_index];
+    VmRequest request;
+    request.id = next_vm_id;
+    request.profile = job.profile;
+    const double exec_bound =
+        job.max_exec_stretch * db_of(0).base().of(job.profile).solo_time_s;
+    request.max_exec_time_s = exec_bound > 0.0 ? exec_bound : kInf;
+    const core::AllocationResult result =
+        allocator.allocate({request}, server_states());
+    if (!result.complete) {
+      return false;
+    }
+    AEVA_INVARIANT(result.placements.size() == 1,
+                   "allocator placed ", result.placements.size(),
+                   " of 1 restart VM");
+    if (result.outcome.path == core::AllocationPath::kFallbackFirstFit) {
+      ++metrics.fallback_allocations;
+    }
+    const Placement& placement = result.placements.front();
+    AEVA_REQUIRE(placement.server_id >= 0 &&
+                     placement.server_id < cloud_.server_count,
+                 "allocator returned invalid server ", placement.server_id);
+    RunningVm vm;
+    vm.vm_id = next_vm_id++;
+    vm.job_index = restart.job_index;
+    vm.profile = job.profile;
+    vm.runtime_scale = job.runtime_scale;
+    vm.server = placement.server_id;
+    vm.start_s = now;
+    vm.remaining = 1.0 - restart.resume_done;
+    vm.retries = restart.retries;
+    vm.ckpt_done = restart.resume_done;
+    if (ckpt_on) {
+      vm.next_ckpt_s = now + fail.recovery.checkpoint_period_s;
+    }
+    running.push_back(vm);
+    ServerRt& host = servers[static_cast<std::size_t>(placement.server_id)];
+    ++host.alloc.of(job.profile);
+    host.powered = true;
+    host.ever_powered = true;
+    refresh_server(placement.server_id);
+    ++metrics.vm_restarts;
+    restarts.pop_front();
+    return true;
+  };
+
+  // Admits queued jobs: recovery first (lost VMs are the oldest admitted
+  // work), then FCFS; when the head cannot be placed and backfilling is
+  // enabled, up to `backfill_window` younger jobs may jump ahead
+  // (aggressive backfill, no reservations).
   const auto drain_queue = [&] {
+    while (!restarts.empty() && try_restart()) {
+    }
     while (!queue.empty()) {
       if (try_admit(0)) {
         continue;
@@ -316,7 +451,7 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
         }
         bool placed = false;
         for (std::size_t dst = 0; dst < n_servers && !placed; ++dst) {
-          if (dst == src || frozen[dst]) {
+          if (dst == src || frozen[dst] || (fail_on && servers[dst].down)) {
             continue;
           }
           // Consolidate toward equally-or-more-loaded busy machines; an
@@ -414,7 +549,8 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
       // Coolest feasible destination comfortably under the redline.
       std::size_t best = n_servers;
       for (std::size_t dst = 0; dst < n_servers; ++dst) {
-        if (dst == src || frozen[dst] || inlets[dst] > redline - 1.0) {
+        if (dst == src || frozen[dst] || inlets[dst] > redline - 1.0 ||
+            (fail_on && servers[dst].down)) {
           continue;
         }
         ClassCounts combined = servers[dst].alloc;
@@ -446,13 +582,102 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
     }
   };
 
+  // Applies one due fault. Crashes lose every resident VM, abort inbound
+  // transfers cleanly (the VM never left its source), and mask the server
+  // until repair; degrade/brownout just open their windows.
+  const auto apply_failure = [&](const FailureEvent& event) {
+    ServerRt& server = servers[static_cast<std::size_t>(event.server)];
+    if (event.kind == FailureKind::kDegrade) {
+      if (server.down) {
+        return;  // a masked server cannot degrade further
+      }
+      server.degrade_until = now + event.duration_s;
+      server.degrade_mult = event.magnitude;
+      refresh_server(event.server);
+      return;
+    }
+    if (event.kind == FailureKind::kBrownout) {
+      if (server.down) {
+        return;
+      }
+      server.brownout_until = now + event.duration_s;
+      server.brownout_cap_w = event.magnitude;
+      refresh_server(event.server);
+      return;
+    }
+    // Crash.
+    if (server.down) {
+      return;  // scripted overlap with a sampled outage: already masked
+    }
+    ++metrics.failures;
+    server.down = true;
+    server.repair_s = now + event.duration_s;
+    server.powered = false;  // comes back cold: wake-up premium paid again
+    server.degrade_until = -kInf;
+    server.degrade_mult = 1.0;
+    server.brownout_until = -kInf;
+    server.brownout_cap_w = kInf;
+    failure_schedule.on_crash(event.server);
+
+    std::vector<int> touched;
+    // Inbound transfers abort cleanly: the VM stays whole on its source,
+    // the destination reservation is dropped, the in-flight degradation
+    // ends, and the stop-and-copy loss is refunded — the downtime never
+    // happened, so charging it would double-account the abort.
+    for (RunningVm& vm : running) {
+      if (vm.migrating && vm.dest_server == event.server) {
+        vm.migrating = false;
+        vm.dest_server = -1;
+        vm.remaining -= mig.downtime_work_fraction;
+        touched.push_back(vm.server);
+      }
+    }
+    // Resident VMs — including outbound movers, whose copy dies with the
+    // source — are lost. Work beyond the resume point is destroyed.
+    for (std::size_t i = 0; i < running.size();) {
+      RunningVm& vm = running[i];
+      if (vm.server != event.server) {
+        ++i;
+        continue;
+      }
+      if (vm.migrating) {
+        --servers[static_cast<std::size_t>(vm.dest_server)]
+              .alloc.of(vm.profile);
+        touched.push_back(vm.dest_server);
+      }
+      const double done = std::max(1.0 - vm.remaining, 0.0);
+      const double resume = ckpt_on ? std::min(vm.ckpt_done, done) : 0.0;
+      metrics.lost_work_s +=
+          (done - resume) * vm.runtime_scale * solo_time(vm.profile);
+      if (fail.recovery.policy == RecoveryPolicy::kAbandonAfterRetries &&
+          vm.retries >= fail.recovery.max_retries) {
+        ++metrics.vms_abandoned;
+        retire_vm_of_job(vm.job_index);  // never re-runs; free dependents
+      } else {
+        restarts.push_back(RestartVm{vm.job_index, resume, vm.retries + 1});
+      }
+      running[i] = running.back();
+      running.pop_back();
+    }
+    server.alloc = ClassCounts{};
+    server.busy_power_w = 0.0;
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    for (const int t : touched) {
+      if (t != event.server) {
+        refresh_server(t);
+      }
+    }
+  };
+
   std::size_t guard = 0;
-  const std::size_t max_events = jobs.size() * 4 +
-                                 static_cast<std::size_t>(workload.total_vms) *
-                                     6 +
-                                 (1u << 17);
+  const std::size_t max_events =
+      jobs.size() * 4 +
+      static_cast<std::size_t>(workload.total_vms) * 6 + (1u << 17) +
+      (fail_on ? fail.script.size() * 4 + (1u << 20) : 0u);
   while (next_job < jobs.size() || !queue.empty() || !running.empty() ||
-         parked > 0) {
+         parked > 0 || !restarts.empty()) {
     AEVA_INVARIANT(++guard <= max_events,
                 "simulation event budget exhausted — strategy starved the "
                 "queue or the model diverged");
@@ -471,8 +696,28 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
     }
     const double sweep_event =
         mig.enabled && !running.empty() ? next_sweep : kInf;
-    const double next_event = std::min(
-        {next_arrival, next_completion, next_transfer, sweep_event});
+    // Pending faults close the interval too, as do repair instants and
+    // degradation/brownout window ends (rates must recompute there).
+    const double next_failure =
+        fail_on ? failure_schedule.next_time() : kInf;
+    double next_window = kInf;
+    if (fail_on) {
+      for (const ServerRt& server : servers) {
+        if (server.down) {
+          next_window = std::min(next_window, server.repair_s);
+        } else {
+          if (server.degrade_until > now) {
+            next_window = std::min(next_window, server.degrade_until);
+          }
+          if (server.brownout_until > now) {
+            next_window = std::min(next_window, server.brownout_until);
+          }
+        }
+      }
+    }
+    const double next_event =
+        std::min({next_arrival, next_completion, next_transfer, sweep_event,
+                  next_failure, next_window});
     if (!std::isfinite(next_event)) {
       throw std::runtime_error(
           "datacenter simulation deadlocked: queued jobs but no running VMs "
@@ -506,6 +751,18 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
       busy_server_time += busy * dt;
       metrics.peak_busy_servers = std::max(metrics.peak_busy_servers, busy);
       for (RunningVm& vm : running) {
+        // Checkpoint boundaries inside the interval: the rate is constant
+        // over [now, next_event], so snapshots need no extra events —
+        // progress at each boundary is interpolated exactly.
+        if (ckpt_on) {
+          while (vm.next_ckpt_s <= next_event + kEps) {
+            const double at_boundary =
+                (1.0 - vm.remaining) + vm.rate * (vm.next_ckpt_s - now);
+            vm.ckpt_done =
+                std::min(std::max(at_boundary, vm.ckpt_done), 1.0);
+            vm.next_ckpt_s += fail.recovery.checkpoint_period_s;
+          }
+        }
         vm.remaining -= vm.rate * dt;
       }
       now = next_event;
@@ -555,15 +812,9 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
               vm.vm_id, job.id, vm.profile, vm.server, job.submit_s,
               vm.start_s, now});
         }
+        useful_work_s += vm.runtime_scale * solo_time(vm.profile);
         // Workflow release: the job's last VM frees its dependents.
-        if (--vms_left[vm.job_index] == 0) {
-          job_done[vm.job_index] = true;
-          for (const std::size_t dependent : dependents[vm.job_index]) {
-            queue.push_back(dependent);
-            --parked;
-          }
-          dependents[vm.job_index].clear();
-        }
+        retire_vm_of_job(vm.job_index);
         --servers[static_cast<std::size_t>(vm.server)].alloc.of(vm.profile);
         const int touched = vm.server;
         int abandoned_dest = -1;
@@ -581,6 +832,41 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
         }
       } else {
         ++i;
+      }
+    }
+
+    if (fail_on) {
+      // Expired degradation/brownout windows: reset and recompute rates.
+      for (std::size_t s = 0; s < n_servers; ++s) {
+        ServerRt& server = servers[s];
+        bool expired = false;
+        if (server.degrade_until != -kInf &&
+            server.degrade_until <= now + kEps) {
+          server.degrade_until = -kInf;
+          server.degrade_mult = 1.0;
+          expired = true;
+        }
+        if (server.brownout_until != -kInf &&
+            server.brownout_until <= now + kEps) {
+          server.brownout_until = -kInf;
+          server.brownout_cap_w = kInf;
+          expired = true;
+        }
+        if (expired && !server.down) {
+          refresh_server(static_cast<int>(s));
+        }
+      }
+      // Due faults, then repairs (a crash with zero repair time comes
+      // back — cold and empty — within the same instant).
+      for (const FailureEvent& event : failure_schedule.pop_due(now)) {
+        apply_failure(event);
+      }
+      for (std::size_t s = 0; s < n_servers; ++s) {
+        if (servers[s].down && servers[s].repair_s <= now + kEps) {
+          servers[s].down = false;
+          servers[s].repair_s = kInf;
+          failure_schedule.on_repair(static_cast<int>(s), now);
+        }
       }
     }
 
@@ -612,8 +898,12 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
   metrics.mean_busy_servers =
       metrics.makespan_s > 0.0 ? busy_server_time / metrics.makespan_s : 0.0;
   for (const ServerRt& server : servers) {
-    metrics.servers_powered += server.powered ? 1 : 0;
+    metrics.servers_powered += (server.powered || server.ever_powered) ? 1 : 0;
   }
+  metrics.goodput_fraction =
+      useful_work_s + metrics.lost_work_s > 0.0
+          ? useful_work_s / (useful_work_s + metrics.lost_work_s)
+          : 1.0;
   return metrics;
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "datacenter/failure.hpp"
 #include "modeldb/database.hpp"
 #include "thermal/thermal_model.hpp"
 #include "trace/prepare.hpp"
@@ -82,6 +83,9 @@ struct CloudConfig {
   std::vector<int> hardware;
   /// Reactive-consolidation policy (disabled by default).
   MigrationConfig migration;
+  /// Fault injection & recovery (disabled by default; when disabled the
+  /// run is bit-identical to the fail-free model — see failure.hpp).
+  FailureConfig failure;
   /// Queue discipline: 0 → strict FCFS (the paper's setup). A positive
   /// value enables simple backfilling — when the head-of-line job cannot
   /// be placed, up to this many younger queued jobs may jump ahead if the
@@ -126,6 +130,21 @@ struct SimMetrics {
   std::size_t servers_powered = 0;  ///< servers that ever hosted a VM
   std::size_t migrations = 0;       ///< live migrations performed
   double migration_transfer_s = 0.0;  ///< total time VMs spent in flight
+
+  // --- resilience (populated only when CloudConfig::failure is enabled) ---
+  std::size_t failures = 0;     ///< server crashes applied
+  std::size_t vm_restarts = 0;  ///< lost VMs successfully re-placed
+  std::size_t vms_abandoned = 0;  ///< VMs dropped after exhausting retries
+  /// Canonical-solo-time-equivalent seconds of computation destroyed by
+  /// crashes (progress beyond the resume point × runtime_scale × the
+  /// class's class-0 solo time). Checkpointed progress is not lost work.
+  double lost_work_s = 0.0;
+  /// useful / (useful + lost), where useful is the same solo-equivalent
+  /// measure summed over completed VMs. 1.0 in a fail-free run.
+  double goodput_fraction = 1.0;
+  /// Requests placed via an allocator's degradation fallback
+  /// (AllocationPath::kFallbackFirstFit).
+  std::size_t fallback_allocations = 0;
   /// Per-VM lifecycle records; populated only with
   /// CloudConfig::record_completions.
   std::vector<VmCompletion> completions;

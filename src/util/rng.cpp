@@ -143,6 +143,26 @@ double Rng::gamma(double shape, double scale) {
   }
 }
 
+std::uint64_t stream_label(std::string_view name) noexcept {
+  // FNV-1a over the label bytes, then one splitmix64 scramble so short
+  // labels still produce well-mixed 64-bit ids.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return splitmix64(hash);
+}
+
+Rng named_stream(std::uint64_t seed, std::string_view label) noexcept {
+  // xor-fold the label id into the seed through another splitmix64 step;
+  // the non-zero constant keeps named_stream(seed, x) distinct from
+  // Rng(seed) even for labels that hash near zero.
+  std::uint64_t mix =
+      seed ^ rotl(stream_label(label), 31) ^ 0x6a09e667f3bcc909ULL;
+  return Rng(splitmix64(mix));
+}
+
 Rng Rng::fork(std::uint64_t label) noexcept {
   std::uint64_t mix = state_[0] ^ rotl(label, 29) ^ 0xa0761d6478bd642fULL;
   const std::uint64_t child_seed = splitmix64(mix);

@@ -11,12 +11,17 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace aeva::util {
 
 /// One step of the splitmix64 sequence; used for seeding and hashing.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Hashes a stream label into a 64-bit stream id (FNV-1a folded through
+/// splitmix64). Stable across platforms and runs.
+[[nodiscard]] std::uint64_t stream_label(std::string_view name) noexcept;
 
 /// Deterministic random engine + distribution helpers.
 ///
@@ -89,5 +94,14 @@ class Rng {
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };
+
+/// An independent named stream derived from (seed, label): subsystems that
+/// sample lazily (e.g. failure injection) draw from their own stream so
+/// enabling them can never perturb the sequences other consumers of the
+/// same experiment seed observe (trace generation, meter noise, …).
+/// Distinct labels under one seed are decorrelated, as are equal labels
+/// under distinct seeds; `named_stream(seed, x)` never equals `Rng(seed)`.
+[[nodiscard]] Rng named_stream(std::uint64_t seed,
+                               std::string_view label) noexcept;
 
 }  // namespace aeva::util

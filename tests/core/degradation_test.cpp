@@ -1,0 +1,205 @@
+/// The allocator degradation chain (proactive → first-fit → reject with a
+/// reason): every trigger of the chain must surface an AllocationOutcome
+/// callers can assert on — no allocation path may fail silently.
+
+#include <gtest/gtest.h>
+
+#include "core/first_fit.hpp"
+#include "core/power_cap.hpp"
+#include "core/proactive.hpp"
+#include "datacenter/simulator.hpp"
+#include "testing/shared_db.hpp"
+
+namespace aeva::core {
+namespace {
+
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+std::vector<VmRequest> cpu_request(int count, double qos_s = 1e12) {
+  std::vector<VmRequest> vms;
+  for (int i = 0; i < count; ++i) {
+    VmRequest vm;
+    vm.id = i + 1;
+    vm.profile = ProfileClass::kCpu;
+    vm.max_exec_time_s = qos_s;
+    vms.push_back(vm);
+  }
+  return vms;
+}
+
+std::vector<ServerState> empty_servers(int count) {
+  std::vector<ServerState> servers;
+  for (int i = 0; i < count; ++i) {
+    servers.push_back(ServerState{i, ClassCounts{}, false});
+  }
+  return servers;
+}
+
+/// Servers pre-loaded to the measured optimal-scenario ceiling for CPU
+/// VMs: any additional CPU block is infeasible for the proactive model,
+/// while a slot-based first-fit still sees free capacity.
+std::vector<ServerState> cpu_saturated_servers(int count) {
+  const int osc = db().base().cpu.os();
+  std::vector<ServerState> servers;
+  for (int i = 0; i < count; ++i) {
+    ClassCounts full;
+    full.of(ProfileClass::kCpu) = osc;
+    servers.push_back(ServerState{i, full, true});
+  }
+  return servers;
+}
+
+ProactiveAllocator make_allocator(bool degrade,
+                                  std::size_t max_partitions = 200000) {
+  ProactiveConfig config;
+  config.alpha = 0.5;
+  config.degrade_to_first_fit = degrade;
+  config.max_partitions = max_partitions;
+  return ProactiveAllocator(db(), config);
+}
+
+TEST(Degradation, PrimarySuccessReportsPrimaryPath) {
+  const auto result =
+      make_allocator(true).allocate(cpu_request(2), empty_servers(2));
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.outcome.path, AllocationPath::kPrimary);
+  EXPECT_EQ(result.outcome.reason, RejectReason::kNone);
+}
+
+TEST(Degradation, SearchBudgetExhaustionTriggersFallback) {
+  // Budget of one partition, and the one partition examined cannot fit on
+  // the saturated servers: the primary gives up for budget reasons and the
+  // slot-based fallback (which still has free slots) recovers.
+  const auto servers = cpu_saturated_servers(2);
+  const auto rejected =
+      make_allocator(false, 1).allocate(cpu_request(2), servers);
+  EXPECT_FALSE(rejected.complete);
+  EXPECT_EQ(rejected.outcome.path, AllocationPath::kRejected);
+  EXPECT_EQ(rejected.outcome.reason, RejectReason::kSearchBudgetExhausted);
+  EXPECT_EQ(rejected.partitions_examined, 1u);
+
+  const auto degraded =
+      make_allocator(true, 1).allocate(cpu_request(2), servers);
+  ASSERT_TRUE(degraded.complete);
+  EXPECT_EQ(degraded.placements.size(), 2u);
+  EXPECT_EQ(degraded.outcome.path, AllocationPath::kFallbackFirstFit);
+  EXPECT_EQ(degraded.outcome.reason, RejectReason::kSearchBudgetExhausted);
+  EXPECT_FALSE(degraded.satisfied_qos);
+  EXPECT_EQ(degraded.partitions_examined, 1u);
+}
+
+TEST(Degradation, NoFeasibleServerTriggersFallback) {
+  // Full budget this time: the search proves no partition fits inside the
+  // optimal-scenario box, which is a different reason than running out of
+  // budget.
+  const auto servers = cpu_saturated_servers(2);
+  const auto rejected =
+      make_allocator(false).allocate(cpu_request(2), servers);
+  EXPECT_FALSE(rejected.complete);
+  EXPECT_EQ(rejected.outcome.path, AllocationPath::kRejected);
+  EXPECT_EQ(rejected.outcome.reason, RejectReason::kNoFeasibleServer);
+
+  const auto degraded = make_allocator(true).allocate(cpu_request(2), servers);
+  ASSERT_TRUE(degraded.complete);
+  EXPECT_EQ(degraded.outcome.path, AllocationPath::kFallbackFirstFit);
+  EXPECT_EQ(degraded.outcome.reason, RejectReason::kNoFeasibleServer);
+}
+
+TEST(Degradation, AllServersMaskedReportsNoServers) {
+  // A cloud whose every server is masked by failures hands the allocator
+  // an empty list; even the fallback cannot place, so the chain ends at
+  // reject-with-reason.
+  const auto result = make_allocator(true).allocate(cpu_request(1), {});
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.placements.empty());
+  EXPECT_EQ(result.outcome.path, AllocationPath::kRejected);
+  EXPECT_EQ(result.outcome.reason, RejectReason::kNoServers);
+}
+
+TEST(Degradation, QosInfeasibleTriggersFallback) {
+  // A deadline below the solo time cannot be met by any placement: the
+  // primary refuses, the QoS-blind fallback places anyway and says so.
+  const double impossible =
+      0.5 * db().base().of(ProfileClass::kCpu).solo_time_s;
+  const auto rejected = make_allocator(false).allocate(
+      cpu_request(2, impossible), empty_servers(2));
+  EXPECT_FALSE(rejected.complete);
+  EXPECT_EQ(rejected.outcome.path, AllocationPath::kRejected);
+  EXPECT_EQ(rejected.outcome.reason, RejectReason::kQosInfeasible);
+
+  const auto degraded = make_allocator(true).allocate(
+      cpu_request(2, impossible), empty_servers(2));
+  ASSERT_TRUE(degraded.complete);
+  EXPECT_EQ(degraded.outcome.path, AllocationPath::kFallbackFirstFit);
+  EXPECT_EQ(degraded.outcome.reason, RejectReason::kQosInfeasible);
+  EXPECT_FALSE(degraded.satisfied_qos);
+}
+
+TEST(Degradation, FallbackMarkerInName) {
+  EXPECT_EQ(make_allocator(true).name(), "PA-0.5+FF");
+  EXPECT_EQ(make_allocator(false).name(), "PA-0.5");
+}
+
+TEST(Degradation, RejectsBadFallbackConfig) {
+  ProactiveConfig config;
+  config.degrade_to_first_fit = true;
+  config.fallback_multiplex = 0;
+  EXPECT_THROW(ProactiveAllocator(db(), config), std::invalid_argument);
+}
+
+TEST(Degradation, FirstFitRejectsWithReason) {
+  const FirstFitAllocator ff(1);
+  const auto no_servers = ff.allocate(cpu_request(1), {});
+  EXPECT_FALSE(no_servers.complete);
+  EXPECT_EQ(no_servers.outcome.path, AllocationPath::kRejected);
+  EXPECT_EQ(no_servers.outcome.reason, RejectReason::kNoServers);
+
+  // One server already at the FF capacity of 4: nothing fits.
+  ClassCounts full;
+  full.of(ProfileClass::kCpu) = 4;
+  const std::vector<ServerState> servers = {ServerState{0, full, true}};
+  const auto no_room = ff.allocate(cpu_request(1), servers);
+  EXPECT_FALSE(no_room.complete);
+  EXPECT_EQ(no_room.outcome.path, AllocationPath::kRejected);
+  EXPECT_EQ(no_room.outcome.reason, RejectReason::kNoFeasibleServer);
+}
+
+TEST(Degradation, PowerCapGuardReportsGuardRejected) {
+  PowerCapAllocator capped(std::make_unique<FirstFitAllocator>(1), db(),
+                           1.0);  // 1 W: everything is over budget
+  const auto result = capped.allocate(cpu_request(1), empty_servers(1));
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.outcome.path, AllocationPath::kRejected);
+  EXPECT_EQ(result.outcome.reason, RejectReason::kGuardRejected);
+}
+
+TEST(Degradation, SimulatorCountsFallbackAllocations) {
+  // A job whose execution-time QoS bound is below the solo time forces the
+  // proactive leg to refuse every placement; with degradation enabled the
+  // request lands via first-fit and the run counts it.
+  trace::PreparedWorkload workload;
+  trace::JobRequest job;
+  job.id = 1;
+  job.submit_s = 0.0;
+  job.profile = ProfileClass::kCpu;
+  job.vm_count = 1;
+  job.runtime_scale = 1.0;
+  job.deadline_s = 1e12;
+  job.max_exec_stretch = 0.5;  // bound = 0.5 · solo: unsatisfiable
+  workload.jobs.push_back(job);
+  workload.total_vms = 1;
+
+  datacenter::CloudConfig cloud;
+  cloud.server_count = 2;
+  const datacenter::Simulator sim(db(), cloud);
+  const auto strategy = make_allocator(true);
+  const datacenter::SimMetrics m = sim.run(workload, strategy);
+  EXPECT_EQ(m.vms, 1u);
+  EXPECT_EQ(m.fallback_allocations, 1u);
+}
+
+}  // namespace
+}  // namespace aeva::core

@@ -1,0 +1,462 @@
+/// Fault injection & recovery semantics (docs/RESILIENCE.md): scripted and
+/// sampled failures, the three failure modes, the recovery policies, and
+/// the bit-identity guarantee when the subsystem is disabled.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/first_fit.hpp"
+#include "datacenter/failure.hpp"
+#include "datacenter/simulator.hpp"
+#include "testing/shared_db.hpp"
+
+namespace aeva::datacenter {
+namespace {
+
+using trace::JobRequest;
+using trace::PreparedWorkload;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+double solo_s() { return db().base().of(ProfileClass::kCpu).solo_time_s; }
+
+/// Power of a server hosting one solo CPU VM (record mean, floored at the
+/// 125 W powered-on baseline).
+double solo_power_w() {
+  workload::ClassCounts mix;
+  ++mix.of(ProfileClass::kCpu);
+  return std::max(db().estimate(mix).avg_power_w(), 125.0);
+}
+
+PreparedWorkload one_vm(double runtime_scale = 1.0) {
+  PreparedWorkload workload;
+  JobRequest job;
+  job.id = 1;
+  job.submit_s = 0.0;
+  job.profile = ProfileClass::kCpu;
+  job.vm_count = 1;
+  job.runtime_scale = runtime_scale;
+  job.deadline_s = 1e12;
+  workload.jobs.push_back(job);
+  workload.total_vms = 1;
+  return workload;
+}
+
+PreparedWorkload staggered(int jobs_n) {
+  PreparedWorkload workload;
+  for (int i = 0; i < jobs_n; ++i) {
+    JobRequest job;
+    job.id = i + 1;
+    job.submit_s = i * 15.0;
+    job.profile = ProfileClass::kCpu;
+    job.vm_count = 1;
+    job.runtime_scale = (i % 3 == 0) ? 2.0 : 0.7;
+    job.deadline_s = 1e12;
+    workload.jobs.push_back(job);
+    workload.total_vms += 1;
+  }
+  return workload;
+}
+
+CloudConfig cloud_of(int servers) {
+  CloudConfig cloud;
+  cloud.server_count = servers;
+  return cloud;
+}
+
+FailureEvent crash(int server, double at_s, double repair_s) {
+  FailureEvent event;
+  event.kind = FailureKind::kCrash;
+  event.server = server;
+  event.at_s = at_s;
+  event.duration_s = repair_s;
+  return event;
+}
+
+void expect_identical(const SimMetrics& a, const SimMetrics& b) {
+  EXPECT_EQ(a.energy_j, b.energy_j);  // bitwise, not approximate
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.mean_response_s, b.mean_response_s);
+  EXPECT_EQ(a.mean_wait_s, b.mean_wait_s);
+  EXPECT_EQ(a.vms, b.vms);
+  EXPECT_EQ(a.sla_violations, b.sla_violations);
+  EXPECT_EQ(a.servers_powered, b.servers_powered);
+}
+
+TEST(Failure, DisabledConfigIsBitIdentical) {
+  // The resilience layer must be inert when disabled: a config carrying a
+  // script, MTBF, and a recovery policy — but enabled = false — produces
+  // the exact run a default config does (no RNG or accounting perturbation).
+  const core::FirstFitAllocator ff(2);
+  const SimMetrics plain =
+      Simulator(db(), cloud_of(4)).run(staggered(10), ff);
+  CloudConfig loaded = cloud_of(4);
+  loaded.failure.script.push_back(crash(0, 5.0, 100.0));
+  loaded.failure.mtbf_s = 100.0;
+  loaded.failure.recovery.policy = RecoveryPolicy::kCheckpointRestart;
+  const SimMetrics with_config =
+      Simulator(db(), loaded).run(staggered(10), ff);
+  expect_identical(plain, with_config);
+  EXPECT_EQ(with_config.failures, 0u);
+  EXPECT_EQ(with_config.vm_restarts, 0u);
+  EXPECT_DOUBLE_EQ(with_config.lost_work_s, 0.0);
+  EXPECT_DOUBLE_EQ(with_config.goodput_fraction, 1.0);
+}
+
+TEST(Failure, ScriptedCrashLosesHandComputedWork) {
+  // One VM at rate 1/solo crashes a quarter of the way in; under
+  // restart-from-zero the lost work is exactly 0.25 solo-seconds and the
+  // VM re-runs in full on the surviving server.
+  const double T = 0.25 * solo_s();
+  CloudConfig cloud = cloud_of(2);
+  cloud.failure.enabled = true;
+  cloud.failure.script.push_back(crash(0, T, 1e12));  // never repaired
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(one_vm(), ff);
+  EXPECT_EQ(m.failures, 1u);
+  EXPECT_EQ(m.vm_restarts, 1u);
+  EXPECT_EQ(m.vms, 1u);
+  EXPECT_NEAR(m.lost_work_s, 0.25 * solo_s(), 1e-6 * solo_s());
+  EXPECT_NEAR(m.makespan_s, 1.25 * solo_s(), 1e-6 * solo_s());
+  EXPECT_NEAR(m.goodput_fraction, 1.0 / 1.25, 1e-9);
+  // Energy: one server drawing solo power for 0.25·solo, then the
+  // replacement drawing the same for a full solo run.
+  EXPECT_NEAR(m.energy_j, solo_power_w() * 1.25 * solo_s(),
+              1e-6 * solo_power_w() * solo_s());
+}
+
+TEST(Failure, CheckpointRestartResumesFromBoundary) {
+  // Tax 0 keeps the arithmetic exact: checkpoints at 0.1·solo intervals,
+  // crash at 0.25·solo → the VM resumes from 0.2 and loses only 0.05.
+  const double T = 0.25 * solo_s();
+  CloudConfig cloud = cloud_of(2);
+  cloud.failure.enabled = true;
+  cloud.failure.script.push_back(crash(0, T, 1e12));
+  cloud.failure.recovery.policy = RecoveryPolicy::kCheckpointRestart;
+  cloud.failure.recovery.checkpoint_period_s = 0.1 * solo_s();
+  cloud.failure.recovery.checkpoint_tax = 0.0;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(one_vm(), ff);
+  EXPECT_EQ(m.vm_restarts, 1u);
+  EXPECT_NEAR(m.lost_work_s, 0.05 * solo_s(), 1e-6 * solo_s());
+  EXPECT_NEAR(m.makespan_s, (0.25 + 0.8) * solo_s(), 1e-6 * solo_s());
+  EXPECT_NEAR(m.goodput_fraction, 1.0 / 1.05, 1e-9);
+}
+
+TEST(Failure, CheckpointTaxSlowsFailFreeRun) {
+  CloudConfig cloud = cloud_of(1);
+  cloud.failure.enabled = true;
+  cloud.failure.recovery.policy = RecoveryPolicy::kCheckpointRestart;
+  cloud.failure.recovery.checkpoint_tax = 0.10;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(one_vm(), ff);
+  EXPECT_EQ(m.failures, 0u);
+  EXPECT_NEAR(m.makespan_s, solo_s() / 0.9, 1e-6 * solo_s());
+}
+
+TEST(Failure, AbandonAfterRetriesDropsTheVm) {
+  // max_retries = 0: the first loss abandons the VM; nothing completes,
+  // but the simulation terminates and accounts the loss.
+  CloudConfig cloud = cloud_of(1);
+  cloud.failure.enabled = true;
+  cloud.failure.script.push_back(crash(0, 0.5 * solo_s(), 1e12));
+  cloud.failure.recovery.policy = RecoveryPolicy::kAbandonAfterRetries;
+  cloud.failure.recovery.max_retries = 0;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(one_vm(), ff);
+  EXPECT_EQ(m.failures, 1u);
+  EXPECT_EQ(m.vms_abandoned, 1u);
+  EXPECT_EQ(m.vm_restarts, 0u);
+  EXPECT_EQ(m.vms, 0u);
+  EXPECT_NEAR(m.lost_work_s, 0.5 * solo_s(), 1e-6 * solo_s());
+  EXPECT_DOUBLE_EQ(m.goodput_fraction, 0.0);
+}
+
+TEST(Failure, AbandonReleasesWorkflowDependents) {
+  PreparedWorkload workload = one_vm();
+  JobRequest dependent;
+  dependent.id = 2;
+  dependent.submit_s = 1.0;
+  dependent.profile = ProfileClass::kCpu;
+  dependent.vm_count = 1;
+  dependent.runtime_scale = 0.1;
+  dependent.deadline_s = 1e12;
+  dependent.depends_on = 1;
+  workload.jobs.push_back(dependent);
+  workload.total_vms = 2;
+
+  CloudConfig cloud = cloud_of(2);
+  cloud.failure.enabled = true;
+  cloud.failure.script.push_back(crash(0, 0.5 * solo_s(), 1e12));
+  cloud.failure.recovery.policy = RecoveryPolicy::kAbandonAfterRetries;
+  cloud.failure.recovery.max_retries = 0;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(workload, ff);
+  EXPECT_EQ(m.vms_abandoned, 1u);
+  EXPECT_EQ(m.vms, 1u);  // the dependent still ran to completion
+}
+
+TEST(Failure, DegradeWindowSlowsThenRecovers) {
+  // Rate halved over [0, 0.5·solo]: progress 0.25 inside the window, the
+  // remaining 0.75 at full rate → completion at 1.25·solo.
+  CloudConfig cloud = cloud_of(1);
+  cloud.failure.enabled = true;
+  FailureEvent degrade;
+  degrade.kind = FailureKind::kDegrade;
+  degrade.server = 0;
+  degrade.at_s = 0.0;
+  degrade.duration_s = 0.5 * solo_s();
+  degrade.magnitude = 0.5;
+  cloud.failure.script.push_back(degrade);
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(one_vm(), ff);
+  EXPECT_EQ(m.failures, 0u);  // degradation is not a crash
+  EXPECT_EQ(m.vms, 1u);
+  EXPECT_NEAR(m.makespan_s, 1.25 * solo_s(), 1e-6 * solo_s());
+  EXPECT_DOUBLE_EQ(m.goodput_fraction, 1.0);
+}
+
+TEST(Failure, BrownoutCapsPowerProportionally) {
+  // A cap at half the solo draw halves the progress rate; the energy under
+  // the cap integrates to the same total (half power, twice the time).
+  const double cap = 0.5 * solo_power_w();
+  CloudConfig cloud = cloud_of(1);
+  cloud.failure.enabled = true;
+  FailureEvent brownout;
+  brownout.kind = FailureKind::kBrownout;
+  brownout.server = 0;
+  brownout.at_s = 0.0;
+  brownout.duration_s = 1e12;  // covers the whole run
+  brownout.magnitude = cap;
+  cloud.failure.script.push_back(brownout);
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(one_vm(), ff);
+  EXPECT_NEAR(m.makespan_s, 2.0 * solo_s(), 1e-6 * solo_s());
+  EXPECT_NEAR(m.energy_j, cap * m.makespan_s, 1e-6 * cap * solo_s());
+}
+
+TEST(Failure, CrashedServerIsMaskedUntilRepair) {
+  // Server 0 dies before the job arrives; first-fit must route to server 1
+  // even though 0 comes first in the list.
+  CloudConfig cloud = cloud_of(2);
+  cloud.failure.enabled = true;
+  cloud.failure.script.push_back(crash(0, 0.0, 1e12));
+  cloud.record_completions = true;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(one_vm(), ff);
+  ASSERT_EQ(m.completions.size(), 1u);
+  EXPECT_EQ(m.completions.front().server, 1);
+  EXPECT_EQ(m.failures, 1u);
+  EXPECT_EQ(m.vm_restarts, 0u);  // nothing was running when it died
+}
+
+TEST(Failure, SingleServerCloudWaitsOutTheRepair) {
+  // The only server is down when the job arrives: the queue must wait for
+  // the repair instead of deadlocking, and the server returns cold.
+  const double repair = 500.0;
+  CloudConfig cloud = cloud_of(1);
+  cloud.failure.enabled = true;
+  cloud.failure.script.push_back(crash(0, 0.0, repair));
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(one_vm(), ff);
+  EXPECT_EQ(m.vms, 1u);
+  EXPECT_NEAR(m.makespan_s, repair + solo_s(), 1e-6 * solo_s());
+  EXPECT_NEAR(m.mean_wait_s, repair, 1e-6);
+  EXPECT_EQ(m.servers_powered, 1u);
+}
+
+TEST(Failure, RestartCountsAgainstRetryBudget) {
+  // Two crashes with max_retries = 1: the first loss restarts the VM, the
+  // second abandons it.
+  CloudConfig cloud = cloud_of(1);
+  cloud.failure.enabled = true;
+  cloud.failure.script.push_back(crash(0, 0.25 * solo_s(), 1.0));
+  cloud.failure.script.push_back(crash(0, 0.5 * solo_s(), 1.0));
+  cloud.failure.recovery.policy = RecoveryPolicy::kAbandonAfterRetries;
+  cloud.failure.recovery.max_retries = 1;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(one_vm(), ff);
+  EXPECT_EQ(m.failures, 2u);
+  EXPECT_EQ(m.vm_restarts, 1u);
+  EXPECT_EQ(m.vms_abandoned, 1u);
+  EXPECT_EQ(m.vms, 0u);
+}
+
+TEST(Failure, SampledCrashesAreReproducible) {
+  CloudConfig cloud = cloud_of(4);
+  cloud.failure.enabled = true;
+  cloud.failure.mtbf_s = 2000.0;
+  cloud.failure.mttr_s = 300.0;
+  const core::FirstFitAllocator ff(2);
+  const Simulator sim(db(), cloud);
+  const SimMetrics a = sim.run(staggered(12), ff);
+  const SimMetrics b = sim.run(staggered(12), ff);
+  expect_identical(a, b);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.vm_restarts, b.vm_restarts);
+  EXPECT_EQ(a.lost_work_s, b.lost_work_s);
+  EXPECT_GT(a.failures, 0u);
+}
+
+TEST(Failure, SampledCrashesFollowTheFailureSeed) {
+  CloudConfig cloud = cloud_of(4);
+  cloud.failure.enabled = true;
+  cloud.failure.mtbf_s = 2000.0;
+  cloud.failure.mttr_s = 300.0;
+  const core::FirstFitAllocator ff(2);
+  const SimMetrics a = Simulator(db(), cloud).run(staggered(12), ff);
+  cloud.failure.seed = 7;
+  const SimMetrics b = Simulator(db(), cloud).run(staggered(12), ff);
+  EXPECT_TRUE(a.failures != b.failures || a.lost_work_s != b.lost_work_s ||
+              a.makespan_s != b.makespan_s)
+      << "different failure seeds should yield different fault histories";
+}
+
+TEST(Failure, MidTransferCrashOfDestinationAbortsCleanly) {
+  // Satellite regression: a migration in flight toward a server that dies
+  // mid-copy must abort cleanly — the VM stays whole on its source, the
+  // reservation is dropped, and nothing is double-accounted. With crashes
+  // scripted onto every server in turn (transfers slowed to hours), any
+  // mis-accounting shows up as a lost VM, a stuck queue, or an invariant
+  // failure.
+  for (int victim = 0; victim < 8; ++victim) {
+    PreparedWorkload workload;
+    for (int i = 0; i < 12; ++i) {
+      JobRequest job;
+      job.id = i + 1;
+      job.submit_s = i * 10.0;
+      job.profile = ProfileClass::kCpu;
+      job.vm_count = 1;
+      job.runtime_scale = (i % 4 == 0) ? 3.0 : 0.5;
+      job.deadline_s = 1e12;
+      workload.jobs.push_back(job);
+      workload.total_vms += 1;
+    }
+    CloudConfig cloud = cloud_of(8);
+    cloud.migration.enabled = true;
+    cloud.migration.check_interval_s = 300.0;
+    cloud.migration.transfer_mbps = 0.01;  // transfers outlive the run
+    cloud.failure.enabled = true;
+    cloud.failure.script.push_back(crash(victim, 350.0, 1e12));
+    const core::FirstFitAllocator ff(1);
+    const SimMetrics m = Simulator(db(), cloud).run(workload, ff);
+    EXPECT_EQ(m.vms + m.vms_abandoned, 12u) << "victim server " << victim;
+    EXPECT_EQ(m.vms_abandoned, 0u) << "victim server " << victim;
+    EXPECT_GE(m.goodput_fraction, 0.0);
+    EXPECT_LE(m.goodput_fraction, 1.0);
+  }
+}
+
+TEST(Failure, RejectsInvalidConfigs) {
+  const core::FirstFitAllocator ff(1);
+  CloudConfig bad = cloud_of(2);
+  bad.failure.enabled = true;
+  bad.failure.script.push_back(crash(5, 0.0, 1.0));  // server out of range
+  EXPECT_THROW((void)Simulator(db(), bad).run(one_vm(), ff),
+               std::invalid_argument);
+
+  bad = cloud_of(2);
+  bad.failure.enabled = true;
+  FailureEvent degrade;
+  degrade.kind = FailureKind::kDegrade;
+  degrade.magnitude = 0.0;  // multiplier out of (0, 1]
+  bad.failure.script.push_back(degrade);
+  EXPECT_THROW((void)Simulator(db(), bad).run(one_vm(), ff),
+               std::invalid_argument);
+
+  bad = cloud_of(2);
+  bad.failure.enabled = true;
+  bad.failure.mtbf_s = 100.0;
+  bad.failure.mttr_s = 0.0;  // sampling needs a positive MTTR
+  EXPECT_THROW((void)Simulator(db(), bad).run(one_vm(), ff),
+               std::invalid_argument);
+
+  bad = cloud_of(2);
+  bad.failure.enabled = true;
+  bad.failure.recovery.checkpoint_tax = 1.0;  // out of [0, 1)
+  EXPECT_THROW((void)Simulator(db(), bad).run(one_vm(), ff),
+               std::invalid_argument);
+
+  bad = cloud_of(2);
+  bad.failure.enabled = true;
+  bad.failure.recovery.max_retries = -1;
+  EXPECT_THROW((void)Simulator(db(), bad).run(one_vm(), ff),
+               std::invalid_argument);
+}
+
+TEST(FailureSchedule, MergesScriptInTimeOrder) {
+  FailureConfig config;
+  config.enabled = true;
+  config.script.push_back(crash(1, 100.0, 5.0));
+  config.script.push_back(crash(0, 50.0, 5.0));
+  FailureSchedule schedule(config, 2, 0.0);
+  EXPECT_DOUBLE_EQ(schedule.next_time(), 50.0);
+  const auto first = schedule.pop_due(50.0);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first.front().server, 0);
+  EXPECT_DOUBLE_EQ(schedule.next_time(), 100.0);
+}
+
+TEST(FailureSchedule, DisabledConfigHasNoEvents) {
+  FailureConfig config;
+  config.script.push_back(crash(0, 1.0, 1.0));
+  config.mtbf_s = 10.0;
+  FailureSchedule schedule(config, 4, 0.0);
+  EXPECT_TRUE(std::isinf(schedule.next_time()));
+  EXPECT_TRUE(schedule.pop_due(1e18).empty());
+}
+
+TEST(FailureScript, RoundTripsThroughText) {
+  std::vector<FailureEvent> events;
+  events.push_back(crash(3, 120.5, 900.0));
+  FailureEvent degrade;
+  degrade.kind = FailureKind::kDegrade;
+  degrade.server = 1;
+  degrade.at_s = 10.0;
+  degrade.duration_s = 60.0;
+  degrade.magnitude = 0.25;
+  events.push_back(degrade);
+  FailureEvent brownout;
+  brownout.kind = FailureKind::kBrownout;
+  brownout.server = 0;
+  brownout.at_s = 30.0;
+  brownout.duration_s = 300.0;
+  brownout.magnitude = 140.0;
+  events.push_back(brownout);
+
+  std::ostringstream out;
+  write_failure_script(out, events);
+  const std::vector<FailureEvent> parsed = parse_failure_script(out.str());
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i].kind, events[i].kind);
+    EXPECT_EQ(parsed[i].server, events[i].server);
+    EXPECT_DOUBLE_EQ(parsed[i].at_s, events[i].at_s);
+    EXPECT_DOUBLE_EQ(parsed[i].duration_s, events[i].duration_s);
+  }
+}
+
+TEST(FailureScript, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_failure_script("explode 0 1 2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_failure_script("crash 0 1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_failure_script("crash zero 1 2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_failure_script("crash 0 -1 2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_failure_script("degrade 0 1 2 1.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_failure_script("brownout 0 1 2 -5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_failure_script("crash 0 1 nan"),
+               std::invalid_argument);
+  // Comments and blank lines are fine.
+  EXPECT_TRUE(parse_failure_script("# comment\n; other\n\n").empty());
+}
+
+}  // namespace
+}  // namespace aeva::datacenter

@@ -7,10 +7,15 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "core/first_fit.hpp"
+#include "datacenter/failure.hpp"
+#include "datacenter/simulator.hpp"
 #include "modeldb/database.hpp"
 #include "testing/shared_db.hpp"
 #include "trace/swf.hpp"
+#include "workload/profile.hpp"
 
 namespace aeva {
 namespace {
@@ -122,6 +127,89 @@ TEST_F(FailureInjection, SwfCommentsOnlyYieldsEmptyTrace) {
   const trace::SwfTrace trace = trace::read_swf_file(path);
   EXPECT_TRUE(trace.jobs.empty());
   EXPECT_EQ(trace.comments.size(), 2u);
+}
+
+TEST_F(FailureInjection, FailureScriptFileDrivesEndToEndRecovery) {
+  // The whole file-driven chain: write a scripted crash to disk, load it
+  // through read_failure_script_file, run a one-VM cloud, and check the
+  // lost work against hand arithmetic. One CPU VM alone on a server runs
+  // at rate 1/solo; a crash at 0.25·solo under restart-from-zero destroys
+  // exactly 0.25·solo of work and stretches the makespan to 1.25·solo.
+  const modeldb::ModelDatabase& db = testing::shared_db();
+  const double solo =
+      db.base().of(workload::ProfileClass::kCpu).solo_time_s;
+
+  std::ostringstream script;
+  script << "# one scripted crash\ncrash 0 " << 0.25 * solo << " 1.0\n";
+  const std::string path = file("fi_failures.txt", script.str());
+
+  datacenter::CloudConfig cloud;
+  cloud.server_count = 2;
+  cloud.failure.enabled = true;
+  cloud.failure.script = datacenter::read_failure_script_file(path);
+
+  trace::PreparedWorkload workload;
+  trace::JobRequest job;
+  job.id = 1;
+  job.profile = workload::ProfileClass::kCpu;
+  job.vm_count = 1;
+  job.deadline_s = 1e12;
+  workload.jobs.push_back(job);
+  workload.total_vms = 1;
+
+  const datacenter::Simulator sim(db, cloud);
+  const datacenter::SimMetrics m =
+      sim.run(workload, core::FirstFitAllocator(1));
+  EXPECT_EQ(m.failures, 1u);
+  EXPECT_EQ(m.vm_restarts, 1u);
+  EXPECT_NEAR(m.makespan_s, 1.25 * solo, 1e-6 * solo);
+  EXPECT_NEAR(m.lost_work_s, 0.25 * solo, 1e-6 * solo);
+  EXPECT_NEAR(m.goodput_fraction, 1.0 / 1.25, 1e-9);
+}
+
+TEST_F(FailureInjection, CheckpointRestartRecoversFromTheLastBoundary) {
+  // Same crash, checkpoint-restart with a zero tax and a 0.1·solo period:
+  // the VM resumes from the 0.2·solo boundary, so only 0.05·solo is lost
+  // and the makespan is 1.05·solo.
+  const modeldb::ModelDatabase& db = testing::shared_db();
+  const double solo =
+      db.base().of(workload::ProfileClass::kCpu).solo_time_s;
+
+  datacenter::CloudConfig cloud;
+  cloud.server_count = 2;
+  cloud.failure.enabled = true;
+  cloud.failure.script = {datacenter::FailureEvent{
+      datacenter::FailureKind::kCrash, 0, 0.25 * solo, 1.0, 1.0}};
+  cloud.failure.recovery.policy =
+      datacenter::RecoveryPolicy::kCheckpointRestart;
+  cloud.failure.recovery.checkpoint_period_s = 0.1 * solo;
+  cloud.failure.recovery.checkpoint_tax = 0.0;
+
+  trace::PreparedWorkload workload;
+  trace::JobRequest job;
+  job.id = 1;
+  job.profile = workload::ProfileClass::kCpu;
+  job.vm_count = 1;
+  job.deadline_s = 1e12;
+  workload.jobs.push_back(job);
+  workload.total_vms = 1;
+
+  const datacenter::Simulator sim(db, cloud);
+  const datacenter::SimMetrics m =
+      sim.run(workload, core::FirstFitAllocator(1));
+  EXPECT_EQ(m.vm_restarts, 1u);
+  EXPECT_NEAR(m.makespan_s, 1.05 * solo, 1e-6 * solo);
+  EXPECT_NEAR(m.lost_work_s, 0.05 * solo, 1e-6 * solo);
+  EXPECT_NEAR(m.goodput_fraction, 1.0 / 1.05, 1e-9);
+}
+
+TEST_F(FailureInjection, MalformedFailureScriptRejected) {
+  const std::string bad = file("fi_failures_bad.txt", "crash 0 nope 5\n");
+  EXPECT_THROW((void)datacenter::read_failure_script_file(bad),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)datacenter::read_failure_script_file("/nope/failures.txt"),
+      std::runtime_error);
 }
 
 TEST_F(FailureInjection, RoundTripSurvivesReload) {

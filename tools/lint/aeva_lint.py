@@ -11,12 +11,17 @@ Rules (all scoped to first-party code under src/, see --paths):
                        checks and drivers can report which experiment died.
 
   nondeterministic-random
-                       No `std::rand`, `srand`, `std::random_device`,
-                       `mt19937`, `default_random_engine`, or
+                       No `std::rand`/`rand()`, `srand`,
+                       `std::random_device`, `mt19937` (seeded or not),
+                       `minstd_rand`, `ranlux*`, `knuth_b`,
+                       `default_random_engine`, `std::random_shuffle`, or
                        `#include <random>` outside src/util/rng.*.
                        Trace-driven simulations must be bit-reproducible
                        from explicit seeds (CONTRIBUTING.md); stdlib
-                       distributions differ across implementations.
+                       distributions differ across implementations, and
+                       stochastic subsystems (e.g. failure sampling) must
+                       draw from dedicated util::Rng named streams so they
+                       cannot perturb each other.
 
   stray-io             No stream/console writes (`std::cout`, `std::cerr`,
                        `std::clog`, `printf`, `fprintf`, `puts`) outside
@@ -76,11 +81,14 @@ PATTERN_RULES = [
     (
         "nondeterministic-random",
         re.compile(
-            r"std::rand\b|(?<![\w:])srand\s*\(|random_device\b"
-            r"|mt19937|default_random_engine|#\s*include\s*<random>"
+            r"std::rand\b|(?<![\w:])s?rand\s*\(|random_device\b"
+            r"|mt19937|minstd_rand|ranlux\d+|knuth_b"
+            r"|default_random_engine|random_shuffle"
+            r"|#\s*include\s*<random>"
         ),
         "all randomness must flow from util::Rng with an explicit seed "
-        "(deterministic trace-driven simulation)",
+        "(deterministic trace-driven simulation; stochastic failure "
+        "sampling uses util::named_stream)",
     ),
     (
         "stray-io",
