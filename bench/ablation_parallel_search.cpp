@@ -1,0 +1,246 @@
+/// Ablation: parallel memoized allocation search (docs/PERFORMANCE.md).
+///
+/// Sweeps the ProactiveConfig search-execution knobs — worker threads
+/// (1/2/4/8), the sharded estimate memo cache (on/off), and
+/// branch-and-bound pruning — over two workloads:
+///
+///   * `burst`: the paper's request shape, 5 jobs x 4 mixed-profile VMs
+///     allocated back-to-back on a rolling 12-server cluster, repeated
+///     for a number of rounds (the memo cache persists across calls, as
+///     it does inside the simulator);
+///   * `large`: one 12-VM mixed request (~6k typed partitions), where
+///     pruning carries the win.
+///
+/// Every variant is checked bit-identically against the `force_serial`
+/// reference (placements, exact score doubles, partitions examined); any
+/// divergence fails the binary. One `BENCH_JSON {...}` line per variant
+/// reports wall time, speedup over the reference, and memo-cache stats.
+///
+/// Note: speedups reported on single-core machines come from the memo
+/// cache and pruning alone; thread fan-out needs real cores.
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness_common.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace aeva;
+
+struct Variant {
+  std::string name;
+  bool force_serial = false;
+  int threads = 1;
+  bool cache = true;
+  bool prune = true;
+};
+
+struct Workload {
+  std::string name;
+  std::vector<std::vector<core::VmRequest>> jobs;
+  std::vector<core::ServerState> servers;
+  int rounds = 1;
+};
+
+// One allocation decision per job on a rolling cluster: committed
+// placements load the chosen servers for the jobs that follow, exactly as
+// the simulator's admission loop does.
+struct RunOutput {
+  std::vector<core::AllocationResult> results;
+  double wall_ms = 0.0;
+  modeldb::EstimateCache::Stats memo;
+};
+
+workload::ProfileClass profile_of(const std::vector<core::VmRequest>& job,
+                                  std::int64_t vm_id) {
+  for (const core::VmRequest& vm : job) {
+    if (vm.id == vm_id) {
+      return vm.profile;
+    }
+  }
+  std::cerr << "FAIL: placement names unknown vm " << vm_id << "\n";
+  std::exit(1);
+}
+
+RunOutput run_variant(const modeldb::ModelDatabase& db, const Variant& v,
+                      const Workload& w) {
+  core::ProactiveConfig config;
+  config.alpha = 0.5;
+  config.force_serial = v.force_serial;
+  config.search_threads = v.threads;
+  config.memoize_estimates = v.cache;
+  config.prune_search = v.prune;
+  const core::ProactiveAllocator allocator(db, config);
+
+  RunOutput out;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < w.rounds; ++round) {
+    std::vector<core::ServerState> servers = w.servers;
+    for (const std::vector<core::VmRequest>& job : w.jobs) {
+      core::AllocationResult result = allocator.allocate(job, servers);
+      for (const core::Placement& p : result.placements) {
+        core::ServerState& server =
+            servers[static_cast<std::size_t>(p.server_id)];
+        ++server.allocated.of(profile_of(job, p.vm_id));
+        server.powered = true;
+      }
+      if (round == 0) {
+        out.results.push_back(std::move(result));
+      }
+    }
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  out.memo = allocator.memo_stats();
+  return out;
+}
+
+bool identical(const core::AllocationResult& a,
+               const core::AllocationResult& b) {
+  if (a.complete != b.complete ||
+      a.partitions_examined != b.partitions_examined ||
+      a.placements.size() != b.placements.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    if (a.placements[i].vm_id != b.placements[i].vm_id ||
+        a.placements[i].server_id != b.placements[i].server_id) {
+      return false;
+    }
+  }
+  // Bit-exact score doubles: the determinism contract, not a tolerance.
+  return a.score.combined == b.score.combined &&
+         a.score.est_time_s == b.score.est_time_s &&
+         a.score.est_energy_j == b.score.est_energy_j;
+}
+
+Workload burst_workload(int rounds) {
+  Workload w;
+  w.name = "burst";
+  w.rounds = rounds;
+  std::int64_t id = 1;
+  constexpr workload::ProfileClass kShape[4] = {
+      workload::ProfileClass::kCpu, workload::ProfileClass::kMem,
+      workload::ProfileClass::kIo, workload::ProfileClass::kCpu};
+  for (int job = 0; job < 5; ++job) {
+    std::vector<core::VmRequest> vms;
+    for (const workload::ProfileClass profile : kShape) {
+      vms.push_back(core::VmRequest{id++, profile, 1e12});
+    }
+    w.jobs.push_back(std::move(vms));
+  }
+  for (int s = 0; s < 12; ++s) {
+    core::ServerState server;
+    server.id = s;
+    if (s % 3 == 0) {
+      server.allocated = workload::ClassCounts{1, 1, 0};
+      server.powered = true;
+    }
+    w.servers.push_back(server);
+  }
+  return w;
+}
+
+Workload large_workload(int rounds) {
+  Workload w;
+  w.name = "large";
+  w.rounds = rounds;
+  std::vector<core::VmRequest> vms;
+  std::int64_t id = 100;
+  for (int i = 0; i < 4; ++i) {
+    vms.push_back(core::VmRequest{id++, workload::ProfileClass::kCpu, 1e12});
+    vms.push_back(core::VmRequest{id++, workload::ProfileClass::kMem, 1e12});
+    vms.push_back(core::VmRequest{id++, workload::ProfileClass::kIo, 1e12});
+  }
+  w.jobs.push_back(std::move(vms));
+  for (int s = 0; s < 12; ++s) {
+    core::ServerState server;
+    server.id = s;
+    if (s % 4 == 0) {
+      server.allocated = workload::ClassCounts{1, 2, 1};
+      server.powered = true;
+    }
+    w.servers.push_back(server);
+  }
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const bool quick = args.has("quick");
+  const int burst_rounds =
+      static_cast<int>(args.get_int("rounds", quick ? 5 : 60));
+  const int large_rounds = quick ? 1 : 3;
+
+  const modeldb::ModelDatabase& db = bench::shared_database();
+
+  const std::vector<Variant> variants = {
+      {"serial_ref", true, 1, false, false},
+      {"t1_nocache", false, 1, false, true},
+      {"t1_cache", false, 1, true, true},
+      {"t2_cache", false, 2, true, true},
+      {"t4_cache", false, 4, true, true},
+      {"t8_cache", false, 8, true, true},
+      {"t4_nocache", false, 4, false, true},
+      {"t4_noprune", false, 4, true, false},
+  };
+
+  std::cout << "== Ablation: parallel memoized allocation search ==\n\n";
+
+  bool all_identical = true;
+  for (const Workload& w :
+       {burst_workload(burst_rounds), large_workload(large_rounds)}) {
+    std::cout << "-- workload " << w.name << " (" << w.jobs.size()
+              << " jobs, " << w.rounds << " rounds) --\n";
+    const RunOutput reference = run_variant(db, variants.front(), w);
+
+    util::TablePrinter table({"variant", "threads", "cache", "prune",
+                              "wall(ms)", "speedup", "identical"});
+    for (const Variant& v : variants) {
+      const RunOutput run = run_variant(db, v, w);
+      bool same = run.results.size() == reference.results.size();
+      for (std::size_t i = 0; same && i < run.results.size(); ++i) {
+        same = identical(run.results[i], reference.results[i]);
+      }
+      all_identical = all_identical && same;
+
+      const double speedup =
+          run.wall_ms > 0.0 ? reference.wall_ms / run.wall_ms : 0.0;
+      table.add_row({v.name, std::to_string(v.threads),
+                     v.cache ? "on" : "off", v.prune ? "on" : "off",
+                     util::format_fixed(run.wall_ms, 2),
+                     util::format_fixed(speedup, 2), same ? "yes" : "NO"});
+      std::cout << "BENCH_JSON {\"bench\":\"ablation_parallel_search\""
+                << ",\"workload\":\"" << w.name << "\",\"variant\":\""
+                << v.name << "\",\"threads\":" << v.threads
+                << ",\"cache\":" << (v.cache ? 1 : 0)
+                << ",\"prune\":" << (v.prune ? 1 : 0)
+                << ",\"rounds\":" << w.rounds << ",\"wall_ms\":"
+                << util::format_fixed(run.wall_ms, 3) << ",\"speedup\":"
+                << util::format_fixed(speedup, 3) << ",\"identical\":"
+                << (same ? 1 : 0) << ",\"memo_hits\":" << run.memo.hits
+                << ",\"memo_misses\":" << run.memo.misses
+                << ",\"memo_evictions\":" << run.memo.evictions << "}\n";
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  if (!all_identical) {
+    std::cerr << "FAIL: an optimized variant diverged from the serial "
+                 "reference\n";
+    return 1;
+  }
+  std::cout << "all variants bit-identical to the serial reference\n";
+  return 0;
+}

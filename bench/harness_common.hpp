@@ -5,8 +5,10 @@
 /// model database (the campaign is deterministic, so all harnesses agree),
 /// the standard strategy roster, and the standard workload pipeline.
 
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/first_fit.hpp"
@@ -21,6 +23,33 @@
 #include "util/rng.hpp"
 
 namespace aeva::bench {
+
+/// Directory where the model-CSV artifacts are written and read back
+/// (`model_db.csv`, `quickstart_model.csv` and their `_aux` siblings —
+/// reference copies are checked in at the repo root). Defaults to the
+/// working directory; override with the `AEVA_MODEL_CSV_DIR` environment
+/// variable to redirect every harness at once (README quickstart).
+inline std::string model_csv_dir() {
+  const char* dir = std::getenv("AEVA_MODEL_CSV_DIR");
+  return (dir != nullptr && *dir != '\0') ? std::string(dir)
+                                          : std::string(".");
+}
+
+/// `model_csv_dir()`-qualified path of one CSV artifact.
+inline std::string model_csv_path(std::string_view filename) {
+  return model_csv_dir() + "/" + std::string(filename);
+}
+
+inline std::string model_db_csv() { return model_csv_path("model_db.csv"); }
+inline std::string model_db_aux_csv() {
+  return model_csv_path("model_db_aux.csv");
+}
+inline std::string quickstart_model_csv() {
+  return model_csv_path("quickstart_model.csv");
+}
+inline std::string quickstart_model_aux_csv() {
+  return model_csv_path("quickstart_model_aux.csv");
+}
 
 /// Builds (once) the model database from the default campaign.
 inline const modeldb::ModelDatabase& shared_database() {

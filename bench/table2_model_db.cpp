@@ -43,12 +43,15 @@ int main() {
   }
   aux.print(std::cout);
 
-  // Round-trip through the CSV persistence layer.
-  db.save("model_db.csv", "model_db_aux.csv");
+  // Round-trip through the CSV persistence layer (paths honour
+  // AEVA_MODEL_CSV_DIR — see bench/harness_common.hpp).
+  db.save(bench::model_db_csv(), bench::model_db_aux_csv());
   const modeldb::ModelDatabase loaded =
-      modeldb::ModelDatabase::load("model_db.csv", "model_db_aux.csv");
-  std::cout << "\nCSV round-trip: wrote model_db.csv / model_db_aux.csv, "
-            << "reloaded " << loaded.size() << " records\n";
+      modeldb::ModelDatabase::load(bench::model_db_csv(),
+                                   bench::model_db_aux_csv());
+  std::cout << "\nCSV round-trip: wrote " << bench::model_db_csv() << " / "
+            << bench::model_db_aux_csv() << ", reloaded " << loaded.size()
+            << " records\n";
 
   // Lookup micro-measurement.
   const auto t0 = std::chrono::steady_clock::now();

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench/harness_common.hpp"
 #include "core/first_fit.hpp"
 #include "core/proactive.hpp"
 #include "modeldb/campaign.hpp"
@@ -27,9 +28,12 @@ int main() {
             << db.base().mem.os() << "/" << db.base().io.os() << "\n";
 
   // --- 2. persist and reload ----------------------------------------------
-  db.save("quickstart_model.csv", "quickstart_model_aux.csv");
+  // Canonical artifact paths live in bench/harness_common.hpp; setting
+  // AEVA_MODEL_CSV_DIR redirects them (reference copies are checked in at
+  // the repo root).
+  db.save(bench::quickstart_model_csv(), bench::quickstart_model_aux_csv());
   const modeldb::ModelDatabase reloaded = modeldb::ModelDatabase::load(
-      "quickstart_model.csv", "quickstart_model_aux.csv");
+      bench::quickstart_model_csv(), bench::quickstart_model_aux_csv());
   std::cout << "reloaded from CSV: " << reloaded.size() << " records\n\n";
 
   // --- 3. allocate a request under different goals -------------------------

@@ -14,6 +14,13 @@ CostModel::CostModel(const modeldb::ModelDatabase& db, int server_vm_cap,
   AEVA_REQUIRE(idle_power_w >= 0.0, "negative idle power");
 }
 
+void CostModel::set_estimate_cache(
+    std::shared_ptr<const modeldb::EstimateCache> memo) {
+  AEVA_REQUIRE(memo == nullptr || &memo->db() == db_,
+               "memo cache wraps a different database");
+  memo_ = std::move(memo);
+}
+
 bool CostModel::feasible(ClassCounts mix) const noexcept {
   if (mix.cpu < 0 || mix.mem < 0 || mix.io < 0) {
     return false;
@@ -38,21 +45,21 @@ bool CostModel::feasible(ClassCounts mix) const noexcept {
 double CostModel::vm_time_s(ProfileClass profile, ClassCounts mix) const {
   AEVA_REQUIRE(mix.of(profile) > 0, "mix contains no VM of class ",
                workload::to_string(profile));
-  return db_->estimate(mix).time_of(profile);
+  return estimate(mix).time_of(profile);
 }
 
 double CostModel::mix_energy_j(ClassCounts mix) const {
   if (mix.total() == 0) {
     return 0.0;
   }
-  return db_->estimate(mix).energy_j;
+  return estimate(mix).energy_j;
 }
 
 double CostModel::dynamic_energy_j(ClassCounts mix) const {
   if (mix.total() == 0) {
     return 0.0;
   }
-  const modeldb::Record rec = db_->estimate(mix);
+  const modeldb::Record rec = estimate(mix);
   // Never negative: measured mixes always draw at least the baseline.
   const double dynamic = rec.energy_j - idle_power_w_ * rec.time_s;
   return dynamic > 0.0 ? dynamic : 0.0;
@@ -65,7 +72,7 @@ double CostModel::solo_time_s(ProfileClass profile) const {
 double CostModel::solo_energy_j(ProfileClass profile) const {
   ClassCounts solo;
   solo.of(profile) = 1;
-  return db_->estimate(solo).energy_j;
+  return estimate(solo).energy_j;
 }
 
 double CostModel::solo_dynamic_energy_j(ProfileClass profile) const {

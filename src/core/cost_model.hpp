@@ -5,10 +5,12 @@
 /// per-server mix, estimated per-VM execution times, marginal energy, and
 /// the normalization references used by the α-weighted rank.
 
+#include <memory>
 #include <vector>
 
 #include "core/types.hpp"
 #include "modeldb/database.hpp"
+#include "modeldb/estimate_cache.hpp"
 #include "workload/profile.hpp"
 
 namespace aeva::core {
@@ -31,10 +33,16 @@ class CostModel {
   [[nodiscard]] bool feasible(workload::ClassCounts mix) const noexcept;
 
   /// Estimated outcome of running `mix` on one server (paper lookup
-  /// semantics — exact or proportional).
+  /// semantics — exact or proportional). Routed through the memo cache
+  /// when one is attached; results are bit-identical either way.
   [[nodiscard]] modeldb::Record estimate(workload::ClassCounts mix) const {
-    return db_->estimate(mix);
+    return memo_ != nullptr ? memo_->estimate(mix) : db_->estimate(mix);
   }
+
+  /// Attaches a shared memo cache (must wrap the same database; thread-
+  /// safe, so one cache may serve many models and search workers). Pass
+  /// nullptr to detach.
+  void set_estimate_cache(std::shared_ptr<const modeldb::EstimateCache> memo);
 
   /// Estimated execution time of one VM of `profile` inside `mix`.
   [[nodiscard]] double vm_time_s(workload::ProfileClass profile,
@@ -78,6 +86,7 @@ class CostModel {
   const modeldb::ModelDatabase* db_;
   int cap_;
   double idle_power_w_;
+  std::shared_ptr<const modeldb::EstimateCache> memo_;
 };
 
 }  // namespace aeva::core

@@ -1,16 +1,41 @@
 #include "core/proactive.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
 #include <optional>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
 
 #include "partition/typed_partition.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace aeva::core {
 
 using workload::ClassCounts;
 using workload::ProfileClass;
+
+/// Lazily-created worker pool shared by const allocate() calls. Lives
+/// behind a shared_ptr so allocator copies share one pool and the
+/// allocator type stays movable.
+struct ProactiveAllocator::SearchRuntime {
+  std::mutex mutex;
+  std::unique_ptr<util::ThreadPool> pool;
+
+  util::ThreadPool& ensure_pool(std::size_t workers) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (pool == nullptr) {
+      pool = std::make_unique<util::ThreadPool>(workers);
+    }
+    return *pool;
+  }
+};
 
 ProactiveAllocator::ProactiveAllocator(const modeldb::ModelDatabase& db,
                                        ProactiveConfig config)
@@ -19,15 +44,24 @@ ProactiveAllocator::ProactiveAllocator(const modeldb::ModelDatabase& db,
 
 ProactiveAllocator::ProactiveAllocator(
     std::vector<const modeldb::ModelDatabase*> dbs, ProactiveConfig config)
-    : config_(config) {
+    : config_(config), runtime_(std::make_shared<SearchRuntime>()) {
   AEVA_REQUIRE(config_.alpha >= 0.0 && config_.alpha <= 1.0,
                "alpha must be in [0, 1], got ", config_.alpha);
   AEVA_REQUIRE(config_.max_partitions >= 1, "partition budget must be >= 1");
+  AEVA_REQUIRE(config_.search_threads >= 0,
+               "search_threads must be >= 0 (0 = hardware), got ",
+               config_.search_threads);
+  AEVA_REQUIRE(config_.search_chunk >= 1, "search chunk must be >= 1");
   AEVA_REQUIRE(!dbs.empty(), "need at least one model database");
   models_.reserve(dbs.size());
   for (const modeldb::ModelDatabase* db : dbs) {
     AEVA_REQUIRE(db != nullptr, "null model database");
     models_.emplace_back(*db, config.server_vm_cap);
+    if (config_.memoize_estimates && !config_.force_serial) {
+      auto memo = std::make_shared<modeldb::EstimateCache>(*db);
+      models_.back().set_estimate_cache(memo);
+      memos_.push_back(std::move(memo));
+    }
   }
   if (config_.degrade_to_first_fit) {
     AEVA_REQUIRE(config_.fallback_multiplex >= 1,
@@ -47,7 +81,21 @@ const CostModel& ProactiveAllocator::cost_model(int hardware) const {
   return models_[static_cast<std::size_t>(hardware)];
 }
 
+modeldb::EstimateCache::Stats ProactiveAllocator::memo_stats() const {
+  modeldb::EstimateCache::Stats total;
+  for (const auto& memo : memos_) {
+    const modeldb::EstimateCache::Stats s = memo->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.entries += s.entries;
+  }
+  return total;
+}
+
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// One placed block with its estimation context.
 struct PlacedBlock {
@@ -66,6 +114,552 @@ struct Candidate {
   bool qos_ok = true;
 };
 
+/// Scalar outcome of one evaluation; the placement detail stays in the
+/// scratch buffer and is copied out only when the candidate improves on
+/// the incumbent — most candidates never allocate.
+struct EvalOutcome {
+  double est_time_s = 0.0;
+  double est_energy_j = 0.0;
+  double combined = 0.0;
+  bool qos_ok = true;
+};
+
+/// Per-worker reusable buffers: one instance per serial loop or pool
+/// chunk, so candidate evaluation performs no steady-state heap work.
+struct EvalScratch {
+  std::vector<char> used;
+  std::vector<PlacedBlock> blocks;
+  std::vector<double> times;  ///< QoS sort buffer
+};
+
+/// Lock-free running minimum (monotonically decreasing, so a stale read is
+/// always an over-estimate — pruning against it stays sound).
+void atomic_fetch_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Read-only evaluation context of one allocate() call, shared by every
+/// search worker.
+struct SearchContext {
+  const ProactiveConfig& config;
+  const std::vector<CostModel>& models;
+  const std::vector<ServerState>& servers;
+  std::vector<ClassCounts> base_alloc;
+  std::vector<double> base_energy;
+  /// Deadlines per class, tightest first, used by the QoS check.
+  std::vector<double> deadlines[workload::kProfileClassCount];
+  double n_vms = 0.0;
+  double time_ref = 0.0;
+  double energy_ref = 0.0;
+  /// Branch-and-bound is armed only when the per-block partial sum is a
+  /// sound lower bound of the final rank (docs/PERFORMANCE.md): the
+  /// α-weighted goal's rank is a sum of per-block terms whose time part is
+  /// always ≥ 0 and whose energy part is ≥ 0 exactly when every database
+  /// is energy-monotone. The EDP goal is a product of totals — not
+  /// separable — so it never prunes.
+  bool prune_enabled = false;
+  /// Servers grouped by identical (hardware, base allocation) state —
+  /// members of a group yield bitwise-identical placed_on results for any
+  /// block, so the optimized paths estimate once per group and resolve the
+  /// winner to its first unused member (the same tie the plain index-order
+  /// scan keeps). Member lists are ascending; built only for the
+  /// optimized paths (empty under force_serial).
+  std::vector<std::vector<std::size_t>> groups;
+
+  SearchContext(const ProactiveConfig& config_in,
+                const std::vector<CostModel>& models_in,
+                const std::vector<ServerState>& servers_in)
+      : config(config_in), models(models_in), servers(servers_in) {}
+
+  [[nodiscard]] const CostModel& model_of(std::size_t server) const {
+    const int hardware = servers[server].hardware;
+    AEVA_REQUIRE(hardware >= 0 &&
+                     static_cast<std::size_t>(hardware) < models.size(),
+                 "unknown hardware class ", hardware, " (have ",
+                 models.size(), ")");
+    return models[static_cast<std::size_t>(hardware)];
+  }
+
+  /// Estimation of `block` landing on server `s`: the per-class times, the
+  /// marginal energy, the block's summed time and its per-VM QoS pass.
+  /// Returns nullopt when the combined mix is infeasible there. Both
+  /// place_block and the branch-and-bound block minima build PlacedBlocks
+  /// through this one helper, so their doubles are bitwise comparable.
+  [[nodiscard]] std::optional<PlacedBlock> placed_on(const ClassCounts& block,
+                                                     std::size_t s,
+                                                     double& time_contrib,
+                                                     bool& qos_pass) const;
+
+  /// The per-VM rank place_block orders servers by (energy vs normalized
+  /// mean block time). One definition shared by the plain scan and the
+  /// grouped fast path so both compare the same doubles.
+  [[nodiscard]] double selection_rank(const PlacedBlock& placed,
+                                      double time_contrib) const;
+
+  /// Greedy marginal-cost server choice for one block given the servers
+  /// already taken (ties → first server of the list, as in the paper).
+  /// Pure: depends only on `block` and `used`, so the placement of a block
+  /// sequence is a function of its prefix. Returns nullopt when no unused
+  /// server can host the block.
+  [[nodiscard]] std::optional<PlacedBlock> place_block(
+      const ClassCounts& block, const std::vector<char>& used) const;
+
+  /// The chosen block's exact contribution to the final α-rank (the rank
+  /// is the sum of these over all blocks, so partial sums are lower bounds
+  /// whenever every term is ≥ 0).
+  [[nodiscard]] double rank_contribution(const PlacedBlock& placed) const;
+
+  /// Aggregate rank and QoS feasibility of a fully placed candidate.
+  [[nodiscard]] EvalOutcome finalize(const std::vector<PlacedBlock>& blocks,
+                                     std::vector<double>& times) const;
+
+  /// Evaluates one typed partition: greedy placement per block, then the
+  /// aggregate rank and the QoS feasibility check. Returns nullopt when
+  /// some block fits nowhere, or — with pruning armed — as soon as the
+  /// partial lower bound exceeds `prune_above` (only candidates strictly
+  /// worse than an already-complete one are ever abandoned, so the search
+  /// result is unchanged). On success `scratch.blocks` holds the placed
+  /// blocks until the next call.
+  [[nodiscard]] std::optional<EvalOutcome> evaluate(
+      const partition::TypedPartition& blocks, double prune_above,
+      EvalScratch& scratch) const;
+};
+
+std::optional<PlacedBlock> SearchContext::placed_on(const ClassCounts& block,
+                                                    std::size_t s,
+                                                    double& time_contrib,
+                                                    bool& qos_pass) const {
+  const CostModel& model = model_of(s);
+  const ClassCounts combined = base_alloc[s] + block;
+  if (!model.feasible(combined)) {
+    return std::nullopt;
+  }
+  const modeldb::Record rec = model.estimate(combined);
+  time_contrib = 0.0;
+  qos_pass = true;
+  PlacedBlock placed;
+  placed.block = block;
+  placed.server_index = s;
+  for (const ProfileClass profile : workload::kAllProfileClasses) {
+    const auto ci = static_cast<std::size_t>(profile);
+    AEVA_INVARIANT(ci < workload::kProfileClassCount,
+                   "profile class out of range");
+    const double t = block.of(profile) > 0 ? rec.time_of(profile) : 0.0;
+    placed.time_per_class[ci] = t;
+    time_contrib += block.of(profile) * t;
+    if (block.of(profile) > 0 && !deadlines[ci].empty() &&
+        t > deadlines[ci].front()) {
+      qos_pass = false;
+    }
+  }
+  // Marginal energy over the server's existing commitment. Record
+  // energies include the 125 W powered-on baseline, so placing on an
+  // empty (off) server pays its full wake-up cost while co-locating
+  // on a busy server pays only the increment — the consolidation
+  // incentive of the energy goal.
+  placed.marginal_energy_j = rec.energy_j - base_energy[s];
+  return placed;
+}
+
+double SearchContext::selection_rank(const PlacedBlock& placed,
+                                     double time_contrib) const {
+  const double energy_norm =
+      placed.marginal_energy_j / (n_vms * energy_ref);
+  const double time_norm =
+      time_contrib / placed.block.total() / time_ref;
+  return config.goal == ProactiveGoal::kEnergyDelayProduct
+             ? std::max(energy_norm, 0.0) * time_norm
+             : config.alpha * energy_norm + (1.0 - config.alpha) * time_norm;
+}
+
+std::optional<PlacedBlock> SearchContext::place_block(
+    const ClassCounts& block, const std::vector<char>& used) const {
+  // Prefer servers where the block's estimated times respect every
+  // affected class's tightest deadline; fall back to QoS-violating
+  // options only when no server passes (the candidate then fails the
+  // final QoS check and can only be selected via the relaxed path).
+  std::optional<std::size_t> best_server;
+  bool best_qos_pass = false;
+  double best_rank = 0.0;
+  PlacedBlock best_placed;
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    if (used[s] != 0) {
+      continue;
+    }
+    double time_contrib = 0.0;
+    bool qos_pass = true;
+    const std::optional<PlacedBlock> placed =
+        placed_on(block, s, time_contrib, qos_pass);
+    if (!placed.has_value()) {
+      continue;
+    }
+    const double rank = selection_rank(*placed, time_contrib);
+    const bool better =
+        !best_server.has_value() ||
+        (qos_pass && !best_qos_pass) ||
+        (qos_pass == best_qos_pass && rank < best_rank);
+    if (better) {
+      best_server = s;
+      best_qos_pass = qos_pass;
+      best_rank = rank;
+      best_placed = *placed;
+    }
+  }
+  if (!best_server.has_value()) {
+    return std::nullopt;  // no server can host this block
+  }
+  return best_placed;
+}
+
+double SearchContext::rank_contribution(const PlacedBlock& placed) const {
+  double block_time = 0.0;
+  for (const ProfileClass profile : workload::kAllProfileClasses) {
+    block_time += placed.block.of(profile) *
+                  placed.time_per_class[static_cast<int>(profile)];
+  }
+  return config.alpha * placed.marginal_energy_j / (n_vms * energy_ref) +
+         (1.0 - config.alpha) * block_time / (n_vms * time_ref);
+}
+
+EvalOutcome SearchContext::finalize(const std::vector<PlacedBlock>& blocks,
+                                    std::vector<double>& times) const {
+  EvalOutcome out;
+  double time_sum = 0.0;
+  double energy_sum = 0.0;
+  for (const PlacedBlock& placed : blocks) {
+    for (const ProfileClass profile : workload::kAllProfileClasses) {
+      time_sum += placed.block.of(profile) *
+                  placed.time_per_class[static_cast<int>(profile)];
+    }
+    energy_sum += placed.marginal_energy_j;
+  }
+  out.est_time_s = time_sum / n_vms;
+  out.est_energy_j = energy_sum;
+  const double total_energy_norm = energy_sum / (n_vms * energy_ref);
+  const double total_time_norm = out.est_time_s / time_ref;
+  out.combined =
+      config.goal == ProactiveGoal::kEnergyDelayProduct
+          ? std::max(total_energy_norm, 0.0) * total_time_norm
+          : config.alpha * total_energy_norm +
+                (1.0 - config.alpha) * total_time_norm;
+
+  // QoS: for each class, the k-th smallest estimated time must fit under
+  // the k-th tightest deadline (optimal matching by exchange argument).
+  for (const ProfileClass profile : workload::kAllProfileClasses) {
+    const int ci = static_cast<int>(profile);
+    if (deadlines[ci].empty()) {
+      continue;
+    }
+    times.clear();
+    for (const PlacedBlock& placed : blocks) {
+      for (int k = 0; k < placed.block.of(profile); ++k) {
+        times.push_back(placed.time_per_class[ci]);
+      }
+    }
+    std::sort(times.begin(), times.end());
+    for (std::size_t k = 0; k < times.size(); ++k) {
+      if (times[k] > deadlines[ci][k]) {
+        out.qos_ok = false;
+        break;
+      }
+    }
+    if (!out.qos_ok) {
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<EvalOutcome> SearchContext::evaluate(
+    const partition::TypedPartition& blocks, double prune_above,
+    EvalScratch& scratch) const {
+  // A partition's blocks are per-server groups by definition: two blocks
+  // sharing a server would be the coarser partition with those blocks
+  // merged, which the enumeration visits separately. Keeping servers
+  // distinct also keeps every block's estimate valid for the final mix —
+  // and means a used server is never revisited, so each server's
+  // allocation and standalone energy stay at their base values for the
+  // whole evaluation (read straight from the context, no copies).
+  scratch.used.assign(servers.size(), 0);
+  scratch.blocks.clear();
+  double bound = 0.0;  // partial lower bound on the final rank
+
+  for (const ClassCounts& block : blocks) {
+    std::optional<PlacedBlock> placed = place_block(block, scratch.used);
+    if (!placed.has_value()) {
+      return std::nullopt;  // no server can host this block
+    }
+    scratch.used[placed->server_index] = 1;
+    scratch.blocks.push_back(*placed);
+
+    if (prune_enabled) {
+      // Remaining blocks can only add ≥ 0, so the partial sum of exact
+      // contributions is a lower bound on the final rank.
+      bound += rank_contribution(scratch.blocks.back());
+      if (bound > prune_above) {
+        return std::nullopt;  // cannot beat the best complete candidate
+      }
+    }
+  }
+  return finalize(scratch.blocks, scratch.times);
+}
+
+/// Prefix-incremental evaluation for the optimized search paths. The
+/// enumeration emits candidates in canonical lex order, so consecutive
+/// candidates share long block prefixes — and a block's greedy placement
+/// is a pure function of the blocks before it (place_block). The
+/// evaluator keeps the previous candidate's placement stack and re-places
+/// only the suffix that differs, which skips most per-candidate server
+/// scans. Server scans themselves collapse onto the context's equivalence
+/// groups: placed_on depends only on a server's (hardware, base
+/// allocation), so each (block shape, group) pair is estimated once per
+/// allocate() call and replayed from a memo afterwards. Values are
+/// bit-identical to SearchContext::evaluate: reused prefixes and memoized
+/// group entries carry the exact PlacedBlock and rank doubles the plain
+/// scorer would recompute.
+class IncrementalEvaluator {
+ public:
+  explicit IncrementalEvaluator(const SearchContext& ctx)
+      : ctx_(ctx), used_(ctx.servers.size(), 0) {}
+
+  /// As SearchContext::evaluate. Pruning decisions are at least as strong
+  /// as the plain scorer's: the per-block partial bounds are the same
+  /// doubles, the threshold is re-checked against the current
+  /// `prune_above` even on reused prefixes (the threshold only tightens
+  /// over a search, so a previously pruned prefix stays pruned), and the
+  /// memoized per-shape block minima sharpen the bound with the cheapest
+  /// possible cost of the blocks not yet placed — often rejecting a
+  /// candidate before any server scan.
+  [[nodiscard]] std::optional<EvalOutcome> evaluate(
+      const partition::TypedPartition& blocks, double prune_above) {
+    // Longest reusable prefix: blocks equal to the previous candidate's,
+    // and actually placed last time (an abandoned evaluation keeps only
+    // the blocks up to the abandonment point).
+    std::size_t keep = 0;
+    const std::size_t max_keep = std::min(placed_.size(), blocks.size());
+    while (keep < max_keep && blocks[keep] == prefix_[keep]) {
+      ++keep;
+    }
+    for (std::size_t i = placed_.size(); i > keep; --i) {
+      used_[placed_[i - 1].server_index] = 0;
+    }
+    placed_.resize(keep);
+    bound_after_.resize(keep);
+    prefix_.assign(blocks.begin(), blocks.end());
+
+    double remaining_min = 0.0;
+    if (ctx_.prune_enabled) {
+      // Every unplaced block will cost at least its cheapest-anywhere
+      // contribution (min over ALL servers, so removing used ones can
+      // only increase the actual). A block with no feasible server at all
+      // sinks the candidate outright — place_block could never host it.
+      for (std::size_t i = keep; i < blocks.size(); ++i) {
+        const double block_min = min_contribution(blocks[i]);
+        if (block_min == kInf) {
+          return std::nullopt;  // infeasible on every server, even unused
+        }
+        remaining_min += block_min;
+      }
+      const double prefix_bound = keep > 0 ? bound_after_[keep - 1] : 0.0;
+      if (prefix_bound + remaining_min > prune_above) {
+        // The partial bounds are monotone (every term ≥ 0 when pruning is
+        // armed): the plain scorer would have abandoned this candidate no
+        // later than its last block.
+        return std::nullopt;
+      }
+    }
+    for (std::size_t i = keep; i < blocks.size(); ++i) {
+      if (ctx_.prune_enabled) {
+        remaining_min -= min_contribution(blocks[i]);  // memoized, exact
+      }
+      std::optional<PlacedBlock> placed = place_grouped(blocks[i]);
+      if (!placed.has_value()) {
+        return std::nullopt;  // no unused server can host this block
+      }
+      used_[placed->server_index] = 1;
+      placed_.push_back(*placed);
+      const double bound =
+          (placed_.size() > 1 ? bound_after_.back() : 0.0) +
+          ctx_.rank_contribution(placed_.back());
+      bound_after_.push_back(bound);
+      if (ctx_.prune_enabled && bound + remaining_min > prune_above) {
+        return std::nullopt;  // cannot beat the best complete candidate
+      }
+    }
+    return ctx_.finalize(placed_, times_);
+  }
+
+  /// The placement behind the last successful evaluate().
+  [[nodiscard]] const std::vector<PlacedBlock>& blocks() const {
+    return placed_;
+  }
+
+ private:
+  /// One server-equivalence group's evaluation of a block shape. Every
+  /// member of the group would produce exactly this PlacedBlock (modulo
+  /// server_index) and these ranks, so the entry is computed once from the
+  /// group's first member and replayed for the whole allocate() call.
+  struct GroupEval {
+    std::optional<PlacedBlock> placed;  ///< nullopt: infeasible for group
+    bool qos_pass = true;
+    double sel_rank = 0.0;      ///< place_block's server-ordering rank
+    double contribution = 0.0;  ///< rank_contribution (bound arithmetic)
+  };
+
+  /// Per-group evaluations of `block`, memoized by shape.
+  [[nodiscard]] const std::vector<GroupEval>& shape_evals(
+      const ClassCounts& block) {
+    const std::uint64_t key = static_cast<std::uint64_t>(block.cpu) << 42 |
+                              static_cast<std::uint64_t>(block.mem) << 21 |
+                              static_cast<std::uint64_t>(block.io);
+    const auto [it, inserted] = shape_evals_.try_emplace(key);
+    if (!inserted) {
+      return it->second;
+    }
+    std::vector<GroupEval>& evals = it->second;
+    evals.reserve(ctx_.groups.size());
+    for (const std::vector<std::size_t>& members : ctx_.groups) {
+      GroupEval eval;
+      double time_contrib = 0.0;
+      bool qos_pass = true;
+      eval.placed =
+          ctx_.placed_on(block, members.front(), time_contrib, qos_pass);
+      if (eval.placed.has_value()) {
+        eval.qos_pass = qos_pass;
+        eval.sel_rank = ctx_.selection_rank(*eval.placed, time_contrib);
+        eval.contribution = ctx_.rank_contribution(*eval.placed);
+      }
+      evals.push_back(std::move(eval));
+    }
+    return it->second;
+  }
+
+  /// As SearchContext::place_block, resolved over groups: the winning
+  /// (qos desc, rank asc) entry — ties broken by the smallest unused
+  /// member index across groups, which is exactly the server the plain
+  /// index-order scan would have kept.
+  [[nodiscard]] std::optional<PlacedBlock> place_grouped(
+      const ClassCounts& block) {
+    const std::vector<GroupEval>& evals = shape_evals(block);
+    const GroupEval* best = nullptr;
+    std::size_t best_index = 0;
+    for (std::size_t g = 0; g < evals.size(); ++g) {
+      const GroupEval& eval = evals[g];
+      if (!eval.placed.has_value()) {
+        continue;
+      }
+      std::size_t index = ctx_.servers.size();
+      for (const std::size_t s : ctx_.groups[g]) {
+        if (used_[s] == 0) {
+          index = s;
+          break;
+        }
+      }
+      if (index == ctx_.servers.size()) {
+        continue;  // every member already hosts a block
+      }
+      const bool better =
+          best == nullptr || (eval.qos_pass && !best->qos_pass) ||
+          (eval.qos_pass == best->qos_pass &&
+           (eval.sel_rank < best->sel_rank ||
+            (eval.sel_rank == best->sel_rank && index < best_index)));
+      if (better) {
+        best = &eval;
+        best_index = index;
+      }
+    }
+    if (best == nullptr) {
+      return std::nullopt;
+    }
+    PlacedBlock placed = *best->placed;
+    placed.server_index = best_index;
+    return placed;
+  }
+
+  /// Cheapest contribution of `block` over all servers (ignoring `used`),
+  /// read off the memoized group entries; kInf when no server can host it
+  /// at all. Built from the same placed_on doubles as real placements, so
+  /// the minimum is bitwise ≤ any contribution place_grouped can produce.
+  [[nodiscard]] double min_contribution(const ClassCounts& block) {
+    double best = kInf;
+    for (const GroupEval& eval : shape_evals(block)) {
+      if (eval.placed.has_value()) {
+        best = std::min(best, eval.contribution);
+      }
+    }
+    return best;
+  }
+
+  const SearchContext& ctx_;
+  std::vector<ClassCounts> prefix_;
+  std::vector<PlacedBlock> placed_;
+  std::vector<double> bound_after_;
+  std::vector<char> used_;
+  std::vector<double> times_;
+  std::unordered_map<std::uint64_t, std::vector<GroupEval>> shape_evals_;
+};
+
+/// Running optima of a search, with the deterministic tie-break: strictly
+/// smaller rank wins; equal ranks keep the earlier candidate in canonical
+/// enumeration order — exactly what a serial first-wins scan produces.
+struct SearchBest {
+  std::optional<Candidate> any;
+  std::optional<Candidate> qos;
+  std::size_t any_index = 0;
+  std::size_t qos_index = 0;
+
+  void consider(const EvalOutcome& out,
+                const std::vector<PlacedBlock>& blocks, std::size_t index) {
+    const bool better_any =
+        !any.has_value() || out.combined < any->combined ||
+        (out.combined == any->combined && index < any_index);
+    const bool better_qos =
+        out.qos_ok &&
+        (!qos.has_value() || out.combined < qos->combined ||
+         (out.combined == qos->combined && index < qos_index));
+    if (!better_any && !better_qos) {
+      return;  // the common case: no Candidate is ever materialized
+    }
+    Candidate cand;
+    cand.blocks = blocks;
+    cand.est_time_s = out.est_time_s;
+    cand.est_energy_j = out.est_energy_j;
+    cand.combined = out.combined;
+    cand.qos_ok = out.qos_ok;
+    if (better_any) {
+      any = cand;
+      any_index = index;
+    }
+    if (better_qos) {
+      qos = std::move(cand);
+      qos_index = index;
+    }
+  }
+
+  void merge(SearchBest&& other) {
+    if (other.any.has_value()) {
+      if (!any.has_value() || other.any->combined < any->combined ||
+          (other.any->combined == any->combined &&
+           other.any_index < any_index)) {
+        any = std::move(other.any);
+        any_index = other.any_index;
+      }
+    }
+    if (other.qos.has_value()) {
+      if (!qos.has_value() || other.qos->combined < qos->combined ||
+          (other.qos->combined == qos->combined &&
+           other.qos_index < qos_index)) {
+        qos = std::move(other.qos);
+        qos_index = other.qos_index;
+      }
+    }
+  }
+};
+
 }  // namespace
 
 AllocationResult ProactiveAllocator::allocate(
@@ -81,204 +675,196 @@ AllocationResult ProactiveAllocator::allocate(
   for (const VmRequest& vm : vms) {
     ++request.of(vm.profile);
   }
-  const double n_vms = static_cast<double>(vms.size());
+
+  SearchContext ctx(config_, models_, servers);
+  ctx.n_vms = static_cast<double>(vms.size());
   // Normalization references always come from hardware class 0 so ranks
   // stay comparable across a heterogeneous fleet.
-  const double time_ref = models_.front().time_reference_s(request);
-  const double energy_ref = models_.front().energy_reference_j(request);
-  const double alpha = config_.alpha;
+  ctx.time_ref = models_.front().time_reference_s(request);
+  ctx.energy_ref = models_.front().energy_reference_j(request);
 
   // Current allocations and their standalone energies (cached: the
   // marginal energy of the first block landing on a busy server needs it).
-  std::vector<ClassCounts> base_alloc;
-  std::vector<double> base_energy;
-  base_alloc.reserve(servers.size());
-  base_energy.reserve(servers.size());
+  ctx.base_alloc.reserve(servers.size());
+  ctx.base_energy.reserve(servers.size());
   for (const ServerState& server : servers) {
-    base_alloc.push_back(server.allocated);
-    base_energy.push_back(
+    ctx.base_alloc.push_back(server.allocated);
+    ctx.base_energy.push_back(
         cost_model(server.hardware).mix_energy_j(server.allocated));
   }
 
-  // Deadlines per class, tightest first, used by the QoS check.
-  std::vector<double> deadlines[workload::kProfileClassCount];
   for (const VmRequest& vm : vms) {
-    deadlines[static_cast<int>(vm.profile)].push_back(vm.max_exec_time_s);
+    ctx.deadlines[static_cast<int>(vm.profile)].push_back(vm.max_exec_time_s);
   }
-  for (auto& list : deadlines) {
+  for (auto& list : ctx.deadlines) {
     std::sort(list.begin(), list.end());
   }
 
-  // Evaluates one typed partition: greedy marginal-cost server choice per
-  // block (ties → first server of the list, as in the paper), then the
-  // aggregate α-weighted rank and the QoS feasibility check.
-  const auto evaluate =
-      [&](const partition::TypedPartition& blocks) -> std::optional<Candidate> {
-    Candidate cand;
-    std::vector<ClassCounts> alloc = base_alloc;
-    std::vector<double> energy_before = base_energy;
-    // A partition's blocks are per-server groups by definition: two blocks
-    // sharing a server would be the coarser partition with those blocks
-    // merged, which the enumeration visits separately. Keeping servers
-    // distinct also keeps every block's estimate valid for the final mix.
-    std::vector<bool> used(servers.size(), false);
-
-    for (const ClassCounts& block : blocks) {
-      // Prefer servers where the block's estimated times respect every
-      // affected class's tightest deadline; fall back to QoS-violating
-      // options only when no server passes (the candidate then fails the
-      // final QoS check and can only be selected via the relaxed path).
-      std::optional<std::size_t> best_server;
-      bool best_qos_pass = false;
-      double best_rank = 0.0;
-      PlacedBlock best_placed;
-      for (std::size_t s = 0; s < servers.size(); ++s) {
-        if (used[s]) {
-          continue;
-        }
-        const CostModel& model = cost_model(servers[s].hardware);
-        const ClassCounts combined = alloc[s] + block;
-        if (!model.feasible(combined)) {
-          continue;
-        }
-        const modeldb::Record rec = model.estimate(combined);
-        double time_contrib = 0.0;
-        bool qos_pass = true;
-        PlacedBlock placed;
-        placed.block = block;
-        placed.server_index = s;
-        for (const ProfileClass profile : workload::kAllProfileClasses) {
-          const int ci = static_cast<int>(profile);
-          const double t =
-              block.of(profile) > 0 ? rec.time_of(profile) : 0.0;
-          placed.time_per_class[ci] = t;
-          time_contrib += block.of(profile) * t;
-          if (block.of(profile) > 0 && !deadlines[ci].empty() &&
-              t > deadlines[ci].front()) {
-            qos_pass = false;
-          }
-        }
-        // Marginal energy over the server's existing commitment. Record
-        // energies include the 125 W powered-on baseline, so placing on an
-        // empty (off) server pays its full wake-up cost while co-locating
-        // on a busy server pays only the increment — the consolidation
-        // incentive of the energy goal.
-        placed.marginal_energy_j = rec.energy_j - energy_before[s];
-        const double energy_norm =
-            placed.marginal_energy_j / (n_vms * energy_ref);
-        const double time_norm = time_contrib / block.total() / time_ref;
-        const double rank =
-            config_.goal == ProactiveGoal::kEnergyDelayProduct
-                ? std::max(energy_norm, 0.0) * time_norm
-                : alpha * energy_norm + (1.0 - alpha) * time_norm;
-        const bool better =
-            !best_server.has_value() ||
-            (qos_pass && !best_qos_pass) ||
-            (qos_pass == best_qos_pass && rank < best_rank);
-        if (better) {
-          best_server = s;
-          best_qos_pass = qos_pass;
-          best_rank = rank;
-          best_placed = placed;
-        }
+  if (!config_.force_serial) {
+    // Server-equivalence groups for the optimized paths: placed_on reads
+    // only a server's hardware class and base allocation, so servers that
+    // agree on both are interchangeable up to the index tie-break.
+    std::map<std::tuple<int, int, int, int>, std::size_t> group_ids;
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      const ClassCounts& alloc = ctx.base_alloc[s];
+      const auto key = std::make_tuple(servers[s].hardware, alloc.cpu,
+                                       alloc.mem, alloc.io);
+      const auto [it, inserted] =
+          group_ids.try_emplace(key, ctx.groups.size());
+      if (inserted) {
+        ctx.groups.emplace_back();
       }
-      if (!best_server.has_value()) {
-        return std::nullopt;  // no server can host this block
-      }
-      const std::size_t s = *best_server;
-      alloc[s] = alloc[s] + block;
-      used[s] = true;
-      cand.blocks.push_back(best_placed);
+      ctx.groups[it->second].push_back(s);
     }
+  }
 
-    double time_sum = 0.0;
-    double energy_sum = 0.0;
-    for (const PlacedBlock& placed : cand.blocks) {
-      for (const ProfileClass profile : workload::kAllProfileClasses) {
-        time_sum += placed.block.of(profile) *
-                    placed.time_per_class[static_cast<int>(profile)];
-      }
-      energy_sum += placed.marginal_energy_j;
+  if (config_.prune_search && !config_.force_serial &&
+      config_.goal == ProactiveGoal::kAlphaWeighted) {
+    bool energy_bounded = true;
+    for (const CostModel& model : models_) {
+      energy_bounded = energy_bounded && model.db().energy_monotone();
     }
-    cand.est_time_s = time_sum / n_vms;
-    cand.est_energy_j = energy_sum;
-    const double total_energy_norm = energy_sum / (n_vms * energy_ref);
-    const double total_time_norm = cand.est_time_s / time_ref;
-    cand.combined =
-        config_.goal == ProactiveGoal::kEnergyDelayProduct
-            ? std::max(total_energy_norm, 0.0) * total_time_norm
-            : alpha * total_energy_norm + (1.0 - alpha) * total_time_norm;
+    // α = 0 needs no energy bound: the rank is pure (non-negative) time.
+    ctx.prune_enabled = config_.alpha == 0.0 || energy_bounded;
+  }
 
-    // QoS: for each class, the k-th smallest estimated time must fit under
-    // the k-th tightest deadline (optimal matching by exchange argument).
-    for (const ProfileClass profile : workload::kAllProfileClasses) {
-      const int ci = static_cast<int>(profile);
-      if (deadlines[ci].empty()) {
-        continue;
-      }
-      std::vector<double> times;
-      for (const PlacedBlock& placed : cand.blocks) {
-        for (int k = 0; k < placed.block.of(profile); ++k) {
-          times.push_back(placed.time_per_class[ci]);
-        }
-      }
-      std::sort(times.begin(), times.end());
-      for (std::size_t k = 0; k < times.size(); ++k) {
-        if (times[k] > deadlines[ci][k]) {
-          cand.qos_ok = false;
-          break;
-        }
-      }
-      if (!cand.qos_ok) {
-        break;
+  // A block is worth enumerating if some hardware class can host it.
+  const auto block_ok = [&](const ClassCounts& block) {
+    for (const CostModel& model : models_) {
+      if (model.feasible(block)) {
+        return true;
       }
     }
-    return cand;
+    return false;
   };
+  const std::size_t max_blocks = std::max<std::size_t>(servers.size(), 1);
 
-  // Brute-force search over typed partitions (quotient of Orlov's set
-  // partition enumeration — see src/partition).
-  std::optional<Candidate> best_any;
-  std::optional<Candidate> best_qos;
+  SearchBest best;
   std::size_t examined = 0;
-  const std::size_t visited = partition::for_each_typed_partition(
-      request,
-      [&](const ClassCounts& block) {
-        // A block is worth enumerating if some hardware class can host it.
-        for (const CostModel& model : models_) {
-          if (model.feasible(block)) {
-            return true;
+
+  const std::size_t workers = config_.force_serial
+                                  ? 1
+                                  : util::ThreadPool::recommended_workers(
+                                        static_cast<std::size_t>(
+                                            config_.search_threads));
+  if (workers <= 1) {
+    // Serial scoring on the calling thread, candidates streamed straight
+    // out of the enumeration (no materialization). The pruning threshold
+    // tracks the running optima exactly like the parallel path's shared
+    // atomics do. force_serial pins the plain per-candidate scorer; the
+    // optimized serial path evaluates prefix-incrementally.
+    EvalScratch scratch;
+    std::optional<IncrementalEvaluator> inc;
+    if (!config_.force_serial) {
+      inc.emplace(ctx);
+    }
+    const std::size_t visited = partition::for_each_typed_partition(
+        request, block_ok, max_blocks,
+        [&](const partition::TypedPartition& blocks) {
+          const std::size_t index = examined++;
+          double prune_above = kInf;
+          if (ctx.prune_enabled) {
+            if (config_.enforce_qos) {
+              prune_above = best.qos.has_value() ? best.qos->combined : kInf;
+            } else {
+              prune_above = best.any.has_value() ? best.any->combined : kInf;
+            }
+          }
+          const std::optional<EvalOutcome> out =
+              inc.has_value() ? inc->evaluate(blocks, prune_above)
+                              : ctx.evaluate(blocks, prune_above, scratch);
+          if (out.has_value()) {
+            best.consider(*out, inc.has_value() ? inc->blocks()
+                                                : scratch.blocks,
+                          index);
+          }
+          return examined < config_.max_partitions;
+        });
+    AEVA_INVARIANT(visited == examined,
+                   "partition enumeration visited ", visited,
+                   " but the scorer saw ", examined);
+  } else {
+    // Parallel fan-out: materialize the candidate stream (bounded by the
+    // budget), dispatch fixed-size index ranges to the pool, reduce the
+    // per-chunk optima in chunk order. Workers publish their best ranks
+    // through monotonically-decreasing atomics that other workers read as
+    // pruning bounds — stale reads only make pruning less aggressive,
+    // never unsound, and the final reduction does not depend on them.
+    const std::vector<partition::TypedPartition> candidates =
+        partition::collect_typed_partitions(request, block_ok, max_blocks,
+                                            config_.max_partitions);
+    examined = candidates.size();
+    const std::size_t chunk = config_.search_chunk;
+    const std::size_t chunk_count = (candidates.size() + chunk - 1) / chunk;
+    if (chunk_count <= 1) {
+      // Too little work to amortize a dispatch; score inline. Thresholds
+      // behave identically, so the result is unchanged.
+      IncrementalEvaluator inc(ctx);
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        double prune_above = kInf;
+        if (ctx.prune_enabled) {
+          if (config_.enforce_qos) {
+            prune_above = best.qos.has_value() ? best.qos->combined : kInf;
+          } else {
+            prune_above = best.any.has_value() ? best.any->combined : kInf;
           }
         }
-        return false;
-      },
-      std::max<std::size_t>(servers.size(), 1),  // one server per block
-      [&](const partition::TypedPartition& blocks) {
-        ++examined;
-        const std::optional<Candidate> cand = evaluate(blocks);
-        if (cand.has_value()) {
-          if (!best_any.has_value() || cand->combined < best_any->combined) {
-            best_any = cand;
-          }
-          if (cand->qos_ok &&
-              (!best_qos.has_value() || cand->combined < best_qos->combined)) {
-            best_qos = cand;
-          }
+        const std::optional<EvalOutcome> out =
+            inc.evaluate(candidates[i], prune_above);
+        if (out.has_value()) {
+          best.consider(*out, inc.blocks(), i);
         }
-        return examined < config_.max_partitions;
-      });
-  AEVA_INVARIANT(visited == examined,
-                 "partition enumeration visited ", visited,
-                 " but the scorer saw ", examined);
+      }
+    } else {
+      util::ThreadPool& pool = runtime_->ensure_pool(workers);
+      std::atomic<double> best_any_rank{kInf};
+      std::atomic<double> best_qos_rank{kInf};
+      std::vector<SearchBest> chunk_best(chunk_count);
+      for (std::size_t c = 0; c < chunk_count; ++c) {
+        pool.submit([&, c] {
+          const std::size_t begin = c * chunk;
+          const std::size_t end =
+              std::min(begin + chunk, candidates.size());
+          SearchBest local;
+          IncrementalEvaluator inc(ctx);
+          for (std::size_t i = begin; i < end; ++i) {
+            double prune_above = kInf;
+            if (ctx.prune_enabled) {
+              prune_above =
+                  config_.enforce_qos
+                      ? best_qos_rank.load(std::memory_order_relaxed)
+                      : best_any_rank.load(std::memory_order_relaxed);
+            }
+            const std::optional<EvalOutcome> out =
+                inc.evaluate(candidates[i], prune_above);
+            if (out.has_value()) {
+              local.consider(*out, inc.blocks(), i);
+              atomic_fetch_min(best_any_rank, out->combined);
+              if (out->qos_ok) {
+                atomic_fetch_min(best_qos_rank, out->combined);
+              }
+            }
+          }
+          chunk_best[c] = std::move(local);
+        });
+      }
+      pool.wait();
+      for (SearchBest& local : chunk_best) {
+        best.merge(std::move(local));
+      }
+    }
+  }
   result.partitions_examined = examined;
 
+  std::optional<Candidate>& best_any = best.any;
+  std::optional<Candidate>& best_qos = best.qos;
   std::optional<Candidate> chosen;
   if (!config_.enforce_qos) {
-    chosen = best_any;
+    chosen = std::move(best_any);
   } else if (best_qos.has_value()) {
-    chosen = best_qos;
+    chosen = std::move(best_qos);
   } else if (config_.fallback_best_effort) {
-    chosen = best_any;
+    chosen = std::move(best_any);
   }
   if (!chosen.has_value()) {
     // Classify why the primary search failed before degrading: callers and
@@ -286,10 +872,10 @@ AllocationResult ProactiveAllocator::allocate(
     RejectReason reason = RejectReason::kNoFeasibleServer;
     if (servers.empty()) {
       reason = RejectReason::kNoServers;  // all masked or failed
-    } else if (!best_any.has_value() &&
+    } else if (!best.any.has_value() &&
                examined >= config_.max_partitions) {
       reason = RejectReason::kSearchBudgetExhausted;
-    } else if (best_any.has_value()) {
+    } else if (best.any.has_value()) {
       reason = RejectReason::kQosInfeasible;
     }
     if (fallback_.has_value()) {

@@ -13,14 +13,24 @@
 /// and returns the placement that best matches the goal while satisfying
 /// the QoS constraints. Ties between servers of equal rank resolve to the
 /// first server of the list, as in the paper.
+///
+/// The candidate scoring fans out over a fixed worker pool with memoized
+/// database lookups and branch-and-bound pruning; the reduction is
+/// deterministic (min by score, ties to the earliest candidate in
+/// canonical enumeration order), so every execution mode returns the same
+/// bits as the serial reference — see the search-execution knobs on
+/// ProactiveConfig and docs/PERFORMANCE.md.
 
 #include <cstddef>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/cost_model.hpp"
 #include "core/first_fit.hpp"
 #include "core/types.hpp"
 #include "modeldb/database.hpp"
+#include "modeldb/estimate_cache.hpp"
 
 namespace aeva::core {
 
@@ -62,6 +72,32 @@ struct ProactiveConfig {
   bool degrade_to_first_fit = false;
   /// Multiplex factor of the first-fit fallback (VMs per CPU).
   int fallback_multiplex = 2;
+
+  // --- search execution (docs/PERFORMANCE.md) ------------------------------
+  // The knobs below change only how fast the search runs, never what it
+  // returns: parallel, memoized, and pruned searches are bit-identical to
+  // the serial reference (regression-tested, including under TSan).
+  /// Worker threads scoring candidates: 1 → score on the calling thread;
+  /// 0 → one worker per hardware thread; N → a pool of N workers (created
+  /// lazily on first use, reused across allocate() calls).
+  int search_threads = 1;
+  /// Candidates per work unit handed to a pool worker. Larger chunks
+  /// amortize dispatch; smaller chunks spread uneven candidate costs.
+  std::size_t search_chunk = 64;
+  /// Memoize model-database estimates in a sharded, mutex-striped cache
+  /// (modeldb::EstimateCache) shared by all workers and re-used across
+  /// allocate() calls — repeated (Ncpu, Nmem, Nio) lookups hit memory
+  /// instead of binary search.
+  bool memoize_estimates = true;
+  /// Branch-and-bound: abandon a candidate as soon as a sound lower bound
+  /// on its final rank exceeds the best complete candidate found so far.
+  /// Automatically inert when no sound bound exists (EDP goal, or an
+  /// energy-non-monotone database under α > 0) — see docs/PERFORMANCE.md.
+  bool prune_search = true;
+  /// Escape hatch: force the plain single-threaded reference scorer (no
+  /// pool, no memo cache, no pruning), ignoring the three knobs above.
+  /// The equality tests pin the optimized paths to this one.
+  bool force_serial = false;
 };
 
 /// The proactive allocator (strategies PA-1 / PA-0 / PA-0.5 of Sect. IV-D
@@ -79,6 +115,10 @@ class ProactiveAllocator final : public Allocator {
   ProactiveAllocator(std::vector<const modeldb::ModelDatabase*> dbs,
                      ProactiveConfig config);
 
+  /// Thread-safe and re-entrant: concurrent calls (e.g. through decorator
+  /// guards) are safe — the memo cache is internally synchronized and the
+  /// worker pool serializes its fan-out phases, so every caller still gets
+  /// the bit-exact serial-reference answer.
   [[nodiscard]] AllocationResult allocate(
       const std::vector<VmRequest>& vms,
       const std::vector<ServerState>& servers) const override;
@@ -95,9 +135,22 @@ class ProactiveAllocator final : public Allocator {
   /// Cost model of a hardware class; throws on an unknown class.
   [[nodiscard]] const CostModel& cost_model(int hardware) const;
 
+  /// Aggregated memo-cache statistics over all hardware classes (zeros
+  /// when `memoize_estimates` is off or `force_serial` is on).
+  [[nodiscard]] modeldb::EstimateCache::Stats memo_stats() const;
+
  private:
+  /// Mutable search machinery shared by const allocate() calls (and by
+  /// copies of the allocator): the worker pool is created lazily under the
+  /// mutex on the first parallel search and reused afterwards.
+  struct SearchRuntime;
+
   ProactiveConfig config_;
   std::vector<CostModel> models_;
+  /// Per-hardware-class memo caches (engaged with `memoize_estimates`;
+  /// attached to the corresponding CostModel).
+  std::vector<std::shared_ptr<modeldb::EstimateCache>> memos_;
+  std::shared_ptr<SearchRuntime> runtime_;
   /// Degradation leg (engaged only with `degrade_to_first_fit`).
   std::optional<FirstFitAllocator> fallback_;
 };

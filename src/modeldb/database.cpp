@@ -44,6 +44,27 @@ ModelDatabase::ModelDatabase(std::vector<Record> records, BaseParameters base)
     extent_.mem = std::max(extent_.mem, r.key.mem);
     extent_.io = std::max(extent_.io, r.key.io);
   }
+  energy_monotone_ = [&] {
+    for (const Record& r : records_) {
+      for (const workload::ProfileClass profile : workload::kAllProfileClasses) {
+        if (r.key.of(profile) == 0) {
+          continue;
+        }
+        ClassCounts pred = r.key;
+        --pred.of(profile);
+        if (pred.total() == 0) {
+          continue;  // energy_j > 0 already validated above
+        }
+        const Record* below = find(pred);
+        // A missing predecessor means the grid has holes (hand-built
+        // databases); claim nothing rather than an unsound bound.
+        if (below == nullptr || r.energy_j < below->energy_j) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }();
 }
 
 const Record* ModelDatabase::find(ClassCounts key) const noexcept {

@@ -52,6 +52,17 @@ class ModelDatabase {
     return extent_;
   }
 
+  /// True when measured energy is monotone non-decreasing along every
+  /// class axis (each record's energy ≥ that of every measured unit-step
+  /// predecessor, with all predecessors present). Computed once at
+  /// construction. The proactive allocator's branch-and-bound pruning may
+  /// include the energy term in its lower bound only when this holds —
+  /// otherwise a later block could carry negative marginal energy and the
+  /// partial sum would not bound the final score (docs/PERFORMANCE.md).
+  [[nodiscard]] bool energy_monotone() const noexcept {
+    return energy_monotone_;
+  }
+
   [[nodiscard]] const BaseParameters& base() const noexcept { return base_; }
   [[nodiscard]] const std::vector<Record>& records() const noexcept {
     return records_;
@@ -81,6 +92,7 @@ class ModelDatabase {
   std::vector<Record> records_;  // sorted by key
   BaseParameters base_;
   workload::ClassCounts extent_;
+  bool energy_monotone_ = false;
 };
 
 }  // namespace aeva::modeldb

@@ -1,0 +1,128 @@
+#include "modeldb/estimate_cache.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aeva::modeldb {
+
+namespace {
+
+/// Packs a non-negative (cpu, mem, io) triple into one 64-bit key.
+std::uint64_t pack_key(workload::ClassCounts key) noexcept {
+  return static_cast<std::uint64_t>(key.cpu) << 42 |
+         static_cast<std::uint64_t>(key.mem) << 21 |
+         static_cast<std::uint64_t>(key.io);
+}
+
+/// Thread-local L1: direct-mapped, no synchronization. Slots are tagged
+/// with the owning cache's never-reused instance id (0 = empty), so hits
+/// can never cross caches, and a hit is valid forever — a cached record is
+/// an immutable pure function of (database, key).
+constexpr std::size_t kL1Slots = 1024;  // power of two
+
+struct L1Entry {
+  std::uint64_t tag = 0;
+  std::uint64_t packed = 0;
+  Record record;
+};
+
+std::array<L1Entry, kL1Slots>& local_l1() {
+  static thread_local std::array<L1Entry, kL1Slots> l1;
+  return l1;
+}
+
+std::uint64_t next_instance_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+EstimateCache::EstimateCache(const ModelDatabase& db, std::size_t shard_count,
+                             std::size_t max_entries_per_shard)
+    : db_(&db),
+      max_entries_per_shard_(max_entries_per_shard),
+      instance_id_(next_instance_id()) {
+  AEVA_REQUIRE(shard_count >= 1, "need at least one shard");
+  AEVA_REQUIRE(max_entries_per_shard >= 1,
+               "each shard must hold at least one entry");
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+EstimateCache::Shard& EstimateCache::shard_for(
+    std::uint64_t mixed) const noexcept {
+  return *shards_[static_cast<std::size_t>(mixed % shards_.size())];
+}
+
+Record EstimateCache::estimate(workload::ClassCounts key) const {
+  AEVA_REQUIRE(key.total() > 0, "cannot estimate an empty allocation");
+  AEVA_REQUIRE(key.cpu >= 0 && key.mem >= 0 && key.io >= 0,
+               "negative class count");
+  const std::uint64_t packed = pack_key(key);
+  // splitmix64 scrambles the packed triple so adjacent keys spread across
+  // both the L1 slots and the mutex stripes instead of piling up.
+  std::uint64_t state = packed;
+  const std::uint64_t mixed = util::splitmix64(state);
+
+  L1Entry& slot =
+      local_l1()[(mixed ^ instance_id_ * 0x9e3779b97f4a7c15ULL) &
+                 (kL1Slots - 1)];
+  if (slot.tag == instance_id_ && slot.packed == packed) {
+    shard_for(mixed).l1_hits.fetch_add(1, std::memory_order_relaxed);
+    return slot.record;
+  }
+
+  Shard& shard = shard_for(mixed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(packed);
+    if (it != shard.entries.end()) {
+      ++shard.hits;
+      slot = L1Entry{instance_id_, packed, it->second};
+      return slot.record;
+    }
+  }
+  // Miss path: look up outside the lock so a slow binary search never
+  // blocks other keys of the same stripe. Two threads may race on the same
+  // key; both compute the identical record, and the second insert is a
+  // no-op.
+  const Record record = db_->estimate(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.misses;
+    if (shard.entries.size() >= max_entries_per_shard_) {
+      shard.evictions += shard.entries.size();
+      shard.entries.clear();
+    }
+    shard.entries.emplace(packed, record);
+  }
+  slot = L1Entry{instance_id_, packed, record};
+  return record;
+}
+
+EstimateCache::Stats EstimateCache::stats() const {
+  Stats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits + shard->l1_hits.load(std::memory_order_relaxed);
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.entries += shard->entries.size();
+  }
+  return total;
+}
+
+void EstimateCache::clear() const {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->evictions += shard->entries.size();
+    shard->entries.clear();
+  }
+}
+
+}  // namespace aeva::modeldb

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file estimate_cache.hpp
+/// Thread-safe memoization of ModelDatabase::estimate lookups.
+///
+/// The proactive allocator's partition search asks the database for the
+/// same (Ncpu, Nmem, Nio) keys over and over — across the candidates of
+/// one allocation call *and* across consecutive calls, because a cluster's
+/// reachable mixes form a small set (the OS box). Each lookup is a binary
+/// search plus clamp/scale arithmetic; this cache collapses repeats into a
+/// sharded hash probe so concurrent search workers hit memory instead.
+///
+/// Two levels. A thread-local direct-mapped L1 serves the common case with
+/// no synchronization at all: a cached record is an immutable pure
+/// function of (database, key), so a thread may keep private copies
+/// indefinitely — even across `clear()` — without ever observing a stale
+/// value. L1 slots are tagged with a process-unique, never-reused cache
+/// instance id, so a slot can never alias a different cache (including one
+/// later constructed at the same address). L1 misses fall through to the
+/// shared level: the key hash selects one of `shard_count` independently
+/// mutex-striped maps, so workers probing different keys rarely contend on
+/// the same lock. Results are bit-identical to the uncached path — the
+/// cache stores the exact `Record` the database returned.
+///
+/// Eviction is coarse by design: when a shard reaches its entry cap it is
+/// emptied wholesale (an epoch flush, counted in `Stats::evictions`). The
+/// reachable-key set is tiny in practice (≤ a few thousand), so eviction
+/// exists only to bound memory under adversarial key streams, not as a
+/// tuned replacement policy.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "modeldb/database.hpp"
+#include "modeldb/record.hpp"
+#include "workload/profile.hpp"
+
+namespace aeva::modeldb {
+
+/// Sharded, mutex-striped memo of `ModelDatabase::estimate`.
+class EstimateCache {
+ public:
+  /// `db` must outlive the cache. `shard_count` ≥ 1 lock stripes;
+  /// `max_entries_per_shard` ≥ 1 bounds each shard before its epoch flush.
+  explicit EstimateCache(const ModelDatabase& db, std::size_t shard_count = 8,
+                         std::size_t max_entries_per_shard = 4096);
+
+  /// As `ModelDatabase::estimate(key)`, memoized. Thread-safe; throws the
+  /// database's std::invalid_argument for an empty key without caching it.
+  [[nodiscard]] Record estimate(workload::ClassCounts key) const;
+
+  /// Monotonically-increasing counters (aggregated over shards).
+  struct Stats {
+    std::uint64_t hits = 0;       ///< served from cache (L1 or shard level)
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;  ///< entries dropped by epoch flushes
+    std::size_t entries = 0;      ///< currently resident shard entries
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops every resident shard entry (counted as evictions). Thread-local
+  /// L1 copies survive — they stay correct forever (records are immutable),
+  /// so lookups after a clear() may still count as hits.
+  void clear() const;
+
+  [[nodiscard]] const ModelDatabase& db() const noexcept { return *db_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Record> entries;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /// Lock-free tally of thread-local L1 hits landing on this stripe.
+    std::atomic<std::uint64_t> l1_hits{0};
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t mixed) const noexcept;
+
+  const ModelDatabase* db_;
+  std::size_t max_entries_per_shard_;
+  /// Process-unique tag for thread-local L1 slots; never reused.
+  std::uint64_t instance_id_;
+  /// unique_ptr keeps Shard addresses stable and the cache movable even
+  /// though Shard itself (holding a mutex) is not.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace aeva::modeldb

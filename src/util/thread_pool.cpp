@@ -1,0 +1,99 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace aeva::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  AEVA_REQUIRE(workers >= 1, "a thread pool needs at least one worker");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Deterministic drain: workers finish everything already queued before
+    // they observe `stopping_` with an empty queue and exit.
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  AEVA_REQUIRE(static_cast<bool>(task), "null task");
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(Pending{submitted_++, std::move(task)});
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t target = submitted_;
+  all_done_.wait(lock, [&] { return completed_ >= target; });
+  if (!failures_.empty()) {
+    // Rethrow the earliest submission so the surfaced error does not
+    // depend on worker interleaving.
+    const auto earliest = std::min_element(
+        failures_.begin(), failures_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::exception_ptr error = earliest->second;
+    failures_.clear();
+    std::rethrow_exception(error);
+  }
+}
+
+std::uint64_t ThreadPool::completed_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::size_t ThreadPool::recommended_workers(std::size_t requested) noexcept {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<std::size_t>(hardware) : 1;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and fully drained
+      }
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      pending.task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++completed_;
+      if (error) {
+        failures_.emplace_back(pending.index, error);
+      }
+    }
+    all_done_.notify_all();
+  }
+}
+
+}  // namespace aeva::util

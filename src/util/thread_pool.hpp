@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A small fixed-size thread pool for deterministic fan-out/join phases.
+///
+/// Design goals (in priority order):
+///   1. *Deterministic join*: `wait()` returns only after every task
+///      submitted so far has finished, and the destructor drains the queue
+///      before the workers exit — no task is ever dropped.
+///   2. *Exception propagation*: a task that throws does not kill the
+///      process; `wait()` rethrows the exception of the earliest-submitted
+///      failed task (submission order, so the surfaced error is the same
+///      regardless of worker interleaving).
+///   3. No work stealing, no futures, no task priorities — callers that
+///      need a reduction keep per-task output slots and reduce after
+///      `wait()`, which is how bit-reproducible parallel searches are
+///      built (see core::ProactiveAllocator and docs/PERFORMANCE.md).
+///
+/// The pool is internally synchronized: `submit` may be called from any
+/// thread, including from inside a task. `wait` must not be called from
+/// inside a task (it would deadlock on the caller's own slot).
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aeva::util {
+
+/// Fixed-size worker pool with deterministic join semantics.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (≥ 1; use `recommended_workers` to size from
+  /// the hardware). Throws std::invalid_argument on 0 workers.
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains every queued task, then joins all workers. Pending exceptions
+  /// that were never observed via `wait()` are discarded (they cannot be
+  /// thrown from a destructor).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks are picked up by workers in FIFO order.
+  /// Throws std::invalid_argument on a null task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted before this call has completed.
+  /// If any of them threw, rethrows the exception of the earliest-submitted
+  /// failed task and clears the recorded failures. The pool remains usable
+  /// afterwards.
+  void wait();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Number of tasks that have fully completed (including failed ones).
+  [[nodiscard]] std::uint64_t completed_count() const;
+
+  /// Worker count to use for `requested`: 0 → hardware concurrency
+  /// (at least 1), otherwise `requested` itself.
+  [[nodiscard]] static std::size_t recommended_workers(
+      std::size_t requested) noexcept;
+
+ private:
+  struct Pending {
+    std::uint64_t index = 0;  ///< submission index, for deterministic rethrow
+    std::function<void()> task;
+  };
+
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<Pending> queue_;
+  std::vector<std::thread> workers_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  /// (submission index, exception) of failed tasks awaiting a `wait()`.
+  std::vector<std::pair<std::uint64_t, std::exception_ptr>> failures_;
+  bool stopping_ = false;
+};
+
+}  // namespace aeva::util

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/proactive.hpp"
+#include "testing/shared_db.hpp"
+#include "util/rng.hpp"
+
+/// Determinism contract of the search-execution knobs (docs/PERFORMANCE.md):
+/// the parallel, memoized, pruned search must return the same *bits* as the
+/// plain serial reference — placements, exact score doubles, the number of
+/// partitions examined, and the degradation record.
+
+namespace aeva::core {
+namespace {
+
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+void expect_identical(const AllocationResult& got,
+                      const AllocationResult& want, std::uint64_t seed) {
+  EXPECT_EQ(got.complete, want.complete) << "seed " << seed;
+  EXPECT_EQ(got.satisfied_qos, want.satisfied_qos) << "seed " << seed;
+  EXPECT_EQ(got.partitions_examined, want.partitions_examined)
+      << "seed " << seed;
+  EXPECT_EQ(static_cast<int>(got.outcome.path),
+            static_cast<int>(want.outcome.path))
+      << "seed " << seed;
+  EXPECT_EQ(static_cast<int>(got.outcome.reason),
+            static_cast<int>(want.outcome.reason))
+      << "seed " << seed;
+  // Bit-exact doubles — the contract, not a tolerance.
+  EXPECT_EQ(got.score.combined, want.score.combined) << "seed " << seed;
+  EXPECT_EQ(got.score.est_time_s, want.score.est_time_s) << "seed " << seed;
+  EXPECT_EQ(got.score.est_energy_j, want.score.est_energy_j)
+      << "seed " << seed;
+  ASSERT_EQ(got.placements.size(), want.placements.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < got.placements.size(); ++i) {
+    EXPECT_EQ(got.placements[i].vm_id, want.placements[i].vm_id)
+        << "seed " << seed << " placement " << i;
+    EXPECT_EQ(got.placements[i].server_id, want.placements[i].server_id)
+        << "seed " << seed << " placement " << i;
+  }
+}
+
+std::vector<VmRequest> random_request(util::Rng& rng) {
+  const std::int64_t n = rng.uniform_int(1, 6);
+  std::vector<VmRequest> vms;
+  for (std::int64_t i = 0; i < n; ++i) {
+    VmRequest vm;
+    vm.id = i + 1;
+    vm.profile = static_cast<ProfileClass>(rng.uniform_int(0, 2));
+    // A mix of loose and potentially-binding deadlines so the sweep also
+    // exercises QoS rejection and the relaxed fallback.
+    vm.max_exec_time_s = rng.bernoulli(0.5) ? 1e12 : rng.uniform(50.0, 5000.0);
+    vms.push_back(vm);
+  }
+  return vms;
+}
+
+std::vector<ServerState> random_servers(util::Rng& rng) {
+  const std::int64_t n = rng.uniform_int(2, 10);
+  std::vector<ServerState> servers;
+  for (std::int64_t i = 0; i < n; ++i) {
+    ServerState server;
+    server.id = static_cast<int>(i);
+    if (rng.bernoulli(0.4)) {
+      server.allocated =
+          ClassCounts{static_cast<int>(rng.uniform_int(0, 2)),
+                      static_cast<int>(rng.uniform_int(0, 2)),
+                      static_cast<int>(rng.uniform_int(0, 1))};
+    }
+    server.powered = server.allocated.total() > 0 || rng.bernoulli(0.25);
+    servers.push_back(server);
+  }
+  return servers;
+}
+
+ProactiveConfig optimized_config(ProactiveConfig base) {
+  base.force_serial = false;
+  base.search_threads = 4;
+  base.search_chunk = 4;  // small chunks so multi-chunk dispatch is exercised
+  base.memoize_estimates = true;
+  base.prune_search = true;
+  return base;
+}
+
+ProactiveConfig serial_config(ProactiveConfig base) {
+  base.force_serial = true;
+  return base;
+}
+
+void sweep_seeds(const ProactiveConfig& base, std::uint64_t first_seed) {
+  for (std::uint64_t seed = first_seed; seed < first_seed + 30; ++seed) {
+    util::Rng rng(seed);
+    const std::vector<VmRequest> vms = random_request(rng);
+    const std::vector<ServerState> servers = random_servers(rng);
+    const ProactiveAllocator reference(db(), serial_config(base));
+    const ProactiveAllocator optimized(db(), optimized_config(base));
+    expect_identical(optimized.allocate(vms, servers),
+                     reference.allocate(vms, servers), seed);
+  }
+}
+
+TEST(ProactiveParallel, MatchesSerialOverRandomizedRequests) {
+  ProactiveConfig base;
+  base.alpha = 0.5;
+  sweep_seeds(base, 1000);
+}
+
+TEST(ProactiveParallel, MatchesSerialWithQosRelaxed) {
+  ProactiveConfig base;
+  base.alpha = 0.5;
+  base.enforce_qos = false;
+  sweep_seeds(base, 2000);
+}
+
+TEST(ProactiveParallel, MatchesSerialWithBestEffortFallback) {
+  ProactiveConfig base;
+  base.alpha = 0.3;
+  base.fallback_best_effort = true;
+  sweep_seeds(base, 3000);
+}
+
+TEST(ProactiveParallel, MatchesSerialAtAlphaExtremes) {
+  for (const double alpha : {0.0, 1.0}) {
+    ProactiveConfig base;
+    base.alpha = alpha;
+    sweep_seeds(base, 4000 + static_cast<std::uint64_t>(alpha * 100));
+  }
+}
+
+TEST(ProactiveParallel, MatchesSerialOnEdpGoal) {
+  // The EDP rank is not separable per block, so pruning must auto-disarm;
+  // the result still has to match the reference exactly.
+  ProactiveConfig base;
+  base.goal = ProactiveGoal::kEnergyDelayProduct;
+  sweep_seeds(base, 5000);
+}
+
+TEST(ProactiveParallel, MatchesSerialSingleThreadOptimized) {
+  // threads=1 without force_serial takes the incremental-evaluator path
+  // (memo + pruning, no pool); it must match the reference too.
+  for (std::uint64_t seed = 6000; seed < 6030; ++seed) {
+    util::Rng rng(seed);
+    const std::vector<VmRequest> vms = random_request(rng);
+    const std::vector<ServerState> servers = random_servers(rng);
+    ProactiveConfig base;
+    base.alpha = 0.5;
+    ProactiveConfig opt = optimized_config(base);
+    opt.search_threads = 1;
+    const ProactiveAllocator reference(db(), serial_config(base));
+    const ProactiveAllocator optimized(db(), opt);
+    expect_identical(optimized.allocate(vms, servers),
+                     reference.allocate(vms, servers), seed);
+  }
+}
+
+TEST(ProactiveParallel, ConcurrentAllocateCallsStayDeterministic) {
+  // allocate() is const and re-entrant: hammer one allocator from several
+  // threads with different inputs; every call must still produce the
+  // serial-reference bits for its input.
+  ProactiveConfig base;
+  base.alpha = 0.5;
+  const ProactiveAllocator optimized(db(), optimized_config(base));
+  const ProactiveAllocator reference(db(), serial_config(base));
+
+  constexpr int kThreads = 4;
+  std::vector<AllocationResult> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &optimized, &got] {
+      util::Rng rng(7000 + static_cast<std::uint64_t>(t));
+      const std::vector<VmRequest> vms = random_request(rng);
+      const std::vector<ServerState> servers = random_servers(rng);
+      for (int round = 0; round < 5; ++round) {
+        got[static_cast<std::size_t>(t)] = optimized.allocate(vms, servers);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    util::Rng rng(7000 + static_cast<std::uint64_t>(t));
+    const std::vector<VmRequest> vms = random_request(rng);
+    const std::vector<ServerState> servers = random_servers(rng);
+    expect_identical(got[static_cast<std::size_t>(t)],
+                     reference.allocate(vms, servers),
+                     7000 + static_cast<std::uint64_t>(t));
+  }
+}
+
+TEST(ProactiveParallel, MemoStatsAccumulateAcrossCalls) {
+  ProactiveConfig base;
+  base.alpha = 0.5;
+  const ProactiveAllocator optimized(db(), optimized_config(base));
+  EXPECT_EQ(optimized.memo_stats().hits + optimized.memo_stats().misses, 0u);
+  util::Rng rng(8000);
+  const std::vector<VmRequest> vms = random_request(rng);
+  const std::vector<ServerState> servers = random_servers(rng);
+  (void)optimized.allocate(vms, servers);
+  const modeldb::EstimateCache::Stats first = optimized.memo_stats();
+  EXPECT_GT(first.hits + first.misses, 0u);
+  (void)optimized.allocate(vms, servers);
+  const modeldb::EstimateCache::Stats second = optimized.memo_stats();
+  // The repeat call reuses the cache: no new misses, only hits.
+  EXPECT_EQ(second.misses, first.misses);
+  EXPECT_GT(second.hits, first.hits);
+
+  // The escape hatch runs bare: no cache is even attached.
+  const ProactiveAllocator serial(db(), serial_config(base));
+  (void)serial.allocate(vms, servers);
+  EXPECT_EQ(serial.memo_stats().hits + serial.memo_stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace aeva::core

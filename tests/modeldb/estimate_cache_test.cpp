@@ -1,0 +1,161 @@
+#include "modeldb/estimate_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "testing/shared_db.hpp"
+#include "workload/profile.hpp"
+
+namespace aeva::modeldb {
+namespace {
+
+using workload::ClassCounts;
+
+const ModelDatabase& db() { return testing::shared_db(); }
+
+bool same_record(const Record& a, const Record& b) {
+  return a.key == b.key && a.time_s == b.time_s &&
+         a.avg_time_vm_s == b.avg_time_vm_s && a.energy_j == b.energy_j &&
+         a.max_power_w == b.max_power_w && a.edp == b.edp &&
+         a.time_cpu_s == b.time_cpu_s && a.time_mem_s == b.time_mem_s &&
+         a.time_io_s == b.time_io_s;
+}
+
+TEST(EstimateCache, RejectsBadConfig) {
+  EXPECT_THROW(EstimateCache(db(), 0), std::invalid_argument);
+  EXPECT_THROW(EstimateCache(db(), 4, 0), std::invalid_argument);
+}
+
+TEST(EstimateCache, RejectsBadKeysWithoutCachingThem) {
+  const EstimateCache cache(db());
+  EXPECT_THROW((void)cache.estimate(ClassCounts{0, 0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cache.estimate(ClassCounts{-1, 1, 0}),
+               std::invalid_argument);
+  const EstimateCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(EstimateCache, ReturnsBitIdenticalRecords) {
+  const EstimateCache cache(db());
+  for (int cpu = 0; cpu <= 3; ++cpu) {
+    for (int mem = 0; mem <= 3; ++mem) {
+      for (int io = 0; io <= 2; ++io) {
+        const ClassCounts key{cpu, mem, io};
+        if (key.total() == 0) {
+          continue;
+        }
+        const Record direct = db().estimate(key);
+        // Both the miss path and the subsequent hit path must return the
+        // exact record the database computed.
+        EXPECT_TRUE(same_record(cache.estimate(key), direct));
+        EXPECT_TRUE(same_record(cache.estimate(key), direct));
+      }
+    }
+  }
+}
+
+TEST(EstimateCache, CountsHitsAndMisses) {
+  const EstimateCache cache(db());
+  const ClassCounts a{1, 0, 0};
+  const ClassCounts b{0, 2, 1};
+  (void)cache.estimate(a);  // miss
+  (void)cache.estimate(a);  // hit
+  (void)cache.estimate(a);  // hit
+  (void)cache.estimate(b);  // miss
+  (void)cache.estimate(b);  // hit
+  const EstimateCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(EstimateCache, EpochFlushEvictsFullShards) {
+  // One shard holding one entry: every new key flushes the previous one.
+  const EstimateCache cache(db(), 1, 1);
+  (void)cache.estimate(ClassCounts{1, 0, 0});
+  (void)cache.estimate(ClassCounts{2, 0, 0});
+  (void)cache.estimate(ClassCounts{3, 0, 0});
+  const EstimateCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(EstimateCache, ClearDropsSharedEntriesButL1CopiesStayValid) {
+  const EstimateCache cache(db());
+  const ClassCounts key{2, 1, 0};
+  const Record direct = db().estimate(key);
+  (void)cache.estimate(key);
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // A record is an immutable pure function of (database, key), so the
+  // thread-local L1 copy survives the clear: the lookup still answers
+  // correctly and counts as a hit, without repopulating the shard level.
+  const EstimateCache::Stats before = cache.stats();
+  EXPECT_TRUE(same_record(cache.estimate(key), direct));
+  const EstimateCache::Stats after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(EstimateCache, DistinctCachesDoNotShareL1Slots) {
+  // Same key through two caches over the same database: the second cache
+  // must record its own miss (instance-id tags keep L1 slots private).
+  const ClassCounts key{1, 1, 1};
+  const EstimateCache first(db());
+  (void)first.estimate(key);
+  const EstimateCache second(db());
+  (void)second.estimate(key);
+  EXPECT_EQ(second.stats().misses, 1u);
+  EXPECT_EQ(second.stats().hits, 0u);
+}
+
+TEST(EstimateCache, ConcurrentLookupsAgreeWithTheDatabase) {
+  const EstimateCache cache(db());
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &cache, &failures] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int cpu = 0; cpu <= 2; ++cpu) {
+          for (int mem = 0; mem <= 2; ++mem) {
+            const ClassCounts key{cpu, mem, (cpu + mem) % 2};
+            if (key.total() == 0) {
+              continue;
+            }
+            if (!same_record(cache.estimate(key), db().estimate(key))) {
+              ++failures[static_cast<std::size_t>(t)];
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0) << "thread " << t;
+  }
+  const EstimateCache::Stats stats = cache.stats();
+  // Every lookup is accounted for as either a hit or a miss.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kRounds * 8);
+}
+
+}  // namespace
+}  // namespace aeva::modeldb

@@ -1,0 +1,125 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace aeva::util {
+namespace {
+
+TEST(ThreadPool, RejectsBadInput) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  constexpr int kTasks = 200;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> runs(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&runs, i] { runs[static_cast<std::size_t>(i)].fetch_add(1); });
+  }
+  pool.wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(pool.completed_count(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ThreadPool, ConcurrentIncrementsAreAllVisibleAfterWait) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 1000;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  // Join-before-destroy: every task submitted before destruction runs,
+  // even without an explicit wait().
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, WaitRethrowsEarliestSubmittedFailure) {
+  ThreadPool pool(4);
+  // Several tasks fail; the surfaced exception must be the one from the
+  // earliest submission, independent of worker interleaving.
+  pool.submit([] { throw std::runtime_error("first"); });
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([] {});
+  }
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, UsableAfterFailureWasObserved) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::logic_error);
+  // The failure list is cleared by the observing wait(); the pool keeps
+  // accepting and running work.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, SubmitFromInsideATask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&pool, &counter] {
+    counter.fetch_add(1);
+    pool.submit([&counter] { counter.fetch_add(1); });
+  });
+  // wait() covers only tasks submitted before the call, so the nested task
+  // may still be pending after the first wait. It was submitted before the
+  // outer task's completion was counted, so a second wait() must cover it.
+  pool.wait();
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ReusableAcrossWaitRounds) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, RecommendedWorkers) {
+  EXPECT_EQ(ThreadPool::recommended_workers(4), 4u);
+  EXPECT_EQ(ThreadPool::recommended_workers(1), 1u);
+  // 0 → hardware concurrency, which is at least one worker.
+  EXPECT_GE(ThreadPool::recommended_workers(0), 1u);
+}
+
+}  // namespace
+}  // namespace aeva::util

@@ -36,6 +36,15 @@ Rules (all scoped to first-party code under src/, see --paths):
                        uses. Skipped when no compiler is available or with
                        --no-compile.
 
+  doc-links            Documentation graph integrity (always checked, even
+                       when `paths` restricts the source scope; skip with
+                       --no-doc-links): every relative markdown link in
+                       README.md and docs/**/*.md must resolve after
+                       stripping #anchors (http(s)/mailto links are not
+                       followed), and every file under docs/ must be
+                       reachable from README.md through that link graph —
+                       a page nobody links to is a page nobody reads.
+
 Findings are reported as `path:line: [rule] message`, and optionally as a
 machine-readable JSON report (--json). Known, justified exceptions live in
 tools/lint/aeva_lint_allowlist.json as {rule: {"path-glob": "reason"}}.
@@ -259,6 +268,79 @@ def run_header_standalone(files: list[Path], allowlist, jobs: int) -> list[dict]
     return [r for r in results if r is not None]
 
 
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_links(path: Path) -> list[tuple[int, str, Path]]:
+    """(line, raw target, resolved path) for every relative link in `path`.
+    External schemes and pure-anchor links are dropped; #anchors stripped."""
+    links = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in MD_LINK.finditer(line):
+            raw = match.group(1)
+            if raw.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = raw.split("#", 1)[0]
+            if not target:
+                continue
+            base = REPO_ROOT if target.startswith("/") else path.parent
+            links.append((lineno, raw, (base / target.lstrip("/")).resolve()))
+    return links
+
+
+def run_doc_links() -> list[dict]:
+    findings = []
+    readme = REPO_ROOT / "README.md"
+    docs_dir = REPO_ROOT / "docs"
+    doc_files = sorted(docs_dir.rglob("*.md")) if docs_dir.is_dir() else []
+    sources = ([readme] if readme.exists() else []) + doc_files
+
+    link_graph: dict[Path, list[Path]] = {}
+    for path in sources:
+        rel = rel_to_repo(path)
+        link_graph[path.resolve()] = []
+        for lineno, raw, resolved in markdown_links(path):
+            if not resolved.exists():
+                findings.append(
+                    {
+                        "rule": "doc-links",
+                        "path": rel,
+                        "line": lineno,
+                        "message": "relative link target does not exist",
+                        "excerpt": raw[:120],
+                    }
+                )
+                continue
+            link_graph[path.resolve()].append(resolved)
+
+    # Reachability: walk the markdown link graph from README.md; every page
+    # under docs/ must be visited.
+    reachable: set[Path] = set()
+    stack = [readme.resolve()] if readme.exists() else []
+    while stack:
+        page = stack.pop()
+        if page in reachable:
+            continue
+        reachable.add(page)
+        for target in link_graph.get(page, []):
+            if target.suffix == ".md" and target not in reachable:
+                stack.append(target)
+    for doc in doc_files:
+        if doc.resolve() not in reachable:
+            findings.append(
+                {
+                    "rule": "doc-links",
+                    "path": rel_to_repo(doc),
+                    "line": 1,
+                    "message": "not reachable from README.md via markdown "
+                    "links (add it to the docs index)",
+                    "excerpt": rel_to_repo(doc),
+                }
+            )
+    return findings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -272,6 +354,11 @@ def main() -> int:
         "--no-compile",
         action="store_true",
         help="skip the header-standalone compile check",
+    )
+    parser.add_argument(
+        "--no-doc-links",
+        action="store_true",
+        help="skip the documentation link-graph check",
     )
     parser.add_argument(
         "--jobs", type=int, default=8, help="parallel header compiles"
@@ -289,6 +376,8 @@ def main() -> int:
     findings = run_pattern_rules(files, allowlist)
     if not args.no_compile:
         findings += run_header_standalone(files, allowlist, args.jobs)
+    if not args.no_doc_links:
+        findings += run_doc_links()
     findings.sort(key=lambda f: (f["path"], f["line"], f["rule"]))
 
     for f in findings:
