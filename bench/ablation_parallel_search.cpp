@@ -176,7 +176,7 @@ Workload large_workload(int rounds) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
+  const util::Args args(argc, argv, {"quick"});
   const bool quick = args.has("quick");
   const int burst_rounds =
       static_cast<int>(args.get_int("rounds", quick ? 5 : 60));

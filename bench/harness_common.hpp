@@ -17,9 +17,11 @@
 #include "datacenter/simulator.hpp"
 #include "modeldb/campaign.hpp"
 #include "modeldb/database.hpp"
+#include "obs/session.hpp"
 #include "testbed/server_config.hpp"
 #include "trace/generator.hpp"
 #include "trace/prepare.hpp"
+#include "util/args.hpp"
 #include "util/rng.hpp"
 
 namespace aeva::bench {
@@ -115,6 +117,29 @@ inline datacenter::CloudConfig larger_cloud() {
   datacenter::CloudConfig cloud;
   cloud.server_count = 69;
   return cloud;
+}
+
+/// Boolean flags consumed by `obs_session_from_args` — merge into the
+/// flag list passed to util::Args so `--obs` never swallows a positional.
+inline std::vector<std::string> obs_flags() { return {"obs"}; }
+
+/// Observability plumbing shared by the harness CLIs
+/// (docs/OBSERVABILITY.md): `--obs` enables in-process collection;
+/// `--trace-out=<jsonl>`, `--chrome-out=<json>`, `--metrics-out=<json>`
+/// set export paths and each implies `--obs`. Returns null (everything
+/// disabled, zero overhead) when none of the four appear. Attach the
+/// session to CloudConfig::obs and/or ProactiveConfig::obs, run, then call
+/// `export_files()` on it.
+inline std::shared_ptr<obs::Session> obs_session_from_args(
+    const util::Args& args) {
+  obs::ObsConfig config;
+  config.trace_jsonl_path = args.get_string("trace-out", "");
+  config.chrome_trace_path = args.get_string("chrome-out", "");
+  config.metrics_json_path = args.get_string("metrics-out", "");
+  config.enabled = args.has("obs") || !config.trace_jsonl_path.empty() ||
+                   !config.chrome_trace_path.empty() ||
+                   !config.metrics_json_path.empty();
+  return obs::Session::create(config);
 }
 
 }  // namespace aeva::bench

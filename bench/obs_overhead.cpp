@@ -1,0 +1,222 @@
+/// Microbench: the observability layer's two contracts
+/// (docs/OBSERVABILITY.md).
+///
+///  1. **Zero interference.** The same seeded simulation runs once with
+///     observability disabled (null session) and once fully instrumented
+///     (metrics + tracing through the allocator and the simulator). Every
+///     SimMetrics field must match bit for bit; any divergence fails the
+///     binary — instrumentation that changes the experiment is a bug, not
+///     an overhead.
+///  2. **Cheap when disabled.** The disabled path is timed against a
+///     pre-instrumentation-equivalent baseline (the same disabled run,
+///     repeated), and the enabled run's overhead is reported. Timing is
+///     informational (CI machines are noisy); the bit-identity check is
+///     the hard gate.
+///
+/// With `--trace-out=<jsonl>` / `--chrome-out=<json>` /
+/// `--metrics-out=<json>` the instrumented session is exported — CI's
+/// obs-smoke step runs this binary and validates the JSONL against
+/// tools/obs/trace_schema.json. The run enables deterministic fault
+/// injection so the failure/restart instrumentation is exercised too.
+///
+/// Usage: obs_overhead [--quick] [--vms 1200] [--servers 24]
+///                     [--trace-out=...] [--chrome-out=...]
+///                     [--metrics-out=...]
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness_common.hpp"
+#include "obs/export.hpp"
+#include "obs/session.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace aeva;
+
+datacenter::CloudConfig make_cloud(int servers,
+                                   std::shared_ptr<obs::Session> obs) {
+  datacenter::CloudConfig cloud;
+  cloud.server_count = servers;
+  // Deterministic fault injection so the failure/restart counters and
+  // trace events are exercised (identical in both runs by construction).
+  cloud.failure.enabled = true;
+  cloud.failure.mtbf_s = 400000.0;
+  cloud.failure.mttr_s = 1800.0;
+  cloud.failure.seed = 2026;
+  cloud.obs = std::move(obs);
+  return cloud;
+}
+
+core::ProactiveConfig make_strategy_config(
+    std::shared_ptr<obs::Session> obs) {
+  core::ProactiveConfig config;
+  config.alpha = 0.5;
+  config.degrade_to_first_fit = true;
+  config.obs = std::move(obs);
+  return config;
+}
+
+struct TimedRun {
+  datacenter::SimMetrics metrics;
+  double wall_ms = 0.0;
+};
+
+TimedRun run_once(const modeldb::ModelDatabase& db,
+                  const trace::PreparedWorkload& workload, int servers,
+                  const std::shared_ptr<obs::Session>& obs) {
+  const datacenter::Simulator sim(db, make_cloud(servers, obs));
+  const core::ProactiveAllocator allocator(db, make_strategy_config(obs));
+  const auto begin = std::chrono::steady_clock::now();
+  TimedRun out;
+  out.metrics = sim.run(workload, allocator);
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - begin)
+                    .count();
+  return out;
+}
+
+bool same(const char* field, double a, double b) {
+  if (a == b) {
+    return true;
+  }
+  std::cerr << "FAIL: SimMetrics." << field << " diverged with obs on: "
+            << util::format_fixed(a, 9) << " vs " << util::format_fixed(b, 9)
+            << "\n";
+  return false;
+}
+
+bool same_u(const char* field, std::size_t a, std::size_t b) {
+  if (a == b) {
+    return true;
+  }
+  std::cerr << "FAIL: SimMetrics." << field << " diverged with obs on: " << a
+            << " vs " << b << "\n";
+  return false;
+}
+
+std::uint64_t counter_value(
+    const obs::MetricsRegistry::Snapshot& snapshot, const std::string& name) {
+  for (const auto& [key, value] : snapshot.counters) {
+    if (key == name) {
+      return value;
+    }
+  }
+  std::cerr << "FAIL: metrics snapshot is missing counter " << name << "\n";
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> flags = bench::obs_flags();
+  flags.emplace_back("quick");
+  const util::Args args(argc, argv, std::move(flags));
+  const bool quick = args.has("quick");
+  const int target_vms =
+      static_cast<int>(args.get_int("vms", quick ? 600 : 1200));
+  const int servers = static_cast<int>(args.get_int("servers", 24));
+
+  const modeldb::ModelDatabase& db = bench::shared_database();
+  const trace::PreparedWorkload workload =
+      bench::standard_workload(db, 2026, target_vms);
+  std::cout << "obs_overhead: " << workload.jobs.size() << " jobs, "
+            << workload.total_vms << " VMs on " << servers << " servers\n";
+
+  // Disabled twice: the first run warms caches/allocators, the second is
+  // the timing baseline.
+  (void)run_once(db, workload, servers, nullptr);
+  const TimedRun off = run_once(db, workload, servers, nullptr);
+
+  obs::ObsConfig obs_config;
+  obs_config.enabled = true;
+  obs_config.trace_jsonl_path = args.get_string("trace-out", "");
+  obs_config.chrome_trace_path = args.get_string("chrome-out", "");
+  obs_config.metrics_json_path = args.get_string("metrics-out", "");
+  const std::shared_ptr<obs::Session> session =
+      obs::Session::create(obs_config);
+  const TimedRun on = run_once(db, workload, servers, session);
+
+  // --- contract 1: bit-identical outcomes ---------------------------------
+  bool ok = true;
+  ok &= same("makespan_s", off.metrics.makespan_s, on.metrics.makespan_s);
+  ok &= same("energy_j", off.metrics.energy_j, on.metrics.energy_j);
+  ok &= same("sla_violation_pct", off.metrics.sla_violation_pct,
+             on.metrics.sla_violation_pct);
+  ok &= same("mean_response_s", off.metrics.mean_response_s,
+             on.metrics.mean_response_s);
+  ok &= same("mean_wait_s", off.metrics.mean_wait_s, on.metrics.mean_wait_s);
+  ok &= same("mean_busy_servers", off.metrics.mean_busy_servers,
+             on.metrics.mean_busy_servers);
+  ok &= same("lost_work_s", off.metrics.lost_work_s, on.metrics.lost_work_s);
+  ok &= same("goodput_fraction", off.metrics.goodput_fraction,
+             on.metrics.goodput_fraction);
+  ok &= same_u("jobs", off.metrics.jobs, on.metrics.jobs);
+  ok &= same_u("vms", off.metrics.vms, on.metrics.vms);
+  ok &= same_u("sla_violations", off.metrics.sla_violations,
+               on.metrics.sla_violations);
+  ok &= same_u("servers_powered", off.metrics.servers_powered,
+               on.metrics.servers_powered);
+  ok &= same_u("failures", off.metrics.failures, on.metrics.failures);
+  ok &= same_u("vm_restarts", off.metrics.vm_restarts,
+               on.metrics.vm_restarts);
+  ok &= same_u("vms_abandoned", off.metrics.vms_abandoned,
+               on.metrics.vms_abandoned);
+  ok &= same_u("fallback_allocations", off.metrics.fallback_allocations,
+               on.metrics.fallback_allocations);
+  if (!ok) {
+    return 1;
+  }
+  std::cout << "bit-identity: PASS (instrumented run matches the disabled "
+               "run exactly)\n";
+
+  // --- sanity: the instrumented run actually measured things --------------
+  const obs::MetricsRegistry::Snapshot snapshot =
+      session->metrics().snapshot();
+  const std::uint64_t candidates =
+      counter_value(snapshot, "pa.search.candidates");
+  const std::uint64_t sim_events = counter_value(snapshot, "sim.events");
+  const std::uint64_t lookups = counter_value(snapshot, "sim.modeldb.lookups");
+  (void)counter_value(snapshot, "pa.search.pruned_bound");
+  (void)counter_value(snapshot, "pa.search.pruned_infeasible");
+  (void)counter_value(snapshot, "sim.failures.crash");
+  (void)counter_value(snapshot, "sim.vm_restarts");
+  if (candidates == 0 || sim_events == 0 || lookups == 0 ||
+      session->trace().size() == 0) {
+    std::cerr << "FAIL: instrumented run recorded nothing (candidates="
+              << candidates << ", sim.events=" << sim_events
+              << ", lookups=" << lookups
+              << ", trace events=" << session->trace().size() << ")\n";
+    return 1;
+  }
+  std::cout << "coverage: " << candidates << " search candidates, "
+            << sim_events << " simulator events, " << lookups
+            << " model lookups, " << session->trace().size()
+            << " trace events\n";
+
+  // --- contract 2: overhead (informational) -------------------------------
+  const double overhead_pct =
+      off.wall_ms > 0.0 ? 100.0 * (on.wall_ms - off.wall_ms) / off.wall_ms
+                        : 0.0;
+  std::cout << "BENCH_JSON {\"bench\":\"obs_overhead\",\"disabled_ms\":"
+            << util::format_fixed(off.wall_ms, 2)
+            << ",\"enabled_ms\":" << util::format_fixed(on.wall_ms, 2)
+            << ",\"overhead_pct\":" << util::format_fixed(overhead_pct, 2)
+            << ",\"trace_events\":" << session->trace().size() << "}\n";
+
+  session->export_files();
+  for (const std::string& path :
+       {obs_config.trace_jsonl_path, obs_config.chrome_trace_path,
+        obs_config.metrics_json_path}) {
+    if (!path.empty()) {
+      std::cout << "wrote " << path << "\n";
+    }
+  }
+  return 0;
+}

@@ -267,7 +267,7 @@ int cmd_simulate(const util::Args& args) {
 
 int main(int argc, char** argv) {
   try {
-    const util::Args args(argc, argv);
+    const util::Args args(argc, argv, {"no-noise", "prepared", "migrate"});
     if (args.positional().empty()) {
       return usage();
     }

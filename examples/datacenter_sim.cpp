@@ -7,6 +7,12 @@
 /// Usage:
 ///   datacenter_sim [--strategy FF|FF-2|FF-3|PA-1|PA-0|PA-0.5]
 ///                  [--servers 60] [--vms 10000] [--seed 2026]
+///                  [--obs] [--trace-out=run.jsonl] [--chrome-out=run.json]
+///                  [--metrics-out=metrics.json]
+///
+/// The last four turn on the observability layer (docs/OBSERVABILITY.md):
+/// `--obs` collects and prints a metrics summary, the `*-out` options
+/// export the trace/metrics to files (each implies `--obs`).
 
 #include <iostream>
 #include <memory>
@@ -15,6 +21,8 @@
 #include "core/proactive.hpp"
 #include "datacenter/simulator.hpp"
 #include "modeldb/campaign.hpp"
+#include "obs/export.hpp"
+#include "obs/session.hpp"
 #include "trace/generator.hpp"
 #include "trace/prepare.hpp"
 #include "util/args.hpp"
@@ -23,12 +31,14 @@
 namespace {
 
 std::unique_ptr<aeva::core::Allocator> make_strategy(
-    const std::string& name, const aeva::modeldb::ModelDatabase& db) {
+    const std::string& name, const aeva::modeldb::ModelDatabase& db,
+    std::shared_ptr<aeva::obs::Session> obs) {
   using namespace aeva::core;
   if (name == "FF") return std::make_unique<FirstFitAllocator>(1);
   if (name == "FF-2") return std::make_unique<FirstFitAllocator>(2);
   if (name == "FF-3") return std::make_unique<FirstFitAllocator>(3);
   ProactiveConfig config;
+  config.obs = std::move(obs);
   if (name == "PA-1") {
     config.alpha = 1.0;
   } else if (name == "PA-0") {
@@ -45,11 +55,21 @@ std::unique_ptr<aeva::core::Allocator> make_strategy(
 
 int main(int argc, char** argv) {
   using namespace aeva;
-  const util::Args args(argc, argv);
+  const util::Args args(argc, argv, {"obs"});
   const std::string strategy_name = args.get_string("strategy", "PA-0.5");
   const int servers = static_cast<int>(args.get_int("servers", 60));
   const int target_vms = static_cast<int>(args.get_int("vms", 10000));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+
+  obs::ObsConfig obs_config;
+  obs_config.trace_jsonl_path = args.get_string("trace-out", "");
+  obs_config.chrome_trace_path = args.get_string("chrome-out", "");
+  obs_config.metrics_json_path = args.get_string("metrics-out", "");
+  obs_config.enabled = args.has("obs") ||
+                       !obs_config.trace_jsonl_path.empty() ||
+                       !obs_config.chrome_trace_path.empty() ||
+                       !obs_config.metrics_json_path.empty();
+  const std::shared_ptr<obs::Session> obs = obs::Session::create(obs_config);
 
   std::cout << "building model database from the testbed campaign...\n";
   modeldb::CampaignConfig campaign_config;
@@ -82,9 +102,10 @@ int main(int argc, char** argv) {
             << workload.vm_mix.cpu << "/" << workload.vm_mix.mem << "/"
             << workload.vm_mix.io << ")\n";
 
-  const auto strategy = make_strategy(strategy_name, db);
+  const auto strategy = make_strategy(strategy_name, db, obs);
   datacenter::CloudConfig cloud;
   cloud.server_count = servers;
+  cloud.obs = obs;
   const datacenter::Simulator sim(db, cloud);
 
   std::cout << "simulating strategy " << strategy->name() << " on "
@@ -107,5 +128,22 @@ int main(int argc, char** argv) {
             << "  busy servers    : mean "
             << util::format_fixed(metrics.mean_busy_servers, 1) << ", peak "
             << util::format_fixed(metrics.peak_busy_servers, 0) << "\n";
+
+  if (obs != nullptr) {
+    std::cout << "\nobservability snapshot ("
+              << obs->trace().size() << " trace events):\n"
+              << obs::metrics_summary_table(obs->metrics().snapshot());
+    obs->export_files();
+    if (!obs_config.trace_jsonl_path.empty()) {
+      std::cout << "wrote " << obs_config.trace_jsonl_path << "\n";
+    }
+    if (!obs_config.chrome_trace_path.empty()) {
+      std::cout << "wrote " << obs_config.chrome_trace_path
+                << " (open in chrome://tracing)\n";
+    }
+    if (!obs_config.metrics_json_path.empty()) {
+      std::cout << "wrote " << obs_config.metrics_json_path << "\n";
+    }
+  }
   return 0;
 }

@@ -53,7 +53,7 @@ void explore(const aeva::profiling::Profiler& profiler,
 
 int main(int argc, char** argv) {
   using namespace aeva;
-  const util::Args args(argc, argv);
+  const util::Args args(argc, argv, {"all"});
   const profiling::Profiler profiler;
 
   if (args.has("all")) {

@@ -71,6 +71,29 @@ ProactiveAllocator::ProactiveAllocator(
     fallback_.emplace(config_.fallback_multiplex,
                       std::vector<int>(models_.size(), 4));
   }
+  if (config_.obs != nullptr) {
+    // Resolve every metric handle once; allocate() then guards on one
+    // pointer and pays no name lookups (docs/OBSERVABILITY.md).
+    obs::MetricsRegistry& m = config_.obs->metrics();
+    obs_.calls = &m.counter("pa.allocate.calls");
+    obs_.candidates = &m.counter("pa.search.candidates");
+    obs_.evaluated = &m.counter("pa.search.evaluated");
+    obs_.pruned_bound = &m.counter("pa.search.pruned_bound");
+    obs_.pruned_infeasible = &m.counter("pa.search.pruned_infeasible");
+    obs_.placed_primary = &m.counter("pa.alloc.primary");
+    obs_.placed_fallback = &m.counter("pa.alloc.fallback");
+    obs_.rejected = &m.counter("pa.alloc.rejected");
+    obs_.candidates_per_call = &m.histogram(
+        "pa.search.candidates_per_call",
+        {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0});
+    obs_.chunk_evaluated = &m.histogram(
+        "pa.search.chunk_evaluated", {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0});
+    obs_.workers = &m.gauge("pa.search.workers");
+    obs_.memo_hits = &m.gauge("pa.memo.hits");
+    obs_.memo_misses = &m.gauge("pa.memo.misses");
+    obs_.memo_hit_rate = &m.gauge("pa.memo.hit_rate");
+    obs_.memo_entries = &m.gauge("pa.memo.entries");
+  }
 }
 
 const CostModel& ProactiveAllocator::cost_model(int hardware) const {
@@ -130,6 +153,22 @@ struct EvalScratch {
   std::vector<char> used;
   std::vector<PlacedBlock> blocks;
   std::vector<double> times;  ///< QoS sort buffer
+};
+
+/// Per-evaluator candidate-outcome tallies, flushed into the observability
+/// registry after the search (stack counters on the hot path; the flush is
+/// guarded, so a disabled session costs nothing beyond the increments).
+/// Tallying never feeds back into the search — results are unchanged.
+struct SearchTallies {
+  std::uint64_t evaluated = 0;         ///< reached finalize()
+  std::uint64_t pruned_bound = 0;      ///< abandoned by branch-and-bound
+  std::uint64_t pruned_infeasible = 0; ///< some block had no host
+
+  void merge(const SearchTallies& other) noexcept {
+    evaluated += other.evaluated;
+    pruned_bound += other.pruned_bound;
+    pruned_infeasible += other.pruned_infeasible;
+  }
 };
 
 /// Lock-free running minimum (monotonically decreasing, so a stale read is
@@ -226,7 +265,7 @@ struct SearchContext {
   /// blocks until the next call.
   [[nodiscard]] std::optional<EvalOutcome> evaluate(
       const partition::TypedPartition& blocks, double prune_above,
-      EvalScratch& scratch) const;
+      EvalScratch& scratch, SearchTallies& tally) const;
 };
 
 std::optional<PlacedBlock> SearchContext::placed_on(const ClassCounts& block,
@@ -376,7 +415,7 @@ EvalOutcome SearchContext::finalize(const std::vector<PlacedBlock>& blocks,
 
 std::optional<EvalOutcome> SearchContext::evaluate(
     const partition::TypedPartition& blocks, double prune_above,
-    EvalScratch& scratch) const {
+    EvalScratch& scratch, SearchTallies& tally) const {
   // A partition's blocks are per-server groups by definition: two blocks
   // sharing a server would be the coarser partition with those blocks
   // merged, which the enumeration visits separately. Keeping servers
@@ -391,6 +430,7 @@ std::optional<EvalOutcome> SearchContext::evaluate(
   for (const ClassCounts& block : blocks) {
     std::optional<PlacedBlock> placed = place_block(block, scratch.used);
     if (!placed.has_value()) {
+      ++tally.pruned_infeasible;
       return std::nullopt;  // no server can host this block
     }
     scratch.used[placed->server_index] = 1;
@@ -401,10 +441,12 @@ std::optional<EvalOutcome> SearchContext::evaluate(
       // contributions is a lower bound on the final rank.
       bound += rank_contribution(scratch.blocks.back());
       if (bound > prune_above) {
+        ++tally.pruned_bound;
         return std::nullopt;  // cannot beat the best complete candidate
       }
     }
   }
+  ++tally.evaluated;
   return finalize(scratch.blocks, scratch.times);
 }
 
@@ -460,6 +502,7 @@ class IncrementalEvaluator {
       for (std::size_t i = keep; i < blocks.size(); ++i) {
         const double block_min = min_contribution(blocks[i]);
         if (block_min == kInf) {
+          ++tallies_.pruned_infeasible;
           return std::nullopt;  // infeasible on every server, even unused
         }
         remaining_min += block_min;
@@ -469,6 +512,7 @@ class IncrementalEvaluator {
         // The partial bounds are monotone (every term ≥ 0 when pruning is
         // armed): the plain scorer would have abandoned this candidate no
         // later than its last block.
+        ++tallies_.pruned_bound;
         return std::nullopt;
       }
     }
@@ -478,6 +522,7 @@ class IncrementalEvaluator {
       }
       std::optional<PlacedBlock> placed = place_grouped(blocks[i]);
       if (!placed.has_value()) {
+        ++tallies_.pruned_infeasible;
         return std::nullopt;  // no unused server can host this block
       }
       used_[placed->server_index] = 1;
@@ -487,15 +532,22 @@ class IncrementalEvaluator {
           ctx_.rank_contribution(placed_.back());
       bound_after_.push_back(bound);
       if (ctx_.prune_enabled && bound + remaining_min > prune_above) {
+        ++tallies_.pruned_bound;
         return std::nullopt;  // cannot beat the best complete candidate
       }
     }
+    ++tallies_.evaluated;
     return ctx_.finalize(placed_, times_);
   }
 
   /// The placement behind the last successful evaluate().
   [[nodiscard]] const std::vector<PlacedBlock>& blocks() const {
     return placed_;
+  }
+
+  /// Candidate-outcome tallies accumulated over this evaluator's life.
+  [[nodiscard]] const SearchTallies& tallies() const noexcept {
+    return tallies_;
   }
 
  private:
@@ -601,6 +653,7 @@ class IncrementalEvaluator {
   std::vector<char> used_;
   std::vector<double> times_;
   std::unordered_map<std::uint64_t, std::vector<GroupEval>> shape_evals_;
+  SearchTallies tallies_;
 };
 
 /// Running optima of a search, with the deterministic tie-break: strictly
@@ -740,6 +793,7 @@ AllocationResult ProactiveAllocator::allocate(
   const std::size_t max_blocks = std::max<std::size_t>(servers.size(), 1);
 
   SearchBest best;
+  SearchTallies tally;
   std::size_t examined = 0;
 
   const std::size_t workers = config_.force_serial
@@ -771,8 +825,9 @@ AllocationResult ProactiveAllocator::allocate(
             }
           }
           const std::optional<EvalOutcome> out =
-              inc.has_value() ? inc->evaluate(blocks, prune_above)
-                              : ctx.evaluate(blocks, prune_above, scratch);
+              inc.has_value()
+                  ? inc->evaluate(blocks, prune_above)
+                  : ctx.evaluate(blocks, prune_above, scratch, tally);
           if (out.has_value()) {
             best.consider(*out, inc.has_value() ? inc->blocks()
                                                 : scratch.blocks,
@@ -783,6 +838,9 @@ AllocationResult ProactiveAllocator::allocate(
     AEVA_INVARIANT(visited == examined,
                    "partition enumeration visited ", visited,
                    " but the scorer saw ", examined);
+    if (inc.has_value()) {
+      tally.merge(inc->tallies());
+    }
   } else {
     // Parallel fan-out: materialize the candidate stream (bounded by the
     // budget), dispatch fixed-size index ranges to the pool, reduce the
@@ -815,11 +873,13 @@ AllocationResult ProactiveAllocator::allocate(
           best.consider(*out, inc.blocks(), i);
         }
       }
+      tally.merge(inc.tallies());
     } else {
       util::ThreadPool& pool = runtime_->ensure_pool(workers);
       std::atomic<double> best_any_rank{kInf};
       std::atomic<double> best_qos_rank{kInf};
       std::vector<SearchBest> chunk_best(chunk_count);
+      std::vector<SearchTallies> chunk_tallies(chunk_count);
       for (std::size_t c = 0; c < chunk_count; ++c) {
         pool.submit([&, c] {
           const std::size_t begin = c * chunk;
@@ -846,15 +906,49 @@ AllocationResult ProactiveAllocator::allocate(
             }
           }
           chunk_best[c] = std::move(local);
+          chunk_tallies[c] = inc.tallies();
         });
       }
       pool.wait();
       for (SearchBest& local : chunk_best) {
         best.merge(std::move(local));
       }
+      for (const SearchTallies& chunk_tally : chunk_tallies) {
+        tally.merge(chunk_tally);
+        if (obs_.chunk_evaluated != nullptr) {
+          obs_.chunk_evaluated->record(
+              static_cast<double>(chunk_tally.evaluated));
+        }
+      }
     }
   }
   result.partitions_examined = examined;
+
+  // Metrics flush (no-op when observability is off). Called once on every
+  // exit path below with the counter matching the outcome; reads the
+  // search state but never influences the decision.
+  const auto obs_flush = [&](obs::Counter* outcome_counter) {
+    if (obs_.calls == nullptr) {
+      return;
+    }
+    obs_.calls->add();
+    obs_.candidates->add(examined);
+    obs_.evaluated->add(tally.evaluated);
+    obs_.pruned_bound->add(tally.pruned_bound);
+    obs_.pruned_infeasible->add(tally.pruned_infeasible);
+    obs_.candidates_per_call->record(static_cast<double>(examined));
+    obs_.workers->set(static_cast<double>(workers));
+    if (outcome_counter != nullptr) {
+      outcome_counter->add();
+    }
+    const modeldb::EstimateCache::Stats memo = memo_stats();
+    obs_.memo_hits->set(static_cast<double>(memo.hits));
+    obs_.memo_misses->set(static_cast<double>(memo.misses));
+    obs_.memo_entries->set(static_cast<double>(memo.entries));
+    const double lookups = static_cast<double>(memo.hits + memo.misses);
+    obs_.memo_hit_rate->set(
+        lookups > 0.0 ? static_cast<double>(memo.hits) / lookups : 0.0);
+  };
 
   std::optional<Candidate>& best_any = best.any;
   std::optional<Candidate>& best_qos = best.qos;
@@ -885,12 +979,14 @@ AllocationResult ProactiveAllocator::allocate(
         fb.satisfied_qos = false;  // the slot-based fallback is QoS-blind
         fb.outcome =
             AllocationOutcome{AllocationPath::kFallbackFirstFit, reason};
+        obs_flush(obs_.placed_fallback);
         return fb;
       }
     }
     // Nothing could place the request: it stays queued, with the reason on
     // record.
     result.outcome = AllocationOutcome{AllocationPath::kRejected, reason};
+    obs_flush(obs_.rejected);
     return result;
   }
   result.satisfied_qos = chosen->qos_ok;
@@ -939,6 +1035,7 @@ AllocationResult ProactiveAllocator::allocate(
     }
   }
   result.complete = true;
+  obs_flush(obs_.placed_primary);
   return result;
 }
 

@@ -31,6 +31,7 @@
 #include "core/types.hpp"
 #include "modeldb/database.hpp"
 #include "modeldb/estimate_cache.hpp"
+#include "obs/session.hpp"
 
 namespace aeva::core {
 
@@ -98,6 +99,14 @@ struct ProactiveConfig {
   /// pool, no memo cache, no pruning), ignoring the three knobs above.
   /// The equality tests pin the optimized paths to this one.
   bool force_serial = false;
+
+  // --- observability (docs/OBSERVABILITY.md) -------------------------------
+  /// Metrics/tracing session shared with the rest of the run. Null (the
+  /// default) disables instrumentation entirely: the allocator resolves no
+  /// metric handles and the search pays only dead branch tests — outputs
+  /// and placement decisions are bit-identical either way (the session is
+  /// strictly read-only with respect to the search).
+  std::shared_ptr<obs::Session> obs;
 };
 
 /// The proactive allocator (strategies PA-1 / PA-0 / PA-0.5 of Sect. IV-D
@@ -145,6 +154,27 @@ class ProactiveAllocator final : public Allocator {
   /// mutex on the first parallel search and reused afterwards.
   struct SearchRuntime;
 
+  /// Pre-resolved metric handles (all null when `config_.obs` is null, so
+  /// the hot path guards on one pointer). Resolved once at construction;
+  /// the registry owns the metrics and outlives us via `config_.obs`.
+  struct ObsHandles {
+    obs::Counter* calls = nullptr;
+    obs::Counter* candidates = nullptr;
+    obs::Counter* evaluated = nullptr;
+    obs::Counter* pruned_bound = nullptr;
+    obs::Counter* pruned_infeasible = nullptr;
+    obs::Counter* placed_primary = nullptr;
+    obs::Counter* placed_fallback = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Histogram* candidates_per_call = nullptr;
+    obs::Histogram* chunk_evaluated = nullptr;
+    obs::Gauge* workers = nullptr;
+    obs::Gauge* memo_hits = nullptr;
+    obs::Gauge* memo_misses = nullptr;
+    obs::Gauge* memo_hit_rate = nullptr;
+    obs::Gauge* memo_entries = nullptr;
+  };
+
   ProactiveConfig config_;
   std::vector<CostModel> models_;
   /// Per-hardware-class memo caches (engaged with `memoize_estimates`;
@@ -153,6 +183,7 @@ class ProactiveAllocator final : public Allocator {
   std::shared_ptr<SearchRuntime> runtime_;
   /// Degradation leg (engaged only with `degrade_to_first_fit`).
   std::optional<FirstFitAllocator> fallback_;
+  ObsHandles obs_;
 };
 
 }  // namespace aeva::core

@@ -14,6 +14,13 @@ double weighted_sum(const std::vector<WeightedValue>& intervals,
   double wsum = 0.0;
   double acc = 0.0;
   for (const WeightedValue& interval : intervals) {
+    // Finiteness first: a NaN weight/value would also fail the >= 0
+    // checks, but with a misleading "negative" message, and +inf would
+    // silently blow up the sum.
+    AEVA_REQUIRE(std::isfinite(interval.weight),
+                 "non-finite interval weight in ", what);
+    AEVA_REQUIRE(std::isfinite(interval.value),
+                 "non-finite interval value in ", what);
     AEVA_REQUIRE(interval.weight >= 0.0, "negative interval weight in ",
                  what);
     AEVA_REQUIRE(interval.value >= 0.0, "negative interval value in ", what);

@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/cost_model.hpp"
@@ -149,6 +150,62 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
   std::int64_t next_vm_id = 1;
   double busy_server_time = 0.0;  // ∫ busy_count dt
 
+  // --- observability (docs/OBSERVABILITY.md) ------------------------------
+  // Handles resolved once per run; all null without a session, so every
+  // instrumentation site below is a single pointer test when disabled.
+  struct SimObs {
+    obs::Counter* loop_events = nullptr;
+    obs::Counter* ev_arrival = nullptr;
+    obs::Counter* ev_completion = nullptr;
+    obs::Counter* ev_transfer = nullptr;
+    obs::Counter* ev_sweep = nullptr;
+    obs::Counter* ev_failure = nullptr;
+    obs::Counter* ev_window = nullptr;
+    obs::Counter* intervals = nullptr;
+    obs::Counter* admissions = nullptr;
+    obs::Counter* admission_failures = nullptr;
+    obs::Counter* backfills = nullptr;
+    obs::Counter* restarts_placed = nullptr;
+    obs::Counter* restart_failures = nullptr;
+    obs::Counter* db_lookups = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Counter* degrades = nullptr;
+    obs::Counter* brownouts = nullptr;
+    obs::Counter* abandoned = nullptr;
+    obs::Histogram* queue_depth = nullptr;
+    obs::Histogram* interval_s = nullptr;
+    obs::TraceLog* trace = nullptr;
+  } sobs;
+  if (cloud_.obs != nullptr) {
+    obs::MetricsRegistry& reg = cloud_.obs->metrics();
+    sobs.loop_events = &reg.counter("sim.events");
+    sobs.ev_arrival = &reg.counter("sim.events.arrival");
+    sobs.ev_completion = &reg.counter("sim.events.completion");
+    sobs.ev_transfer = &reg.counter("sim.events.transfer");
+    sobs.ev_sweep = &reg.counter("sim.events.sweep");
+    sobs.ev_failure = &reg.counter("sim.events.failure");
+    sobs.ev_window = &reg.counter("sim.events.window");
+    sobs.intervals = &reg.counter("sim.intervals");
+    sobs.admissions = &reg.counter("sim.admissions");
+    sobs.admission_failures = &reg.counter("sim.admission_failures");
+    sobs.backfills = &reg.counter("sim.backfills");
+    sobs.restarts_placed = &reg.counter("sim.vm_restarts");
+    sobs.restart_failures = &reg.counter("sim.restart_failures");
+    sobs.db_lookups = &reg.counter("sim.modeldb.lookups");
+    sobs.crashes = &reg.counter("sim.failures.crash");
+    sobs.degrades = &reg.counter("sim.failures.degrade");
+    sobs.brownouts = &reg.counter("sim.failures.brownout");
+    sobs.abandoned = &reg.counter("sim.vms_abandoned");
+    sobs.queue_depth = &reg.histogram(
+        "sim.queue_depth", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+    sobs.interval_s = &reg.histogram(
+        "sim.interval_s", {1.0, 10.0, 60.0, 300.0, 900.0, 3600.0, 14400.0});
+    sobs.trace = &cloud_.obs->trace();
+  }
+  // Run-level span: brackets the whole event loop on the simulated
+  // timeline; its real_us is the wall-clock cost of the run.
+  obs::Span run_span(sobs.trace, "run", "sim", t0);
+
   FailureSchedule failure_schedule(fail, cloud_.server_count, t0);
 
   // Hardware class of each server (class 0 when no map is configured).
@@ -173,6 +230,9 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
     const modeldb::Record rec =
         db_of(hardware_of(static_cast<std::size_t>(server_id)))
             .estimate(server.alloc);
+    if (sobs.db_lookups != nullptr) {
+      sobs.db_lookups->add();
+    }
     server.busy_power_w = std::max(rec.avg_power_w(), cloud_.idle_power_w);
     // Failure modifiers: transient degradation windows slow every resident
     // VM; a brownout clamps the server's draw and slows VMs by the same
@@ -256,9 +316,17 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
         vm.max_exec_time_s = exec_bound > 0.0 ? exec_bound : kInf;
         request.push_back(vm);
       }
+      // The span's real_us measures the allocator's wall-clock latency for
+      // this admission attempt; its simulated duration is zero (admission
+      // is instantaneous in the model).
+      obs::Span span(sobs.trace, "admit", "sim", now);
       const core::AllocationResult result =
           allocator.allocate(request, server_states());
       if (!result.complete) {
+        span.cancel();  // count the miss, don't trace it (volume)
+        if (sobs.admission_failures != nullptr) {
+          sobs.admission_failures->add();
+        }
         return false;  // no room (or no QoS-feasible room) right now
       }
       AEVA_INVARIANT(result.placements.size() == request.size(),
@@ -302,6 +370,13 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
         refresh_server(s);
       }
       queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
+      if (sobs.admissions != nullptr) {
+        sobs.admissions->add();
+        span.arg("job", std::to_string(job.id));
+        span.arg("vms", std::to_string(job.vm_count));
+        span.arg("servers", std::to_string(touched.size()));
+      }
+      span.close(now);
       return true;
     }
   };
@@ -318,9 +393,14 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
     const double exec_bound =
         job.max_exec_stretch * db_of(0).base().of(job.profile).solo_time_s;
     request.max_exec_time_s = exec_bound > 0.0 ? exec_bound : kInf;
+    obs::Span span(sobs.trace, "restart", "failure", now);
     const core::AllocationResult result =
         allocator.allocate({request}, server_states());
     if (!result.complete) {
+      span.cancel();
+      if (sobs.restart_failures != nullptr) {
+        sobs.restart_failures->add();
+      }
       return false;
     }
     AEVA_INVARIANT(result.placements.size() == 1,
@@ -353,6 +433,13 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
     host.ever_powered = true;
     refresh_server(placement.server_id);
     ++metrics.vm_restarts;
+    if (sobs.restarts_placed != nullptr) {
+      sobs.restarts_placed->add();
+      span.arg("job", std::to_string(job.id));
+      span.arg("server", std::to_string(placement.server_id));
+      span.arg("retries", std::to_string(vm.retries));
+    }
+    span.close(now);
     restarts.pop_front();
     return true;
   };
@@ -374,6 +461,9 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
       for (std::size_t p = 1; p < queue.size() && p <= window; ++p) {
         if (try_admit(p)) {
           backfilled = true;
+          if (sobs.backfills != nullptr) {
+            sobs.backfills->add();
+          }
           break;
         }
       }
@@ -582,6 +672,19 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
     }
   };
 
+  // Instant trace event for a fault that actually applied (guard call
+  // sites on sobs.trace so the disabled path builds no strings).
+  const auto trace_fault = [&](const char* kind, const FailureEvent& event) {
+    obs::TraceEvent record;
+    record.name = kind;
+    record.cat = "failure";
+    record.phase = 'i';
+    record.ts_sim_s = now;
+    record.args.emplace_back("server", std::to_string(event.server));
+    record.args.emplace_back("duration_s", std::to_string(event.duration_s));
+    sobs.trace->record(std::move(record));
+  };
+
   // Applies one due fault. Crashes lose every resident VM, abort inbound
   // transfers cleanly (the VM never left its source), and mask the server
   // until repair; degrade/brownout just open their windows.
@@ -594,6 +697,10 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
       server.degrade_until = now + event.duration_s;
       server.degrade_mult = event.magnitude;
       refresh_server(event.server);
+      if (sobs.degrades != nullptr) {
+        sobs.degrades->add();
+        trace_fault("degrade", event);
+      }
       return;
     }
     if (event.kind == FailureKind::kBrownout) {
@@ -603,6 +710,10 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
       server.brownout_until = now + event.duration_s;
       server.brownout_cap_w = event.magnitude;
       refresh_server(event.server);
+      if (sobs.brownouts != nullptr) {
+        sobs.brownouts->add();
+        trace_fault("brownout", event);
+      }
       return;
     }
     // Crash.
@@ -610,6 +721,10 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
       return;  // scripted overlap with a sampled outage: already masked
     }
     ++metrics.failures;
+    if (sobs.crashes != nullptr) {
+      sobs.crashes->add();
+      trace_fault("crash", event);
+    }
     server.down = true;
     server.repair_s = now + event.duration_s;
     server.powered = false;  // comes back cold: wake-up premium paid again
@@ -652,6 +767,9 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
       if (fail.recovery.policy == RecoveryPolicy::kAbandonAfterRetries &&
           vm.retries >= fail.recovery.max_retries) {
         ++metrics.vms_abandoned;
+        if (sobs.abandoned != nullptr) {
+          sobs.abandoned->add();
+        }
         retire_vm_of_job(vm.job_index);  // never re-runs; free dependents
       } else {
         restarts.push_back(RestartVm{vm.job_index, resume, vm.retries + 1});
@@ -724,10 +842,33 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
           "and no future arrivals (strategy '" +
           allocator.name() + "' cannot place the head-of-line job)");
     }
+    if (sobs.loop_events != nullptr) {
+      sobs.loop_events->add();
+      sobs.queue_depth->record(static_cast<double>(queue.size()));
+      // Attribute the step to the earliest source (ties resolve in the
+      // order the min above considers them — observability only).
+      obs::Counter* which = sobs.ev_window;
+      if (next_event == next_arrival) {
+        which = sobs.ev_arrival;
+      } else if (next_event == next_completion) {
+        which = sobs.ev_completion;
+      } else if (next_event == next_transfer) {
+        which = sobs.ev_transfer;
+      } else if (next_event == sweep_event) {
+        which = sobs.ev_sweep;
+      } else if (next_event == next_failure) {
+        which = sobs.ev_failure;
+      }
+      which->add();
+    }
 
     // Accrue energy and progress over [now, next_event].
     const double dt = next_event - now;
     if (dt > 0.0) {
+      if (sobs.intervals != nullptr) {
+        sobs.intervals->add();
+        sobs.interval_s->record(dt);
+      }
       double busy = 0.0;
       double power = 0.0;
       for (const ServerRt& server : servers) {
@@ -904,6 +1045,18 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
       useful_work_s + metrics.lost_work_s > 0.0
           ? useful_work_s / (useful_work_s + metrics.lost_work_s)
           : 1.0;
+  if (cloud_.obs != nullptr) {
+    obs::MetricsRegistry& reg = cloud_.obs->metrics();
+    reg.gauge("sim.makespan_s").set(metrics.makespan_s);
+    reg.gauge("sim.energy_j").set(metrics.energy_j);
+    reg.gauge("sim.sla_violation_pct").set(metrics.sla_violation_pct);
+    reg.gauge("sim.lost_work_s").set(metrics.lost_work_s);
+    reg.gauge("sim.goodput_fraction").set(metrics.goodput_fraction);
+    run_span.arg("strategy", allocator.name());
+    run_span.arg("jobs", std::to_string(metrics.jobs));
+    run_span.arg("vms", std::to_string(metrics.vms));
+  }
+  run_span.close(now);
   return metrics;
 }
 

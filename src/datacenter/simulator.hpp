@@ -26,11 +26,13 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/types.hpp"
 #include "datacenter/failure.hpp"
 #include "modeldb/database.hpp"
+#include "obs/session.hpp"
 #include "thermal/thermal_model.hpp"
 #include "trace/prepare.hpp"
 
@@ -96,6 +98,10 @@ struct CloudConfig {
   /// default — 10k records per run are only worth paying for when a
   /// distribution analysis consumes them).
   bool record_completions = false;
+  /// Observability session (docs/OBSERVABILITY.md). Null (the default)
+  /// disables all metric and trace emission from the simulator; a run is
+  /// bit-identical either way — the session only records what happened.
+  std::shared_ptr<obs::Session> obs;
 };
 
 /// One VM's lifecycle record (emitted when `record_completions` is set).

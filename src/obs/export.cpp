@@ -1,0 +1,195 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+
+namespace aeva::obs {
+
+namespace {
+
+/// Shortest round-trip decimal form of a double (JSON-safe: no inf/nan —
+/// callers only serialize finite values; non-finite turns into null).
+std::string json_number(double value) {
+  if (!(value == value) || value > 1.7976931348623157e308 ||
+      value < -1.7976931348623157e308) {
+    return "null";
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void append_event_json(std::ostringstream& out, const TraceEvent& event) {
+  out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+      << json_escape(event.cat) << "\",\"ph\":\"" << event.phase
+      << "\",\"seq\":" << event.seq
+      << ",\"ts_sim_s\":" << json_number(event.ts_sim_s)
+      << ",\"dur_sim_s\":" << json_number(event.dur_sim_s)
+      << ",\"real_us\":" << json_number(event.real_us)
+      << ",\"nondeterministic\":[\"real_us\"]";
+  if (!event.args.empty()) {
+    out << ",\"args\":{";
+    bool first = true;
+    for (const auto& [key, value] : event.args) {
+      out << (first ? "" : ",") << "\"" << json_escape(key) << "\":\""
+          << json_escape(value) << "\"";
+      first = false;
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const TraceLog& log) {
+  std::ostringstream out;
+  const std::vector<TraceEvent> events = log.events();
+  for (const TraceEvent& event : events) {
+    append_event_json(out, event);
+    out << "\n";
+  }
+  out << "{\"meta\":{\"events\":" << events.size()
+      << ",\"dropped\":" << log.dropped() << "}}\n";
+  return out.str();
+}
+
+std::string to_chrome_trace(const TraceLog& log) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : log.events()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+        << json_escape(event.cat) << "\",\"ph\":\"" << event.phase
+        << "\",\"pid\":1,\"tid\":1"
+        << ",\"ts\":" << json_number(event.ts_sim_s * 1e6);
+    if (event.phase == 'X') {
+      out << ",\"dur\":" << json_number(event.dur_sim_s * 1e6);
+    }
+    out << ",\"args\":{\"seq\":" << event.seq
+        << ",\"real_us\":" << json_number(event.real_us);
+    for (const auto& [key, value] : event.args) {
+      out << ",\"" << json_escape(key) << "\":\"" << json_escape(value)
+          << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out.str();
+}
+
+std::string metrics_to_json(const MetricsRegistry::Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "" : ",") << "\"" << json_escape(name) << "\":" << value;
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "" : ",") << "\"" << json_escape(name)
+        << "\":" << json_number(value);
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out << (first ? "" : ",") << "\"" << json_escape(name) << "\":{"
+        << "\"count\":" << hist.stats.count();
+    if (hist.stats.count() > 0) {
+      out << ",\"mean\":" << json_number(hist.stats.mean())
+          << ",\"stddev\":" << json_number(hist.stats.stddev())
+          << ",\"min\":" << json_number(hist.stats.min())
+          << ",\"max\":" << json_number(hist.stats.max());
+    }
+    out << ",\"bounds\":[";
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      out << (i > 0 ? "," : "") << json_number(hist.bounds[i]);
+    }
+    out << "],\"buckets\":[";
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      out << (i > 0 ? "," : "") << hist.buckets[i];
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "}}\n";
+  return out.str();
+}
+
+std::string metrics_summary_table(const MetricsRegistry::Snapshot& snapshot) {
+  util::TablePrinter table({"metric", "kind", "value"});
+  for (const auto& [name, value] : snapshot.counters) {
+    table.add_row({name, "counter", std::to_string(value)});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    table.add_row({name, "gauge", util::format_fixed(value, 4)});
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    std::string cell = "n=" + std::to_string(hist.stats.count());
+    if (hist.stats.count() > 0) {
+      cell += " mean=" + util::format_fixed(hist.stats.mean(), 3) +
+              " min=" + util::format_fixed(hist.stats.min(), 3) +
+              " max=" + util::format_fixed(hist.stats.max(), 3);
+    }
+    table.add_row({name, "histogram", cell});
+  }
+  return table.to_string();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("obs: cannot open " + path + " for writing");
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("obs: failed writing " + path);
+  }
+}
+
+}  // namespace aeva::obs

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file export.hpp
+/// Serializers for the observability layer (docs/OBSERVABILITY.md):
+///
+///  * `to_jsonl`        — one JSON object per TraceEvent per line; the
+///                        machine-readable dump validated in CI against
+///                        tools/obs/trace_schema.json.
+///  * `to_chrome_trace` — Chrome trace-event JSON (`{"traceEvents": [...]}`)
+///                        with simulated time on the timeline axis; open in
+///                        chrome://tracing or https://ui.perfetto.dev.
+///  * `metrics_to_json` — counters / gauges / histograms snapshot.
+///  * `metrics_summary_table` — fixed-width text table
+///                        (util::TablePrinter) of every counter and gauge,
+///                        for terminal consumption. Deterministic: contains
+///                        no wall-clock-derived values.
+///
+/// Determinism contract: every serialization is byte-deterministic except
+/// for the `real_us` field of trace events, which carries wall-clock
+/// durations and is explicitly tagged nondeterministic — golden outputs
+/// must use the summary table or strip `real_us` (see
+/// docs/OBSERVABILITY.md).
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_log.hpp"
+
+namespace aeva::obs {
+
+/// JSON Lines dump of the whole log, in sequence order. The final line is
+/// a `{"meta": ...}` record with the event/drop totals.
+[[nodiscard]] std::string to_jsonl(const TraceLog& log);
+
+/// Chrome trace-event format; `ts`/`dur` are simulated microseconds, the
+/// wall-clock duration rides along as `args.real_us`.
+[[nodiscard]] std::string to_chrome_trace(const TraceLog& log);
+
+/// Metrics snapshot as one JSON object.
+[[nodiscard]] std::string metrics_to_json(
+    const MetricsRegistry::Snapshot& snapshot);
+
+/// Plain-text summary: counters and gauges as a two-column table, one
+/// histogram line each (count/mean/min/max).
+[[nodiscard]] std::string metrics_summary_table(
+    const MetricsRegistry::Snapshot& snapshot);
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Writes `content` to `path`, throwing std::runtime_error on failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace aeva::obs

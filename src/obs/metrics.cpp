@@ -1,0 +1,101 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace aeva::obs {
+
+Histogram::Histogram(std::vector<double> bounds, std::size_t shard_count)
+    : bounds_(std::move(bounds)) {
+  AEVA_REQUIRE(shard_count >= 1, "histogram needs at least one shard");
+  AEVA_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                   std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                       bounds_.end(),
+               "histogram bounds must be strictly increasing");
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->buckets.assign(bounds_.size() + 1, 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void Histogram::record(double value) noexcept {
+  // Thread-id hash picks the stripe: the same thread always lands on the
+  // same shard, so writer threads contend only with the (rare) snapshot.
+  const std::size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      shards_.size();
+  Shard& shard = *shards_[stripe];
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket =
+      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.stats.add(value);
+  ++shard.buckets[bucket];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  out.buckets.assign(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    out.stats.merge(shard->stats);
+    for (std::size_t b = 0; b < out.buckets.size(); ++b) {
+      out.buckets[b] += shard->buckets[b];
+    }
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.emplace_back(name, histogram->snapshot());
+  }
+  return out;
+}
+
+}  // namespace aeva::obs

@@ -1,0 +1,30 @@
+#include "obs/session.hpp"
+
+#include "obs/export.hpp"
+
+namespace aeva::obs {
+
+Session::Session(ObsConfig config)
+    : config_(std::move(config)), trace_(config_.max_trace_events) {}
+
+std::shared_ptr<Session> Session::create(const ObsConfig& config) {
+  if (!config.enabled) {
+    return nullptr;
+  }
+  return std::make_shared<Session>(config);
+}
+
+void Session::export_files() const {
+  if (!config_.trace_jsonl_path.empty()) {
+    write_text_file(config_.trace_jsonl_path, to_jsonl(trace_));
+  }
+  if (!config_.chrome_trace_path.empty()) {
+    write_text_file(config_.chrome_trace_path, to_chrome_trace(trace_));
+  }
+  if (!config_.metrics_json_path.empty()) {
+    write_text_file(config_.metrics_json_path,
+                    metrics_to_json(metrics_.snapshot()));
+  }
+}
+
+}  // namespace aeva::obs

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file session.hpp
+/// The observability session: one `MetricsRegistry` plus one `TraceLog`
+/// behind a single handle that instrumented subsystems share
+/// (docs/OBSERVABILITY.md).
+///
+/// The enable/disable contract:
+///
+///  * Configs (`core::ProactiveConfig::obs`, `datacenter::CloudConfig::obs`)
+///    carry a `std::shared_ptr<Session>`. **Null means disabled** — there
+///    is no half-enabled state, no runtime flag to re-check, and the
+///    instrumentation sites compile down to a pointer test (the
+///    `AEVA_OBS_IF` macro / pre-resolved null handles).
+///  * With a null session, instrumented code takes no locks, allocates
+///    nothing, reads no clocks, and produces bit-identical outputs to the
+///    uninstrumented code (regression-tested; `bench/obs_overhead`
+///    measures the residual cost of the pointer tests).
+///  * `Session::create(config)` returns null when `config.enabled` is
+///    false, so call sites plumb one ObsConfig and never branch.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_log.hpp"
+
+namespace aeva::obs {
+
+/// User-facing observability knob, plumbed through the bench/CLI
+/// harnesses. Paths are optional: an enabled session with no paths still
+/// collects (tests and in-process consumers read the registry directly);
+/// `export_files()` writes whichever paths are set.
+struct ObsConfig {
+  bool enabled = false;
+  /// JSON Lines structured event dump (one TraceEvent per line).
+  std::string trace_jsonl_path;
+  /// Chrome trace-event JSON (open in chrome://tracing or Perfetto).
+  std::string chrome_trace_path;
+  /// Metrics snapshot JSON (counters / gauges / histograms).
+  std::string metrics_json_path;
+  /// Trace-log capacity; past it events are dropped and counted.
+  std::size_t max_trace_events = 1 << 20;
+};
+
+/// Shared metrics + tracing context of one run.
+class Session {
+ public:
+  explicit Session(ObsConfig config);
+
+  /// Null when `config.enabled` is false — the universal disabled state.
+  [[nodiscard]] static std::shared_ptr<Session> create(
+      const ObsConfig& config);
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] TraceLog& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceLog& trace() const noexcept { return trace_; }
+  [[nodiscard]] const ObsConfig& config() const noexcept { return config_; }
+
+  /// Writes every configured export path (see obs/export.hpp); paths left
+  /// empty are skipped. Throws std::runtime_error when a file cannot be
+  /// written.
+  void export_files() const;
+
+ private:
+  ObsConfig config_;
+  MetricsRegistry metrics_;
+  TraceLog trace_;
+};
+
+}  // namespace aeva::obs
+
+/// Runs `...` only when `obs` (any pointer-like to obs::Session) is
+/// non-null. The disabled path is exactly one pointer test — keep hot-path
+/// instrumentation behind this (or behind pre-resolved null handles).
+#define AEVA_OBS_IF(obs, ...)  \
+  do {                         \
+    if ((obs) != nullptr) {    \
+      __VA_ARGS__;             \
+    }                          \
+  } while (false)

@@ -1,0 +1,82 @@
+#include "obs/trace_log.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace aeva::obs {
+
+std::uint64_t monotonic_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceLog::TraceLog(std::size_t max_events) : max_events_(max_events) {
+  AEVA_REQUIRE(max_events_ >= 1, "trace log needs room for at least 1 event");
+}
+
+void TraceLog::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceLog::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TraceLog::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+Span::Span(TraceLog* log, std::string name, std::string cat,
+           double sim_begin_s)
+    : log_(log) {
+  if (log_ == nullptr) {
+    return;
+  }
+  event_.name = std::move(name);
+  event_.cat = std::move(cat);
+  event_.phase = 'X';
+  event_.ts_sim_s = sim_begin_s;
+  real_begin_ns_ = monotonic_now_ns();
+}
+
+Span::~Span() {
+  if (log_ != nullptr && !closed_) {
+    close(event_.ts_sim_s);
+  }
+}
+
+void Span::arg(std::string key, std::string value) {
+  if (log_ == nullptr || closed_) {
+    return;
+  }
+  event_.args.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::close(double sim_end_s) {
+  if (log_ == nullptr || closed_) {
+    return;
+  }
+  closed_ = true;
+  event_.dur_sim_s = sim_end_s - event_.ts_sim_s;
+  event_.real_us =
+      static_cast<double>(monotonic_now_ns() - real_begin_ns_) / 1000.0;
+  log_->record(std::move(event_));
+}
+
+}  // namespace aeva::obs

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file trace_log.hpp
+/// Structured event tracing for the observability layer
+/// (docs/OBSERVABILITY.md).
+///
+/// A `TraceEvent` carries two time axes:
+///
+///  * **simulated time** (`ts_sim_s` / `dur_sim_s`) — read from the
+///    simulator clock by the instrumentation site. Deterministic: the same
+///    seed yields the same simulated timeline, bit for bit.
+///  * **real time** (`real_us`) — wall-clock duration measured with a
+///    monotonic clock inside this module. Nondeterministic by nature; it
+///    is tagged as such in every export and MUST NOT appear in golden
+///    outputs (the determinism contract in docs/OBSERVABILITY.md). This
+///    file is the only place outside src/obs/ tooling allowed to read a
+///    clock — `tools/lint/aeva_lint.py` enforces the boundary.
+///
+/// `TraceLog` is a bounded, thread-safe append log: when the cap is
+/// reached further events are dropped (and counted), so a runaway
+/// instrumentation site degrades observability instead of memory.
+/// `Span` is the scoped helper that measures a real-time duration and
+/// records one complete event on close.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <mutex>
+
+namespace aeva::obs {
+
+/// One structured trace record (Chrome trace-event flavoured).
+struct TraceEvent {
+  std::string name;  ///< what happened, e.g. "allocate"
+  std::string cat;   ///< subsystem, e.g. "sim" / "proactive" / "failure"
+  char phase = 'X';  ///< 'X' complete span, 'i' instant event
+  double ts_sim_s = 0.0;   ///< simulated start time (seconds)
+  double dur_sim_s = 0.0;  ///< simulated duration ('X' only)
+  /// Wall-clock duration in microseconds; < 0 when not measured.
+  /// NONDETERMINISTIC — excluded from golden outputs.
+  double real_us = -1.0;
+  std::uint64_t seq = 0;  ///< deterministic total order (assigned by the log)
+  /// Small deterministic key/value payload (job ids, outcomes, counts).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Bounded thread-safe append-only event log.
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t max_events = 1 << 20);
+
+  /// Appends one event (assigning its sequence number); drops and counts
+  /// it when the log is full.
+  void record(TraceEvent event);
+
+  /// Copy of the events recorded so far, in sequence order.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t max_events() const noexcept {
+    return max_events_;
+  }
+
+ private:
+  std::size_t max_events_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Scoped span: captures a monotonic-clock timestamp at construction and
+/// records one complete ('X') event into the log on `close()` (or on
+/// destruction, using the begin time as the end time when the caller
+/// never closed it). Simulated begin/end times are passed in by the
+/// instrumentation site — this class never invents simulated time.
+class Span {
+ public:
+  /// A null `log` makes the span a no-op (the disabled path).
+  Span(TraceLog* log, std::string name, std::string cat, double sim_begin_s);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// Attaches one key/value argument (no-op when disabled).
+  void arg(std::string key, std::string value);
+
+  /// Records the event with the given simulated end time. Idempotent:
+  /// only the first close emits.
+  void close(double sim_end_s);
+
+  /// Discards the span without emitting anything (e.g. the operation it
+  /// wrapped did not happen after all). Idempotent.
+  void cancel() noexcept { closed_ = true; }
+
+ private:
+  TraceLog* log_;
+  TraceEvent event_;
+  std::uint64_t real_begin_ns_ = 0;
+  bool closed_ = false;
+};
+
+/// Monotonic wall-clock nanoseconds (std::chrono::steady_clock). The one
+/// sanctioned clock read in the codebase; see the file comment.
+[[nodiscard]] std::uint64_t monotonic_now_ns();
+
+}  // namespace aeva::obs

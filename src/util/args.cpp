@@ -5,21 +5,35 @@
 
 namespace aeva::util {
 
-Args::Args(int argc, const char* const* argv) {
+Args::Args(int argc, const char* const* argv, std::vector<std::string> flags)
+    : flags_(flags.begin(), flags.end()) {
   for (int i = 1; i < argc; ++i) {
     const std::string token = argv[i];
-    if (starts_with(token, "--")) {
-      const std::string name = token.substr(2);
+    if (!starts_with(token, "--")) {
+      positional_.push_back(token);
+      continue;
+    }
+    std::string name = token.substr(2);
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      // --name=value never touches the next token; the value may be
+      // anything, including empty or dash-leading.
+      const std::string value = name.substr(eq + 1);
+      name.resize(eq);
       AEVA_REQUIRE(!name.empty() && name[0] != '-',
                    "malformed option token: ", token);
-      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
-        options_[name] = argv[i + 1];
-        ++i;
-      } else {
-        options_[name] = "";  // boolean flag
-      }
+      options_[name] = value;
+      continue;
+    }
+    AEVA_REQUIRE(!name.empty() && name[0] != '-',
+                 "malformed option token: ", token);
+    if (flags_.count(name) != 0) {
+      options_[name] = "";  // declared flag: never consumes a value
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      options_[name] = argv[i + 1];
+      ++i;
     } else {
-      positional_.push_back(token);
+      options_[name] = "";  // bare flag (end of line / before an option)
     }
   }
 }
@@ -35,14 +49,26 @@ std::optional<std::string> Args::get(const std::string& name) const {
 std::string Args::get_string(const std::string& name,
                              const std::string& fallback) const {
   const auto value = get(name);
-  return value.has_value() && !value->empty() ? *value : fallback;
+  if (!value.has_value()) {
+    return fallback;
+  }
+  // Present-but-empty is a caller error, not a default: silently falling
+  // back would make `--out` (a typo for `--out x`) indistinguishable from
+  // omitting the option.
+  AEVA_REQUIRE(!value->empty(), "option --", name,
+               " was given without a value (use --", name, "=<value> or --",
+               name, " <value>)");
+  return *value;
 }
 
 long long Args::get_int(const std::string& name, long long fallback) const {
   const auto value = get(name);
-  if (!value.has_value() || value->empty()) {
+  if (!value.has_value()) {
     return fallback;
   }
+  AEVA_REQUIRE(!value->empty(), "option --", name,
+               " was given without a value (use --", name, "=<value> or --",
+               name, " <value>)");
   const auto parsed = parse_int(*value);
   AEVA_REQUIRE(parsed.has_value(), "option --", name,
                " expects an integer, got: ", *value);
@@ -51,9 +77,12 @@ long long Args::get_int(const std::string& name, long long fallback) const {
 
 double Args::get_double(const std::string& name, double fallback) const {
   const auto value = get(name);
-  if (!value.has_value() || value->empty()) {
+  if (!value.has_value()) {
     return fallback;
   }
+  AEVA_REQUIRE(!value->empty(), "option --", name,
+               " was given without a value (use --", name, "=<value> or --",
+               name, " <value>)");
   const auto parsed = parse_double(*value);
   AEVA_REQUIRE(parsed.has_value(), "option --", name,
                " expects a number, got: ", *value);

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,27 +14,44 @@ namespace aeva::util {
 
 /// Parsed command line.
 ///
-/// Grammar: `--name value` binds an option, a bare `--name` at the end or
-/// followed by another option is a boolean flag, everything else is a
-/// positional argument.
+/// Grammar:
+///
+///  * `--name value` and `--name=value` bind an option. A value may start
+///    with a single dash (`--opt -3` binds "-3") but not with `--`.
+///  * A `--name` listed in the constructor's `flags` set is a boolean
+///    flag: it never consumes the following token, so
+///    `tool --quick trace.swf` keeps `trace.swf` positional. (Without the
+///    declaration the old greedy rule would silently bind
+///    `quick="trace.swf"` — every binary with bare flags must declare
+///    them.)
+///  * An undeclared bare `--name` at the end of the line or followed by
+///    another `--option` also parses as a boolean flag.
+///  * Everything else is a positional argument, kept in order.
+///
+/// Lookups distinguish *absent* from *present without a value*: the typed
+/// getters return their fallback only when the option never appeared and
+/// throw when it appeared empty (a flag queried as a value is a caller
+/// bug, not a default).
 class Args {
  public:
-  /// Parses argv (argv[0] is skipped). Throws std::invalid_argument on a
-  /// malformed token (e.g. `---x`).
-  Args(int argc, const char* const* argv);
+  /// Parses argv (argv[0] is skipped). `flags` declares the boolean flags
+  /// of this binary (see the grammar above). Throws std::invalid_argument
+  /// on a malformed token (e.g. `---x` or `--=v`).
+  Args(int argc, const char* const* argv, std::vector<std::string> flags = {});
 
-  /// Raw option lookup.
+  /// Raw option lookup: nullopt when absent, "" for a bare flag.
   [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
 
-  /// String option with default.
+  /// String option with default; throws when `--name` appeared without a
+  /// value.
   [[nodiscard]] std::string get_string(const std::string& name,
                                        const std::string& fallback) const;
 
-  /// Integer option with default; throws on unparseable value.
+  /// Integer option with default; throws on an unparseable or empty value.
   [[nodiscard]] long long get_int(const std::string& name,
                                   long long fallback) const;
 
-  /// Double option with default; throws on unparseable value.
+  /// Double option with default; throws on an unparseable or empty value.
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
 
@@ -46,6 +64,7 @@ class Args {
   }
 
  private:
+  std::set<std::string> flags_;
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
 };

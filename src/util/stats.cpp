@@ -53,9 +53,24 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+namespace {
+
+/// Every aggregate below rejects non-finite observations up front: a NaN
+/// would poison the result silently, and NaN breaks strict weak ordering,
+/// so sorting a sample containing one is undefined behaviour.
+void require_finite(const std::vector<double>& sample, const char* what) {
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    AEVA_REQUIRE(std::isfinite(sample[i]), what,
+                 " requires finite values; got ", sample[i], " at index ", i);
+  }
+}
+
+}  // namespace
+
 double percentile(std::vector<double> sample, double q) {
   AEVA_REQUIRE(!sample.empty(), "percentile of empty sample");
   AEVA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+  require_finite(sample, "percentile");
   std::sort(sample.begin(), sample.end());
   if (sample.size() == 1) {
     return sample.front();
@@ -69,6 +84,7 @@ double percentile(std::vector<double> sample, double q) {
 
 double mean_of(const std::vector<double>& sample) {
   AEVA_REQUIRE(!sample.empty(), "mean of empty sample");
+  require_finite(sample, "mean_of");
   RunningStats stats;
   for (double v : sample) {
     stats.add(v);
@@ -82,6 +98,8 @@ double weighted_mean(const std::vector<double>& values,
                "values/weights size mismatch: ", values.size(), " vs ",
                weights.size());
   AEVA_REQUIRE(!values.empty(), "weighted mean of empty sample");
+  require_finite(values, "weighted_mean values");
+  require_finite(weights, "weighted_mean weights");
   double acc = 0.0;
   double wsum = 0.0;
   for (std::size_t i = 0; i < values.size(); ++i) {

@@ -54,14 +54,16 @@ class RunningStats {
 
 /// Linear-interpolated percentile of a sample, q in [0, 1].
 /// The input is copied and sorted; throws std::invalid_argument when the
-/// sample is empty or q is out of range.
+/// sample is empty, contains a non-finite value (NaN breaks the sort's
+/// strict weak ordering — undefined behaviour), or q is out of range.
 [[nodiscard]] double percentile(std::vector<double> sample, double q);
 
-/// Mean of a sample; throws std::invalid_argument when empty.
+/// Mean of a sample; throws std::invalid_argument when empty or when any
+/// value is non-finite.
 [[nodiscard]] double mean_of(const std::vector<double>& sample);
 
-/// Weighted mean of (value, weight) pairs; weights must be non-negative and
-/// sum to a positive value.
+/// Weighted mean of (value, weight) pairs; values and weights must be
+/// finite, weights non-negative and summing to a positive value.
 [[nodiscard]] double weighted_mean(const std::vector<double>& values,
                                    const std::vector<double>& weights);
 

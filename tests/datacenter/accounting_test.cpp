@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace aeva::datacenter {
 namespace {
 
@@ -51,6 +53,48 @@ TEST(IntervalAccounting, RejectsNegativeWeightOrValue) {
 TEST(IntervalAccounting, RejectsEmpty) {
   EXPECT_THROW((void)interval_weighted_time_s({}), std::invalid_argument);
   EXPECT_THROW((void)interval_weighted_energy_j({}), std::invalid_argument);
+}
+
+// Sect. III-D edge cases: degenerate interval structures that the Fig. 4
+// accounting must handle exactly.
+
+TEST(IntervalAccounting, ManyZeroWeightIntervals) {
+  // A run whose mix changed at instants without progress (e.g. back-to-back
+  // reallocation events) produces zero-length intervals; only the one
+  // carrying weight contributes.
+  EXPECT_DOUBLE_EQ(
+      interval_weighted_time_s(
+          {{0.0, 5.0}, {0.0, 7.0}, {1.0, 1200.0}, {0.0, 9.0}}),
+      1200.0);
+}
+
+TEST(IntervalAccounting, SplittingAnIntervalIsInvariant) {
+  // Splitting one interval into equal halves under the same estimate must
+  // not change the weighted total (the accounting is a proper integral).
+  const double whole = interval_weighted_energy_j({{0.4, 100.0}, {0.6, 50.0}});
+  const double split = interval_weighted_energy_j(
+      {{0.2, 100.0}, {0.2, 100.0}, {0.3, 50.0}, {0.3, 50.0}});
+  EXPECT_DOUBLE_EQ(whole, split);
+}
+
+TEST(IntervalAccounting, WeightsShortOfOneRejected) {
+  // Under-covering weights (progress fractions lost by the caller) are as
+  // wrong as over-covering ones; both sides of the |Σw − 1| check fire.
+  EXPECT_THROW((void)interval_weighted_time_s({{0.3, 1.0}, {0.3, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)interval_weighted_energy_j({{0.9999, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(IntervalAccounting, RejectsNonFiniteWeightOrValue) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)interval_weighted_time_s({{nan, 1.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)interval_weighted_time_s({{1.0, nan}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)interval_weighted_energy_j({{1.0, inf}}),
+               std::invalid_argument);
 }
 
 }  // namespace

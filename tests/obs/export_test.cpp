@@ -1,0 +1,160 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/session.hpp"
+
+namespace aeva::obs {
+namespace {
+
+TraceEvent make_event(const char* name, double ts_sim_s, double dur_sim_s) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = "test";
+  event.phase = 'X';
+  event.ts_sim_s = ts_sim_s;
+  event.dur_sim_s = dur_sim_s;
+  event.real_us = 12.5;  // fixed so exports are byte-comparable here
+  return event;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(ToJsonl, OneLinePerEventPlusTerminatingMeta) {
+  TraceLog log;
+  log.record(make_event("first", 1.0, 0.5));
+  log.record(make_event("second", 2.0, 0.25));
+  const std::vector<std::string> lines = lines_of(to_jsonl(log));
+  ASSERT_EQ(lines.size(), 3U);
+  EXPECT_NE(lines[0].find("\"name\":\"first\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\":\"second\""), std::string::npos);
+  EXPECT_EQ(lines[2], "{\"meta\":{\"events\":2,\"dropped\":0}}");
+  // The determinism contract: real time is present but tagged.
+  EXPECT_NE(lines[0].find("\"nondeterministic\":[\"real_us\"]"),
+            std::string::npos);
+}
+
+TEST(ToJsonl, IdenticalLogsSerializeIdentically) {
+  TraceLog a;
+  TraceLog b;
+  for (TraceLog* log : {&a, &b}) {
+    TraceEvent event = make_event("same", 3.0, 1.0);
+    event.args.emplace_back("job", "9");
+    log->record(std::move(event));
+  }
+  EXPECT_EQ(to_jsonl(a), to_jsonl(b));
+  EXPECT_EQ(to_chrome_trace(a), to_chrome_trace(b));
+}
+
+TEST(ToChromeTrace, EmitsMicrosecondTimesAndFixedPidTid) {
+  TraceLog log;
+  log.record(make_event("span", 2.0, 0.5));
+  const std::string out = to_chrome_trace(log);
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(out.find("\"pid\":1,\"tid\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"ts\":2000000"), std::string::npos);
+  EXPECT_NE(out.find("\"dur\":500000"), std::string::npos);
+  EXPECT_NE(out.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(ToChromeTrace, InstantEventsCarryNoDur) {
+  TraceLog log;
+  TraceEvent event = make_event("blip", 1.0, 0.0);
+  event.phase = 'i';
+  log.record(std::move(event));
+  const std::string out = to_chrome_trace(log);
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_EQ(out.find("\"dur\":"), std::string::npos);
+}
+
+TEST(MetricsToJson, EmitsAllThreeSectionsWithBucketArrays) {
+  MetricsRegistry registry;
+  registry.counter("c.hits").add(3);
+  registry.gauge("g.rate").set(0.5);
+  Histogram& hist = registry.histogram("h.sizes", {1.0, 10.0});
+  hist.record(0.5);
+  hist.record(50.0);
+  const std::string out = metrics_to_json(registry.snapshot());
+  EXPECT_NE(out.find("\"counters\":{\"c.hits\":3}"), std::string::npos);
+  EXPECT_NE(out.find("\"g.rate\":0.5"), std::string::npos);
+  EXPECT_NE(out.find("\"bounds\":[1,10]"), std::string::npos);
+  EXPECT_NE(out.find("\"buckets\":[1,0,1]"), std::string::npos);
+  EXPECT_NE(out.find("\"count\":2"), std::string::npos);
+}
+
+TEST(MetricsSummaryTable, ListsEveryMetricWithItsKind) {
+  MetricsRegistry registry;
+  registry.counter("events").add(11);
+  registry.gauge("hit_rate").set(0.75);
+  registry.histogram("depth", {4.0}).record(2.0);
+  const std::string table = metrics_summary_table(registry.snapshot());
+  EXPECT_NE(table.find("events"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("hit_rate"), std::string::npos);
+  EXPECT_NE(table.find("gauge"), std::string::npos);
+  EXPECT_NE(table.find("histogram"), std::string::npos);
+  EXPECT_NE(table.find("n=1"), std::string::npos);
+}
+
+TEST(Session, CreateReturnsNullWhenDisabled) {
+  ObsConfig config;
+  config.enabled = false;
+  EXPECT_EQ(Session::create(config), nullptr);
+  config.enabled = true;
+  EXPECT_NE(Session::create(config), nullptr);
+}
+
+TEST(Session, ExportFilesWritesEveryConfiguredPath) {
+  const std::string dir = ::testing::TempDir();
+  ObsConfig config;
+  config.enabled = true;
+  config.trace_jsonl_path = dir + "obs_export_test.jsonl";
+  config.chrome_trace_path = dir + "obs_export_test_chrome.json";
+  const std::shared_ptr<Session> session = Session::create(config);
+  session->trace().record(make_event("e", 1.0, 0.5));
+  session->metrics().counter("k").add();
+  session->export_files();
+
+  std::ifstream jsonl(config.trace_jsonl_path);
+  std::stringstream jsonl_content;
+  jsonl_content << jsonl.rdbuf();
+  EXPECT_NE(jsonl_content.str().find("\"meta\""), std::string::npos);
+
+  std::ifstream chrome(config.chrome_trace_path);
+  std::stringstream chrome_content;
+  chrome_content << chrome.rdbuf();
+  EXPECT_NE(chrome_content.str().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Session, ExportFilesThrowsOnUnwritablePath) {
+  ObsConfig config;
+  config.enabled = true;
+  config.metrics_json_path = "/nonexistent-dir-for-obs-test/metrics.json";
+  const std::shared_ptr<Session> session = Session::create(config);
+  EXPECT_THROW(session->export_files(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aeva::obs

@@ -1,0 +1,118 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace aeva::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0U);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42U);
+}
+
+TEST(Gauge, KeepsLastWrite) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(3.5);
+  gauge.set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+}
+
+TEST(Histogram, RejectsUnsortedOrDuplicateBounds) {
+  EXPECT_THROW(Histogram({10.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketPlacementIsFirstBoundAtLeastValue) {
+  Histogram hist({1.0, 10.0});
+  hist.record(0.5);   // <= 1        -> bucket 0
+  hist.record(1.0);   // == bound 0  -> bucket 0 (bound is inclusive)
+  hist.record(5.0);   // <= 10       -> bucket 1
+  hist.record(10.0);  // == bound 1  -> bucket 1
+  hist.record(11.0);  // past last   -> overflow bucket 2
+  const Histogram::Snapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 3U);
+  EXPECT_EQ(snap.buckets[0], 2U);
+  EXPECT_EQ(snap.buckets[1], 2U);
+  EXPECT_EQ(snap.buckets[2], 1U);
+  EXPECT_EQ(snap.stats.count(), 5U);
+  EXPECT_EQ(snap.stats.min(), 0.5);
+  EXPECT_EQ(snap.stats.max(), 11.0);
+}
+
+TEST(Histogram, EmptyBoundsIsASingleOverflowBucket) {
+  Histogram hist({});
+  hist.record(7.0);
+  const Histogram::Snapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 1U);
+  EXPECT_EQ(snap.buckets[0], 1U);
+}
+
+TEST(Histogram, ConcurrentRecordsMergeAcrossShards) {
+  Histogram hist({100.0}, 4);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const Histogram::Snapshot snap = hist.snapshot();
+  constexpr std::size_t kTotal = std::size_t{kThreads} * kPerThread;
+  EXPECT_EQ(snap.stats.count(), kTotal);
+  EXPECT_EQ(snap.buckets[0], kTotal);
+  EXPECT_DOUBLE_EQ(snap.stats.mean(), 1.0);
+}
+
+TEST(MetricsRegistry, SameNameResolvesToSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  // Later bounds are ignored: the first creation wins.
+  Histogram& h1 = registry.histogram("h", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("h", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2U);
+}
+
+TEST(MetricsRegistry, KindsAreSeparateNamespaces) {
+  MetricsRegistry registry;
+  registry.counter("same").add(7);
+  registry.gauge("same").set(2.5);
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1U);
+  ASSERT_EQ(snap.gauges.size(), 1U);
+  EXPECT_EQ(snap.counters[0].second, 7U);
+  EXPECT_EQ(snap.gauges[0].second, 2.5);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("zebra").add();
+  registry.counter("alpha").add();
+  registry.counter("mid").add();
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3U);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+}
+
+}  // namespace
+}  // namespace aeva::obs

@@ -1,0 +1,107 @@
+#include "obs/trace_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace aeva::obs {
+namespace {
+
+TraceEvent instant(const char* name, double ts_sim_s) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = "test";
+  event.phase = 'i';
+  event.ts_sim_s = ts_sim_s;
+  return event;
+}
+
+TEST(TraceLog, AssignsSequentialSeq) {
+  TraceLog log;
+  log.record(instant("a", 1.0));
+  log.record(instant("b", 2.0));
+  log.record(instant("c", 3.0));
+  const std::vector<TraceEvent> events = log.events();
+  ASSERT_EQ(events.size(), 3U);
+  EXPECT_EQ(events[0].seq, 0U);
+  EXPECT_EQ(events[1].seq, 1U);
+  EXPECT_EQ(events[2].seq, 2U);
+  EXPECT_EQ(events[1].name, "b");
+}
+
+TEST(TraceLog, CapDropsAndCountsInsteadOfGrowing) {
+  TraceLog log(2);
+  log.record(instant("a", 1.0));
+  log.record(instant("b", 2.0));
+  log.record(instant("c", 3.0));
+  log.record(instant("d", 4.0));
+  EXPECT_EQ(log.size(), 2U);
+  EXPECT_EQ(log.dropped(), 2U);
+  // Dropped events do not consume sequence numbers: survivors stay dense.
+  const std::vector<TraceEvent> events = log.events();
+  EXPECT_EQ(events.back().seq, 1U);
+}
+
+TEST(TraceLog, RejectsZeroCapacity) {
+  EXPECT_THROW(TraceLog(0), std::invalid_argument);
+}
+
+TEST(Span, CloseRecordsOneCompleteEvent) {
+  TraceLog log;
+  {
+    Span span(&log, "work", "test", 10.0);
+    span.arg("job", "7");
+    span.close(12.5);
+    span.close(99.0);  // idempotent: only the first close emits
+  }
+  const std::vector<TraceEvent> events = log.events();
+  ASSERT_EQ(events.size(), 1U);
+  const TraceEvent& event = events[0];
+  EXPECT_EQ(event.name, "work");
+  EXPECT_EQ(event.cat, "test");
+  EXPECT_EQ(event.phase, 'X');
+  EXPECT_EQ(event.ts_sim_s, 10.0);
+  EXPECT_EQ(event.dur_sim_s, 2.5);
+  EXPECT_GE(event.real_us, 0.0);  // measured, nondeterministic
+  ASSERT_EQ(event.args.size(), 1U);
+  EXPECT_EQ(event.args[0].first, "job");
+  EXPECT_EQ(event.args[0].second, "7");
+}
+
+TEST(Span, CancelEmitsNothing) {
+  TraceLog log;
+  {
+    Span span(&log, "aborted", "test", 1.0);
+    span.cancel();
+  }
+  EXPECT_EQ(log.size(), 0U);
+}
+
+TEST(Span, DestructorClosesAnUnclosedSpanAtItsBeginTime) {
+  TraceLog log;
+  {
+    Span span(&log, "leaky", "test", 5.0);
+  }
+  const std::vector<TraceEvent> events = log.events();
+  ASSERT_EQ(events.size(), 1U);
+  EXPECT_EQ(events[0].ts_sim_s, 5.0);
+  EXPECT_EQ(events[0].dur_sim_s, 0.0);
+}
+
+TEST(Span, NullLogIsACompleteNoOp) {
+  Span span(nullptr, "disabled", "test", 0.0);
+  span.arg("k", "v");
+  span.close(1.0);
+  span.cancel();
+  // Nothing to assert beyond "did not crash / allocate a log".
+}
+
+TEST(MonotonicClock, NeverGoesBackwards) {
+  const std::uint64_t a = monotonic_now_ns();
+  const std::uint64_t b = monotonic_now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace aeva::obs

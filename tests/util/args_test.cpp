@@ -5,10 +5,11 @@
 namespace aeva::util {
 namespace {
 
-Args make_args(std::initializer_list<const char*> tokens) {
+Args make_args(std::initializer_list<const char*> tokens,
+               std::vector<std::string> flags = {}) {
   std::vector<const char*> argv = {"prog"};
   argv.insert(argv.end(), tokens.begin(), tokens.end());
-  return Args(static_cast<int>(argv.size()), argv.data());
+  return Args(static_cast<int>(argv.size()), argv.data(), std::move(flags));
 }
 
 TEST(Args, OptionWithValue) {
@@ -57,6 +58,80 @@ TEST(Args, RejectsMalformedToken) {
 TEST(Args, LastOccurrenceWins) {
   const Args args = make_args({"--n", "1", "--n", "2"});
   EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+// Regression: a declared boolean flag must not swallow the following
+// positional (`tool --quick trace.swf` used to bind quick="trace.swf").
+TEST(Args, DeclaredFlagKeepsPositional) {
+  const Args args = make_args({"--quick", "trace.swf"}, {"quick"});
+  EXPECT_TRUE(args.has("quick"));
+  EXPECT_EQ(args.get("quick").value(), "");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "trace.swf");
+}
+
+// Without the declaration the greedy binding is still the documented
+// `--name value` rule — options keep working unchanged.
+TEST(Args, UndeclaredOptionStillBindsValue) {
+  const Args args = make_args({"--out", "result.csv"});
+  EXPECT_EQ(args.get_string("out", ""), "result.csv");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(Args, EqualsSyntaxBindsValue) {
+  const Args args = make_args({"--alpha=0.25", "--name=x=y"});
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.25);
+  // Only the first '=' splits; the value may itself contain '='.
+  EXPECT_EQ(args.get_string("name", ""), "x=y");
+}
+
+TEST(Args, EqualsSyntaxNeverConsumesNextToken) {
+  const Args args = make_args({"--mode=fast", "input.swf"}, {});
+  EXPECT_EQ(args.get_string("mode", ""), "fast");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.swf");
+}
+
+// Negative numbers start with a single dash and must still parse as
+// values of the preceding option.
+TEST(Args, NegativeValueBinds) {
+  const Args args = make_args({"--offset", "-3"});
+  EXPECT_EQ(args.get_int("offset", 0), -3);
+  const Args eq = make_args({"--offset=-3"});
+  EXPECT_EQ(eq.get_int("offset", 0), -3);
+}
+
+TEST(Args, TrailingBareFlags) {
+  const Args args = make_args({"input.swf", "--verbose", "--dry-run"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.has("dry-run"));
+}
+
+TEST(Args, DeclaredFlagBeforeOption) {
+  const Args args = make_args({"--quick", "--rounds", "9"}, {"quick"});
+  EXPECT_TRUE(args.has("quick"));
+  EXPECT_EQ(args.get_int("rounds", 0), 9);
+}
+
+// Present-without-a-value is an error on typed lookups, not a silent
+// fallback: absent and empty must stay distinguishable.
+TEST(Args, EmptyValueOnTypedLookupThrows) {
+  const Args args = make_args({"--out", "--n", "7"});  // --out parsed as flag
+  EXPECT_THROW((void)args.get_string("out", "default"),
+               std::invalid_argument);
+  const Args empty = make_args({"--out="});
+  EXPECT_THROW((void)empty.get_string("out", "default"),
+               std::invalid_argument);
+  EXPECT_THROW((void)empty.get_int("out", 1), std::invalid_argument);
+  EXPECT_THROW((void)empty.get_double("out", 1.0), std::invalid_argument);
+  // Absent still returns the fallback.
+  EXPECT_EQ(empty.get_string("missing", "default"), "default");
+}
+
+TEST(Args, RejectsMalformedEqualsToken) {
+  EXPECT_THROW(make_args({"--=value"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"---x=1"}), std::invalid_argument);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/rng.hpp"
 
@@ -97,6 +98,41 @@ TEST(Percentile, RejectsBadInput) {
   EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
   EXPECT_THROW((void)percentile({1.0}, 1.5), std::invalid_argument);
   EXPECT_THROW((void)percentile({1.0}, -0.5), std::invalid_argument);
+}
+
+// Regression: sorting a sample containing NaN is undefined behaviour (NaN
+// comparisons break strict weak ordering), so non-finite input must be
+// rejected before the sort rather than producing an arbitrary quantile.
+TEST(Percentile, RejectsNonFiniteSample) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)percentile({1.0, nan, 3.0}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)percentile({nan}, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0, inf}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile({-inf, 1.0}, 0.5), std::invalid_argument);
+}
+
+TEST(MeanOf, RejectsNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)mean_of({1.0, nan}), std::invalid_argument);
+  EXPECT_THROW(
+      (void)mean_of({std::numeric_limits<double>::infinity()}),
+      std::invalid_argument);
+}
+
+TEST(WeightedMean, RejectsNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)weighted_mean({nan}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)weighted_mean({1.0}, {nan}), std::invalid_argument);
+}
+
+TEST(Pearson, RejectsNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)pearson({1.0, nan}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)pearson({1.0, 2.0}, {nan, 2.0}),
+               std::invalid_argument);
 }
 
 TEST(MeanOf, Basic) {

@@ -23,6 +23,15 @@ Rules (all scoped to first-party code under src/, see --paths):
                        draw from dedicated util::Rng named streams so they
                        cannot perturb each other.
 
+  wall-clock           No wall/CPU-clock reads (`std::chrono` clocks,
+                       `clock_gettime`, `gettimeofday`, `time(nullptr)`,
+                       ...) outside src/obs/. Simulation logic must run on
+                       simulated time only, so results are bit-reproducible
+                       regardless of host speed; the one sanctioned real
+                       clock is obs::monotonic_now_ns (src/obs/trace_log),
+                       whose readings are tagged nondeterministic and
+                       excluded from golden outputs (docs/OBSERVABILITY.md).
+
   stray-io             No stream/console writes (`std::cout`, `std::cerr`,
                        `std::clog`, `printf`, `fprintf`, `puts`) outside
                        src/report/ and src/util/table_printer.*. Library
@@ -100,6 +109,19 @@ PATTERN_RULES = [
         "sampling uses util::named_stream)",
     ),
     (
+        "wall-clock",
+        re.compile(
+            r"std::chrono\b|#\s*include\s*<chrono>"
+            r"|steady_clock|system_clock|high_resolution_clock"
+            r"|clock_gettime|gettimeofday|timespec_get"
+            r"|(?<![\w:])clock\s*\(\s*\)"
+            r"|std::time\s*\(|(?<![\w:.])time\s*\(\s*(nullptr|NULL|0)\s*\)"
+        ),
+        "library code must not read wall/CPU clocks (simulated time only; "
+        "bit-reproducibility must not depend on host speed) — real-time "
+        "measurement goes through obs::monotonic_now_ns in src/obs",
+    ),
+    (
         "stray-io",
         re.compile(
             r"std::(cout|cerr|clog)\b"
@@ -115,6 +137,7 @@ PATTERN_RULES = [
 # site). Further exceptions belong in the allowlist file with a reason.
 BUILTIN_EXEMPT = {
     "nondeterministic-random": ["src/util/rng.hpp", "src/util/rng.cpp"],
+    "wall-clock": ["src/obs/*"],
     "stray-io": ["src/report/*", "src/util/table_printer.*"],
 }
 

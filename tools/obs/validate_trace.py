@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""validate_trace: check an AEVA observability export against its schema.
+
+Validates the JSON Lines trace written by `obs::to_jsonl` (and optionally
+the Chrome trace-event and metrics-snapshot exports) against
+tools/obs/trace_schema.json. CI's obs-smoke step runs this after
+`bench/obs_overhead`; it also works on any `--trace-out=` file from the
+harness CLIs.
+
+Checks, in order:
+
+  1. every line parses as a standalone JSON object;
+  2. each line matches the schema's `event` shape, except the final line,
+     which must match `meta` (the only meta line in the stream);
+  3. stream invariants: `seq` strictly increasing, `meta.events` equals
+     the number of event lines, and (unless --allow-empty) at least one
+     event was recorded;
+  4. with --chrome: the file is a Chrome trace-event JSON object whose
+     traceEvents count matches the JSONL event count;
+  5. with --metrics: the file is a metrics snapshot with counters/gauges/
+     histograms, and every histogram has len(bounds)+1 buckets summing to
+     its count.
+
+No third-party dependencies — the schema file uses a small JSON-Schema
+subset (type, required, properties, additionalProperties, enum, const,
+minimum, minLength, items) interpreted here.
+
+Exit status: 0 valid, 1 violations found, 2 bad invocation/unreadable file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_SCHEMA = Path(__file__).resolve().parent / "trace_schema.json"
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; exclude it from the numeric types.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def check_schema(value, schema: dict, where: str, errors: list[str]) -> None:
+    """Appends a message to `errors` for every violation of `schema` by
+    `value`. Implements the subset documented in the module docstring."""
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(f"{where}: expected {expected}, got {type(value).__name__}")
+        return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{where}: must equal {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{where}: {value!r} not one of {schema['enum']!r}")
+    if "minimum" in schema and TYPE_CHECKS["number"](value):
+        if value < schema["minimum"]:
+            errors.append(f"{where}: {value!r} below minimum {schema['minimum']}")
+    if "minLength" in schema and isinstance(value, str):
+        if len(value) < schema["minLength"]:
+            errors.append(f"{where}: shorter than minLength {schema['minLength']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{where}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in properties:
+                check_schema(item, properties[key], f"{where}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{where}: unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                check_schema(item, extra, f"{where}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            check_schema(item, schema["items"], f"{where}[{index}]", errors)
+
+
+def load_json(path: Path, what: str):
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except OSError as err:
+        print(f"validate_trace: cannot read {what} {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as err:
+        print(f"validate_trace: {what} {path} is not JSON: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def validate_jsonl(path: Path, schema: dict, allow_empty: bool) -> list[str]:
+    errors: list[str] = []
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as err:
+        print(f"validate_trace: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    lines = [line for line in lines if line.strip()]
+    if not lines:
+        return [f"{path}: empty file (expected at least the meta line)"]
+
+    event_schema = schema["line_schemas"]["event"]
+    meta_schema = schema["line_schemas"]["meta"]
+    event_count = 0
+    last_seq = -1
+    meta = None
+    for lineno, line in enumerate(lines, start=1):
+        where = f"{path}:{lineno}"
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as err:
+            errors.append(f"{where}: not valid JSON: {err}")
+            continue
+        if not isinstance(obj, dict):
+            errors.append(f"{where}: line is not a JSON object")
+            continue
+        if "meta" in obj:
+            if lineno != len(lines):
+                errors.append(f"{where}: meta line before the end of the stream")
+            check_schema(obj, meta_schema, where, errors)
+            meta = obj.get("meta")
+            continue
+        check_schema(obj, event_schema, where, errors)
+        event_count += 1
+        seq = obj.get("seq")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                errors.append(
+                    f"{where}: seq {seq} not strictly increasing "
+                    f"(previous {last_seq})"
+                )
+            last_seq = seq
+
+    if meta is None:
+        errors.append(f"{path}: missing terminating meta line")
+    elif isinstance(meta, dict) and meta.get("events") != event_count:
+        errors.append(
+            f"{path}: meta.events={meta.get('events')} but the stream "
+            f"contains {event_count} event line(s)"
+        )
+    if event_count == 0 and not allow_empty:
+        errors.append(
+            f"{path}: no trace events recorded (pass --allow-empty if "
+            "an empty trace is expected)"
+        )
+    return errors
+
+
+def validate_chrome(path: Path, expected_events: int) -> list[str]:
+    data = load_json(path, "chrome trace")
+    errors: list[str] = []
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return [f"{path}: not a Chrome trace-event object (no traceEvents)"]
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents is not an array"]
+    for index, event in enumerate(events):
+        where = f"{path}:traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "cat", "ph", "pid", "tid", "ts"):
+            if key not in event:
+                errors.append(f"{where}: missing {key!r}")
+        if event.get("ph") == "X" and "dur" not in event:
+            errors.append(f"{where}: complete event without dur")
+    if expected_events >= 0 and len(events) != expected_events:
+        errors.append(
+            f"{path}: {len(events)} traceEvents but the JSONL trace has "
+            f"{expected_events} event line(s)"
+        )
+    return errors
+
+
+def validate_metrics(path: Path) -> list[str]:
+    data = load_json(path, "metrics snapshot")
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return [f"{path}: metrics snapshot is not a JSON object"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(data.get(section), dict):
+            errors.append(f"{path}: missing object section {section!r}")
+    for name, value in data.get("counters", {}).items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{path}: counter {name!r} is not a non-negative int")
+    for name, hist in data.get("histograms", {}).items():
+        where = f"{path}: histogram {name!r}"
+        if not isinstance(hist, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        bounds = hist.get("bounds")
+        buckets = hist.get("buckets")
+        count = hist.get("count")
+        if not isinstance(bounds, list) or not isinstance(buckets, list):
+            errors.append(f"{where}: missing bounds/buckets arrays")
+            continue
+        if len(buckets) != len(bounds) + 1:
+            errors.append(
+                f"{where}: {len(buckets)} buckets for {len(bounds)} bounds "
+                "(want len(bounds)+1 including the overflow bucket)"
+            )
+        if isinstance(count, int) and sum(buckets) != count:
+            errors.append(
+                f"{where}: buckets sum to {sum(buckets)} but count={count}"
+            )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl", help="JSON Lines trace to validate")
+    parser.add_argument(
+        "--schema",
+        default=str(DEFAULT_SCHEMA),
+        help="schema file (default: tools/obs/trace_schema.json)",
+    )
+    parser.add_argument(
+        "--chrome", metavar="FILE", help="also validate a Chrome trace export"
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", help="also validate a metrics snapshot"
+    )
+    parser.add_argument(
+        "--allow-empty",
+        action="store_true",
+        help="accept a trace with zero events (meta line only)",
+    )
+    args = parser.parse_args()
+
+    schema = load_json(Path(args.schema), "schema")
+    if "line_schemas" not in schema:
+        print(
+            f"validate_trace: {args.schema} has no line_schemas section",
+            file=sys.stderr,
+        )
+        return 2
+
+    jsonl_path = Path(args.jsonl)
+    errors = validate_jsonl(jsonl_path, schema, args.allow_empty)
+    event_count = -1
+    if not errors:
+        lines = [
+            l for l in jsonl_path.read_text(encoding="utf-8").splitlines() if l.strip()
+        ]
+        event_count = len(lines) - 1  # minus the meta line
+    if args.chrome:
+        errors += validate_chrome(Path(args.chrome), event_count)
+    if args.metrics:
+        errors += validate_metrics(Path(args.metrics))
+
+    for message in errors:
+        print(message)
+    if errors:
+        print(f"validate_trace: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    checked = [args.jsonl] + [p for p in (args.chrome, args.metrics) if p]
+    print(f"validate_trace: OK ({', '.join(checked)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
