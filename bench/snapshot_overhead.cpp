@@ -1,0 +1,212 @@
+/// Microbench: the durability layer's two contracts (docs/RESILIENCE.md,
+/// "Process-level durability").
+///
+///  1. **Zero interference.** The same seeded simulation runs once with
+///     snapshotting disabled and once checkpointing to a file every
+///     `--every` simulated seconds. Every SimMetrics field must match bit
+///     for bit; any divergence fails the binary — a checkpoint that
+///     perturbs the experiment is a bug, not an overhead.
+///  2. **Bit-identical resume.** A mid-run checkpoint (collected through
+///     SnapshotConfig::hook) is resumed to completion and the final
+///     metrics must again match the uninterrupted run exactly.
+///
+/// Timing and write amplification (total snapshot bytes / final snapshot
+/// bytes) are reported as BENCH_JSON; they are informational — the two
+/// bit-identity checks are the hard gates. Deterministic fault injection
+/// is enabled so the checkpoint covers RNG streams, pending repairs and
+/// restart state, not just the happy path.
+///
+/// Usage: snapshot_overhead [--quick] [--vms 1200] [--servers 24]
+///                          [--every 2000]
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness_common.hpp"
+#include "persist/snapshot.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace aeva;
+
+datacenter::CloudConfig make_cloud(int servers) {
+  datacenter::CloudConfig cloud;
+  cloud.server_count = servers;
+  // Deterministic fault injection so the snapshot carries RNG streams,
+  // repair timers and restart state (identical in all runs by
+  // construction).
+  cloud.failure.enabled = true;
+  cloud.failure.mtbf_s = 400000.0;
+  cloud.failure.mttr_s = 1800.0;
+  cloud.failure.seed = 2026;
+  return cloud;
+}
+
+core::ProactiveConfig make_strategy_config() {
+  core::ProactiveConfig config;
+  config.alpha = 0.5;
+  config.degrade_to_first_fit = true;
+  return config;
+}
+
+struct TimedRun {
+  datacenter::SimMetrics metrics;
+  double wall_ms = 0.0;
+};
+
+TimedRun run_once(const modeldb::ModelDatabase& db,
+                  const trace::PreparedWorkload& workload,
+                  const datacenter::CloudConfig& cloud) {
+  const datacenter::Simulator sim(db, cloud);
+  const core::ProactiveAllocator allocator(db, make_strategy_config());
+  const auto begin = std::chrono::steady_clock::now();
+  TimedRun out;
+  out.metrics = sim.run(workload, allocator);
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - begin)
+                    .count();
+  return out;
+}
+
+bool same(const char* what, const char* field, double a, double b) {
+  if (a == b) {
+    return true;
+  }
+  std::cerr << "FAIL: SimMetrics." << field << " diverged (" << what
+            << "): " << util::format_fixed(a, 9) << " vs "
+            << util::format_fixed(b, 9) << "\n";
+  return false;
+}
+
+bool same_u(const char* what, const char* field, std::size_t a,
+            std::size_t b) {
+  if (a == b) {
+    return true;
+  }
+  std::cerr << "FAIL: SimMetrics." << field << " diverged (" << what
+            << "): " << a << " vs " << b << "\n";
+  return false;
+}
+
+/// Field-for-field bitwise comparison of every scalar SimMetrics field.
+bool identical(const char* what, const datacenter::SimMetrics& a,
+               const datacenter::SimMetrics& b) {
+  bool ok = true;
+  ok &= same(what, "makespan_s", a.makespan_s, b.makespan_s);
+  ok &= same(what, "energy_j", a.energy_j, b.energy_j);
+  ok &= same(what, "sla_violation_pct", a.sla_violation_pct,
+             b.sla_violation_pct);
+  ok &= same(what, "mean_response_s", a.mean_response_s, b.mean_response_s);
+  ok &= same(what, "mean_wait_s", a.mean_wait_s, b.mean_wait_s);
+  ok &= same(what, "mean_busy_servers", a.mean_busy_servers,
+             b.mean_busy_servers);
+  ok &= same(what, "peak_busy_servers", a.peak_busy_servers,
+             b.peak_busy_servers);
+  ok &= same(what, "migration_transfer_s", a.migration_transfer_s,
+             b.migration_transfer_s);
+  ok &= same(what, "lost_work_s", a.lost_work_s, b.lost_work_s);
+  ok &= same(what, "goodput_fraction", a.goodput_fraction,
+             b.goodput_fraction);
+  ok &= same_u(what, "jobs", a.jobs, b.jobs);
+  ok &= same_u(what, "vms", a.vms, b.vms);
+  ok &= same_u(what, "sla_violations", a.sla_violations, b.sla_violations);
+  ok &= same_u(what, "servers_powered", a.servers_powered,
+               b.servers_powered);
+  ok &= same_u(what, "migrations", a.migrations, b.migrations);
+  ok &= same_u(what, "failures", a.failures, b.failures);
+  ok &= same_u(what, "vm_restarts", a.vm_restarts, b.vm_restarts);
+  ok &= same_u(what, "vms_abandoned", a.vms_abandoned, b.vms_abandoned);
+  ok &= same_u(what, "fallback_allocations", a.fallback_allocations,
+               b.fallback_allocations);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv, {"quick"});
+  const bool quick = args.has("quick");
+  const int target_vms =
+      static_cast<int>(args.get_int("vms", quick ? 600 : 1200));
+  const int servers = static_cast<int>(args.get_int("servers", 24));
+  const double every_s = args.get_double("every", 2000.0);
+
+  const modeldb::ModelDatabase& db = bench::shared_database();
+  const trace::PreparedWorkload workload =
+      bench::standard_workload(db, 2026, target_vms);
+  std::cout << "snapshot_overhead: " << workload.jobs.size() << " jobs, "
+            << workload.total_vms << " VMs on " << servers
+            << " servers, checkpoint every "
+            << util::format_fixed(every_s, 0) << " sim-seconds\n";
+
+  // Disabled twice: the first run warms caches, the second is the baseline.
+  (void)run_once(db, workload, make_cloud(servers));
+  const TimedRun off = run_once(db, workload, make_cloud(servers));
+
+  // Enabled: checkpoint to a real file (exercising the atomic-write path)
+  // and also collect every snapshot in process through the hook.
+  const std::string snapshot_path = "snapshot_overhead.snap";
+  std::vector<persist::SimSnapshot> checkpoints;
+  std::size_t total_bytes = 0;
+  std::size_t last_bytes = 0;
+  datacenter::CloudConfig cloud_on = make_cloud(servers);
+  cloud_on.snapshot.every_s = every_s;
+  cloud_on.snapshot.path = snapshot_path;
+  cloud_on.snapshot.hook = [&](const persist::SimSnapshot& snapshot) {
+    last_bytes = persist::encode_snapshot(snapshot).size();
+    total_bytes += last_bytes;
+    checkpoints.push_back(snapshot);
+  };
+  const TimedRun on = run_once(db, workload, cloud_on);
+
+  // --- contract 1: snapshotting never changes the simulation --------------
+  if (!identical("snapshots on vs off", off.metrics, on.metrics)) {
+    return 1;
+  }
+  std::cout << "bit-identity: PASS (checkpointed run matches the plain run "
+               "exactly, " << checkpoints.size() << " checkpoints)\n";
+  if (checkpoints.empty()) {
+    std::cerr << "FAIL: no checkpoint was captured — lower --every or raise "
+                 "--vms\n";
+    return 1;
+  }
+
+  // --- contract 2: resume from a mid-run checkpoint is bit-identical ------
+  const persist::SimSnapshot& mid = checkpoints[checkpoints.size() / 2];
+  const datacenter::Simulator sim(db, make_cloud(servers));
+  const core::ProactiveAllocator allocator(db, make_strategy_config());
+  const datacenter::SimMetrics resumed =
+      sim.resume(workload, allocator, mid);
+  if (!identical("resumed vs uninterrupted", off.metrics, resumed)) {
+    return 1;
+  }
+  std::cout << "resume: PASS (restore at t="
+            << util::format_fixed(mid.now, 0)
+            << " s reproduces the uninterrupted metrics exactly)\n";
+
+  // --- overhead & write amplification (informational) ---------------------
+  const double overhead_pct =
+      off.wall_ms > 0.0 ? 100.0 * (on.wall_ms - off.wall_ms) / off.wall_ms
+                        : 0.0;
+  const double amplification =
+      last_bytes > 0 ? static_cast<double>(total_bytes) /
+                           static_cast<double>(last_bytes)
+                     : 0.0;
+  std::cout << "BENCH_JSON {\"bench\":\"snapshot_overhead\",\"disabled_ms\":"
+            << util::format_fixed(off.wall_ms, 2)
+            << ",\"enabled_ms\":" << util::format_fixed(on.wall_ms, 2)
+            << ",\"overhead_pct\":" << util::format_fixed(overhead_pct, 2)
+            << ",\"snapshots\":" << checkpoints.size()
+            << ",\"total_bytes\":" << total_bytes
+            << ",\"last_bytes\":" << last_bytes
+            << ",\"write_amplification\":"
+            << util::format_fixed(amplification, 2) << "}\n";
+  std::remove(snapshot_path.c_str());
+  std::remove((snapshot_path + ".tmp").c_str());
+  return 0;
+}

@@ -9,13 +9,34 @@
 ///                  [--servers 60] [--vms 10000] [--seed 2026]
 ///                  [--obs] [--trace-out=run.jsonl] [--chrome-out=run.json]
 ///                  [--metrics-out=metrics.json]
+///                  [--snapshot-every=3600] [--snapshot-out=run.snap]
+///                  [--restore-from=run.snap]
+///                  [--final-metrics-out=final.json]
+///                  [--snapshot-sleep-ms=0]
 ///
-/// The last four turn on the observability layer (docs/OBSERVABILITY.md):
-/// `--obs` collects and prints a metrics summary, the `*-out` options
-/// export the trace/metrics to files (each implies `--obs`).
+/// `--obs`/`--trace-out`/`--chrome-out`/`--metrics-out` turn on the
+/// observability layer (docs/OBSERVABILITY.md): `--obs` collects and
+/// prints a metrics summary, the `*-out` options export the trace/metrics
+/// to files (each implies `--obs`).
+///
+/// `--snapshot-every` periodically checkpoints the full simulator state to
+/// `--snapshot-out` (crash-safe: temp + fsync + rename), and
+/// `--restore-from` resumes a killed run from such a checkpoint with
+/// bit-identical final metrics (docs/RESILIENCE.md, "Process-level
+/// durability"). `--final-metrics-out` writes the run's SimMetrics as
+/// round-trip-exact JSON, so a resumed run can be diffed byte-for-byte
+/// against an uninterrupted reference (tools/kill_resume_smoke.sh).
+/// `--snapshot-sleep-ms` holds the process for N real milliseconds at
+/// every checkpoint — the simulation itself is untouched (checkpoints are
+/// not events), it only stretches wall time so the smoke test can SIGKILL
+/// the process reliably *between* two checkpoints.
 
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <thread>
 
 #include "core/first_fit.hpp"
 #include "core/proactive.hpp"
@@ -23,9 +44,11 @@
 #include "modeldb/campaign.hpp"
 #include "obs/export.hpp"
 #include "obs/session.hpp"
+#include "persist/snapshot.hpp"
 #include "trace/generator.hpp"
 #include "trace/prepare.hpp"
 #include "util/args.hpp"
+#include "util/atomic_file.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -51,6 +74,42 @@ std::unique_ptr<aeva::core::Allocator> make_strategy(
   return std::make_unique<ProactiveAllocator>(db, config);
 }
 
+/// Round-trip-exact (%.17g) JSON rendering of every scalar SimMetrics
+/// field, in declaration order. Deliberately byte-stable so the
+/// kill-and-resume smoke test can `cmp` a resumed run against an
+/// uninterrupted reference.
+std::string final_metrics_json(const aeva::datacenter::SimMetrics& m) {
+  const auto num = [](double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return std::string(buffer);
+  };
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"makespan_s\": " << num(m.makespan_s) << ",\n"
+      << "  \"energy_j\": " << num(m.energy_j) << ",\n"
+      << "  \"sla_violation_pct\": " << num(m.sla_violation_pct) << ",\n"
+      << "  \"jobs\": " << m.jobs << ",\n"
+      << "  \"vms\": " << m.vms << ",\n"
+      << "  \"sla_violations\": " << m.sla_violations << ",\n"
+      << "  \"mean_response_s\": " << num(m.mean_response_s) << ",\n"
+      << "  \"mean_wait_s\": " << num(m.mean_wait_s) << ",\n"
+      << "  \"mean_busy_servers\": " << num(m.mean_busy_servers) << ",\n"
+      << "  \"peak_busy_servers\": " << num(m.peak_busy_servers) << ",\n"
+      << "  \"servers_powered\": " << m.servers_powered << ",\n"
+      << "  \"migrations\": " << m.migrations << ",\n"
+      << "  \"migration_transfer_s\": " << num(m.migration_transfer_s)
+      << ",\n"
+      << "  \"failures\": " << m.failures << ",\n"
+      << "  \"vm_restarts\": " << m.vm_restarts << ",\n"
+      << "  \"vms_abandoned\": " << m.vms_abandoned << ",\n"
+      << "  \"lost_work_s\": " << num(m.lost_work_s) << ",\n"
+      << "  \"goodput_fraction\": " << num(m.goodput_fraction) << ",\n"
+      << "  \"fallback_allocations\": " << m.fallback_allocations << "\n"
+      << "}\n";
+  return out.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,6 +119,12 @@ int main(int argc, char** argv) {
   const int servers = static_cast<int>(args.get_int("servers", 60));
   const int target_vms = static_cast<int>(args.get_int("vms", 10000));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  const double snapshot_every = args.get_double("snapshot-every", 0.0);
+  const std::string snapshot_out = args.get_string("snapshot-out", "");
+  const std::string restore_from = args.get_string("restore-from", "");
+  const std::string final_metrics_out =
+      args.get_string("final-metrics-out", "");
+  const long long snapshot_sleep_ms = args.get_int("snapshot-sleep-ms", 0);
 
   obs::ObsConfig obs_config;
   obs_config.trace_jsonl_path = args.get_string("trace-out", "");
@@ -106,11 +171,38 @@ int main(int argc, char** argv) {
   datacenter::CloudConfig cloud;
   cloud.server_count = servers;
   cloud.obs = obs;
+  cloud.snapshot.every_s = snapshot_every;
+  cloud.snapshot.path = snapshot_out;
+  if (snapshot_sleep_ms > 0) {
+    cloud.snapshot.hook = [snapshot_sleep_ms](const persist::SimSnapshot&) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(snapshot_sleep_ms));
+    };
+  }
   const datacenter::Simulator sim(db, cloud);
 
-  std::cout << "simulating strategy " << strategy->name() << " on "
-            << servers << " servers...\n";
-  const datacenter::SimMetrics metrics = sim.run(workload, *strategy);
+  datacenter::SimMetrics metrics;
+  if (!restore_from.empty()) {
+    std::cout << "restoring checkpoint " << restore_from << "...\n";
+    const persist::SimSnapshot snapshot =
+        persist::read_snapshot_file(restore_from);
+    // Re-warm the allocator's estimate caches from the restored fleet so
+    // the resumed process does not pay cold-cache latency on its first
+    // admissions (the simulation itself is unaffected either way).
+    if (const auto* pa =
+            dynamic_cast<const core::ProactiveAllocator*>(strategy.get())) {
+      const std::size_t warmed = pa->rewarm(
+          datacenter::restored_server_states(snapshot, cloud));
+      std::cout << "  re-warmed " << warmed << " estimate-cache entries\n";
+    }
+    std::cout << "resuming strategy " << strategy->name() << " on "
+              << servers << " servers from t=" << snapshot.now << " s...\n";
+    metrics = sim.resume(workload, *strategy, snapshot);
+  } else {
+    std::cout << "simulating strategy " << strategy->name() << " on "
+              << servers << " servers...\n";
+    metrics = sim.run(workload, *strategy);
+  }
 
   std::cout << "\nresults (" << strategy->name() << ", " << servers
             << " servers):\n"
@@ -144,6 +236,10 @@ int main(int argc, char** argv) {
     if (!obs_config.metrics_json_path.empty()) {
       std::cout << "wrote " << obs_config.metrics_json_path << "\n";
     }
+  }
+  if (!final_metrics_out.empty()) {
+    util::write_file_atomic(final_metrics_out, final_metrics_json(metrics));
+    std::cout << "wrote " << final_metrics_out << "\n";
   }
   return 0;
 }

@@ -1,0 +1,72 @@
+/// \file fuzz_snapshot.cpp
+/// Fuzz target for the snapshot decoder (persist/snapshot).
+///
+/// Contract: arbitrary bytes either decode into a SimSnapshot or are
+/// rejected with a typed persist::SnapshotError (bad magic, version
+/// mismatch, truncation, CRC failure, malformed payload) — never UB, an
+/// untyped exception, or an unbounded allocation. Accepted snapshots must
+/// survive an encode → decode round trip that reproduces the identifying
+/// scalars bit for bit.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "persist/snapshot.hpp"
+
+namespace {
+
+void expect(bool cond, const char* what) {
+  if (!cond) {
+    throw std::logic_error(std::string("fuzz_snapshot invariant failed: ") +
+                           what);
+  }
+}
+
+std::uint64_t bits(double value) {
+  std::uint64_t out = 0;
+  static_assert(sizeof(out) == sizeof(value));
+  __builtin_memcpy(&out, &value, sizeof(out));
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  aeva::persist::SimSnapshot snapshot;
+  try {
+    snapshot = aeva::persist::decode_snapshot(bytes);
+  } catch (const aeva::persist::SnapshotError&) {
+    return 0;  // typed rejection is the contract for malformed input
+  }
+
+  // Round trip: whatever the decoder accepted must re-encode and decode
+  // back to the same identifying state (bit-exact doubles included).
+  const std::string encoded = aeva::persist::encode_snapshot(snapshot);
+  aeva::persist::SimSnapshot reparsed;
+  try {
+    reparsed = aeva::persist::decode_snapshot(encoded);
+  } catch (const aeva::persist::SnapshotError&) {
+    expect(false, "encoder output must decode");
+  }
+  expect(reparsed.workload_fingerprint == snapshot.workload_fingerprint,
+         "round trip preserves workload fingerprint");
+  expect(reparsed.config_fingerprint == snapshot.config_fingerprint,
+         "round trip preserves config fingerprint");
+  expect(bits(reparsed.now) == bits(snapshot.now),
+         "round trip preserves clock bits");
+  expect(reparsed.next_job == snapshot.next_job,
+         "round trip preserves job cursor");
+  expect(reparsed.servers.size() == snapshot.servers.size(),
+         "round trip preserves fleet size");
+  expect(reparsed.running.size() == snapshot.running.size(),
+         "round trip preserves in-flight VM count");
+  expect(reparsed.queue == snapshot.queue,
+         "round trip preserves queue contents");
+  expect(bits(reparsed.metrics.energy_j) == bits(snapshot.metrics.energy_j),
+         "round trip preserves energy bits");
+  return 0;
+}

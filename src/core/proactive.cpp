@@ -83,6 +83,7 @@ ProactiveAllocator::ProactiveAllocator(
     obs_.placed_primary = &m.counter("pa.alloc.primary");
     obs_.placed_fallback = &m.counter("pa.alloc.fallback");
     obs_.rejected = &m.counter("pa.alloc.rejected");
+    obs_.budget_truncated = &m.counter("pa.search.budget_truncated");
     obs_.candidates_per_call = &m.histogram(
         "pa.search.candidates_per_call",
         {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0});
@@ -114,6 +115,26 @@ modeldb::EstimateCache::Stats ProactiveAllocator::memo_stats() const {
     total.entries += s.entries;
   }
   return total;
+}
+
+std::size_t ProactiveAllocator::rewarm(
+    const std::vector<ServerState>& servers) const {
+  if (memos_.empty()) {
+    return 0;  // memoization off (or force_serial): nothing to warm
+  }
+  std::size_t warmed = 0;
+  for (const ServerState& server : servers) {
+    if (server.allocated.total() == 0 || server.hardware < 0) {
+      continue;
+    }
+    const auto hw = static_cast<std::size_t>(server.hardware);
+    if (hw >= memos_.size()) {
+      continue;
+    }
+    (void)memos_[hw]->estimate(server.allocated);
+    ++warmed;
+  }
+  return warmed;
 }
 
 namespace {
@@ -924,6 +945,13 @@ AllocationResult ProactiveAllocator::allocate(
   }
   result.partitions_examined = examined;
 
+  // Budget truncation: the enumeration stopped at `max_partitions`, so
+  // whatever is returned below is the best of the *examined* candidates,
+  // not provably the best of the space. Recorded on the outcome of every
+  // exit path (conservative: when the space holds exactly max_partitions
+  // candidates the search did cover it, but the enumeration cannot tell).
+  const bool search_truncated = examined >= config_.max_partitions;
+
   // Metrics flush (no-op when observability is off). Called once on every
   // exit path below with the counter matching the outcome; reads the
   // search state but never influences the decision.
@@ -938,6 +966,9 @@ AllocationResult ProactiveAllocator::allocate(
     obs_.pruned_infeasible->add(tally.pruned_infeasible);
     obs_.candidates_per_call->record(static_cast<double>(examined));
     obs_.workers->set(static_cast<double>(workers));
+    if (search_truncated) {
+      obs_.budget_truncated->add();
+    }
     if (outcome_counter != nullptr) {
       outcome_counter->add();
     }
@@ -977,15 +1008,16 @@ AllocationResult ProactiveAllocator::allocate(
       if (fb.complete) {
         fb.partitions_examined = examined;
         fb.satisfied_qos = false;  // the slot-based fallback is QoS-blind
-        fb.outcome =
-            AllocationOutcome{AllocationPath::kFallbackFirstFit, reason};
+        fb.outcome = AllocationOutcome{AllocationPath::kFallbackFirstFit,
+                                       reason, search_truncated};
         obs_flush(obs_.placed_fallback);
         return fb;
       }
     }
     // Nothing could place the request: it stays queued, with the reason on
     // record.
-    result.outcome = AllocationOutcome{AllocationPath::kRejected, reason};
+    result.outcome = AllocationOutcome{AllocationPath::kRejected, reason,
+                                       search_truncated};
     obs_flush(obs_.rejected);
     return result;
   }
@@ -1035,6 +1067,7 @@ AllocationResult ProactiveAllocator::allocate(
     }
   }
   result.complete = true;
+  result.outcome.search_truncated = search_truncated;
   obs_flush(obs_.placed_primary);
   return result;
 }

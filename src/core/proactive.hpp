@@ -148,6 +148,16 @@ class ProactiveAllocator final : public Allocator {
   /// when `memoize_estimates` is off or `force_serial` is on).
   [[nodiscard]] modeldb::EstimateCache::Stats memo_stats() const;
 
+  /// Re-warms the per-hardware-class estimate memo caches against a fleet
+  /// — one estimate() per occupied server — and returns how many entries
+  /// were touched. A process restored from a snapshot
+  /// (docs/RESILIENCE.md) calls this with the restored server states so
+  /// its first admissions after resume do not pay cold-cache latency.
+  /// No-op (returns 0) when memoization is off or `force_serial` is set;
+  /// never changes any allocation decision (the cache is semantically
+  /// transparent).
+  std::size_t rewarm(const std::vector<ServerState>& servers) const;
+
  private:
   /// Mutable search machinery shared by const allocate() calls (and by
   /// copies of the allocator): the worker pool is created lazily under the
@@ -166,6 +176,7 @@ class ProactiveAllocator final : public Allocator {
     obs::Counter* placed_primary = nullptr;
     obs::Counter* placed_fallback = nullptr;
     obs::Counter* rejected = nullptr;
+    obs::Counter* budget_truncated = nullptr;
     obs::Histogram* candidates_per_call = nullptr;
     obs::Histogram* chunk_evaluated = nullptr;
     obs::Gauge* workers = nullptr;

@@ -77,6 +77,13 @@ enum class RejectReason {
 struct AllocationOutcome {
   AllocationPath path = AllocationPath::kPrimary;
   RejectReason reason = RejectReason::kNone;
+  /// True when the search stopped at its partition budget
+  /// (ProactiveConfig::max_partitions) before exhausting the candidate
+  /// space: the placement is the best of what was examined, not provably
+  /// the best overall. Degraded-quality allocations are thereby
+  /// distinguishable from exhaustive ones (obs counter
+  /// `pa.search.budget_truncated` aggregates them per run).
+  bool search_truncated = false;
 };
 
 [[nodiscard]] constexpr const char* to_string(AllocationPath path) noexcept {

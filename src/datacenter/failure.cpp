@@ -143,6 +143,34 @@ void FailureSchedule::on_repair(int server, double repair_s) {
   }
 }
 
+FailureSchedule::State FailureSchedule::state() const {
+  State state;
+  state.script_next = script_next_;
+  state.streams.reserve(streams_.size());
+  for (const util::Rng& stream : streams_) {
+    state.streams.push_back(stream.state());
+  }
+  state.sampled_next = sampled_next_;
+  return state;
+}
+
+void FailureSchedule::restore(const State& state) {
+  AEVA_REQUIRE(state.streams.size() == streams_.size() &&
+                   state.sampled_next.size() == sampled_next_.size(),
+               "failure-schedule state shape (", state.streams.size(), ", ",
+               state.sampled_next.size(),
+               ") does not match this schedule's (", streams_.size(), ", ",
+               sampled_next_.size(), ")");
+  AEVA_REQUIRE(state.script_next <= script_.size(),
+               "failure-schedule script cursor ", state.script_next,
+               " past the ", script_.size(), "-event script");
+  script_next_ = state.script_next;
+  for (std::size_t s = 0; s < streams_.size(); ++s) {
+    streams_[s].set_state(state.streams[s]);
+  }
+  sampled_next_ = state.sampled_next;
+}
+
 // --- scripted-trace I/O -----------------------------------------------------
 
 namespace {

@@ -140,6 +140,23 @@ class FailureSchedule {
   /// Re-arms sampling for a repaired server from its repair instant.
   void on_repair(int server, double repair_s);
 
+  /// Mutable schedule state for checkpoint/restore (src/persist/). The
+  /// script itself is re-derived from the config on construction, so only
+  /// the cursor and per-server sampling state need to travel.
+  struct State {
+    std::size_t script_next = 0;
+    std::vector<util::Rng::State> streams;
+    std::vector<double> sampled_next;
+  };
+
+  /// Captures the mutable state.
+  [[nodiscard]] State state() const;
+
+  /// Restores state captured from a schedule built with an identical
+  /// config; throws std::invalid_argument when the per-server vectors do
+  /// not match this schedule's shape.
+  void restore(const State& state);
+
  private:
   std::vector<FailureEvent> script_;   ///< sorted by at_s, stable
   std::size_t script_next_ = 0;

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/cost_model.hpp"
+#include "persist/snapshot.hpp"
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 #include "workload/registry.hpp"
@@ -92,11 +94,115 @@ struct RestartVm {
   int retries = 0;           ///< losses so far, including the one queuing it
 };
 
+// --- snapshot identity (docs/RESILIENCE.md) ---------------------------------
+// A snapshot is only meaningful against the exact run that wrote it, so
+// every snapshot carries order-sensitive fingerprints of the workload and
+// of the (cloud, allocator) configuration, and resume() refuses anything
+// else. Doubles are mixed by bit pattern: "the same run" means the same
+// bits, matching the bit-identical-resume guarantee.
+
+std::uint64_t fingerprint_workload(const std::vector<trace::JobRequest>& jobs) {
+  persist::Fingerprint fp;
+  fp.mix(jobs.size());
+  for (const trace::JobRequest& job : jobs) {
+    fp.mix(static_cast<std::uint64_t>(job.id));
+    fp.mix_double(job.submit_s);
+    fp.mix(static_cast<std::uint64_t>(job.profile));
+    fp.mix(static_cast<std::uint64_t>(job.vm_count));
+    fp.mix_double(job.runtime_scale);
+    fp.mix_double(job.deadline_s);
+    fp.mix_double(job.max_exec_stretch);
+    fp.mix(static_cast<std::uint64_t>(job.depends_on));
+  }
+  return fp.value();
+}
+
+std::uint64_t fingerprint_config(const CloudConfig& cloud,
+                                 const std::string& allocator_name,
+                                 std::size_t db_count) {
+  persist::Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(cloud.server_count));
+  fp.mix_double(cloud.idle_power_w);
+  fp.mix(cloud.hardware.size());
+  for (const int hardware : cloud.hardware) {
+    fp.mix(static_cast<std::uint64_t>(hardware));
+  }
+  const MigrationConfig& mig = cloud.migration;
+  fp.mix(mig.enabled ? 1 : 0);
+  fp.mix(static_cast<std::uint64_t>(mig.trigger));
+  fp.mix_double(mig.check_interval_s);
+  fp.mix(static_cast<std::uint64_t>(mig.evict_below_vms));
+  fp.mix(static_cast<std::uint64_t>(mig.max_concurrent));
+  fp.mix_double(mig.transfer_mbps);
+  fp.mix_double(mig.degradation);
+  fp.mix_double(mig.downtime_work_fraction);
+  const FailureConfig& fail = cloud.failure;
+  fp.mix(fail.enabled ? 1 : 0);
+  fp.mix(fail.script.size());
+  for (const FailureEvent& event : fail.script) {
+    fp.mix(static_cast<std::uint64_t>(event.kind));
+    fp.mix(static_cast<std::uint64_t>(event.server));
+    fp.mix_double(event.at_s);
+    fp.mix_double(event.duration_s);
+    fp.mix_double(event.magnitude);
+  }
+  fp.mix_double(fail.mtbf_s);
+  fp.mix_double(fail.mttr_s);
+  fp.mix(fail.seed);
+  fp.mix(static_cast<std::uint64_t>(fail.recovery.policy));
+  fp.mix_double(fail.recovery.checkpoint_period_s);
+  fp.mix_double(fail.recovery.checkpoint_tax);
+  fp.mix(static_cast<std::uint64_t>(fail.recovery.max_retries));
+  fp.mix(static_cast<std::uint64_t>(cloud.backfill_window));
+  fp.mix(cloud.record_completions ? 1 : 0);
+  fp.mix(db_count);
+  fp.mix_string(allocator_name);
+  return fp.value();
+}
+
+/// Throws the typed mismatch error resume() promises.
+void require_snapshot(bool condition, const char* what) {
+  if (!condition) {
+    throw persist::SnapshotMismatchError(
+        std::string("snapshot does not fit this run: ") + what);
+  }
+}
+
 }  // namespace
+
+std::vector<core::ServerState> restored_server_states(
+    const persist::SimSnapshot& snapshot, const CloudConfig& cloud) {
+  std::vector<core::ServerState> states;
+  states.reserve(snapshot.servers.size());
+  for (std::size_t s = 0; s < snapshot.servers.size(); ++s) {
+    const persist::ServerPersistState& server = snapshot.servers[s];
+    if (cloud.failure.enabled && server.down) {
+      continue;
+    }
+    const int hardware = s < cloud.hardware.size() ? cloud.hardware[s] : 0;
+    states.push_back(core::ServerState{static_cast<int>(s), server.alloc,
+                                       server.powered, hardware});
+  }
+  return states;
+}
 
 SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
                           const core::Allocator& allocator,
                           const IntervalObserver& observer) const {
+  return run_impl(workload, allocator, observer, nullptr);
+}
+
+SimMetrics Simulator::resume(const trace::PreparedWorkload& workload,
+                             const core::Allocator& allocator,
+                             const persist::SimSnapshot& snapshot,
+                             const IntervalObserver& observer) const {
+  return run_impl(workload, allocator, observer, &snapshot);
+}
+
+SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
+                               const core::Allocator& allocator,
+                               const IntervalObserver& observer,
+                               const persist::SimSnapshot* restore) const {
   AEVA_REQUIRE(!workload.jobs.empty(), "empty workload");
   const auto& jobs = workload.jobs;
   for (std::size_t i = 1; i < jobs.size(); ++i) {
@@ -172,6 +278,8 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
     obs::Counter* degrades = nullptr;
     obs::Counter* brownouts = nullptr;
     obs::Counter* abandoned = nullptr;
+    obs::Counter* snapshots = nullptr;
+    obs::Counter* snapshot_bytes = nullptr;
     obs::Histogram* queue_depth = nullptr;
     obs::Histogram* interval_s = nullptr;
     obs::TraceLog* trace = nullptr;
@@ -196,6 +304,8 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
     sobs.degrades = &reg.counter("sim.failures.degrade");
     sobs.brownouts = &reg.counter("sim.failures.brownout");
     sobs.abandoned = &reg.counter("sim.vms_abandoned");
+    sobs.snapshots = &reg.counter("sim.snapshots");
+    sobs.snapshot_bytes = &reg.counter("sim.snapshot_bytes");
     sobs.queue_depth = &reg.histogram(
         "sim.queue_depth", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
     sobs.interval_s = &reg.histogram(
@@ -794,6 +904,279 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
       jobs.size() * 4 +
       static_cast<std::size_t>(workload.total_vms) * 6 + (1u << 17) +
       (fail_on ? fail.script.size() * 4 + (1u << 20) : 0u);
+
+  // --- process-level durability (docs/RESILIENCE.md) ----------------------
+  const SnapshotConfig& snap = cloud_.snapshot;
+  const bool snap_on =
+      snap.every_s > 0.0 && (!snap.path.empty() || snap.hook != nullptr);
+  double next_snapshot_due = snap_on ? t0 + snap.every_s : kInf;
+  std::uint64_t workload_fp = 0;
+  std::uint64_t config_fp = 0;
+  if (snap_on || restore != nullptr) {
+    workload_fp = fingerprint_workload(jobs);
+    config_fp = fingerprint_config(cloud_, allocator.name(), dbs_.size());
+  }
+
+  // Captures the complete loop state into a persist::SimSnapshot mirror,
+  // writes it atomically when a path is configured, and hands it to the
+  // hook. Pure observation: nothing the rest of the loop reads changes.
+  const auto capture_snapshot = [&] {
+    // The span's real_us is the wall-clock cost of encoding + writing the
+    // checkpoint; its simulated duration is zero (checkpointing is outside
+    // the simulated model).
+    obs::Span span(sobs.trace, "snapshot", "persist", now);
+    persist::SimSnapshot s;
+    s.workload_fingerprint = workload_fp;
+    s.config_fingerprint = config_fp;
+    s.t0 = t0;
+    s.now = now;
+    s.next_job = next_job;
+    s.next_vm_id = next_vm_id;
+    s.guard = guard;
+    s.busy_server_time = busy_server_time;
+    s.useful_work_s = useful_work_s;
+    s.next_sweep = next_sweep;
+    s.parked = parked;
+    s.servers.reserve(n_servers);
+    for (const ServerRt& in : servers) {
+      persist::ServerPersistState out;
+      out.alloc = in.alloc;
+      out.busy_power_w = in.busy_power_w;
+      out.powered = in.powered;
+      out.down = in.down;
+      out.repair_s = in.repair_s;
+      out.degrade_until = in.degrade_until;
+      out.degrade_mult = in.degrade_mult;
+      out.brownout_until = in.brownout_until;
+      out.brownout_cap_w = in.brownout_cap_w;
+      out.ever_powered = in.ever_powered;
+      s.servers.push_back(out);
+    }
+    s.running.reserve(running.size());
+    for (const RunningVm& in : running) {
+      persist::VmState out;
+      out.vm_id = in.vm_id;
+      out.job_index = in.job_index;
+      out.profile = static_cast<std::int32_t>(in.profile);
+      out.runtime_scale = in.runtime_scale;
+      out.server = in.server;
+      out.start_s = in.start_s;
+      out.remaining = in.remaining;
+      out.rate = in.rate;
+      out.migrating = in.migrating;
+      out.migration_done_s = in.migration_done_s;
+      out.dest_server = in.dest_server;
+      out.retries = in.retries;
+      out.ckpt_done = in.ckpt_done;
+      out.next_ckpt_s = in.next_ckpt_s;
+      s.running.push_back(out);
+    }
+    s.queue.assign(queue.begin(), queue.end());
+    s.restarts.reserve(restarts.size());
+    for (const RestartVm& in : restarts) {
+      s.restarts.push_back(persist::RestartState{in.job_index, in.resume_done,
+                                                 in.retries});
+    }
+    s.vms_left.assign(vms_left.begin(), vms_left.end());
+    s.job_done.reserve(job_done.size());
+    for (const bool done : job_done) {
+      s.job_done.push_back(done ? 1 : 0);
+    }
+    s.dependents.reserve(dependents.size());
+    for (const std::vector<std::size_t>& deps : dependents) {
+      s.dependents.emplace_back(deps.begin(), deps.end());
+    }
+    persist::MetricsState& m = s.metrics;
+    m.makespan_s = metrics.makespan_s;
+    m.energy_j = metrics.energy_j;
+    m.sla_violation_pct = metrics.sla_violation_pct;
+    m.jobs = metrics.jobs;
+    m.vms = metrics.vms;
+    m.sla_violations = metrics.sla_violations;
+    m.mean_response_s = metrics.mean_response_s;
+    m.mean_wait_s = metrics.mean_wait_s;
+    m.mean_busy_servers = metrics.mean_busy_servers;
+    m.peak_busy_servers = metrics.peak_busy_servers;
+    m.servers_powered = metrics.servers_powered;
+    m.migrations = metrics.migrations;
+    m.migration_transfer_s = metrics.migration_transfer_s;
+    m.failures = metrics.failures;
+    m.vm_restarts = metrics.vm_restarts;
+    m.vms_abandoned = metrics.vms_abandoned;
+    m.lost_work_s = metrics.lost_work_s;
+    m.goodput_fraction = metrics.goodput_fraction;
+    m.fallback_allocations = metrics.fallback_allocations;
+    m.completions.reserve(metrics.completions.size());
+    for (const VmCompletion& c : metrics.completions) {
+      m.completions.push_back(persist::CompletionState{
+          c.vm_id, c.job_id, static_cast<std::int32_t>(c.profile), c.server,
+          c.submit_s, c.start_s, c.finish_s});
+    }
+    s.response_stats = response_stats.state();
+    s.wait_stats = wait_stats.state();
+    const FailureSchedule::State fs = failure_schedule.state();
+    s.failure.script_next = fs.script_next;
+    s.failure.streams = fs.streams;
+    s.failure.sampled_next = fs.sampled_next;
+
+    if (!snap.path.empty()) {
+      const std::string bytes = persist::encode_snapshot(s);
+      try {
+        util::write_file_atomic(snap.path, bytes);
+      } catch (const util::FileWriteError& error) {
+        throw persist::SnapshotIoError(
+            std::string("cannot write snapshot: ") + error.what());
+      }
+      if (sobs.snapshot_bytes != nullptr) {
+        sobs.snapshot_bytes->add(bytes.size());
+        span.arg("bytes", std::to_string(bytes.size()));
+      }
+    }
+    if (sobs.snapshots != nullptr) {
+      sobs.snapshots->add();
+    }
+    span.close(now);
+    if (snap.hook) {
+      snap.hook(s);
+    }
+  };
+
+  // Restoring assigns every mutable local the loop reads, so the next
+  // iteration computes exactly what the uninterrupted run's would have:
+  // all doubles (rates, powers, accumulators) and all RNG stream
+  // positions travel bit-exactly through the snapshot.
+  if (restore != nullptr) {
+    const persist::SimSnapshot& s = *restore;
+    require_snapshot(s.workload_fingerprint == workload_fp,
+                     "workload fingerprint differs");
+    require_snapshot(s.config_fingerprint == config_fp,
+                     "cloud/allocator configuration fingerprint differs");
+    require_snapshot(s.servers.size() == n_servers, "server count differs");
+    require_snapshot(s.vms_left.size() == jobs.size() &&
+                         s.job_done.size() == jobs.size() &&
+                         s.dependents.size() == jobs.size(),
+                     "per-job state does not match the workload");
+    require_snapshot(s.next_job <= jobs.size(),
+                     "arrival cursor out of range");
+    for (const std::uint64_t j : s.queue) {
+      require_snapshot(j < jobs.size(), "queued job index out of range");
+    }
+    std::size_t parked_count = 0;
+    for (const std::vector<std::uint64_t>& deps : s.dependents) {
+      parked_count += deps.size();
+      for (const std::uint64_t j : deps) {
+        require_snapshot(j < jobs.size(), "parked job index out of range");
+      }
+    }
+    require_snapshot(parked_count == s.parked,
+                     "parked-job count disagrees with the dependents lists");
+    for (const persist::VmState& vm : s.running) {
+      require_snapshot(vm.job_index < jobs.size(),
+                       "running VM's job out of range");
+      require_snapshot(vm.server >= 0 &&
+                           static_cast<std::size_t>(vm.server) < n_servers,
+                       "running VM's server out of range");
+      require_snapshot(vm.dest_server >= -1 &&
+                           vm.dest_server < static_cast<int>(n_servers),
+                       "running VM's destination out of range");
+      require_snapshot(!vm.migrating || vm.dest_server >= 0,
+                       "migrating VM without a destination");
+    }
+    for (const persist::RestartState& r : s.restarts) {
+      require_snapshot(r.job_index < jobs.size(),
+                       "restart VM's job out of range");
+    }
+
+    now = s.now;
+    next_job = static_cast<std::size_t>(s.next_job);
+    next_vm_id = s.next_vm_id;
+    guard = static_cast<std::size_t>(s.guard);
+    busy_server_time = s.busy_server_time;
+    useful_work_s = s.useful_work_s;
+    next_sweep = s.next_sweep;
+    parked = static_cast<std::size_t>(s.parked);
+    for (std::size_t i = 0; i < n_servers; ++i) {
+      const persist::ServerPersistState& in = s.servers[i];
+      ServerRt& out = servers[i];
+      out.alloc = in.alloc;
+      out.busy_power_w = in.busy_power_w;
+      out.powered = in.powered;
+      out.down = in.down;
+      out.repair_s = in.repair_s;
+      out.degrade_until = in.degrade_until;
+      out.degrade_mult = in.degrade_mult;
+      out.brownout_until = in.brownout_until;
+      out.brownout_cap_w = in.brownout_cap_w;
+      out.ever_powered = in.ever_powered;
+    }
+    running.clear();
+    running.reserve(s.running.size());
+    for (const persist::VmState& in : s.running) {
+      RunningVm vm;
+      vm.vm_id = in.vm_id;
+      vm.job_index = static_cast<std::size_t>(in.job_index);
+      vm.profile = static_cast<ProfileClass>(in.profile);
+      vm.runtime_scale = in.runtime_scale;
+      vm.server = in.server;
+      vm.start_s = in.start_s;
+      vm.remaining = in.remaining;
+      vm.rate = in.rate;
+      vm.migrating = in.migrating;
+      vm.migration_done_s = in.migration_done_s;
+      vm.dest_server = in.dest_server;
+      vm.retries = in.retries;
+      vm.ckpt_done = in.ckpt_done;
+      vm.next_ckpt_s = in.next_ckpt_s;
+      running.push_back(vm);
+    }
+    queue.assign(s.queue.begin(), s.queue.end());
+    restarts.clear();
+    for (const persist::RestartState& in : s.restarts) {
+      restarts.push_back(RestartVm{static_cast<std::size_t>(in.job_index),
+                                   in.resume_done, in.retries});
+    }
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      vms_left[j] = s.vms_left[j];
+      job_done[j] = s.job_done[j] != 0;
+      dependents[j].assign(s.dependents[j].begin(), s.dependents[j].end());
+    }
+    const persist::MetricsState& m = s.metrics;
+    metrics.makespan_s = m.makespan_s;
+    metrics.energy_j = m.energy_j;
+    metrics.sla_violation_pct = m.sla_violation_pct;
+    metrics.jobs = static_cast<std::size_t>(m.jobs);
+    metrics.vms = static_cast<std::size_t>(m.vms);
+    metrics.sla_violations = static_cast<std::size_t>(m.sla_violations);
+    metrics.mean_response_s = m.mean_response_s;
+    metrics.mean_wait_s = m.mean_wait_s;
+    metrics.mean_busy_servers = m.mean_busy_servers;
+    metrics.peak_busy_servers = m.peak_busy_servers;
+    metrics.servers_powered = static_cast<std::size_t>(m.servers_powered);
+    metrics.migrations = static_cast<std::size_t>(m.migrations);
+    metrics.migration_transfer_s = m.migration_transfer_s;
+    metrics.failures = static_cast<std::size_t>(m.failures);
+    metrics.vm_restarts = static_cast<std::size_t>(m.vm_restarts);
+    metrics.vms_abandoned = static_cast<std::size_t>(m.vms_abandoned);
+    metrics.lost_work_s = m.lost_work_s;
+    metrics.goodput_fraction = m.goodput_fraction;
+    metrics.fallback_allocations =
+        static_cast<std::size_t>(m.fallback_allocations);
+    metrics.completions.clear();
+    metrics.completions.reserve(m.completions.size());
+    for (const persist::CompletionState& c : m.completions) {
+      metrics.completions.push_back(VmCompletion{
+          c.vm_id, c.job_id, static_cast<ProfileClass>(c.profile), c.server,
+          c.submit_s, c.start_s, c.finish_s});
+    }
+    response_stats.restore(s.response_stats);
+    wait_stats.restore(s.wait_stats);
+    FailureSchedule::State fail_state;
+    fail_state.script_next = static_cast<std::size_t>(s.failure.script_next);
+    fail_state.streams = s.failure.streams;
+    fail_state.sampled_next = s.failure.sampled_next;
+    failure_schedule.restore(fail_state);
+  }
+
   while (next_job < jobs.size() || !queue.empty() || !running.empty() ||
          parked > 0 || !restarts.empty()) {
     AEVA_INVARIANT(++guard <= max_events,
@@ -1026,6 +1409,18 @@ SimMetrics Simulator::run(const trace::PreparedWorkload& workload,
     }
 
     drain_queue();
+
+    // Periodic checkpoint at the loop boundary. Deliberately *not* an
+    // event source: inserting snapshot times into the interval min would
+    // split `power*dt` / `rate*dt` accrual and change floating-point
+    // summation order, breaking the snapshots-on vs. snapshots-off
+    // bit-identity contract (gated by bench/snapshot_overhead).
+    if (snap_on && now + kEps >= next_snapshot_due) {
+      capture_snapshot();
+      while (next_snapshot_due <= now + kEps) {
+        next_snapshot_due += snap.every_s;
+      }
+    }
   }
 
   metrics.makespan_s = now - t0;

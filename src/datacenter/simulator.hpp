@@ -36,6 +36,10 @@
 #include "thermal/thermal_model.hpp"
 #include "trace/prepare.hpp"
 
+namespace aeva::persist {
+struct SimSnapshot;
+}  // namespace aeva::persist
+
 namespace aeva::datacenter {
 
 /// Reactive consolidation via live VM migration — the dynamic techniques
@@ -74,6 +78,25 @@ struct MigrationConfig {
   double downtime_work_fraction = 0.01;
 };
 
+/// Process-level durability (docs/RESILIENCE.md, "Process-level
+/// durability"): periodically capture the complete simulator state so a
+/// killed run can be resumed bit-identically. Snapshots are taken at
+/// event-loop boundaries — never by inserting events — so enabling them
+/// cannot perturb the simulation: metrics are bit-identical with
+/// snapshotting on or off (gated by bench/snapshot_overhead).
+struct SnapshotConfig {
+  /// Minimum simulated seconds between snapshots; <= 0 disables
+  /// snapshotting entirely.
+  double every_s = 0.0;
+  /// Snapshot file, atomically replaced at every checkpoint (temp file +
+  /// fsync + rename); empty → no file is written (hook-only capture).
+  std::string path;
+  /// Optional in-process consumer, invoked with every captured snapshot
+  /// after the file write; tests and drivers use it to collect
+  /// checkpoints without touching the filesystem.
+  std::function<void(const persist::SimSnapshot&)> hook;
+};
+
 /// The simulated cloud.
 struct CloudConfig {
   int server_count = 60;        ///< SMALLER reference size
@@ -102,6 +125,9 @@ struct CloudConfig {
   /// disables all metric and trace emission from the simulator; a run is
   /// bit-identical either way — the session only records what happened.
   std::shared_ptr<obs::Session> obs;
+  /// Periodic checkpointing of the simulator state (disabled by default;
+  /// enabling it never changes the simulation — see SnapshotConfig).
+  SnapshotConfig snapshot;
 };
 
 /// One VM's lifecycle record (emitted when `record_completions` is set).
@@ -182,6 +208,17 @@ class Simulator {
                                const core::Allocator& allocator,
                                const IntervalObserver& observer = {}) const;
 
+  /// Continues a previously snapshotted run of the *same* workload under
+  /// the *same* cloud configuration and allocator, and returns the final
+  /// metrics — bit-identical, field for field, to what the uninterrupted
+  /// run would have returned. Throws persist::SnapshotMismatchError when
+  /// the snapshot does not belong to this (workload, cloud, allocator)
+  /// triple or carries out-of-range state.
+  [[nodiscard]] SimMetrics resume(const trace::PreparedWorkload& workload,
+                                  const core::Allocator& allocator,
+                                  const persist::SimSnapshot& snapshot,
+                                  const IntervalObserver& observer = {}) const;
+
   [[nodiscard]] const CloudConfig& cloud() const noexcept { return cloud_; }
 
  private:
@@ -189,8 +226,21 @@ class Simulator {
     return *dbs_[static_cast<std::size_t>(hardware)];
   }
 
+  [[nodiscard]] SimMetrics run_impl(const trace::PreparedWorkload& workload,
+                                    const core::Allocator& allocator,
+                                    const IntervalObserver& observer,
+                                    const persist::SimSnapshot* restore) const;
+
   std::vector<const modeldb::ModelDatabase*> dbs_;
   CloudConfig cloud_;
 };
+
+/// The allocator's view of a snapshotted fleet (crashed servers masked,
+/// exactly as the simulator presents it): used to re-warm allocator-side
+/// caches — e.g. ProactiveAllocator::rewarm — after a restore, so a
+/// resumed process does not pay cold-cache latency on its first
+/// admissions.
+[[nodiscard]] std::vector<core::ServerState> restored_server_states(
+    const persist::SimSnapshot& snapshot, const CloudConfig& cloud);
 
 }  // namespace aeva::datacenter

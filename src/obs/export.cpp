@@ -1,10 +1,10 @@
 #include "obs/export.hpp"
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/strings.hpp"
 #include "util/table_printer.hpp"
 
@@ -181,15 +181,11 @@ std::string metrics_summary_table(const MetricsRegistry::Snapshot& snapshot) {
 }
 
 void write_text_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("obs: cannot open " + path + " for writing");
-  }
-  out << content;
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("obs: failed writing " + path);
-  }
+  // Crash-safe publish (temp + fsync + rename); throws a typed
+  // util::FileWriteError naming the path on any failure, disk-full
+  // included — a torn or silently-dropped export can no longer masquerade
+  // as a successful run.
+  util::write_file_atomic(path, content);
 }
 
 }  // namespace aeva::obs

@@ -1,0 +1,571 @@
+#include "persist/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+
+namespace aeva::persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'E', 'V', 'A', 'S', 'N', 'A', 'P'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 4;
+
+// --- little-endian primitives ----------------------------------------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_bool(std::string& out, bool v) {
+  out.push_back(v ? '\x01' : '\x00');
+}
+
+/// Bounds-checked sequential reader over the payload. Every accessor
+/// throws SnapshotFormatError instead of reading out of range, so a
+/// decoder fed arbitrary bytes can only ever fail cleanly.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  [[nodiscard]] bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) {
+      throw SnapshotFormatError("snapshot boolean field holds " +
+                                std::to_string(v));
+    }
+    return v == 1;
+  }
+
+  /// Element count of a variable-length section; rejected up front when
+  /// even minimally-sized elements could not fit in the remaining bytes,
+  /// so a corrupt count can never trigger a huge allocation.
+  [[nodiscard]] std::size_t count(std::size_t min_element_size) {
+    const std::uint64_t n = u64();
+    const std::size_t limit =
+        min_element_size == 0 ? remaining() : remaining() / min_element_size;
+    if (n > limit) {
+      throw SnapshotFormatError(
+          "snapshot section claims " + std::to_string(n) +
+          " elements but only " + std::to_string(remaining()) +
+          " bytes remain");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (remaining() < bytes) {
+      throw SnapshotFormatError("snapshot payload truncated at byte " +
+                                std::to_string(pos_));
+    }
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- compound fields --------------------------------------------------------
+
+std::int32_t read_profile(Reader& in) {
+  const std::int32_t p = in.i32();
+  if (p < 0 || p >= static_cast<std::int32_t>(workload::kProfileClassCount)) {
+    throw SnapshotFormatError("snapshot profile class " + std::to_string(p) +
+                              " out of range");
+  }
+  return p;
+}
+
+void put_class_counts(std::string& out, const workload::ClassCounts& c) {
+  put_i32(out, c.cpu);
+  put_i32(out, c.mem);
+  put_i32(out, c.io);
+}
+
+workload::ClassCounts read_class_counts(Reader& in) {
+  workload::ClassCounts c;
+  c.cpu = in.i32();
+  c.mem = in.i32();
+  c.io = in.i32();
+  if (c.cpu < 0 || c.mem < 0 || c.io < 0) {
+    throw SnapshotFormatError("snapshot class counts are negative");
+  }
+  return c;
+}
+
+void put_rng_state(std::string& out, const util::Rng::State& s) {
+  for (const std::uint64_t word : s.words) {
+    put_u64(out, word);
+  }
+  put_f64(out, s.cached_normal);
+  put_bool(out, s.has_cached_normal);
+}
+
+util::Rng::State read_rng_state(Reader& in) {
+  util::Rng::State s;
+  for (std::uint64_t& word : s.words) {
+    word = in.u64();
+  }
+  s.cached_normal = in.f64();
+  s.has_cached_normal = in.boolean();
+  return s;
+}
+
+void put_stats_state(std::string& out, const util::RunningStats::State& s) {
+  put_u64(out, s.count);
+  put_f64(out, s.mean);
+  put_f64(out, s.m2);
+  put_f64(out, s.sum);
+  put_f64(out, s.min);
+  put_f64(out, s.max);
+}
+
+util::RunningStats::State read_stats_state(Reader& in) {
+  util::RunningStats::State s;
+  s.count = static_cast<std::size_t>(in.u64());
+  s.mean = in.f64();
+  s.m2 = in.f64();
+  s.sum = in.f64();
+  s.min = in.f64();
+  s.max = in.f64();
+  return s;
+}
+
+void encode_payload(std::string& out, const SimSnapshot& s) {
+  put_u64(out, s.workload_fingerprint);
+  put_u64(out, s.config_fingerprint);
+  put_f64(out, s.t0);
+  put_f64(out, s.now);
+  put_u64(out, s.next_job);
+  put_i64(out, s.next_vm_id);
+  put_u64(out, s.guard);
+  put_f64(out, s.busy_server_time);
+  put_f64(out, s.useful_work_s);
+  put_f64(out, s.next_sweep);
+  put_u64(out, s.parked);
+
+  put_u64(out, s.servers.size());
+  for (const ServerPersistState& server : s.servers) {
+    put_class_counts(out, server.alloc);
+    put_f64(out, server.busy_power_w);
+    put_bool(out, server.powered);
+    put_bool(out, server.down);
+    put_f64(out, server.repair_s);
+    put_f64(out, server.degrade_until);
+    put_f64(out, server.degrade_mult);
+    put_f64(out, server.brownout_until);
+    put_f64(out, server.brownout_cap_w);
+    put_bool(out, server.ever_powered);
+  }
+
+  put_u64(out, s.running.size());
+  for (const VmState& vm : s.running) {
+    put_i64(out, vm.vm_id);
+    put_u64(out, vm.job_index);
+    put_i32(out, vm.profile);
+    put_f64(out, vm.runtime_scale);
+    put_i32(out, vm.server);
+    put_f64(out, vm.start_s);
+    put_f64(out, vm.remaining);
+    put_f64(out, vm.rate);
+    put_bool(out, vm.migrating);
+    put_f64(out, vm.migration_done_s);
+    put_i32(out, vm.dest_server);
+    put_i32(out, vm.retries);
+    put_f64(out, vm.ckpt_done);
+    put_f64(out, vm.next_ckpt_s);
+  }
+
+  put_u64(out, s.queue.size());
+  for (const std::uint64_t j : s.queue) {
+    put_u64(out, j);
+  }
+
+  put_u64(out, s.restarts.size());
+  for (const RestartState& r : s.restarts) {
+    put_u64(out, r.job_index);
+    put_f64(out, r.resume_done);
+    put_i32(out, r.retries);
+  }
+
+  put_u64(out, s.vms_left.size());
+  for (const std::int32_t v : s.vms_left) {
+    put_i32(out, v);
+  }
+
+  put_u64(out, s.job_done.size());
+  for (const std::uint8_t d : s.job_done) {
+    put_bool(out, d != 0);
+  }
+
+  put_u64(out, s.dependents.size());
+  for (const std::vector<std::uint64_t>& deps : s.dependents) {
+    put_u64(out, deps.size());
+    for (const std::uint64_t d : deps) {
+      put_u64(out, d);
+    }
+  }
+
+  const MetricsState& m = s.metrics;
+  put_f64(out, m.makespan_s);
+  put_f64(out, m.energy_j);
+  put_f64(out, m.sla_violation_pct);
+  put_u64(out, m.jobs);
+  put_u64(out, m.vms);
+  put_u64(out, m.sla_violations);
+  put_f64(out, m.mean_response_s);
+  put_f64(out, m.mean_wait_s);
+  put_f64(out, m.mean_busy_servers);
+  put_f64(out, m.peak_busy_servers);
+  put_u64(out, m.servers_powered);
+  put_u64(out, m.migrations);
+  put_f64(out, m.migration_transfer_s);
+  put_u64(out, m.failures);
+  put_u64(out, m.vm_restarts);
+  put_u64(out, m.vms_abandoned);
+  put_f64(out, m.lost_work_s);
+  put_f64(out, m.goodput_fraction);
+  put_u64(out, m.fallback_allocations);
+  put_u64(out, m.completions.size());
+  for (const CompletionState& c : m.completions) {
+    put_i64(out, c.vm_id);
+    put_i64(out, c.job_id);
+    put_i32(out, c.profile);
+    put_i32(out, c.server);
+    put_f64(out, c.submit_s);
+    put_f64(out, c.start_s);
+    put_f64(out, c.finish_s);
+  }
+
+  put_stats_state(out, s.response_stats);
+  put_stats_state(out, s.wait_stats);
+
+  put_u64(out, s.failure.script_next);
+  put_u64(out, s.failure.streams.size());
+  for (const util::Rng::State& stream : s.failure.streams) {
+    put_rng_state(out, stream);
+  }
+  put_u64(out, s.failure.sampled_next.size());
+  for (const double next : s.failure.sampled_next) {
+    put_f64(out, next);
+  }
+}
+
+SimSnapshot decode_payload(Reader& in) {
+  SimSnapshot s;
+  s.workload_fingerprint = in.u64();
+  s.config_fingerprint = in.u64();
+  s.t0 = in.f64();
+  s.now = in.f64();
+  s.next_job = in.u64();
+  s.next_vm_id = in.i64();
+  s.guard = in.u64();
+  s.busy_server_time = in.f64();
+  s.useful_work_s = in.f64();
+  s.next_sweep = in.f64();
+  s.parked = in.u64();
+
+  const std::size_t n_servers = in.count(12 + 8 * 6 + 3);
+  s.servers.reserve(n_servers);
+  for (std::size_t i = 0; i < n_servers; ++i) {
+    ServerPersistState server;
+    server.alloc = read_class_counts(in);
+    server.busy_power_w = in.f64();
+    server.powered = in.boolean();
+    server.down = in.boolean();
+    server.repair_s = in.f64();
+    server.degrade_until = in.f64();
+    server.degrade_mult = in.f64();
+    server.brownout_until = in.f64();
+    server.brownout_cap_w = in.f64();
+    server.ever_powered = in.boolean();
+    s.servers.push_back(server);
+  }
+
+  const std::size_t n_running = in.count(8 * 9 + 4 * 4 + 1);
+  s.running.reserve(n_running);
+  for (std::size_t i = 0; i < n_running; ++i) {
+    VmState vm;
+    vm.vm_id = in.i64();
+    vm.job_index = in.u64();
+    vm.profile = read_profile(in);
+    vm.runtime_scale = in.f64();
+    vm.server = in.i32();
+    vm.start_s = in.f64();
+    vm.remaining = in.f64();
+    vm.rate = in.f64();
+    vm.migrating = in.boolean();
+    vm.migration_done_s = in.f64();
+    vm.dest_server = in.i32();
+    vm.retries = in.i32();
+    vm.ckpt_done = in.f64();
+    vm.next_ckpt_s = in.f64();
+    s.running.push_back(vm);
+  }
+
+  const std::size_t n_queue = in.count(8);
+  s.queue.reserve(n_queue);
+  for (std::size_t i = 0; i < n_queue; ++i) {
+    s.queue.push_back(in.u64());
+  }
+
+  const std::size_t n_restarts = in.count(8 + 8 + 4);
+  s.restarts.reserve(n_restarts);
+  for (std::size_t i = 0; i < n_restarts; ++i) {
+    RestartState r;
+    r.job_index = in.u64();
+    r.resume_done = in.f64();
+    r.retries = in.i32();
+    s.restarts.push_back(r);
+  }
+
+  const std::size_t n_vms_left = in.count(4);
+  s.vms_left.reserve(n_vms_left);
+  for (std::size_t i = 0; i < n_vms_left; ++i) {
+    s.vms_left.push_back(in.i32());
+  }
+
+  const std::size_t n_job_done = in.count(1);
+  s.job_done.reserve(n_job_done);
+  for (std::size_t i = 0; i < n_job_done; ++i) {
+    s.job_done.push_back(in.boolean() ? 1 : 0);
+  }
+
+  const std::size_t n_dependents = in.count(8);
+  s.dependents.reserve(n_dependents);
+  for (std::size_t i = 0; i < n_dependents; ++i) {
+    const std::size_t n_deps = in.count(8);
+    std::vector<std::uint64_t> deps;
+    deps.reserve(n_deps);
+    for (std::size_t d = 0; d < n_deps; ++d) {
+      deps.push_back(in.u64());
+    }
+    s.dependents.push_back(std::move(deps));
+  }
+
+  MetricsState& m = s.metrics;
+  m.makespan_s = in.f64();
+  m.energy_j = in.f64();
+  m.sla_violation_pct = in.f64();
+  m.jobs = in.u64();
+  m.vms = in.u64();
+  m.sla_violations = in.u64();
+  m.mean_response_s = in.f64();
+  m.mean_wait_s = in.f64();
+  m.mean_busy_servers = in.f64();
+  m.peak_busy_servers = in.f64();
+  m.servers_powered = in.u64();
+  m.migrations = in.u64();
+  m.migration_transfer_s = in.f64();
+  m.failures = in.u64();
+  m.vm_restarts = in.u64();
+  m.vms_abandoned = in.u64();
+  m.lost_work_s = in.f64();
+  m.goodput_fraction = in.f64();
+  m.fallback_allocations = in.u64();
+  const std::size_t n_completions = in.count(8 * 5 + 4 * 2);
+  m.completions.reserve(n_completions);
+  for (std::size_t i = 0; i < n_completions; ++i) {
+    CompletionState c;
+    c.vm_id = in.i64();
+    c.job_id = in.i64();
+    c.profile = read_profile(in);
+    c.server = in.i32();
+    c.submit_s = in.f64();
+    c.start_s = in.f64();
+    c.finish_s = in.f64();
+    m.completions.push_back(c);
+  }
+
+  s.response_stats = read_stats_state(in);
+  s.wait_stats = read_stats_state(in);
+
+  s.failure.script_next = in.u64();
+  const std::size_t n_streams = in.count(8 * 5 + 1);
+  s.failure.streams.reserve(n_streams);
+  for (std::size_t i = 0; i < n_streams; ++i) {
+    s.failure.streams.push_back(read_rng_state(in));
+  }
+  const std::size_t n_sampled = in.count(8);
+  s.failure.sampled_next.reserve(n_sampled);
+  for (std::size_t i = 0; i < n_sampled; ++i) {
+    s.failure.sampled_next.push_back(in.f64());
+  }
+
+  return s;
+}
+
+}  // namespace
+
+SnapshotVersionError::SnapshotVersionError(std::uint32_t found,
+                                           std::uint32_t expected)
+    : SnapshotError("snapshot format version " + std::to_string(found) +
+                    " is not the supported version " +
+                    std::to_string(expected) +
+                    (found > expected ? " (written by a newer build?)" : "")),
+      found_(found) {}
+
+void Fingerprint::mix(std::uint64_t value) noexcept {
+  std::uint64_t s = state_ ^ value;
+  state_ = util::splitmix64(s);
+}
+
+void Fingerprint::mix_double(double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  mix(bits);
+}
+
+void Fingerprint::mix_string(std::string_view value) noexcept {
+  mix(value.size());
+  for (const char c : value) {
+    mix(static_cast<std::uint8_t>(c));
+  }
+}
+
+std::string encode_snapshot(const SimSnapshot& snapshot) {
+  std::string payload;
+  payload.reserve(1024 + snapshot.servers.size() * 64 +
+                  snapshot.running.size() * 96);
+  encode_payload(payload, snapshot);
+
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kSnapshotVersion);
+  put_u64(out, payload.size());
+  put_u32(out, util::crc32(payload));
+  out += payload;
+  return out;
+}
+
+SimSnapshot decode_snapshot(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize) {
+    throw SnapshotFormatError("snapshot shorter than its " +
+                              std::to_string(kHeaderSize) + "-byte header (" +
+                              std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw SnapshotFormatError("snapshot magic mismatch (not AEVASNAP)");
+  }
+  Reader header(bytes.substr(sizeof(kMagic)));
+  const std::uint32_t version = header.u32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotVersionError(version, kSnapshotVersion);
+  }
+  const std::uint64_t payload_size = header.u64();
+  const std::uint32_t checksum = header.u32();
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (payload_size != payload.size()) {
+    throw SnapshotFormatError(
+        "snapshot payload length mismatch: header says " +
+        std::to_string(payload_size) + ", file carries " +
+        std::to_string(payload.size()));
+  }
+  if (util::crc32(payload) != checksum) {
+    throw SnapshotFormatError("snapshot checksum mismatch (corrupt payload)");
+  }
+  Reader in(payload);
+  SimSnapshot snapshot = decode_payload(in);
+  if (in.remaining() != 0) {
+    throw SnapshotFormatError("snapshot payload has " +
+                              std::to_string(in.remaining()) +
+                              " trailing bytes");
+  }
+  return snapshot;
+}
+
+void write_snapshot_file(const std::string& path, const SimSnapshot& snapshot) {
+  try {
+    util::write_file_atomic(path, encode_snapshot(snapshot));
+  } catch (const util::FileWriteError& error) {
+    throw SnapshotIoError(std::string("cannot write snapshot: ") +
+                          error.what());
+  }
+}
+
+SimSnapshot read_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotIoError("cannot read snapshot: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw SnapshotIoError("error while reading snapshot: " + path);
+  }
+  return decode_snapshot(buffer.str());
+}
+
+}  // namespace aeva::persist

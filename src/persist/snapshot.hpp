@@ -1,0 +1,234 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Process-level durability for long simulations (docs/RESILIENCE.md,
+/// "Process-level durability").
+///
+/// A `SimSnapshot` is a complete, self-contained copy of the discrete-event
+/// simulator's mutable state at a loop boundary: the fleet, every resident
+/// VM, the FCFS/backfill queue, restart and workflow bookkeeping, the
+/// half-built `SimMetrics`, the accounting accumulators, and the position
+/// of every RNG stream the run consumes. Restoring a snapshot into
+/// `Simulator::resume` continues the run **bit-identically**: killing a
+/// run at any checkpoint and resuming it yields, field for field, the same
+/// `SimMetrics` as the uninterrupted run.
+///
+/// On disk a snapshot is a versioned little-endian binary blob:
+///
+///     magic "AEVASNAP" (8) | version u32 | payload length u64 |
+///     CRC-32 of payload u32 | payload
+///
+/// written atomically (temp file + fsync + rename via
+/// `util::AtomicFileWriter`), so a crash mid-write leaves the previous
+/// snapshot intact. Decoding is fully bounds-checked: corrupt, truncated,
+/// bit-flipped, or version-mismatched inputs raise a typed `SnapshotError`
+/// subclass, never undefined behaviour (fuzz/fuzz_snapshot exercises this).
+///
+/// This library sits *below* the simulator: it depends only on util and
+/// the header-only workload value types, and the simulator converts its
+/// internal state to and from these mirror structs.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/profile.hpp"
+
+namespace aeva::persist {
+
+/// Current snapshot format version. The policy is exact-match: the decoder
+/// rejects every other version (older *and* newer) with a
+/// SnapshotVersionError — resuming is only defined against the binary
+/// layout the writer used. Bump on any layout change.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Base of every snapshot failure; catch this to handle "could not load a
+/// snapshot" uniformly.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The snapshot file could not be read or written.
+class SnapshotIoError : public SnapshotError {
+ public:
+  using SnapshotError::SnapshotError;
+};
+
+/// The bytes are not a well-formed snapshot (bad magic, truncation,
+/// checksum mismatch, out-of-range field, trailing garbage).
+class SnapshotFormatError : public SnapshotError {
+ public:
+  using SnapshotError::SnapshotError;
+};
+
+/// Well-formed header, but a format version this build does not speak.
+class SnapshotVersionError : public SnapshotError {
+ public:
+  SnapshotVersionError(std::uint32_t found, std::uint32_t expected);
+
+  [[nodiscard]] std::uint32_t found() const noexcept { return found_; }
+
+ private:
+  std::uint32_t found_;
+};
+
+/// A structurally valid snapshot that does not belong to this run: the
+/// workload or cloud/allocator configuration fingerprint differs, or an
+/// index refers outside the restored run's jobs/servers.
+class SnapshotMismatchError : public SnapshotError {
+ public:
+  using SnapshotError::SnapshotError;
+};
+
+/// Order-sensitive 64-bit fingerprint accumulator (splitmix64-based).
+/// `Simulator` fingerprints the workload and the cloud/allocator
+/// configuration into every snapshot, and `resume` refuses a snapshot
+/// whose fingerprints do not match — a snapshot is only meaningful against
+/// the exact run that wrote it.
+class Fingerprint {
+ public:
+  void mix(std::uint64_t value) noexcept;
+  void mix_double(double value) noexcept;  ///< exact bit pattern
+  void mix_string(std::string_view value) noexcept;
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ULL;
+};
+
+/// One resident VM (mirror of the simulator's internal record).
+struct VmState {
+  std::int64_t vm_id = 0;
+  std::uint64_t job_index = 0;
+  std::int32_t profile = 0;  ///< workload::ProfileClass, validated 0..2
+  double runtime_scale = 1.0;
+  std::int32_t server = 0;
+  double start_s = 0.0;
+  double remaining = 1.0;
+  double rate = 0.0;
+  bool migrating = false;
+  double migration_done_s = 0.0;
+  std::int32_t dest_server = -1;
+  std::int32_t retries = 0;
+  double ckpt_done = 0.0;
+  double next_ckpt_s = 0.0;
+};
+
+/// One server's runtime state.
+struct ServerPersistState {
+  workload::ClassCounts alloc;
+  double busy_power_w = 0.0;
+  bool powered = false;
+  bool down = false;
+  double repair_s = 0.0;
+  double degrade_until = 0.0;
+  double degrade_mult = 1.0;
+  double brownout_until = 0.0;
+  double brownout_cap_w = 0.0;
+  bool ever_powered = false;
+};
+
+/// One VM lost to a crash, waiting to be re-placed.
+struct RestartState {
+  std::uint64_t job_index = 0;
+  double resume_done = 0.0;
+  std::int32_t retries = 0;
+};
+
+/// One completed VM (mirror of datacenter::VmCompletion; captured only
+/// when the run records completions).
+struct CompletionState {
+  std::int64_t vm_id = 0;
+  std::int64_t job_id = 0;
+  std::int32_t profile = 0;
+  std::int32_t server = 0;
+  double submit_s = 0.0;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+};
+
+/// The half-built SimMetrics (mirror of datacenter::SimMetrics).
+struct MetricsState {
+  double makespan_s = 0.0;
+  double energy_j = 0.0;
+  double sla_violation_pct = 0.0;
+  std::uint64_t jobs = 0;
+  std::uint64_t vms = 0;
+  std::uint64_t sla_violations = 0;
+  double mean_response_s = 0.0;
+  double mean_wait_s = 0.0;
+  double mean_busy_servers = 0.0;
+  double peak_busy_servers = 0.0;
+  std::uint64_t servers_powered = 0;
+  std::uint64_t migrations = 0;
+  double migration_transfer_s = 0.0;
+  std::uint64_t failures = 0;
+  std::uint64_t vm_restarts = 0;
+  std::uint64_t vms_abandoned = 0;
+  double lost_work_s = 0.0;
+  double goodput_fraction = 1.0;
+  std::uint64_t fallback_allocations = 0;
+  std::vector<CompletionState> completions;
+};
+
+/// Mutable fault-injection state (mirror of FailureSchedule::State; the
+/// script itself is re-derived from the restored run's config).
+struct FailureScheduleState {
+  std::uint64_t script_next = 0;
+  std::vector<util::Rng::State> streams;
+  std::vector<double> sampled_next;
+};
+
+/// Complete simulator state at one event-loop boundary.
+struct SimSnapshot {
+  std::uint64_t workload_fingerprint = 0;
+  std::uint64_t config_fingerprint = 0;
+
+  double t0 = 0.0;   ///< first submission (run origin)
+  double now = 0.0;  ///< simulated time of the checkpoint
+
+  std::uint64_t next_job = 0;    ///< arrival cursor into the workload
+  std::int64_t next_vm_id = 1;   ///< next VM id to hand out
+  std::uint64_t guard = 0;       ///< event-budget counter
+  double busy_server_time = 0.0; ///< ∫ busy_count dt so far
+  double useful_work_s = 0.0;    ///< solo-equivalent completed work
+  double next_sweep = 0.0;       ///< next migration sweep (+inf when off)
+  std::uint64_t parked = 0;      ///< jobs waiting on a dependency
+
+  std::vector<ServerPersistState> servers;
+  std::vector<VmState> running;
+  std::vector<std::uint64_t> queue;  ///< job indices, FCFS order
+  std::vector<RestartState> restarts;
+  std::vector<std::int32_t> vms_left;       ///< per job
+  std::vector<std::uint8_t> job_done;       ///< per job, 0/1
+  std::vector<std::vector<std::uint64_t>> dependents;  ///< per job
+
+  MetricsState metrics;
+  util::RunningStats::State response_stats;
+  util::RunningStats::State wait_stats;
+  FailureScheduleState failure;
+};
+
+/// Serializes a snapshot to the on-disk byte format (header + payload).
+[[nodiscard]] std::string encode_snapshot(const SimSnapshot& snapshot);
+
+/// Parses snapshot bytes. Throws SnapshotFormatError on any malformed
+/// input and SnapshotVersionError on a version this build does not speak;
+/// never exhibits undefined behaviour on arbitrary bytes.
+[[nodiscard]] SimSnapshot decode_snapshot(std::string_view bytes);
+
+/// Atomically writes `snapshot` to `path` (temp + fsync + rename); the
+/// previous file survives any crash mid-write. Throws SnapshotIoError.
+void write_snapshot_file(const std::string& path, const SimSnapshot& snapshot);
+
+/// Reads and decodes a snapshot file. Throws SnapshotIoError when the file
+/// cannot be read, plus everything decode_snapshot throws.
+[[nodiscard]] SimSnapshot read_snapshot_file(const std::string& path);
+
+}  // namespace aeva::persist

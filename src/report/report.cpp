@@ -2,9 +2,9 @@
 
 #include <cctype>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
 namespace aeva::report {
@@ -122,13 +122,10 @@ void Report::write(const std::string& directory) const {
                              ": " + ec.message());
   }
   const std::filesystem::path dir(directory);
-  {
-    std::ofstream md(dir / "report.md");
-    if (!md) {
-      throw std::runtime_error("cannot write report.md in " + directory);
-    }
-    md << to_markdown();
-  }
+  // Crash-safe publish (temp + fsync + rename); throws a typed
+  // util::FileWriteError naming the path on any failure, disk-full
+  // included.
+  util::write_file_atomic((dir / "report.md").string(), to_markdown());
   for (const Table& table : tables_) {
     util::write_csv_file((dir / (slugify(table.title()) + ".csv")).string(),
                          table.to_csv());

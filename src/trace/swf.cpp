@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -113,15 +114,12 @@ SwfTrace read_swf_file(const std::string& path) {
 }
 
 void write_swf_file(const std::string& path, const SwfTrace& trace) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("cannot open SWF file for writing: " + path);
-  }
-  write_swf(out, trace);
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("failed writing SWF file: " + path);
-  }
+  // Crash-safe publish (temp + fsync + rename); commit() throws a typed
+  // util::FileWriteError naming the path on any failure, disk-full
+  // included.
+  util::AtomicFileWriter writer(path);
+  write_swf(writer.stream(), trace);
+  writer.commit();
 }
 
 SwfTrace merge_traces(const std::vector<SwfTrace>& traces) {

@@ -1,0 +1,103 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <string_view>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define AEVA_HAVE_FSYNC 1
+#endif
+
+namespace aeva::util {
+
+namespace {
+
+#if defined(AEVA_HAVE_FSYNC)
+/// fsyncs `path`; returns false when the file cannot be opened or synced.
+bool fsync_path(const std::string& path, int open_flags) noexcept {
+  const int fd = ::open(path.c_str(), open_flags);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) {
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+#endif
+
+/// Durably flushes the staged file to disk. The directory sync is best
+/// effort: some filesystems refuse to open directories, and the rename
+/// that follows is what publishes the content.
+void sync_staged_file(const std::string& temp_path, const std::string& path) {
+#if defined(AEVA_HAVE_FSYNC)
+  if (!fsync_path(temp_path, O_WRONLY)) {
+    throw FileWriteError(path, "fsync of staging file failed: " + temp_path);
+  }
+  const std::string dir =
+      std::filesystem::path(temp_path).parent_path().string();
+  if (!dir.empty()) {
+    (void)fsync_path(dir, O_RDONLY);
+  }
+#else
+  (void)temp_path;
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+FileWriteError::FileWriteError(std::string path, const std::string& detail)
+    : std::runtime_error("cannot write file: " + path + " (" + detail + ")"),
+      path_(std::move(path)) {}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), temp_path_(path_ + ".tmp") {
+  out_.open(temp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw FileWriteError(path_, "cannot open staging file: " + temp_path_);
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    out_.close();
+    std::error_code ec;
+    std::filesystem::remove(temp_path_, ec);
+  }
+}
+
+void AtomicFileWriter::commit() {
+  if (committed_) {
+    throw FileWriteError(path_, "commit() called twice");
+  }
+  out_.flush();
+  const bool write_ok = !out_.fail();
+  out_.close();
+  if (!write_ok || out_.fail()) {
+    std::error_code ec;
+    std::filesystem::remove(temp_path_, ec);
+    throw FileWriteError(path_,
+                         "write to staging file failed (disk full?): " +
+                             temp_path_);
+  }
+  sync_staged_file(temp_path_, path_);
+  std::error_code ec;
+  std::filesystem::rename(temp_path_, path_, ec);
+  if (ec) {
+    std::filesystem::remove(temp_path_, ec);
+    throw FileWriteError(path_, "rename into place failed: " + temp_path_);
+  }
+  committed_ = true;
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  AtomicFileWriter writer(path);
+  writer.stream().write(content.data(),
+                        static_cast<std::streamsize>(content.size()));
+  writer.commit();
+}
+
+}  // namespace aeva::util

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file atomic_file.hpp
+/// Crash-safe file writing: stage the content in a temporary file, flush
+/// and fsync it, then rename it over the destination. Readers therefore
+/// see either the complete old file or the complete new file, never a
+/// truncated hybrid, and a full disk raises a typed error instead of
+/// silently dropping bytes (a bare `std::ofstream` reports nothing unless
+/// every caller remembers to check `fail()`).
+///
+/// Every writer in the repo routes through this class; the `bare-ofstream`
+/// aeva_lint rule enforces it.
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace aeva::util {
+
+/// Raised when a file cannot be staged, flushed, synced, or renamed into
+/// place; `path()` names the destination the caller asked for.
+class FileWriteError : public std::runtime_error {
+ public:
+  FileWriteError(std::string path, const std::string& detail);
+
+  /// Destination path of the failed write.
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Writes a file atomically: content is streamed into `<path>.tmp` and
+/// published by `commit()` (flush + fsync + rename). If the writer is
+/// destroyed without a commit — e.g. an exception unwinds the caller —
+/// the temporary is removed and the destination is left untouched.
+class AtomicFileWriter {
+ public:
+  /// Opens the staging file `<path>.tmp` for writing (truncating any
+  /// leftover from a previous crash). Throws FileWriteError when the
+  /// staging file cannot be created.
+  explicit AtomicFileWriter(std::string path);
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Removes the staging file when the content was never committed.
+  ~AtomicFileWriter();
+
+  /// The staging stream; write the file content here.
+  [[nodiscard]] std::ostream& stream() noexcept { return out_; }
+
+  /// Destination path this writer will publish to.
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Publishes the staged content: flushes, checks the stream state,
+  /// fsyncs the staging file (and, best effort, its directory), and
+  /// renames it onto the destination. Throws FileWriteError when any step
+  /// fails — including deferred write errors such as a full disk — and
+  /// leaves the destination untouched in that case. Committing twice is a
+  /// caller bug and also throws.
+  void commit();
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+/// Convenience wrapper: atomically replaces `path` with `content`.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace aeva::util

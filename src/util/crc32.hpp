@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to checksum
+/// persisted artifacts such as simulation snapshots. The implementation is
+/// table-driven and byte-order independent, so checksums are stable across
+/// platforms.
+
+#include <cstdint>
+#include <string_view>
+
+namespace aeva::util {
+
+/// CRC-32 of `data`, optionally continuing from a previous checksum:
+/// `crc32(b, crc32(a))` equals `crc32(a + b)`.
+[[nodiscard]] std::uint32_t crc32(std::string_view data,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace aeva::util

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
 namespace aeva::util {
@@ -182,15 +183,11 @@ CsvTable read_csv_file(const std::string& path) {
 }
 
 void write_csv_file(const std::string& path, const CsvTable& table) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw std::runtime_error("cannot open CSV file for writing: " + path);
-  }
-  write_csv(out, table);
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("failed writing CSV file: " + path);
-  }
+  // Crash-safe publish (temp + fsync + rename); commit() throws a typed
+  // FileWriteError naming the path on any failure, disk-full included.
+  AtomicFileWriter writer(path);
+  write_csv(writer.stream(), table);
+  writer.commit();
 }
 
 }  // namespace aeva::util

@@ -171,4 +171,14 @@ Rng Rng::fork(std::uint64_t label) noexcept {
   return Rng(child_seed);
 }
 
+Rng::State Rng::state() const noexcept {
+  return State{state_, cached_normal_, has_cached_normal_};
+}
+
+void Rng::set_state(const State& state) noexcept {
+  state_ = state.words;
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 }  // namespace aeva::util

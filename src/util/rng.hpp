@@ -78,6 +78,22 @@ class Rng {
   /// produce decorrelated streams.
   [[nodiscard]] Rng fork(std::uint64_t label) noexcept;
 
+  /// Full engine state, exposed so checkpoint/restore (src/persist/) can
+  /// resume a stream exactly where it left off. Includes the Box–Muller
+  /// spare so `normal()` sequences survive a round trip bit-identically.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  /// Captures the current state.
+  [[nodiscard]] State state() const noexcept;
+
+  /// Restores a previously captured state; the stream continues exactly
+  /// as if never interrupted.
+  void set_state(const State& state) noexcept;
+
   /// Fisher–Yates shuffle using this engine.
   template <typename T>
   void shuffle(std::vector<T>& values) {

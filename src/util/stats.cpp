@@ -53,6 +53,19 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStats::State RunningStats::state() const noexcept {
+  return State{count_, mean_, m2_, sum_, min_, max_};
+}
+
+void RunningStats::restore(const State& state) noexcept {
+  count_ = state.count;
+  mean_ = state.mean;
+  m2_ = state.m2;
+  sum_ = state.sum;
+  min_ = state.min;
+  max_ = state.max;
+}
+
 namespace {
 
 /// Every aggregate below rejects non-finite observations up front: a NaN

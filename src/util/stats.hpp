@@ -40,6 +40,23 @@ class RunningStats {
   /// Merges another accumulator into this one (parallel-reduction safe).
   void merge(const RunningStats& other) noexcept;
 
+  /// Raw accumulator state, exposed so checkpoint/restore (src/persist/)
+  /// can serialize a half-built accumulator and resume bit-identically.
+  struct State {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  /// Captures the current accumulator state.
+  [[nodiscard]] State state() const noexcept;
+
+  /// Restores a previously captured state verbatim.
+  void restore(const State& state) noexcept;
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

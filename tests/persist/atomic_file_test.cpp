@@ -1,0 +1,109 @@
+/// util::AtomicFileWriter semantics: all-or-nothing publication (temp +
+/// fsync + rename), typed errors carrying the path, and no stray temp
+/// files left behind on either path.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/atomic_file.hpp"
+
+namespace aeva::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_all(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+struct TempDir {
+  fs::path dir;
+  TempDir() : dir(fs::temp_directory_path() / "aeva_atomic_file_test") {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~TempDir() { fs::remove_all(dir); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (dir / name).string();
+  }
+};
+
+TEST(AtomicFileWriter, CommitPublishesContent) {
+  const TempDir tmp;
+  const std::string path = tmp.file("out.txt");
+  AtomicFileWriter writer(path);
+  writer.stream() << "hello, durable world\n";
+  writer.commit();
+  EXPECT_EQ(read_all(path), "hello, durable world\n");
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "temp must be renamed away";
+}
+
+TEST(AtomicFileWriter, CommitReplacesExistingFileAtomically) {
+  const TempDir tmp;
+  const std::string path = tmp.file("out.txt");
+  write_file_atomic(path, "old");
+  AtomicFileWriter writer(path);
+  writer.stream() << "new";
+  writer.commit();
+  EXPECT_EQ(read_all(path), "new");
+}
+
+TEST(AtomicFileWriter, AbortLeavesTargetUntouchedAndCleansTemp) {
+  const TempDir tmp;
+  const std::string path = tmp.file("out.txt");
+  write_file_atomic(path, "precious");
+  {
+    AtomicFileWriter writer(path);
+    writer.stream() << "half-written garbage";
+    // No commit: the destructor must discard the staged bytes.
+  }
+  EXPECT_EQ(read_all(path), "precious");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(AtomicFileWriter, ErrorNamesThePath) {
+  const TempDir tmp;
+  const std::string path = tmp.file("no_such_dir/out.txt");
+  try {
+    AtomicFileWriter writer(path);
+    writer.stream() << "x";
+    writer.commit();
+    FAIL() << "expected FileWriteError";
+  } catch (const FileWriteError& error) {
+    EXPECT_EQ(error.path(), path);
+    EXPECT_NE(std::string(error.what()).find(path), std::string::npos)
+        << "what() must mention the path: " << error.what();
+  }
+}
+
+TEST(AtomicFileWriter, DoubleCommitThrows) {
+  const TempDir tmp;
+  AtomicFileWriter writer(tmp.file("out.txt"));
+  writer.stream() << "x";
+  writer.commit();
+  EXPECT_THROW(writer.commit(), FileWriteError);
+}
+
+TEST(AtomicFileWriter, WriteFileAtomicRoundTrip) {
+  const TempDir tmp;
+  const std::string path = tmp.file("blob.bin");
+  const std::string content("binary\0payload\n\xff", 16);
+  write_file_atomic(path, content);
+  EXPECT_EQ(read_all(path), content);
+}
+
+TEST(AtomicFileWriter, WriteFileAtomicToBadDirectoryThrowsTyped) {
+  const TempDir tmp;
+  const std::string path = tmp.file("missing/dir/blob.bin");
+  EXPECT_THROW(write_file_atomic(path, "x"), FileWriteError);
+  EXPECT_FALSE(fs::exists(path));
+}
+
+}  // namespace
+}  // namespace aeva::util

@@ -1,0 +1,252 @@
+/// The durability layer's central contract (docs/RESILIENCE.md,
+/// "Process-level durability"): killing a run at *any* checkpoint and
+/// resuming it reproduces the uninterrupted run's SimMetrics bit for bit
+/// — across 30 randomized workloads covering fault injection (scripted
+/// and MTBF-sampled), workflow dependencies, live migration, backfill,
+/// and completion recording. Also: enabling snapshotting never perturbs
+/// the simulation, and resume refuses snapshots from a different run.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "datacenter/simulator.hpp"
+#include "persist/snapshot.hpp"
+#include "testing/shared_db.hpp"
+#include "trace/prepare.hpp"
+#include "util/rng.hpp"
+
+namespace aeva::datacenter {
+namespace {
+
+using trace::JobRequest;
+using trace::PreparedWorkload;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+/// Randomized but fully seed-determined workload: mixed profiles, bursts,
+/// multi-VM jobs, and some workflow chains (`depends_on`).
+PreparedWorkload random_workload(std::uint64_t seed) {
+  util::Rng rng(seed);
+  PreparedWorkload workload;
+  const int jobs_n = 24 + static_cast<int>(rng.uniform_int(0, 15));
+  double submit = 0.0;
+  for (int i = 0; i < jobs_n; ++i) {
+    JobRequest job;
+    job.id = i + 1;
+    submit += rng.exponential(1.0 / 120.0);
+    job.submit_s = submit;
+    job.profile = static_cast<ProfileClass>(rng.uniform_int(0, 2));
+    job.vm_count = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    job.runtime_scale = 0.3 + rng.uniform() * 1.4;
+    job.deadline_s = 2500.0 + rng.uniform() * 4000.0;
+    // Every fourth job (after the first few) depends on an earlier one,
+    // exercising the parked-jobs/dependents machinery across restore.
+    if (i >= 4 && i % 4 == 0) {
+      job.depends_on = job.id - 1 - static_cast<long long>(rng.uniform_int(0, 2));
+    }
+    workload.jobs.push_back(job);
+    workload.total_vms += job.vm_count;
+  }
+  return workload;
+}
+
+/// Cloud variants cycled across seeds so the suite covers the feature
+/// matrix: plain, MTBF-sampled failures, scripted failures (all three
+/// kinds), migration sweeps, backfill, completion recording.
+CloudConfig cloud_for(std::uint64_t seed) {
+  CloudConfig cloud;
+  cloud.server_count = 6 + static_cast<int>(seed % 3);
+  switch (seed % 5) {
+    case 0:
+      break;  // fail-free FCFS baseline
+    case 1:
+      cloud.failure.enabled = true;
+      cloud.failure.mtbf_s = 40000.0;
+      cloud.failure.mttr_s = 1200.0;
+      cloud.failure.seed = seed;
+      cloud.failure.recovery.checkpoint_period_s = 600.0;
+      break;
+    case 2: {
+      cloud.failure.enabled = true;
+      FailureEvent crash;
+      crash.kind = FailureKind::kCrash;
+      crash.server = 1;
+      crash.at_s = 900.0;
+      crash.duration_s = 1500.0;
+      FailureEvent degrade;
+      degrade.kind = FailureKind::kDegrade;
+      degrade.server = 2;
+      degrade.at_s = 400.0;
+      degrade.duration_s = 3000.0;
+      degrade.magnitude = 0.5;
+      FailureEvent brownout;
+      brownout.kind = FailureKind::kBrownout;
+      brownout.server = 0;
+      brownout.at_s = 1200.0;
+      brownout.duration_s = 2000.0;
+      brownout.magnitude = 170.0;
+      cloud.failure.script = {degrade, crash, brownout};
+      break;
+    }
+    case 3:
+      cloud.migration.enabled = true;
+      cloud.migration.check_interval_s = 700.0;
+      cloud.backfill_window = 4;
+      break;
+    default:
+      cloud.backfill_window = 8;
+      cloud.record_completions = true;
+      break;
+  }
+  return cloud;
+}
+
+std::unique_ptr<core::Allocator> allocator_for(std::uint64_t seed) {
+  if (seed % 3 == 0) {
+    return std::make_unique<core::FirstFitAllocator>(2);
+  }
+  core::ProactiveConfig config;
+  config.alpha = (seed % 3 == 1) ? 0.5 : 1.0;
+  config.degrade_to_first_fit = true;
+  return std::make_unique<core::ProactiveAllocator>(db(), config);
+}
+
+void expect_identical(const SimMetrics& a, const SimMetrics& b,
+                      std::uint64_t seed) {
+  // Bitwise (==, not near): restore must reproduce the FP accrual exactly.
+  EXPECT_EQ(a.makespan_s, b.makespan_s) << "seed " << seed;
+  EXPECT_EQ(a.energy_j, b.energy_j) << "seed " << seed;
+  EXPECT_EQ(a.sla_violation_pct, b.sla_violation_pct) << "seed " << seed;
+  EXPECT_EQ(a.jobs, b.jobs) << "seed " << seed;
+  EXPECT_EQ(a.vms, b.vms) << "seed " << seed;
+  EXPECT_EQ(a.sla_violations, b.sla_violations) << "seed " << seed;
+  EXPECT_EQ(a.mean_response_s, b.mean_response_s) << "seed " << seed;
+  EXPECT_EQ(a.mean_wait_s, b.mean_wait_s) << "seed " << seed;
+  EXPECT_EQ(a.mean_busy_servers, b.mean_busy_servers) << "seed " << seed;
+  EXPECT_EQ(a.peak_busy_servers, b.peak_busy_servers) << "seed " << seed;
+  EXPECT_EQ(a.servers_powered, b.servers_powered) << "seed " << seed;
+  EXPECT_EQ(a.migrations, b.migrations) << "seed " << seed;
+  EXPECT_EQ(a.migration_transfer_s, b.migration_transfer_s)
+      << "seed " << seed;
+  EXPECT_EQ(a.failures, b.failures) << "seed " << seed;
+  EXPECT_EQ(a.vm_restarts, b.vm_restarts) << "seed " << seed;
+  EXPECT_EQ(a.vms_abandoned, b.vms_abandoned) << "seed " << seed;
+  EXPECT_EQ(a.lost_work_s, b.lost_work_s) << "seed " << seed;
+  EXPECT_EQ(a.goodput_fraction, b.goodput_fraction) << "seed " << seed;
+  EXPECT_EQ(a.fallback_allocations, b.fallback_allocations)
+      << "seed " << seed;
+  ASSERT_EQ(a.completions.size(), b.completions.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < a.completions.size(); ++i) {
+    EXPECT_EQ(a.completions[i].vm_id, b.completions[i].vm_id);
+    EXPECT_EQ(a.completions[i].server, b.completions[i].server);
+    EXPECT_EQ(a.completions[i].start_s, b.completions[i].start_s);
+    EXPECT_EQ(a.completions[i].finish_s, b.completions[i].finish_s);
+  }
+}
+
+TEST(RestoreDeterminism, KillAtRandomCheckpointReproducesRunExactly) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const PreparedWorkload workload = random_workload(seed);
+    const CloudConfig cloud = cloud_for(seed);
+    const auto allocator = allocator_for(seed);
+
+    // Reference: uninterrupted, no snapshotting.
+    const Simulator plain(db(), cloud);
+    const SimMetrics reference = plain.run(workload, *allocator);
+    ASSERT_GT(reference.makespan_s, 0.0) << "seed " << seed;
+
+    // Checkpointed run: collect every snapshot through the hook.
+    std::vector<persist::SimSnapshot> checkpoints;
+    CloudConfig snap_cloud = cloud;
+    snap_cloud.snapshot.every_s = reference.makespan_s / 7.0;
+    snap_cloud.snapshot.hook = [&](const persist::SimSnapshot& snapshot) {
+      checkpoints.push_back(snapshot);
+    };
+    const Simulator snapped(db(), snap_cloud);
+    const SimMetrics with_snapshots = snapped.run(workload, *allocator);
+
+    // Contract: snapshotting never perturbs the run.
+    expect_identical(reference, with_snapshots, seed);
+    ASSERT_FALSE(checkpoints.empty()) << "seed " << seed;
+
+    // Kill-at-a-random-checkpoint: deterministically pick one and resume
+    // (through the wire format, so the codec is on the critical path).
+    util::Rng pick(seed * 7919);
+    const persist::SimSnapshot& chosen =
+        checkpoints[static_cast<std::size_t>(pick.uniform_int(
+            0, static_cast<std::int64_t>(checkpoints.size()) - 1))];
+    const persist::SimSnapshot rehydrated =
+        persist::decode_snapshot(persist::encode_snapshot(chosen));
+    const SimMetrics resumed = plain.resume(workload, *allocator, rehydrated);
+    expect_identical(reference, resumed, seed);
+  }
+}
+
+TEST(RestoreDeterminism, ResumeFromEveryCheckpointOfOneRun) {
+  const std::uint64_t seed = 12;
+  const PreparedWorkload workload = random_workload(seed);
+  const CloudConfig cloud = cloud_for(seed);  // scripted-failure variant
+  const auto allocator = allocator_for(seed);
+  const Simulator sim(db(), cloud);
+  const SimMetrics reference = sim.run(workload, *allocator);
+
+  std::vector<persist::SimSnapshot> checkpoints;
+  CloudConfig snap_cloud = cloud;
+  snap_cloud.snapshot.every_s = reference.makespan_s / 9.0;
+  snap_cloud.snapshot.hook = [&](const persist::SimSnapshot& snapshot) {
+    checkpoints.push_back(snapshot);
+  };
+  (void)Simulator(db(), snap_cloud).run(workload, *allocator);
+  ASSERT_GE(checkpoints.size(), 3u);
+  for (const persist::SimSnapshot& checkpoint : checkpoints) {
+    expect_identical(reference, sim.resume(workload, *allocator, checkpoint),
+                     seed);
+  }
+}
+
+TEST(RestoreDeterminism, ResumeRefusesForeignSnapshots) {
+  const PreparedWorkload workload = random_workload(3);
+  CloudConfig cloud;
+  cloud.server_count = 6;
+  const core::FirstFitAllocator allocator(2);
+
+  std::vector<persist::SimSnapshot> checkpoints;
+  CloudConfig snap_cloud = cloud;
+  snap_cloud.snapshot.every_s = 400.0;
+  snap_cloud.snapshot.hook = [&](const persist::SimSnapshot& snapshot) {
+    checkpoints.push_back(snapshot);
+  };
+  const Simulator sim(db(), snap_cloud);
+  (void)sim.run(workload, allocator);
+  ASSERT_FALSE(checkpoints.empty());
+  const persist::SimSnapshot& snapshot = checkpoints.front();
+
+  // Different workload.
+  EXPECT_THROW((void)sim.resume(random_workload(4), allocator, snapshot),
+               persist::SnapshotMismatchError);
+  // Different cloud shape.
+  CloudConfig bigger = cloud;
+  bigger.server_count = 9;
+  EXPECT_THROW(
+      (void)Simulator(db(), bigger).resume(workload, allocator, snapshot),
+      persist::SnapshotMismatchError);
+  // Different allocator.
+  const core::FirstFitAllocator other(3);
+  EXPECT_THROW((void)sim.resume(workload, other, snapshot),
+               persist::SnapshotMismatchError);
+  // Corrupted index: a VM on a server outside the fleet.
+  persist::SimSnapshot tampered = snapshot;
+  if (!tampered.running.empty()) {
+    tampered.running.front().server = 99;
+    EXPECT_THROW((void)sim.resume(workload, allocator, tampered),
+                 persist::SnapshotMismatchError);
+  }
+}
+
+}  // namespace
+}  // namespace aeva::datacenter

@@ -1,0 +1,278 @@
+/// Snapshot codec: exact round trips, and the full corruption matrix —
+/// every truncation prefix, a bit flip at every byte, bad magic, future
+/// version, trailing garbage — must be rejected with a typed
+/// SnapshotError, never accepted and never UB.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "persist/snapshot.hpp"
+
+namespace aeva::persist {
+namespace {
+
+/// A snapshot exercising every optional section: resident VMs (one
+/// mid-migration), a queue, restarts, workflow dependents, completions,
+/// and fault-injection streams.
+SimSnapshot sample_snapshot() {
+  SimSnapshot snap;
+  snap.workload_fingerprint = 0x1122334455667788ULL;
+  snap.config_fingerprint = 0x99aabbccddeeff00ULL;
+  snap.t0 = 12.5;
+  snap.now = 4567.25;
+  snap.next_job = 3;
+  snap.next_vm_id = 17;
+  snap.guard = 4242;
+  snap.busy_server_time = 1234.0625;
+  snap.useful_work_s = 345.5;
+  snap.next_sweep = 9000.0;
+  snap.parked = 1;
+
+  ServerPersistState busy;
+  busy.alloc.cpu = 2;
+  busy.alloc.mem = 1;
+  busy.busy_power_w = 231.75;
+  busy.powered = true;
+  busy.ever_powered = true;
+  ServerPersistState down;
+  down.down = true;
+  down.repair_s = 5000.0;
+  down.degrade_until = 6000.0;
+  down.degrade_mult = 0.5;
+  down.ever_powered = true;
+  snap.servers = {busy, down, ServerPersistState{}};
+
+  VmState vm;
+  vm.vm_id = 5;
+  vm.job_index = 1;
+  vm.profile = 2;
+  vm.runtime_scale = 1.5;
+  vm.server = 0;
+  vm.start_s = 100.0;
+  vm.remaining = 0.25;
+  vm.rate = 1.0 / 7200.0;
+  vm.ckpt_done = 0.125;
+  vm.next_ckpt_s = 5400.0;
+  VmState migrating = vm;
+  migrating.vm_id = 6;
+  migrating.migrating = true;
+  migrating.migration_done_s = 4700.0;
+  migrating.dest_server = 2;
+  migrating.retries = 1;
+  snap.running = {vm, migrating};
+
+  snap.queue = {2, 4};
+  snap.restarts = {RestartState{1, 0.5, 2}};
+  snap.vms_left = {0, 2, 1, -1, 3};
+  snap.job_done = {1, 0, 0, 0, 0};
+  snap.dependents = {{}, {}, {}, {4}, {}};
+
+  snap.metrics.energy_j = 2.5e7;
+  snap.metrics.jobs = 1;
+  snap.metrics.vms = 3;
+  snap.metrics.failures = 2;
+  snap.metrics.goodput_fraction = 0.875;
+  snap.metrics.completions = {CompletionState{3, 1, 0, 0, 0.0, 5.0, 900.0}};
+
+  snap.response_stats = {3, 300.0, 1250.0, 900.0, 100.0, 600.0};
+  snap.wait_stats = {3, 30.0, 12.5, 90.0, 10.0, 60.0};
+
+  util::Rng rng(2026);
+  (void)rng.normal();  // leaves a cached Box–Muller spare in the state
+  snap.failure.script_next = 1;
+  snap.failure.streams = {rng.state(), util::Rng(7).state()};
+  snap.failure.sampled_next = {8000.0, -1.0};
+  return snap;
+}
+
+void expect_equal(const SimSnapshot& a, const SimSnapshot& b) {
+  EXPECT_EQ(a.workload_fingerprint, b.workload_fingerprint);
+  EXPECT_EQ(a.config_fingerprint, b.config_fingerprint);
+  EXPECT_EQ(a.t0, b.t0);  // bitwise: encode stores exact bit patterns
+  EXPECT_EQ(a.now, b.now);
+  EXPECT_EQ(a.next_job, b.next_job);
+  EXPECT_EQ(a.next_vm_id, b.next_vm_id);
+  EXPECT_EQ(a.guard, b.guard);
+  EXPECT_EQ(a.busy_server_time, b.busy_server_time);
+  EXPECT_EQ(a.useful_work_s, b.useful_work_s);
+  EXPECT_EQ(a.next_sweep, b.next_sweep);
+  EXPECT_EQ(a.parked, b.parked);
+
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t i = 0; i < a.servers.size(); ++i) {
+    EXPECT_EQ(a.servers[i].alloc.cpu, b.servers[i].alloc.cpu);
+    EXPECT_EQ(a.servers[i].alloc.mem, b.servers[i].alloc.mem);
+    EXPECT_EQ(a.servers[i].alloc.io, b.servers[i].alloc.io);
+    EXPECT_EQ(a.servers[i].busy_power_w, b.servers[i].busy_power_w);
+    EXPECT_EQ(a.servers[i].powered, b.servers[i].powered);
+    EXPECT_EQ(a.servers[i].down, b.servers[i].down);
+    EXPECT_EQ(a.servers[i].repair_s, b.servers[i].repair_s);
+    EXPECT_EQ(a.servers[i].degrade_until, b.servers[i].degrade_until);
+    EXPECT_EQ(a.servers[i].degrade_mult, b.servers[i].degrade_mult);
+    EXPECT_EQ(a.servers[i].brownout_until, b.servers[i].brownout_until);
+    EXPECT_EQ(a.servers[i].brownout_cap_w, b.servers[i].brownout_cap_w);
+    EXPECT_EQ(a.servers[i].ever_powered, b.servers[i].ever_powered);
+  }
+  ASSERT_EQ(a.running.size(), b.running.size());
+  for (std::size_t i = 0; i < a.running.size(); ++i) {
+    EXPECT_EQ(a.running[i].vm_id, b.running[i].vm_id);
+    EXPECT_EQ(a.running[i].job_index, b.running[i].job_index);
+    EXPECT_EQ(a.running[i].profile, b.running[i].profile);
+    EXPECT_EQ(a.running[i].runtime_scale, b.running[i].runtime_scale);
+    EXPECT_EQ(a.running[i].server, b.running[i].server);
+    EXPECT_EQ(a.running[i].start_s, b.running[i].start_s);
+    EXPECT_EQ(a.running[i].remaining, b.running[i].remaining);
+    EXPECT_EQ(a.running[i].rate, b.running[i].rate);
+    EXPECT_EQ(a.running[i].migrating, b.running[i].migrating);
+    EXPECT_EQ(a.running[i].migration_done_s, b.running[i].migration_done_s);
+    EXPECT_EQ(a.running[i].dest_server, b.running[i].dest_server);
+    EXPECT_EQ(a.running[i].retries, b.running[i].retries);
+    EXPECT_EQ(a.running[i].ckpt_done, b.running[i].ckpt_done);
+    EXPECT_EQ(a.running[i].next_ckpt_s, b.running[i].next_ckpt_s);
+  }
+  EXPECT_EQ(a.queue, b.queue);
+  ASSERT_EQ(a.restarts.size(), b.restarts.size());
+  for (std::size_t i = 0; i < a.restarts.size(); ++i) {
+    EXPECT_EQ(a.restarts[i].job_index, b.restarts[i].job_index);
+    EXPECT_EQ(a.restarts[i].resume_done, b.restarts[i].resume_done);
+    EXPECT_EQ(a.restarts[i].retries, b.restarts[i].retries);
+  }
+  EXPECT_EQ(a.vms_left, b.vms_left);
+  EXPECT_EQ(a.job_done, b.job_done);
+  EXPECT_EQ(a.dependents, b.dependents);
+
+  EXPECT_EQ(a.metrics.energy_j, b.metrics.energy_j);
+  EXPECT_EQ(a.metrics.jobs, b.metrics.jobs);
+  EXPECT_EQ(a.metrics.vms, b.metrics.vms);
+  EXPECT_EQ(a.metrics.failures, b.metrics.failures);
+  EXPECT_EQ(a.metrics.goodput_fraction, b.metrics.goodput_fraction);
+  ASSERT_EQ(a.metrics.completions.size(), b.metrics.completions.size());
+  for (std::size_t i = 0; i < a.metrics.completions.size(); ++i) {
+    EXPECT_EQ(a.metrics.completions[i].vm_id, b.metrics.completions[i].vm_id);
+    EXPECT_EQ(a.metrics.completions[i].finish_s,
+              b.metrics.completions[i].finish_s);
+  }
+  EXPECT_EQ(a.response_stats.count, b.response_stats.count);
+  EXPECT_EQ(a.response_stats.mean, b.response_stats.mean);
+  EXPECT_EQ(a.response_stats.m2, b.response_stats.m2);
+  EXPECT_EQ(a.wait_stats.sum, b.wait_stats.sum);
+
+  EXPECT_EQ(a.failure.script_next, b.failure.script_next);
+  ASSERT_EQ(a.failure.streams.size(), b.failure.streams.size());
+  for (std::size_t i = 0; i < a.failure.streams.size(); ++i) {
+    EXPECT_EQ(a.failure.streams[i].words, b.failure.streams[i].words);
+    EXPECT_EQ(a.failure.streams[i].cached_normal,
+              b.failure.streams[i].cached_normal);
+    EXPECT_EQ(a.failure.streams[i].has_cached_normal,
+              b.failure.streams[i].has_cached_normal);
+  }
+  EXPECT_EQ(a.failure.sampled_next, b.failure.sampled_next);
+}
+
+TEST(Snapshot, RoundTripIsExact) {
+  const SimSnapshot original = sample_snapshot();
+  const std::string bytes = encode_snapshot(original);
+  expect_equal(original, decode_snapshot(bytes));
+}
+
+TEST(Snapshot, EmptySnapshotRoundTrips) {
+  const std::string bytes = encode_snapshot(SimSnapshot{});
+  const SimSnapshot back = decode_snapshot(bytes);
+  EXPECT_EQ(back.servers.size(), 0u);
+  EXPECT_EQ(back.next_vm_id, 1);
+}
+
+TEST(Snapshot, EncodingIsDeterministic) {
+  EXPECT_EQ(encode_snapshot(sample_snapshot()),
+            encode_snapshot(sample_snapshot()));
+}
+
+TEST(Snapshot, EveryTruncationPrefixIsRejected) {
+  const std::string bytes = encode_snapshot(sample_snapshot());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW((void)decode_snapshot(std::string_view(bytes).substr(0, len)),
+                 SnapshotError)
+        << "prefix of " << len << " bytes must not decode";
+  }
+}
+
+TEST(Snapshot, EveryByteBitFlipIsRejected) {
+  const std::string bytes = encode_snapshot(sample_snapshot());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupted = bytes;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x01);
+    EXPECT_THROW((void)decode_snapshot(corrupted), SnapshotError)
+        << "bit flip at byte " << i << " must not decode";
+  }
+}
+
+TEST(Snapshot, TrailingGarbageIsRejected) {
+  const std::string bytes = encode_snapshot(sample_snapshot());
+  EXPECT_THROW((void)decode_snapshot(bytes + '\0'), SnapshotFormatError);
+}
+
+TEST(Snapshot, BadMagicIsRejected) {
+  std::string bytes = encode_snapshot(sample_snapshot());
+  bytes[0] = 'X';
+  EXPECT_THROW((void)decode_snapshot(bytes), SnapshotFormatError);
+}
+
+TEST(Snapshot, FutureVersionIsRejectedWithVersionError) {
+  std::string bytes = encode_snapshot(sample_snapshot());
+  const std::uint32_t future = kSnapshotVersion + 7;
+  std::memcpy(bytes.data() + 8, &future, sizeof(future));
+  try {
+    (void)decode_snapshot(bytes);
+    FAIL() << "expected SnapshotVersionError";
+  } catch (const SnapshotVersionError& error) {
+    EXPECT_EQ(error.found(), future);
+  }
+}
+
+TEST(Snapshot, GarbageIsRejected) {
+  EXPECT_THROW((void)decode_snapshot(""), SnapshotFormatError);
+  EXPECT_THROW((void)decode_snapshot("AEVASNAP"), SnapshotFormatError);
+  EXPECT_THROW((void)decode_snapshot(std::string(1000, '\xab')),
+               SnapshotFormatError);
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "aeva_snapshot_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "state.snap").string();
+  const SimSnapshot original = sample_snapshot();
+  write_snapshot_file(path, original);
+  expect_equal(original, read_snapshot_file(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(Snapshot, MissingFileThrowsIoError) {
+  EXPECT_THROW((void)read_snapshot_file("/no/such/dir/state.snap"),
+               SnapshotIoError);
+}
+
+TEST(Snapshot, FingerprintIsOrderSensitive) {
+  Fingerprint ab;
+  ab.mix(1);
+  ab.mix(2);
+  Fingerprint ba;
+  ba.mix(2);
+  ba.mix(1);
+  EXPECT_NE(ab.value(), ba.value());
+
+  Fingerprint s1;
+  s1.mix_string("abc");
+  Fingerprint s2;
+  s2.mix_string("ab");
+  s2.mix_string("c");
+  EXPECT_NE(s1.value(), s2.value()) << "boundaries must be mixed in";
+}
+
+}  // namespace
+}  // namespace aeva::persist

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke for process-level durability (docs/RESILIENCE.md,
+# "Process-level durability").
+#
+# 1. Runs datacenter_sim uninterrupted and records its final metrics.
+# 2. Starts the same run with periodic checkpointing, waits for a
+#    checkpoint file to appear, and SIGKILLs the process mid-run — the
+#    crash a snapshot exists to survive.
+# 3. Restores from the surviving checkpoint and requires the resumed run's
+#    final-metrics JSON to be byte-identical to the uninterrupted
+#    reference (the bit-identical-resume guarantee, end to end through the
+#    real binary, the wire format, and a real SIGKILL).
+#
+# Usage: tools/kill_resume_smoke.sh [build-dir]
+
+set -euo pipefail
+
+build_dir="${1:-build}"
+sim="$build_dir/examples/datacenter_sim"
+
+if [[ ! -x "$sim" ]]; then
+  echo "error: $sim not built (configure + build first)" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+args=(--vms 2000 --servers 16 --seed 2026)
+
+echo "== reference run (uninterrupted) =="
+"$sim" "${args[@]}" --final-metrics-out "$workdir/reference.json" \
+  > "$workdir/reference.log"
+
+echo "== checkpointed run, killed mid-flight =="
+# --snapshot-sleep-ms stretches wall time at every checkpoint (the
+# simulation itself is untouched), so the SIGKILL below reliably lands
+# while the run is in progress.
+"$sim" "${args[@]}" --snapshot-every 1500 --snapshot-sleep-ms 250 \
+  --snapshot-out "$workdir/run.snap" > "$workdir/killed.log" 2>&1 &
+pid=$!
+
+# Wait for the first checkpoint to land (the atomic rename guarantees we
+# only ever observe complete snapshots), then kill without warning.
+for _ in $(seq 1 600); do
+  if [[ -s "$workdir/run.snap" ]]; then
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    break
+  fi
+  sleep 0.05
+done
+if ! kill -0 "$pid" 2>/dev/null; then
+  echo "FAIL: simulation finished before a checkpoint was captured" >&2
+  cat "$workdir/killed.log" >&2
+  exit 1
+fi
+kill -KILL "$pid"
+wait "$pid" 2>/dev/null || true
+if [[ ! -s "$workdir/run.snap" ]]; then
+  echo "FAIL: no checkpoint file survived the kill" >&2
+  exit 1
+fi
+echo "killed pid $pid; surviving checkpoint: $(stat -c%s "$workdir/run.snap") bytes"
+
+echo "== resume from the surviving checkpoint =="
+"$sim" "${args[@]}" --restore-from "$workdir/run.snap" \
+  --final-metrics-out "$workdir/resumed.json" > "$workdir/resumed.log"
+
+if ! cmp -s "$workdir/reference.json" "$workdir/resumed.json"; then
+  echo "FAIL: resumed metrics differ from the uninterrupted reference" >&2
+  diff "$workdir/reference.json" "$workdir/resumed.json" >&2 || true
+  exit 1
+fi
+
+echo "PASS: resumed run is byte-identical to the uninterrupted reference"

@@ -40,6 +40,15 @@ Rules (all scoped to first-party code under src/, see --paths):
                        (`snprintf` to a buffer is formatting, not I/O, and
                        is allowed.)
 
+  bare-ofstream        No `std::ofstream` outside util::AtomicFileWriter's
+                       own implementation. Output files must be published
+                       through util::AtomicFileWriter /
+                       util::write_file_atomic (temp + fsync + rename) so a
+                       crash or full disk never leaves a torn artifact and
+                       every write failure surfaces as a typed
+                       util::FileWriteError carrying the path
+                       (docs/RESILIENCE.md, "Process-level durability").
+
   header-standalone    Every .hpp must compile on its own
                        (`$CXX -fsyntax-only -I src`), i.e. include what it
                        uses. Skipped when no compiler is available or with
@@ -131,6 +140,15 @@ PATTERN_RULES = [
         "library code must not write to the console; route output through "
         "src/report or util::TablePrinter",
     ),
+    (
+        "bare-ofstream",
+        re.compile(r"std::ofstream\b|(?<![\w:])ofstream\b"),
+        "library code must not open output files directly: a crash or "
+        "full disk leaves a torn file behind and errors are silently "
+        "dropped — write through util::AtomicFileWriter / "
+        "util::write_file_atomic (temp + fsync + rename, typed "
+        "FileWriteError) instead",
+    ),
 ]
 
 # Files exempt from a rule by construction (the rule's own implementation
@@ -139,6 +157,7 @@ BUILTIN_EXEMPT = {
     "nondeterministic-random": ["src/util/rng.hpp", "src/util/rng.cpp"],
     "wall-clock": ["src/obs/*"],
     "stray-io": ["src/report/*", "src/util/table_printer.*"],
+    "bare-ofstream": ["src/util/atomic_file.hpp", "src/util/atomic_file.cpp"],
 }
 
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
