@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <tuple>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 
 #include "partition/typed_partition.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -25,11 +25,14 @@ using workload::ProfileClass;
 /// behind a shared_ptr so allocator copies share one pool and the
 /// allocator type stays movable.
 struct ProactiveAllocator::SearchRuntime {
-  std::mutex mutex;
-  std::unique_ptr<util::ThreadPool> pool;
+  util::Mutex mutex;
+  /// Guarded creation; the returned pool reference is safe to use outside
+  /// the lock because the pool is never destroyed or replaced once built
+  /// (it lives until the SearchRuntime itself dies).
+  std::unique_ptr<util::ThreadPool> pool AEVA_GUARDED_BY(mutex);
 
-  util::ThreadPool& ensure_pool(std::size_t workers) {
-    std::lock_guard<std::mutex> lock(mutex);
+  util::ThreadPool& ensure_pool(std::size_t workers) AEVA_EXCLUDES(mutex) {
+    const util::MutexGuard lock(mutex);
     if (pool == nullptr) {
       pool = std::make_unique<util::ThreadPool>(workers);
     }

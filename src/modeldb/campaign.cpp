@@ -1,11 +1,10 @@
 #include "modeldb/campaign.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "util/error.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/registry.hpp"
 
 namespace aeva::modeldb {
@@ -154,30 +153,27 @@ std::vector<Record> Campaign::run_combinations(
   // Experiments are independent and meter streams are key-derived, so the
   // sweep parallelizes with bit-identical results for any worker count.
   std::vector<Record> records(keys.size());
-  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   const std::size_t workers = std::min<std::size_t>(
-      keys.size(),
-      config_.threads > 0 ? static_cast<std::size_t>(config_.threads)
-                          : static_cast<std::size_t>(hardware));
+      keys.size(), util::ThreadPool::recommended_workers(
+                       config_.threads > 0
+                           ? static_cast<std::size_t>(config_.threads)
+                           : 0));
   if (workers <= 1) {
     for (std::size_t i = 0; i < keys.size(); ++i) {
       records[i] = measure(keys[i]);
     }
   } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1); i < keys.size();
-             i = next.fetch_add(1)) {
-          records[i] = measure(keys[i]);
-        }
+    // util::ThreadPool instead of raw std::thread fan-out (aeva_check
+    // `raw-thread`): each task writes its own slot, so the result is
+    // bit-identical for any worker count, and a throwing experiment
+    // surfaces deterministically through wait().
+    util::ThreadPool pool(workers);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      pool.submit([this, &records, &keys, i] {
+        records[i] = measure(keys[i]);
       });
     }
-    for (std::thread& worker : pool) {
-      worker.join();
-    }
+    pool.wait();
   }
 
   AEVA_INVARIANT(static_cast<long long>(records.size()) ==

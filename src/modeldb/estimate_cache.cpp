@@ -79,7 +79,7 @@ Record EstimateCache::estimate(workload::ClassCounts key) const {
 
   Shard& shard = shard_for(mixed);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    const util::MutexGuard lock(shard.mutex);
     const auto it = shard.entries.find(packed);
     if (it != shard.entries.end()) {
       ++shard.hits;
@@ -93,7 +93,7 @@ Record EstimateCache::estimate(workload::ClassCounts key) const {
   // no-op.
   const Record record = db_->estimate(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    const util::MutexGuard lock(shard.mutex);
     ++shard.misses;
     if (shard.entries.size() >= max_entries_per_shard_) {
       shard.evictions += shard.entries.size();
@@ -108,7 +108,7 @@ Record EstimateCache::estimate(workload::ClassCounts key) const {
 EstimateCache::Stats EstimateCache::stats() const {
   Stats total;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    const util::MutexGuard lock(shard->mutex);
     total.hits += shard->hits + shard->l1_hits.load(std::memory_order_relaxed);
     total.misses += shard->misses;
     total.evictions += shard->evictions;
@@ -119,7 +119,7 @@ EstimateCache::Stats EstimateCache::stats() const {
 
 void EstimateCache::clear() const {
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    const util::MutexGuard lock(shard->mutex);
     shard->evictions += shard->entries.size();
     shard->entries.clear();
   }

@@ -32,12 +32,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "modeldb/database.hpp"
 #include "modeldb/record.hpp"
+#include "util/mutex.hpp"
 #include "workload/profile.hpp"
 
 namespace aeva::modeldb {
@@ -75,11 +75,11 @@ class EstimateCache {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, Record> entries;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    mutable util::Mutex mutex;
+    std::unordered_map<std::uint64_t, Record> entries AEVA_GUARDED_BY(mutex);
+    std::uint64_t hits AEVA_GUARDED_BY(mutex) = 0;
+    std::uint64_t misses AEVA_GUARDED_BY(mutex) = 0;
+    std::uint64_t evictions AEVA_GUARDED_BY(mutex) = 0;
     /// Lock-free tally of thread-local L1 hits landing on this stripe.
     std::atomic<std::uint64_t> l1_hits{0};
   };

@@ -33,7 +33,7 @@ void Histogram::record(double value) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const auto bucket =
       static_cast<std::size_t>(std::distance(bounds_.begin(), it));
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const util::MutexGuard lock(shard.mutex);
   shard.stats.add(value);
   ++shard.buckets[bucket];
 }
@@ -43,7 +43,7 @@ Histogram::Snapshot Histogram::snapshot() const {
   out.bounds = bounds_;
   out.buckets.assign(bounds_.size() + 1, 0);
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const util::MutexGuard lock(shard->mutex);
     out.stats.merge(shard->stats);
     for (std::size_t b = 0; b < out.buckets.size(); ++b) {
       out.buckets[b] += shard->buckets[b];
@@ -53,7 +53,7 @@ Histogram::Snapshot Histogram::snapshot() const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexGuard lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -62,7 +62,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexGuard lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -72,7 +72,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexGuard lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(bounds));
@@ -81,7 +81,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexGuard lock(mutex_);
   Snapshot out;
   out.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {

@@ -27,11 +27,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/stats.hpp"
 
 namespace aeva::obs {
@@ -91,9 +91,9 @@ class Histogram {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    util::RunningStats stats;
-    std::vector<std::uint64_t> buckets;
+    mutable util::Mutex mutex;
+    util::RunningStats stats AEVA_GUARDED_BY(mutex);
+    std::vector<std::uint64_t> buckets AEVA_GUARDED_BY(mutex);
   };
 
   std::vector<double> bounds_;
@@ -111,16 +111,18 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Finds or creates the named counter.
-  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Counter& counter(const std::string& name)
+      AEVA_EXCLUDES(mutex_);
 
   /// Finds or creates the named gauge.
-  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name) AEVA_EXCLUDES(mutex_);
 
   /// Finds or creates the named histogram. On first creation the bucket
   /// bounds are taken from `bounds`; later calls return the existing
   /// histogram regardless of the bounds passed.
   [[nodiscard]] Histogram& histogram(const std::string& name,
-                                     std::vector<double> bounds);
+                                     std::vector<double> bounds)
+      AEVA_EXCLUDES(mutex_);
 
   /// Point-in-time copy of every metric, name-sorted (deterministic).
   struct Snapshot {
@@ -128,13 +130,16 @@ class MetricsRegistry {
     std::vector<std::pair<std::string, double>> gauges;
     std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
   };
-  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const AEVA_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;  ///< guards the maps, not the metric values
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mutex_;  ///< guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      AEVA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      AEVA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      AEVA_GUARDED_BY(mutex_);
 };
 
 }  // namespace aeva::obs

@@ -18,7 +18,7 @@ TraceLog::TraceLog(std::size_t max_events) : max_events_(max_events) {
 }
 
 void TraceLog::record(TraceEvent event) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexGuard lock(mutex_);
   if (events_.size() >= max_events_) {
     ++dropped_;
     return;
@@ -28,17 +28,17 @@ void TraceLog::record(TraceEvent event) {
 }
 
 std::vector<TraceEvent> TraceLog::events() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexGuard lock(mutex_);
   return events_;
 }
 
 std::size_t TraceLog::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexGuard lock(mutex_);
   return events_.size();
 }
 
 std::uint64_t TraceLog::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexGuard lock(mutex_);
   return dropped_;
 }
 

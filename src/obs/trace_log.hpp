@@ -28,7 +28,7 @@
 #include <utility>
 #include <vector>
 
-#include <mutex>
+#include "util/mutex.hpp"
 
 namespace aeva::obs {
 
@@ -54,23 +54,23 @@ class TraceLog {
 
   /// Appends one event (assigning its sequence number); drops and counts
   /// it when the log is full.
-  void record(TraceEvent event);
+  void record(TraceEvent event) AEVA_EXCLUDES(mutex_);
 
   /// Copy of the events recorded so far, in sequence order.
-  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const AEVA_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t size() const AEVA_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t dropped() const AEVA_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t max_events() const noexcept {
     return max_events_;
   }
 
  private:
   std::size_t max_events_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t dropped_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> events_ AEVA_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ AEVA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ AEVA_GUARDED_BY(mutex_) = 0;
 };
 
 /// Scoped span: captures a monotonic-clock timestamp at construction and

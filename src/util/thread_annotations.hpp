@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file thread_annotations.hpp
+/// Clang thread-safety-analysis attribute macros (docs/STATIC_ANALYSIS.md,
+/// "Thread-safety annotations").
+///
+/// These macros attach compile-time locking contracts to shared state:
+/// which mutex guards which field, which capabilities a function needs on
+/// entry, and which it acquires or releases. Under clang with
+/// `-Wthread-safety` (cmake/ThreadSafety.cmake, `AEVA_THREAD_SAFETY`) any
+/// violation — touching a `AEVA_GUARDED_BY` field without its lock,
+/// forgetting to release, acquiring in an inconsistent order — is a
+/// compile *error* in CI (`-Werror=thread-safety`). Under gcc (this
+/// repo's default toolchain) every macro expands to nothing, so the
+/// annotations are free documentation there and a hard gate on clang.
+///
+/// The annotated primitives that carry these contracts live in
+/// util/mutex.hpp (`util::Mutex`, `util::MutexGuard`, `util::CondVar`);
+/// first-party code outside src/util/ must use those wrappers instead of
+/// raw `std::mutex`/`std::lock_guard` — enforced by the `raw-mutex` rule
+/// in tools/lint/aeva_lint.py, because a raw std::mutex is invisible to
+/// the analysis and silently punches a hole in the proof.
+///
+/// Macro → clang attribute mapping follows the canonical scheme from the
+/// clang Thread Safety Analysis documentation; names are AEVA_-prefixed
+/// so they cannot collide with third-party headers.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define AEVA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AEVA_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex wrapper).
+#define AEVA_CAPABILITY(x) AEVA_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define AEVA_SCOPED_CAPABILITY AEVA_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field/variable may only be read or written while holding `x`.
+#define AEVA_GUARDED_BY(x) AEVA_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be touched while holding `x`.
+#define AEVA_PT_GUARDED_BY(x) AEVA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define AEVA_REQUIRES(...) \
+  AEVA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function requires the listed capabilities held *shared* on entry.
+#define AEVA_REQUIRES_SHARED(...) \
+  AEVA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define AEVA_ACQUIRE(...) \
+  AEVA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define AEVA_RELEASE(...) \
+  AEVA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; holds the capability iff it returned
+/// `success`.
+#define AEVA_TRY_ACQUIRE(success, ...) \
+  AEVA_THREAD_ANNOTATION_(try_acquire_capability(success, __VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock guard for self-locking public APIs).
+#define AEVA_EXCLUDES(...) \
+  AEVA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares a required lock ordering between two capabilities.
+#define AEVA_ACQUIRED_BEFORE(...) \
+  AEVA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define AEVA_ACQUIRED_AFTER(...) \
+  AEVA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to a capability (lock accessor).
+#define AEVA_RETURN_CAPABILITY(x) \
+  AEVA_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: body is not analyzed. Policy (docs/STATIC_ANALYSIS.md):
+/// allowed only inside src/util/ wrapper internals (e.g. a condition-wait
+/// that releases and reacquires through the std library); *zero* uses are
+/// permitted elsewhere in src/.
+#define AEVA_NO_THREAD_SAFETY_ANALYSIS \
+  AEVA_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    const MutexGuard lock(mutex_);
     // Deterministic drain: workers finish everything already queued before
     // they observe `stopping_` with an empty queue and exit.
     stopping_ = true;
@@ -31,16 +31,18 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   AEVA_REQUIRE(static_cast<bool>(task), "null task");
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    const MutexGuard lock(mutex_);
     queue_.push_back(Pending{submitted_++, std::move(task)});
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexGuard lock(mutex_);
   const std::uint64_t target = submitted_;
-  all_done_.wait(lock, [&] { return completed_ >= target; });
+  while (completed_ < target) {
+    all_done_.wait(mutex_);
+  }
   if (!failures_.empty()) {
     // Rethrow the earliest submission so the surfaced error does not
     // depend on worker interleaving.
@@ -54,7 +56,7 @@ void ThreadPool::wait() {
 }
 
 std::uint64_t ThreadPool::completed_count() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexGuard lock(mutex_);
   return completed_;
 }
 
@@ -70,9 +72,12 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Pending pending;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [&] { return stopping_ || !queue_.empty(); });
+      const MutexGuard lock(mutex_);
+      // Explicit predicate loop (not a lambda) so the guarded reads are
+      // visibly under the held capability for the thread-safety analysis.
+      while (!stopping_ && queue_.empty()) {
+        work_available_.wait(mutex_);
+      }
       if (queue_.empty()) {
         return;  // stopping_ and fully drained
       }
@@ -86,7 +91,7 @@ void ThreadPool::worker_loop() {
       error = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      const MutexGuard lock(mutex_);
       ++completed_;
       if (error) {
         failures_.emplace_back(pending.index, error);

@@ -20,15 +20,15 @@
 /// thread, including from inside a task. `wait` must not be called from
 /// inside a task (it would deadlock on the caller's own slot).
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace aeva::util {
 
@@ -49,20 +49,20 @@ class ThreadPool {
 
   /// Enqueues one task. Tasks are picked up by workers in FIFO order.
   /// Throws std::invalid_argument on a null task.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) AEVA_EXCLUDES(mutex_);
 
   /// Blocks until every task submitted before this call has completed.
   /// If any of them threw, rethrows the exception of the earliest-submitted
   /// failed task and clears the recorded failures. The pool remains usable
   /// afterwards.
-  void wait();
+  void wait() AEVA_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_.size();
   }
 
   /// Number of tasks that have fully completed (including failed ones).
-  [[nodiscard]] std::uint64_t completed_count() const;
+  [[nodiscard]] std::uint64_t completed_count() const AEVA_EXCLUDES(mutex_);
 
   /// Worker count to use for `requested`: 0 → hardware concurrency
   /// (at least 1), otherwise `requested` itself.
@@ -75,18 +75,21 @@ class ThreadPool {
     std::function<void()> task;
   };
 
-  void worker_loop();
+  void worker_loop() AEVA_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<Pending> queue_;
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<Pending> queue_ AEVA_GUARDED_BY(mutex_);
+  /// Written by the constructing thread only (ctor fills, dtor joins);
+  /// never touched by workers, so it needs no capability.
   std::vector<std::thread> workers_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
+  std::uint64_t submitted_ AEVA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ AEVA_GUARDED_BY(mutex_) = 0;
   /// (submission index, exception) of failed tasks awaiting a `wait()`.
-  std::vector<std::pair<std::uint64_t, std::exception_ptr>> failures_;
-  bool stopping_ = false;
+  std::vector<std::pair<std::uint64_t, std::exception_ptr>> failures_
+      AEVA_GUARDED_BY(mutex_);
+  bool stopping_ AEVA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace aeva::util

@@ -200,6 +200,26 @@ TEST(Campaign, ParallelSweepIsBitIdenticalToSerial) {
   }
 }
 
+TEST(Campaign, OversubscribedPoolIsBitIdenticalToSerial) {
+  // Regression for the util::ThreadPool migration (the sweep used to
+  // fan out raw std::threads, flagged by aeva_check `raw-thread`): a
+  // worker count far above the experiment count must neither drop nor
+  // reorder results — each task writes only its own slot and the pool
+  // drains fully before build() reads them.
+  CampaignConfig serial = fast_config();
+  serial.threads = 1;
+  CampaignConfig oversubscribed = fast_config();
+  oversubscribed.threads = 64;
+  const ModelDatabase a = Campaign(serial).build();
+  const ModelDatabase b = Campaign(oversubscribed).build();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].key, b.records()[i].key);
+    EXPECT_DOUBLE_EQ(a.records()[i].time_s, b.records()[i].time_s);
+    EXPECT_DOUBLE_EQ(a.records()[i].energy_j, b.records()[i].energy_j);
+  }
+}
+
 TEST(Campaign, AutoThreadCountWorks) {
   CampaignConfig config = fast_config();
   config.threads = 0;  // one per hardware core

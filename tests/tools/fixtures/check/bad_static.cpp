@@ -1,0 +1,33 @@
+// Deliberately bad TU for aeva_check's mutable-static check.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+// Namespace-scope mutable globals couple consecutive simulations.
+static int g_run_counter = 0;  // EXPECT[mutable-static]
+
+// thread_local is still per-run mutable state the snapshot layer
+// cannot capture.
+static thread_local double g_scratch = 0.0;  // EXPECT[mutable-static]
+
+// Atomics are race-free but still cross-run shared state.
+static std::atomic<std::uint64_t> g_ids{1};  // EXPECT[mutable-static]
+
+int next_id() {
+  // Function-local statics hide the coupling even better.
+  static std::vector<int> history;  // EXPECT[mutable-static]
+  history.push_back(g_run_counter++);
+  g_scratch += 1.0;
+  return static_cast<int>(g_ids.fetch_add(1));
+}
+
+// Immutable statics are fine and must NOT be flagged.
+static const int kLimit = 64;
+static constexpr double kEpsilon = 1e-9;
+
+int limit() { return kLimit + static_cast<int>(kEpsilon); }
+
+}  // namespace fixture

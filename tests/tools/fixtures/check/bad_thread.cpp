@@ -1,0 +1,30 @@
+// Deliberately bad TU for aeva_check's raw-thread check.
+
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+int work() { return 42; }
+
+void spawn_raw() {
+  std::thread worker(work);  // EXPECT[raw-thread]
+  worker.join();
+}
+
+void spawn_detached() {
+  std::thread worker(work);  // EXPECT[raw-thread]
+  worker.detach();  // EXPECT[raw-thread]
+}
+
+void spawn_async() {
+  auto fut = std::async(work);  // EXPECT[raw-thread]
+  (void)fut.get();
+}
+
+struct Pool {
+  std::vector<std::thread> members;  // EXPECT[raw-thread]
+};
+
+}  // namespace fixture

@@ -1,0 +1,52 @@
+// Deliberately bad TU for aeva_check's unordered-iteration checks.
+// Marked lines must be reported exactly (check id + line).
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Writer {
+  Writer& operator<<(int) { return *this; }
+  Writer& operator<<(const std::string&) { return *this; }
+};
+
+// Hash-order iteration streamed straight into an output.
+void dump(const std::unordered_map<int, std::string>& names, Writer& out) {
+  for (const auto& [id, name] : names) {  // EXPECT[unordered-iteration-sink]
+    out << id << name;
+  }
+}
+
+// Hash-order iteration appended to an order-sensitive sequence.
+void collect(const std::unordered_set<int>& ids, std::vector<int>& out) {
+  for (const int id : ids) {  // EXPECT[unordered-iteration-sink]
+    out.push_back(id);
+  }
+}
+
+// Non-associative float accumulation in hash order.
+double total(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& [id, weight] : weights) {
+    sum += weight;  // EXPECT[unordered-float-reduction]
+  }
+  return sum;
+}
+
+// The checks see through type aliases of unordered containers.
+using Index = std::unordered_map<std::string, int>;
+
+void emit_index(const Index& index, Writer& out) {
+  for (const auto& [key, pos] : index) {  // EXPECT[unordered-iteration-sink]
+    out << key << pos;
+  }
+}
+
+// Classic iterator loops are caught too, not just range-for.
+void stream_legacy(const std::unordered_map<int, double>& weights,
+                   Writer& out) {
+  for (auto it = weights.begin(); it != weights.end(); ++it) {  // EXPECT[unordered-iteration-sink]
+    out << it->first;
+  }
+}

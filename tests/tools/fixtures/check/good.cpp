@@ -1,0 +1,64 @@
+// Clean translation unit for tools/analyze/aeva_check.py: every
+// construct here is determinism-safe and must produce zero findings.
+
+#include <cstddef>
+#include <iostream>
+#include <map>
+#include <thread>
+#include <unordered_map>
+
+namespace fixture {
+
+class Mutex {};
+class MutexGuard {
+ public:
+  explicit MutexGuard(Mutex&) {}
+};
+
+// Integer accumulation over a hash map is order-independent: allowed.
+long count_all(const std::unordered_map<int, long>& hits) {
+  long total = 0;
+  for (const auto& [key, value] : hits) {
+    total += value;
+  }
+  return total;
+}
+
+// Canonicalizing through an ordered container is the sanctioned fix
+// for unordered iteration feeding an output: allowed.
+void dump_sorted(const std::unordered_map<int, double>& weights) {
+  std::map<int, double> sorted;
+  for (const auto& [key, value] : weights) {
+    sorted.insert({key, value});
+  }
+  for (const auto& [key, value] : sorted) {
+    std::cout << key << '=' << value << '\n';
+  }
+}
+
+// Point lookups don't iterate: allowed.
+double lookup(const std::unordered_map<int, double>& weights, int key) {
+  const auto it = weights.find(key);
+  return it == weights.end() ? 0.0 : it->second;
+}
+
+// Reads of thread identity/capacity are not thread spawns: allowed.
+std::size_t stripe_for_this_thread(std::size_t stripes) {
+  const std::thread::id id = std::this_thread::get_id();
+  const std::size_t n = std::thread::hardware_concurrency();
+  return (std::hash<std::thread::id>{}(id) ^ n) % stripes;
+}
+
+// Const/constexpr statics are immutable: allowed.
+static const double kScale = 2.0;
+static constexpr int kMaxShards = 8;
+
+// Locks in loops are only flagged inside configured hot functions;
+// this file is never on the hot list.
+void drain(Mutex& mu, int n) {
+  for (int i = 0; i < n; ++i) {
+    const MutexGuard lock(mu);
+  }
+}
+
+}  // namespace fixture

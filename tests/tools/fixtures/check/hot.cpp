@@ -1,0 +1,56 @@
+// Deliberately bad TU for aeva_check's hot-path-lock check. The
+// fixture runner passes `--hot <this file>:Simulator::run`, so only
+// the loops inside Simulator::run are hot; setup() does the same
+// things legally.
+
+#include <cstddef>
+
+namespace util {
+class Mutex {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+class MutexGuard {
+ public:
+  explicit MutexGuard(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~MutexGuard() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+}  // namespace util
+
+struct Registry {
+  double slot = 0.0;
+  double& counter(const char*) { return slot; }
+};
+
+struct Simulator {
+  util::Mutex mu_;
+  Registry reg_;
+  double events_ = 0.0;
+  void setup();
+  void run(std::size_t steps);
+};
+
+void Simulator::setup() {
+  // Not on the hot list: locking and by-name lookup are fine here.
+  const util::MutexGuard lock(mu_);
+  reg_.counter("sim.events") = 0.0;
+}
+
+void Simulator::run(std::size_t steps) {
+  double& events = reg_.counter("sim.events");  // pre-loop: fine
+  for (std::size_t i = 0; i < steps; ++i) {
+    const util::MutexGuard lock(mu_);  // EXPECT[hot-path-lock]
+    events += 1.0;
+  }
+  std::size_t remaining = steps;
+  while (remaining > 0) {
+    mu_.lock();  // EXPECT[hot-path-lock]
+    reg_.counter("sim.retries") += 1.0;  // EXPECT[hot-path-lock]
+    mu_.unlock();
+    --remaining;
+  }
+}

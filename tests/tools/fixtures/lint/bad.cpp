@@ -1,0 +1,32 @@
+// Deliberately bad translation unit for tools/lint/aeva_lint.py.
+// Each offending line carries an expectation marker; the fixture
+// runner (tests/tools/run_tool_tests.py) asserts the tool reports
+// exactly the marked (rule, line) pairs — nothing more, nothing less.
+//
+// The raw string below spans several lines and *mentions* banned
+// constructs; if the lexer mishandled raw strings (the pre-fix lint
+// swallowed newlines after unterminated quotes), every later line
+// number would shift and the exact-line assertions would fail.
+
+const char* kManual = R"doc(
+  This text must be invisible to the linter: assert(x), std::mutex,
+  std::cout << "hi", srand(42), and an unbalanced quote: " <- here.
+)doc";
+
+// Prose mentioning assert( and std::mutex in a comment must not trip.
+
+struct Widget {
+  int value = 0;
+};
+
+#include <mutex>  // EXPECT[raw-mutex]
+
+void locked_update(Widget& w) {
+  static std::mutex mu;               // EXPECT[raw-mutex]
+  const std::lock_guard<std::mutex> lock(mu);  // EXPECT[raw-mutex]
+  ++w.value;
+}
+
+void check_widget(const Widget& w) {
+  assert(w.value >= 0);  // EXPECT[raw-assert]
+}

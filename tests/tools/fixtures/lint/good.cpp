@@ -1,0 +1,20 @@
+// Clean translation unit for tools/lint/aeva_lint.py: uses the
+// sanctioned project idioms, so the tool must report zero findings.
+
+namespace aeva::util {
+class Mutex;
+class MutexGuard;
+}  // namespace aeva::util
+
+struct Sample {
+  double value = 0.0;
+};
+
+// A raw string mentioning banned constructs is fine (string contents
+// are stripped before rule matching):
+const char* kHelp = R"(use AEVA_REQUIRE(cond, ...) not assert; guard
+state with util::MutexGuard, never std::lock_guard)";
+
+double scaled(const Sample& s, double factor) {
+  return s.value * factor;
+}

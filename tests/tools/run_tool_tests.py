@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Fixture self-tests for the static-analysis tools.
+
+Runs tools/lint/aeva_lint.py and tools/analyze/aeva_check.py against the
+checked-in translation units under tests/tools/fixtures/ and asserts the
+reported findings match the fixtures' `EXPECT[rule]` marker comments
+*exactly* — same rule/check ids, same line numbers, nothing extra,
+nothing missing. This pins:
+
+  * every check/rule actually fires on its target construct,
+  * the clean fixtures stay clean (no false positives on the sanctioned
+    idioms: ordered-map canonicalization, integer reductions,
+    std::thread::id reads, const statics, util::MutexGuard, ...),
+  * reported line numbers are exact — the lint fixtures deliberately
+    open with multi-line raw strings that the lexers must not swallow
+    (regression for the raw-string/unterminated-quote line drift), and
+  * both aeva_check input modes (--files and --compile-commands) agree.
+
+Marker lines double as documentation: the expected set is derived from
+the fixture text itself, so fixtures can be edited without updating a
+parallel expectations table.
+
+Runs with a hermetic empty allowlist so repo allowlists cannot mask
+fixture regressions. Exit 0 on success, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+LINT = REPO / "tools" / "lint" / "aeva_lint.py"
+CHECK = REPO / "tools" / "analyze" / "aeva_check.py"
+
+MARKER_RE = re.compile(r"EXPECT\[([a-z-]+)\]")
+
+failures = 0
+
+
+def expected_from(paths: list[Path]) -> set[tuple[str, str, int]]:
+    """(rule, filename, line) triples from EXPECT[...] markers."""
+    out = set()
+    for path in paths:
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            for m in MARKER_RE.finditer(line):
+                out.add((m.group(1), path.name, lineno))
+    return out
+
+
+def reported_from(report: dict, id_key: str) -> set[tuple[str, str, int]]:
+    return {
+        (f[id_key], Path(f["path"]).name, f["line"])
+        for f in report["findings"]
+    }
+
+
+def run_tool(argv: list[str]) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable] + argv, cwd=REPO,
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check_case(name: str, ok: bool, detail: str = "") -> None:
+    global failures
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {name}" + (f"\n{detail}" if detail and not ok else ""))
+    if not ok:
+        failures += 1
+
+
+def diff(expected: set, got: set) -> str:
+    lines = []
+    for t in sorted(expected - got):
+        lines.append(f"  missing:    {t}")
+    for t in sorted(got - expected):
+        lines.append(f"  unexpected: {t}")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="aeva_tools_") as tmp:
+        tmpdir = Path(tmp)
+        empty_allowlist = tmpdir / "empty_allowlist.json"
+        empty_allowlist.write_text("{}\n")
+
+        # ---- aeva_lint: bad fixture reports exactly the marked set ----
+        lint_bad = FIXTURES / "lint" / "bad.cpp"
+        report_path = tmpdir / "lint_bad.json"
+        rc, out = run_tool([
+            str(LINT), str(lint_bad), "--no-compile", "--no-doc-links",
+            "--allowlist", str(empty_allowlist), "--json", str(report_path)])
+        report = json.loads(report_path.read_text())
+        expected = expected_from([lint_bad])
+        got = reported_from(report, "rule")
+        check_case("aeva_lint finds exactly the marked violations",
+                   rc == 1 and got == expected,
+                   diff(expected, got) + f"\n  exit={rc}\n{out}")
+
+        # ---- aeva_lint: clean fixture stays clean ----
+        lint_good = FIXTURES / "lint" / "good.cpp"
+        rc, out = run_tool([
+            str(LINT), str(lint_good), "--no-compile", "--no-doc-links",
+            "--allowlist", str(empty_allowlist)])
+        check_case("aeva_lint reports the clean fixture clean",
+                   rc == 0, f"  exit={rc}\n{out}")
+
+        # ---- aeva_check (--files): bad fixtures report the marked set --
+        check_dir = FIXTURES / "check"
+        check_files = sorted(check_dir.glob("*.cpp"))
+        hot_spec = (
+            f"tests/tools/fixtures/check/hot.cpp:Simulator::run")
+        report_path = tmpdir / "check_files.json"
+        rc, out = run_tool([
+            str(CHECK), "--files", *map(str, check_files),
+            "--hot", hot_spec,
+            "--allowlist", str(empty_allowlist),
+            "--json", str(report_path)])
+        report = json.loads(report_path.read_text())
+        expected = expected_from(check_files)
+        got = reported_from(report, "check")
+        check_case("aeva_check (--files) finds exactly the marked "
+                   "violations across all fixtures",
+                   rc == 1 and got == expected,
+                   diff(expected, got) + f"\n  exit={rc}\n{out}")
+
+        # ---- aeva_check: clean fixture alone exits 0 ----
+        rc, out = run_tool([
+            str(CHECK), "--files", str(check_dir / "good.cpp"),
+            "--allowlist", str(empty_allowlist)])
+        check_case("aeva_check reports the clean fixture clean",
+                   rc == 0, f"  exit={rc}\n{out}")
+
+        # ---- aeva_check (--compile-commands): same result set ----
+        cc = [
+            {
+                "directory": str(REPO),
+                "command": f"c++ -std=c++20 -c {f}",
+                "file": str(f),
+            }
+            for f in check_files
+        ]
+        cc_path = tmpdir / "compile_commands.json"
+        cc_path.write_text(json.dumps(cc))
+        report_path = tmpdir / "check_cc.json"
+        rc, out = run_tool([
+            str(CHECK), "--compile-commands", str(cc_path),
+            "--paths", "tests/tools/fixtures/check",
+            "--hot", hot_spec,
+            "--allowlist", str(empty_allowlist),
+            "--json", str(report_path)])
+        report = json.loads(report_path.read_text())
+        got = reported_from(report, "check")
+        check_case("aeva_check (--compile-commands) agrees with --files",
+                   rc == 1 and got == expected,
+                   diff(expected, got) + f"\n  exit={rc}\n{out}")
+
+        # ---- aeva_check allowlist suppresses with a reason ----
+        scoped = tmpdir / "scoped_allowlist.json"
+        scoped.write_text(json.dumps({
+            "mutable-static": {
+                "tests/tools/fixtures/check/bad_static.cpp":
+                    "fixture: suppression path under test"
+            }
+        }))
+        rc, out = run_tool([
+            str(CHECK), "--files", str(check_dir / "bad_static.cpp"),
+            "--allowlist", str(scoped)])
+        check_case("aeva_check allowlist suppresses listed findings",
+                   rc == 0, f"  exit={rc}\n{out}")
+
+        # ---- aeva_check libclang engine (only where bindings exist) ----
+        probe = subprocess.run(
+            [sys.executable, "-c", "import clang.cindex"],
+            capture_output=True)
+        if probe.returncode == 0:
+            report_path = tmpdir / "check_libclang.json"
+            rc, out = run_tool([
+                str(CHECK), "--engine", "libclang",
+                "--files", str(check_dir / "bad_static.cpp"),
+                str(check_dir / "bad_thread.cpp"),
+                "--allowlist", str(empty_allowlist),
+                "--json", str(report_path)])
+            report = json.loads(report_path.read_text())
+            got = {(f["check"], Path(f["path"]).name)
+                   for f in report["findings"]}
+            expected_pairs = {
+                (rule, name) for (rule, name, _line) in expected_from(
+                    [check_dir / "bad_static.cpp",
+                     check_dir / "bad_thread.cpp"])}
+            check_case("aeva_check (libclang) confirms the declaration-"
+                       "level findings",
+                       rc == 1 and expected_pairs <= got,
+                       diff(expected_pairs, got) + f"\n  exit={rc}\n{out}")
+        else:
+            print("[skip] libclang bindings not installed; builtin engine "
+                  "already covered above")
+
+    if failures:
+        print(f"{failures} fixture test(s) failed")
+        return 1
+    print("all tool fixture tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+// Tests for the annotated synchronization primitives (util/mutex.hpp).
+// The interesting property — "guarded field touched without the lock
+// fails the build" — is enforced by clang's -Wthread-safety in the CI
+// analyze job and cannot be a runtime test; here we pin the runtime
+// semantics of the wrappers: mutual exclusion, RAII release, try_lock,
+// and condition-variable wakeups.
+
+#include "util/mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace aeva::util {
+namespace {
+
+TEST(Mutex, TryLockReflectsOwnership) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  // A second owner must be refused while we hold it.
+  std::thread contender([&] { EXPECT_FALSE(mu.try_lock()); });
+  contender.join();
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexGuard, ReleasesOnScopeExit) {
+  Mutex mu;
+  {
+    const MutexGuard lock(mu);
+    std::thread contender([&] { EXPECT_FALSE(mu.try_lock()); });
+    contender.join();
+  }
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexGuard, ProvidesMutualExclusion) {
+  Mutex mu;
+  long counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        const MutexGuard lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIncrements);
+}
+
+TEST(CondVar, WaitWakesOnNotifyAndReholdsTheLock) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool observed = false;
+
+  std::thread waiter([&] {
+    const MutexGuard lock(mu);
+    while (!ready) {
+      cv.wait(mu);
+    }
+    // The mutex is held again here; flipping under it is race-free.
+    observed = true;
+  });
+
+  {
+    const MutexGuard lock(mu);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+
+  const MutexGuard lock(mu);
+  EXPECT_TRUE(observed);
+}
+
+TEST(CondVar, NotifyOneWakesExactlyWaitersEventually) {
+  Mutex mu;
+  CondVar cv;
+  int tokens = 0;
+  int consumed = 0;
+  constexpr int kConsumers = 4;
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int i = 0; i < kConsumers; ++i) {
+    consumers.emplace_back([&] {
+      const MutexGuard lock(mu);
+      while (tokens == 0) {
+        cv.wait(mu);
+      }
+      --tokens;
+      ++consumed;
+    });
+  }
+
+  for (int i = 0; i < kConsumers; ++i) {
+    {
+      const MutexGuard lock(mu);
+      ++tokens;
+    }
+    cv.notify_all();
+  }
+  for (std::thread& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(consumed, kConsumers);
+  EXPECT_EQ(tokens, 0);
+}
+
+}  // namespace
+}  // namespace aeva::util

@@ -49,6 +49,18 @@ Rules (all scoped to first-party code under src/, see --paths):
                        util::FileWriteError carrying the path
                        (docs/RESILIENCE.md, "Process-level durability").
 
+  raw-mutex            No raw `std::mutex` / `std::lock_guard` /
+                       `std::unique_lock` / `std::scoped_lock` /
+                       `std::condition_variable` (or their headers)
+                       outside src/util/. Shared state must be locked
+                       through the annotated wrappers in util/mutex.hpp
+                       (util::Mutex, util::MutexGuard, util::CondVar) so
+                       clang's -Wthread-safety analysis can prove the
+                       locking discipline (docs/STATIC_ANALYSIS.md,
+                       "Thread-safety annotations") — a raw std::mutex is
+                       invisible to the analysis and silently exempts
+                       every field it guards from the proof.
+
   header-standalone    Every .hpp must compile on its own
                        (`$CXX -fsyntax-only -I src`), i.e. include what it
                        uses. Skipped when no compiler is available or with
@@ -149,6 +161,20 @@ PATTERN_RULES = [
         "util::write_file_atomic (temp + fsync + rename, typed "
         "FileWriteError) instead",
     ),
+    (
+        "raw-mutex",
+        re.compile(
+            r"std::(recursive_|timed_|recursive_timed_|shared_|shared_timed_)?mutex\b"
+            r"|std::(lock_guard|unique_lock|scoped_lock)\b"
+            r"|std::condition_variable(_any)?\b"
+            r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
+        ),
+        "lock shared state through the annotated util::Mutex / "
+        "util::MutexGuard / util::CondVar (util/mutex.hpp) — raw std "
+        "primitives are invisible to clang's -Wthread-safety analysis, "
+        "so every field they guard drops out of the compile-time "
+        "locking proof",
+    ),
 ]
 
 # Files exempt from a rule by construction (the rule's own implementation
@@ -158,14 +184,26 @@ BUILTIN_EXEMPT = {
     "wall-clock": ["src/obs/*"],
     "stray-io": ["src/report/*", "src/util/table_printer.*"],
     "bare-ofstream": ["src/util/atomic_file.hpp", "src/util/atomic_file.cpp"],
+    # util/ is where the annotated wrappers themselves (and ThreadPool's
+    # condition waits) live; everywhere else goes through them.
+    "raw-mutex": ["src/util/*"],
 }
 
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
 
 
+RAW_STRING_OPEN = re.compile(r'(?:u8|[uUL])?R"([^\s()\\]{0,16})\(')
+
+
 def strip_comments_and_strings(text: str) -> str:
-    """Blanks out comments, string literals, and char literals, preserving
-    line structure so finding line numbers stay correct."""
+    """Blanks out comments, string literals, and char literals.
+
+    Line structure is preserved *exactly* — every newline in the input
+    survives in the output, including newlines inside block comments and
+    multi-line raw string literals, and an unterminated ordinary
+    string/char literal is treated as ending at the end of its line. This
+    is what keeps every reported line number 1-based and correct no matter
+    what precedes the finding (regression: tests/tools fixtures)."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -180,13 +218,31 @@ def strip_comments_and_strings(text: str) -> str:
             j = n - 2 if j == -1 else j
             out.append("\n" * text.count("\n", i, j + 2))
             i = j + 2
+        elif c in "Ru" or c == "L":
+            # Possible raw string literal prefix (R" / uR" / u8R" / LR"),
+            # unless this char is the tail of a longer identifier.
+            prev = text[i - 1] if i > 0 else ""
+            m = None if (prev.isalnum() or prev == "_") else RAW_STRING_OPEN.match(text, i)
+            if m:
+                closer = ")" + m.group(1) + '"'
+                j = text.find(closer, m.end())
+                j = n if j == -1 else j + len(closer)
+                out.append('""')
+                out.append("\n" * text.count("\n", i, j))
+                i = j
+            else:
+                out.append(c)
+                i += 1
         elif c in "\"'":
             quote = c
             j = i + 1
-            while j < n and text[j] != quote:
+            # Stop at end-of-line: a quote never legally spans lines here
+            # (raw strings are handled above), and scanning past a newline
+            # used to swallow line breaks and shift every later finding.
+            while j < n and text[j] != quote and text[j] != "\n":
                 j += 2 if text[j] == "\\" else 1
             out.append(quote + quote)
-            i = j + 1
+            i = j if j < n and text[j] == "\n" else j + 1
         else:
             out.append(c)
             i += 1
@@ -295,10 +351,17 @@ def run_header_standalone(files: list[Path], allowlist, jobs: int) -> list[dict]
                 (l for l in proc.stderr.splitlines() if "error:" in l),
                 proc.stderr.strip().splitlines()[0] if proc.stderr.strip() else "?",
             )
+            # Report the real line when the first error is in the header
+            # itself (not in something it includes), so the JSON line
+            # numbers mean the same thing for every rule.
+            line = 1
+            m = re.match(r"(.+?):(\d+):(?:\d+:)?\s*(?:fatal )?error:", first_error)
+            if m and Path(m.group(1)).name == path.name:
+                line = int(m.group(2))
             return {
                 "rule": "header-standalone",
                 "path": rel_to_repo(path),
-                "line": 1,
+                "line": line,
                 "message": "header does not compile standalone "
                 "(include what you use)",
                 "excerpt": first_error[:160],
