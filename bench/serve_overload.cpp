@@ -1,0 +1,240 @@
+/// Microbench: the serve layer's two hard contracts (docs/RESILIENCE.md,
+/// "Overload protection").
+///
+///  1. **Graceful degradation, no cliff.** The same arrival stream is
+///     offered at rates sweeping from well under capacity to far past it.
+///     A resilient service sheds the excess and keeps serving: the number
+///     of placed requests at every higher offered rate must stay above
+///     `kCliffFloor` × the best placed count seen at any lower rate, and
+///     the overloaded end of the sweep must actually shed (otherwise the
+///     sweep never left the comfortable regime and gates nothing).
+///  2. **Unloaded bit-identity to the batch path.** With overload
+///     protection idle (no deadlines, infinite holds, breaker and retries
+///     off), the service must make exactly the decisions of the batch
+///     allocator chain run sequentially over the same requests: same
+///     placement targets in the same order, same rejections, same final
+///     fleet. The serve loop is a scheduling shell, not a different
+///     allocator.
+///
+/// Sweep goodputs are reported as BENCH_JSON; the two contracts are hard
+/// gates (non-zero exit).
+///
+/// Usage: serve_overload [--quick] [--requests 500] [--servers 16]
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness_common.hpp"
+#include "serve/service.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace aeva;
+
+/// A higher offered rate may keep at most this fraction less goodput than
+/// the best lower-rate run: past the shed point the placed count flattens
+/// (capacity-bound), it must never collapse.
+constexpr double kCliffFloor = 0.7;
+
+serve::ServeConfig sweep_config(int servers) {
+  serve::ServeConfig config;
+  config.server_count = servers;
+  config.queue.capacity = 32;
+  // Watermarks sized to the queue so the ladder engages inside the sweep.
+  config.health.queue_high = 24.0;
+  config.health.queue_low = 4.0;
+  // A deep retry budget lets backoff bridge the capacity-recycle window
+  // (holds average 40 s): transient overload is absorbed, not fatal.
+  config.retry.max_attempts = 8;
+  return config;
+}
+
+serve::ServeResult run_at_rate(const modeldb::ModelDatabase& db,
+                               double rate_rps, std::size_t requests,
+                               int servers) {
+  serve::ArrivalStreamConfig stream_config;
+  stream_config.count = requests;
+  stream_config.rate_rps = rate_rps;
+  stream_config.hold_mean_s = 40.0;
+  // No client deadlines in the sweep: goodput then measures what the
+  // *service* can sustain, not how patient the synthetic clients are.
+  const std::vector<serve::ServeRequest> stream =
+      serve::generate_stream(stream_config, 2026);
+  const serve::AllocationService service(db, sweep_config(servers));
+  return service.run(stream);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(
+      argc, argv, "serve-layer overload sweep and batch bit-identity gates",
+      {
+          {"quick", "", "smaller sweep for smoke runs"},
+          {"requests", "N", "arrival stream length per sweep point"},
+          {"servers", "N", "service fleet size"},
+      });
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+  const bool quick = args.has("quick");
+  const auto requests = static_cast<std::size_t>(
+      args.get_int("requests", quick ? 250 : 500));
+  const int servers = static_cast<int>(args.get_int("servers", 16));
+
+  const modeldb::ModelDatabase& db = bench::shared_database();
+
+  // --- contract 1: sweep offered load past capacity -----------------------
+  const std::vector<double> rates = quick
+                                        ? std::vector<double>{4, 16, 64}
+                                        : std::vector<double>{4, 8, 16, 32,
+                                                              64, 128};
+  std::cout << "serve_overload: " << requests << " requests on " << servers
+            << " servers, offered rates";
+  for (const double rate : rates) {
+    std::cout << " " << util::format_fixed(rate, 0);
+  }
+  std::cout << " req/s\n";
+
+  bool ok = true;
+  std::uint64_t best_placed = 0;
+  std::uint64_t total_sheds = 0;
+  std::string sweep_json;
+  for (const double rate : rates) {
+    const serve::ServeResult result = run_at_rate(db, rate, requests,
+                                                  servers);
+    const serve::ServeMetrics& m = result.metrics;
+    total_sheds += m.sheds;
+    std::cout << "  rate " << util::format_fixed(rate, 0) << " req/s: placed "
+              << m.placed << "/" << m.offered << " (goodput "
+              << util::format_fixed(m.goodput_fraction, 3) << "), sheds "
+              << m.sheds << ", breaker trips " << m.breaker_trips
+              << ", peak depth "
+              << util::format_fixed(m.peak_queue_depth, 0) << "\n";
+    if (!sweep_json.empty()) {
+      sweep_json += ",";
+    }
+    sweep_json += "{\"rate_rps\":" + util::format_fixed(rate, 0) +
+                  ",\"placed\":" + std::to_string(m.placed) +
+                  ",\"sheds\":" + std::to_string(m.sheds) + "}";
+    const auto floor =
+        static_cast<std::uint64_t>(kCliffFloor *
+                                   static_cast<double>(best_placed));
+    if (m.placed < floor) {
+      std::cerr << "FAIL: goodput cliff at " << util::format_fixed(rate, 0)
+                << " req/s — placed " << m.placed
+                << " fell below " << floor << " (" << kCliffFloor
+                << " x best lower-rate " << best_placed << ")\n";
+      ok = false;
+    }
+    best_placed = std::max(best_placed, m.placed);
+  }
+  if (total_sheds == 0) {
+    std::cerr << "FAIL: the sweep never shed a request — raise the rates "
+                 "or shrink the fleet; the degradation gate tested "
+                 "nothing\n";
+    ok = false;
+  }
+  if (ok) {
+    std::cout << "graceful degradation: PASS (no goodput cliff across "
+              << rates.size() << " offered rates, " << total_sheds
+              << " sheds)\n";
+  }
+
+  // --- contract 2: unloaded serve == batch allocator chain ----------------
+  serve::ArrivalStreamConfig unloaded;
+  unloaded.count = quick ? 120 : 200;
+  unloaded.rate_rps = 2.0;
+  unloaded.hold_mean_s = 0.0;  // hold forever: the batch-equivalence mode
+  const std::vector<serve::ServeRequest> stream =
+      serve::generate_stream(unloaded, 2026);
+
+  serve::ServeConfig idle_config;
+  idle_config.server_count = servers;
+  idle_config.health.enabled = false;
+  idle_config.retry.enabled = false;
+  idle_config.deadline.enforce = false;
+  const serve::AllocationService service(db, idle_config);
+  const serve::ServeResult served = service.run(stream);
+
+  // The batch reference: the same allocator chain driven directly, one
+  // request at a time, applying placements immediately. VM ids advance
+  // even on a failed attempt, exactly as the service consumes them.
+  core::ProactiveConfig pa_config = idle_config.proactive;
+  const core::ProactiveAllocator batch(db, pa_config);
+  std::vector<core::ServerState> fleet(static_cast<std::size_t>(servers));
+  for (int i = 0; i < servers; ++i) {
+    fleet[static_cast<std::size_t>(i)].id = i;
+  }
+  std::int64_t next_vm_id = 1;
+  std::vector<std::vector<std::int32_t>> expected;
+  expected.reserve(stream.size());
+  for (const serve::ServeRequest& request : stream) {
+    std::vector<core::VmRequest> vms;
+    vms.reserve(static_cast<std::size_t>(request.vm_count));
+    for (int i = 0; i < request.vm_count; ++i) {
+      vms.push_back(core::VmRequest{next_vm_id++, request.profile,
+                                    request.qos_time_s});
+    }
+    const core::AllocationResult result = batch.allocate(vms, fleet);
+    std::vector<std::int32_t> targets;
+    if (result.complete) {
+      for (const core::Placement& p : result.placements) {
+        targets.push_back(p.server_id);
+        core::ServerState& server =
+            fleet[static_cast<std::size_t>(p.server_id)];
+        ++server.allocated.of(request.profile);
+        server.powered = true;
+      }
+    }
+    expected.push_back(std::move(targets));
+  }
+
+  if (served.log.size() != stream.size()) {
+    std::cerr << "FAIL: unloaded serve journaled " << served.log.size()
+              << " decisions for " << stream.size() << " requests\n";
+    ok = false;
+  }
+  for (std::size_t i = 0; ok && i < served.log.size(); ++i) {
+    const serve::DecisionRecord& rec = served.log[i];
+    if (rec.request_id != stream[i].id) {
+      std::cerr << "FAIL: decision " << i << " is for request "
+                << rec.request_id << ", batch order expects "
+                << stream[i].id << "\n";
+      ok = false;
+      break;
+    }
+    const bool placed = rec.event == serve::DecisionEvent::kPlaced;
+    const bool batch_placed = !expected[i].empty();
+    if (placed != batch_placed || rec.servers != expected[i]) {
+      std::cerr << "FAIL: request " << rec.request_id
+                << " diverges from the batch path (serve "
+                << (placed ? "placed" : "rejected") << ", batch "
+                << (batch_placed ? "placed" : "rejected") << ")\n";
+      ok = false;
+      break;
+    }
+  }
+  for (std::size_t i = 0; ok && i < fleet.size(); ++i) {
+    const core::ServerState& a = served.final_servers[i];
+    const core::ServerState& b = fleet[i];
+    if (a.allocated != b.allocated || a.powered != b.powered) {
+      std::cerr << "FAIL: final fleet diverges at server " << i << "\n";
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::cout << "batch bit-identity: PASS (" << stream.size()
+              << " unloaded decisions match the batch allocator chain "
+                 "exactly)\n";
+  }
+
+  std::cout << "BENCH_JSON {\"bench\":\"serve_overload\",\"sweep\":["
+            << sweep_json << "],\"unloaded_requests\":" << stream.size()
+            << ",\"pass\":" << (ok ? "true" : "false") << "}\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,233 @@
+/// Example: the long-lived allocation service under open-loop load.
+///
+/// Builds the empirical model database, generates a deterministic Poisson
+/// arrival stream, and drives serve::AllocationService over it with full
+/// overload protection: bounded admission queue, deadline-aware admission,
+/// the hysteresis degradation ladder, client retries with seeded backoff
+/// jitter, and periodic AEVASRV checkpoints (docs/RESILIENCE.md,
+/// "Overload protection").
+///
+/// SIGTERM/SIGINT request a graceful drain: the in-flight decision
+/// finishes, the queue is preserved in a final snapshot, and the process
+/// exits cleanly; `--restore-from` later resumes it (or a SIGKILLed run)
+/// bit-identically — the serve section of tools/kill_resume_smoke.sh
+/// `cmp`s the decision log and metrics JSON against an uninterrupted
+/// reference run.
+
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "datacenter/failure.hpp"
+#include "modeldb/campaign.hpp"
+#include "obs/export.hpp"
+#include "obs/session.hpp"
+#include "persist/serve_snapshot.hpp"
+#include "serve/service.hpp"
+#include "util/args.hpp"
+#include "util/atomic_file.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+// Written only by the signal handler, polled at decision boundaries.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+extern "C" void handle_drain_signal(int) { g_drain_requested = 1; }
+
+aeva::serve::ShedPolicy parse_shed_policy(const std::string& name) {
+  using aeva::serve::ShedPolicy;
+  if (name == "reject-newest") return ShedPolicy::kRejectNewest;
+  if (name == "reject-oldest") return ShedPolicy::kRejectOldest;
+  if (name == "reject-by-class") return ShedPolicy::kRejectByClass;
+  throw std::invalid_argument("unknown shed policy: " + name);
+}
+
+/// Final-report table of serve rejection events by reason, each with its
+/// retryable/terminal classification.
+std::string reject_reason_table(const aeva::serve::ServeMetrics& m) {
+  std::string out;
+  for (std::size_t i = 0; i < aeva::core::kRejectReasonCount; ++i) {
+    if (m.rejects_by_reason[i] == 0) {
+      continue;
+    }
+    const auto reason = static_cast<aeva::core::RejectReason>(i);
+    out += "    ";
+    out += aeva::core::to_string(reason);
+    out += " (";
+    out += aeva::core::retry_class(reason);
+    out += "): ";
+    out += std::to_string(m.rejects_by_reason[i]);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aeva;
+  const util::Args args(
+      argc, argv,
+      "long-lived allocation service with overload protection",
+      {
+          {"requests", "N", "arrival stream length"},
+          {"rate", "rps", "mean arrival rate, requests per sim second"},
+          {"servers", "N", "service fleet size"},
+          {"seed", "N", "stream + retry-jitter seed"},
+          {"queue-cap", "N", "admission queue capacity"},
+          {"shed-policy", "NAME",
+           "reject-newest | reject-oldest | reject-by-class"},
+          {"hold-mean", "seconds",
+           "mean residency after placement; <= 0 holds forever"},
+          {"deadline-slack", "seconds",
+           "mean decision-deadline slack; <= 0 disables deadlines"},
+          {"alpha", "A", "proactive energy/performance trade-off"},
+          {"no-health", "", "disable the degradation-ladder controller"},
+          {"no-retry", "", "disable client-side retries"},
+          {"mtbf", "seconds",
+           "per-server mean time between crashes; 0 disables"},
+          {"failure-script", "path", "scripted fault trace (crash lines)"},
+          {"decision-log", "path", "write the rendered decision log"},
+          {"serve-metrics-out", "path", "write the serve metrics JSON"},
+          {"snapshot-every", "seconds", "periodic AEVASRV checkpointing"},
+          {"snapshot-out", "path", "checkpoint target file"},
+          {"restore-from", "path", "resume from a checkpoint file"},
+          {"snapshot-sleep-ms", "N",
+           "hold the process N real ms at every checkpoint (smoke tests)"},
+          {"obs", "", "collect and print an observability summary"},
+          {"metrics-out", "path", "export the obs metrics as JSON"},
+      });
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+
+  serve::ArrivalStreamConfig stream_config;
+  stream_config.count =
+      static_cast<std::size_t>(args.get_int("requests", 2000));
+  stream_config.rate_rps = args.get_double("rate", 20.0);
+  stream_config.hold_mean_s = args.get_double("hold-mean", 60.0);
+  stream_config.deadline_slack_s = args.get_double("deadline-slack", 0.0);
+
+  serve::ServeConfig config;
+  config.server_count = static_cast<int>(args.get_int("servers", 60));
+  config.seed = seed;
+  config.proactive.alpha = args.get_double("alpha", 0.5);
+  config.queue.capacity =
+      static_cast<std::size_t>(args.get_int("queue-cap", 64));
+  config.queue.policy =
+      parse_shed_policy(args.get_string("shed-policy", "reject-newest"));
+  config.health.enabled = !args.has("no-health");
+  config.retry.enabled = !args.has("no-retry");
+  config.failure.mtbf_s = args.get_double("mtbf", 0.0);
+  const std::string failure_script = args.get_string("failure-script", "");
+  if (!failure_script.empty()) {
+    config.failure.script =
+        datacenter::read_failure_script_file(failure_script);
+  }
+  config.failure.enabled =
+      config.failure.mtbf_s > 0.0 || !config.failure.script.empty();
+  config.failure.seed = seed;
+  config.snapshot.every_s = args.get_double("snapshot-every", 0.0);
+  config.snapshot.path = args.get_string("snapshot-out", "");
+  const long long snapshot_sleep_ms = args.get_int("snapshot-sleep-ms", 0);
+  if (snapshot_sleep_ms > 0) {
+    config.snapshot.hook =
+        [snapshot_sleep_ms](const persist::ServeSnapshot&) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(snapshot_sleep_ms));
+        };
+  }
+  config.stop = [] { return g_drain_requested != 0; };
+
+  obs::ObsConfig obs_config;
+  obs_config.metrics_json_path = args.get_string("metrics-out", "");
+  obs_config.enabled =
+      args.has("obs") || !obs_config.metrics_json_path.empty();
+  config.obs = obs::Session::create(obs_config);
+
+  std::signal(SIGTERM, handle_drain_signal);
+  std::signal(SIGINT, handle_drain_signal);
+
+  std::cout << "building model database from the testbed campaign...\n";
+  modeldb::CampaignConfig campaign_config;
+  campaign_config.server = testbed::testbed_server();
+  const modeldb::ModelDatabase db =
+      modeldb::Campaign(campaign_config).build();
+
+  const std::vector<serve::ServeRequest> stream =
+      serve::generate_stream(stream_config, seed);
+  std::cout << "serving " << stream.size() << " requests at "
+            << util::format_fixed(stream_config.rate_rps, 1)
+            << " req/s on " << config.server_count << " servers (queue cap "
+            << config.queue.capacity << ", "
+            << serve::to_string(config.queue.policy) << ")...\n";
+
+  const serve::AllocationService service(db, config);
+  const std::string restore_from = args.get_string("restore-from", "");
+  serve::ServeResult result;
+  if (!restore_from.empty()) {
+    std::cout << "restoring checkpoint " << restore_from << "...\n";
+    const persist::ServeSnapshot snapshot =
+        persist::read_serve_snapshot_file(restore_from);
+    std::cout << "resuming from t=" << util::format_fixed(snapshot.now, 3)
+              << " s...\n";
+    result = service.resume(stream, snapshot);
+  } else {
+    result = service.run(stream);
+  }
+
+  const serve::ServeMetrics& m = result.metrics;
+  std::cout << "\nresults" << (result.drained ? " (drained)" : "") << ":\n"
+            << "  duration        : " << util::format_fixed(m.duration_s, 1)
+            << " s sim\n"
+            << "  offered/placed  : " << m.offered << "/" << m.placed
+            << " (goodput " << util::format_fixed(m.goodput_fraction, 3)
+            << ")\n"
+            << "  queue depth     : mean "
+            << util::format_fixed(m.mean_queue_depth, 2) << ", peak "
+            << util::format_fixed(m.peak_queue_depth, 0) << "\n"
+            << "  decision latency: mean "
+            << util::format_fixed(m.mean_decision_latency_s * 1e3, 2)
+            << " ms, max "
+            << util::format_fixed(m.max_decision_latency_s * 1e3, 2)
+            << " ms\n"
+            << "  breaker         : " << m.breaker_trips << " trip(s), "
+            << m.breaker_rearms << " re-arm(s); time degraded "
+            << util::format_fixed(m.time_in_mode_s[1], 1)
+            << " s, shedding "
+            << util::format_fixed(m.time_in_mode_s[2], 1) << " s\n"
+            << "  retries         : " << m.retries << " scheduled, "
+            << m.retries_exhausted << " exhausted\n"
+            << "  sheds/expired   : " << m.sheds << "/" << m.expired << "\n"
+            << "  crashes         : " << m.crashes << " (" << m.groups_lost
+            << " groups lost, " << m.restarts << " re-admitted)\n"
+            << "  rejections by reason:\n"
+            << reject_reason_table(m);
+
+  const std::string decision_log = args.get_string("decision-log", "");
+  if (!decision_log.empty()) {
+    util::write_file_atomic(decision_log,
+                            serve::render_decision_log(result.log));
+    std::cout << "wrote " << decision_log << " (" << result.log.size()
+              << " records)\n";
+  }
+  const std::string metrics_out = args.get_string("serve-metrics-out", "");
+  if (!metrics_out.empty()) {
+    util::write_file_atomic(metrics_out, serve::serve_metrics_json(m));
+    std::cout << "wrote " << metrics_out << "\n";
+  }
+  if (config.obs != nullptr) {
+    std::cout << "\nobservability snapshot:\n"
+              << obs::metrics_summary_table(config.obs->metrics().snapshot());
+    config.obs->export_files();
+    if (!obs_config.metrics_json_path.empty()) {
+      std::cout << "wrote " << obs_config.metrics_json_path << "\n";
+    }
+  }
+  return 0;
+}

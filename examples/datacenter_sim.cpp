@@ -105,8 +105,37 @@ std::string final_metrics_json(const aeva::datacenter::SimMetrics& m) {
       << "  \"vms_abandoned\": " << m.vms_abandoned << ",\n"
       << "  \"lost_work_s\": " << num(m.lost_work_s) << ",\n"
       << "  \"goodput_fraction\": " << num(m.goodput_fraction) << ",\n"
-      << "  \"fallback_allocations\": " << m.fallback_allocations << "\n"
+      << "  \"fallback_allocations\": " << m.fallback_allocations << ",\n"
+      << "  \"rejects_by_reason\": {";
+  for (std::size_t i = 0; i < aeva::core::kRejectReasonCount; ++i) {
+    out << (i == 0 ? "" : ", ") << '"'
+        << aeva::core::to_string(static_cast<aeva::core::RejectReason>(i))
+        << "\": " << m.rejects_by_reason[i];
+  }
+  out << "}\n"
       << "}\n";
+  return out.str();
+}
+
+/// Final-report table of allocator rejection events, one row per reason
+/// that fired, with its retryable/terminal classification.
+std::string reject_reason_table(const aeva::datacenter::SimMetrics& m) {
+  std::ostringstream out;
+  std::size_t total = 0;
+  for (const std::size_t tally : m.rejects_by_reason) {
+    total += tally;
+  }
+  out << "  rejections      : " << total << " event"
+      << (total == 1 ? "" : "s") << "\n";
+  for (std::size_t i = 0; i < aeva::core::kRejectReasonCount; ++i) {
+    if (m.rejects_by_reason[i] == 0) {
+      continue;
+    }
+    const auto reason = static_cast<aeva::core::RejectReason>(i);
+    out << "    " << aeva::core::to_string(reason) << " ("
+        << aeva::core::retry_class(reason)
+        << "): " << m.rejects_by_reason[i] << "\n";
+  }
   return out.str();
 }
 
@@ -114,7 +143,31 @@ std::string final_metrics_json(const aeva::datacenter::SimMetrics& m) {
 
 int main(int argc, char** argv) {
   using namespace aeva;
-  const util::Args args(argc, argv, {"obs"});
+  const util::Args args(
+      argc, argv,
+      "trace-driven cloud simulation under one of the paper's strategies",
+      {
+          {"strategy", "NAME", "FF | FF-2 | FF-3 | PA-1 | PA-0 | PA-0.5"},
+          {"servers", "N", "cloud size in rack servers"},
+          {"vms", "N", "target workload size in VMs"},
+          {"seed", "N", "workload synthesis seed"},
+          {"obs", "", "collect and print an observability summary"},
+          {"trace-out", "path", "export the event trace as JSONL"},
+          {"chrome-out", "path", "export a chrome://tracing trace"},
+          {"metrics-out", "path", "export the obs metrics as JSON"},
+          {"snapshot-every", "seconds",
+           "checkpoint the simulator state periodically"},
+          {"snapshot-out", "path", "checkpoint target file"},
+          {"restore-from", "path", "resume from a checkpoint file"},
+          {"final-metrics-out", "path",
+           "write the final SimMetrics as round-trip-exact JSON"},
+          {"snapshot-sleep-ms", "N",
+           "hold the process N real ms at every checkpoint (smoke tests)"},
+      });
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
   const std::string strategy_name = args.get_string("strategy", "PA-0.5");
   const int servers = static_cast<int>(args.get_int("servers", 60));
   const int target_vms = static_cast<int>(args.get_int("vms", 10000));
@@ -219,7 +272,8 @@ int main(int argc, char** argv) {
             << util::format_fixed(metrics.mean_wait_s, 0) << " s\n"
             << "  busy servers    : mean "
             << util::format_fixed(metrics.mean_busy_servers, 1) << ", peak "
-            << util::format_fixed(metrics.peak_busy_servers, 0) << "\n";
+            << util::format_fixed(metrics.peak_busy_servers, 0) << "\n"
+            << reject_reason_table(metrics);
 
   if (obs != nullptr) {
     std::cout << "\nobservability snapshot ("

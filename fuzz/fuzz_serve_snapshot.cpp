@@ -1,0 +1,87 @@
+/// \file fuzz_serve_snapshot.cpp
+/// Fuzz target for the serve-snapshot decoder (persist/serve_snapshot).
+///
+/// Contract: arbitrary bytes either decode into a ServeSnapshot or are
+/// rejected with a typed persist::SnapshotError (bad magic, version
+/// mismatch, truncation, CRC failure, malformed payload, out-of-range
+/// enums) — never UB, an untyped exception, or an unbounded allocation.
+/// Accepted snapshots must survive an encode → decode round trip that
+/// reproduces the identifying scalars bit for bit.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "persist/serve_snapshot.hpp"
+
+namespace {
+
+void expect(bool cond, const char* what) {
+  if (!cond) {
+    throw std::logic_error(
+        std::string("fuzz_serve_snapshot invariant failed: ") + what);
+  }
+}
+
+std::uint64_t bits(double value) {
+  std::uint64_t out = 0;
+  static_assert(sizeof(out) == sizeof(value));
+  __builtin_memcpy(&out, &value, sizeof(out));
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  aeva::persist::ServeSnapshot snapshot;
+  try {
+    snapshot = aeva::persist::decode_serve_snapshot(bytes);
+  } catch (const aeva::persist::SnapshotError&) {
+    return 0;  // typed rejection is the contract for malformed input
+  }
+
+  // Round trip: whatever the decoder accepted must re-encode and decode
+  // back to the same identifying state (bit-exact doubles included).
+  const std::string encoded =
+      aeva::persist::encode_serve_snapshot(snapshot);
+  aeva::persist::ServeSnapshot reparsed;
+  try {
+    reparsed = aeva::persist::decode_serve_snapshot(encoded);
+  } catch (const aeva::persist::SnapshotError&) {
+    expect(false, "encoder output must decode");
+  }
+  expect(reparsed.stream_fingerprint == snapshot.stream_fingerprint,
+         "round trip preserves stream fingerprint");
+  expect(reparsed.config_fingerprint == snapshot.config_fingerprint,
+         "round trip preserves config fingerprint");
+  expect(bits(reparsed.now) == bits(snapshot.now),
+         "round trip preserves clock bits");
+  expect(reparsed.next_arrival == snapshot.next_arrival,
+         "round trip preserves arrival cursor");
+  expect(reparsed.next_seq == snapshot.next_seq,
+         "round trip preserves event sequence counter");
+  expect(reparsed.servers.size() == snapshot.servers.size(),
+         "round trip preserves fleet size");
+  expect(reparsed.queue.size() == snapshot.queue.size(),
+         "round trip preserves queue depth");
+  expect(reparsed.retries.size() == snapshot.retries.size(),
+         "round trip preserves pending retries");
+  expect(reparsed.residents.size() == snapshot.residents.size(),
+         "round trip preserves resident groups");
+  expect(reparsed.log.size() == snapshot.log.size(),
+         "round trip preserves decision-log length");
+  expect(reparsed.retry_rng.words == snapshot.retry_rng.words,
+         "round trip preserves retry RNG position");
+  expect(bits(reparsed.health.latency_ewma_s) ==
+             bits(snapshot.health.latency_ewma_s),
+         "round trip preserves latency EWMA bits");
+  expect(reparsed.metrics.placed == snapshot.metrics.placed,
+         "round trip preserves placement tally");
+  expect(reparsed.metrics.rejects_by_reason ==
+             snapshot.metrics.rejects_by_reason,
+         "round trip preserves per-reason reject tallies");
+  return 0;
+}

@@ -61,7 +61,9 @@ enum class AllocationPath {
 };
 
 /// Why the primary strategy could not place a request (also attached to
-/// fallback results, recording what the fallback recovered from).
+/// fallback results, recording what the fallback recovered from). The
+/// serve layer (src/serve/) extends the taxonomy with admission-level
+/// rejections — a request can be turned away before any allocator runs.
 enum class RejectReason {
   kNone,                   ///< placed by the primary path
   kNoServers,              ///< empty server list — all masked or failed
@@ -69,7 +71,43 @@ enum class RejectReason {
   kSearchBudgetExhausted,  ///< partition budget hit before any candidate
   kQosInfeasible,          ///< candidates exist, all violate a deadline
   kGuardRejected,          ///< a decorator (power cap, …) vetoed the result
+  // --- admission-level rejections (src/serve/, docs/RESILIENCE.md) ---------
+  kAdmissionQueueFull,     ///< bounded admission queue at capacity
+  kAdmissionShed,          ///< load-shedding policy evicted/refused it
+  kDeadlineUnmeetable,     ///< predicted queueing delay exceeds the deadline
+  kDeadlineExpired,        ///< the deadline had already passed
+  kRetriesExhausted,       ///< retryable rejections, but no retry budget left
 };
+
+/// Number of RejectReason values (array-index bound for per-reason tallies).
+inline constexpr std::size_t kRejectReasonCount = 11;
+
+/// Retryable/terminal classification of a rejection (docs/RESILIENCE.md,
+/// "Overload protection"). **Retryable** means the condition is
+/// load-dependent: capacity frees up, servers repair, contention drops, a
+/// power cap lifts, the queue drains — a client-side retry with backoff
+/// (serve::RetryConfig) is meaningful. **Terminal** means retrying the
+/// same request cannot help: its deadline is gone or its retry budget is
+/// spent. `kNone` is not a rejection and classifies as terminal so nothing
+/// ever retries a placed request.
+[[nodiscard]] constexpr bool is_retryable(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNoServers:
+    case RejectReason::kNoFeasibleServer:
+    case RejectReason::kSearchBudgetExhausted:
+    case RejectReason::kQosInfeasible:
+    case RejectReason::kGuardRejected:
+    case RejectReason::kAdmissionQueueFull:
+    case RejectReason::kAdmissionShed:
+    case RejectReason::kDeadlineUnmeetable:
+      return true;
+    case RejectReason::kNone:
+    case RejectReason::kDeadlineExpired:
+    case RejectReason::kRetriesExhausted:
+      return false;
+  }
+  return false;
+}
 
 /// Degradation record of one allocation call: which path produced the
 /// placements and, when the primary failed, why. Callers and tests assert
@@ -104,8 +142,19 @@ struct AllocationOutcome {
       return "search-budget-exhausted";
     case RejectReason::kQosInfeasible: return "qos-infeasible";
     case RejectReason::kGuardRejected: return "guard-rejected";
+    case RejectReason::kAdmissionQueueFull: return "admission-queue-full";
+    case RejectReason::kAdmissionShed: return "admission-shed";
+    case RejectReason::kDeadlineUnmeetable: return "deadline-unmeetable";
+    case RejectReason::kDeadlineExpired: return "deadline-expired";
+    case RejectReason::kRetriesExhausted: return "retries-exhausted";
   }
   return "?";
+}
+
+/// "retryable" / "terminal" label for report tables (datacenter_sim,
+/// aeva_serve) — pairs with is_retryable() above.
+[[nodiscard]] constexpr const char* retry_class(RejectReason reason) noexcept {
+  return is_retryable(reason) ? "retryable" : "terminal";
 }
 
 /// Outcome of one allocation call.

@@ -437,6 +437,8 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
         if (sobs.admission_failures != nullptr) {
           sobs.admission_failures->add();
         }
+        ++metrics.rejects_by_reason[static_cast<std::size_t>(
+            result.outcome.reason)];
         return false;  // no room (or no QoS-feasible room) right now
       }
       AEVA_INVARIANT(result.placements.size() == request.size(),
@@ -511,6 +513,8 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       if (sobs.restart_failures != nullptr) {
         sobs.restart_failures->add();
       }
+      ++metrics.rejects_by_reason[static_cast<std::size_t>(
+          result.outcome.reason)];
       return false;
     }
     AEVA_INVARIANT(result.placements.size() == 1,
@@ -1006,6 +1010,10 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     m.lost_work_s = metrics.lost_work_s;
     m.goodput_fraction = metrics.goodput_fraction;
     m.fallback_allocations = metrics.fallback_allocations;
+    m.rejects_by_reason.reserve(metrics.rejects_by_reason.size());
+    for (const std::size_t tally : metrics.rejects_by_reason) {
+      m.rejects_by_reason.push_back(static_cast<std::uint64_t>(tally));
+    }
     m.completions.reserve(metrics.completions.size());
     for (const VmCompletion& c : metrics.completions) {
       m.completions.push_back(persist::CompletionState{
@@ -1161,6 +1169,16 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     metrics.goodput_fraction = m.goodput_fraction;
     metrics.fallback_allocations =
         static_cast<std::size_t>(m.fallback_allocations);
+    if (m.rejects_by_reason.size() != metrics.rejects_by_reason.size()) {
+      throw persist::SnapshotMismatchError(
+          "snapshot carries " + std::to_string(m.rejects_by_reason.size()) +
+          " reject-reason tallies; this build knows " +
+          std::to_string(metrics.rejects_by_reason.size()));
+    }
+    for (std::size_t i = 0; i < metrics.rejects_by_reason.size(); ++i) {
+      metrics.rejects_by_reason[i] =
+          static_cast<std::size_t>(m.rejects_by_reason[i]);
+    }
     metrics.completions.clear();
     metrics.completions.reserve(m.completions.size());
     for (const persist::CompletionState& c : m.completions) {

@@ -24,6 +24,7 @@
 /// ("we do not consider the overhead for scheduling and resource
 /// provisioning").
 
+#include <array>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -177,6 +178,11 @@ struct SimMetrics {
   /// Requests placed via an allocator's degradation fallback
   /// (AllocationPath::kFallbackFirstFit).
   std::size_t fallback_allocations = 0;
+  /// Allocator rejection events tallied by reason (index =
+  /// core::RejectReason value); includes transient rejections of jobs
+  /// that were later placed on retry. datacenter_sim renders this with
+  /// each reason's retryable/terminal classification.
+  std::array<std::size_t, core::kRejectReasonCount> rejects_by_reason{};
   /// Per-VM lifecycle records; populated only with
   /// CloudConfig::record_completions.
   std::vector<VmCompletion> completions;

@@ -1,0 +1,426 @@
+#include "persist/serve_snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "persist/wire.hpp"
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+
+namespace aeva::persist {
+
+namespace {
+
+using wire::kHeaderSize;
+using wire::put_bool;
+using wire::put_class_counts;
+using wire::put_f64;
+using wire::put_failure_state;
+using wire::put_i32;
+using wire::put_i64;
+using wire::put_rng_state;
+using wire::put_stats_state;
+using wire::put_u32;
+using wire::put_u64;
+using wire::read_class_counts;
+using wire::read_failure_state;
+using wire::read_profile;
+using wire::read_rng_state;
+using wire::read_stats_state;
+using wire::Reader;
+
+constexpr char kMagic[8] = {'A', 'E', 'V', 'A', 'S', 'R', 'V', '\0'};
+
+std::int32_t read_small_enum(Reader& in, std::int32_t limit,
+                             const char* what) {
+  const std::int32_t v = in.i32();
+  if (v < 0 || v >= limit) {
+    throw SnapshotFormatError(std::string("serve snapshot ") + what + " " +
+                              std::to_string(v) + " out of range");
+  }
+  return v;
+}
+
+void put_request(std::string& out, const ServeRequestState& r) {
+  put_i64(out, r.id);
+  put_f64(out, r.arrival_s);
+  put_i32(out, r.klass);
+  put_i32(out, r.profile);
+  put_i32(out, r.vm_count);
+  put_f64(out, r.qos_time_s);
+  put_f64(out, r.deadline_s);
+  put_f64(out, r.hold_s);
+  put_f64(out, r.release_at_s);
+}
+
+constexpr std::size_t kRequestWireSize = 8 + 4 * 3 + 8 * 5;
+
+ServeRequestState read_request(Reader& in) {
+  ServeRequestState r;
+  r.id = in.i64();
+  r.arrival_s = in.f64();
+  r.klass = read_small_enum(in, 16, "priority class");
+  r.profile = read_profile(in);
+  r.vm_count = in.i32();
+  if (r.vm_count < 1) {
+    throw SnapshotFormatError("serve snapshot request carries vm_count " +
+                              std::to_string(r.vm_count));
+  }
+  r.qos_time_s = in.f64();
+  r.deadline_s = in.f64();
+  r.hold_s = in.f64();
+  r.release_at_s = in.f64();
+  return r;
+}
+
+void encode_payload(std::string& out, const ServeSnapshot& s) {
+  put_u64(out, s.stream_fingerprint);
+  put_u64(out, s.config_fingerprint);
+  put_f64(out, s.now);
+  put_u64(out, s.next_arrival);
+  put_u64(out, s.next_seq);
+  put_i64(out, s.next_vm_id);
+  put_f64(out, s.next_snapshot_s);
+  put_f64(out, s.depth_changed_s);
+
+  put_u64(out, s.servers.size());
+  for (const ServeServerState& server : s.servers) {
+    put_class_counts(out, server.alloc);
+    put_bool(out, server.powered);
+    put_bool(out, server.down);
+  }
+
+  put_u64(out, s.queue.size());
+  for (const ServeQueuedState& q : s.queue) {
+    put_request(out, q.request);
+    put_f64(out, q.enqueue_s);
+    put_i32(out, q.attempt);
+  }
+
+  put_u64(out, s.retries.size());
+  for (const ServeRetryState& r : s.retries) {
+    put_request(out, r.request);
+    put_f64(out, r.at_s);
+    put_u64(out, r.seq);
+    put_i32(out, r.attempt);
+  }
+
+  put_u64(out, s.releases.size());
+  for (const ServeReleaseState& r : s.releases) {
+    put_i64(out, r.group_id);
+    put_f64(out, r.at_s);
+    put_u64(out, r.seq);
+  }
+
+  put_u64(out, s.repairs.size());
+  for (const ServeRepairState& r : s.repairs) {
+    put_i32(out, r.server);
+    put_f64(out, r.at_s);
+    put_u64(out, r.seq);
+  }
+
+  put_u64(out, s.residents.size());
+  for (const ServeResidentState& r : s.residents) {
+    put_i64(out, r.group_id);
+    put_i32(out, r.klass);
+    put_i32(out, r.profile);
+    put_f64(out, r.qos_time_s);
+    put_f64(out, r.release_s);
+    put_u64(out, r.servers.size());
+    for (const std::int32_t server : r.servers) {
+      put_i32(out, server);
+    }
+  }
+
+  put_i32(out, s.health.rung);
+  put_i32(out, s.health.breach_streak);
+  put_i32(out, s.health.healthy_streak);
+  put_f64(out, s.health.latency_ewma_s);
+  put_f64(out, s.health.mode_since_s);
+
+  put_rng_state(out, s.retry_rng);
+  put_failure_state(out, s.failure);
+
+  const ServeMetricsState& m = s.metrics;
+  put_u64(out, m.offered);
+  put_u64(out, m.arrivals);
+  put_u64(out, m.admitted);
+  put_u64(out, m.placed);
+  put_u64(out, m.placed_fallback);
+  put_u64(out, m.placed_degraded);
+  put_u64(out, m.rejected_final);
+  put_u64(out, m.sheds);
+  put_u64(out, m.expired);
+  put_u64(out, m.retries);
+  put_u64(out, m.retries_exhausted);
+  put_u64(out, m.invalidated);
+  put_u64(out, m.breaker_trips);
+  put_u64(out, m.breaker_rearms);
+  put_u64(out, m.crashes);
+  put_u64(out, m.groups_lost);
+  put_u64(out, m.restarts);
+  put_u64(out, m.rejects_by_reason.size());
+  for (const std::uint64_t n : m.rejects_by_reason) {
+    put_u64(out, n);
+  }
+  put_u64(out, m.time_in_mode_s.size());
+  for (const double t : m.time_in_mode_s) {
+    put_f64(out, t);
+  }
+  put_f64(out, m.queue_depth_integral);
+  put_f64(out, m.peak_queue_depth);
+
+  put_stats_state(out, s.latency_stats);
+  put_stats_state(out, s.wait_stats);
+
+  put_u64(out, s.log.size());
+  for (const ServeDecisionState& rec : s.log) {
+    put_f64(out, rec.t);
+    put_i64(out, rec.request_id);
+    put_i32(out, rec.attempt);
+    put_i32(out, rec.klass);
+    put_i32(out, rec.event);
+    put_i32(out, rec.mode);
+    put_i32(out, rec.path);
+    put_i32(out, rec.reason);
+    put_f64(out, rec.wait_s);
+    put_f64(out, rec.latency_s);
+    put_f64(out, rec.retry_at_s);
+    put_u64(out, rec.servers.size());
+    for (const std::int32_t server : rec.servers) {
+      put_i32(out, server);
+    }
+  }
+}
+
+ServeSnapshot decode_payload(Reader& in) {
+  ServeSnapshot s;
+  s.stream_fingerprint = in.u64();
+  s.config_fingerprint = in.u64();
+  s.now = in.f64();
+  s.next_arrival = in.u64();
+  s.next_seq = in.u64();
+  s.next_vm_id = in.i64();
+  s.next_snapshot_s = in.f64();
+  s.depth_changed_s = in.f64();
+
+  const std::size_t n_servers = in.count(12 + 2);
+  s.servers.reserve(n_servers);
+  for (std::size_t i = 0; i < n_servers; ++i) {
+    ServeServerState server;
+    server.alloc = read_class_counts(in);
+    server.powered = in.boolean();
+    server.down = in.boolean();
+    s.servers.push_back(server);
+  }
+
+  const std::size_t n_queue = in.count(kRequestWireSize + 8 + 4);
+  s.queue.reserve(n_queue);
+  for (std::size_t i = 0; i < n_queue; ++i) {
+    ServeQueuedState q;
+    q.request = read_request(in);
+    q.enqueue_s = in.f64();
+    q.attempt = in.i32();
+    s.queue.push_back(q);
+  }
+
+  const std::size_t n_retries = in.count(kRequestWireSize + 8 + 8 + 4);
+  s.retries.reserve(n_retries);
+  for (std::size_t i = 0; i < n_retries; ++i) {
+    ServeRetryState r;
+    r.request = read_request(in);
+    r.at_s = in.f64();
+    r.seq = in.u64();
+    r.attempt = in.i32();
+    s.retries.push_back(r);
+  }
+
+  const std::size_t n_releases = in.count(8 * 3);
+  s.releases.reserve(n_releases);
+  for (std::size_t i = 0; i < n_releases; ++i) {
+    ServeReleaseState r;
+    r.group_id = in.i64();
+    r.at_s = in.f64();
+    r.seq = in.u64();
+    s.releases.push_back(r);
+  }
+
+  const std::size_t n_repairs = in.count(4 + 8 + 8);
+  s.repairs.reserve(n_repairs);
+  for (std::size_t i = 0; i < n_repairs; ++i) {
+    ServeRepairState r;
+    r.server = in.i32();
+    r.at_s = in.f64();
+    r.seq = in.u64();
+    s.repairs.push_back(r);
+  }
+
+  const std::size_t n_residents = in.count(8 + 4 * 2 + 8 * 2 + 8);
+  s.residents.reserve(n_residents);
+  for (std::size_t i = 0; i < n_residents; ++i) {
+    ServeResidentState r;
+    r.group_id = in.i64();
+    r.klass = read_small_enum(in, 16, "priority class");
+    r.profile = read_profile(in);
+    r.qos_time_s = in.f64();
+    r.release_s = in.f64();
+    const std::size_t n_vm = in.count(4);
+    r.servers.reserve(n_vm);
+    for (std::size_t v = 0; v < n_vm; ++v) {
+      r.servers.push_back(in.i32());
+    }
+    s.residents.push_back(std::move(r));
+  }
+
+  s.health.rung = read_small_enum(in, 3, "ladder rung");
+  s.health.breach_streak = in.i32();
+  s.health.healthy_streak = in.i32();
+  s.health.latency_ewma_s = in.f64();
+  s.health.mode_since_s = in.f64();
+
+  s.retry_rng = read_rng_state(in);
+  s.failure = read_failure_state(in);
+
+  ServeMetricsState& m = s.metrics;
+  m.offered = in.u64();
+  m.arrivals = in.u64();
+  m.admitted = in.u64();
+  m.placed = in.u64();
+  m.placed_fallback = in.u64();
+  m.placed_degraded = in.u64();
+  m.rejected_final = in.u64();
+  m.sheds = in.u64();
+  m.expired = in.u64();
+  m.retries = in.u64();
+  m.retries_exhausted = in.u64();
+  m.invalidated = in.u64();
+  m.breaker_trips = in.u64();
+  m.breaker_rearms = in.u64();
+  m.crashes = in.u64();
+  m.groups_lost = in.u64();
+  m.restarts = in.u64();
+  const std::size_t n_reasons = in.count(8);
+  m.rejects_by_reason.reserve(n_reasons);
+  for (std::size_t i = 0; i < n_reasons; ++i) {
+    m.rejects_by_reason.push_back(in.u64());
+  }
+  const std::size_t n_modes = in.count(8);
+  m.time_in_mode_s.reserve(n_modes);
+  for (std::size_t i = 0; i < n_modes; ++i) {
+    m.time_in_mode_s.push_back(in.f64());
+  }
+  m.queue_depth_integral = in.f64();
+  m.peak_queue_depth = in.f64();
+
+  s.latency_stats = read_stats_state(in);
+  s.wait_stats = read_stats_state(in);
+
+  const std::size_t n_log = in.count(8 * 5 + 4 * 6 + 8);
+  s.log.reserve(n_log);
+  for (std::size_t i = 0; i < n_log; ++i) {
+    ServeDecisionState rec;
+    rec.t = in.f64();
+    rec.request_id = in.i64();
+    rec.attempt = in.i32();
+    rec.klass = in.i32();
+    rec.event = read_small_enum(in, 3, "decision event");
+    rec.mode = read_small_enum(in, 3, "decision mode");
+    rec.path = read_small_enum(in, 3, "allocation path");
+    // 16 is a generous structural bound; the serve layer re-validates the
+    // value against core::kRejectReasonCount on restore (persist stays
+    // below core in the layering).
+    rec.reason = read_small_enum(in, 16, "reject reason");
+    rec.wait_s = in.f64();
+    rec.latency_s = in.f64();
+    rec.retry_at_s = in.f64();
+    const std::size_t n_srv = in.count(4);
+    rec.servers.reserve(n_srv);
+    for (std::size_t v = 0; v < n_srv; ++v) {
+      rec.servers.push_back(in.i32());
+    }
+    s.log.push_back(std::move(rec));
+  }
+
+  return s;
+}
+
+}  // namespace
+
+std::string encode_serve_snapshot(const ServeSnapshot& snapshot) {
+  std::string payload;
+  payload.reserve(1024 + snapshot.servers.size() * 16 +
+                  snapshot.queue.size() * 64 + snapshot.log.size() * 96);
+  encode_payload(payload, snapshot);
+
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kServeSnapshotVersion);
+  put_u64(out, payload.size());
+  put_u32(out, util::crc32(payload));
+  out += payload;
+  return out;
+}
+
+ServeSnapshot decode_serve_snapshot(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize) {
+    throw SnapshotFormatError("serve snapshot shorter than its " +
+                              std::to_string(kHeaderSize) + "-byte header (" +
+                              std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw SnapshotFormatError("serve snapshot magic mismatch (not AEVASRV)");
+  }
+  Reader header(bytes.substr(sizeof(kMagic)));
+  const std::uint32_t version = header.u32();
+  if (version != kServeSnapshotVersion) {
+    throw SnapshotVersionError(version, kServeSnapshotVersion);
+  }
+  const std::uint64_t payload_size = header.u64();
+  const std::uint32_t checksum = header.u32();
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (payload_size != payload.size()) {
+    throw SnapshotFormatError(
+        "serve snapshot payload length mismatch: header says " +
+        std::to_string(payload_size) + ", file carries " +
+        std::to_string(payload.size()));
+  }
+  if (util::crc32(payload) != checksum) {
+    throw SnapshotFormatError(
+        "serve snapshot checksum mismatch (corrupt payload)");
+  }
+  Reader in(payload);
+  ServeSnapshot snapshot = decode_payload(in);
+  if (in.remaining() != 0) {
+    throw SnapshotFormatError("serve snapshot payload has " +
+                              std::to_string(in.remaining()) +
+                              " trailing bytes");
+  }
+  return snapshot;
+}
+
+void write_serve_snapshot_file(const std::string& path,
+                               const ServeSnapshot& snapshot) {
+  try {
+    util::write_file_atomic(path, encode_serve_snapshot(snapshot));
+  } catch (const util::FileWriteError& error) {
+    throw SnapshotIoError(std::string("cannot write serve snapshot: ") +
+                          error.what());
+  }
+}
+
+ServeSnapshot read_serve_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotIoError("cannot read serve snapshot: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw SnapshotIoError("error while reading serve snapshot: " + path);
+  }
+  return decode_serve_snapshot(buffer.str());
+}
+
+}  // namespace aeva::persist

@@ -1,0 +1,199 @@
+#pragma once
+
+/// \file serve_snapshot.hpp
+/// Crash-safe durability for the long-lived allocation service
+/// (src/serve/, docs/RESILIENCE.md "Overload protection").
+///
+/// A `ServeSnapshot` is a complete copy of `serve::AllocationService`'s
+/// mutable state at a decision boundary (no decision in flight): the
+/// fleet, the bounded admission queue, every resident placement and its
+/// pending release, scheduled client retries, the health controller /
+/// degradation-ladder state, the retry-jitter RNG position, the failure
+/// schedule cursor, the half-built metrics, and the decision log so far.
+/// Restoring it into `AllocationService::resume` continues the run
+/// **bit-identically**: the resumed run's final decision log and metrics
+/// match the uninterrupted run byte for byte (the serve section of
+/// tools/kill_resume_smoke.sh SIGKILLs a live service to prove it).
+///
+/// On disk the format mirrors AEVASNAP with its own magic:
+///
+///     magic "AEVASRV\0" (8) | version u32 | payload length u64 |
+///     CRC-32 of payload u32 | payload (little-endian)
+///
+/// written atomically (temp + fsync + rename), decoded fully
+/// bounds-checked; corrupt or mismatched inputs raise the same typed
+/// `SnapshotError` hierarchy as simulator snapshots (snapshot.hpp).
+///
+/// Like SimSnapshot, this header sits *below* the serve layer: mirror
+/// structs only — serve converts its internal state to and from them.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "persist/snapshot.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/profile.hpp"
+
+namespace aeva::persist {
+
+/// Current serve-snapshot format version (exact-match policy, as with
+/// kSnapshotVersion). Bump on any layout change.
+inline constexpr std::uint32_t kServeSnapshotVersion = 1;
+
+/// One request, as carried in queues / pending retries.
+struct ServeRequestState {
+  std::int64_t id = 0;
+  double arrival_s = 0.0;
+  std::int32_t klass = 0;
+  std::int32_t profile = 0;  ///< workload::ProfileClass, validated 0..2
+  std::int32_t vm_count = 1;
+  double qos_time_s = 0.0;
+  double deadline_s = 0.0;
+  double hold_s = 0.0;
+  double release_at_s = 0.0;  ///< NaN = derive from hold_s (see serve)
+};
+
+/// One admission-queue entry, FCFS order.
+struct ServeQueuedState {
+  ServeRequestState request;
+  double enqueue_s = 0.0;
+  std::int32_t attempt = 0;
+};
+
+/// One scheduled client retry (a future arrival event).
+struct ServeRetryState {
+  ServeRequestState request;
+  double at_s = 0.0;
+  std::uint64_t seq = 0;  ///< event tie-break sequence number
+  std::int32_t attempt = 0;
+};
+
+/// One pending capacity release of a placed group.
+struct ServeReleaseState {
+  std::int64_t group_id = 0;
+  double at_s = 0.0;
+  std::uint64_t seq = 0;
+};
+
+/// One pending server repair.
+struct ServeRepairState {
+  std::int32_t server = 0;
+  double at_s = 0.0;
+  std::uint64_t seq = 0;
+};
+
+/// One resident placed group (capacity holder).
+struct ServeResidentState {
+  std::int64_t group_id = 0;
+  std::int32_t klass = 0;
+  std::int32_t profile = 0;
+  double qos_time_s = 0.0;
+  double release_s = 0.0;  ///< absolute release instant (+inf = forever)
+  std::vector<std::int32_t> servers;  ///< one entry per VM
+};
+
+/// One server of the service fleet.
+struct ServeServerState {
+  workload::ClassCounts alloc;
+  bool powered = false;
+  bool down = false;
+};
+
+/// Hysteresis health controller / degradation ladder state.
+struct ServeHealthState {
+  std::int32_t rung = 0;  ///< serve::ServeMode, validated 0..2
+  std::int32_t breach_streak = 0;
+  std::int32_t healthy_streak = 0;
+  double latency_ewma_s = 0.0;
+  double mode_since_s = 0.0;
+};
+
+/// One journaled decision-log record (mirror of serve::DecisionRecord).
+struct ServeDecisionState {
+  double t = 0.0;
+  std::int64_t request_id = 0;
+  std::int32_t attempt = 0;
+  std::int32_t klass = 0;
+  std::int32_t event = 0;   ///< serve::DecisionEvent, validated 0..2
+  std::int32_t mode = 0;    ///< serve::ServeMode, validated 0..2
+  std::int32_t path = 0;    ///< core::AllocationPath, validated 0..2
+  std::int32_t reason = 0;  ///< core::RejectReason, validated
+  double wait_s = 0.0;
+  double latency_s = 0.0;
+  double retry_at_s = -1.0;
+  std::vector<std::int32_t> servers;
+};
+
+/// The half-built serve metrics (mirror of serve::ServeMetrics).
+struct ServeMetricsState {
+  std::uint64_t offered = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t placed = 0;
+  std::uint64_t placed_fallback = 0;
+  std::uint64_t placed_degraded = 0;
+  std::uint64_t rejected_final = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retries_exhausted = 0;
+  std::uint64_t invalidated = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_rearms = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t groups_lost = 0;
+  std::uint64_t restarts = 0;
+  std::vector<std::uint64_t> rejects_by_reason;  ///< core::kRejectReasonCount
+  std::vector<double> time_in_mode_s;            ///< serve::kServeModeCount
+  double queue_depth_integral = 0.0;
+  double peak_queue_depth = 0.0;
+};
+
+/// Complete service state at one decision boundary.
+struct ServeSnapshot {
+  std::uint64_t stream_fingerprint = 0;
+  std::uint64_t config_fingerprint = 0;
+
+  double now = 0.0;              ///< sim time of the checkpoint
+  std::uint64_t next_arrival = 0;  ///< cursor into the arrival stream
+  std::uint64_t next_seq = 0;      ///< event tie-break counter
+  std::int64_t next_vm_id = 1;     ///< next VM id handed to the allocator
+  double next_snapshot_s = 0.0;    ///< next periodic checkpoint due time
+  double depth_changed_s = 0.0;    ///< last queue-depth change instant
+
+  std::vector<ServeServerState> servers;
+  std::vector<ServeQueuedState> queue;
+  std::vector<ServeRetryState> retries;
+  std::vector<ServeReleaseState> releases;
+  std::vector<ServeRepairState> repairs;
+  std::vector<ServeResidentState> residents;
+
+  ServeHealthState health;
+  util::Rng::State retry_rng;
+  FailureScheduleState failure;
+  ServeMetricsState metrics;
+  util::RunningStats::State latency_stats;
+  util::RunningStats::State wait_stats;
+  std::vector<ServeDecisionState> log;
+};
+
+/// Serializes a serve snapshot to the on-disk byte format.
+[[nodiscard]] std::string encode_serve_snapshot(const ServeSnapshot& snapshot);
+
+/// Parses serve-snapshot bytes; throws SnapshotFormatError /
+/// SnapshotVersionError exactly as decode_snapshot does. Never UB on
+/// arbitrary bytes (fuzz/fuzz_serve_snapshot exercises this).
+[[nodiscard]] ServeSnapshot decode_serve_snapshot(std::string_view bytes);
+
+/// Atomically writes `snapshot` to `path`; throws SnapshotIoError.
+void write_serve_snapshot_file(const std::string& path,
+                               const ServeSnapshot& snapshot);
+
+/// Reads and decodes a serve snapshot file; throws SnapshotIoError when
+/// unreadable, plus everything decode_serve_snapshot throws.
+[[nodiscard]] ServeSnapshot read_serve_snapshot_file(const std::string& path);
+
+}  // namespace aeva::persist

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "persist/wire.hpp"
 #include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
 
@@ -12,195 +13,23 @@ namespace aeva::persist {
 
 namespace {
 
+using wire::kHeaderSize;
+using wire::put_bool;
+using wire::put_class_counts;
+using wire::put_f64;
+using wire::put_failure_state;
+using wire::put_i32;
+using wire::put_i64;
+using wire::put_stats_state;
+using wire::put_u32;
+using wire::put_u64;
+using wire::read_class_counts;
+using wire::read_failure_state;
+using wire::read_profile;
+using wire::read_stats_state;
+using wire::Reader;
+
 constexpr char kMagic[8] = {'A', 'E', 'V', 'A', 'S', 'N', 'A', 'P'};
-constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 4;
-
-// --- little-endian primitives ----------------------------------------------
-
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void put_i64(std::string& out, std::int64_t v) {
-  put_u64(out, static_cast<std::uint64_t>(v));
-}
-
-void put_i32(std::string& out, std::int32_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v));
-}
-
-void put_f64(std::string& out, double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  put_u64(out, bits);
-}
-
-void put_bool(std::string& out, bool v) {
-  out.push_back(v ? '\x01' : '\x00');
-}
-
-/// Bounds-checked sequential reader over the payload. Every accessor
-/// throws SnapshotFormatError instead of reading out of range, so a
-/// decoder fed arbitrary bytes can only ever fail cleanly.
-class Reader {
- public:
-  explicit Reader(std::string_view data) : data_(data) {}
-
-  [[nodiscard]] std::size_t remaining() const noexcept {
-    return data_.size() - pos_;
-  }
-
-  [[nodiscard]] std::uint8_t u8() {
-    need(1);
-    return static_cast<std::uint8_t>(data_[pos_++]);
-  }
-
-  [[nodiscard]] std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(
-               static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  [[nodiscard]] std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(
-               static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-
-  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-
-  [[nodiscard]] double f64() {
-    const std::uint64_t bits = u64();
-    double v = 0.0;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-
-  [[nodiscard]] bool boolean() {
-    const std::uint8_t v = u8();
-    if (v > 1) {
-      throw SnapshotFormatError("snapshot boolean field holds " +
-                                std::to_string(v));
-    }
-    return v == 1;
-  }
-
-  /// Element count of a variable-length section; rejected up front when
-  /// even minimally-sized elements could not fit in the remaining bytes,
-  /// so a corrupt count can never trigger a huge allocation.
-  [[nodiscard]] std::size_t count(std::size_t min_element_size) {
-    const std::uint64_t n = u64();
-    const std::size_t limit =
-        min_element_size == 0 ? remaining() : remaining() / min_element_size;
-    if (n > limit) {
-      throw SnapshotFormatError(
-          "snapshot section claims " + std::to_string(n) +
-          " elements but only " + std::to_string(remaining()) +
-          " bytes remain");
-    }
-    return static_cast<std::size_t>(n);
-  }
-
- private:
-  void need(std::size_t bytes) const {
-    if (remaining() < bytes) {
-      throw SnapshotFormatError("snapshot payload truncated at byte " +
-                                std::to_string(pos_));
-    }
-  }
-
-  std::string_view data_;
-  std::size_t pos_ = 0;
-};
-
-// --- compound fields --------------------------------------------------------
-
-std::int32_t read_profile(Reader& in) {
-  const std::int32_t p = in.i32();
-  if (p < 0 || p >= static_cast<std::int32_t>(workload::kProfileClassCount)) {
-    throw SnapshotFormatError("snapshot profile class " + std::to_string(p) +
-                              " out of range");
-  }
-  return p;
-}
-
-void put_class_counts(std::string& out, const workload::ClassCounts& c) {
-  put_i32(out, c.cpu);
-  put_i32(out, c.mem);
-  put_i32(out, c.io);
-}
-
-workload::ClassCounts read_class_counts(Reader& in) {
-  workload::ClassCounts c;
-  c.cpu = in.i32();
-  c.mem = in.i32();
-  c.io = in.i32();
-  if (c.cpu < 0 || c.mem < 0 || c.io < 0) {
-    throw SnapshotFormatError("snapshot class counts are negative");
-  }
-  return c;
-}
-
-void put_rng_state(std::string& out, const util::Rng::State& s) {
-  for (const std::uint64_t word : s.words) {
-    put_u64(out, word);
-  }
-  put_f64(out, s.cached_normal);
-  put_bool(out, s.has_cached_normal);
-}
-
-util::Rng::State read_rng_state(Reader& in) {
-  util::Rng::State s;
-  for (std::uint64_t& word : s.words) {
-    word = in.u64();
-  }
-  s.cached_normal = in.f64();
-  s.has_cached_normal = in.boolean();
-  return s;
-}
-
-void put_stats_state(std::string& out, const util::RunningStats::State& s) {
-  put_u64(out, s.count);
-  put_f64(out, s.mean);
-  put_f64(out, s.m2);
-  put_f64(out, s.sum);
-  put_f64(out, s.min);
-  put_f64(out, s.max);
-}
-
-util::RunningStats::State read_stats_state(Reader& in) {
-  util::RunningStats::State s;
-  s.count = static_cast<std::size_t>(in.u64());
-  s.mean = in.f64();
-  s.m2 = in.f64();
-  s.sum = in.f64();
-  s.min = in.f64();
-  s.max = in.f64();
-  return s;
-}
 
 void encode_payload(std::string& out, const SimSnapshot& s) {
   put_u64(out, s.workload_fingerprint);
@@ -297,6 +126,10 @@ void encode_payload(std::string& out, const SimSnapshot& s) {
   put_f64(out, m.lost_work_s);
   put_f64(out, m.goodput_fraction);
   put_u64(out, m.fallback_allocations);
+  put_u64(out, m.rejects_by_reason.size());
+  for (const std::uint64_t n : m.rejects_by_reason) {
+    put_u64(out, n);
+  }
   put_u64(out, m.completions.size());
   for (const CompletionState& c : m.completions) {
     put_i64(out, c.vm_id);
@@ -311,15 +144,7 @@ void encode_payload(std::string& out, const SimSnapshot& s) {
   put_stats_state(out, s.response_stats);
   put_stats_state(out, s.wait_stats);
 
-  put_u64(out, s.failure.script_next);
-  put_u64(out, s.failure.streams.size());
-  for (const util::Rng::State& stream : s.failure.streams) {
-    put_rng_state(out, stream);
-  }
-  put_u64(out, s.failure.sampled_next.size());
-  for (const double next : s.failure.sampled_next) {
-    put_f64(out, next);
-  }
+  put_failure_state(out, s.failure);
 }
 
 SimSnapshot decode_payload(Reader& in) {
@@ -434,6 +259,11 @@ SimSnapshot decode_payload(Reader& in) {
   m.lost_work_s = in.f64();
   m.goodput_fraction = in.f64();
   m.fallback_allocations = in.u64();
+  const std::size_t n_reject_reasons = in.count(8);
+  m.rejects_by_reason.reserve(n_reject_reasons);
+  for (std::size_t i = 0; i < n_reject_reasons; ++i) {
+    m.rejects_by_reason.push_back(in.u64());
+  }
   const std::size_t n_completions = in.count(8 * 5 + 4 * 2);
   m.completions.reserve(n_completions);
   for (std::size_t i = 0; i < n_completions; ++i) {
@@ -451,17 +281,7 @@ SimSnapshot decode_payload(Reader& in) {
   s.response_stats = read_stats_state(in);
   s.wait_stats = read_stats_state(in);
 
-  s.failure.script_next = in.u64();
-  const std::size_t n_streams = in.count(8 * 5 + 1);
-  s.failure.streams.reserve(n_streams);
-  for (std::size_t i = 0; i < n_streams; ++i) {
-    s.failure.streams.push_back(read_rng_state(in));
-  }
-  const std::size_t n_sampled = in.count(8);
-  s.failure.sampled_next.reserve(n_sampled);
-  for (std::size_t i = 0; i < n_sampled; ++i) {
-    s.failure.sampled_next.push_back(in.f64());
-  }
+  s.failure = read_failure_state(in);
 
   return s;
 }

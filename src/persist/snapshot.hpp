@@ -44,7 +44,8 @@ namespace aeva::persist {
 /// rejects every other version (older *and* newer) with a
 /// SnapshotVersionError — resuming is only defined against the binary
 /// layout the writer used. Bump on any layout change.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2: MetricsState gained per-reason rejection tallies.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Base of every snapshot failure; catch this to handle "could not load a
 /// snapshot" uniformly.
@@ -174,6 +175,8 @@ struct MetricsState {
   double lost_work_s = 0.0;
   double goodput_fraction = 1.0;
   std::uint64_t fallback_allocations = 0;
+  /// Admission rejections by core::RejectReason (index = enum value).
+  std::vector<std::uint64_t> rejects_by_reason;
   std::vector<CompletionState> completions;
 };
 

@@ -1,0 +1,245 @@
+#pragma once
+
+/// \file wire.hpp
+/// Shared little-endian wire primitives of the snapshot codecs
+/// (persist-internal). Both the simulator snapshot ("AEVASNAP",
+/// snapshot.cpp) and the serve snapshot ("AEVASRV\0", serve_snapshot.cpp)
+/// encode through these writers and decode through the bounds-checked
+/// `Reader`, so the two formats can never drift in primitive layout and
+/// a corrupt input of either kind fails with the same typed
+/// `SnapshotError` hierarchy instead of undefined behaviour.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "persist/snapshot.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/profile.hpp"
+
+namespace aeva::persist::wire {
+
+/// Fixed header layout shared by both formats:
+/// magic (8) | version u32 | payload length u64 | payload CRC-32 u32.
+inline constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 4;
+
+// --- little-endian primitives ----------------------------------------------
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+inline void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+inline void put_bool(std::string& out, bool v) {
+  out.push_back(v ? '\x01' : '\x00');
+}
+
+/// Bounds-checked sequential reader over the payload. Every accessor
+/// throws SnapshotFormatError instead of reading out of range, so a
+/// decoder fed arbitrary bytes can only ever fail cleanly.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+               data_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+               data_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  [[nodiscard]] bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) {
+      throw SnapshotFormatError("snapshot boolean field holds " +
+                                std::to_string(v));
+    }
+    return v == 1;
+  }
+
+  /// Element count of a variable-length section; rejected up front when
+  /// even minimally-sized elements could not fit in the remaining bytes,
+  /// so a corrupt count can never trigger a huge allocation.
+  [[nodiscard]] std::size_t count(std::size_t min_element_size) {
+    const std::uint64_t n = u64();
+    const std::size_t limit =
+        min_element_size == 0 ? remaining() : remaining() / min_element_size;
+    if (n > limit) {
+      throw SnapshotFormatError(
+          "snapshot section claims " + std::to_string(n) +
+          " elements but only " + std::to_string(remaining()) +
+          " bytes remain");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (remaining() < bytes) {
+      throw SnapshotFormatError("snapshot payload truncated at byte " +
+                                std::to_string(pos_));
+    }
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- compound fields --------------------------------------------------------
+
+inline std::int32_t read_profile(Reader& in) {
+  const std::int32_t p = in.i32();
+  if (p < 0 || p >= static_cast<std::int32_t>(workload::kProfileClassCount)) {
+    throw SnapshotFormatError("snapshot profile class " + std::to_string(p) +
+                              " out of range");
+  }
+  return p;
+}
+
+inline void put_class_counts(std::string& out, const workload::ClassCounts& c) {
+  put_i32(out, c.cpu);
+  put_i32(out, c.mem);
+  put_i32(out, c.io);
+}
+
+inline workload::ClassCounts read_class_counts(Reader& in) {
+  workload::ClassCounts c;
+  c.cpu = in.i32();
+  c.mem = in.i32();
+  c.io = in.i32();
+  if (c.cpu < 0 || c.mem < 0 || c.io < 0) {
+    throw SnapshotFormatError("snapshot class counts are negative");
+  }
+  return c;
+}
+
+inline void put_rng_state(std::string& out, const util::Rng::State& s) {
+  for (const std::uint64_t word : s.words) {
+    put_u64(out, word);
+  }
+  put_f64(out, s.cached_normal);
+  put_bool(out, s.has_cached_normal);
+}
+
+inline util::Rng::State read_rng_state(Reader& in) {
+  util::Rng::State s;
+  for (std::uint64_t& word : s.words) {
+    word = in.u64();
+  }
+  s.cached_normal = in.f64();
+  s.has_cached_normal = in.boolean();
+  return s;
+}
+
+inline void put_stats_state(std::string& out,
+                            const util::RunningStats::State& s) {
+  put_u64(out, s.count);
+  put_f64(out, s.mean);
+  put_f64(out, s.m2);
+  put_f64(out, s.sum);
+  put_f64(out, s.min);
+  put_f64(out, s.max);
+}
+
+inline util::RunningStats::State read_stats_state(Reader& in) {
+  util::RunningStats::State s;
+  s.count = static_cast<std::size_t>(in.u64());
+  s.mean = in.f64();
+  s.m2 = in.f64();
+  s.sum = in.f64();
+  s.min = in.f64();
+  s.max = in.f64();
+  return s;
+}
+
+inline void put_failure_state(std::string& out, const FailureScheduleState& f) {
+  put_u64(out, f.script_next);
+  put_u64(out, f.streams.size());
+  for (const util::Rng::State& stream : f.streams) {
+    put_rng_state(out, stream);
+  }
+  put_u64(out, f.sampled_next.size());
+  for (const double next : f.sampled_next) {
+    put_f64(out, next);
+  }
+}
+
+inline FailureScheduleState read_failure_state(Reader& in) {
+  FailureScheduleState f;
+  f.script_next = in.u64();
+  const std::size_t n_streams = in.count(8 * 5 + 1);
+  f.streams.reserve(n_streams);
+  for (std::size_t i = 0; i < n_streams; ++i) {
+    f.streams.push_back(read_rng_state(in));
+  }
+  const std::size_t n_sampled = in.count(8);
+  f.sampled_next.reserve(n_sampled);
+  for (std::size_t i = 0; i < n_sampled; ++i) {
+    f.sampled_next.push_back(in.f64());
+  }
+  return f;
+}
+
+}  // namespace aeva::persist::wire

@@ -1,0 +1,161 @@
+#include "serve/request.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aeva::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Exact shortest-round-trip rendering of a double; "inf"/"-inf" for
+/// infinities so logs stay readable.
+std::string render_double(double value) {
+  if (std::isinf(value)) {
+    return value > 0 ? "inf" : "-inf";
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void ArrivalStreamConfig::validate() const {
+  AEVA_REQUIRE(rate_rps > 0.0 && std::isfinite(rate_rps),
+               "arrival rate must be positive and finite, got ", rate_rps);
+  AEVA_REQUIRE(min_vms >= 1, "min_vms must be >= 1, got ", min_vms);
+  AEVA_REQUIRE(max_vms >= min_vms, "max_vms (", max_vms,
+               ") must be >= min_vms (", min_vms, ")");
+  AEVA_REQUIRE(!(qos_time_s <= 0.0) && !std::isnan(qos_time_s),
+               "qos_time_s must be positive (or +inf), got ", qos_time_s);
+  double weight_sum = 0.0;
+  for (const double w : class_weights) {
+    AEVA_REQUIRE(w >= 0.0 && std::isfinite(w),
+                 "class weights must be finite and non-negative, got ", w);
+    weight_sum += w;
+  }
+  AEVA_REQUIRE(weight_sum > 0.0, "class weights must not all be zero");
+}
+
+std::vector<ServeRequest> generate_stream(const ArrivalStreamConfig& config,
+                                          std::uint64_t seed) {
+  config.validate();
+  util::Rng rng = util::named_stream(seed, "serve.arrivals");
+  double weight_sum = 0.0;
+  for (const double w : config.class_weights) {
+    weight_sum += w;
+  }
+
+  std::vector<ServeRequest> stream;
+  stream.reserve(config.count);
+  double now = 0.0;
+  for (std::size_t i = 0; i < config.count; ++i) {
+    now += rng.exponential(config.rate_rps);
+    ServeRequest req;
+    req.id = static_cast<std::int64_t>(i) + 1;
+    req.arrival_s = now;
+    // Weighted class pick: one uniform draw against the cumulative
+    // weights, highest class last so rounding residue lands there.
+    const double pick = rng.uniform() * weight_sum;
+    double cumulative = 0.0;
+    req.klass = kClassCount - 1;
+    for (int k = 0; k < kClassCount; ++k) {
+      cumulative += config.class_weights[static_cast<std::size_t>(k)];
+      if (pick < cumulative) {
+        req.klass = k;
+        break;
+      }
+    }
+    req.profile = workload::kAllProfileClasses[static_cast<std::size_t>(
+        rng.uniform_int(0, workload::kProfileClassCount - 1))];
+    req.vm_count = static_cast<int>(
+        rng.uniform_int(config.min_vms, config.max_vms));
+    req.qos_time_s = config.qos_time_s;
+    req.deadline_s = config.deadline_slack_s > 0.0
+                         ? now + config.deadline_slack_s * rng.uniform(0.5, 1.5)
+                         : kInf;
+    req.hold_s = config.hold_mean_s > 0.0
+                     ? rng.exponential(1.0 / config.hold_mean_s)
+                     : kInf;
+    stream.push_back(req);
+  }
+  return stream;
+}
+
+std::uint64_t stream_fingerprint(const std::vector<ServeRequest>& stream) {
+  // Order-sensitive splitmix64 mix over every field of every request
+  // (same scheme as persist::Fingerprint, inlined to keep this library
+  // below persist in the layering).
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto mix = [&state](std::uint64_t value) {
+    state ^= value;
+    (void)util::splitmix64(state);
+  };
+  const auto mix_double = [&mix](double value) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  };
+  mix(stream.size());
+  for (const ServeRequest& req : stream) {
+    mix(static_cast<std::uint64_t>(req.id));
+    mix_double(req.arrival_s);
+    mix(static_cast<std::uint64_t>(req.klass));
+    mix(static_cast<std::uint64_t>(req.profile));
+    mix(static_cast<std::uint64_t>(req.vm_count));
+    mix_double(req.qos_time_s);
+    mix_double(req.deadline_s);
+    mix_double(req.hold_s);
+  }
+  return state;
+}
+
+std::string render_decision_log(const std::vector<DecisionRecord>& records) {
+  std::string out;
+  out.reserve(records.size() * 96);
+  for (const DecisionRecord& rec : records) {
+    out += "t=";
+    out += render_double(rec.t);
+    out += " id=";
+    out += std::to_string(rec.request_id);
+    out += " attempt=";
+    out += std::to_string(rec.attempt);
+    out += " class=";
+    out += std::to_string(rec.klass);
+    out += " event=";
+    out += to_string(rec.event);
+    out += " mode=";
+    out += to_string(rec.mode);
+    out += " path=";
+    out += core::to_string(rec.path);
+    out += " reason=";
+    out += core::to_string(rec.reason);
+    out += " wait=";
+    out += render_double(rec.wait_s);
+    out += " latency=";
+    out += render_double(rec.latency_s);
+    out += " retry_at=";
+    out += rec.retry_at_s >= 0.0 ? render_double(rec.retry_at_s) : "-";
+    out += " servers=";
+    for (std::size_t i = 0; i < rec.servers.size(); ++i) {
+      if (i != 0) {
+        out += ',';
+      }
+      out += std::to_string(rec.servers[i]);
+    }
+    if (rec.servers.empty()) {
+      out += '-';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace aeva::serve

@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file request.hpp
+/// Vocabulary of the serve layer (docs/RESILIENCE.md, "Overload
+/// protection"): the long-lived allocation service's request type, the
+/// deterministic arrival-stream generator feeding it, and the decision-log
+/// records every control-point outcome is journaled into.
+///
+/// Everything here is deterministic: streams derive from
+/// `util::named_stream(seed, "serve.arrivals")`, the decision log renders
+/// with exact `%.17g` formatting, and a log is therefore byte-comparable
+/// across runs, platforms, and kill/resume boundaries (the
+/// tools/kill_resume_smoke.sh serve section `cmp`s it).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "workload/profile.hpp"
+
+namespace aeva::serve {
+
+/// Number of request priority classes. Higher is more important; the
+/// reject-by-class shed policy and the shedding ladder rung drop the
+/// lowest classes first. 0 = batch, 1 = interactive, 2 = system.
+inline constexpr int kClassCount = 3;
+
+/// One allocation request arriving at the service.
+struct ServeRequest {
+  std::int64_t id = 0;
+  double arrival_s = 0.0;  ///< submission instant (sim time)
+  int klass = 0;           ///< priority class, [0, kClassCount)
+  workload::ProfileClass profile = workload::ProfileClass::kCpu;
+  int vm_count = 1;        ///< VMs in the request (all same profile)
+  /// QoS guarantee forwarded to the allocator (per-VM max execution
+  /// time); +inf = no guarantee.
+  double qos_time_s = std::numeric_limits<double>::infinity();
+  /// Absolute decision deadline: the client stops caring past this
+  /// instant. Deadline-aware admission refuses requests predicted to
+  /// miss it; +inf = no deadline.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// Residency: placed VMs release their capacity this long after the
+  /// decision commits; +inf = held forever (the batch-equivalence mode).
+  double hold_s = std::numeric_limits<double>::infinity();
+  /// Crash-recovery plumbing (service-internal): a group re-admitted
+  /// after losing its server keeps its *absolute* release instant, so its
+  /// residency window never stretches. NaN (the default for client
+  /// requests) derives the release from `hold_s` at commit time.
+  double release_at_s = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Synthetic open-loop arrival stream: Poisson arrivals, weighted priority
+/// classes, uniform request sizes, exponential holds. The same
+/// (config, seed) always yields the same stream, bit for bit.
+struct ArrivalStreamConfig {
+  std::size_t count = 2000;   ///< number of requests
+  double rate_rps = 20.0;     ///< mean arrival rate (requests / sim second)
+  /// Mean residency after placement (exponential); <= 0 → infinite hold.
+  double hold_mean_s = 60.0;
+  /// Mean decision-deadline slack after arrival (uniform in
+  /// [0.5, 1.5] × this); <= 0 → no deadlines.
+  double deadline_slack_s = 0.0;
+  /// Per-VM QoS execution-time guarantee; +inf = none.
+  double qos_time_s = std::numeric_limits<double>::infinity();
+  int min_vms = 1;  ///< request size bounds (paper: 1–4 VMs per request)
+  int max_vms = 4;
+  /// Relative weights of the priority classes (batch, interactive,
+  /// system); must be non-negative with a positive sum.
+  std::array<double, kClassCount> class_weights = {0.70, 0.25, 0.05};
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+};
+
+/// Generates `config.count` requests with ids 1..count in arrival order.
+[[nodiscard]] std::vector<ServeRequest> generate_stream(
+    const ArrivalStreamConfig& config, std::uint64_t seed);
+
+/// Order-sensitive 64-bit fingerprint of a stream; stored in serve
+/// snapshots so resume refuses a snapshot taken against different input.
+[[nodiscard]] std::uint64_t stream_fingerprint(
+    const std::vector<ServeRequest>& stream);
+
+/// Rung of the degradation ladder (docs/RESILIENCE.md). The hysteresis
+/// health controller moves one rung at a time: consecutive watermark
+/// breaches demote, a cooldown of consecutive healthy observations
+/// promotes back.
+enum class ServeMode {
+  kNormal = 0,    ///< full proactive search (primary → fallback chain)
+  kDegraded = 1,  ///< circuit breaker open: first-fit placement only
+  kShedding = 2,  ///< degraded *and* low-priority arrivals refused
+};
+
+/// Number of ladder rungs.
+inline constexpr int kServeModeCount = 3;
+
+[[nodiscard]] constexpr const char* to_string(ServeMode mode) noexcept {
+  switch (mode) {
+    case ServeMode::kNormal: return "normal";
+    case ServeMode::kDegraded: return "degraded";
+    case ServeMode::kShedding: return "shedding";
+  }
+  return "?";
+}
+
+/// What a decision-log record describes.
+enum class DecisionEvent {
+  kPlaced = 0,    ///< request committed to servers
+  kRejected = 1,  ///< turned away (retry_at_s >= 0 → a retry is scheduled)
+  kLost = 2,      ///< a *placed* group was lost to a server crash
+};
+
+[[nodiscard]] constexpr const char* to_string(DecisionEvent event) noexcept {
+  switch (event) {
+    case DecisionEvent::kPlaced: return "placed";
+    case DecisionEvent::kRejected: return "rejected";
+    case DecisionEvent::kLost: return "lost";
+  }
+  return "?";
+}
+
+/// One journaled service outcome. The log is the service's ground truth:
+/// determinism suites and the kill/resume smoke compare rendered logs
+/// byte for byte.
+struct DecisionRecord {
+  double t = 0.0;              ///< event instant (sim time)
+  std::int64_t request_id = 0;
+  std::int32_t attempt = 0;    ///< 0 = first submission, 1+ = retries
+  std::int32_t klass = 0;
+  DecisionEvent event = DecisionEvent::kRejected;
+  ServeMode mode = ServeMode::kNormal;  ///< ladder rung at the instant
+  core::AllocationPath path = core::AllocationPath::kRejected;
+  core::RejectReason reason = core::RejectReason::kNone;
+  double wait_s = 0.0;     ///< enqueue → decision (0 for admission rejects)
+  double latency_s = 0.0;  ///< decision service time (0 when none ran)
+  double retry_at_s = -1.0;  ///< >= 0: client retry scheduled at this time
+  std::vector<std::int32_t> servers;  ///< target server per VM (placed)
+};
+
+/// Renders records one per line with exact `%.17g` numeric formatting —
+/// byte-stable across platforms; equal logs ⇔ equal byte streams.
+[[nodiscard]] std::string render_decision_log(
+    const std::vector<DecisionRecord>& records);
+
+}  // namespace aeva::serve

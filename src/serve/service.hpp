@@ -1,0 +1,259 @@
+#pragma once
+
+/// \file service.hpp
+/// The long-lived allocation service (docs/RESILIENCE.md, "Overload
+/// protection"): wraps the batch allocator chain (proactive → first-fit →
+/// reject, core/proactive.hpp) behind a deterministic request loop with
+/// full overload protection —
+///
+///  * a **bounded admission queue** with a configurable capacity and
+///    load-shedding policy (reject-newest / reject-oldest /
+///    reject-by-class);
+///  * **deadline-aware admission**: requests predicted to miss their
+///    decision deadline (queue depth × a moving decision-latency
+///    estimate) are refused at the door instead of wasting queue space;
+///  * a **degradation ladder** driven by a hysteresis health controller:
+///    consecutive breaches of the queue-depth / latency watermarks trip a
+///    circuit breaker one rung down (normal → degraded → shedding),
+///    demoting the expensive proactive search to first-fit placement; a
+///    cooldown of consecutive healthy observations re-arms one rung up;
+///  * **client-side retry** of retryable rejections
+///    (core::is_retryable) with exponential backoff and deterministic
+///    seeded jitter;
+///  * **graceful drain** (`ServeConfig::stop`: in-flight decisions
+///    finish, the queue is preserved in a final snapshot) and **crash
+///    recovery**: periodic "AEVASRV" snapshots via
+///    persist/serve_snapshot.hpp; a SIGKILLed service resumed from its
+///    last snapshot reproduces the uninterrupted run's decision log and
+///    metrics bit for bit.
+///
+/// Time is simulated: the decision latency of the allocator is modeled
+/// deterministically from its reported search effort
+/// (DecisionCostConfig), so the whole service — including breaker trips
+/// and retry schedules — is bit-reproducible from the seed. An unloaded
+/// service (no deadlines, infinite holds, breaker disabled) makes exactly
+/// the placements of the batch allocator chain on the same request
+/// sequence (bench/serve_overload hard-gates both properties).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "core/types.hpp"
+#include "datacenter/failure.hpp"
+#include "modeldb/database.hpp"
+#include "obs/session.hpp"
+#include "persist/serve_snapshot.hpp"
+#include "serve/request.hpp"
+
+namespace aeva::serve {
+
+/// What the bounded admission queue does when it is full and a new
+/// request arrives.
+enum class ShedPolicy {
+  kRejectNewest = 0,  ///< refuse the arriving request
+  kRejectOldest = 1,  ///< evict the head (oldest waiter), admit the arrival
+  /// Evict the first queued request of the lowest priority class below
+  /// the arrival's class; refuse the arrival when nothing outranks it.
+  kRejectByClass = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(ShedPolicy policy) noexcept {
+  switch (policy) {
+    case ShedPolicy::kRejectNewest: return "reject-newest";
+    case ShedPolicy::kRejectOldest: return "reject-oldest";
+    case ShedPolicy::kRejectByClass: return "reject-by-class";
+  }
+  return "?";
+}
+
+/// Bounded admission queue tuning.
+struct QueueConfig {
+  std::size_t capacity = 64;  ///< hard bound on queued requests (> 0)
+  ShedPolicy policy = ShedPolicy::kRejectNewest;
+};
+
+/// Deadline-aware admission tuning. The decision-latency estimate is an
+/// EWMA over observed (simulated) decision service times, seeded with
+/// `initial_latency_s` before the first observation.
+struct DeadlineConfig {
+  bool enforce = true;
+  double initial_latency_s = 0.02;
+  double ewma_alpha = 0.2;  ///< weight of the newest observation, (0, 1]
+};
+
+/// Hysteresis health controller / degradation-ladder tuning. A breach is
+/// `depth >= queue_high || ewma >= latency_high_s`; a healthy observation
+/// is `depth <= queue_low && ewma <= latency_low_s`; observations between
+/// the watermarks reset both streaks (they are strictly consecutive).
+struct HealthConfig {
+  bool enabled = true;
+  double queue_high = 48.0;       ///< depth breach watermark
+  double queue_low = 8.0;         ///< depth healthy watermark (<= high)
+  double latency_high_s = 0.25;   ///< EWMA breach watermark
+  double latency_low_s = 0.05;    ///< EWMA healthy watermark (<= high)
+  int trip_after = 3;    ///< consecutive breaches per rung down (>= 1)
+  int rearm_after = 16;  ///< consecutive healthy per rung up (>= 1)
+  /// Shedding rung: arrivals with klass below this are refused outright.
+  int min_class_when_shedding = 1;
+};
+
+/// Client-side retry contract for retryable rejections: attempt k
+/// (0-based) retries after `min(cap_s, base_s·multiplier^k) · (1 + jitter·u)`
+/// where u ~ U[0,1) from the dedicated "serve.retry" stream. Terminal
+/// rejections (core::is_retryable == false), exhausted budgets, and
+/// retries that would land past the request deadline give up instead.
+struct RetryConfig {
+  bool enabled = true;
+  int max_attempts = 3;  ///< retries after the first attempt (>= 0)
+  double base_s = 0.5;
+  double multiplier = 2.0;
+  double cap_s = 30.0;
+  double jitter = 0.2;  ///< in [0, 1]: max relative jitter
+};
+
+/// Deterministic model of decision service time, derived from the
+/// allocator's reported effort so degraded mode genuinely relieves the
+/// service: normal-rung decisions cost
+/// `base_s + per_partition_s × partitions_examined`, degraded/shedding
+/// decisions (first-fit) cost `degraded_s`.
+struct DecisionCostConfig {
+  double base_s = 0.01;
+  double per_partition_s = 2e-5;
+  double degraded_s = 0.002;
+};
+
+/// Periodic service checkpointing (mirrors datacenter::SnapshotConfig).
+struct ServeSnapshotConfig {
+  /// Checkpoint period in sim seconds; 0 disables periodic snapshots.
+  double every_s = 0.0;
+  /// Atomic write target; empty = no file (hook-only).
+  std::string path;
+  /// In-process observer of every captured snapshot (tests, custom
+  /// sinks); may be null.
+  std::function<void(const persist::ServeSnapshot&)> hook;
+};
+
+/// Full service configuration.
+struct ServeConfig {
+  int server_count = 60;
+  /// Primary allocator tuning (the normal-rung chain; set
+  /// degrade_to_first_fit there for the in-allocator fallback leg).
+  core::ProactiveConfig proactive;
+  /// First-fit multiplex of the degraded rung's allocator.
+  int degraded_multiplex = 2;
+
+  QueueConfig queue;
+  DeadlineConfig deadline;
+  HealthConfig health;
+  RetryConfig retry;
+  DecisionCostConfig cost;
+
+  /// Fault injection (crash kind only: a crashed server loses its
+  /// resident groups — each is journaled as `lost` and re-admitted — and
+  /// is masked until repair; degrade/brownout events are ignored by the
+  /// serve capacity model).
+  datacenter::FailureConfig failure;
+
+  std::uint64_t seed = 2026;  ///< retry-jitter stream seed
+
+  /// Cooperative drain trigger, polled at decision boundaries: once it
+  /// returns true the service stops admitting work from the stream,
+  /// finishes the in-flight decision, captures a final snapshot (when
+  /// configured), and returns with `ServeResult::drained` set. Wire a
+  /// SIGTERM flag here for graceful shutdown; may be null.
+  std::function<bool()> stop;
+
+  ServeSnapshotConfig snapshot;
+
+  /// Observability session (null = disabled = bit-identical, as
+  /// everywhere else).
+  std::shared_ptr<obs::Session> obs;
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+};
+
+/// Aggregated service metrics (all sim-time; deterministic).
+struct ServeMetrics {
+  std::uint64_t offered = 0;    ///< stream arrivals
+  std::uint64_t arrivals = 0;   ///< offered + retries + crash re-admissions
+  std::uint64_t admitted = 0;   ///< entered the queue
+  std::uint64_t placed = 0;     ///< committed placements (final successes)
+  std::uint64_t placed_fallback = 0;  ///< via the in-chain first-fit leg
+  std::uint64_t placed_degraded = 0;  ///< decided on a degraded rung
+  std::uint64_t rejected_final = 0;   ///< terminal rejections
+  std::uint64_t sheds = 0;      ///< shed-policy / shedding-rung refusals
+  std::uint64_t expired = 0;    ///< deadline passed (at door or in queue)
+  std::uint64_t retries = 0;    ///< client retries scheduled
+  std::uint64_t retries_exhausted = 0;
+  std::uint64_t invalidated = 0;  ///< decisions voided by a mid-flight crash
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_rearms = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t groups_lost = 0;  ///< placed groups lost to crashes
+  std::uint64_t restarts = 0;     ///< lost groups re-admitted
+  /// Every rejection event tallied by its immediate reason (index =
+  /// core::RejectReason value; includes non-final, later-retried ones).
+  std::array<std::uint64_t, core::kRejectReasonCount> rejects_by_reason{};
+  std::array<double, kServeModeCount> time_in_mode_s{};
+  double duration_s = 0.0;
+  double goodput_fraction = 1.0;  ///< placed / offered
+  double mean_decision_latency_s = 0.0;
+  double max_decision_latency_s = 0.0;
+  double mean_wait_s = 0.0;
+  double max_wait_s = 0.0;
+  double mean_queue_depth = 0.0;
+  double peak_queue_depth = 0.0;
+};
+
+/// Outcome of one service run.
+struct ServeResult {
+  ServeMetrics metrics;
+  std::vector<DecisionRecord> log;  ///< complete decision journal
+  std::vector<core::ServerState> final_servers;
+  bool drained = false;  ///< true when `ServeConfig::stop` ended the run
+};
+
+/// The long-lived allocation service. Construction validates the config
+/// and builds the allocator chain; `run`/`resume` then drive the
+/// deterministic event loop over an arrival stream (sorted by
+/// `arrival_s`; ids unique). The database must outlive the service.
+class AllocationService {
+ public:
+  AllocationService(const modeldb::ModelDatabase& db, ServeConfig config);
+
+  /// Serves the whole stream from t = 0 (or until `stop` fires).
+  [[nodiscard]] ServeResult run(const std::vector<ServeRequest>& stream) const;
+
+  /// Resumes a killed/drained service from a snapshot taken against the
+  /// same stream and config; throws persist::SnapshotMismatchError when
+  /// the fingerprints or shapes do not match. The completed run's log
+  /// and metrics are bit-identical to an uninterrupted `run`.
+  [[nodiscard]] ServeResult resume(const std::vector<ServeRequest>& stream,
+                                   const persist::ServeSnapshot& snapshot) const;
+
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+
+  /// Fingerprint of the service configuration (stored in snapshots).
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
+
+ private:
+  struct Loop;  // the event loop lives in service.cpp
+
+  ServeConfig config_;
+  core::ProactiveAllocator primary_;
+  core::FirstFitAllocator degraded_;
+};
+
+/// Byte-stable JSON rendering of the metrics (exact %.17g doubles,
+/// name-sorted keys) — the serve analogue of datacenter_sim's
+/// final-metrics JSON; kill/resume smokes `cmp` it.
+[[nodiscard]] std::string serve_metrics_json(const ServeMetrics& metrics);
+
+}  // namespace aeva::serve

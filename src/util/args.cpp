@@ -1,12 +1,50 @@
 #include "util/args.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace aeva::util {
 
+namespace {
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
 Args::Args(int argc, const char* const* argv, std::vector<std::string> flags)
     : flags_(flags.begin(), flags.end()) {
+  parse(argc, argv);
+}
+
+Args::Args(int argc, const char* const* argv, const std::string& summary,
+           std::vector<OptionSpec> specs)
+    : specs_(std::move(specs)), summary_(summary), strict_(true) {
+  // Every binary gets --help for free; declaring it explicitly is allowed
+  // (e.g. to customize the help string) but not required.
+  const bool has_help = std::any_of(
+      specs_.begin(), specs_.end(),
+      [](const OptionSpec& s) { return s.name == "help"; });
+  if (!has_help) {
+    specs_.push_back({"help", "", "print this usage text and exit 0"});
+  }
+  for (const OptionSpec& spec : specs_) {
+    if (spec.value_hint.empty()) {
+      flags_.insert(spec.name);
+    }
+  }
+  if (argc > 0) {
+    program_ = basename_of(argv[0]);
+  }
+  parse(argc, argv);
+  help_ = has("help");
+}
+
+void Args::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string token = argv[i];
     if (!starts_with(token, "--")) {
@@ -15,19 +53,25 @@ Args::Args(int argc, const char* const* argv, std::vector<std::string> flags)
     }
     std::string name = token.substr(2);
     const std::size_t eq = name.find('=');
+    std::optional<std::string> inline_value;
     if (eq != std::string::npos) {
       // --name=value never touches the next token; the value may be
       // anything, including empty or dash-leading.
-      const std::string value = name.substr(eq + 1);
+      inline_value = name.substr(eq + 1);
       name.resize(eq);
-      AEVA_REQUIRE(!name.empty() && name[0] != '-',
-                   "malformed option token: ", token);
-      options_[name] = value;
-      continue;
     }
     AEVA_REQUIRE(!name.empty() && name[0] != '-',
                  "malformed option token: ", token);
-    if (flags_.count(name) != 0) {
+    if (strict_) {
+      const bool declared = std::any_of(
+          specs_.begin(), specs_.end(),
+          [&name](const OptionSpec& s) { return s.name == name; });
+      AEVA_REQUIRE(declared, program_, ": unknown option --", name,
+                   " (run with --help for the option list)");
+    }
+    if (inline_value.has_value()) {
+      options_[name] = *inline_value;
+    } else if (flags_.count(name) != 0) {
       options_[name] = "";  // declared flag: never consumes a value
     } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
       options_[name] = argv[i + 1];
@@ -91,6 +135,35 @@ double Args::get_double(const std::string& name, double fallback) const {
 
 bool Args::has(const std::string& name) const {
   return options_.count(name) != 0;
+}
+
+std::string Args::usage() const {
+  if (specs_.empty()) {
+    return {};
+  }
+  std::string out = "usage: " + program_ + " [options]\n";
+  if (!summary_.empty()) {
+    out += "  " + summary_ + "\n";
+  }
+  out += "\noptions:\n";
+  std::size_t width = 0;
+  std::vector<std::string> heads;
+  heads.reserve(specs_.size());
+  for (const OptionSpec& spec : specs_) {
+    std::string head = "--" + spec.name;
+    if (!spec.value_hint.empty()) {
+      head += " <" + spec.value_hint + ">";
+    }
+    width = std::max(width, head.size());
+    heads.push_back(std::move(head));
+  }
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    out += "  " + heads[i];
+    out.append(width - heads[i].size() + 2, ' ');
+    out += specs_[i].help;
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace aeva::util

@@ -12,6 +12,17 @@
 
 namespace aeva::util {
 
+/// One declared command-line option: `name` (without the leading `--`),
+/// a `value_hint` shown in the usage listing (empty means the option is a
+/// boolean flag and never consumes the next token), and a one-line help
+/// string. Binaries that declare their full option set get an
+/// auto-generated `--help` listing and strict unknown-option rejection.
+struct OptionSpec {
+  std::string name;
+  std::string value_hint;  ///< e.g. "N", "seconds", "path"; "" = flag
+  std::string help;
+};
+
 /// Parsed command line.
 ///
 /// Grammar:
@@ -39,6 +50,16 @@ class Args {
   /// on a malformed token (e.g. `---x` or `--=v`).
   Args(int argc, const char* const* argv, std::vector<std::string> flags = {});
 
+  /// Declared-spec parse: every option of the binary is listed up front,
+  /// which buys (a) an auto-generated usage listing (see usage()), (b) a
+  /// built-in `--help` flag (query help_requested(); callers print
+  /// usage() and exit 0), and (c) strict parsing — an option not in
+  /// `specs` throws instead of being silently accepted, so typos like
+  /// `--serverz 40` fail loudly. `summary` is the one-line tool
+  /// description shown at the top of the usage text.
+  Args(int argc, const char* const* argv, const std::string& summary,
+       std::vector<OptionSpec> specs);
+
   /// Raw option lookup: nullopt when absent, "" for a bare flag.
   [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
 
@@ -63,10 +84,26 @@ class Args {
     return positional_;
   }
 
+  /// True when `--help` was passed (declared-spec constructor only; the
+  /// legacy constructor treats --help as an ordinary bare flag).
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+
+  /// Auto-generated usage text from the declared specs: synopsis line,
+  /// summary, then one aligned row per option. Empty for the legacy
+  /// constructor.
+  [[nodiscard]] std::string usage() const;
+
  private:
+  void parse(int argc, const char* const* argv);
+
   std::set<std::string> flags_;
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
+  std::vector<OptionSpec> specs_;  // empty → legacy (non-strict) parse
+  std::string program_ = "tool";
+  std::string summary_;
+  bool strict_ = false;
+  bool help_ = false;
 };
 
 }  // namespace aeva::util

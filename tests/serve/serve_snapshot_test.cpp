@@ -1,0 +1,349 @@
+/// AEVASRV durability contract (docs/RESILIENCE.md): the serve snapshot
+/// codec round-trips exactly, refuses corrupt / truncated / foreign
+/// bytes with the typed snapshot errors, resume() rejects snapshots from
+/// a different stream, config, or build, and a mid-run snapshot resumed
+/// into a fresh service reproduces the uninterrupted run bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/serve_snapshot.hpp"
+#include "persist/snapshot.hpp"
+#include "serve/service.hpp"
+#include "testing/shared_db.hpp"
+
+namespace aeva::persist {
+namespace {
+
+/// A structurally busy snapshot: queue, retries, releases, repairs,
+/// residents, a non-empty log — every codec section populated.
+ServeSnapshot sample_snapshot() {
+  ServeSnapshot s;
+  s.stream_fingerprint = 0x1234abcd5678ef01ull;
+  s.config_fingerprint = 0xfeedfacecafebeefull;
+  s.now = 12.5;
+  s.next_arrival = 7;
+  s.next_seq = 42;
+  s.next_vm_id = 19;
+  s.next_snapshot_s = 20.0;
+  s.depth_changed_s = 12.25;
+
+  ServeServerState server;
+  server.powered = true;
+  server.alloc.cpu = 2;
+  server.alloc.mem = 1;
+  server.alloc.io = 0;
+  s.servers.push_back(server);
+  server.down = true;
+  s.servers.push_back(server);
+
+  ServeRequestState req;
+  req.id = 9;
+  req.arrival_s = 12.0;
+  req.klass = 1;
+  req.profile = 2;
+  req.vm_count = 3;
+  req.qos_time_s = 100.0;
+  req.deadline_s = 30.0;
+  req.hold_s = 60.0;
+  req.release_at_s = 72.0;
+
+  ServeQueuedState queued;
+  queued.request = req;
+  queued.enqueue_s = 12.1;
+  queued.attempt = 1;
+  s.queue.push_back(queued);
+
+  ServeRetryState retry;
+  retry.at_s = 14.0;
+  retry.seq = 40;
+  retry.attempt = 2;
+  retry.request = req;
+  s.retries.push_back(retry);
+
+  ServeReleaseState release;
+  release.at_s = 50.0;
+  release.seq = 41;
+  release.group_id = 4;
+  s.releases.push_back(release);
+
+  ServeRepairState repair;
+  repair.at_s = 60.0;
+  repair.seq = 39;
+  repair.server = 1;
+  s.repairs.push_back(repair);
+
+  ServeResidentState resident;
+  resident.group_id = 4;
+  resident.klass = 2;
+  resident.profile = 0;
+  resident.qos_time_s = 90.0;
+  resident.release_s = 50.0;
+  resident.servers = {0, 0};
+  s.residents.push_back(resident);
+
+  s.health.rung = 1;
+  s.health.breach_streak = 1;
+  s.health.healthy_streak = 0;
+  s.health.latency_ewma_s = 0.125;
+  s.health.mode_since_s = 10.0;
+
+  s.retry_rng.words = {1, 2, 3, 4};
+  s.failure.script_next = 1;
+  util::Rng::State stream_state;
+  stream_state.words = {5, 6, 7, 8};
+  s.failure.streams = {stream_state, stream_state};
+  s.failure.sampled_next = {70.0, 80.0};
+
+  s.latency_stats.count = 5;
+  s.latency_stats.mean = 0.04;
+  s.wait_stats.count = 5;
+  s.wait_stats.mean = 0.2;
+
+  s.metrics.offered = 9;
+  s.metrics.placed = 5;
+  s.metrics.rejects_by_reason.assign(11, 0);
+  s.metrics.rejects_by_reason[2] = 3;
+  s.metrics.time_in_mode_s = {10.0, 2.5, 0.0};
+  s.metrics.queue_depth_integral = 4.75;
+  s.metrics.peak_queue_depth = 6.0;
+
+  ServeDecisionState rec;
+  rec.t = 11.0;
+  rec.request_id = 3;
+  rec.attempt = 0;
+  rec.klass = 0;
+  rec.event = 0;
+  rec.mode = 1;
+  rec.path = 1;
+  rec.reason = 0;
+  rec.wait_s = 0.5;
+  rec.latency_s = 0.05;
+  rec.retry_at_s = -1.0;
+  rec.servers = {0};
+  s.log.push_back(rec);
+  return s;
+}
+
+void expect_equal(const ServeSnapshot& a, const ServeSnapshot& b) {
+  EXPECT_EQ(a.stream_fingerprint, b.stream_fingerprint);
+  EXPECT_EQ(a.config_fingerprint, b.config_fingerprint);
+  EXPECT_EQ(a.now, b.now);
+  EXPECT_EQ(a.next_arrival, b.next_arrival);
+  EXPECT_EQ(a.next_seq, b.next_seq);
+  EXPECT_EQ(a.next_vm_id, b.next_vm_id);
+  EXPECT_EQ(a.next_snapshot_s, b.next_snapshot_s);
+  EXPECT_EQ(a.depth_changed_s, b.depth_changed_s);
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t i = 0; i < a.servers.size(); ++i) {
+    EXPECT_EQ(a.servers[i].powered, b.servers[i].powered);
+    EXPECT_EQ(a.servers[i].down, b.servers[i].down);
+    EXPECT_EQ(a.servers[i].alloc.cpu, b.servers[i].alloc.cpu);
+    EXPECT_EQ(a.servers[i].alloc.mem, b.servers[i].alloc.mem);
+  }
+  ASSERT_EQ(a.queue.size(), b.queue.size());
+  EXPECT_EQ(a.queue[0].request.id, b.queue[0].request.id);
+  EXPECT_EQ(a.queue[0].request.deadline_s, b.queue[0].request.deadline_s);
+  EXPECT_EQ(a.queue[0].attempt, b.queue[0].attempt);
+  ASSERT_EQ(a.retries.size(), b.retries.size());
+  EXPECT_EQ(a.retries[0].at_s, b.retries[0].at_s);
+  EXPECT_EQ(a.retries[0].seq, b.retries[0].seq);
+  ASSERT_EQ(a.releases.size(), b.releases.size());
+  EXPECT_EQ(a.releases[0].group_id, b.releases[0].group_id);
+  ASSERT_EQ(a.repairs.size(), b.repairs.size());
+  EXPECT_EQ(a.repairs[0].server, b.repairs[0].server);
+  ASSERT_EQ(a.residents.size(), b.residents.size());
+  EXPECT_EQ(a.residents[0].servers, b.residents[0].servers);
+  EXPECT_EQ(a.health.rung, b.health.rung);
+  EXPECT_EQ(a.health.latency_ewma_s, b.health.latency_ewma_s);
+  EXPECT_EQ(a.retry_rng.words, b.retry_rng.words);
+  EXPECT_EQ(a.failure.script_next, b.failure.script_next);
+  ASSERT_EQ(a.failure.streams.size(), b.failure.streams.size());
+  EXPECT_EQ(a.failure.streams[0].words, b.failure.streams[0].words);
+  EXPECT_EQ(a.failure.sampled_next, b.failure.sampled_next);
+  EXPECT_EQ(a.metrics.placed, b.metrics.placed);
+  EXPECT_EQ(a.metrics.rejects_by_reason, b.metrics.rejects_by_reason);
+  EXPECT_EQ(a.metrics.time_in_mode_s, b.metrics.time_in_mode_s);
+  ASSERT_EQ(a.log.size(), b.log.size());
+  EXPECT_EQ(a.log[0].request_id, b.log[0].request_id);
+  EXPECT_EQ(a.log[0].servers, b.log[0].servers);
+}
+
+TEST(ServeSnapshotCodec, RoundTripsExactly) {
+  const ServeSnapshot original = sample_snapshot();
+  const std::string bytes = encode_serve_snapshot(original);
+  expect_equal(original, decode_serve_snapshot(bytes));
+  // Encoding is itself deterministic.
+  EXPECT_EQ(bytes, encode_serve_snapshot(original));
+}
+
+TEST(ServeSnapshotCodec, CrcCatchesEveryStrategicByteFlip) {
+  const std::string bytes = encode_serve_snapshot(sample_snapshot());
+  // Flip a byte in the middle and at the end of the payload: both must
+  // fail the checksum, never decode to garbage.
+  for (const std::size_t pos : {bytes.size() / 2, bytes.size() - 1}) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    EXPECT_THROW(decode_serve_snapshot(corrupt), SnapshotFormatError)
+        << "flipped byte " << pos;
+  }
+}
+
+TEST(ServeSnapshotCodec, RefusesTruncationAndTrailingBytes) {
+  const std::string bytes = encode_serve_snapshot(sample_snapshot());
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{4},
+                                 std::size_t{17}, bytes.size() - 1}) {
+    EXPECT_THROW(decode_serve_snapshot(bytes.substr(0, keep)),
+                 SnapshotFormatError)
+        << "kept " << keep << " bytes";
+  }
+  EXPECT_THROW(decode_serve_snapshot(bytes + '\0'), SnapshotFormatError);
+}
+
+TEST(ServeSnapshotCodec, RefusesForeignMagicAndFutureVersion) {
+  std::string bytes = encode_serve_snapshot(sample_snapshot());
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_THROW(decode_serve_snapshot(wrong_magic), SnapshotFormatError);
+
+  // The version u32 sits right after the 8-byte magic, outside the
+  // payload checksum: an exact-match policy refuses a future version
+  // before any payload parsing.
+  std::string future = bytes;
+  future[8] = static_cast<char>(kServeSnapshotVersion + 1);
+  EXPECT_THROW(decode_serve_snapshot(future), SnapshotVersionError);
+}
+
+TEST(ServeSnapshotCodec, RejectsOutOfRangeEnumsInsidePayload) {
+  ServeSnapshot bad = sample_snapshot();
+  bad.log[0].event = 99;  // no such DecisionEvent
+  const std::string bytes = encode_serve_snapshot(bad);
+  EXPECT_THROW(decode_serve_snapshot(bytes), SnapshotFormatError);
+}
+
+TEST(ServeSnapshotFile, AtomicWriteReadBack) {
+  const std::string path = "serve_snapshot_roundtrip.aevasrv";
+  const ServeSnapshot original = sample_snapshot();
+  write_serve_snapshot_file(path, original);
+  expect_equal(original, read_serve_snapshot_file(path));
+  EXPECT_THROW(read_serve_snapshot_file("no/such/dir/snap.aevasrv"),
+               SnapshotIoError);
+}
+
+}  // namespace
+}  // namespace aeva::persist
+
+namespace aeva::serve {
+namespace {
+
+std::vector<ServeRequest> resume_stream() {
+  ArrivalStreamConfig stream;
+  stream.count = 150;
+  stream.rate_rps = 40.0;
+  stream.hold_mean_s = 20.0;
+  stream.deadline_slack_s = 6.0;
+  return generate_stream(stream, 11);
+}
+
+/// Overloaded enough to keep a queue, retries, and residents alive at the
+/// snapshot instants; scripted crash so recovery state is captured too.
+ServeConfig resume_config() {
+  ServeConfig config;
+  config.server_count = 6;
+  config.queue.capacity = 16;
+  config.health.queue_high = 10.0;
+  config.health.queue_low = 2.0;
+  config.health.trip_after = 2;
+  config.cost.base_s = 0.04;
+  config.failure.enabled = true;
+  datacenter::FailureEvent crash;
+  crash.kind = datacenter::FailureKind::kCrash;
+  crash.server = 2;
+  crash.at_s = 1.5;
+  crash.duration_s = 1.5;  // repaired at t=3
+  config.failure.script.push_back(crash);
+  return config;
+}
+
+TEST(ServeResume, MidRunSnapshotResumesBitIdentically) {
+  const modeldb::ModelDatabase& db = testing::shared_db();
+  const std::vector<ServeRequest> stream = resume_stream();
+
+  ServeConfig reference_config = resume_config();
+  const AllocationService reference(db, reference_config);
+  const ServeResult full = reference.run(stream);
+
+  ServeConfig snapshotting = resume_config();
+  snapshotting.snapshot.every_s = 0.5;
+  std::vector<persist::ServeSnapshot> taken;
+  snapshotting.snapshot.hook =
+      [&taken](const persist::ServeSnapshot& snap) { taken.push_back(snap); };
+  const AllocationService recorder(db, snapshotting);
+  const ServeResult recorded = recorder.run(stream);
+  ASSERT_GE(taken.size(), 3u);
+  // Snapshotting itself never changes behaviour.
+  ASSERT_EQ(render_decision_log(full.log), render_decision_log(recorded.log));
+
+  // Resume from an early, a middle, and the last snapshot: each completed
+  // run must equal the uninterrupted one bit for bit.
+  const std::size_t picks[] = {0, taken.size() / 2, taken.size() - 1};
+  for (const std::size_t pick : picks) {
+    const ServeResult resumed = reference.resume(stream, taken[pick]);
+    EXPECT_EQ(render_decision_log(full.log),
+              render_decision_log(resumed.log))
+        << "resumed from snapshot " << pick << " (t=" << taken[pick].now
+        << ")";
+    EXPECT_EQ(serve_metrics_json(full.metrics),
+              serve_metrics_json(resumed.metrics))
+        << "resumed from snapshot " << pick;
+  }
+}
+
+TEST(ServeResume, RefusesForeignStreamConfigOrBuild) {
+  const modeldb::ModelDatabase& db = testing::shared_db();
+  const std::vector<ServeRequest> stream = resume_stream();
+
+  ServeConfig config = resume_config();
+  config.snapshot.every_s = 0.5;
+  std::optional<persist::ServeSnapshot> first;
+  config.snapshot.hook = [&first](const persist::ServeSnapshot& snap) {
+    if (!first.has_value()) {
+      first = snap;
+    }
+  };
+  const AllocationService service(db, config);
+  (void)service.run(stream);
+  ASSERT_TRUE(first.has_value());
+
+  // A different stream: same config, different arrivals.
+  std::vector<ServeRequest> other = stream;
+  other[0].arrival_s += 1e-9;
+  EXPECT_THROW((void)service.resume(other, *first),
+               persist::SnapshotMismatchError);
+
+  // A behaviourally different config.
+  ServeConfig changed = resume_config();
+  changed.queue.capacity = 17;
+  const AllocationService other_service(db, changed);
+  EXPECT_THROW((void)other_service.resume(stream, *first),
+               persist::SnapshotMismatchError);
+
+  // A reject reason unknown to this build: the persist codec accepts it
+  // (its bound is the wire format's, not the enum's), the service does
+  // not.
+  persist::ServeSnapshot alien = *first;
+  alien.log.emplace_back();
+  alien.log.back().reason =
+      static_cast<std::int32_t>(core::kRejectReasonCount);
+  const persist::ServeSnapshot reparsed =
+      persist::decode_serve_snapshot(persist::encode_serve_snapshot(alien));
+  EXPECT_THROW((void)service.resume(stream, reparsed),
+               persist::SnapshotMismatchError);
+}
+
+}  // namespace
+}  // namespace aeva::serve

@@ -1,0 +1,450 @@
+/// Serve-layer control points (docs/RESILIENCE.md, "Overload
+/// protection"): bounded-queue shed policies, deadline math at the
+/// boundary instants, the hysteresis degradation ladder, retry backoff
+/// reproducibility, and graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "testing/shared_db.hpp"
+
+namespace aeva::serve {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+ServeRequest request(std::int64_t id, double arrival_s, int klass = 0,
+                     int vm_count = 1) {
+  ServeRequest req;
+  req.id = id;
+  req.arrival_s = arrival_s;
+  req.klass = klass;
+  req.vm_count = vm_count;
+  return req;
+}
+
+/// Baseline single-decision config: retries and the ladder off so each
+/// control point can be observed in isolation.
+ServeConfig plain_config() {
+  ServeConfig config;
+  config.server_count = 8;
+  config.retry.enabled = false;
+  config.health.enabled = false;
+  config.deadline.enforce = false;
+  return config;
+}
+
+std::vector<const DecisionRecord*> records_for(const ServeResult& result,
+                                               std::int64_t id) {
+  std::vector<const DecisionRecord*> out;
+  for (const DecisionRecord& rec : result.log) {
+    if (rec.request_id == id) {
+      out.push_back(&rec);
+    }
+  }
+  return out;
+}
+
+// --- arrival stream ------------------------------------------------------
+
+TEST(ArrivalStream, DeterministicAndInRange) {
+  ArrivalStreamConfig config;
+  config.count = 200;
+  config.deadline_slack_s = 5.0;
+  const std::vector<ServeRequest> a = generate_stream(config, 7);
+  const std::vector<ServeRequest> b = generate_stream(config, 7);
+  ASSERT_EQ(a.size(), 200u);
+  EXPECT_EQ(stream_fingerprint(a), stream_fingerprint(b));
+  double last = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<std::int64_t>(i) + 1);
+    EXPECT_GE(a[i].arrival_s, last);
+    last = a[i].arrival_s;
+    EXPECT_GE(a[i].klass, 0);
+    EXPECT_LT(a[i].klass, kClassCount);
+    EXPECT_GE(a[i].vm_count, config.min_vms);
+    EXPECT_LE(a[i].vm_count, config.max_vms);
+    EXPECT_GE(a[i].deadline_s, a[i].arrival_s + 0.5 * 5.0);
+    EXPECT_LE(a[i].deadline_s, a[i].arrival_s + 1.5 * 5.0);
+    EXPECT_TRUE(std::isnan(a[i].release_at_s));
+  }
+  EXPECT_NE(stream_fingerprint(a),
+            stream_fingerprint(generate_stream(config, 8)));
+}
+
+TEST(ArrivalStream, ValidateRejectsBadFields) {
+  ArrivalStreamConfig config;
+  config.rate_rps = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.min_vms = 3;
+  config.max_vms = 2;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.class_weights = {0.0, 0.0, 0.0};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+// --- config validation ---------------------------------------------------
+
+TEST(ServeConfig, ValidateRejectsBadFields) {
+  ServeConfig config;
+  config.queue.capacity = 0;
+  EXPECT_THROW(AllocationService(db(), config), std::invalid_argument);
+  config = {};
+  config.deadline.ewma_alpha = 0.0;
+  EXPECT_THROW(AllocationService(db(), config), std::invalid_argument);
+  config = {};
+  config.health.queue_low = 50.0;
+  config.health.queue_high = 10.0;
+  EXPECT_THROW(AllocationService(db(), config), std::invalid_argument);
+  config = {};
+  config.health.latency_low_s = 1.0;
+  config.health.latency_high_s = 0.5;
+  EXPECT_THROW(AllocationService(db(), config), std::invalid_argument);
+  config = {};
+  config.retry.cap_s = 0.1;  // below base_s
+  EXPECT_THROW(AllocationService(db(), config), std::invalid_argument);
+  config = {};
+  config.cost.base_s = 0.0;
+  EXPECT_THROW(AllocationService(db(), config), std::invalid_argument);
+}
+
+// --- shed policies at the queue bound ------------------------------------
+
+TEST(ShedPolicy, RejectNewestRefusesTheArrival) {
+  ServeConfig config = plain_config();
+  config.queue.capacity = 2;
+  config.queue.policy = ShedPolicy::kRejectNewest;
+  config.cost.base_s = 1.0;
+  const AllocationService service(db(), config);
+  const ServeResult result = service.run(
+      {request(1, 0.0), request(2, 0.0), request(3, 0.0), request(4, 0.0)});
+
+  EXPECT_EQ(result.metrics.placed, 2u);
+  EXPECT_EQ(result.metrics.sheds, 2u);
+  for (const std::int64_t id : {3, 4}) {
+    const auto recs = records_for(result, id);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0]->event, DecisionEvent::kRejected);
+    EXPECT_EQ(recs[0]->reason, core::RejectReason::kAdmissionQueueFull);
+  }
+  for (const std::int64_t id : {1, 2}) {
+    ASSERT_EQ(records_for(result, id).size(), 1u);
+    EXPECT_EQ(records_for(result, id)[0]->event, DecisionEvent::kPlaced);
+  }
+}
+
+TEST(ShedPolicy, RejectOldestEvictsTheHead) {
+  ServeConfig config = plain_config();
+  config.queue.capacity = 2;
+  config.queue.policy = ShedPolicy::kRejectOldest;
+  config.cost.base_s = 1.0;
+  const AllocationService service(db(), config);
+  const ServeResult result = service.run(
+      {request(1, 0.0), request(2, 0.0), request(3, 0.0), request(4, 0.0)});
+
+  EXPECT_EQ(result.metrics.placed, 2u);
+  for (const std::int64_t id : {1, 2}) {
+    const auto recs = records_for(result, id);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0]->event, DecisionEvent::kRejected);
+    EXPECT_EQ(recs[0]->reason, core::RejectReason::kAdmissionShed);
+  }
+  for (const std::int64_t id : {3, 4}) {
+    EXPECT_EQ(records_for(result, id)[0]->event, DecisionEvent::kPlaced);
+  }
+}
+
+TEST(ShedPolicy, RejectByClassEvictsLowestLowerClass) {
+  ServeConfig config = plain_config();
+  config.queue.capacity = 2;
+  config.queue.policy = ShedPolicy::kRejectByClass;
+  config.cost.base_s = 1.0;
+  const AllocationService service(db(), config);
+  // id3 (class 2) evicts id1 (class 0); id4 (class 0) outranks nothing
+  // and is refused itself.
+  const ServeResult result = service.run(
+      {request(1, 0.0, 0), request(2, 0.0, 1), request(3, 0.0, 2),
+       request(4, 0.0, 0)});
+
+  EXPECT_EQ(records_for(result, 1)[0]->event, DecisionEvent::kRejected);
+  EXPECT_EQ(records_for(result, 1)[0]->reason,
+            core::RejectReason::kAdmissionShed);
+  EXPECT_EQ(records_for(result, 4)[0]->event, DecisionEvent::kRejected);
+  EXPECT_EQ(records_for(result, 4)[0]->reason,
+            core::RejectReason::kAdmissionShed);
+  EXPECT_EQ(records_for(result, 2)[0]->event, DecisionEvent::kPlaced);
+  EXPECT_EQ(records_for(result, 3)[0]->event, DecisionEvent::kPlaced);
+}
+
+// --- deadline math at the boundary instants ------------------------------
+
+TEST(Deadline, PredictedEqualToDeadlineAdmits) {
+  ServeConfig config = plain_config();
+  config.deadline.enforce = true;
+  config.deadline.initial_latency_s = 1.0;
+  const AllocationService service(db(), config);
+  // Empty queue, nothing in flight: predicted completion = 0 + 1×1.0.
+  ServeRequest boundary = request(1, 0.0);
+  boundary.deadline_s = 1.0;
+  const ServeResult result = service.run({boundary});
+  ASSERT_EQ(result.log.size(), 1u);
+  EXPECT_EQ(result.log[0].event, DecisionEvent::kPlaced);
+}
+
+TEST(Deadline, PredictedPastDeadlineRefusesAtTheDoor) {
+  ServeConfig config = plain_config();
+  config.deadline.enforce = true;
+  config.deadline.initial_latency_s = 1.0;
+  const AllocationService service(db(), config);
+  ServeRequest hopeless = request(1, 0.0);
+  hopeless.deadline_s = 0.5;
+  const ServeResult result = service.run({hopeless});
+  ASSERT_EQ(result.log.size(), 1u);
+  EXPECT_EQ(result.log[0].event, DecisionEvent::kRejected);
+  EXPECT_EQ(result.log[0].reason, core::RejectReason::kDeadlineUnmeetable);
+  EXPECT_EQ(result.metrics.placed, 0u);
+}
+
+TEST(Deadline, ExpiryAtExactlyNowStillProcesses) {
+  ServeConfig config = plain_config();
+  config.deadline.enforce = true;
+  config.deadline.initial_latency_s = 0.1;
+  config.cost.base_s = 1.0;  // the first decision pins the queue until t=1
+  config.cost.per_partition_s = 0.0;  // completion at exactly t=1
+  const AllocationService service(db(), config);
+  ServeRequest boundary = request(2, 0.0);
+  boundary.deadline_s = 1.0;  // the queue head is popped exactly at t=1
+  ServeRequest late = request(3, 0.0);
+  late.deadline_s = 0.999;
+  const ServeResult result = service.run(
+      {request(1, 0.0), boundary, late});
+
+  EXPECT_EQ(records_for(result, 2)[0]->event, DecisionEvent::kPlaced);
+  const auto expired = records_for(result, 3);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0]->event, DecisionEvent::kRejected);
+  EXPECT_EQ(expired[0]->reason, core::RejectReason::kDeadlineExpired);
+  EXPECT_EQ(result.metrics.expired, 1u);
+}
+
+// --- retry backoff -------------------------------------------------------
+
+TEST(Retry, BackoffDoublesExactlyWithZeroJitter) {
+  ServeConfig config = plain_config();
+  config.server_count = 2;
+  config.proactive.server_vm_cap = 1;
+  config.retry.enabled = true;
+  config.retry.max_attempts = 3;
+  config.retry.base_s = 0.5;
+  config.retry.multiplier = 2.0;
+  config.retry.jitter = 0.0;
+  const AllocationService service(db(), config);
+  // 4 VMs can never fit on 2 single-VM servers: every attempt fails,
+  // retries burn down the budget, and the final rejection is terminal.
+  const ServeResult result = service.run({request(1, 0.0, 0, 4)});
+
+  const auto recs = records_for(result, 1);
+  ASSERT_EQ(recs.size(), 4u);  // initial + 3 retries
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i]->attempt, static_cast<std::int32_t>(i));
+  }
+  // Attempt k schedules its retry base·2^k after the rejection instant.
+  EXPECT_DOUBLE_EQ(recs[0]->retry_at_s, recs[0]->t + 0.5);
+  EXPECT_DOUBLE_EQ(recs[1]->retry_at_s, recs[1]->t + 1.0);
+  EXPECT_DOUBLE_EQ(recs[2]->retry_at_s, recs[2]->t + 2.0);
+  EXPECT_LT(recs[3]->retry_at_s, 0.0);  // terminal
+  EXPECT_EQ(recs[3]->reason, core::RejectReason::kRetriesExhausted);
+  EXPECT_EQ(result.metrics.retries, 3u);
+  EXPECT_EQ(result.metrics.retries_exhausted, 1u);
+  EXPECT_EQ(result.metrics.rejected_final, 1u);
+}
+
+TEST(Retry, JitterIsSeededAndReproducible) {
+  ServeConfig config = plain_config();
+  config.server_count = 2;
+  config.proactive.server_vm_cap = 1;
+  config.retry.enabled = true;
+  config.retry.jitter = 0.5;
+  const std::vector<ServeRequest> stream = {request(1, 0.0, 0, 4)};
+  const ServeResult a = AllocationService(db(), config).run(stream);
+  const ServeResult b = AllocationService(db(), config).run(stream);
+  EXPECT_EQ(render_decision_log(a.log), render_decision_log(b.log));
+
+  config.seed = 99;
+  const ServeResult c = AllocationService(db(), config).run(stream);
+  EXPECT_NE(render_decision_log(a.log), render_decision_log(c.log));
+}
+
+TEST(Retry, GivesUpWhenTheRetryWouldMissTheDeadline) {
+  ServeConfig config = plain_config();
+  config.deadline.enforce = true;
+  config.deadline.initial_latency_s = 1.0;
+  config.retry.enabled = true;
+  config.retry.base_s = 0.5;
+  config.retry.jitter = 0.0;
+  const AllocationService service(db(), config);
+  // Unmeetable at the door (retryable), but the retry instant lands past
+  // the deadline, so the client gives up immediately.
+  ServeRequest hopeless = request(1, 0.0);
+  hopeless.deadline_s = 0.2;
+  const ServeResult result = service.run({hopeless});
+  ASSERT_EQ(records_for(result, 1).size(), 1u);
+  EXPECT_LT(records_for(result, 1)[0]->retry_at_s, 0.0);
+  EXPECT_EQ(records_for(result, 1)[0]->reason,
+            core::RejectReason::kDeadlineUnmeetable);
+  EXPECT_EQ(result.metrics.retries, 0u);
+  EXPECT_EQ(result.metrics.rejected_final, 1u);
+}
+
+TEST(Retry, TerminalReasonsAreNeverRetried) {
+  ServeConfig config = plain_config();
+  config.retry.enabled = true;
+  const AllocationService service(db(), config);
+  // Already expired on arrival: kDeadlineExpired is terminal, so even an
+  // enabled retry budget schedules nothing.
+  ServeRequest stale = request(1, 0.0);
+  stale.deadline_s = -1.0;
+  const ServeResult result = service.run({stale});
+  ASSERT_EQ(records_for(result, 1).size(), 1u);
+  EXPECT_EQ(records_for(result, 1)[0]->reason,
+            core::RejectReason::kDeadlineExpired);
+  EXPECT_FALSE(core::is_retryable(core::RejectReason::kDeadlineExpired));
+  EXPECT_EQ(result.metrics.retries, 0u);
+  EXPECT_EQ(result.metrics.expired, 1u);
+}
+
+// --- degradation ladder --------------------------------------------------
+
+TEST(HealthController, TripsDemotesAndReArms) {
+  ServeConfig config = plain_config();
+  config.health.enabled = true;
+  config.health.queue_high = 3.0;
+  config.health.queue_low = 1.0;
+  config.health.latency_low_s = kInf;  // depth alone drives this test
+  config.health.latency_high_s = kInf;
+  config.health.trip_after = 2;
+  config.health.rearm_after = 2;
+  config.health.min_class_when_shedding = 1;
+  config.queue.capacity = 64;
+  config.cost.base_s = 0.2;
+  config.cost.degraded_s = 0.01;
+  const AllocationService service(db(), config);
+
+  // A burst deep enough to breach the depth watermark repeatedly, then a
+  // long quiet tail so the controller can re-arm.
+  std::vector<ServeRequest> stream;
+  for (int i = 0; i < 12; ++i) {
+    stream.push_back(request(i + 1, 0.0, /*klass=*/1));
+  }
+  stream.push_back(request(100, 60.0, 1));
+  stream.push_back(request(101, 61.0, 1));
+  const ServeResult result = service.run(stream);
+
+  EXPECT_GE(result.metrics.breaker_trips, 1u);
+  EXPECT_GE(result.metrics.breaker_rearms, 1u);
+  EXPECT_GT(result.metrics.time_in_mode_s[1], 0.0);
+  EXPECT_GT(result.metrics.placed_degraded, 0u);
+  // Every request eventually placed: degradation changes the allocator,
+  // not the answer's completeness, and the tail runs back at normal.
+  EXPECT_EQ(result.metrics.placed, 14u);
+  const auto tail = records_for(result, 101);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0]->mode, ServeMode::kNormal);
+  // Mode residency accounts for the whole run.
+  const double mode_total = result.metrics.time_in_mode_s[0] +
+                            result.metrics.time_in_mode_s[1] +
+                            result.metrics.time_in_mode_s[2];
+  EXPECT_NEAR(mode_total, result.metrics.duration_s, 1e-9);
+}
+
+TEST(HealthController, SheddingRungRefusesLowClasses) {
+  ServeConfig config = plain_config();
+  config.health.enabled = true;
+  config.health.queue_high = 2.0;
+  config.health.queue_low = 0.0;
+  config.health.latency_low_s = kInf;
+  config.health.latency_high_s = kInf;
+  config.health.trip_after = 1;  // one breach per rung: fast descent
+  config.health.min_class_when_shedding = 1;
+  config.queue.capacity = 64;
+  config.cost.base_s = 0.5;
+  const AllocationService service(db(), config);
+
+  std::vector<ServeRequest> stream;
+  for (int i = 0; i < 8; ++i) {
+    stream.push_back(request(i + 1, 0.0, 1));
+  }
+  // Arrives once the service reached the shedding rung: class 0 refused.
+  stream.push_back(request(50, 0.5, 0));
+  const ServeResult result = service.run(stream);
+
+  EXPECT_GE(result.metrics.breaker_trips, 2u);
+  const auto shed = records_for(result, 50);
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0]->event, DecisionEvent::kRejected);
+  EXPECT_EQ(shed[0]->reason, core::RejectReason::kAdmissionShed);
+  EXPECT_EQ(shed[0]->mode, ServeMode::kShedding);
+}
+
+// --- graceful drain ------------------------------------------------------
+
+TEST(Drain, StopFinishesInFlightAndPreservesTheQueue) {
+  ServeConfig config = plain_config();
+  config.cost.base_s = 1.0;
+  int polls = 0;
+  config.stop = [&polls] { return ++polls > 2; };
+  persist::ServeSnapshot last;
+  bool snapped = false;
+  config.snapshot.hook = [&](const persist::ServeSnapshot& snapshot) {
+    last = snapshot;
+    snapped = true;
+  };
+  const AllocationService service(db(), config);
+  const ServeResult drained = service.run(
+      {request(1, 0.0), request(2, 0.0), request(3, 0.0)});
+
+  EXPECT_TRUE(drained.drained);
+  EXPECT_LT(drained.metrics.placed, 3u);
+  ASSERT_TRUE(snapped);  // the final drain snapshot
+  EXPECT_EQ(last.queue.size() + drained.metrics.placed, 3u);
+
+  // Resuming the drain snapshot finishes the queue: the union of the
+  // drained log and the resumed tail is exactly an uninterrupted run.
+  ServeConfig plain = plain_config();
+  plain.cost.base_s = 1.0;
+  const AllocationService resumed_service(db(), plain);
+  const ServeResult tail = resumed_service.resume(
+      {request(1, 0.0), request(2, 0.0), request(3, 0.0)}, last);
+  EXPECT_FALSE(tail.drained);
+  EXPECT_EQ(tail.metrics.placed, 3u);
+  const ServeResult reference = resumed_service.run(
+      {request(1, 0.0), request(2, 0.0), request(3, 0.0)});
+  EXPECT_EQ(render_decision_log(tail.log),
+            render_decision_log(reference.log));
+}
+
+// --- metrics JSON --------------------------------------------------------
+
+TEST(MetricsJson, ByteStableAndCarriesReasonTable) {
+  ServeConfig config = plain_config();
+  const AllocationService service(db(), config);
+  const ServeResult result = service.run({request(1, 0.0)});
+  const std::string a = serve_metrics_json(result.metrics);
+  const std::string b = serve_metrics_json(result.metrics);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"rejects_by_reason\""), std::string::npos);
+  EXPECT_NE(a.find("\"no-feasible-server\""), std::string::npos);
+  EXPECT_NE(a.find("\"time_in_mode_s\""), std::string::npos);
+  EXPECT_NE(a.find("\"goodput_fraction\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aeva::serve

@@ -30,3 +30,16 @@ void locked_update(Widget& w) {
 void check_widget(const Widget& w) {
   assert(w.value >= 0);  // EXPECT[raw-assert]
 }
+
+#include <deque>
+#include <queue>
+
+// Queue primitives that never say how big they may grow; overload
+// protection treats such buffers as a defect (docs/RESILIENCE.md).
+struct RequestBuffer {
+  std::deque<Widget> pending_;  // EXPECT[unbounded-queue]
+
+  int spacer_between_the_two_declarations = 0;
+
+  std::queue<int> backlog_;  // EXPECT[unbounded-queue]
+};

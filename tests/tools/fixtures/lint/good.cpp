@@ -18,3 +18,9 @@ state with util::MutexGuard, never std::lock_guard)";
 double scaled(const Sample& s, double factor) {
   return s.value * factor;
 }
+
+#include <deque>
+
+// Bounded work list: every producer checks size() against kWorkCapacity
+// before pushing (the capacity bound lives next to the declaration).
+std::deque<Sample> g_work;

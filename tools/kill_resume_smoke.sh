@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Kill-and-resume smoke for process-level durability (docs/RESILIENCE.md,
-# "Process-level durability").
+# "Process-level durability" and "Overload protection").
 #
-# 1. Runs datacenter_sim uninterrupted and records its final metrics.
+# For each durable binary (the batch simulator, then the serve mode):
+#
+# 1. Runs it uninterrupted and records its final outputs.
 # 2. Starts the same run with periodic checkpointing, waits for a
 #    checkpoint file to appear, and SIGKILLs the process mid-run — the
 #    crash a snapshot exists to survive.
-# 3. Restores from the surviving checkpoint and requires the resumed run's
-#    final-metrics JSON to be byte-identical to the uninterrupted
-#    reference (the bit-identical-resume guarantee, end to end through the
-#    real binary, the wire format, and a real SIGKILL).
+# 3. Restores from the surviving checkpoint and requires the resumed
+#    run's outputs to be byte-identical to the uninterrupted reference
+#    (the bit-identical-resume guarantee, end to end through the real
+#    binary, the wire format, and a real SIGKILL).
 #
 # Usage: tools/kill_resume_smoke.sh [build-dir]
 
@@ -17,11 +19,47 @@ set -euo pipefail
 
 build_dir="${1:-build}"
 sim="$build_dir/examples/datacenter_sim"
+serve="$build_dir/examples/aeva_serve"
 
-if [[ ! -x "$sim" ]]; then
-  echo "error: $sim not built (configure + build first)" >&2
-  exit 1
-fi
+for bin in "$sim" "$serve"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (configure + build first)" >&2
+    exit 1
+  fi
+done
+
+# Starts "$@" in the background, waits for checkpoint file $snap to
+# appear, then SIGKILLs the process. Fails if the run finishes before a
+# checkpoint lands or if no checkpoint survives the kill.
+kill_after_first_checkpoint() {
+  local snap="$1"
+  local log="$2"
+  shift 2
+  "$@" > "$log" 2>&1 &
+  local pid=$!
+  # The atomic rename guarantees we only ever observe complete snapshots.
+  for _ in $(seq 1 600); do
+    if [[ -s "$snap" ]]; then
+      break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      break
+    fi
+    sleep 0.05
+  done
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "FAIL: run finished before a checkpoint was captured" >&2
+    cat "$log" >&2
+    return 1
+  fi
+  kill -KILL "$pid"
+  wait "$pid" 2>/dev/null || true
+  if [[ ! -s "$snap" ]]; then
+    echo "FAIL: no checkpoint file survived the kill" >&2
+    return 1
+  fi
+  echo "killed pid $pid; surviving checkpoint: $(stat -c%s "$snap") bytes"
+}
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -36,33 +74,9 @@ echo "== checkpointed run, killed mid-flight =="
 # --snapshot-sleep-ms stretches wall time at every checkpoint (the
 # simulation itself is untouched), so the SIGKILL below reliably lands
 # while the run is in progress.
-"$sim" "${args[@]}" --snapshot-every 1500 --snapshot-sleep-ms 250 \
-  --snapshot-out "$workdir/run.snap" > "$workdir/killed.log" 2>&1 &
-pid=$!
-
-# Wait for the first checkpoint to land (the atomic rename guarantees we
-# only ever observe complete snapshots), then kill without warning.
-for _ in $(seq 1 600); do
-  if [[ -s "$workdir/run.snap" ]]; then
-    break
-  fi
-  if ! kill -0 "$pid" 2>/dev/null; then
-    break
-  fi
-  sleep 0.05
-done
-if ! kill -0 "$pid" 2>/dev/null; then
-  echo "FAIL: simulation finished before a checkpoint was captured" >&2
-  cat "$workdir/killed.log" >&2
-  exit 1
-fi
-kill -KILL "$pid"
-wait "$pid" 2>/dev/null || true
-if [[ ! -s "$workdir/run.snap" ]]; then
-  echo "FAIL: no checkpoint file survived the kill" >&2
-  exit 1
-fi
-echo "killed pid $pid; surviving checkpoint: $(stat -c%s "$workdir/run.snap") bytes"
+kill_after_first_checkpoint "$workdir/run.snap" "$workdir/killed.log" \
+  "$sim" "${args[@]}" --snapshot-every 1500 --snapshot-sleep-ms 250 \
+  --snapshot-out "$workdir/run.snap"
 
 echo "== resume from the surviving checkpoint =="
 "$sim" "${args[@]}" --restore-from "$workdir/run.snap" \
@@ -74,4 +88,41 @@ if ! cmp -s "$workdir/reference.json" "$workdir/resumed.json"; then
   exit 1
 fi
 
-echo "PASS: resumed run is byte-identical to the uninterrupted reference"
+echo "PASS: resumed simulator run is byte-identical to the reference"
+
+# ---------------------------------------------------------------------------
+# Serve mode (docs/RESILIENCE.md, "Overload protection"): same contract
+# through serve::AllocationService and the AEVASRV wire format — the
+# resumed service must reproduce the uninterrupted run's decision log
+# AND serve-metrics JSON byte for byte, with crashes, retries and the
+# degradation ladder all active across the kill point.
+
+serve_args=(--requests 400 --rate 40 --servers 8 --seed 2026
+            --queue-cap 24 --hold-mean 5 --deadline-slack 6 --mtbf 300)
+
+echo "== serve reference run (uninterrupted) =="
+"$serve" "${serve_args[@]}" \
+  --decision-log "$workdir/serve_reference.log" \
+  --serve-metrics-out "$workdir/serve_reference.json" \
+  > "$workdir/serve_reference.out"
+
+echo "== checkpointed serve run, killed mid-flight =="
+kill_after_first_checkpoint "$workdir/serve.snap" "$workdir/serve_killed.log" \
+  "$serve" "${serve_args[@]}" --snapshot-every 1 --snapshot-sleep-ms 250 \
+  --snapshot-out "$workdir/serve.snap"
+
+echo "== resume the service from the surviving checkpoint =="
+"$serve" "${serve_args[@]}" --restore-from "$workdir/serve.snap" \
+  --decision-log "$workdir/serve_resumed.log" \
+  --serve-metrics-out "$workdir/serve_resumed.json" \
+  > "$workdir/serve_resumed.out"
+
+for out in log json; do
+  if ! cmp -s "$workdir/serve_reference.$out" "$workdir/serve_resumed.$out"; then
+    echo "FAIL: resumed serve $out differs from the uninterrupted reference" >&2
+    diff "$workdir/serve_reference.$out" "$workdir/serve_resumed.$out" >&2 || true
+    exit 1
+  fi
+done
+
+echo "PASS: resumed serve run is byte-identical to the reference"

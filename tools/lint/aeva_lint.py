@@ -61,6 +61,18 @@ Rules (all scoped to first-party code under src/, see --paths):
                        invisible to the analysis and silently exempts
                        every field it guards from the proof.
 
+  unbounded-queue      No `std::deque` / `std::queue` outside src/util/
+                       without an adjacent (±2 lines, comments included)
+                       mention of the bound that protects it —
+                       "bounded", "capacity", "limit", or similar.
+                       Overload protection is only as good as its weakest
+                       queue: an unbounded buffer turns backpressure into
+                       memory growth and tail latency
+                       (docs/RESILIENCE.md, "Overload protection"). A
+                       queue that genuinely is bounded must say so where
+                       it is declared, next to the capacity check that
+                       enforces it.
+
   header-standalone    Every .hpp must compile on its own
                        (`$CXX -fsyntax-only -I src`), i.e. include what it
                        uses. Skipped when no compiler is available or with
@@ -177,6 +189,16 @@ PATTERN_RULES = [
     ),
 ]
 
+# unbounded-queue is not a PATTERN_RULE: the pattern matches *stripped*
+# source, but the suppressing bound declaration usually lives in a
+# comment, so the rule re-reads the raw text around each hit.
+UNBOUNDED_QUEUE_RE = re.compile(r"std::(deque|queue)\s*<")
+# "unbounded" itself must not read as a bound (it is the rule's own name,
+# and fixture EXPECT markers carry it on the finding line).
+BOUND_KEYWORD_RE = re.compile(
+    r"(?<!un)bound|capacit|limit|budget|fixed-size|ring buffer", re.IGNORECASE
+)
+
 # Files exempt from a rule by construction (the rule's own implementation
 # site). Further exceptions belong in the allowlist file with a reason.
 BUILTIN_EXEMPT = {
@@ -187,6 +209,9 @@ BUILTIN_EXEMPT = {
     # util/ is where the annotated wrappers themselves (and ThreadPool's
     # condition waits) live; everywhere else goes through them.
     "raw-mutex": ["src/util/*"],
+    # util/ hosts infrastructure queues (ThreadPool's work queue drains by
+    # construction); product-code queues must declare their bound.
+    "unbounded-queue": ["src/util/*"],
 }
 
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
@@ -313,6 +338,44 @@ def run_pattern_rules(files: list[Path], allowlist) -> list[dict]:
                             "excerpt": line.strip()[:120],
                         }
                     )
+    return findings
+
+
+def run_unbounded_queue_rule(files: list[Path], allowlist) -> list[dict]:
+    """Flags std::deque/std::queue with no bound named within ±2 raw lines.
+
+    The match runs on stripped source (so a string mentioning std::queue
+    cannot trip it), but the suppression context is the *raw* text: the
+    bound is typically documented in a comment next to the capacity check
+    (e.g. src/serve/service.cpp's admission queue)."""
+    findings = []
+    for path in files:
+        rel = rel_to_repo(path)
+        if is_exempt("unbounded-queue", rel, allowlist):
+            continue
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        stripped_lines = strip_comments_and_strings(raw).splitlines()
+        for idx, line in enumerate(stripped_lines):
+            if not UNBOUNDED_QUEUE_RE.search(line):
+                continue
+            lo = max(0, idx - 2)
+            hi = min(len(raw_lines), idx + 3)
+            if BOUND_KEYWORD_RE.search("\n".join(raw_lines[lo:hi])):
+                continue
+            findings.append(
+                {
+                    "rule": "unbounded-queue",
+                    "path": rel,
+                    "line": idx + 1,
+                    "message": "queue primitive with no declared bound: "
+                    "overload protection requires every queue to be "
+                    "capacity-checked — add the check and name the bound "
+                    "in an adjacent comment, or allowlist with a reason "
+                    "(docs/RESILIENCE.md)",
+                    "excerpt": raw_lines[idx].strip()[:120],
+                }
+            )
     return findings
 
 
@@ -479,6 +542,7 @@ def main() -> int:
     files = collect_files(args.paths)
 
     findings = run_pattern_rules(files, allowlist)
+    findings += run_unbounded_queue_rule(files, allowlist)
     if not args.no_compile:
         findings += run_header_standalone(files, allowlist, args.jobs)
     if not args.no_doc_links:
