@@ -84,6 +84,14 @@ int main(int argc, char** argv) {
           {"deadline-slack", "seconds",
            "mean decision-deadline slack; <= 0 disables deadlines"},
           {"alpha", "A", "proactive energy/performance trade-off"},
+          {"incremental", "",
+           "answer normal-mode decisions from the cached fleet planner"},
+          {"oracle-every", "N",
+           "exhaustive oracle cross-check every N decisions; 0 disables"},
+          {"oracle-every-s", "seconds",
+           "exhaustive oracle cross-check every S sim seconds; 0 disables"},
+          {"drift-watermark", "N",
+           "oracle divergences tolerated before a full fleet resync"},
           {"no-health", "", "disable the degradation-ladder controller"},
           {"no-retry", "", "disable client-side retries"},
           {"mtbf", "seconds",
@@ -123,6 +131,12 @@ int main(int argc, char** argv) {
       parse_shed_policy(args.get_string("shed-policy", "reject-newest"));
   config.health.enabled = !args.has("no-health");
   config.retry.enabled = !args.has("no-retry");
+  config.incremental.enabled = args.has("incremental");
+  config.incremental.oracle_every_decisions =
+      static_cast<std::uint64_t>(args.get_int("oracle-every", 0));
+  config.incremental.oracle_every_s = args.get_double("oracle-every-s", 0.0);
+  config.incremental.drift_watermark =
+      static_cast<std::uint64_t>(args.get_int("drift-watermark", 1));
   config.failure.mtbf_s = args.get_double("mtbf", 0.0);
   const std::string failure_script = args.get_string("failure-script", "");
   if (!failure_script.empty()) {
@@ -205,9 +219,14 @@ int main(int argc, char** argv) {
             << m.retries_exhausted << " exhausted\n"
             << "  sheds/expired   : " << m.sheds << "/" << m.expired << "\n"
             << "  crashes         : " << m.crashes << " (" << m.groups_lost
-            << " groups lost, " << m.restarts << " re-admitted)\n"
-            << "  rejections by reason:\n"
-            << reject_reason_table(m);
+            << " groups lost, " << m.restarts << " re-admitted)\n";
+  if (config.incremental.enabled) {
+    std::cout << "  incremental     : " << m.decisions_incremental
+              << " decision(s), " << m.oracle_checks << " oracle check(s), "
+              << m.oracle_divergences << " divergence(s), "
+              << m.fleet_resyncs << " resync(s)\n";
+  }
+  std::cout << "  rejections by reason:\n" << reject_reason_table(m);
 
   const std::string decision_log = args.get_string("decision-log", "");
   if (!decision_log.empty()) {

@@ -1,0 +1,258 @@
+#pragma once
+
+/// \file incremental.hpp
+/// Incremental per-server allocator state for serve mode (ROADMAP item 1).
+///
+/// `ProactiveAllocator::allocate` is a pure batch search: every call
+/// rebuilds its evaluation context from the full server list — one model
+/// estimate per server for the base energies, a fresh equivalence-group
+/// index, a fresh per-shape score memo. That per-call O(fleet) setup is
+/// what caps the serve loop's steady-state decision rate, not the
+/// partition search itself (requests carry 1–4 VMs, so the candidate
+/// space is tiny).
+///
+/// `FleetState` keeps that context alive between decisions, in the style
+/// of redpanda's `partition_allocator` (SNIPPETS.md #2): one
+/// `AllocationNode` per server carrying its cached allocation vector and
+/// liveness, a **persistent equivalence-group index** (servers keyed by
+/// identical (hardware class, resident mix) — the same quotient the batch
+/// search rebuilds per call) with O(log n) membership updates on every
+/// `allocate()`/`deallocate()` delta, and a **persistent score memo**
+/// keyed by (hardware, base mix, block shape). Because the batch search's
+/// per-block evaluation (`placed_on`) is a pure function of exactly that
+/// key and the model database, the memo entries replay bit-for-bit across
+/// decisions and never need invalidation.
+///
+/// `plan()` then reproduces the exhaustive search **exactly** — same
+/// canonical partition enumeration, same greedy per-block server choice
+/// with the same tie-breaks, same reject taxonomy and first-fit fallback
+/// leg, the same doubles everywhere — while touching only the group index
+/// (|groups| ≪ fleet) instead of the fleet. Steady-state decisions are
+/// therefore independent of fleet size, and the exhaustive allocator
+/// demotes to a periodic *oracle*: the serve layer re-runs it every N
+/// sim-seconds / decisions to cross-check the incremental plan and
+/// resynchronize on drift (serve::IncrementalConfig,
+/// docs/ARCHITECTURE.md "Rebalancer as oracle").
+///
+/// Not thread-safe: one FleetState belongs to one (single-threaded) serve
+/// loop, mirroring its committed state. bench/serve_latency gates the
+/// p50/p99 decision-latency win and the placement/energy/makespan parity
+/// against the batch search.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/first_fit.hpp"
+#include "core/proactive.hpp"
+#include "core/types.hpp"
+#include "modeldb/database.hpp"
+#include "workload/profile.hpp"
+
+namespace aeva::core {
+
+/// Cached per-server allocation state (the redpanda `allocation_node`
+/// idiom): the resident class-count vector plus liveness, maintained by
+/// deltas instead of being re-derived from a server list on every
+/// decision.
+struct AllocationNode {
+  int id = 0;
+  int hardware = 0;
+  workload::ClassCounts allocated;
+  bool powered = false;
+  bool down = false;  ///< crash-masked: invisible to plan() until repair
+
+  [[nodiscard]] bool empty() const noexcept { return allocated.total() == 0; }
+};
+
+/// Counters of the incremental planner (reset() zeroes them).
+struct FleetStats {
+  std::uint64_t plans = 0;          ///< plan() calls
+  std::uint64_t allocs = 0;         ///< allocate() delta updates
+  std::uint64_t deallocs = 0;       ///< deallocate() delta updates
+  std::uint64_t memo_hits = 0;      ///< score-memo hits across plans
+  std::uint64_t memo_misses = 0;    ///< score-memo fills (model estimates)
+  std::uint64_t resyncs = 0;        ///< full reset() rebuilds
+  std::size_t groups = 0;           ///< live equivalence groups
+  std::size_t memo_entries = 0;     ///< persistent score-memo size
+};
+
+/// The incremental fleet: per-server `AllocationNode`s, the persistent
+/// equivalence-group index, and the persistent score memo. See the file
+/// comment for the design; docs/API.md for the contract table.
+class FleetState {
+ public:
+  /// Homogeneous fleet. The database must outlive the fleet state.
+  FleetState(const modeldb::ModelDatabase& db, ProactiveConfig config);
+
+  /// Heterogeneous fleet: one model per hardware class, exactly as the
+  /// batch allocator's heterogeneous constructor. `dbs` must be non-empty
+  /// and contain no nulls; all databases must outlive the fleet state.
+  FleetState(std::vector<const modeldb::ModelDatabase*> dbs,
+             ProactiveConfig config);
+
+  ~FleetState();
+  FleetState(FleetState&&) noexcept;
+  FleetState& operator=(FleetState&&) noexcept;
+
+  /// Rebuilds every node and the group index from authoritative server
+  /// states (initial sync, snapshot restore, oracle-driven resync).
+  /// Server ids must be unique; the optional `down` mask is indexed
+  /// positionally and must match `servers` in size when present. The
+  /// score memo survives (it is a pure function of the model database).
+  void reset(const std::vector<ServerState>& servers,
+             const std::vector<std::uint8_t>* down = nullptr);
+
+  /// Delta update: one VM of `profile` committed to / released from the
+  /// server. O(log n) group-index maintenance; throws on unknown ids,
+  /// down servers, or a release that would drive a count negative.
+  void allocate(int server_id, workload::ProfileClass profile, int count = 1);
+  void deallocate(int server_id, workload::ProfileClass profile,
+                  int count = 1);
+
+  /// Crash masking: the server drops out of the group index (and
+  /// plan()'s world) with its residents zeroed — the serve loop journals
+  /// and re-admits the lost groups itself. repair() returns it cold and
+  /// empty, exactly as the serve capacity model does.
+  void crash(int server_id);
+  void repair(int server_id);
+
+  /// Plans a request against the cached state: bit-identical placements,
+  /// score, outcome, and search effort to
+  /// `ProactiveAllocator::allocate(vms, up_servers())` under the same
+  /// config — with `AllocationPath::kIncremental` marking results the
+  /// incremental primary search produced (the fallback/reject legs keep
+  /// their batch labels). Non-const: the score memo fills lazily.
+  [[nodiscard]] AllocationResult plan(const std::vector<VmRequest>& vms);
+
+  /// The live (non-down) servers, in id order — the exact vector the
+  /// batch allocator would receive. O(fleet): for the oracle and the
+  /// first-fit fallback leg only, never on the steady-state path.
+  [[nodiscard]] std::vector<ServerState> up_servers() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t up_count() const noexcept { return up_count_; }
+  [[nodiscard]] const AllocationNode& node(int server_id) const;
+  [[nodiscard]] const ProactiveConfig& config() const noexcept {
+    return config_;
+  }
+  /// Counters (groups/memo_entries refreshed on read).
+  [[nodiscard]] FleetStats stats() const;
+
+ private:
+  /// Group key: (hardware class, resident mix) — two live servers with
+  /// equal keys are interchangeable for any block up to the id tie-break.
+  struct GroupKey {
+    int hardware = 0;
+    workload::ClassCounts mix;
+
+    friend bool operator<(const GroupKey& a, const GroupKey& b) noexcept {
+      if (a.hardware != b.hardware) return a.hardware < b.hardware;
+      return a.mix < b.mix;
+    }
+  };
+
+  /// Request-independent evaluation of one block shape on one group:
+  /// the exact doubles `SearchContext::placed_on` would produce. A pure
+  /// function of (hardware, base mix, block shape) and the database —
+  /// cached forever, never invalidated.
+  struct MemoEntry {
+    bool feasible = false;
+    double time_per_class[workload::kProfileClassCount] = {0.0, 0.0, 0.0};
+    /// Σ block.of(c) · time_per_class[c], summed in class order at fill
+    /// time — the exact double the batch evaluator's per-block time loop
+    /// produces, hoisted out of the hot path.
+    double block_time = 0.0;
+    double marginal_energy_j = 0.0;
+  };
+
+  /// One equivalence group: the live members (ascending id) plus the
+  /// group's slice of the persistent score memo, keyed by the packed
+  /// block shape. Both sides are flat sorted vectors: lookups dominate
+  /// the steady-state decision cost, and contiguous binary searches /
+  /// indexed member access beat node-based containers by several times
+  /// (docs/PERFORMANCE.md), while updates are rare O(n) memmoves over
+  /// small arrays. A slot whose members drain empty is kept — its memo is
+  /// a pure function of (key, database) and stays valid if the mix ever
+  /// recurs; plan() skips member-less slots.
+  struct GroupSlot {
+    std::vector<int> members;  ///< sorted ascending
+    std::vector<std::pair<std::uint64_t, MemoEntry>> memo;
+    std::uint32_t ordinal = 0;  ///< creation index (slot_order_ position)
+    /// The base mix's absolute energy, filled on the slot's first memo
+    /// fill: every shape's marginal energy subtracts the same base, so
+    /// caching it halves the model estimates a new group costs.
+    double base_energy_j = 0.0;
+    bool base_known = false;
+  };
+
+  struct Planner;  // per-plan() search state, in incremental.cpp
+
+  [[nodiscard]] const CostModel& model_of(int hardware) const;
+  [[nodiscard]] AllocationNode& node_mut(int server_id);
+  void index_insert(const AllocationNode& node);
+  void index_erase(const AllocationNode& node);
+  [[nodiscard]] const MemoEntry& memo_entry(const GroupKey& group,
+                                            GroupSlot& slot,
+                                            std::uint64_t shape_key,
+                                            const workload::ClassCounts& block);
+
+  ProactiveConfig config_;
+  std::vector<CostModel> models_;
+  /// Largest per-class time any feasible mix can estimate to, measured by
+  /// the constructor's warmup sweep: a request whose class deadlines all
+  /// sit at or above this bound provably passes every per-block QoS
+  /// check, letting plan() take the QoS-free fold.
+  double max_time_s_ = 0.0;
+  bool prune_enabled_ = false;  ///< same arming condition as the batch search
+  /// Degradation leg, mirroring the batch allocator's fallback chain.
+  std::optional<FirstFitAllocator> fallback_;
+
+  std::vector<AllocationNode> nodes_;
+  std::map<int, std::size_t> by_id_;  ///< server id → nodes_ index
+  std::size_t up_count_ = 0;
+  /// The persistent group index: ordered members, ascending id — the
+  /// "first unused member" a candidate's greedy scan must pick is always
+  /// the k-th smallest (earlier blocks of a candidate consume a prefix).
+  /// Each slot carries its own memo slice so the hot path's lookups are
+  /// small integer-keyed maps, not one big composite-keyed map
+  /// (docs/PERFORMANCE.md "Decision latency").
+  std::map<GroupKey, GroupSlot> groups_;
+  /// Creation-ordered view of every slot — the group-key *universe*,
+  /// which only ever grows (slots are never erased). Positions are the
+  /// stable ordinals the planner's cross-plan caches are indexed by:
+  /// when a never-seen mix appears the caches extend append-only, and
+  /// membership churn, drains, and revivals invalidate nothing (drained
+  /// groups are skipped by the availability check). Pointers target
+  /// std::map nodes, so they stay valid across insertions and moves.
+  std::vector<std::pair<const GroupKey*, GroupSlot*>> slot_order_;
+  /// members.size() per slot ordinal, maintained O(1) on every delta: a
+  /// contiguous availability array, so the planner's candidate walk skips
+  /// drained or saturated groups without chasing into map nodes.
+  std::vector<std::uint32_t> member_count_;
+  /// members.front() per slot ordinal (0 when drained): the planner's
+  /// common case — a group not yet used by the candidate under
+  /// evaluation — reads its tie-break id from this dense array instead
+  /// of chasing into the map node.
+  std::vector<int> head_id_;
+  /// The ordinals with members right now, in arbitrary order (swap-remove
+  /// maintenance via live_pos_). The planner's candidate fold touches
+  /// exactly these |live| ≪ |universe| groups, and its lazy evaluation
+  /// only ever computes cells for mixes that are actually resident.
+  std::vector<std::uint32_t> live_order_;
+  std::vector<std::uint32_t> live_pos_;  ///< ordinal → live_order_ index
+  /// Bumped whenever the live set *gains* an ordinal (a drain never adds
+  /// uncovered work): the planner's per-shape coverage stamp.
+  std::uint64_t live_grow_stamp_ = 0;
+  /// Lazily created, reused across plan() calls: every scratch vector
+  /// keeps its capacity, so a warm decision allocates nothing.
+  std::unique_ptr<Planner> scratch_;
+  mutable FleetStats stats_;
+};
+
+}  // namespace aeva::core

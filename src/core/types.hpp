@@ -58,6 +58,8 @@ enum class AllocationPath {
   kPrimary,          ///< the strategy's own search placed the request
   kFallbackFirstFit, ///< primary failed; a first-fit fallback placed it
   kRejected,         ///< nothing could place it — see `reason`
+  kIncremental,      ///< the incremental fleet planner placed it
+                     ///< (core::FleetState — same search, cached state)
 };
 
 /// Why the primary strategy could not place a request (also attached to
@@ -129,6 +131,7 @@ struct AllocationOutcome {
     case AllocationPath::kPrimary: return "primary";
     case AllocationPath::kFallbackFirstFit: return "fallback-first-fit";
     case AllocationPath::kRejected: return "rejected";
+    case AllocationPath::kIncremental: return "incremental";
   }
   return "?";
 }

@@ -139,6 +139,10 @@ void encode_payload(std::string& out, const ServeSnapshot& s) {
   put_f64(out, s.health.latency_ewma_s);
   put_f64(out, s.health.mode_since_s);
 
+  put_f64(out, s.incremental.next_oracle_s);
+  put_u64(out, s.incremental.decisions_since_oracle);
+  put_u64(out, s.incremental.divergences_since_resync);
+
   put_rng_state(out, s.retry_rng);
   put_failure_state(out, s.failure);
 
@@ -160,6 +164,10 @@ void encode_payload(std::string& out, const ServeSnapshot& s) {
   put_u64(out, m.crashes);
   put_u64(out, m.groups_lost);
   put_u64(out, m.restarts);
+  put_u64(out, m.decisions_incremental);
+  put_u64(out, m.oracle_checks);
+  put_u64(out, m.oracle_divergences);
+  put_u64(out, m.fleet_resyncs);
   put_u64(out, m.rejects_by_reason.size());
   for (const std::uint64_t n : m.rejects_by_reason) {
     put_u64(out, n);
@@ -279,6 +287,10 @@ ServeSnapshot decode_payload(Reader& in) {
   s.health.latency_ewma_s = in.f64();
   s.health.mode_since_s = in.f64();
 
+  s.incremental.next_oracle_s = in.f64();
+  s.incremental.decisions_since_oracle = in.u64();
+  s.incremental.divergences_since_resync = in.u64();
+
   s.retry_rng = read_rng_state(in);
   s.failure = read_failure_state(in);
 
@@ -300,6 +312,10 @@ ServeSnapshot decode_payload(Reader& in) {
   m.crashes = in.u64();
   m.groups_lost = in.u64();
   m.restarts = in.u64();
+  m.decisions_incremental = in.u64();
+  m.oracle_checks = in.u64();
+  m.oracle_divergences = in.u64();
+  m.fleet_resyncs = in.u64();
   const std::size_t n_reasons = in.count(8);
   m.rejects_by_reason.reserve(n_reasons);
   for (std::size_t i = 0; i < n_reasons; ++i) {
@@ -326,7 +342,7 @@ ServeSnapshot decode_payload(Reader& in) {
     rec.klass = in.i32();
     rec.event = read_small_enum(in, 3, "decision event");
     rec.mode = read_small_enum(in, 3, "decision mode");
-    rec.path = read_small_enum(in, 3, "allocation path");
+    rec.path = read_small_enum(in, 4, "allocation path");
     // 16 is a generous structural bound; the serve layer re-validates the
     // value against core::kRejectReasonCount on restore (persist stays
     // below core in the layering).

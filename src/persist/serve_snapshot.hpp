@@ -41,7 +41,8 @@ namespace aeva::persist {
 
 /// Current serve-snapshot format version (exact-match policy, as with
 /// kSnapshotVersion). Bump on any layout change.
-inline constexpr std::uint32_t kServeSnapshotVersion = 1;
+/// v2: incremental-planner oracle state + counters, 4-valued path enum.
+inline constexpr std::uint32_t kServeSnapshotVersion = 2;
 
 /// One request, as carried in queues / pending retries.
 struct ServeRequestState {
@@ -111,6 +112,15 @@ struct ServeHealthState {
   double mode_since_s = 0.0;
 };
 
+/// Incremental fleet planner / oracle-rebalancer state (the FleetState
+/// itself is rebuilt from the server mirror on restore; only the oracle
+/// cadence position travels).
+struct ServeIncrementalState {
+  double next_oracle_s = 0.0;  ///< next periodic oracle due time (+inf = off)
+  std::uint64_t decisions_since_oracle = 0;
+  std::uint64_t divergences_since_resync = 0;
+};
+
 /// One journaled decision-log record (mirror of serve::DecisionRecord).
 struct ServeDecisionState {
   double t = 0.0;
@@ -146,6 +156,10 @@ struct ServeMetricsState {
   std::uint64_t crashes = 0;
   std::uint64_t groups_lost = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t decisions_incremental = 0;
+  std::uint64_t oracle_checks = 0;
+  std::uint64_t oracle_divergences = 0;
+  std::uint64_t fleet_resyncs = 0;
   std::vector<std::uint64_t> rejects_by_reason;  ///< core::kRejectReasonCount
   std::vector<double> time_in_mode_s;            ///< serve::kServeModeCount
   double queue_depth_integral = 0.0;
@@ -172,6 +186,7 @@ struct ServeSnapshot {
   std::vector<ServeResidentState> residents;
 
   ServeHealthState health;
+  ServeIncrementalState incremental;
   util::Rng::State retry_rng;
   FailureScheduleState failure;
   ServeMetricsState metrics;

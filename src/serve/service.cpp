@@ -7,6 +7,7 @@
 #include <map>
 #include <utility>
 
+#include "core/incremental.hpp"
 #include "util/error.hpp"
 
 namespace aeva::serve {
@@ -86,6 +87,10 @@ struct ServeObs {
   obs::Counter* breaker_rearms = nullptr;
   obs::Counter* crashes = nullptr;
   obs::Counter* restarts = nullptr;
+  obs::Counter* incremental_decisions = nullptr;
+  obs::Counter* oracle_checks = nullptr;
+  obs::Counter* oracle_divergences = nullptr;
+  obs::Counter* fleet_resyncs = nullptr;
   obs::Gauge* queue_depth = nullptr;
   obs::Gauge* mode = nullptr;
   obs::Histogram* decision_latency = nullptr;
@@ -106,6 +111,10 @@ struct ServeObs {
     breaker_rearms = &reg.counter("serve.breaker.rearms");
     crashes = &reg.counter("serve.crashes");
     restarts = &reg.counter("serve.restarts");
+    incremental_decisions = &reg.counter("serve.incremental.decisions");
+    oracle_checks = &reg.counter("serve.incremental.oracle_checks");
+    oracle_divergences = &reg.counter("serve.incremental.divergences");
+    fleet_resyncs = &reg.counter("serve.incremental.resyncs");
     queue_depth = &reg.gauge("serve.queue.depth");
     mode = &reg.gauge("serve.mode");
     decision_latency = &reg.histogram(
@@ -114,6 +123,36 @@ struct ServeObs {
          5.0});
   }
 };
+
+/// Result equality for the oracle cross-check (the incremental planner
+/// labels its successful primary searches kIncremental; everything else
+/// must agree verbatim, doubles bitwise).
+[[nodiscard]] bool plans_equal(const core::AllocationResult& a,
+                               const core::AllocationResult& b) {
+  const auto norm = [](core::AllocationPath path) {
+    return path == core::AllocationPath::kIncremental
+               ? core::AllocationPath::kPrimary
+               : path;
+  };
+  if (a.complete != b.complete || a.satisfied_qos != b.satisfied_qos ||
+      a.partitions_examined != b.partitions_examined ||
+      norm(a.outcome.path) != norm(b.outcome.path) ||
+      a.outcome.reason != b.outcome.reason ||
+      a.outcome.search_truncated != b.outcome.search_truncated ||
+      a.score.est_time_s != b.score.est_time_s ||
+      a.score.est_energy_j != b.score.est_energy_j ||
+      a.score.combined != b.score.combined ||
+      a.placements.size() != b.placements.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    if (a.placements[i].vm_id != b.placements[i].vm_id ||
+        a.placements[i].server_id != b.placements[i].server_id) {
+      return false;
+    }
+  }
+  return true;
+}
 
 void append_json_number(std::string& out, double value) {
   if (std::isinf(value)) {
@@ -168,6 +207,15 @@ void ServeConfig::validate() const {
                "per-partition cost must be finite and >= 0");
   AEVA_REQUIRE(cost.degraded_s > 0.0 && std::isfinite(cost.degraded_s),
                "degraded decision cost must be positive and finite");
+  AEVA_REQUIRE(cost.incremental_s > 0.0 && std::isfinite(cost.incremental_s),
+               "incremental decision cost must be positive and finite");
+  AEVA_REQUIRE(incremental.oracle_every_s >= 0.0 &&
+                   std::isfinite(incremental.oracle_every_s),
+               "oracle period must be finite and >= 0, got ",
+               incremental.oracle_every_s);
+  AEVA_REQUIRE(incremental.drift_watermark >= 1,
+               "drift watermark must be >= 1, got ",
+               incremental.drift_watermark);
   AEVA_REQUIRE(snapshot.every_s >= 0.0, "snapshot period must be >= 0");
   if (failure.enabled) {
     failure.validate(server_count);
@@ -177,6 +225,7 @@ void ServeConfig::validate() const {
 AllocationService::AllocationService(const modeldb::ModelDatabase& db,
                                      ServeConfig config)
     : config_(std::move(config)),
+      db_(&db),
       primary_(db,
                [this] {
                  // The primary chain shares the service's obs session
@@ -193,7 +242,7 @@ AllocationService::AllocationService(const modeldb::ModelDatabase& db,
 
 std::uint64_t AllocationService::config_fingerprint() const {
   persist::Fingerprint fp;
-  fp.mix_string("serve-config-v1");
+  fp.mix_string("serve-config-v2");
   fp.mix(static_cast<std::uint64_t>(config_.server_count));
   const core::ProactiveConfig& pa = config_.proactive;
   fp.mix(static_cast<std::uint64_t>(pa.goal));
@@ -230,6 +279,11 @@ std::uint64_t AllocationService::config_fingerprint() const {
   fp.mix_double(config_.cost.base_s);
   fp.mix_double(config_.cost.per_partition_s);
   fp.mix_double(config_.cost.degraded_s);
+  fp.mix_double(config_.cost.incremental_s);
+  fp.mix(config_.incremental.enabled ? 1 : 0);
+  fp.mix_double(config_.incremental.oracle_every_s);
+  fp.mix(config_.incremental.oracle_every_decisions);
+  fp.mix(config_.incremental.drift_watermark);
   fp.mix(config_.failure.enabled ? 1 : 0);
   if (config_.failure.enabled) {
     fp.mix(config_.failure.script.size());
@@ -277,6 +331,13 @@ struct AllocationService::Loop {
   double latency_ewma = 0.0;
   double mode_since_s = 0.0;
 
+  /// Incremental rung: the cached per-server planner (mirrors every
+  /// committed capacity change below) plus the oracle cadence position.
+  std::optional<core::FleetState> fleet;
+  double next_oracle_s = kInf;
+  std::uint64_t decisions_since_oracle = 0;
+  std::uint64_t divergences_since_resync = 0;
+
   util::Rng retry_rng;
   std::optional<datacenter::FailureSchedule> failures;
   /// Scheduled client retries outstanding in the heap. Tracked separately
@@ -304,6 +365,13 @@ struct AllocationService::Loop {
       servers[static_cast<std::size_t>(i)].id = i;
     }
     down.assign(static_cast<std::size_t>(cfg.server_count), 0);
+    if (cfg.incremental.enabled) {
+      fleet.emplace(*service.db_, cfg.proactive);
+      fleet->reset(servers);
+      if (cfg.incremental.oracle_every_s > 0.0) {
+        next_oracle_s = cfg.incremental.oracle_every_s;
+      }
+    }
     latency_ewma = cfg.deadline.initial_latency_s;
     if (cfg.failure.enabled) {
       failures.emplace(cfg.failure, cfg.server_count, 0.0);
@@ -594,20 +662,86 @@ struct AllocationService::Loop {
                                       entry.request.qos_time_s});
       }
       const std::vector<core::ServerState> up = up_servers();
-      fl.result = rung == ServeMode::kNormal ? svc.primary_.allocate(vms, up)
-                                             : svc.degraded_.allocate(vms, up);
+      bool used_incremental = false;
+      if (rung != ServeMode::kNormal) {
+        fl.result = svc.degraded_.allocate(vms, up);
+      } else if (!fleet.has_value()) {
+        fl.result = svc.primary_.allocate(vms, up);
+      } else {
+        const bool oracle_due =
+            now >= next_oracle_s ||
+            (cfg.incremental.oracle_every_decisions > 0 &&
+             decisions_since_oracle + 1 >=
+                 cfg.incremental.oracle_every_decisions);
+        if (oracle_due) {
+          run_oracle(fl, vms, up);
+        } else {
+          fl.result = fleet->plan(vms);
+          ++decisions_since_oracle;
+          ++metrics.decisions_incremental;
+          AEVA_OBS_IF(obs.incremental_decisions,
+                      obs.incremental_decisions->add());
+          used_incremental = true;
+        }
+      }
       const double cost =
-          rung == ServeMode::kNormal
-              ? cfg.cost.base_s +
-                    cfg.cost.per_partition_s *
-                        static_cast<double>(fl.result.partitions_examined)
-              : cfg.cost.degraded_s;
+          used_incremental
+              ? cfg.cost.incremental_s
+              : (rung == ServeMode::kNormal
+                     ? cfg.cost.base_s +
+                           cfg.cost.per_partition_s *
+                               static_cast<double>(
+                                   fl.result.partitions_examined)
+                     : cfg.cost.degraded_s);
       Event done;
       done.t = now + cost;
       done.kind = kDecisionDoneEvent;
       push_event(std::move(done));
       in_flight = std::move(fl);
     }
+  }
+
+  /// Oracle pass: the exhaustive allocator produces the authoritative
+  /// answer for this decision while the incremental planner runs in its
+  /// shadow. A mismatch in either the plan or the per-server capacity
+  /// mirror counts one divergence; `drift_watermark` divergences since
+  /// the last resync rebuild the fleet from ground truth.
+  void run_oracle(InFlight& fl, const std::vector<core::VmRequest>& vms,
+                  const std::vector<core::ServerState>& up) {
+    ++metrics.oracle_checks;
+    AEVA_OBS_IF(obs.oracle_checks, obs.oracle_checks->add());
+    decisions_since_oracle = 0;
+    if (cfg.incremental.oracle_every_s > 0.0) {
+      while (next_oracle_s <= now) {
+        next_oracle_s += cfg.incremental.oracle_every_s;
+      }
+    }
+    const core::AllocationResult shadow = fleet->plan(vms);
+    fl.result = svc.primary_.allocate(vms, up);
+    if (!plans_equal(shadow, fl.result) || !fleet_in_sync()) {
+      ++metrics.oracle_divergences;
+      AEVA_OBS_IF(obs.oracle_divergences, obs.oracle_divergences->add());
+      if (++divergences_since_resync >= cfg.incremental.drift_watermark) {
+        fleet->reset(servers, &down);
+        divergences_since_resync = 0;
+        ++metrics.fleet_resyncs;
+        AEVA_OBS_IF(obs.fleet_resyncs, obs.fleet_resyncs->add());
+      }
+    }
+  }
+
+  /// True when the fleet mirror matches the loop's ground-truth capacity
+  /// state server for server.
+  [[nodiscard]] bool fleet_in_sync() const {
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      const core::AllocationNode& node = fleet->node(servers[i].id);
+      if (node.down != (down[i] != 0) ||
+          node.powered != servers[i].powered ||
+          !(node.allocated == servers[i].allocated)) {
+        return false;
+      }
+    }
+    return true;
   }
 
   void commit_placement(const InFlight& fl) {
@@ -658,6 +792,9 @@ struct AllocationService::Loop {
           servers[static_cast<std::size_t>(p.server_id)];
       ++server.allocated.of(fl.request.profile);
       server.powered = true;
+      if (fleet.has_value()) {
+        fleet->allocate(p.server_id, fl.request.profile);
+      }
     }
     const bool is_restart = !std::isnan(fl.request.release_at_s);
     if (std::isfinite(res.release_s) && !is_restart) {
@@ -729,6 +866,9 @@ struct AllocationService::Loop {
     down[s] = 1;
     servers[s].powered = false;
     servers[s].allocated = workload::ClassCounts{};
+    if (fleet.has_value()) {
+      fleet->crash(ev.server);
+    }
 
     // Every group with any VM on the crashed server is lost whole
     // (request-granularity recovery), in id order for determinism.
@@ -750,6 +890,9 @@ struct AllocationService::Loop {
       for (const std::int32_t server : res.servers) {
         if (server != ev.server && down[static_cast<std::size_t>(server)] == 0) {
           --servers[static_cast<std::size_t>(server)].allocated.of(res.profile);
+          if (fleet.has_value()) {
+            fleet->deallocate(server, res.profile);
+          }
         }
       }
       ++metrics.groups_lost;
@@ -793,6 +936,9 @@ struct AllocationService::Loop {
   void apply_repair(std::int32_t server) {
     const std::size_t s = static_cast<std::size_t>(server);
     down[s] = 0;  // returns cold (powered == false) and empty
+    if (fleet.has_value()) {
+      fleet->repair(server);
+    }
     if (failures.has_value()) {
       failures->on_repair(server, now);
     }
@@ -808,6 +954,9 @@ struct AllocationService::Loop {
     for (const std::int32_t server : res.servers) {
       if (down[static_cast<std::size_t>(server)] == 0) {
         --servers[static_cast<std::size_t>(server)].allocated.of(res.profile);
+        if (fleet.has_value()) {
+          fleet->deallocate(server, res.profile);
+        }
       }
     }
   }
@@ -915,6 +1064,10 @@ struct AllocationService::Loop {
     s.health.latency_ewma_s = latency_ewma;
     s.health.mode_since_s = mode_since_s;
 
+    s.incremental.next_oracle_s = next_oracle_s;
+    s.incremental.decisions_since_oracle = decisions_since_oracle;
+    s.incremental.divergences_since_resync = divergences_since_resync;
+
     s.retry_rng = retry_rng.state();
     if (failures.has_value()) {
       const datacenter::FailureSchedule::State fs = failures->state();
@@ -941,6 +1094,10 @@ struct AllocationService::Loop {
     m.crashes = metrics.crashes;
     m.groups_lost = metrics.groups_lost;
     m.restarts = metrics.restarts;
+    m.decisions_incremental = metrics.decisions_incremental;
+    m.oracle_checks = metrics.oracle_checks;
+    m.oracle_divergences = metrics.oracle_divergences;
+    m.fleet_resyncs = metrics.fleet_resyncs;
     m.rejects_by_reason.assign(metrics.rejects_by_reason.begin(),
                                metrics.rejects_by_reason.end());
     m.time_in_mode_s.assign(metrics.time_in_mode_s.begin(),
@@ -1097,6 +1254,15 @@ struct AllocationService::Loop {
     latency_ewma = s.health.latency_ewma_s;
     mode_since_s = s.health.mode_since_s;
 
+    next_oracle_s = s.incremental.next_oracle_s;
+    decisions_since_oracle = s.incremental.decisions_since_oracle;
+    divergences_since_resync = s.incremental.divergences_since_resync;
+    if (fleet.has_value()) {
+      // The planner itself is rebuilt from the restored ground truth (the
+      // score memo is pure, so this does not perturb later decisions).
+      fleet->reset(servers, &down);
+    }
+
     retry_rng.set_state(s.retry_rng);
     if (failures.has_value()) {
       datacenter::FailureSchedule::State fs;
@@ -1124,6 +1290,10 @@ struct AllocationService::Loop {
     metrics.crashes = m.crashes;
     metrics.groups_lost = m.groups_lost;
     metrics.restarts = m.restarts;
+    metrics.decisions_incremental = m.decisions_incremental;
+    metrics.oracle_checks = m.oracle_checks;
+    metrics.oracle_divergences = m.oracle_divergences;
+    metrics.fleet_resyncs = m.fleet_resyncs;
     if (m.rejects_by_reason.size() != core::kRejectReasonCount ||
         m.time_in_mode_s.size() != static_cast<std::size_t>(kServeModeCount)) {
       throw persist::SnapshotMismatchError(
@@ -1350,8 +1520,10 @@ std::string serve_metrics_json(const ServeMetrics& m) {
   put_u("breaker_rearms", m.breaker_rearms);
   put_u("breaker_trips", m.breaker_trips);
   put_u("crashes", m.crashes);
+  put_u("decisions_incremental", m.decisions_incremental);
   put_d("duration_s", m.duration_s);
   put_u("expired", m.expired);
+  put_u("fleet_resyncs", m.fleet_resyncs);
   put_d("goodput_fraction", m.goodput_fraction);
   put_u("groups_lost", m.groups_lost);
   put_u("invalidated", m.invalidated);
@@ -1361,6 +1533,8 @@ std::string serve_metrics_json(const ServeMetrics& m) {
   put_d("mean_queue_depth", m.mean_queue_depth);
   put_d("mean_wait_s", m.mean_wait_s);
   put_u("offered", m.offered);
+  put_u("oracle_checks", m.oracle_checks);
+  put_u("oracle_divergences", m.oracle_divergences);
   put_d("peak_queue_depth", m.peak_queue_depth);
   put_u("placed", m.placed);
   put_u("placed_degraded", m.placed_degraded);

@@ -12,6 +12,11 @@
 ///  * **deadline-aware admission**: requests predicted to miss their
 ///    decision deadline (queue depth × a moving decision-latency
 ///    estimate) are refused at the door instead of wasting queue space;
+///  * an optional **incremental rung ahead of the proactive search**
+///    (IncrementalConfig): normal-rung decisions run against a cached
+///    per-server `core::FleetState` — bit-identical placements with no
+///    per-decision fleet scan — while the exhaustive allocator demotes
+///    to a periodic oracle that cross-checks and resynchronizes it;
 ///  * a **degradation ladder** driven by a hysteresis health controller:
 ///    consecutive breaches of the queue-depth / latency watermarks trip a
 ///    circuit breaker one rung down (normal → degraded → shedding),
@@ -126,6 +131,31 @@ struct DecisionCostConfig {
   double base_s = 0.01;
   double per_partition_s = 2e-5;
   double degraded_s = 0.002;
+  /// Cost of an incremental-rung decision (core::FleetState::plan): no
+  /// per-fleet setup, group-index lookups only — far below base_s.
+  double incremental_s = 5e-4;
+};
+
+/// Incremental fleet planner tuning (the serve half of
+/// core/incremental.hpp; docs/ARCHITECTURE.md "Rebalancer as oracle").
+/// When enabled, normal-rung decisions run against the cached
+/// `core::FleetState` — bit-identical placements to the exhaustive
+/// search at `DecisionCostConfig::incremental_s` per decision — and the
+/// exhaustive `ProactiveAllocator` demotes to a periodic *oracle*: every
+/// `oracle_every_s` sim-seconds and/or every `oracle_every_decisions`
+/// decisions, one decision runs both planners, takes the exhaustive
+/// answer as authoritative, and cross-checks the fleet's plan and mirror
+/// state. `drift_watermark` divergences since the last resync force a
+/// full `FleetState::reset` from the authoritative fleet.
+struct IncrementalConfig {
+  bool enabled = false;  ///< default-off: existing behaviour bit-identical
+  /// Sim-seconds between periodic oracle decisions; 0 disables the clock.
+  double oracle_every_s = 0.0;
+  /// Decisions between oracle decisions; 0 disables the counter. With
+  /// both triggers 0 the oracle never runs (pure incremental serving).
+  std::uint64_t oracle_every_decisions = 0;
+  /// Oracle divergences since the last resync that force a resync (>= 1).
+  std::uint64_t drift_watermark = 1;
 };
 
 /// Periodic service checkpointing (mirrors datacenter::SnapshotConfig).
@@ -153,6 +183,7 @@ struct ServeConfig {
   HealthConfig health;
   RetryConfig retry;
   DecisionCostConfig cost;
+  IncrementalConfig incremental;
 
   /// Fault injection (crash kind only: a crashed server loses its
   /// resident groups — each is journaled as `lost` and re-admitted — and
@@ -198,6 +229,11 @@ struct ServeMetrics {
   std::uint64_t crashes = 0;
   std::uint64_t groups_lost = 0;  ///< placed groups lost to crashes
   std::uint64_t restarts = 0;     ///< lost groups re-admitted
+  /// Incremental rung (zero unless IncrementalConfig::enabled).
+  std::uint64_t decisions_incremental = 0;  ///< served from FleetState
+  std::uint64_t oracle_checks = 0;          ///< exhaustive cross-checks run
+  std::uint64_t oracle_divergences = 0;     ///< cross-checks that disagreed
+  std::uint64_t fleet_resyncs = 0;          ///< drift-watermark full rebuilds
   /// Every rejection event tallied by its immediate reason (index =
   /// core::RejectReason value; includes non-final, later-retried ones).
   std::array<std::uint64_t, core::kRejectReasonCount> rejects_by_reason{};
@@ -247,6 +283,9 @@ class AllocationService {
   struct Loop;  // the event loop lives in service.cpp
 
   ServeConfig config_;
+  /// Kept for the incremental rung: each run's Loop builds its
+  /// core::FleetState against the same database as the primary chain.
+  const modeldb::ModelDatabase* db_ = nullptr;
   core::ProactiveAllocator primary_;
   core::FirstFitAllocator degraded_;
 };

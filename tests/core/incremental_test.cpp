@@ -1,0 +1,212 @@
+/// Unit coverage for the incremental fleet state (core/incremental.hpp):
+/// node bookkeeping under allocate/deallocate deltas, crash masking and
+/// repair, group-index consistency, memo persistence across resyncs, and
+/// the argument-validation contract. Search parity against the batch
+/// allocator lives in incremental_parity_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/incremental.hpp"
+#include "testing/shared_db.hpp"
+
+namespace aeva::core {
+namespace {
+
+using workload::ClassCounts;
+using workload::ProfileClass;
+
+const modeldb::ModelDatabase& db() { return testing::shared_db(); }
+
+std::vector<ServerState> empty_servers(int count) {
+  std::vector<ServerState> servers;
+  for (int i = 0; i < count; ++i) {
+    servers.push_back(ServerState{i, ClassCounts{}, false});
+  }
+  return servers;
+}
+
+std::vector<VmRequest> cpu_request(int count, double qos_s = 1e12) {
+  std::vector<VmRequest> vms;
+  for (int i = 0; i < count; ++i) {
+    VmRequest vm;
+    vm.id = i + 1;
+    vm.profile = ProfileClass::kCpu;
+    vm.max_exec_time_s = qos_s;
+    vms.push_back(vm);
+  }
+  return vms;
+}
+
+FleetState make_fleet(int servers, ProactiveConfig config = {}) {
+  FleetState fleet(db(), config);
+  fleet.reset(empty_servers(servers));
+  return fleet;
+}
+
+TEST(FleetState, ResetBuildsNodesInIdOrder) {
+  FleetState fleet = make_fleet(4);
+  EXPECT_EQ(fleet.size(), 4u);
+  EXPECT_EQ(fleet.up_count(), 4u);
+  const auto up = fleet.up_servers();
+  ASSERT_EQ(up.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(up[static_cast<std::size_t>(i)].id, i);
+    EXPECT_TRUE(fleet.node(i).empty());
+    EXPECT_FALSE(fleet.node(i).down);
+  }
+}
+
+TEST(FleetState, AllocateDeltaUpdatesNodeAndUpServers) {
+  FleetState fleet = make_fleet(2);
+  fleet.allocate(1, ProfileClass::kMem);
+  fleet.allocate(1, ProfileClass::kMem);
+  fleet.allocate(0, ProfileClass::kIo, 3);
+  EXPECT_EQ(fleet.node(1).allocated.mem, 2);
+  EXPECT_TRUE(fleet.node(1).powered);
+  EXPECT_EQ(fleet.node(0).allocated.io, 3);
+  const auto up = fleet.up_servers();
+  EXPECT_EQ(up[0].allocated.io, 3);
+  EXPECT_EQ(up[1].allocated.mem, 2);
+
+  fleet.deallocate(0, ProfileClass::kIo, 2);
+  EXPECT_EQ(fleet.node(0).allocated.io, 1);
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.allocs, 3u);
+  EXPECT_EQ(stats.deallocs, 1u);
+}
+
+TEST(FleetState, DeltaValidation) {
+  FleetState fleet = make_fleet(2);
+  EXPECT_THROW(fleet.allocate(7, ProfileClass::kCpu), std::invalid_argument);
+  EXPECT_THROW(fleet.allocate(0, ProfileClass::kCpu, 0),
+               std::invalid_argument);
+  EXPECT_THROW(fleet.deallocate(0, ProfileClass::kCpu),
+               std::invalid_argument);  // underflow
+  fleet.crash(1);
+  EXPECT_THROW(fleet.allocate(1, ProfileClass::kCpu), std::invalid_argument);
+  EXPECT_THROW((void)fleet.node(7), std::invalid_argument);
+}
+
+TEST(FleetState, ResetRejectsDuplicateIdsAndBadMask) {
+  FleetState fleet(db(), ProactiveConfig{});
+  auto servers = empty_servers(2);
+  servers[1].id = 0;
+  EXPECT_THROW(fleet.reset(servers), std::invalid_argument);
+  const std::vector<std::uint8_t> short_mask = {0};
+  EXPECT_THROW(fleet.reset(empty_servers(2), &short_mask),
+               std::invalid_argument);
+}
+
+TEST(FleetState, CrashMasksAndRepairReturnsColdEmpty) {
+  FleetState fleet = make_fleet(3);
+  fleet.allocate(1, ProfileClass::kCpu, 2);
+  fleet.crash(1);
+  fleet.crash(1);  // idempotent, like the serve capacity model
+  EXPECT_EQ(fleet.up_count(), 2u);
+  EXPECT_TRUE(fleet.node(1).down);
+  EXPECT_TRUE(fleet.node(1).empty());  // residents zeroed with the crash
+  const auto up = fleet.up_servers();
+  ASSERT_EQ(up.size(), 2u);
+  EXPECT_EQ(up[0].id, 0);
+  EXPECT_EQ(up[1].id, 2);
+
+  fleet.repair(1);
+  EXPECT_EQ(fleet.up_count(), 3u);
+  EXPECT_FALSE(fleet.node(1).down);
+  EXPECT_FALSE(fleet.node(1).powered);  // cold
+  EXPECT_TRUE(fleet.node(1).empty());
+}
+
+TEST(FleetState, ResetHonoursDownMask) {
+  FleetState fleet(db(), ProactiveConfig{});
+  const std::vector<std::uint8_t> mask = {0, 1, 0};
+  fleet.reset(empty_servers(3), &mask);
+  EXPECT_EQ(fleet.size(), 3u);
+  EXPECT_EQ(fleet.up_count(), 2u);
+  EXPECT_TRUE(fleet.node(1).down);
+  // A down server never reaches the planner's world.
+  const auto result = fleet.plan(cpu_request(2));
+  ASSERT_TRUE(result.complete);
+  for (const Placement& p : result.placements) {
+    EXPECT_NE(p.server_id, 1);
+  }
+}
+
+TEST(FleetState, PlanMarksIncrementalPath) {
+  FleetState fleet = make_fleet(2);
+  const auto result = fleet.plan(cpu_request(2));
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.outcome.path, AllocationPath::kIncremental);
+  EXPECT_EQ(result.outcome.reason, RejectReason::kNone);
+  EXPECT_STREQ(to_string(result.outcome.path), "incremental");
+}
+
+TEST(FleetState, EmptyRequestCompletesTrivially) {
+  FleetState fleet = make_fleet(1);
+  const auto result = fleet.plan({});
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.placements.empty());
+}
+
+TEST(FleetState, AllServersDownRejectsWithNoServers) {
+  FleetState fleet = make_fleet(2);
+  fleet.crash(0);
+  fleet.crash(1);
+  const auto result = fleet.plan(cpu_request(1));
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.outcome.path, AllocationPath::kRejected);
+  EXPECT_EQ(result.outcome.reason, RejectReason::kNoServers);
+}
+
+TEST(FleetState, MemoSurvivesResyncAndFillsOnce) {
+  FleetState fleet = make_fleet(8);
+  (void)fleet.plan(cpu_request(3));
+  const FleetStats first = fleet.stats();
+  EXPECT_GT(first.memo_misses, 0u);
+  EXPECT_GT(first.memo_entries, 0u);
+
+  // Resync rebuilds nodes and groups but keeps the score memo: replanning
+  // the same request shape adds no new entries.
+  fleet.reset(empty_servers(8));
+  (void)fleet.plan(cpu_request(3));
+  const FleetStats second = fleet.stats();
+  EXPECT_EQ(second.memo_misses, first.memo_misses);
+  EXPECT_GT(second.memo_hits, first.memo_hits);
+  EXPECT_EQ(second.resyncs, first.resyncs + 1);
+}
+
+TEST(FleetState, IdenticalEmptyServersCollapseToOneGroup) {
+  FleetState fleet = make_fleet(16);
+  (void)fleet.plan(cpu_request(1));
+  EXPECT_EQ(fleet.stats().groups, 1u);
+  fleet.allocate(5, ProfileClass::kMem);
+  EXPECT_EQ(fleet.stats().groups, 2u);
+  fleet.deallocate(5, ProfileClass::kMem);
+  EXPECT_EQ(fleet.stats().groups, 1u);
+}
+
+TEST(FleetState, ConfigValidation) {
+  ProactiveConfig bad_alpha;
+  bad_alpha.alpha = 1.5;
+  EXPECT_THROW(FleetState(db(), bad_alpha), std::invalid_argument);
+  ProactiveConfig bad_fallback;
+  bad_fallback.degrade_to_first_fit = true;
+  bad_fallback.fallback_multiplex = 0;
+  EXPECT_THROW(FleetState(db(), bad_fallback), std::invalid_argument);
+  EXPECT_THROW(
+      FleetState(std::vector<const modeldb::ModelDatabase*>{}, {}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FleetState(std::vector<const modeldb::ModelDatabase*>{nullptr}, {}),
+      std::invalid_argument);
+  // Unknown hardware class surfaces at reset, not at plan time.
+  FleetState fleet(db(), ProactiveConfig{});
+  std::vector<ServerState> servers = empty_servers(1);
+  servers[0].hardware = 3;
+  EXPECT_THROW(fleet.reset(servers), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::core
