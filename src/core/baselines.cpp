@@ -22,8 +22,8 @@ SlotFitAllocator::SlotFitAllocator(Policy policy, int multiplex,
 }
 
 AllocationResult SlotFitAllocator::allocate(
-    const std::vector<VmRequest>& vms,
-    const std::vector<ServerState>& servers) const {
+    std::span<const VmRequest> vms,
+    std::span<const ServerState> servers) const {
   AllocationResult result;
   if (vms.empty()) {
     result.complete = true;
@@ -81,8 +81,8 @@ RandomFitAllocator::RandomFitAllocator(std::uint64_t seed, int multiplex,
 }
 
 AllocationResult RandomFitAllocator::allocate(
-    const std::vector<VmRequest>& vms,
-    const std::vector<ServerState>& servers) const {
+    std::span<const VmRequest> vms,
+    std::span<const ServerState> servers) const {
   AllocationResult result;
   if (vms.empty()) {
     result.complete = true;
@@ -182,8 +182,8 @@ DemandVector used_vector(
 }  // namespace
 
 AllocationResult VectorFitAllocator::allocate(
-    const std::vector<VmRequest>& vms,
-    const std::vector<ServerState>& servers) const {
+    std::span<const VmRequest> vms,
+    std::span<const ServerState> servers) const {
   AllocationResult result;
   if (vms.empty()) {
     result.complete = true;

@@ -35,8 +35,8 @@ class SlotFitAllocator final : public Allocator {
   SlotFitAllocator(Policy policy, int multiplex, int cpus_per_server = 4);
 
   [[nodiscard]] AllocationResult allocate(
-      const std::vector<VmRequest>& vms,
-      const std::vector<ServerState>& servers) const override;
+      std::span<const VmRequest> vms,
+      std::span<const ServerState> servers) const override;
 
   [[nodiscard]] std::string name() const override;
 
@@ -59,8 +59,8 @@ class RandomFitAllocator final : public Allocator {
                      int cpus_per_server = 4);
 
   [[nodiscard]] AllocationResult allocate(
-      const std::vector<VmRequest>& vms,
-      const std::vector<ServerState>& servers) const override;
+      std::span<const VmRequest> vms,
+      std::span<const ServerState> servers) const override;
 
   [[nodiscard]] std::string name() const override;
 
@@ -97,8 +97,8 @@ class VectorFitAllocator final : public Allocator {
   [[nodiscard]] static VectorFitAllocator from_registry(double overcommit);
 
   [[nodiscard]] AllocationResult allocate(
-      const std::vector<VmRequest>& vms,
-      const std::vector<ServerState>& servers) const override;
+      std::span<const VmRequest> vms,
+      std::span<const ServerState> servers) const override;
 
   [[nodiscard]] std::string name() const override;
 

@@ -6,7 +6,7 @@ namespace aeva::core {
 
 FirstFitAllocator::FirstFitAllocator(int multiplex, int cpus_per_server)
     : FirstFitAllocator(multiplex, std::vector<int>{cpus_per_server}) {}
-
+// Ctors run once per allocator; allocate() reuses thread_local scratch.
 FirstFitAllocator::FirstFitAllocator(int multiplex,
                                      std::vector<int> cpus_by_hardware)
     : multiplex_(multiplex), cpus_by_hardware_(std::move(cpus_by_hardware)) {
@@ -26,16 +26,32 @@ int FirstFitAllocator::server_capacity(int hardware) const {
 }
 
 AllocationResult FirstFitAllocator::allocate(
-    const std::vector<VmRequest>& vms,
-    const std::vector<ServerState>& servers) const {
+    std::span<const VmRequest> vms,
+    std::span<const ServerState> servers) const {
   AllocationResult result;
+  allocate_into(vms, servers, result);
+  return result;
+}
+
+void FirstFitAllocator::allocate_into(std::span<const VmRequest> vms,
+                                      std::span<const ServerState> servers,
+                                      AllocationResult& out) const {
+  out.placements.clear();
+  out.score = AllocationScore{};
+  out.complete = false;
+  out.satisfied_qos = true;
+  out.partitions_examined = 0;
+  out.outcome = AllocationOutcome{};
   if (vms.empty()) {
-    result.complete = true;
-    return result;
+    out.complete = true;
+    return;
   }
 
-  // Track residual capacity without mutating the caller's states.
-  std::vector<int> free_slots;
+  // Track residual capacity without mutating the caller's states. The
+  // scratch is thread_local so the const interface stays thread-safe while
+  // warm calls reuse its capacity (zero heap allocations in steady state).
+  thread_local std::vector<int> free_slots;
+  free_slots.clear();
   free_slots.reserve(servers.size());
   for (const ServerState& server : servers) {
     free_slots.push_back(server_capacity(server.hardware) -
@@ -46,7 +62,7 @@ AllocationResult FirstFitAllocator::allocate(
     bool placed = false;
     for (std::size_t s = 0; s < servers.size(); ++s) {
       if (free_slots[s] > 0) {
-        result.placements.push_back(Placement{vm.id, servers[s].id});
+        out.placements.push_back(Placement{vm.id, servers[s].id});
         --free_slots[s];
         placed = true;
         break;
@@ -54,17 +70,16 @@ AllocationResult FirstFitAllocator::allocate(
     }
     if (!placed) {
       // All-or-nothing: the job request waits for capacity.
-      result.placements.clear();
-      result.complete = false;
-      result.outcome = AllocationOutcome{
+      out.placements.clear();
+      out.complete = false;
+      out.outcome = AllocationOutcome{
           AllocationPath::kRejected,
           servers.empty() ? RejectReason::kNoServers
                           : RejectReason::kNoFeasibleServer};
-      return result;
+      return;
     }
   }
-  result.complete = true;
-  return result;
+  out.complete = true;
 }
 
 std::string FirstFitAllocator::name() const {

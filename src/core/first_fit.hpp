@@ -25,8 +25,15 @@ class FirstFitAllocator final : public Allocator {
   FirstFitAllocator(int multiplex, std::vector<int> cpus_by_hardware);
 
   [[nodiscard]] AllocationResult allocate(
-      const std::vector<VmRequest>& vms,
-      const std::vector<ServerState>& servers) const override;
+      std::span<const VmRequest> vms,
+      std::span<const ServerState> servers) const override;
+
+  /// Zero-alloc override: fills `out` in place (placements capacity
+  /// retained) and tracks residual slots in a thread-local scratch that
+  /// keeps its capacity, so a warm call performs no heap allocation.
+  void allocate_into(std::span<const VmRequest> vms,
+                     std::span<const ServerState> servers,
+                     AllocationResult& out) const override;
 
   [[nodiscard]] std::string name() const override;
 

@@ -763,7 +763,7 @@ void FleetState::index_erase(const AllocationNode& node) {
   // member-less groups — no cache is invalidated by a drain.
 }
 
-void FleetState::reset(const std::vector<ServerState>& servers,
+void FleetState::reset(std::span<const ServerState> servers,
                        const std::vector<std::uint8_t>* down) {
   AEVA_REQUIRE(down == nullptr || down->size() == servers.size(),
                "down mask size ", down == nullptr ? 0 : down->size(),
@@ -844,9 +844,12 @@ void FleetState::repair(int server_id) {
   index_insert(node);
 }
 
-std::vector<ServerState> FleetState::up_servers() const {
-  std::vector<ServerState> up;
-  up.reserve(up_count_);
+const std::vector<ServerState>& FleetState::up_servers() const {
+  if (up_count_ > up_scratch_.capacity()) {
+    ++stats_.up_scratch_grows;
+  }
+  up_scratch_.clear();
+  up_scratch_.reserve(up_count_);
   for (const auto& [id, index] : by_id_) {  // id order == batch up order
     (void)id;
     const AllocationNode& node = nodes_[index];
@@ -858,9 +861,9 @@ std::vector<ServerState> FleetState::up_servers() const {
     server.allocated = node.allocated;
     server.powered = node.powered;
     server.hardware = node.hardware;
-    up.push_back(server);
+    up_scratch_.push_back(server);
   }
-  return up;
+  return up_scratch_;
 }
 
 FleetStats FleetState::stats() const {
@@ -914,7 +917,7 @@ const FleetState::MemoEntry& FleetState::memo_entry(
   return slot.memo.insert(pos, {shape_key, entry})->second;
 }
 
-AllocationResult FleetState::plan(const std::vector<VmRequest>& vms) {
+AllocationResult FleetState::plan(std::span<const VmRequest> vms) {
   ++stats_.plans;
   AllocationResult result;
   if (vms.empty()) {

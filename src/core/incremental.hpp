@@ -78,6 +78,11 @@ struct FleetStats {
   std::uint64_t memo_hits = 0;      ///< score-memo hits across plans
   std::uint64_t memo_misses = 0;    ///< score-memo fills (model estimates)
   std::uint64_t resyncs = 0;        ///< full reset() rebuilds
+  /// up_servers() scratch reallocations. Grows only while the scratch
+  /// capacity catches up with the fleet size; a steady-state window in
+  /// which this stays flat proves the view costs zero heap allocations
+  /// per call (tests/core/incremental_test.cpp pins it).
+  std::uint64_t up_scratch_grows = 0;
   std::size_t groups = 0;           ///< live equivalence groups
   std::size_t memo_entries = 0;     ///< persistent score-memo size
 };
@@ -105,7 +110,7 @@ class FleetState {
   /// Server ids must be unique; the optional `down` mask is indexed
   /// positionally and must match `servers` in size when present. The
   /// score memo survives (it is a pure function of the model database).
-  void reset(const std::vector<ServerState>& servers,
+  void reset(std::span<const ServerState> servers,
              const std::vector<std::uint8_t>* down = nullptr);
 
   /// Delta update: one VM of `profile` committed to / released from the
@@ -128,12 +133,14 @@ class FleetState {
   /// config — with `AllocationPath::kIncremental` marking results the
   /// incremental primary search produced (the fallback/reject legs keep
   /// their batch labels). Non-const: the score memo fills lazily.
-  [[nodiscard]] AllocationResult plan(const std::vector<VmRequest>& vms);
+  [[nodiscard]] AllocationResult plan(std::span<const VmRequest> vms);
 
-  /// The live (non-down) servers, in id order — the exact vector the
-  /// batch allocator would receive. O(fleet): for the oracle and the
-  /// first-fit fallback leg only, never on the steady-state path.
-  [[nodiscard]] std::vector<ServerState> up_servers() const;
+  /// The live (non-down) servers, in id order — the exact view the batch
+  /// allocator would receive. O(fleet) to fill but allocation-free once
+  /// the internal scratch has grown to fleet size: the reference aims at
+  /// a reused member buffer, invalidated by the next up_servers() call
+  /// (copy it if you need to hold it across fleet mutations).
+  [[nodiscard]] const std::vector<ServerState>& up_servers() const;
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] std::size_t up_count() const noexcept { return up_count_; }
@@ -252,6 +259,9 @@ class FleetState {
   /// Lazily created, reused across plan() calls: every scratch vector
   /// keeps its capacity, so a warm decision allocates nothing.
   std::unique_ptr<Planner> scratch_;
+  /// up_servers() view buffer, reused across calls (capacity retained;
+  /// growth events are counted in FleetStats::up_scratch_grows).
+  mutable std::vector<ServerState> up_scratch_;
   mutable FleetStats stats_;
 };
 

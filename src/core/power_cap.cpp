@@ -16,7 +16,7 @@ PowerCapAllocator::PowerCapAllocator(std::unique_ptr<Allocator> inner,
 }
 
 double PowerCapAllocator::predicted_power_w(
-    const std::vector<ServerState>& servers) const {
+    std::span<const ServerState> servers) const {
   double total = 0.0;
   for (const ServerState& server : servers) {
     if (server.allocated.total() > 0) {
@@ -27,8 +27,8 @@ double PowerCapAllocator::predicted_power_w(
 }
 
 AllocationResult PowerCapAllocator::allocate(
-    const std::vector<VmRequest>& vms,
-    const std::vector<ServerState>& servers) const {
+    std::span<const VmRequest> vms,
+    std::span<const ServerState> servers) const {
   AllocationResult result = inner_->allocate(vms, servers);
   if (!result.complete || result.placements.empty()) {
     return result;

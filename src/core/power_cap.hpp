@@ -26,14 +26,14 @@ class PowerCapAllocator final : public Allocator {
                     const modeldb::ModelDatabase& db, double cap_w);
 
   [[nodiscard]] AllocationResult allocate(
-      const std::vector<VmRequest>& vms,
-      const std::vector<ServerState>& servers) const override;
+      std::span<const VmRequest> vms,
+      std::span<const ServerState> servers) const override;
 
   [[nodiscard]] std::string name() const override;
 
   /// Predicted cluster draw for the given states (busy servers only).
   [[nodiscard]] double predicted_power_w(
-      const std::vector<ServerState>& servers) const;
+      std::span<const ServerState> servers) const;
 
   [[nodiscard]] double cap_w() const noexcept { return cap_w_; }
 

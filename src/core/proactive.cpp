@@ -121,7 +121,7 @@ modeldb::EstimateCache::Stats ProactiveAllocator::memo_stats() const {
 }
 
 std::size_t ProactiveAllocator::rewarm(
-    const std::vector<ServerState>& servers) const {
+    std::span<const ServerState> servers) const {
   if (memos_.empty()) {
     return 0;  // memoization off (or force_serial): nothing to warm
   }
@@ -210,7 +210,7 @@ void atomic_fetch_min(std::atomic<double>& target, double value) {
 struct SearchContext {
   const ProactiveConfig& config;
   const std::vector<CostModel>& models;
-  const std::vector<ServerState>& servers;
+  std::span<const ServerState> servers;
   std::vector<ClassCounts> base_alloc;
   std::vector<double> base_energy;
   /// Deadlines per class, tightest first, used by the QoS check.
@@ -235,7 +235,7 @@ struct SearchContext {
 
   SearchContext(const ProactiveConfig& config_in,
                 const std::vector<CostModel>& models_in,
-                const std::vector<ServerState>& servers_in)
+                std::span<const ServerState> servers_in)
       : config(config_in), models(models_in), servers(servers_in) {}
 
   [[nodiscard]] const CostModel& model_of(std::size_t server) const {
@@ -740,8 +740,8 @@ struct SearchBest {
 }  // namespace
 
 AllocationResult ProactiveAllocator::allocate(
-    const std::vector<VmRequest>& vms,
-    const std::vector<ServerState>& servers) const {
+    std::span<const VmRequest> vms,
+    std::span<const ServerState> servers) const {
   AllocationResult result;
   if (vms.empty()) {
     result.complete = true;

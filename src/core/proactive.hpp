@@ -129,8 +129,8 @@ class ProactiveAllocator final : public Allocator {
   /// worker pool serializes its fan-out phases, so every caller still gets
   /// the bit-exact serial-reference answer.
   [[nodiscard]] AllocationResult allocate(
-      const std::vector<VmRequest>& vms,
-      const std::vector<ServerState>& servers) const override;
+      std::span<const VmRequest> vms,
+      std::span<const ServerState> servers) const override;
 
   [[nodiscard]] std::string name() const override;
 
@@ -156,7 +156,7 @@ class ProactiveAllocator final : public Allocator {
   /// No-op (returns 0) when memoization is off or `force_serial` is set;
   /// never changes any allocation decision (the cache is semantically
   /// transparent).
-  std::size_t rewarm(const std::vector<ServerState>& servers) const;
+  std::size_t rewarm(std::span<const ServerState> servers) const;
 
  private:
   /// Mutable search machinery shared by const allocate() calls (and by

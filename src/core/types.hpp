@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -172,6 +173,12 @@ struct AllocationResult {
 
 /// Strategy interface shared by the proactive allocator and the first-fit
 /// baselines; the datacenter simulator drives either uniformly.
+///
+/// Both entry points take spans, so callers hand over whatever contiguous
+/// view they already own — a vector, a reused scratch buffer, or the
+/// simulator's incrementally maintained fleet view — without materializing
+/// a fresh container per decision (docs/PERFORMANCE.md "Event-loop
+/// throughput").
 class Allocator {
  public:
   virtual ~Allocator() = default;
@@ -182,8 +189,19 @@ class Allocator {
   /// and `placements` is empty — allocation is all-or-nothing per request,
   /// matching the paper's per-job-request granularity.
   [[nodiscard]] virtual AllocationResult allocate(
-      const std::vector<VmRequest>& vms,
-      const std::vector<ServerState>& servers) const = 0;
+      std::span<const VmRequest> vms,
+      std::span<const ServerState> servers) const = 0;
+
+  /// Allocation-reusing variant for hot callers (the simulator's event
+  /// loop): writes the result into `out`, whose `placements` capacity is
+  /// retained across calls. The default delegates to allocate(); cheap
+  /// strategies (FirstFitAllocator) override it to fill `out` in place so
+  /// a warm steady-state admission performs zero heap allocations.
+  virtual void allocate_into(std::span<const VmRequest> vms,
+                             std::span<const ServerState> servers,
+                             AllocationResult& out) const {
+    out = allocate(vms, servers);
+  }
 
   /// Display name, e.g. "FF-2" or "PA-0.5".
   [[nodiscard]] virtual std::string name() const = 0;

@@ -106,12 +106,12 @@ double FailureSchedule::next_time() const noexcept {
   return next;
 }
 
-std::vector<FailureEvent> FailureSchedule::pop_due(double now) {
+void FailureSchedule::pop_due(double now, std::vector<FailureEvent>& out) {
   constexpr double kEps = 1e-9;
-  std::vector<FailureEvent> due;
+  out.clear();
   while (script_next_ < script_.size() &&
          script_[script_next_].at_s <= now + kEps) {
-    due.push_back(script_[script_next_]);
+    out.push_back(script_[script_next_]);
     ++script_next_;
   }
   for (std::size_t s = 0; s < sampled_next_.size(); ++s) {
@@ -123,10 +123,9 @@ std::vector<FailureEvent> FailureSchedule::pop_due(double now) {
       crash.duration_s = streams_[s].exponential(1.0 / mttr_s_);
       // Suppressed until on_repair re-arms the server's process.
       sampled_next_[s] = kInf;
-      due.push_back(crash);
+      out.push_back(crash);
     }
   }
-  return due;
 }
 
 void FailureSchedule::on_crash(int server) {

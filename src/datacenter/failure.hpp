@@ -131,8 +131,17 @@ class FailureSchedule {
   [[nodiscard]] double next_time() const noexcept;
 
   /// Pops every fault due at or before `now` (script first, then sampled
-  /// crashes, each group in deterministic order).
-  [[nodiscard]] std::vector<FailureEvent> pop_due(double now);
+  /// crashes, each group in deterministic order) into `out`, which is
+  /// cleared first — hot callers hand in a reused scratch buffer so a
+  /// fault-free event costs no heap allocation.
+  void pop_due(double now, std::vector<FailureEvent>& out);
+
+  /// Convenience overload materializing a fresh vector (tests, cold paths).
+  [[nodiscard]] std::vector<FailureEvent> pop_due(double now) {
+    std::vector<FailureEvent> due;
+    pop_due(now, due);
+    return due;
+  }
 
   /// Suppresses sampled crashes for a server that just went down.
   void on_crash(int server);

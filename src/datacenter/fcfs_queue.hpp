@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file fcfs_queue.hpp
+/// FCFS job queue with O(1) amortized removal at any backfill position.
+///
+/// The event loop admits the queue head FCFS and lets up to
+/// `backfill_window` younger jobs jump ahead when the head cannot be
+/// placed. With a plain deque, every backfill admission pays
+/// `erase(begin()+pos)` — an O(queue) element shuffle that dominates the
+/// admission path on deep queues and churns the allocator on every
+/// reallocation. This queue keeps the same observable ordering bit for bit
+/// but erases by tombstoning: a removed slot is marked dead in place
+/// (`kTombstone`), the head index walks past dead slots, and the backing
+/// vector is compacted in place — preserving live order — only when dead
+/// slots outnumber live ones. Amortized cost per admission is O(window);
+/// steady state performs zero heap allocations once the backing capacity
+/// has warmed (draining to empty rewinds the buffer without releasing it).
+///
+/// Stored values are job indices; SIZE_MAX is reserved as the tombstone.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace aeva::datacenter {
+
+class FcfsQueue {
+ public:
+  static constexpr std::size_t kTombstone =
+      std::numeric_limits<std::size_t>::max();
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+  void push_back(std::size_t job) {
+    AEVA_REQUIRE(job != kTombstone, "job index collides with the tombstone");
+    buf_.push_back(job);
+    ++live_;
+  }
+
+  /// The job at live position `pos` (0 = head, FCFS order). O(pos) over
+  /// live slots plus any dead slots interleaved since the last compaction —
+  /// callers only address the backfill window, so this is O(window).
+  [[nodiscard]] std::size_t operator[](std::size_t pos) const {
+    return buf_[index_of(pos)];
+  }
+
+  /// Removes the job at live position `pos`, preserving the relative order
+  /// of everything else — exactly `deque::erase(begin()+pos)` semantics.
+  void erase_at(std::size_t pos) {
+    const std::size_t i = index_of(pos);
+    buf_[i] = kTombstone;
+    --live_;
+    if (i == head_) {
+      advance_head();
+    }
+    if (live_ == 0) {
+      buf_.clear();  // capacity kept: the common drained-queue rewind
+      head_ = 0;
+    } else if (buf_.size() - live_ > live_ + kCompactSlack) {
+      compact();
+    }
+  }
+
+  void clear() noexcept {
+    buf_.clear();
+    head_ = 0;
+    live_ = 0;
+  }
+
+  /// Live jobs in queue order (snapshot capture, depth accounting).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = head_; i < buf_.size(); ++i) {
+      if (buf_[i] != kTombstone) {
+        fn(buf_[i]);
+      }
+    }
+  }
+
+ private:
+  /// Dead slots tolerated beyond the live count before an in-place
+  /// compaction; keeps compaction amortized O(1) per erase while small
+  /// queues never compact at all.
+  static constexpr std::size_t kCompactSlack = 64;
+
+  [[nodiscard]] std::size_t index_of(std::size_t pos) const {
+    AEVA_REQUIRE(pos < live_, "queue position ", pos, " out of range (",
+                 live_, " live)");
+    std::size_t i = head_;
+    for (;; ++i) {
+      if (buf_[i] == kTombstone) {
+        continue;
+      }
+      if (pos == 0) {
+        return i;
+      }
+      --pos;
+    }
+  }
+
+  void advance_head() noexcept {
+    while (head_ < buf_.size() && buf_[head_] == kTombstone) {
+      ++head_;
+    }
+  }
+
+  /// Moves the live slots to the front, order preserved, in place — the
+  /// backing vector only shrinks (no allocation).
+  void compact() noexcept {
+    std::size_t out = 0;
+    for (std::size_t i = head_; i < buf_.size(); ++i) {
+      if (buf_[i] != kTombstone) {
+        buf_[out++] = buf_[i];
+      }
+    }
+    buf_.resize(out);
+    head_ = 0;
+  }
+
+  std::vector<std::size_t> buf_;  ///< ring storage, capacity reused for life
+  std::size_t head_ = 0;  ///< first possibly-live slot; all before are dead
+  std::size_t live_ = 0;
+};
+
+}  // namespace aeva::datacenter

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
-#include <map>
+#include <span>
+#include <utility>
 
+#include "datacenter/fcfs_queue.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 #include "workload/registry.hpp"
@@ -49,18 +50,23 @@ SimMetrics GroundTruthSimulator::run(const trace::PreparedWorkload& workload,
                  job.id, ")");
   }
 
+  // Per-run fleet construction — built once, before the event loop.
   const auto n_servers = static_cast<std::size_t>(cloud_.server_count);
   std::vector<testbed::OnlineServer> servers;
   servers.reserve(n_servers);
   for (std::size_t s = 0; s < n_servers; ++s) {
     servers.emplace_back(hardware_);
   }
-  std::vector<bool> powered(n_servers, false);
+  std::vector<bool> powered(n_servers, false);  // per-run, sized once
 
-  // handle → owning job index, per server.
-  std::vector<std::map<std::int64_t, std::size_t>> owner(n_servers);
+  // handle → owning job index, per server. OnlineServer handles are
+  // monotonically increasing, so appending keeps each inner table sorted
+  // and a completion resolves by binary search — no node-based map on the
+  // per-event path. The outer table is sized once per run.
+  std::vector<std::vector<std::pair<std::int64_t, std::size_t>>> owner(
+      n_servers);
 
-  std::deque<std::size_t> queue;
+  FcfsQueue queue;
   SimMetrics metrics;
   metrics.jobs = jobs.size();
   util::RunningStats response_stats;
@@ -72,9 +78,15 @@ SimMetrics GroundTruthSimulator::run(const trace::PreparedWorkload& workload,
   std::int64_t next_vm_id = 1;
   double busy_server_time = 0.0;
 
-  const auto server_states = [&] {
-    std::vector<ServerState> states;
-    states.reserve(n_servers);
+  // Reused per-admission scratch: capacity survives across attempts, so
+  // warm admissions allocate nothing but the OnlineServer's own VM node.
+  std::vector<ServerState> states;
+  states.reserve(n_servers);
+  std::vector<VmRequest> request;
+  core::AllocationResult alloc_result;
+
+  const auto server_states = [&]() -> std::span<const ServerState> {
+    states.clear();
     for (std::size_t s = 0; s < n_servers; ++s) {
       states.push_back(ServerState{static_cast<int>(s), servers[s].mix(),
                                    powered[s], 0});
@@ -86,7 +98,7 @@ SimMetrics GroundTruthSimulator::run(const trace::PreparedWorkload& workload,
   const auto try_admit = [&](std::size_t queue_pos) -> bool {
     const std::size_t j = queue[queue_pos];
     const trace::JobRequest& job = jobs[j];
-    std::vector<VmRequest> request;
+    request.clear();
     const double exec_bound =
         job.max_exec_stretch * db_->base().of(job.profile).solo_time_s;
     for (int k = 0; k < job.vm_count; ++k) {
@@ -96,8 +108,8 @@ SimMetrics GroundTruthSimulator::run(const trace::PreparedWorkload& workload,
       vm.max_exec_time_s = exec_bound > 0.0 ? exec_bound : kInf;
       request.push_back(vm);
     }
-    const core::AllocationResult result =
-        allocator.allocate(request, server_states());
+    allocator.allocate_into(request, server_states(), alloc_result);
+    const core::AllocationResult& result = alloc_result;
     if (!result.complete) {
       return false;
     }
@@ -109,12 +121,12 @@ SimMetrics GroundTruthSimulator::run(const trace::PreparedWorkload& workload,
       const auto s = static_cast<std::size_t>(placement.server_id);
       const std::int64_t handle =
           servers[s].add_vm(app, job.runtime_scale);
-      owner[s][handle] = j;
+      owner[s].emplace_back(handle, j);  // handles ascend: stays sorted
       powered[s] = true;
       wait_stats.add(now - job.submit_s);
     }
     next_vm_id += job.vm_count;
-    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
+    queue.erase_at(queue_pos);
     return true;
   };
 
@@ -142,7 +154,7 @@ SimMetrics GroundTruthSimulator::run(const trace::PreparedWorkload& workload,
   const std::size_t max_events =
       jobs.size() * 4 + static_cast<std::size_t>(workload.total_vms) * 64 +
       (1u << 16);
-  std::vector<std::int64_t> completed;
+  std::vector<std::int64_t> completed;  // hoisted; capacity reused per event
   while (next_job < jobs.size() || !queue.empty() ||
          [&] {
            for (std::size_t s = 0; s < n_servers; ++s) {
@@ -193,8 +205,13 @@ SimMetrics GroundTruthSimulator::run(const trace::PreparedWorkload& workload,
       completed.clear();
       servers[s].advance(dt + kEps, completed);
       for (const std::int64_t handle : completed) {
-        const auto it = owner[s].find(handle);
-        AEVA_INVARIANT(it != owner[s].end(), "unknown VM handle completed");
+        auto& table = owner[s];
+        const auto it = std::lower_bound(
+            table.begin(), table.end(), handle,
+            [](const std::pair<std::int64_t, std::size_t>& entry,
+               std::int64_t key) { return entry.first < key; });
+        AEVA_INVARIANT(it != table.end() && it->first == handle,
+                       "unknown VM handle completed");
         const trace::JobRequest& job = jobs[it->second];
         const double response = next_event - job.submit_s;
         response_stats.add(response);
@@ -202,7 +219,7 @@ SimMetrics GroundTruthSimulator::run(const trace::PreparedWorkload& workload,
           ++metrics.sla_violations;
         }
         ++metrics.vms;
-        owner[s].erase(it);
+        table.erase(it);
       }
     }
     now = next_event;

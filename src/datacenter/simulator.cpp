@@ -4,12 +4,14 @@
 #include <cmath>
 #include <deque>
 #include <limits>
-#include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/cost_model.hpp"
+#include "datacenter/fcfs_queue.hpp"
 #include "persist/snapshot.hpp"
+#include "util/arena.hpp"
 #include "util/atomic_file.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -26,7 +28,7 @@ using workload::ProfileClass;
 Simulator::Simulator(const modeldb::ModelDatabase& db, CloudConfig cloud)
     : Simulator(std::vector<const modeldb::ModelDatabase*>{&db},
                 std::move(cloud)) {}
-
+// Construction is cold; all per-run state lives inside run().
 Simulator::Simulator(std::vector<const modeldb::ModelDatabase*> dbs,
                      CloudConfig cloud)
     : dbs_(std::move(dbs)), cloud_(std::move(cloud)) {
@@ -72,19 +74,141 @@ struct RunningVm {
   double next_ckpt_s = std::numeric_limits<double>::infinity();
 };
 
-/// Per-server runtime state.
-struct ServerRt {
-  ClassCounts alloc;
-  double busy_power_w = 0.0;  ///< record mean power while hosting VMs
-  bool powered = false;       ///< powered on at first use; a crash resets it
-  // Resilience state (inert while failures are disabled).
-  bool down = false;          ///< crashed, masked until repair_s
-  double repair_s = std::numeric_limits<double>::infinity();
-  double degrade_until = -std::numeric_limits<double>::infinity();
-  double degrade_mult = 1.0;
-  double brownout_until = -std::numeric_limits<double>::infinity();
-  double brownout_cap_w = std::numeric_limits<double>::infinity();
-  bool ever_powered = false;  ///< powered at least once (metrics survive crashes)
+/// Per-server runtime state, struct-of-arrays (docs/ARCHITECTURE.md
+/// "Event-loop hot path"). The loop scans a few per-server fields on every
+/// event — allocation mixes for the busy/power accrual, failure windows for
+/// the next-event min — so each field lives in its own dense array and a
+/// scan touches exactly the bytes it needs instead of striding through
+/// padded structs. Alongside the arrays the fleet maintains the allocator's
+/// core::ServerState view *incrementally*: mixes and power flags are
+/// patched in place on every commit and membership changes only on
+/// crash/repair, so an admission hands the allocator a span instead of
+/// materializing a fleet-sized vector per attempt (the seed loop's
+/// dominant cost at 10k servers — see bench/event_loop_throughput).
+class FleetSoA {
+ public:
+  static constexpr std::size_t kNotInView =
+      std::numeric_limits<std::size_t>::max();
+
+  // Scanned per event; every column is sized once, at construction.
+  std::vector<ClassCounts> alloc;
+  std::vector<double> busy_power_w;
+  // Flags & failure windows (inert while failures are disabled).
+  std::vector<std::uint8_t> powered;
+  std::vector<std::uint8_t> down;
+  std::vector<std::uint8_t> ever_powered;
+  std::vector<double> repair_s;
+  std::vector<double> degrade_until;
+  std::vector<double> degrade_mult;
+  std::vector<double> brownout_until;
+  std::vector<double> brownout_cap_w;
+
+  FleetSoA(std::size_t n, const std::vector<int>& hardware_map)
+      : alloc(n),
+        busy_power_w(n, 0.0),
+        powered(n, 0),
+        down(n, 0),
+        ever_powered(n, 0),
+        repair_s(n, kInf),
+        degrade_until(n, -kInf),
+        degrade_mult(n, 1.0),
+        brownout_until(n, -kInf),
+        brownout_cap_w(n, kInf),
+        hardware_(n, 0),
+        view_pos_(n, kNotInView) {
+    for (std::size_t s = 0; s < n; ++s) {
+      hardware_[s] = hardware_map.empty() ? 0 : hardware_map[s];
+    }
+    view_.reserve(n);  // repairs re-insert without ever reallocating
+    rebuild_view();
+  }
+
+  [[nodiscard]] int hardware(std::size_t s) const { return hardware_[s]; }
+
+  /// The allocator's cluster picture: live (non-down) servers in id order —
+  /// element-for-element what the seed loop's per-call materialization
+  /// produced, kept current by the mutators below.
+  [[nodiscard]] std::span<const ServerState> view() const { return view_; }
+
+  /// Commits one VM: admission, restart, or a migration's destination
+  /// reservation. Powers the host on (first use pays the wake premium).
+  void add_vm(int server, ProfileClass profile) {
+    const auto s = static_cast<std::size_t>(server);
+    ++alloc[s].of(profile);
+    powered[s] = 1;
+    ever_powered[s] = 1;
+    if (view_pos_[s] != kNotInView) {
+      ServerState& entry = view_[view_pos_[s]];
+      entry.allocated = alloc[s];
+      entry.powered = true;
+    }
+  }
+
+  /// Releases one VM: completion, transfer hand-off, aborted reservation.
+  void remove_vm(int server, ProfileClass profile) {
+    const auto s = static_cast<std::size_t>(server);
+    --alloc[s].of(profile);
+    if (view_pos_[s] != kNotInView) {
+      view_[view_pos_[s]].allocated = alloc[s];
+    }
+  }
+
+  /// Masks a crashed server from the allocator view (order-preserving
+  /// in-place erase — O(fleet) but crashes are rare by construction).
+  /// The caller zeroes the resident mix afterwards; direct writes to
+  /// `alloc` are only legal while the server is masked.
+  void crash(int server) {
+    const auto s = static_cast<std::size_t>(server);
+    down[s] = 1;
+    powered[s] = 0;
+    const std::size_t pos = view_pos_[s];
+    if (pos != kNotInView) {
+      view_.erase(view_.begin() + static_cast<std::ptrdiff_t>(pos));
+      view_pos_[s] = kNotInView;
+      reindex_from(pos);
+    }
+  }
+
+  /// Returns a repaired server to the view — cold and empty, at its
+  /// id-ordered slot (capacity was reserved up front: no allocation).
+  void repair(int server) {
+    const auto s = static_cast<std::size_t>(server);
+    down[s] = 0;
+    const auto it =
+        std::lower_bound(view_.begin(), view_.end(), server,
+                         [](const ServerState& a, int id) { return a.id < id; });
+    const auto pos = static_cast<std::size_t>(it - view_.begin());
+    view_.insert(it, ServerState{server, alloc[s], powered[s] != 0,
+                                 hardware_[s]});
+    reindex_from(pos);
+  }
+
+  /// Rebuilds the view from the arrays (initial build, snapshot restore).
+  void rebuild_view() {
+    view_.clear();
+    std::fill(view_pos_.begin(), view_pos_.end(), kNotInView);
+    for (std::size_t s = 0; s < alloc.size(); ++s) {
+      if (down[s] != 0) {
+        continue;
+      }
+      view_pos_[s] = view_.size();
+      view_.push_back(ServerState{static_cast<int>(s), alloc[s],
+                                  powered[s] != 0, hardware_[s]});
+    }
+  }
+
+ private:
+  void reindex_from(std::size_t pos) {
+    for (std::size_t i = pos; i < view_.size(); ++i) {
+      view_pos_[static_cast<std::size_t>(view_[i].id)] = i;
+    }
+  }
+
+  // Sized once at construction; view_ is reserved at fleet size so a
+  // repair re-insertion never allocates.
+  std::vector<int> hardware_;
+  std::vector<ServerState> view_;      ///< live servers, ascending id
+  std::vector<std::size_t> view_pos_;  ///< server id → view_ index
 };
 
 /// A VM lost to a crash, waiting to be re-placed.
@@ -211,9 +335,20 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
   }
 
   const auto n_servers = static_cast<std::size_t>(cloud_.server_count);
-  std::vector<ServerRt> servers(n_servers);
-  std::vector<RunningVm> running;
-  std::deque<std::size_t> queue;  // indices into jobs, FCFS
+  FleetSoA fleet(n_servers, cloud_.hardware);
+  std::vector<RunningVm> running;  // hoisted per-run, grows to peak then flat
+  FcfsQueue queue;  // indices into jobs, FCFS with O(1) amortized erase
+
+  // Reset-not-freed scratch (docs/ARCHITECTURE.md "Event-loop hot path"):
+  // per-call helpers reset the pool on entry and take typed buffers whose
+  // capacity survives across events, so a warm event performs no heap
+  // allocation. Rule: a pool-using helper is never called while its caller
+  // holds pool buffers. Buffers that must outlive helper calls (the due-
+  // fault batch, the observer's power vector) are hoisted instead.
+  util::ScratchPool scratch;
+  std::vector<FailureEvent> due_faults;
+  std::vector<double> observer_power;
+  core::AllocationResult alloc_result;  // reused across allocate_into calls
 
   // --- fault injection & recovery (failure.hpp) ---------------------------
   const FailureConfig& fail = cloud_.failure;
@@ -221,15 +356,31 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
   const bool fail_on = fail.enabled;
   const bool ckpt_on =
       fail_on && fail.recovery.policy == RecoveryPolicy::kCheckpointRestart;
-  std::deque<RestartVm> restarts;  // lost VMs awaiting re-placement, FCFS
+  std::deque<RestartVm> restarts;  // per-run; lost VMs await re-placement
   double useful_work_s = 0.0;      // solo-equivalent seconds of completed VMs
 
-  // Workflow dependencies (JobRequest::depends_on): map job ids to
-  // indices, track per-job completion, park dependents until release.
-  std::map<long long, std::size_t> index_of_id;
+  // Workflow dependencies (JobRequest::depends_on): job ids resolve
+  // through a flat sorted (id, index) table, binary-searched on the
+  // arrival path — no node-based map. Built once per run; duplicate ids
+  // resolve to the last index, matching the map semantics this replaces.
+  std::vector<std::pair<long long, std::size_t>> index_of_id;
+  index_of_id.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    index_of_id[jobs[i].id] = i;
+    index_of_id.emplace_back(jobs[i].id, i);
   }
+  std::sort(index_of_id.begin(), index_of_id.end());
+  const auto find_job_index = [&](long long id) -> const std::size_t* {
+    const auto it = std::upper_bound(
+        index_of_id.begin(), index_of_id.end(), id,
+        [](long long value, const std::pair<long long, std::size_t>& entry) {
+          return value < entry.first;
+        });
+    if (it == index_of_id.begin() || std::prev(it)->first != id) {
+      return nullptr;
+    }
+    return &std::prev(it)->second;
+  };
+  // Per-run job bookkeeping, all sized once up front.
   std::vector<int> vms_left(jobs.size());
   std::vector<bool> job_done(jobs.size(), false);
   std::vector<std::vector<std::size_t>> dependents(jobs.size());
@@ -237,10 +388,10 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     vms_left[i] = jobs[i].vm_count;
     if (jobs[i].depends_on != 0) {
-      const auto it = index_of_id.find(jobs[i].depends_on);
-      AEVA_REQUIRE(it != index_of_id.end(), "job ", jobs[i].id,
+      const std::size_t* dep = find_job_index(jobs[i].depends_on);
+      AEVA_REQUIRE(dep != nullptr, "job ", jobs[i].id,
                    " depends on unknown job ", jobs[i].depends_on);
-      AEVA_REQUIRE(it->second < i, "job ", jobs[i].id,
+      AEVA_REQUIRE(*dep < i, "job ", jobs[i].id,
                    " depends on a later job ", jobs[i].depends_on);
     }
   }
@@ -248,7 +399,8 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
   SimMetrics metrics;
   metrics.jobs = jobs.size();
   util::RunningStats response_stats;
-  util::RunningStats wait_stats;
+  util::RunningStats wait_stats;      // one sample per placed VM
+  util::RunningStats job_wait_stats;  // one sample per admitted job
 
   const double t0 = jobs.front().submit_s;
   double now = t0;
@@ -319,9 +471,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
   FailureSchedule failure_schedule(fail, cloud_.server_count, t0);
 
   // Hardware class of each server (class 0 when no map is configured).
-  const auto hardware_of = [&](std::size_t s) {
-    return cloud_.hardware.empty() ? 0 : cloud_.hardware[s];
-  };
+  const auto hardware_of = [&](std::size_t s) { return fleet.hardware(s); };
 
   // Lost/useful work is measured in canonical solo-time-equivalent seconds
   // (class-0 base record), so the metric is placement-independent.
@@ -332,30 +482,28 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
   // Refreshes the cached record-derived quantities of one server: its mean
   // power and the progress rate of every VM it hosts.
   const auto refresh_server = [&](int server_id) {
-    ServerRt& server = servers[static_cast<std::size_t>(server_id)];
-    if (server.alloc.total() == 0) {
-      server.busy_power_w = 0.0;
+    const auto s = static_cast<std::size_t>(server_id);
+    if (fleet.alloc[s].total() == 0) {
+      fleet.busy_power_w[s] = 0.0;
       return;
     }
-    const modeldb::Record rec =
-        db_of(hardware_of(static_cast<std::size_t>(server_id)))
-            .estimate(server.alloc);
+    const modeldb::Record rec = db_of(hardware_of(s)).estimate(fleet.alloc[s]);
     if (sobs.db_lookups != nullptr) {
       sobs.db_lookups->add();
     }
-    server.busy_power_w = std::max(rec.avg_power_w(), cloud_.idle_power_w);
+    fleet.busy_power_w[s] = std::max(rec.avg_power_w(), cloud_.idle_power_w);
     // Failure modifiers: transient degradation windows slow every resident
     // VM; a brownout clamps the server's draw and slows VMs by the same
     // factor (DVFS-style); checkpointing VMs pay the checkpoint-I/O tax.
     double fail_mult = 1.0;
     if (fail_on) {
-      if (now < server.degrade_until) {
-        fail_mult *= server.degrade_mult;
+      if (now < fleet.degrade_until[s]) {
+        fail_mult *= fleet.degrade_mult[s];
       }
-      if (now < server.brownout_until &&
-          server.busy_power_w > server.brownout_cap_w) {
-        fail_mult *= server.brownout_cap_w / server.busy_power_w;
-        server.busy_power_w = server.brownout_cap_w;
+      if (now < fleet.brownout_until[s] &&
+          fleet.busy_power_w[s] > fleet.brownout_cap_w[s]) {
+        fail_mult *= fleet.brownout_cap_w[s] / fleet.busy_power_w[s];
+        fleet.busy_power_w[s] = fleet.brownout_cap_w[s];
       }
       if (ckpt_on) {
         fail_mult *= 1.0 - fail.recovery.checkpoint_tax;
@@ -376,21 +524,10 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     }
   };
 
-  // Builds the allocator view of the cluster. Crashed servers are masked:
-  // the allocator never sees them, so every strategy (and every decorator)
-  // is failure-aware without knowing about failures.
-  const auto server_states = [&] {
-    std::vector<ServerState> states;
-    states.reserve(n_servers);
-    for (std::size_t s = 0; s < n_servers; ++s) {
-      if (fail_on && servers[s].down) {
-        continue;
-      }
-      states.push_back(ServerState{static_cast<int>(s), servers[s].alloc,
-                                   servers[s].powered, hardware_of(s)});
-    }
-    return states;
-  };
+  // The allocator view of the cluster is fleet.view(): crashed servers are
+  // masked, so every strategy (and every decorator) is failure-aware
+  // without knowing about failures. The view is maintained incrementally —
+  // no per-call materialization (bench/event_loop_throughput gates this).
 
   // Workflow release: one VM of job `j` will never run again (completed or
   // abandoned); when it was the last, dependents unpark.
@@ -411,7 +548,8 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     {
       const std::size_t j = queue[queue_pos];
       const trace::JobRequest& job = jobs[j];
-      std::vector<VmRequest> request;
+      scratch.reset();
+      std::vector<VmRequest>& request = scratch.take<VmRequest>();
       request.reserve(static_cast<std::size_t>(job.vm_count));
       // Per-type execution-time QoS: the allocator may only use mixes whose
       // estimated execution time stays within the contention cap. Database
@@ -430,8 +568,8 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       // this admission attempt; its simulated duration is zero (admission
       // is instantaneous in the model).
       obs::Span span(sobs.trace, "admit", "sim", now);
-      const core::AllocationResult result =
-          allocator.allocate(request, server_states());
+      allocator.allocate_into(request, fleet.view(), alloc_result);
+      const core::AllocationResult& result = alloc_result;
       if (!result.complete) {
         span.cancel();  // count the miss, don't trace it (volume)
         if (sobs.admission_failures != nullptr) {
@@ -463,15 +601,13 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
           vm.next_ckpt_s = now + fail.recovery.checkpoint_period_s;
         }
         running.push_back(vm);
-        ServerRt& host = servers[static_cast<std::size_t>(placement.server_id)];
-        ++host.alloc.of(job.profile);
-        host.powered = true;
-        host.ever_powered = true;
+        fleet.add_vm(placement.server_id, job.profile);
         wait_stats.add(now - job.submit_s);
       }
+      job_wait_stats.add(now - job.submit_s);
       next_vm_id += job.vm_count;
       // Refresh every touched server once.
-      std::vector<int> touched;
+      std::vector<int>& touched = scratch.take<int>();
       for (const Placement& placement : result.placements) {
         touched.push_back(placement.server_id);
       }
@@ -481,7 +617,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       for (const int s : touched) {
         refresh_server(s);
       }
-      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
+      queue.erase_at(queue_pos);
       if (sobs.admissions != nullptr) {
         sobs.admissions->add();
         span.arg("job", std::to_string(job.id));
@@ -506,8 +642,9 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
         job.max_exec_stretch * db_of(0).base().of(job.profile).solo_time_s;
     request.max_exec_time_s = exec_bound > 0.0 ? exec_bound : kInf;
     obs::Span span(sobs.trace, "restart", "failure", now);
-    const core::AllocationResult result =
-        allocator.allocate({request}, server_states());
+    allocator.allocate_into(std::span<const VmRequest>(&request, 1),
+                            fleet.view(), alloc_result);
+    const core::AllocationResult& result = alloc_result;
     if (!result.complete) {
       span.cancel();
       if (sobs.restart_failures != nullptr) {
@@ -541,10 +678,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       vm.next_ckpt_s = now + fail.recovery.checkpoint_period_s;
     }
     running.push_back(vm);
-    ServerRt& host = servers[static_cast<std::size_t>(placement.server_id)];
-    ++host.alloc.of(job.profile);
-    host.powered = true;
-    host.ever_powered = true;
+    fleet.add_vm(placement.server_id, job.profile);
     refresh_server(placement.server_id);
     ++metrics.vm_restarts;
     if (sobs.restarts_placed != nullptr) {
@@ -622,28 +756,30 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     for (const RunningVm& vm : running) {
       in_flight += vm.migrating ? 1 : 0;
     }
+    scratch.reset();
     // Servers already involved in a transfer are off limits.
-    std::vector<bool> frozen(n_servers, false);
+    std::vector<std::uint8_t>& frozen = scratch.take<std::uint8_t>();
+    frozen.assign(n_servers, 0);
     for (const RunningVm& vm : running) {
       if (vm.migrating) {
-        frozen[static_cast<std::size_t>(vm.server)] = true;
-        frozen[static_cast<std::size_t>(vm.dest_server)] = true;
+        frozen[static_cast<std::size_t>(vm.server)] = 1;
+        frozen[static_cast<std::size_t>(vm.dest_server)] = 1;
       }
     }
+    std::vector<std::pair<std::size_t, std::size_t>>& plan =
+        scratch.take<std::pair<std::size_t, std::size_t>>();  // vm, dest
+    std::vector<ClassCounts>& tentative = scratch.take<ClassCounts>();
     for (std::size_t src = 0; src < n_servers; ++src) {
       if (in_flight >= mig.max_concurrent) {
         break;
       }
-      const int load = servers[src].alloc.total();
-      if (load == 0 || load > mig.evict_below_vms || frozen[src]) {
+      const int load = fleet.alloc[src].total();
+      if (load == 0 || load > mig.evict_below_vms || frozen[src] != 0) {
         continue;
       }
       // Tentatively rehome every VM of this server.
-      std::vector<std::pair<std::size_t, std::size_t>> plan;  // vm, dest
-      std::vector<ClassCounts> tentative(n_servers);
-      for (std::size_t s = 0; s < n_servers; ++s) {
-        tentative[s] = servers[s].alloc;
-      }
+      plan.clear();
+      tentative.assign(fleet.alloc.begin(), fleet.alloc.end());
       bool ok = true;
       for (std::size_t v = 0; v < running.size() && ok; ++v) {
         const RunningVm& vm = running[v];
@@ -655,14 +791,15 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
         }
         bool placed = false;
         for (std::size_t dst = 0; dst < n_servers && !placed; ++dst) {
-          if (dst == src || frozen[dst] || (fail_on && servers[dst].down)) {
+          if (dst == src || frozen[dst] != 0 ||
+              (fail_on && fleet.down[dst] != 0)) {
             continue;
           }
           // Consolidate toward equally-or-more-loaded busy machines; an
           // empty destination would just move the problem, and a lighter
           // one would invert it (ping-pong guard).
           if (tentative[dst].total() == 0 ||
-              tentative[dst].total() < servers[src].alloc.total()) {
+              tentative[dst].total() < fleet.alloc[src].total()) {
             continue;
           }
           ClassCounts combined = tentative[dst];
@@ -688,15 +825,14 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
         vm.dest_server = static_cast<int>(dst);
         vm.migration_done_s = now + transfer_seconds(vm.profile);
         vm.remaining += mig.downtime_work_fraction;  // stop-and-copy loss
-        ++servers[dst].alloc.of(vm.profile);
-        servers[dst].powered = true;
-        frozen[dst] = true;
+        fleet.add_vm(static_cast<int>(dst), vm.profile);
+        frozen[dst] = 1;
         ++in_flight;
         ++metrics.migrations;
         metrics.migration_transfer_s += transfer_seconds(vm.profile);
         refresh_server(static_cast<int>(dst));
       }
-      frozen[src] = true;
+      frozen[src] = 1;
       refresh_server(static_cast<int>(src));  // degradation on the movers
     }
   };
@@ -708,26 +844,31 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     for (const RunningVm& vm : running) {
       in_flight += vm.migrating ? 1 : 0;
     }
-    std::vector<bool> frozen(n_servers, false);
+    scratch.reset();
+    std::vector<std::uint8_t>& frozen = scratch.take<std::uint8_t>();
+    frozen.assign(n_servers, 0);
     for (const RunningVm& vm : running) {
       if (vm.migrating) {
-        frozen[static_cast<std::size_t>(vm.server)] = true;
-        frozen[static_cast<std::size_t>(vm.dest_server)] = true;
+        frozen[static_cast<std::size_t>(vm.server)] = 1;
+        frozen[static_cast<std::size_t>(vm.dest_server)] = 1;
       }
     }
     // Instantaneous power picture → predicted inlets.
-    std::vector<double> power(
-        static_cast<std::size_t>(mig.thermal_map->server_count()), 0.0);
+    std::vector<double>& power = scratch.take<double>();
+    power.assign(static_cast<std::size_t>(mig.thermal_map->server_count()),
+                 0.0);
     for (std::size_t s = 0; s < n_servers; ++s) {
-      power[s] = servers[s].alloc.total() > 0 ? servers[s].busy_power_w : 0.0;
+      power[s] = fleet.alloc[s].total() > 0 ? fleet.busy_power_w[s] : 0.0;
     }
+    // Returned by value on the (cold) migration cadence, not per event.
     const std::vector<double> inlets = mig.thermal_map->inlet_temps(power);
     const double redline = mig.thermal_map->config().inlet_limit_c;
 
     // Hottest offenders first.
-    std::vector<std::size_t> order;
+    std::vector<std::size_t>& order = scratch.take<std::size_t>();
     for (std::size_t s = 0; s < n_servers; ++s) {
-      if (inlets[s] > redline && servers[s].alloc.total() > 0 && !frozen[s]) {
+      if (inlets[s] > redline && fleet.alloc[s].total() > 0 &&
+          frozen[s] == 0) {
         order.push_back(s);
       }
     }
@@ -753,11 +894,11 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       // Coolest feasible destination comfortably under the redline.
       std::size_t best = n_servers;
       for (std::size_t dst = 0; dst < n_servers; ++dst) {
-        if (dst == src || frozen[dst] || inlets[dst] > redline - 1.0 ||
-            (fail_on && servers[dst].down)) {
+        if (dst == src || frozen[dst] != 0 || inlets[dst] > redline - 1.0 ||
+            (fail_on && fleet.down[dst] != 0)) {
           continue;
         }
-        ClassCounts combined = servers[dst].alloc;
+        ClassCounts combined = fleet.alloc[dst];
         ++combined.of(mover->profile);
         const core::CostModel model(db_of(hardware_of(dst)));
         if (!model.feasible(combined)) {
@@ -774,10 +915,9 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       mover->dest_server = static_cast<int>(best);
       mover->migration_done_s = now + transfer_seconds(mover->profile);
       mover->remaining += mig.downtime_work_fraction;
-      ++servers[best].alloc.of(mover->profile);
-      servers[best].powered = true;
-      frozen[best] = true;
-      frozen[src] = true;
+      fleet.add_vm(static_cast<int>(best), mover->profile);
+      frozen[best] = 1;
+      frozen[src] = 1;
       ++in_flight;
       ++metrics.migrations;
       metrics.migration_transfer_s += transfer_seconds(mover->profile);
@@ -803,13 +943,13 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
   // transfers cleanly (the VM never left its source), and mask the server
   // until repair; degrade/brownout just open their windows.
   const auto apply_failure = [&](const FailureEvent& event) {
-    ServerRt& server = servers[static_cast<std::size_t>(event.server)];
+    const auto sv = static_cast<std::size_t>(event.server);
     if (event.kind == FailureKind::kDegrade) {
-      if (server.down) {
+      if (fleet.down[sv] != 0) {
         return;  // a masked server cannot degrade further
       }
-      server.degrade_until = now + event.duration_s;
-      server.degrade_mult = event.magnitude;
+      fleet.degrade_until[sv] = now + event.duration_s;
+      fleet.degrade_mult[sv] = event.magnitude;
       refresh_server(event.server);
       if (sobs.degrades != nullptr) {
         sobs.degrades->add();
@@ -818,11 +958,11 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       return;
     }
     if (event.kind == FailureKind::kBrownout) {
-      if (server.down) {
+      if (fleet.down[sv] != 0) {
         return;
       }
-      server.brownout_until = now + event.duration_s;
-      server.brownout_cap_w = event.magnitude;
+      fleet.brownout_until[sv] = now + event.duration_s;
+      fleet.brownout_cap_w[sv] = event.magnitude;
       refresh_server(event.server);
       if (sobs.brownouts != nullptr) {
         sobs.brownouts->add();
@@ -831,7 +971,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       return;
     }
     // Crash.
-    if (server.down) {
+    if (fleet.down[sv] != 0) {
       return;  // scripted overlap with a sampled outage: already masked
     }
     ++metrics.failures;
@@ -839,16 +979,16 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       sobs.crashes->add();
       trace_fault("crash", event);
     }
-    server.down = true;
-    server.repair_s = now + event.duration_s;
-    server.powered = false;  // comes back cold: wake-up premium paid again
-    server.degrade_until = -kInf;
-    server.degrade_mult = 1.0;
-    server.brownout_until = -kInf;
-    server.brownout_cap_w = kInf;
+    fleet.crash(event.server);  // masks, powers off (cold wake-up premium)
+    fleet.repair_s[sv] = now + event.duration_s;
+    fleet.degrade_until[sv] = -kInf;
+    fleet.degrade_mult[sv] = 1.0;
+    fleet.brownout_until[sv] = -kInf;
+    fleet.brownout_cap_w[sv] = kInf;
     failure_schedule.on_crash(event.server);
 
-    std::vector<int> touched;
+    scratch.reset();
+    std::vector<int>& touched = scratch.take<int>();
     // Inbound transfers abort cleanly: the VM stays whole on its source,
     // the destination reservation is dropped, the in-flight degradation
     // ends, and the stop-and-copy loss is refunded — the downtime never
@@ -870,8 +1010,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
         continue;
       }
       if (vm.migrating) {
-        --servers[static_cast<std::size_t>(vm.dest_server)]
-              .alloc.of(vm.profile);
+        fleet.remove_vm(vm.dest_server, vm.profile);
         touched.push_back(vm.dest_server);
       }
       const double done = std::max(1.0 - vm.remaining, 0.0);
@@ -891,8 +1030,10 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       running[i] = running.back();
       running.pop_back();
     }
-    server.alloc = ClassCounts{};
-    server.busy_power_w = 0.0;
+    // Direct writes are legal here: the crashed server is masked from the
+    // allocator view, so no view refresh is owed (see FleetSoA).
+    fleet.alloc[sv] = ClassCounts{};
+    fleet.busy_power_w[sv] = 0.0;
     std::sort(touched.begin(), touched.end());
     touched.erase(std::unique(touched.begin(), touched.end()),
                   touched.end());
@@ -942,18 +1083,18 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     s.next_sweep = next_sweep;
     s.parked = parked;
     s.servers.reserve(n_servers);
-    for (const ServerRt& in : servers) {
+    for (std::size_t i = 0; i < n_servers; ++i) {
       persist::ServerPersistState out;
-      out.alloc = in.alloc;
-      out.busy_power_w = in.busy_power_w;
-      out.powered = in.powered;
-      out.down = in.down;
-      out.repair_s = in.repair_s;
-      out.degrade_until = in.degrade_until;
-      out.degrade_mult = in.degrade_mult;
-      out.brownout_until = in.brownout_until;
-      out.brownout_cap_w = in.brownout_cap_w;
-      out.ever_powered = in.ever_powered;
+      out.alloc = fleet.alloc[i];
+      out.busy_power_w = fleet.busy_power_w[i];
+      out.powered = fleet.powered[i] != 0;
+      out.down = fleet.down[i] != 0;
+      out.repair_s = fleet.repair_s[i];
+      out.degrade_until = fleet.degrade_until[i];
+      out.degrade_mult = fleet.degrade_mult[i];
+      out.brownout_until = fleet.brownout_until[i];
+      out.brownout_cap_w = fleet.brownout_cap_w[i];
+      out.ever_powered = fleet.ever_powered[i] != 0;
       s.servers.push_back(out);
     }
     s.running.reserve(running.size());
@@ -975,7 +1116,10 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       out.next_ckpt_s = in.next_ckpt_s;
       s.running.push_back(out);
     }
-    s.queue.assign(queue.begin(), queue.end());
+    s.queue.clear();
+    s.queue.reserve(queue.size());
+    queue.for_each(
+        [&](std::size_t j) { s.queue.push_back(static_cast<std::uint64_t>(j)); });
     s.restarts.reserve(restarts.size());
     for (const RestartVm& in : restarts) {
       s.restarts.push_back(persist::RestartState{in.job_index, in.resume_done,
@@ -999,6 +1143,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     m.sla_violations = metrics.sla_violations;
     m.mean_response_s = metrics.mean_response_s;
     m.mean_wait_s = metrics.mean_wait_s;
+    m.mean_job_wait_s = metrics.mean_job_wait_s;
     m.mean_busy_servers = metrics.mean_busy_servers;
     m.peak_busy_servers = metrics.peak_busy_servers;
     m.servers_powered = metrics.servers_powered;
@@ -1022,6 +1167,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     }
     s.response_stats = response_stats.state();
     s.wait_stats = wait_stats.state();
+    s.job_wait_stats = job_wait_stats.state();
     const FailureSchedule::State fs = failure_schedule.state();
     s.failure.script_next = fs.script_next;
     s.failure.streams = fs.streams;
@@ -1105,18 +1251,18 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     parked = static_cast<std::size_t>(s.parked);
     for (std::size_t i = 0; i < n_servers; ++i) {
       const persist::ServerPersistState& in = s.servers[i];
-      ServerRt& out = servers[i];
-      out.alloc = in.alloc;
-      out.busy_power_w = in.busy_power_w;
-      out.powered = in.powered;
-      out.down = in.down;
-      out.repair_s = in.repair_s;
-      out.degrade_until = in.degrade_until;
-      out.degrade_mult = in.degrade_mult;
-      out.brownout_until = in.brownout_until;
-      out.brownout_cap_w = in.brownout_cap_w;
-      out.ever_powered = in.ever_powered;
+      fleet.alloc[i] = in.alloc;
+      fleet.busy_power_w[i] = in.busy_power_w;
+      fleet.powered[i] = in.powered ? 1 : 0;
+      fleet.down[i] = in.down ? 1 : 0;
+      fleet.repair_s[i] = in.repair_s;
+      fleet.degrade_until[i] = in.degrade_until;
+      fleet.degrade_mult[i] = in.degrade_mult;
+      fleet.brownout_until[i] = in.brownout_until;
+      fleet.brownout_cap_w[i] = in.brownout_cap_w;
+      fleet.ever_powered[i] = in.ever_powered ? 1 : 0;
     }
+    fleet.rebuild_view();  // bulk writes above bypass the incremental sync
     running.clear();
     running.reserve(s.running.size());
     for (const persist::VmState& in : s.running) {
@@ -1137,7 +1283,10 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       vm.next_ckpt_s = in.next_ckpt_s;
       running.push_back(vm);
     }
-    queue.assign(s.queue.begin(), s.queue.end());
+    queue.clear();
+    for (const std::uint64_t j : s.queue) {
+      queue.push_back(static_cast<std::size_t>(j));
+    }
     restarts.clear();
     for (const persist::RestartState& in : s.restarts) {
       restarts.push_back(RestartVm{static_cast<std::size_t>(in.job_index),
@@ -1157,6 +1306,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     metrics.sla_violations = static_cast<std::size_t>(m.sla_violations);
     metrics.mean_response_s = m.mean_response_s;
     metrics.mean_wait_s = m.mean_wait_s;
+    metrics.mean_job_wait_s = m.mean_job_wait_s;
     metrics.mean_busy_servers = m.mean_busy_servers;
     metrics.peak_busy_servers = m.peak_busy_servers;
     metrics.servers_powered = static_cast<std::size_t>(m.servers_powered);
@@ -1188,6 +1338,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     }
     response_stats.restore(s.response_stats);
     wait_stats.restore(s.wait_stats);
+    job_wait_stats.restore(s.job_wait_stats);
     FailureSchedule::State fail_state;
     fail_state.script_next = static_cast<std::size_t>(s.failure.script_next);
     fail_state.streams = s.failure.streams;
@@ -1221,15 +1372,15 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
         fail_on ? failure_schedule.next_time() : kInf;
     double next_window = kInf;
     if (fail_on) {
-      for (const ServerRt& server : servers) {
-        if (server.down) {
-          next_window = std::min(next_window, server.repair_s);
+      for (std::size_t s = 0; s < n_servers; ++s) {
+        if (fleet.down[s] != 0) {
+          next_window = std::min(next_window, fleet.repair_s[s]);
         } else {
-          if (server.degrade_until > now) {
-            next_window = std::min(next_window, server.degrade_until);
+          if (fleet.degrade_until[s] > now) {
+            next_window = std::min(next_window, fleet.degrade_until[s]);
           }
-          if (server.brownout_until > now) {
-            next_window = std::min(next_window, server.brownout_until);
+          if (fleet.brownout_until[s] > now) {
+            next_window = std::min(next_window, fleet.brownout_until[s]);
           }
         }
       }
@@ -1272,23 +1423,25 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       }
       double busy = 0.0;
       double power = 0.0;
-      for (const ServerRt& server : servers) {
-        if (server.alloc.total() > 0) {
+      // Fresh index-order sums every interval, never an incrementally
+      // maintained total: `energy_j += power * dt` is bit-identity-pinned
+      // (tests/datacenter/bit_identity_seeds_test.cpp), and a running
+      // accumulator would reorder the floating-point summation.
+      for (std::size_t s = 0; s < n_servers; ++s) {
+        if (fleet.alloc[s].total() > 0) {
           // Hosting servers draw the model record's mean power, which
           // includes the fixed 125 W baseline of a powered-on machine.
           busy += 1.0;
-          power += server.busy_power_w;
+          power += fleet.busy_power_w[s];
         }
         // Empty servers are powered off — consolidation "minimizes the
         // number of servers that are in operation" (Sect. I).
       }
       metrics.energy_j += power * dt;
       if (observer) {
-        std::vector<double> per_server(n_servers, 0.0);
-        for (std::size_t s = 0; s < n_servers; ++s) {
-          per_server[s] = servers[s].busy_power_w;
-        }
-        observer(now, next_event, per_server);
+        observer_power.assign(fleet.busy_power_w.begin(),
+                              fleet.busy_power_w.end());
+        observer(now, next_event, observer_power);
       }
       busy_server_time += busy * dt;
       metrics.peak_busy_servers = std::max(metrics.peak_busy_servers, busy);
@@ -1314,9 +1467,10 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     // their predecessor completes.
     while (next_job < jobs.size() && jobs[next_job].submit_s <= now + kEps) {
       const trace::JobRequest& job = jobs[next_job];
-      if (job.depends_on != 0 &&
-          !job_done[index_of_id.at(job.depends_on)]) {
-        dependents[index_of_id.at(job.depends_on)].push_back(next_job);
+      const std::size_t* dep =
+          job.depends_on != 0 ? find_job_index(job.depends_on) : nullptr;
+      if (dep != nullptr && !job_done[*dep]) {
+        dependents[*dep].push_back(next_job);
         ++parked;
       } else {
         queue.push_back(next_job);
@@ -1329,7 +1483,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     for (RunningVm& vm : running) {
       if (vm.migrating && vm.migration_done_s <= now + kEps) {
         const int source = vm.server;
-        --servers[static_cast<std::size_t>(source)].alloc.of(vm.profile);
+        fleet.remove_vm(source, vm.profile);
         vm.server = vm.dest_server;
         vm.migrating = false;
         vm.dest_server = -1;
@@ -1357,14 +1511,13 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
         useful_work_s += vm.runtime_scale * solo_time(vm.profile);
         // Workflow release: the job's last VM frees its dependents.
         retire_vm_of_job(vm.job_index);
-        --servers[static_cast<std::size_t>(vm.server)].alloc.of(vm.profile);
+        fleet.remove_vm(vm.server, vm.profile);
         const int touched = vm.server;
         int abandoned_dest = -1;
         if (vm.migrating) {
           // The VM finished mid-copy: release the reservation.
           abandoned_dest = vm.dest_server;
-          --servers[static_cast<std::size_t>(abandoned_dest)]
-                .alloc.of(vm.profile);
+          fleet.remove_vm(abandoned_dest, vm.profile);
         }
         running[i] = running.back();
         running.pop_back();
@@ -1380,33 +1533,33 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     if (fail_on) {
       // Expired degradation/brownout windows: reset and recompute rates.
       for (std::size_t s = 0; s < n_servers; ++s) {
-        ServerRt& server = servers[s];
         bool expired = false;
-        if (server.degrade_until != -kInf &&
-            server.degrade_until <= now + kEps) {
-          server.degrade_until = -kInf;
-          server.degrade_mult = 1.0;
+        if (fleet.degrade_until[s] != -kInf &&
+            fleet.degrade_until[s] <= now + kEps) {
+          fleet.degrade_until[s] = -kInf;
+          fleet.degrade_mult[s] = 1.0;
           expired = true;
         }
-        if (server.brownout_until != -kInf &&
-            server.brownout_until <= now + kEps) {
-          server.brownout_until = -kInf;
-          server.brownout_cap_w = kInf;
+        if (fleet.brownout_until[s] != -kInf &&
+            fleet.brownout_until[s] <= now + kEps) {
+          fleet.brownout_until[s] = -kInf;
+          fleet.brownout_cap_w[s] = kInf;
           expired = true;
         }
-        if (expired && !server.down) {
+        if (expired && fleet.down[s] == 0) {
           refresh_server(static_cast<int>(s));
         }
       }
       // Due faults, then repairs (a crash with zero repair time comes
       // back — cold and empty — within the same instant).
-      for (const FailureEvent& event : failure_schedule.pop_due(now)) {
+      failure_schedule.pop_due(now, due_faults);
+      for (const FailureEvent& event : due_faults) {
         apply_failure(event);
       }
       for (std::size_t s = 0; s < n_servers; ++s) {
-        if (servers[s].down && servers[s].repair_s <= now + kEps) {
-          servers[s].down = false;
-          servers[s].repair_s = kInf;
+        if (fleet.down[s] != 0 && fleet.repair_s[s] <= now + kEps) {
+          fleet.repair(static_cast<int>(s));
+          fleet.repair_s[s] = kInf;
           failure_schedule.on_repair(static_cast<int>(s), now);
         }
       }
@@ -1444,6 +1597,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
   metrics.makespan_s = now - t0;
   metrics.mean_response_s = response_stats.mean();
   metrics.mean_wait_s = wait_stats.mean();
+  metrics.mean_job_wait_s = job_wait_stats.mean();
   metrics.sla_violation_pct =
       metrics.vms > 0
           ? 100.0 * static_cast<double>(metrics.sla_violations) /
@@ -1451,8 +1605,9 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
           : 0.0;
   metrics.mean_busy_servers =
       metrics.makespan_s > 0.0 ? busy_server_time / metrics.makespan_s : 0.0;
-  for (const ServerRt& server : servers) {
-    metrics.servers_powered += (server.powered || server.ever_powered) ? 1 : 0;
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    metrics.servers_powered +=
+        (fleet.powered[s] != 0 || fleet.ever_powered[s] != 0) ? 1 : 0;
   }
   metrics.goodput_fraction =
       useful_work_s + metrics.lost_work_s > 0.0

@@ -157,7 +157,16 @@ struct SimMetrics {
   std::size_t vms = 0;
   std::size_t sla_violations = 0;
   double mean_response_s = 0.0;   ///< completion − submission, mean over VMs
-  double mean_wait_s = 0.0;       ///< allocation − submission, mean over VMs
+  /// Allocation − submission, averaged over *VMs*: a 16-VM job admitted
+  /// after a long wait contributes 16 samples, so the mean is capacity-
+  /// weighted — "how long did the average requested VM wait". Kept as the
+  /// primary published metric (reports and goldens depend on it).
+  double mean_wait_s = 0.0;
+  /// Allocation − submission, averaged over *jobs*: one sample per
+  /// admitted job regardless of its VM count — "how long did the average
+  /// submitter wait". Diverges from mean_wait_s whenever wide jobs queue
+  /// differently from narrow ones.
+  double mean_job_wait_s = 0.0;
   double mean_busy_servers = 0.0; ///< time-averaged count of busy servers
   double peak_busy_servers = 0.0;
   std::size_t servers_powered = 0;  ///< servers that ever hosted a VM

@@ -115,6 +115,7 @@ void encode_payload(std::string& out, const SimSnapshot& s) {
   put_u64(out, m.sla_violations);
   put_f64(out, m.mean_response_s);
   put_f64(out, m.mean_wait_s);
+  put_f64(out, m.mean_job_wait_s);
   put_f64(out, m.mean_busy_servers);
   put_f64(out, m.peak_busy_servers);
   put_u64(out, m.servers_powered);
@@ -143,6 +144,7 @@ void encode_payload(std::string& out, const SimSnapshot& s) {
 
   put_stats_state(out, s.response_stats);
   put_stats_state(out, s.wait_stats);
+  put_stats_state(out, s.job_wait_stats);
 
   put_failure_state(out, s.failure);
 }
@@ -248,6 +250,7 @@ SimSnapshot decode_payload(Reader& in) {
   m.sla_violations = in.u64();
   m.mean_response_s = in.f64();
   m.mean_wait_s = in.f64();
+  m.mean_job_wait_s = in.f64();
   m.mean_busy_servers = in.f64();
   m.peak_busy_servers = in.f64();
   m.servers_powered = in.u64();
@@ -280,6 +283,7 @@ SimSnapshot decode_payload(Reader& in) {
 
   s.response_stats = read_stats_state(in);
   s.wait_stats = read_stats_state(in);
+  s.job_wait_stats = read_stats_state(in);
 
   s.failure = read_failure_state(in);
 

@@ -45,7 +45,10 @@ namespace aeva::persist {
 /// SnapshotVersionError — resuming is only defined against the binary
 /// layout the writer used. Bump on any layout change.
 /// v2: MetricsState gained per-reason rejection tallies.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// v3: MetricsState gained mean_job_wait_s and SimSnapshot gained
+///     job_wait_stats (per-job queue-wait accumulator — the per-VM
+///     wait_stats weights a 16-VM job 16 times; see SimMetrics docs).
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Base of every snapshot failure; catch this to handle "could not load a
 /// snapshot" uniformly.
@@ -164,6 +167,7 @@ struct MetricsState {
   std::uint64_t sla_violations = 0;
   double mean_response_s = 0.0;
   double mean_wait_s = 0.0;
+  double mean_job_wait_s = 0.0;
   double mean_busy_servers = 0.0;
   double peak_busy_servers = 0.0;
   std::uint64_t servers_powered = 0;
@@ -215,6 +219,7 @@ struct SimSnapshot {
   MetricsState metrics;
   util::RunningStats::State response_stats;
   util::RunningStats::State wait_stats;
+  util::RunningStats::State job_wait_stats;
   FailureScheduleState failure;
 };
 

@@ -318,6 +318,10 @@ struct AllocationService::Loop {
 
   std::vector<core::ServerState> servers;
   std::vector<std::uint8_t> down;  ///< per-server crash mask
+  /// up_servers() scratch (not snapshotted — derived): reused across
+  /// decisions so the steady-state loop builds no fleet-sized vector per
+  /// call. Invalidated by the next up_servers() call.
+  mutable std::vector<core::ServerState> up_scratch;
   /// Bounded admission queue: capacity-checked against
   /// cfg.queue.capacity on every admission (see admit()).
   std::deque<QueuedEntry> queue;
@@ -623,15 +627,15 @@ struct AllocationService::Loop {
 
   // --- decisions -----------------------------------------------------------
 
-  [[nodiscard]] std::vector<core::ServerState> up_servers() const {
-    std::vector<core::ServerState> up;
-    up.reserve(servers.size());
+  [[nodiscard]] const std::vector<core::ServerState>& up_servers() const {
+    up_scratch.clear();
+    up_scratch.reserve(servers.size());
     for (std::size_t i = 0; i < servers.size(); ++i) {
       if (down[i] == 0) {
-        up.push_back(servers[i]);
+        up_scratch.push_back(servers[i]);
       }
     }
-    return up;
+    return up_scratch;
   }
 
   void start_decision() {
@@ -661,7 +665,7 @@ struct AllocationService::Loop {
         vms.push_back(core::VmRequest{next_vm_id++, entry.request.profile,
                                       entry.request.qos_time_s});
       }
-      const std::vector<core::ServerState> up = up_servers();
+      const std::vector<core::ServerState>& up = up_servers();
       bool used_incremental = false;
       if (rung != ServeMode::kNormal) {
         fl.result = svc.degraded_.allocate(vms, up);

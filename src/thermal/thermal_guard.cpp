@@ -16,7 +16,7 @@ ThermalGuardAllocator::ThermalGuardAllocator(
 }
 
 std::vector<double> ThermalGuardAllocator::predicted_inlets(
-    const std::vector<core::ServerState>& servers) const {
+    std::span<const core::ServerState> servers) const {
   std::vector<double> power(static_cast<std::size_t>(map_->server_count()),
                             0.0);
   for (const core::ServerState& server : servers) {
@@ -33,8 +33,8 @@ std::vector<double> ThermalGuardAllocator::predicted_inlets(
 }
 
 core::AllocationResult ThermalGuardAllocator::allocate(
-    const std::vector<core::VmRequest>& vms,
-    const std::vector<core::ServerState>& servers) const {
+    std::span<const core::VmRequest> vms,
+    std::span<const core::ServerState> servers) const {
   const std::vector<double> inlets = predicted_inlets(servers);
   std::vector<core::ServerState> cool;
   cool.reserve(servers.size());

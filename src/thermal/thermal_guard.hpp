@@ -36,15 +36,15 @@ class ThermalGuardAllocator final : public core::Allocator {
                         const ThermalMap& map, GuardConfig config = {});
 
   [[nodiscard]] core::AllocationResult allocate(
-      const std::vector<core::VmRequest>& vms,
-      const std::vector<core::ServerState>& servers) const override;
+      std::span<const core::VmRequest> vms,
+      std::span<const core::ServerState> servers) const override;
 
   [[nodiscard]] std::string name() const override;
 
   /// Predicted inlet temperatures for the given cluster state (exposed for
   /// tests and reporting).
   [[nodiscard]] std::vector<double> predicted_inlets(
-      const std::vector<core::ServerState>& servers) const;
+      std::span<const core::ServerState> servers) const;
 
  private:
   std::unique_ptr<core::Allocator> inner_;

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file arena.hpp
+/// Reset-not-freed scratch pool for hot loops.
+///
+/// The simulator's event loop needs a handful of short-lived buffers per
+/// event (request batches, touched-server sets, migration plans). Declaring
+/// them inside the loop body re-allocates on every event; hoisting each one
+/// by hand scatters a dozen `clear()` calls through the code. A ScratchPool
+/// owns the buffers instead: `take<T>()` hands out an empty vector whose
+/// capacity survives from the previous event, and `reset()` returns
+/// everything for reuse without releasing a byte — the same idiom as an
+/// allocation arena, specialized to typed vectors (capacity is the only
+/// state worth keeping; the element values are dead after each event).
+///
+/// Usage:
+///
+///     util::ScratchPool pool;
+///     for (;;) {                     // event loop
+///       pool.reset();
+///       auto& request = pool.take<core::VmRequest>();
+///       auto& touched = pool.take<int>();
+///       ...  // fill and consume within this iteration
+///     }
+///
+/// `take<T>()` returns a reference valid until the next reset(); a second
+/// take<T>() in the same cycle returns a *different* buffer, so nested
+/// helpers can each take their own. Buffers are recycled per element type,
+/// in take order — steady state performs zero heap allocations once every
+/// cycle's takes have warmed their capacities. Not thread-safe: one pool
+/// per loop, like the loop state it replaces.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace aeva::util {
+
+namespace detail {
+
+/// Process-wide monotone type ids (assigned on first use, any order). Only
+/// used as indices into per-pool slot tables, so the order never affects
+/// simulation results.
+inline std::size_t next_scratch_type_id() noexcept {
+  static std::size_t counter = 0;
+  return counter++;
+}
+
+template <typename T>
+std::size_t scratch_type_id() noexcept {
+  static const std::size_t id = next_scratch_type_id();
+  return id;
+}
+
+}  // namespace detail
+
+class ScratchPool {
+ public:
+  ScratchPool() = default;
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  /// An empty vector<T> whose capacity carries over from earlier cycles.
+  /// Valid until the next reset().
+  template <typename T>
+  [[nodiscard]] std::vector<T>& take() {
+    Slot<T>& slot = slot_of<T>();
+    if (slot.next == slot.buffers.size()) {
+      slot.buffers.push_back(std::make_unique<std::vector<T>>());
+      ++grows_;
+    }
+    std::vector<T>& buffer = *slot.buffers[slot.next++];
+    buffer.clear();
+    return buffer;
+  }
+
+  /// Returns every taken buffer to the pool (capacity kept, contents dead).
+  void reset() noexcept {
+    for (const std::unique_ptr<SlotBase>& slot : slots_) {
+      if (slot != nullptr) {
+        slot->next = 0;
+      }
+    }
+  }
+
+  /// Pool-growth events: a new buffer or a type seen for the first time.
+  /// Flat across a warm window ⇒ zero steady-state allocations from the
+  /// pool itself (the buffers' own capacity growth is the caller's).
+  [[nodiscard]] std::size_t grows() const noexcept { return grows_; }
+
+ private:
+  struct SlotBase {
+    std::size_t next = 0;
+    virtual ~SlotBase() = default;
+  };
+
+  template <typename T>
+  struct Slot final : SlotBase {
+    std::vector<std::unique_ptr<std::vector<T>>> buffers;
+  };
+
+  template <typename T>
+  Slot<T>& slot_of() {
+    const std::size_t id = detail::scratch_type_id<T>();
+    if (id >= slots_.size()) {
+      slots_.resize(id + 1);
+      ++grows_;
+    }
+    if (slots_[id] == nullptr) {
+      slots_[id] = std::make_unique<Slot<T>>();
+      ++grows_;
+    }
+    // The id→type mapping is process-wide and stable, so the downcast is
+    // exact by construction.
+    return static_cast<Slot<T>&>(*slots_[id]);
+  }
+
+  std::vector<std::unique_ptr<SlotBase>> slots_;  ///< indexed by type id
+  std::size_t grows_ = 0;
+};
+
+}  // namespace aeva::util

@@ -77,6 +77,26 @@ TEST(FleetState, AllocateDeltaUpdatesNodeAndUpServers) {
   EXPECT_EQ(stats.deallocs, 1u);
 }
 
+TEST(FleetState, UpServersScratchStopsGrowingOnceWarm) {
+  FleetState fleet = make_fleet(8);
+  // First call may grow the scratch up to the fleet size...
+  (void)fleet.up_servers();
+  const std::uint64_t warm_grows = fleet.stats().up_scratch_grows;
+  EXPECT_LE(warm_grows, 1u);
+  // ...after which a steady-state window of calls — including ones
+  // interleaved with capacity changes and crash/repair churn — never
+  // reallocates: the counter stays flat.
+  for (int i = 0; i < 100; ++i) {
+    fleet.allocate(i % 8, ProfileClass::kCpu);
+    (void)fleet.up_servers();
+    fleet.deallocate(i % 8, ProfileClass::kCpu);
+    fleet.crash(i % 8);
+    (void)fleet.up_servers();
+    fleet.repair(i % 8);
+  }
+  EXPECT_EQ(fleet.stats().up_scratch_grows, warm_grows);
+}
+
 TEST(FleetState, DeltaValidation) {
   FleetState fleet = make_fleet(2);
   EXPECT_THROW(fleet.allocate(7, ProfileClass::kCpu), std::invalid_argument);

@@ -1,0 +1,126 @@
+/// \file fcfs_queue_test.cpp
+/// FcfsQueue must be observably identical to std::deque<std::size_t> with
+/// erase(begin()+pos) — the seed loop's container — while erasing in O(1)
+/// amortized. The differential test drives both through a long random
+/// push/index/erase schedule; the targeted tests pin the drained-rewind
+/// and in-place-compaction paths.
+
+#include "datacenter/fcfs_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aeva::datacenter {
+namespace {
+
+std::vector<std::size_t> snapshot(const FcfsQueue& q) {
+  std::vector<std::size_t> out;
+  q.for_each([&](std::size_t j) { out.push_back(j); });
+  return out;
+}
+
+TEST(FcfsQueue, BasicFifoOrder) {
+  FcfsQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push_back(7);
+  q.push_back(3);
+  q.push_back(9);
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0], 7u);
+  EXPECT_EQ(q[1], 3u);
+  EXPECT_EQ(q[2], 9u);
+  q.erase_at(0);
+  EXPECT_EQ(q[0], 3u);
+  EXPECT_EQ(q[1], 9u);
+}
+
+TEST(FcfsQueue, EraseAtMiddlePreservesRelativeOrder) {
+  FcfsQueue q;
+  for (std::size_t j = 0; j < 6; ++j) {
+    q.push_back(j);
+  }
+  q.erase_at(2);  // drop job 2
+  q.erase_at(3);  // positions shifted: drops job 4
+  const std::vector<std::size_t> expect{0, 1, 3, 5};
+  EXPECT_EQ(snapshot(q), expect);
+}
+
+TEST(FcfsQueue, DrainedQueueRewindsWithoutLosingCapacity) {
+  FcfsQueue q;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t j = 0; j < 100; ++j) {
+      q.push_back(j);
+    }
+    while (!q.empty()) {
+      q.erase_at(0);
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+  }
+  q.push_back(42);
+  EXPECT_EQ(q[0], 42u);
+}
+
+TEST(FcfsQueue, CompactionTriggersAndPreservesOrder) {
+  FcfsQueue q;
+  // Keep a small live set while tombstoning far more than live + 64 so
+  // the in-place compaction must run at least once.
+  for (std::size_t j = 0; j < 400; ++j) {
+    q.push_back(j);
+  }
+  // Erase from the middle (never the head) so dead slots accumulate
+  // between head and the live tail.
+  while (q.size() > 4) {
+    q.erase_at(1);
+  }
+  const std::vector<std::size_t> live = snapshot(q);
+  ASSERT_EQ(live.size(), 4u);
+  EXPECT_EQ(live[0], 0u);  // head never erased
+  EXPECT_EQ(live[3], 399u);
+  EXPECT_EQ(q[0], live[0]);
+  EXPECT_EQ(q[3], live[3]);
+}
+
+TEST(FcfsQueue, RejectsTombstoneValueAndBadPositions) {
+  FcfsQueue q;
+  EXPECT_THROW(q.push_back(FcfsQueue::kTombstone), std::invalid_argument);
+  EXPECT_THROW(q.erase_at(0), std::invalid_argument);
+  q.push_back(1);
+  EXPECT_THROW((void)q[1], std::invalid_argument);
+}
+
+TEST(FcfsQueue, DifferentialAgainstDequeEraseSemantics) {
+  util::Rng rng(1234);
+  FcfsQueue q;
+  std::deque<std::size_t> ref;
+  std::size_t next = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const auto op = rng.uniform_int(0, 2);
+    if (op == 0 || ref.empty()) {
+      q.push_back(next);
+      ref.push_back(next);
+      ++next;
+    } else if (op == 1) {
+      // Backfill-style erase at a random live position.
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ref.size()) - 1));
+      ASSERT_EQ(q[pos], ref[pos]) << "step " << step;
+      q.erase_at(pos);
+      ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(pos));
+    } else {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ref.size()) - 1));
+      ASSERT_EQ(q[pos], ref[pos]) << "step " << step;
+    }
+    ASSERT_EQ(q.size(), ref.size()) << "step " << step;
+  }
+  const std::vector<std::size_t> expect(ref.begin(), ref.end());
+  EXPECT_EQ(snapshot(q), expect);
+}
+
+}  // namespace
+}  // namespace aeva::datacenter

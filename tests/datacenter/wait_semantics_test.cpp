@@ -1,0 +1,136 @@
+/// \file wait_semantics_test.cpp
+/// Pins the two wait metrics' weighting semantics (this PR's heap-churn
+/// sweep surfaced the ambiguity and resolved it by keeping both):
+///
+///  * SimMetrics::mean_wait_s — one sample per *placed VM*: a 16-VM job
+///    admitted after a long wait contributes 16 samples (capacity-weighted;
+///    the goldens and published reports depend on it);
+///  * SimMetrics::mean_job_wait_s — one sample per *admitted job*,
+///    regardless of width.
+///
+/// Both are recomputed here from ground truth — the per-VM completion
+/// records, which carry each VM's submit and allocation instants — on a
+/// congested workload where wide jobs queue differently from narrow ones,
+/// so the two means must diverge and each must match its own definition.
+
+#include "datacenter/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/first_fit.hpp"
+#include "testing/shared_db.hpp"
+#include "trace/prepare.hpp"
+#include "util/rng.hpp"
+
+namespace aeva::datacenter {
+namespace {
+
+using trace::JobRequest;
+using trace::PreparedWorkload;
+using workload::ProfileClass;
+
+/// Congested mix: frequent 1-VM jobs interleaved with rare 16-VM jobs on
+/// a small cloud, so wide jobs systematically wait longer than narrow
+/// ones and the two means cannot coincide.
+PreparedWorkload congested_workload() {
+  util::Rng rng(555);
+  PreparedWorkload workload;
+  long long id = 1;
+  double t = 0.0;
+  for (int i = 0; i < 120; ++i) {
+    JobRequest job;
+    job.id = id++;
+    job.submit_s = t;
+    job.profile = static_cast<ProfileClass>(rng.uniform_int(0, 2));
+    job.vm_count = (i % 8 == 0) ? 16 : 1;
+    job.runtime_scale = rng.uniform(0.8, 1.6);
+    job.deadline_s = 1e9;  // waits are the subject, not SLA misses
+    job.max_exec_stretch = 3.0;
+    workload.total_vms += job.vm_count;
+    workload.vm_mix.of(job.profile) += job.vm_count;
+    workload.jobs.push_back(job);
+    t += rng.exponential(1.0 / 30.0);
+  }
+  return workload;
+}
+
+TEST(WaitSemantics, PerVmAndPerJobMeansMatchGroundTruthAndDiverge) {
+  CloudConfig cloud;
+  cloud.server_count = 8;
+  cloud.record_completions = true;
+  const core::FirstFitAllocator allocator(2);
+  const Simulator sim(testing::shared_db(), cloud);
+  const PreparedWorkload workload = congested_workload();
+  const SimMetrics metrics = sim.run(workload, allocator);
+
+  ASSERT_EQ(metrics.completions.size(),
+            static_cast<std::size_t>(workload.total_vms))
+      << "fail-free run must complete every VM";
+
+  // Recompute both means from the completion records.
+  double vm_sum = 0.0;
+  std::size_t vm_count = 0;
+  std::map<long long, double> job_wait;  // admission is atomic per job
+  for (const VmCompletion& c : metrics.completions) {
+    vm_sum += c.wait_s();
+    ++vm_count;
+    const auto [it, inserted] = job_wait.emplace(c.job_id, c.wait_s());
+    if (!inserted) {
+      EXPECT_DOUBLE_EQ(it->second, c.wait_s())
+          << "VMs of job " << c.job_id << " were placed at different times";
+    }
+  }
+  double job_sum = 0.0;
+  for (const auto& [id, wait] : job_wait) {
+    job_sum += wait;
+  }
+  const double vm_mean = vm_sum / static_cast<double>(vm_count);
+  const double job_mean = job_sum / static_cast<double>(job_wait.size());
+
+  EXPECT_NEAR(metrics.mean_wait_s, vm_mean, 1e-9 * (1.0 + vm_mean))
+      << "mean_wait_s must be the per-VM (capacity-weighted) mean";
+  EXPECT_NEAR(metrics.mean_job_wait_s, job_mean, 1e-9 * (1.0 + job_mean))
+      << "mean_job_wait_s must weight every job once";
+
+  // The workload congests wide jobs more than narrow ones: if the two
+  // means coincide the test lost its teeth (and the 16x weighting this
+  // PR examined would be unobservable).
+  EXPECT_GT(std::abs(vm_mean - job_mean), 1.0)
+      << "workload failed to make the weighting semantics observable";
+  EXPECT_GT(job_wait.size(), 0u);
+}
+
+TEST(WaitSemantics, UniformWidthCollapsesBothMeans) {
+  // All jobs 1-VM wide: per-VM and per-job weighting are the same
+  // distribution, so the metrics must agree exactly.
+  CloudConfig cloud;
+  cloud.server_count = 4;
+  const core::FirstFitAllocator allocator(2);
+  const Simulator sim(testing::shared_db(), cloud);
+
+  util::Rng rng(777);
+  PreparedWorkload workload;
+  double t = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    JobRequest job;
+    job.id = i + 1;
+    job.submit_s = t;
+    job.profile = static_cast<ProfileClass>(rng.uniform_int(0, 2));
+    job.vm_count = 1;
+    job.runtime_scale = rng.uniform(0.8, 1.6);
+    job.deadline_s = 1e9;
+    job.max_exec_stretch = 3.0;
+    workload.total_vms += 1;
+    workload.vm_mix.of(job.profile) += 1;
+    workload.jobs.push_back(job);
+    t += rng.exponential(1.0 / 20.0);
+  }
+  const SimMetrics metrics = sim.run(workload, allocator);
+  EXPECT_DOUBLE_EQ(metrics.mean_wait_s, metrics.mean_job_wait_s);
+}
+
+}  // namespace
+}  // namespace aeva::datacenter

@@ -1,0 +1,26 @@
+// Deliberately bad translation unit for the hot-path-container rule.
+// This file lives outside HOT_PATH_FILES, so it opts in via the marker:
+// aeva-lint: hot-path
+//
+// Expectation markers follow the bad.cpp convention: the fixture runner
+// asserts the tool reports exactly the marked (rule, line) pairs.
+
+#include <map>
+#include <vector>
+
+struct Vm {
+  long long id = 0;
+};
+
+struct EventLoop {
+  // A node-based table is banned outright in a hot-path file, with or
+  // without a justifying comment nearby.
+  std::map<long long, Vm> by_id_;  // EXPECT[hot-path-container]
+
+  int spacer_so_the_runs_stay_separate_ = 0;
+
+  // Sequence declarations with no nearby justification: every line of
+  // the declaration run below is reported individually.
+  std::vector<Vm> fresh_batch_;  // EXPECT[hot-path-container]
+  std::vector<double> weights_;  // EXPECT[hot-path-container]
+};

@@ -1,0 +1,38 @@
+// Clean counterpart for the hot-path-container rule. Opts in with the
+// marker (aeva-lint: hot-path); every construction site below is
+// sanctioned, and the fixture runner asserts the file lints clean under
+// an empty allowlist.
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct Pool {
+  template <typename T>
+  std::vector<T>& take();
+};
+
+// Column block: one justifying comment covers a whole declaration run
+// (gaps of up to two lines), mirroring the simulator's FleetSoA.
+struct Fleet {
+  // Sized once at construction, mutated in place per event.
+  std::vector<double> busy_power_w;
+  std::vector<int> alloc;
+
+  std::vector<std::size_t> view_pos;  // sized once; never grows
+};
+
+inline double drain(Pool& pool, std::size_t n) {
+  // Reference bindings to reused scratch buffers are not fresh
+  // containers; the `&` skip covers them (and range-for below).
+  std::vector<double>& power = pool.take<double>();
+  power.assign(n, 0.0);
+  double total = 0.0;
+  for (const double& w : power) {
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -112,6 +112,28 @@ def main() -> int:
         check_case("aeva_lint reports the clean fixture clean",
                    rc == 0, f"  exit={rc}\n{out}")
 
+        # ---- aeva_lint: hot-path opt-in fixture reports the marked set --
+        hot_bad = FIXTURES / "lint" / "hot_path_bad.cpp"
+        report_path = tmpdir / "lint_hot_bad.json"
+        rc, out = run_tool([
+            str(LINT), str(hot_bad), "--no-compile", "--no-doc-links",
+            "--allowlist", str(empty_allowlist), "--json", str(report_path)])
+        report = json.loads(report_path.read_text())
+        expected = expected_from([hot_bad])
+        got = reported_from(report, "rule")
+        check_case("aeva_lint hot-path fixture finds exactly the marked "
+                   "violations",
+                   rc == 1 and got == expected,
+                   diff(expected, got) + f"\n  exit={rc}\n{out}")
+
+        # ---- aeva_lint: sanctioned hot-path idioms stay clean ----
+        hot_good = FIXTURES / "lint" / "hot_path_good.cpp"
+        rc, out = run_tool([
+            str(LINT), str(hot_good), "--no-compile", "--no-doc-links",
+            "--allowlist", str(empty_allowlist)])
+        check_case("aeva_lint hot-path clean fixture stays clean",
+                   rc == 0, f"  exit={rc}\n{out}")
+
         # ---- aeva_check (--files): bad fixtures report the marked set --
         check_dir = FIXTURES / "check"
         check_files = sorted(check_dir.glob("*.cpp"))

@@ -1,0 +1,91 @@
+/// \file arena_test.cpp
+/// ScratchPool contract: take<T>() hands out empty buffers whose capacity
+/// survives reset(), a second take<T>() in the same cycle is a distinct
+/// buffer, and a warm cycle performs no pool growth (grows() flat ⇒ the
+/// pool itself allocates nothing in steady state).
+
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace aeva::util {
+namespace {
+
+TEST(ScratchPool, TakeReturnsEmptyBufferWithSurvivingCapacity) {
+  ScratchPool pool;
+  std::vector<int>& a = pool.take<int>();
+  a.assign(100, 7);
+  const int* data = a.data();
+  const std::size_t cap = a.capacity();
+  ASSERT_GE(cap, 100u);
+
+  pool.reset();
+  std::vector<int>& b = pool.take<int>();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.capacity(), cap);
+  EXPECT_EQ(b.data(), data);  // literally the same storage, recycled
+}
+
+TEST(ScratchPool, SecondTakeSameCycleIsADistinctBuffer) {
+  ScratchPool pool;
+  std::vector<int>& a = pool.take<int>();
+  std::vector<int>& b = pool.take<int>();
+  EXPECT_NE(&a, &b);
+  a.push_back(1);
+  b.push_back(2);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(ScratchPool, DistinctTypesGetDistinctSlots) {
+  ScratchPool pool;
+  std::vector<int>& ints = pool.take<int>();
+  std::vector<double>& doubles = pool.take<double>();
+  std::vector<std::string>& strings = pool.take<std::string>();
+  ints.push_back(1);
+  doubles.push_back(2.0);
+  strings.emplace_back("three");
+  EXPECT_EQ(ints.size(), 1u);
+  EXPECT_EQ(doubles.size(), 1u);
+  EXPECT_EQ(strings.size(), 1u);
+}
+
+TEST(ScratchPool, WarmCyclesStopGrowing) {
+  ScratchPool pool;
+  // Cold cycle: every take may grow the pool.
+  pool.reset();
+  pool.take<int>().assign(32, 0);
+  pool.take<int>().assign(64, 0);
+  pool.take<double>().assign(16, 0.0);
+  const std::size_t warm = pool.grows();
+  EXPECT_GT(warm, 0u);
+  // Warm cycles with the same take pattern: grows() must stay flat.
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    pool.reset();
+    pool.take<int>().assign(32, 0);
+    pool.take<int>().assign(64, 0);
+    pool.take<double>().assign(16, 0.0);
+  }
+  EXPECT_EQ(pool.grows(), warm);
+}
+
+TEST(ScratchPool, GrowthResumesOnlyForNewTakesOrTypes) {
+  ScratchPool pool;
+  pool.reset();
+  (void)pool.take<int>();
+  const std::size_t one = pool.grows();
+  pool.reset();
+  (void)pool.take<int>();
+  (void)pool.take<int>();  // deeper take pattern: one new buffer
+  EXPECT_GT(pool.grows(), one);
+  const std::size_t two = pool.grows();
+  pool.reset();
+  (void)pool.take<int>();
+  (void)pool.take<int>();
+  EXPECT_EQ(pool.grows(), two);
+}
+
+}  // namespace
+}  // namespace aeva::util

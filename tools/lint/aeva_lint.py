@@ -73,6 +73,21 @@ Rules (all scoped to first-party code under src/, see --paths):
                        it is declared, next to the capacity check that
                        enforces it.
 
+  hot-path-container   No container construction inside the event-loop
+                       hot-path files (src/datacenter/simulator.cpp,
+                       ground_truth.cpp, fcfs_queue.hpp,
+                       src/core/first_fit.cpp; other files opt in with an
+                       "aeva-lint: hot-path" marker). Node-based
+                       containers (std::map & friends) are banned
+                       outright; sequence-container declarations must
+                       carry an adjacent (±2 lines) comment naming why
+                       the site is off the per-event path (cold, per-run,
+                       scratch, snapshot/restore, ...). The steady-state
+                       event loop is allocation-free
+                       (docs/PERFORMANCE.md "Event-loop throughput");
+                       this keeps fresh-container-per-event churn from
+                       creeping back.
+
   header-standalone    Every .hpp must compile on its own
                        (`$CXX -fsyntax-only -I src`), i.e. include what it
                        uses. Skipped when no compiler is available or with
@@ -188,6 +203,38 @@ PATTERN_RULES = [
         "locking proof",
     ),
 ]
+
+# hot-path-container: files on the event-loop hot path must not construct
+# containers per call (docs/PERFORMANCE.md "Event-loop throughput"). The
+# rule fires on container declarations inside the files below — plus any
+# file carrying the opt-in marker — unless an adjacent comment justifies
+# the site as cold/per-run/scratch. Node-based containers are flagged
+# unconditionally: the hot files replaced every std::map with a flat
+# structure, and the rule keeps them out.
+HOT_PATH_FILES = {
+    "src/datacenter/simulator.cpp",
+    "src/datacenter/ground_truth.cpp",
+    "src/datacenter/fcfs_queue.hpp",
+    "src/core/first_fit.cpp",
+}
+# Files (e.g. lint fixtures, future hot paths) opt in by carrying this
+# marker anywhere in their raw text.
+HOT_PATH_MARKER = "aeva-lint: hot-path"
+HOT_CONTAINER_RE = re.compile(
+    r"std::(vector|deque|map|set|unordered_map|unordered_set"
+    r"|multimap|multiset|list)\s*<"
+)
+NODE_CONTAINER_RE = re.compile(
+    r"std::(map|set|unordered_map|unordered_set|multimap|multiset|list)\s*<"
+)
+# A nearby comment naming one of these marks the construction as off the
+# per-event path (mirrors the unbounded-queue suppression idiom: justify
+# the site where it is declared, or allowlist with a reason).
+HOT_COLD_CONTEXT_RE = re.compile(
+    r"cold|per-run|per run|once|setup|snapshot|restore|scratch|arena"
+    r"|hoisted|reused|thread_local",
+    re.IGNORECASE,
+)
 
 # unbounded-queue is not a PATTERN_RULE: the pattern matches *stripped*
 # source, but the suppressing bound declaration usually lives in a
@@ -379,6 +426,90 @@ def run_unbounded_queue_rule(files: list[Path], allowlist) -> list[dict]:
     return findings
 
 
+def run_hot_path_container_rule(files: list[Path], allowlist) -> list[dict]:
+    """Flags container construction on the event-loop hot path.
+
+    Scope: the HOT_PATH_FILES plus any file carrying HOT_PATH_MARKER.
+    Node-based containers (std::map & friends) are flagged wherever they
+    appear. Sequence containers are flagged at declaration sites — lines
+    that declare a reference/view (`&` anywhere, e.g. scratch.take
+    bindings and range-for) are skipped — unless a raw-text comment
+    within two lines of the declaration run names why the site is cold
+    (HOT_COLD_CONTEXT_RE). Consecutive declarations (gaps of up to two
+    lines, e.g. an interleaved comment) form one run sharing one
+    justification, so a struct's column block needs a single comment."""
+    findings = []
+    for path in files:
+        rel = rel_to_repo(path)
+        if is_exempt("hot-path-container", rel, allowlist):
+            continue
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        if rel not in HOT_PATH_FILES and HOT_PATH_MARKER not in raw:
+            continue
+        raw_lines = raw.splitlines()
+        stripped_lines = strip_comments_and_strings(raw).splitlines()
+
+        node_hits = []
+        candidates = []
+        for idx, line in enumerate(stripped_lines):
+            if NODE_CONTAINER_RE.search(line):
+                node_hits.append(idx)
+                continue
+            if not HOT_CONTAINER_RE.search(line):
+                continue
+            if "&" in line:
+                continue  # reference/view of an existing container
+            candidates.append(idx)
+
+        for idx in node_hits:
+            findings.append(
+                {
+                    "rule": "hot-path-container",
+                    "path": rel,
+                    "line": idx + 1,
+                    "message": "node-based container on the event-loop "
+                    "hot path: every lookup chases pointers and every "
+                    "insert allocates — use the flat replacements "
+                    "(sorted vector, FcfsQueue) this file already "
+                    "standardized on (docs/PERFORMANCE.md \"Event-loop "
+                    "throughput\")",
+                    "excerpt": raw_lines[idx].strip()[:120],
+                }
+            )
+
+        # Group declaration runs: consecutive candidates at most two
+        # lines apart share one justification window.
+        runs: list[list[int]] = []
+        for idx in candidates:
+            if runs and idx - runs[-1][-1] <= 2:
+                runs[-1].append(idx)
+            else:
+                runs.append([idx])
+        for run in runs:
+            lo = max(0, run[0] - 2)
+            hi = min(len(raw_lines), run[-1] + 3)
+            if HOT_COLD_CONTEXT_RE.search("\n".join(raw_lines[lo:hi])):
+                continue
+            for idx in run:
+                findings.append(
+                    {
+                        "rule": "hot-path-container",
+                        "path": rel,
+                        "line": idx + 1,
+                        "message": "container constructed on the "
+                        "event-loop hot path: a fresh container per "
+                        "event/call is the heap churn this file was "
+                        "refactored to eliminate — reuse a "
+                        "util::ScratchPool buffer or a hoisted per-run "
+                        "local, or mark the site cold in an adjacent "
+                        "comment (docs/ARCHITECTURE.md \"Event-loop "
+                        "hot path\")",
+                        "excerpt": raw_lines[idx].strip()[:120],
+                    }
+                )
+    return findings
+
+
 def find_compiler() -> list[str] | None:
     for cxx in ("c++", "g++", "clang++"):
         if shutil.which(cxx):
@@ -543,6 +674,7 @@ def main() -> int:
 
     findings = run_pattern_rules(files, allowlist)
     findings += run_unbounded_queue_rule(files, allowlist)
+    findings += run_hot_path_container_rule(files, allowlist)
     if not args.no_compile:
         findings += run_header_standalone(files, allowlist, args.jobs)
     if not args.no_doc_links:
