@@ -12,6 +12,35 @@ namespace aeva::core {
 using workload::ClassCounts;
 using workload::ProfileClass;
 
+namespace {
+
+/// Spread-quota mask shared by the baseline scans: true when placing one
+/// more of the request's VMs on `server_id` would break the per-domain cap
+/// (inert when the config is disabled or the server is unmapped).
+bool spread_blocked(const SpreadConfig& spread,
+                    const std::vector<int>& domain_used, int server_id) {
+  if (!spread.enabled) {
+    return false;
+  }
+  const int domain = spread.domain_of(server_id);
+  return domain >= 0 && domain_used[static_cast<std::size_t>(domain)] >=
+                            spread.max_vms_per_domain;
+}
+
+/// Records one placed VM against its server's failure domain.
+void spread_note(const SpreadConfig& spread, std::vector<int>& domain_used,
+                 int server_id) {
+  if (!spread.enabled) {
+    return;
+  }
+  const int domain = spread.domain_of(server_id);
+  if (domain >= 0) {
+    ++domain_used[static_cast<std::size_t>(domain)];
+  }
+}
+
+}  // namespace
+
 // --- SlotFitAllocator -------------------------------------------------------
 
 SlotFitAllocator::SlotFitAllocator(Policy policy, int multiplex,
@@ -29,15 +58,23 @@ AllocationResult SlotFitAllocator::allocate(
     result.complete = true;
     return result;
   }
+  if (!spread_.feasible_width(vms.size())) {
+    result.outcome = AllocationOutcome{AllocationPath::kRejected,
+                                       RejectReason::kSpreadInfeasible};
+    return result;
+  }
   std::vector<int> free_slots;
   free_slots.reserve(servers.size());
   for (const ServerState& server : servers) {
     free_slots.push_back(server_capacity() - server.allocated.total());
   }
+  std::vector<int> domain_used(
+      spread_.enabled ? static_cast<std::size_t>(spread_.domain_count) : 0, 0);
   for (const VmRequest& vm : vms) {
     std::size_t chosen = servers.size();
     for (std::size_t s = 0; s < servers.size(); ++s) {
-      if (free_slots[s] <= 0) {
+      if (free_slots[s] <= 0 ||
+          spread_blocked(spread_, domain_used, servers[s].id)) {
         continue;
       }
       if (chosen == servers.size()) {
@@ -61,6 +98,7 @@ AllocationResult SlotFitAllocator::allocate(
     }
     result.placements.push_back(Placement{vm.id, servers[chosen].id});
     --free_slots[chosen];
+    spread_note(spread_, domain_used, servers[chosen].id);
   }
   result.complete = true;
   return result;
@@ -88,6 +126,11 @@ AllocationResult RandomFitAllocator::allocate(
     result.complete = true;
     return result;
   }
+  if (!spread_.feasible_width(vms.size())) {
+    result.outcome = AllocationOutcome{AllocationPath::kRejected,
+                                       RejectReason::kSpreadInfeasible};
+    return result;
+  }
   // Derive a per-request stream so identical calls are reproducible while
   // distinct requests diverge.
   std::uint64_t mix = seed_;
@@ -102,10 +145,13 @@ AllocationResult RandomFitAllocator::allocate(
   for (const ServerState& server : servers) {
     free_slots.push_back(capacity - server.allocated.total());
   }
+  std::vector<int> domain_used(
+      spread_.enabled ? static_cast<std::size_t>(spread_.domain_count) : 0, 0);
   for (const VmRequest& vm : vms) {
     std::vector<std::size_t> candidates;
     for (std::size_t s = 0; s < servers.size(); ++s) {
-      if (free_slots[s] > 0) {
+      if (free_slots[s] > 0 &&
+          !spread_blocked(spread_, domain_used, servers[s].id)) {
         candidates.push_back(s);
       }
     }
@@ -121,6 +167,7 @@ AllocationResult RandomFitAllocator::allocate(
         rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
     result.placements.push_back(Placement{vm.id, servers[pick].id});
     --free_slots[pick];
+    spread_note(spread_, domain_used, servers[pick].id);
   }
   result.complete = true;
   return result;
@@ -189,16 +236,26 @@ AllocationResult VectorFitAllocator::allocate(
     result.complete = true;
     return result;
   }
+  if (!spread_.feasible_width(vms.size())) {
+    result.outcome = AllocationOutcome{AllocationPath::kRejected,
+                                       RejectReason::kSpreadInfeasible};
+    return result;
+  }
   std::vector<DemandVector> used;
   used.reserve(servers.size());
   for (const ServerState& server : servers) {
     used.push_back(used_vector(server.allocated, demands_));
   }
+  std::vector<int> domain_used(
+      spread_.enabled ? static_cast<std::size_t>(spread_.domain_count) : 0, 0);
   for (const VmRequest& vm : vms) {
     const DemandVector& d = demands_[static_cast<std::size_t>(vm.profile)];
     std::size_t chosen = servers.size();
     double best_dot = -1.0;
     for (std::size_t s = 0; s < servers.size(); ++s) {
+      if (spread_blocked(spread_, domain_used, servers[s].id)) {
+        continue;
+      }
       const DemandVector& u = used[s];
       const bool fits = u.cpu + d.cpu <= overcommit_ &&
                         u.mem + d.mem <= overcommit_ &&
@@ -231,6 +288,7 @@ AllocationResult VectorFitAllocator::allocate(
     used[chosen].mem += d.mem;
     used[chosen].disk += d.disk;
     used[chosen].net += d.net;
+    spread_note(spread_, domain_used, servers[chosen].id);
   }
   result.complete = true;
   return result;

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 
 #include "core/types.hpp"
 #include "util/rng.hpp"
@@ -33,6 +34,11 @@ class SlotFitAllocator final : public Allocator {
   enum class Policy { kBestFit, kWorstFit };
 
   SlotFitAllocator(Policy policy, int multiplex, int cpus_per_server = 4);
+
+  /// Per-job failure-domain spread constraint (docs/RESILIENCE.md,
+  /// "Correlated failure domains"); a disabled config is inert and the
+  /// scan stays bit-identical to the spread-free baseline.
+  void set_spread(SpreadConfig spread) { spread_ = std::move(spread); }
 
   [[nodiscard]] AllocationResult allocate(
       std::span<const VmRequest> vms,
@@ -48,6 +54,7 @@ class SlotFitAllocator final : public Allocator {
   Policy policy_;
   int multiplex_;
   int cpus_per_server_;
+  SpreadConfig spread_;
 };
 
 /// Uniform random placement among servers with a free slot. Deterministic
@@ -57,6 +64,11 @@ class RandomFitAllocator final : public Allocator {
  public:
   RandomFitAllocator(std::uint64_t seed, int multiplex,
                      int cpus_per_server = 4);
+
+  /// As SlotFitAllocator::set_spread. The quota filter narrows the
+  /// candidate set *before* the uniform pick, so the RNG stream still
+  /// advances once per VM.
+  void set_spread(SpreadConfig spread) { spread_ = std::move(spread); }
 
   [[nodiscard]] AllocationResult allocate(
       std::span<const VmRequest> vms,
@@ -68,6 +80,7 @@ class RandomFitAllocator final : public Allocator {
   std::uint64_t seed_;
   int multiplex_;
   int cpus_per_server_;
+  SpreadConfig spread_;
 };
 
 /// Per-VM resource demand vector used by VECTOR-FIT (normalized to server
@@ -96,6 +109,9 @@ class VectorFitAllocator final : public Allocator {
   /// models on the given server hardware.
   [[nodiscard]] static VectorFitAllocator from_registry(double overcommit);
 
+  /// As SlotFitAllocator::set_spread.
+  void set_spread(SpreadConfig spread) { spread_ = std::move(spread); }
+
   [[nodiscard]] AllocationResult allocate(
       std::span<const VmRequest> vms,
       std::span<const ServerState> servers) const override;
@@ -110,6 +126,7 @@ class VectorFitAllocator final : public Allocator {
  private:
   std::array<DemandVector, workload::kProfileClassCount> demands_;
   double overcommit_;
+  SpreadConfig spread_;
 };
 
 }  // namespace aeva::core

@@ -46,6 +46,13 @@ void FirstFitAllocator::allocate_into(std::span<const VmRequest> vms,
     out.complete = true;
     return;
   }
+  if (!spread_.feasible_width(vms.size())) {
+    // No split of this request across the declared domains can respect the
+    // per-domain cap — terminal, not a capacity wait (docs/RESILIENCE.md).
+    out.outcome = AllocationOutcome{AllocationPath::kRejected,
+                                    RejectReason::kSpreadInfeasible};
+    return;
+  }
 
   // Track residual capacity without mutating the caller's states. The
   // scratch is thread_local so the const interface stays thread-safe while
@@ -57,16 +64,36 @@ void FirstFitAllocator::allocate_into(std::span<const VmRequest> vms,
     free_slots.push_back(server_capacity(server.hardware) -
                          server.allocated.total());
   }
+  // This request's VMs per failure domain (spread constraint only;
+  // unmapped servers stay unconstrained).
+  thread_local std::vector<int> domain_used;
+  const bool spread_on = spread_.enabled;
+  if (spread_on) {
+    domain_used.assign(static_cast<std::size_t>(spread_.domain_count), 0);
+  }
 
   for (const VmRequest& vm : vms) {
     bool placed = false;
     for (std::size_t s = 0; s < servers.size(); ++s) {
-      if (free_slots[s] > 0) {
-        out.placements.push_back(Placement{vm.id, servers[s].id});
-        --free_slots[s];
-        placed = true;
-        break;
+      if (free_slots[s] <= 0) {
+        continue;
       }
+      int domain = -1;
+      if (spread_on) {
+        domain = spread_.domain_of(servers[s].id);
+        if (domain >= 0 &&
+            domain_used[static_cast<std::size_t>(domain)] >=
+                spread_.max_vms_per_domain) {
+          continue;  // the request is already at its cap in this domain
+        }
+      }
+      out.placements.push_back(Placement{vm.id, servers[s].id});
+      --free_slots[s];
+      if (domain >= 0) {
+        ++domain_used[static_cast<std::size_t>(domain)];
+      }
+      placed = true;
+      break;
     }
     if (!placed) {
       // All-or-nothing: the job request waits for capacity.

@@ -9,6 +9,8 @@
 ///  * FIRST-FIT-2 / FIRST-FIT-3 (FF-2, FF-3): variants allowing up to 2 or
 ///    3 VMs multiplexed on each CPU.
 
+#include <utility>
+
 #include "core/types.hpp"
 
 namespace aeva::core {
@@ -23,6 +25,16 @@ class FirstFitAllocator final : public Allocator {
   /// Heterogeneous fleet: CPUs per hardware class, indexed by
   /// `ServerState::hardware` (must be non-empty, all entries ≥ 1).
   FirstFitAllocator(int multiplex, std::vector<int> cpus_by_hardware);
+
+  /// Engages the per-job failure-domain spread constraint
+  /// (docs/RESILIENCE.md "Correlated failure domains"): at most
+  /// SpreadConfig::max_vms_per_domain VMs of one request per domain,
+  /// with structurally-too-wide requests rejected as kSpreadInfeasible.
+  /// Disabled configs are inert (bit-identical to the spread-free scan).
+  void set_spread(SpreadConfig spread) { spread_ = std::move(spread); }
+  [[nodiscard]] const SpreadConfig& spread() const noexcept {
+    return spread_;
+  }
 
   [[nodiscard]] AllocationResult allocate(
       std::span<const VmRequest> vms,
@@ -49,6 +61,7 @@ class FirstFitAllocator final : public Allocator {
  private:
   int multiplex_;
   std::vector<int> cpus_by_hardware_;
+  SpreadConfig spread_;
 };
 
 }  // namespace aeva::core

@@ -631,6 +631,13 @@ FleetState::FleetState(std::vector<const modeldb::ModelDatabase*> dbs,
   AEVA_REQUIRE(config_.alpha >= 0.0 && config_.alpha <= 1.0,
                "alpha must be in [0, 1], got ", config_.alpha);
   AEVA_REQUIRE(config_.max_partitions >= 1, "partition budget must be >= 1");
+  // The incremental planner's persistent group index is keyed by
+  // (hardware, mix) only; a spread-constrained plan would need the domain
+  // in the key. Route spread-enabled configs through the batch allocator
+  // until the index learns domains.
+  AEVA_REQUIRE(!config_.spread.enabled,
+               "FleetState does not support the spread constraint yet; "
+               "use ProactiveAllocator for spread-constrained placement");
   AEVA_REQUIRE(!dbs.empty(), "need at least one model database");
   models_.reserve(dbs.size());
   for (const modeldb::ModelDatabase* db : dbs) {
@@ -842,6 +849,18 @@ void FleetState::repair(int server_id) {
   node.down = false;  // returns cold (powered == false) and empty
   ++up_count_;
   index_insert(node);
+}
+
+void FleetState::crash_domain(std::span<const int> server_ids) {
+  for (const int server_id : server_ids) {
+    crash(server_id);
+  }
+}
+
+void FleetState::repair_domain(std::span<const int> server_ids) {
+  for (const int server_id : server_ids) {
+    repair(server_id);
+  }
 }
 
 const std::vector<ServerState>& FleetState::up_servers() const {

@@ -127,6 +127,15 @@ class FleetState {
   void crash(int server_id);
   void repair(int server_id);
 
+  /// Domain-granular masking for correlated faults (docs/RESILIENCE.md,
+  /// "Correlated failure domains"): crash/repair every listed server in
+  /// one call — e.g. datacenter::Topology::servers_on_pdu() when a PDU
+  /// feed trips. Equivalent to calling crash()/repair() per id in order —
+  /// including the single-server calls' tolerance of already-masked
+  /// (resp. already healthy) members, so overlapping faults compose.
+  void crash_domain(std::span<const int> server_ids);
+  void repair_domain(std::span<const int> server_ids);
+
   /// Plans a request against the cached state: bit-identical placements,
   /// score, outcome, and search effort to
   /// `ProactiveAllocator::allocate(vms, up_servers())` under the same

@@ -66,6 +66,13 @@ ProactiveAllocator::ProactiveAllocator(
       memos_.push_back(std::move(memo));
     }
   }
+  if (config_.spread.enabled) {
+    AEVA_REQUIRE(config_.spread.max_vms_per_domain >= 1,
+                 "spread cap must be >= 1, got ",
+                 config_.spread.max_vms_per_domain);
+    AEVA_REQUIRE(config_.spread.domain_count >= 1,
+                 "spread needs at least one failure domain");
+  }
   if (config_.degrade_to_first_fit) {
     AEVA_REQUIRE(config_.fallback_multiplex >= 1,
                  "fallback multiplex factor must be >= 1, got ",
@@ -73,6 +80,9 @@ ProactiveAllocator::ProactiveAllocator(
     // Testbed servers have 4 CPUs regardless of hardware class.
     fallback_.emplace(config_.fallback_multiplex,
                       std::vector<int>(models_.size(), 4));
+    // The degradation leg enforces the same spread constraint, so no path
+    // out of this allocator can over-concentrate a request.
+    fallback_->set_spread(config_.spread);
   }
   if (config_.obs != nullptr) {
     // Resolve every metric handle once; allocate() then guards on one
@@ -176,7 +186,8 @@ struct EvalOutcome {
 struct EvalScratch {
   std::vector<char> used;
   std::vector<PlacedBlock> blocks;
-  std::vector<double> times;  ///< QoS sort buffer
+  std::vector<double> times;        ///< QoS sort buffer
+  std::vector<int> domain_used;     ///< request VMs per failure domain
 };
 
 /// Per-evaluator candidate-outcome tallies, flushed into the observability
@@ -225,7 +236,12 @@ struct SearchContext {
   /// is energy-monotone. The EDP goal is a product of totals — not
   /// separable — so it never prunes.
   bool prune_enabled = false;
-  /// Servers grouped by identical (hardware, base allocation) state —
+  /// Per-job failure-domain spread constraint; null when disabled, so the
+  /// hot paths guard on one pointer and the spread-free search stays
+  /// bit-identical to the pre-spread model (docs/RESILIENCE.md).
+  const SpreadConfig* spread = nullptr;
+  /// Servers grouped by identical (hardware, base allocation, domain)
+  /// state (domain joins the key only when spread is armed) —
   /// members of a group yield bitwise-identical placed_on results for any
   /// block, so the optimized paths estimate once per group and resolve the
   /// winner to its first unused member (the same tie the plain index-order
@@ -237,6 +253,34 @@ struct SearchContext {
                 const std::vector<CostModel>& models_in,
                 std::span<const ServerState> servers_in)
       : config(config_in), models(models_in), servers(servers_in) {}
+
+  /// Failure domain of a server slot (only called with `spread` armed);
+  /// -1 = unmapped, treated as unconstrained.
+  [[nodiscard]] int domain_of(std::size_t server) const {
+    return spread->domain_of(servers[server].id);
+  }
+
+  /// Marginal blast penalty of landing a `block_total`-VM block in
+  /// `domain` given the request's VMs already there: blast_penalty ×
+  /// ((n_d + b)² − n_d²) / n². The marginals telescope to the finalize()
+  /// Herfindahl term, so steering the greedy server choice by them keeps
+  /// the per-server ordering consistent with the candidate score. Only
+  /// called with `spread` armed; an unmapped server is its own singleton
+  /// domain (n_d = 0 — a server hosts at most one block per candidate).
+  [[nodiscard]] double blast_marginal(
+      int domain, int block_total,
+      const std::vector<int>& domain_used) const {
+    if (spread->blast_penalty <= 0.0) {
+      return 0.0;
+    }
+    const double prior =
+        domain >= 0
+            ? static_cast<double>(domain_used[static_cast<std::size_t>(domain)])
+            : 0.0;
+    const double b = static_cast<double>(block_total);
+    return spread->blast_penalty * (2.0 * prior * b + b * b) /
+           (n_vms * n_vms);
+  }
 
   [[nodiscard]] const CostModel& model_of(std::size_t server) const {
     const int hardware = servers[server].hardware;
@@ -264,12 +308,15 @@ struct SearchContext {
                                       double time_contrib) const;
 
   /// Greedy marginal-cost server choice for one block given the servers
-  /// already taken (ties → first server of the list, as in the paper).
-  /// Pure: depends only on `block` and `used`, so the placement of a block
-  /// sequence is a function of its prefix. Returns nullopt when no unused
-  /// server can host the block.
+  /// already taken (ties → first server of the list, as in the paper) and
+  /// the request's running per-domain VM tally (spread constraint; empty
+  /// and ignored when `spread` is null). Pure: depends only on `block`,
+  /// `used` and `domain_used`, so the placement of a block sequence is a
+  /// function of its prefix. Returns nullopt when no unused server can
+  /// host the block.
   [[nodiscard]] std::optional<PlacedBlock> place_block(
-      const ClassCounts& block, const std::vector<char>& used) const;
+      const ClassCounts& block, const std::vector<char>& used,
+      const std::vector<int>& domain_used) const;
 
   /// The chosen block's exact contribution to the final α-rank (the rank
   /// is the sum of these over all blocks, so partial sums are lower bounds
@@ -340,7 +387,8 @@ double SearchContext::selection_rank(const PlacedBlock& placed,
 }
 
 std::optional<PlacedBlock> SearchContext::place_block(
-    const ClassCounts& block, const std::vector<char>& used) const {
+    const ClassCounts& block, const std::vector<char>& used,
+    const std::vector<int>& domain_used) const {
   // Prefer servers where the block's estimated times respect every
   // affected class's tightest deadline; fall back to QoS-violating
   // options only when no server passes (the candidate then fails the
@@ -353,6 +401,15 @@ std::optional<PlacedBlock> SearchContext::place_block(
     if (used[s] != 0) {
       continue;
     }
+    int domain = -1;
+    if (spread != nullptr) {
+      domain = domain_of(s);
+      if (domain >= 0 &&
+          domain_used[static_cast<std::size_t>(domain)] + block.total() >
+              spread->max_vms_per_domain) {
+        continue;  // the block would push the request past its domain cap
+      }
+    }
     double time_contrib = 0.0;
     bool qos_pass = true;
     const std::optional<PlacedBlock> placed =
@@ -360,7 +417,11 @@ std::optional<PlacedBlock> SearchContext::place_block(
     if (!placed.has_value()) {
       continue;
     }
-    const double rank = selection_rank(*placed, time_contrib);
+    const double rank =
+        selection_rank(*placed, time_contrib) +
+        (spread != nullptr
+             ? blast_marginal(domain, block.total(), domain_used)
+             : 0.0);
     const bool better =
         !best_server.has_value() ||
         (qos_pass && !best_qos_pass) ||
@@ -410,6 +471,38 @@ EvalOutcome SearchContext::finalize(const std::vector<PlacedBlock>& blocks,
           : config.alpha * total_energy_norm +
                 (1.0 - config.alpha) * total_time_norm;
 
+  if (spread != nullptr && spread->blast_penalty > 0.0) {
+    // Expected blast-radius fraction Σ_d (n_d / n)² of the candidate (the
+    // Herfindahl concentration of types.hpp SpreadConfig): a first-
+    // occurrence O(b²) scan over the placed blocks — no allocation, and
+    // the penalty is ≥ 0, so the branch-and-bound partial sums stay lower
+    // bounds of the final rank. An unmapped server (domain -1) counts as
+    // its own singleton domain.
+    double herfindahl = 0.0;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      const int di = domain_of(blocks[i].server_index);
+      bool counted_earlier = false;
+      double in_domain = 0.0;
+      for (std::size_t j = 0; j < blocks.size(); ++j) {
+        const bool same_domain =
+            di >= 0 ? domain_of(blocks[j].server_index) == di : i == j;
+        if (!same_domain) {
+          continue;
+        }
+        if (j < i) {
+          counted_earlier = true;
+          break;
+        }
+        in_domain += blocks[j].block.total();
+      }
+      if (!counted_earlier) {
+        const double fraction = in_domain / n_vms;
+        herfindahl += fraction * fraction;
+      }
+    }
+    out.combined += spread->blast_penalty * herfindahl;
+  }
+
   // QoS: for each class, the k-th smallest estimated time must fit under
   // the k-th tightest deadline (optimal matching by exchange argument).
   for (const ProfileClass profile : workload::kAllProfileClasses) {
@@ -449,15 +542,27 @@ std::optional<EvalOutcome> SearchContext::evaluate(
   // whole evaluation (read straight from the context, no copies).
   scratch.used.assign(servers.size(), 0);
   scratch.blocks.clear();
+  if (spread != nullptr) {
+    scratch.domain_used.assign(
+        static_cast<std::size_t>(spread->domain_count), 0);
+  }
   double bound = 0.0;  // partial lower bound on the final rank
 
   for (const ClassCounts& block : blocks) {
-    std::optional<PlacedBlock> placed = place_block(block, scratch.used);
+    std::optional<PlacedBlock> placed =
+        place_block(block, scratch.used, scratch.domain_used);
     if (!placed.has_value()) {
       ++tally.pruned_infeasible;
       return std::nullopt;  // no server can host this block
     }
     scratch.used[placed->server_index] = 1;
+    if (spread != nullptr) {
+      const int domain = domain_of(placed->server_index);
+      if (domain >= 0) {
+        scratch.domain_used[static_cast<std::size_t>(domain)] +=
+            block.total();
+      }
+    }
     scratch.blocks.push_back(*placed);
 
     if (prune_enabled) {
@@ -490,7 +595,11 @@ std::optional<EvalOutcome> SearchContext::evaluate(
 class IncrementalEvaluator {
  public:
   explicit IncrementalEvaluator(const SearchContext& ctx)
-      : ctx_(ctx), used_(ctx.servers.size(), 0) {}
+      : ctx_(ctx), used_(ctx.servers.size(), 0),
+        domain_used_(ctx.spread != nullptr
+                         ? static_cast<std::size_t>(ctx.spread->domain_count)
+                         : 0,
+                     0) {}
 
   /// As SearchContext::evaluate. Pruning decisions are at least as strong
   /// as the plain scorer's: the per-block partial bounds are the same
@@ -512,6 +621,13 @@ class IncrementalEvaluator {
     }
     for (std::size_t i = placed_.size(); i > keep; --i) {
       used_[placed_[i - 1].server_index] = 0;
+      if (ctx_.spread != nullptr) {
+        const int domain = ctx_.domain_of(placed_[i - 1].server_index);
+        if (domain >= 0) {
+          domain_used_[static_cast<std::size_t>(domain)] -=
+              placed_[i - 1].block.total();
+        }
+      }
     }
     placed_.resize(keep);
     bound_after_.resize(keep);
@@ -550,6 +666,13 @@ class IncrementalEvaluator {
         return std::nullopt;  // no unused server can host this block
       }
       used_[placed->server_index] = 1;
+      if (ctx_.spread != nullptr) {
+        const int domain = ctx_.domain_of(placed->server_index);
+        if (domain >= 0) {
+          domain_used_[static_cast<std::size_t>(domain)] +=
+              placed->block.total();
+        }
+      }
       placed_.push_back(*placed);
       const double bound =
           (placed_.size() > 1 ? bound_after_.back() : 0.0) +
@@ -622,11 +745,23 @@ class IncrementalEvaluator {
       const ClassCounts& block) {
     const std::vector<GroupEval>& evals = shape_evals(block);
     const GroupEval* best = nullptr;
+    double best_rank = 0.0;
     std::size_t best_index = 0;
     for (std::size_t g = 0; g < evals.size(); ++g) {
       const GroupEval& eval = evals[g];
       if (!eval.placed.has_value()) {
         continue;
+      }
+      int domain = -1;
+      if (ctx_.spread != nullptr) {
+        // The group key includes the failure domain, so one check masks
+        // every member — exactly the servers the plain scan would skip.
+        domain = ctx_.domain_of(ctx_.groups[g].front());
+        if (domain >= 0 &&
+            domain_used_[static_cast<std::size_t>(domain)] + block.total() >
+                ctx_.spread->max_vms_per_domain) {
+          continue;
+        }
       }
       std::size_t index = ctx_.servers.size();
       for (const std::size_t s : ctx_.groups[g]) {
@@ -638,13 +773,21 @@ class IncrementalEvaluator {
       if (index == ctx_.servers.size()) {
         continue;  // every member already hosts a block
       }
+      // The memoized sel_rank is domain-usage-free; the blast marginal
+      // depends on the running per-domain tally, so it is added here —
+      // the same sum the plain scan computes, bit for bit.
+      const double rank =
+          eval.sel_rank +
+          (ctx_.spread != nullptr
+               ? ctx_.blast_marginal(domain, block.total(), domain_used_)
+               : 0.0);
       const bool better =
           best == nullptr || (eval.qos_pass && !best->qos_pass) ||
           (eval.qos_pass == best->qos_pass &&
-           (eval.sel_rank < best->sel_rank ||
-            (eval.sel_rank == best->sel_rank && index < best_index)));
+           (rank < best_rank || (rank == best_rank && index < best_index)));
       if (better) {
         best = &eval;
+        best_rank = rank;
         best_index = index;
       }
     }
@@ -675,6 +818,7 @@ class IncrementalEvaluator {
   std::vector<PlacedBlock> placed_;
   std::vector<double> bound_after_;
   std::vector<char> used_;
+  std::vector<int> domain_used_;  ///< request VMs per failure domain
   std::vector<double> times_;
   std::unordered_map<std::uint64_t, std::vector<GroupEval>> shape_evals_;
   SearchTallies tallies_;
@@ -747,6 +891,19 @@ AllocationResult ProactiveAllocator::allocate(
     result.complete = true;
     return result;
   }
+  if (!config_.spread.feasible_width(vms.size())) {
+    // Terminal: the declared failure domains cannot absorb a request this
+    // wide under the per-domain cap — no search, retry, or fallback can
+    // change that (the degradation leg enforces the same constraint).
+    result.outcome = AllocationOutcome{AllocationPath::kRejected,
+                                       RejectReason::kSpreadInfeasible,
+                                       false};
+    if (obs_.calls != nullptr) {
+      obs_.calls->add();
+      obs_.rejected->add();
+    }
+    return result;
+  }
 
   ClassCounts request;
   for (const VmRequest& vm : vms) {
@@ -754,6 +911,9 @@ AllocationResult ProactiveAllocator::allocate(
   }
 
   SearchContext ctx(config_, models_, servers);
+  if (config_.spread.enabled) {
+    ctx.spread = &config_.spread;
+  }
   ctx.n_vms = static_cast<double>(vms.size());
   // Normalization references always come from hardware class 0 so ranks
   // stay comparable across a heterogeneous fleet.
@@ -781,11 +941,17 @@ AllocationResult ProactiveAllocator::allocate(
     // Server-equivalence groups for the optimized paths: placed_on reads
     // only a server's hardware class and base allocation, so servers that
     // agree on both are interchangeable up to the index tie-break.
-    std::map<std::tuple<int, int, int, int>, std::size_t> group_ids;
+    std::map<std::tuple<int, int, int, int, int>, std::size_t> group_ids;
     for (std::size_t s = 0; s < servers.size(); ++s) {
       const ClassCounts& alloc = ctx.base_alloc[s];
+      // The spread quota masks whole domains mid-evaluation, so members of
+      // a group must share one (unmapped servers are all unconstrained and
+      // keep sharing the -1 key). With spread off the key degenerates to
+      // the original 4-tuple grouping.
+      const int domain =
+          ctx.spread != nullptr ? ctx.spread->domain_of(servers[s].id) : -1;
       const auto key = std::make_tuple(servers[s].hardware, alloc.cpu,
-                                       alloc.mem, alloc.io);
+                                       alloc.mem, alloc.io, domain);
       const auto [it, inserted] =
           group_ids.try_emplace(key, ctx.groups.size());
       if (inserted) {

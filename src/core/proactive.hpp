@@ -73,6 +73,13 @@ struct ProactiveConfig {
   bool degrade_to_first_fit = false;
   /// Multiplex factor of the first-fit fallback (VMs per CPU).
   int fallback_multiplex = 2;
+  /// Per-job failure-domain spread constraint (docs/RESILIENCE.md,
+  /// "Correlated failure domains"): hard per-domain cap on one request's
+  /// VMs plus the optional blast-radius concentration penalty folded into
+  /// the candidate rank. Disabled by default — placements are then
+  /// bit-identical to the spread-free model. The first-fit degradation
+  /// leg inherits the same constraint.
+  SpreadConfig spread;
 
   // --- search execution (docs/PERFORMANCE.md) ------------------------------
   // The knobs below change only how fast the search runs, never what it

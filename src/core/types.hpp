@@ -44,6 +44,54 @@ struct Placement {
   int server_id = 0;
 };
 
+/// Per-job failure-domain spread constraint (docs/RESILIENCE.md,
+/// "Correlated failure domains"): at most `max_vms_per_domain` VMs of a
+/// single request may land on servers sharing a failure domain (typically
+/// a rack — datacenter::spread_by_rack builds the map from a Topology).
+/// Enforced uniformly by every allocator through the shared span entry
+/// points; a request wider than max_vms_per_domain × domain_count is
+/// structurally unplaceable and rejects with the terminal
+/// RejectReason::kSpreadInfeasible. When disabled (the default) every
+/// field is inert and allocator behaviour is bit-identical to the
+/// spread-free model.
+struct SpreadConfig {
+  bool enabled = false;
+  /// Cap on one request's VMs per failure domain (>= 1 when enabled).
+  int max_vms_per_domain = 1;
+  /// Dense server-id → domain-id map; must cover every server id the
+  /// allocator can see, with domain ids in [0, domain_count).
+  std::vector<int> domain_of_server;
+  /// Number of distinct failure domains (the structural-feasibility
+  /// bound: a request of n VMs needs n <= max_vms_per_domain × this).
+  int domain_count = 0;
+  /// Weight of the expected-lost-work concentration penalty the
+  /// proactive score adds on top of the α-weighted rank: blast_penalty ×
+  /// Σ_d (n_d / n)², where n_d counts the request's VMs in domain d. The
+  /// sum is the probability two of the job's VMs share a failing domain
+  /// (a Herfindahl index in (0, 1]), so the term is the job's expected
+  /// blast-radius fraction under a single-domain fault. 0 disables the
+  /// penalty while keeping the hard cap.
+  double blast_penalty = 0.0;
+
+  /// Domain of one server id, or -1 when the id is outside the map
+  /// (callers treat unmapped servers as unconstrained).
+  [[nodiscard]] int domain_of(int server_id) const noexcept {
+    if (server_id < 0 ||
+        static_cast<std::size_t>(server_id) >= domain_of_server.size()) {
+      return -1;
+    }
+    return domain_of_server[static_cast<std::size_t>(server_id)];
+  }
+
+  /// Structural feasibility of an n-VM request under the cap.
+  [[nodiscard]] bool feasible_width(std::size_t n_vms) const noexcept {
+    if (!enabled) return true;
+    const auto cap = static_cast<std::size_t>(max_vms_per_domain) *
+                     static_cast<std::size_t>(domain_count);
+    return n_vms <= cap;
+  }
+};
+
 /// Estimated cost of an accepted allocation.
 struct AllocationScore {
   double est_time_s = 0.0;    ///< mean estimated per-VM execution time
@@ -80,10 +128,17 @@ enum class RejectReason {
   kDeadlineUnmeetable,     ///< predicted queueing delay exceeds the deadline
   kDeadlineExpired,        ///< the deadline had already passed
   kRetriesExhausted,       ///< retryable rejections, but no retry budget left
+  /// The request structurally cannot satisfy its failure-domain spread
+  /// constraint: more VMs than max_vms_per_domain × domain count
+  /// (SpreadConfig below, docs/RESILIENCE.md "Correlated failure
+  /// domains"). Terminal — no amount of freed capacity changes the
+  /// arithmetic; the job must be resubmitted narrower or the constraint
+  /// relaxed.
+  kSpreadInfeasible,
 };
 
 /// Number of RejectReason values (array-index bound for per-reason tallies).
-inline constexpr std::size_t kRejectReasonCount = 11;
+inline constexpr std::size_t kRejectReasonCount = 12;
 
 /// Retryable/terminal classification of a rejection (docs/RESILIENCE.md,
 /// "Overload protection"). **Retryable** means the condition is
@@ -107,6 +162,7 @@ inline constexpr std::size_t kRejectReasonCount = 11;
     case RejectReason::kNone:
     case RejectReason::kDeadlineExpired:
     case RejectReason::kRetriesExhausted:
+    case RejectReason::kSpreadInfeasible:
       return false;
   }
   return false;
@@ -151,6 +207,7 @@ struct AllocationOutcome {
     case RejectReason::kDeadlineUnmeetable: return "deadline-unmeetable";
     case RejectReason::kDeadlineExpired: return "deadline-expired";
     case RejectReason::kRetriesExhausted: return "retries-exhausted";
+    case RejectReason::kSpreadInfeasible: return "spread-infeasible";
   }
   return "?";
 }

@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "datacenter/topology.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -16,10 +17,7 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 void validate_event(const FailureEvent& event, int server_count,
-                    std::size_t index) {
-  AEVA_REQUIRE(event.server >= 0 && event.server < server_count,
-               "failure event ", index, " targets server ", event.server,
-               " outside the cloud of ", server_count);
+                    int pdu_count, int tor_count, std::size_t index) {
   AEVA_REQUIRE(std::isfinite(event.at_s) && event.at_s >= 0.0,
                "failure event ", index, " has invalid time ", event.at_s);
   AEVA_REQUIRE(std::isfinite(event.duration_s) && event.duration_s >= 0.0,
@@ -27,17 +25,38 @@ void validate_event(const FailureEvent& event, int server_count,
                event.duration_s);
   switch (event.kind) {
     case FailureKind::kCrash:
+      AEVA_REQUIRE(event.server >= 0 && event.server < server_count,
+                   "failure event ", index, " targets server ", event.server,
+                   " outside the cloud of ", server_count);
       break;
     case FailureKind::kDegrade:
+      AEVA_REQUIRE(event.server >= 0 && event.server < server_count,
+                   "failure event ", index, " targets server ", event.server,
+                   " outside the cloud of ", server_count);
       AEVA_REQUIRE(std::isfinite(event.magnitude) && event.magnitude > 0.0 &&
                        event.magnitude <= 1.0,
                    "degrade event ", index, " multiplier ", event.magnitude,
                    " out of (0, 1]");
       break;
     case FailureKind::kBrownout:
+      AEVA_REQUIRE(event.server >= 0 && event.server < server_count,
+                   "failure event ", index, " targets server ", event.server,
+                   " outside the cloud of ", server_count);
       AEVA_REQUIRE(std::isfinite(event.magnitude) && event.magnitude > 0.0,
                    "brownout event ", index, " power cap ", event.magnitude,
                    " must be positive");
+      break;
+    case FailureKind::kPduFault:
+      AEVA_REQUIRE(event.server >= 0 && event.server < pdu_count,
+                   "failure event ", index, " targets pdu feed ",
+                   event.server, " but the topology has ", pdu_count,
+                   " feeds (domain events need FailureConfig::topology)");
+      break;
+    case FailureKind::kTorFault:
+      AEVA_REQUIRE(event.server >= 0 && event.server < tor_count,
+                   "failure event ", index, " targets tor switch ",
+                   event.server, " but the topology has ", tor_count,
+                   " switches (domain events need FailureConfig::topology)");
       break;
   }
 }
@@ -63,8 +82,32 @@ void FailureConfig::validate(int server_count) const {
   AEVA_REQUIRE(recovery.max_retries >= 0,
                "max retries must be non-negative, got ",
                recovery.max_retries);
+  AEVA_REQUIRE(std::isfinite(domains.pdu_mtbf_s) && domains.pdu_mtbf_s >= 0.0,
+               "PDU MTBF must be non-negative, got ", domains.pdu_mtbf_s);
+  if (domains.pdu_mtbf_s > 0.0) {
+    AEVA_REQUIRE(std::isfinite(domains.pdu_mttr_s) && domains.pdu_mttr_s > 0.0,
+                 "PDU MTTR must be positive when sampling faults, got ",
+                 domains.pdu_mttr_s);
+  }
+  AEVA_REQUIRE(std::isfinite(domains.tor_mtbf_s) && domains.tor_mtbf_s >= 0.0,
+               "ToR MTBF must be non-negative, got ", domains.tor_mtbf_s);
+  if (domains.tor_mtbf_s > 0.0) {
+    AEVA_REQUIRE(std::isfinite(domains.tor_mttr_s) && domains.tor_mttr_s > 0.0,
+                 "ToR MTTR must be positive when sampling faults, got ",
+                 domains.tor_mttr_s);
+  }
+  if (topology != nullptr) {
+    AEVA_REQUIRE(topology->server_count() == server_count,
+                 "failure topology covers ", topology->server_count(),
+                 " servers, cloud has ", server_count);
+  } else {
+    AEVA_REQUIRE(domains.pdu_mtbf_s == 0.0 && domains.tor_mtbf_s == 0.0,
+                 "domain-fault sampling requires FailureConfig::topology");
+  }
+  const int pdus = topology != nullptr ? topology->pdu_count() : 0;
+  const int tors = topology != nullptr ? topology->tor_count() : 0;
   for (std::size_t i = 0; i < script.size(); ++i) {
-    validate_event(script[i], server_count, i);
+    validate_event(script[i], server_count, pdus, tors, i);
   }
 }
 
@@ -77,10 +120,10 @@ FailureSchedule::FailureSchedule(const FailureConfig& config, int server_count,
     script_.clear();
     return;
   }
-  std::stable_sort(script_.begin(), script_.end(),
-                   [](const FailureEvent& a, const FailureEvent& b) {
-                     return a.at_s < b.at_s;
-                   });
+  // Canonical order up front: simultaneous scripted faults replay in the
+  // same (time, domain/server, kind) order whatever order the script
+  // listed them in.
+  std::stable_sort(script_.begin(), script_.end(), canonical_event_order);
   const auto n = static_cast<std::size_t>(server_count);
   sampled_next_.assign(n, kInf);
   if (mtbf_s_ > 0.0) {
@@ -93,6 +136,37 @@ FailureSchedule::FailureSchedule(const FailureConfig& config, int server_count,
       sampled_next_[s] = start_s + streams_[s].exponential(1.0 / mtbf_s_);
     }
   }
+  if (config.topology != nullptr) {
+    pdu_mtbf_s_ = config.domains.pdu_mtbf_s;
+    pdu_mttr_s_ = config.domains.pdu_mttr_s;
+    tor_mtbf_s_ = config.domains.tor_mtbf_s;
+    tor_mttr_s_ = config.domains.tor_mttr_s;
+    const auto np = static_cast<std::size_t>(config.topology->pdu_count());
+    const auto nt = static_cast<std::size_t>(config.topology->tor_count());
+    if (pdu_mtbf_s_ > 0.0 || tor_mtbf_s_ > 0.0) {
+      // Domain processes live on their own named stream — adding them to
+      // a run can never shift a per-server draw. Feed d forks substream
+      // d; switch r forks substream pdu_count + r.
+      util::Rng root = util::named_stream(config.seed, "domain-failures");
+      if (pdu_mtbf_s_ > 0.0) {
+        pdu_next_.assign(np, kInf);
+        pdu_streams_.reserve(np);
+        for (std::size_t d = 0; d < np; ++d) {
+          pdu_streams_.push_back(root.fork(static_cast<std::uint64_t>(d)));
+          pdu_next_[d] = start_s + pdu_streams_[d].exponential(1.0 / pdu_mtbf_s_);
+        }
+      }
+      if (tor_mtbf_s_ > 0.0) {
+        tor_next_.assign(nt, kInf);
+        tor_streams_.reserve(nt);
+        for (std::size_t r = 0; r < nt; ++r) {
+          tor_streams_.push_back(
+              root.fork(static_cast<std::uint64_t>(np + r)));
+          tor_next_[r] = start_s + tor_streams_[r].exponential(1.0 / tor_mtbf_s_);
+        }
+      }
+    }
+  }
 }
 
 double FailureSchedule::next_time() const noexcept {
@@ -101,6 +175,12 @@ double FailureSchedule::next_time() const noexcept {
     next = script_[script_next_].at_s;
   }
   for (const double t : sampled_next_) {
+    next = std::min(next, t);
+  }
+  for (const double t : pdu_next_) {
+    next = std::min(next, t);
+  }
+  for (const double t : tor_next_) {
     next = std::min(next, t);
   }
   return next;
@@ -126,6 +206,35 @@ void FailureSchedule::pop_due(double now, std::vector<FailureEvent>& out) {
       out.push_back(crash);
     }
   }
+  for (std::size_t d = 0; d < pdu_next_.size(); ++d) {
+    if (pdu_next_[d] <= now + kEps) {
+      FailureEvent fault;
+      fault.kind = FailureKind::kPduFault;
+      fault.server = static_cast<int>(d);
+      fault.at_s = pdu_next_[d];
+      fault.duration_s = pdu_streams_[d].exponential(1.0 / pdu_mttr_s_);
+      // Immediate re-arm from the heal instant: nothing else draws from
+      // this stream, so arming now or at the heal is the same sequence.
+      pdu_next_[d] = fault.at_s + fault.duration_s +
+                     pdu_streams_[d].exponential(1.0 / pdu_mtbf_s_);
+      out.push_back(fault);
+    }
+  }
+  for (std::size_t r = 0; r < tor_next_.size(); ++r) {
+    if (tor_next_[r] <= now + kEps) {
+      FailureEvent fault;
+      fault.kind = FailureKind::kTorFault;
+      fault.server = static_cast<int>(r);
+      fault.at_s = tor_next_[r];
+      fault.duration_s = tor_streams_[r].exponential(1.0 / tor_mttr_s_);
+      tor_next_[r] = fault.at_s + fault.duration_s +
+                     tor_streams_[r].exponential(1.0 / tor_mtbf_s_);
+      out.push_back(fault);
+    }
+  }
+  // Canonical batch order: however the sources interleaved above, a
+  // simultaneous batch applies in one bit-stable order on every replay.
+  std::stable_sort(out.begin(), out.end(), canonical_event_order);
 }
 
 void FailureSchedule::on_crash(int server) {
@@ -150,6 +259,16 @@ FailureSchedule::State FailureSchedule::state() const {
     state.streams.push_back(stream.state());
   }
   state.sampled_next = sampled_next_;
+  state.pdu_streams.reserve(pdu_streams_.size());
+  for (const util::Rng& stream : pdu_streams_) {
+    state.pdu_streams.push_back(stream.state());
+  }
+  state.pdu_next = pdu_next_;
+  state.tor_streams.reserve(tor_streams_.size());
+  for (const util::Rng& stream : tor_streams_) {
+    state.tor_streams.push_back(stream.state());
+  }
+  state.tor_next = tor_next_;
   return state;
 }
 
@@ -160,6 +279,14 @@ void FailureSchedule::restore(const State& state) {
                state.sampled_next.size(),
                ") does not match this schedule's (", streams_.size(), ", ",
                sampled_next_.size(), ")");
+  AEVA_REQUIRE(state.pdu_streams.size() == pdu_streams_.size() &&
+                   state.pdu_next.size() == pdu_next_.size() &&
+                   state.tor_streams.size() == tor_streams_.size() &&
+                   state.tor_next.size() == tor_next_.size(),
+               "failure-schedule domain state shape (",
+               state.pdu_streams.size(), ", ", state.tor_streams.size(),
+               ") does not match this schedule's (", pdu_streams_.size(),
+               ", ", tor_streams_.size(), ")");
   AEVA_REQUIRE(state.script_next <= script_.size(),
                "failure-schedule script cursor ", state.script_next,
                " past the ", script_.size(), "-event script");
@@ -168,6 +295,14 @@ void FailureSchedule::restore(const State& state) {
     streams_[s].set_state(state.streams[s]);
   }
   sampled_next_ = state.sampled_next;
+  for (std::size_t d = 0; d < pdu_streams_.size(); ++d) {
+    pdu_streams_[d].set_state(state.pdu_streams[d]);
+  }
+  pdu_next_ = state.pdu_next;
+  for (std::size_t r = 0; r < tor_streams_.size(); ++r) {
+    tor_streams_[r].set_state(state.tor_streams[r]);
+  }
+  tor_next_ = state.tor_next;
 }
 
 // --- scripted-trace I/O -----------------------------------------------------
@@ -213,6 +348,16 @@ std::vector<FailureEvent> parse_failure_script(std::istream& in) {
                    "got ",
                    fields.size() - 1, " fields");
       event.kind = FailureKind::kBrownout;
+    } else if (fields.front() == "pdu") {
+      AEVA_REQUIRE(fields.size() == 4, "failure script line ", lineno,
+                   ": pdu takes <feed> <at_s> <repair_s>, got ",
+                   fields.size() - 1, " fields");
+      event.kind = FailureKind::kPduFault;
+    } else if (fields.front() == "tor") {
+      AEVA_REQUIRE(fields.size() == 4, "failure script line ", lineno,
+                   ": tor takes <switch> <at_s> <window_s>, got ",
+                   fields.size() - 1, " fields");
+      event.kind = FailureKind::kTorFault;
     } else {
       AEVA_REQUIRE(false, "failure script line ", lineno,
                    ": unknown event kind '", fields.front().substr(0, 32),
@@ -234,9 +379,12 @@ std::vector<FailureEvent> parse_failure_script(std::istream& in) {
     if (fields.size() == 5) {
       event.magnitude = parse_field(fields[4], lineno, "magnitude");
     }
-    // Re-use the config-level range checks (server bound checked at
-    // schedule build time, when the cloud size is known).
-    validate_event(event, std::numeric_limits<int>::max(), lineno);
+    // Re-use the config-level range checks (server/domain bounds checked
+    // at FailureConfig::validate time, when cloud and topology sizes are
+    // known).
+    validate_event(event, std::numeric_limits<int>::max(),
+                   std::numeric_limits<int>::max(),
+                   std::numeric_limits<int>::max(), lineno);
     events.push_back(event);
   }
   return events;
@@ -261,7 +409,8 @@ void write_failure_script(std::ostream& out,
   for (const FailureEvent& event : events) {
     out << to_string(event.kind) << ' ' << event.server << ' ' << event.at_s
         << ' ' << event.duration_s;
-    if (event.kind != FailureKind::kCrash) {
+    if (event.kind == FailureKind::kDegrade ||
+        event.kind == FailureKind::kBrownout) {
       out << ' ' << event.magnitude;
     }
     out << '\n';

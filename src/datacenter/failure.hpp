@@ -17,12 +17,30 @@
 ///  * **brownout** — a power-capped interval: the server's draw is clamped
 ///    to a watt budget and VM progress slows proportionally (DVFS-style).
 ///
+/// On top of the independent per-server faults, a wired `Topology`
+/// (datacenter/topology.hpp) unlocks **correlated failure domains**
+/// (docs/RESILIENCE.md, "Correlated failure domains"):
+///
+///  * **pdu** — a power-feed fault crashes every server on the feed in a
+///    single event; all of them share one repair window and return
+///    together (cold);
+///  * **tor** — a top-of-rack switch fault isolates its rack: resident
+///    VMs stall (progress frozen, not lost) and the rack's servers are
+///    masked from the allocator until the switch heals, when every
+///    resident resumes at once.
+///
 /// Faults come from a deterministic script, from seeded per-server
-/// MTBF/MTTR exponential sampling, or both. Sampling draws from the
-/// dedicated `util::named_stream(seed, "failures")` stream, so enabling
-/// failures can never perturb trace generation or any other consumer of
-/// the experiment seed; with `FailureConfig::enabled == false` the
-/// simulator's behaviour is bit-identical to the fail-free model.
+/// MTBF/MTTR exponential sampling, or both. Per-server sampling draws
+/// from the dedicated `util::named_stream(seed, "failures")` stream and
+/// domain sampling from `util::named_stream(seed, "domain-failures")`
+/// (one forked substream per PDU feed, then per ToR switch), so enabling
+/// failures — or adding domain faults to a run that already samples
+/// per-server crashes — can never perturb trace generation or any other
+/// consumer of the experiment seed; with `FailureConfig::enabled ==
+/// false` the simulator's behaviour is bit-identical to the fail-free
+/// model. Every batch of simultaneous faults is emitted in the canonical
+/// (time, domain/server, kind) order, so replays are bit-stable no
+/// matter which source produced each event.
 ///
 /// Lost VMs re-enter the queue under a recovery policy: restart from zero,
 /// periodic-checkpoint restart (resume at the last checkpoint boundary,
@@ -38,11 +56,16 @@
 
 namespace aeva::datacenter {
 
-/// Fault taxonomy.
+class Topology;
+
+/// Fault taxonomy. The first three target one server; the domain kinds
+/// target a whole failure domain and require a wired Topology.
 enum class FailureKind {
   kCrash,     ///< server off, VMs lost, masked until repair
   kDegrade,   ///< progress-rate multiplier for a window
   kBrownout,  ///< power-capped interval (proportional slowdown)
+  kPduFault,  ///< power feed out: every server on it crashes at once
+  kTorFault,  ///< rack switch out: residents stall until the heal
 };
 
 [[nodiscard]] constexpr const char* to_string(FailureKind kind) noexcept {
@@ -50,6 +73,8 @@ enum class FailureKind {
     case FailureKind::kCrash: return "crash";
     case FailureKind::kDegrade: return "degrade";
     case FailureKind::kBrownout: return "brownout";
+    case FailureKind::kPduFault: return "pdu";
+    case FailureKind::kTorFault: return "tor";
   }
   return "?";
 }
@@ -57,14 +82,34 @@ enum class FailureKind {
 /// One scheduled fault.
 struct FailureEvent {
   FailureKind kind = FailureKind::kCrash;
-  int server = 0;       ///< target server index
+  /// Target server index — or, for the domain kinds, the PDU feed index
+  /// (kPduFault) / ToR switch index (kTorFault). The same field doubles
+  /// as the second key of the canonical (time, domain/server, kind)
+  /// event order.
+  int server = 0;
   double at_s = 0.0;    ///< absolute simulation time (same clock as submits)
-  /// Crash: repair time (masked window). Degrade/brownout: window length.
+  /// Crash/pdu: repair time (masked window). Degrade/brownout/tor:
+  /// window length.
   double duration_s = 0.0;
   /// Degrade: progress-rate multiplier in (0, 1]. Brownout: power cap in
-  /// Watts (> 0). Ignored for crashes.
+  /// Watts (> 0). Ignored for crashes and domain faults.
   double magnitude = 1.0;
 };
+
+/// Canonical fault order: (time, domain/server, kind). Simultaneous
+/// faults apply in exactly this order regardless of whether they came
+/// from the script or a sampler, which is what makes replays of a fault
+/// batch bit-stable (tests/datacenter/failure_test.cpp pins this).
+[[nodiscard]] constexpr bool canonical_event_order(
+    const FailureEvent& a, const FailureEvent& b) noexcept {
+  if (a.at_s != b.at_s) {
+    return a.at_s < b.at_s;
+  }
+  if (a.server != b.server) {
+    return a.server < b.server;
+  }
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
 
 /// What happens to a VM lost in a crash.
 enum class RecoveryPolicy {
@@ -96,6 +141,24 @@ struct RecoveryConfig {
   int max_retries = 3;
 };
 
+/// Correlated-domain fault sampling (requires FailureConfig::topology).
+/// Both processes are exponential MTBF/MTTR like the per-server sampler,
+/// but drawn from the dedicated "domain-failures" named stream so wiring
+/// them up cannot shift any per-server draw.
+struct DomainFailureConfig {
+  /// Mean time between faults per PDU feed, seconds. 0 disables PDU
+  /// sampling (scripted pdu events still apply).
+  double pdu_mtbf_s = 0.0;
+  /// Mean repair time of a PDU fault (every server on the feed shares
+  /// the window), seconds.
+  double pdu_mttr_s = 7200.0;
+  /// Mean time between faults per ToR switch, seconds. 0 disables ToR
+  /// sampling.
+  double tor_mtbf_s = 0.0;
+  /// Mean isolation window of a ToR fault, seconds.
+  double tor_mttr_s = 1800.0;
+};
+
 /// Fault-injection configuration, carried by CloudConfig. Disabled by
 /// default; when disabled every other field is inert and the simulator is
 /// bit-identical to the fail-free model.
@@ -109,12 +172,20 @@ struct FailureConfig {
   double mtbf_s = 0.0;
   /// Mean time to repair for sampled crashes (exponential), seconds.
   double mttr_s = 1800.0;
-  /// Seed of the dedicated "failures" sampling stream.
+  /// Seed of the dedicated "failures" / "domain-failures" sampling
+  /// streams.
   std::uint64_t seed = 2026;
   RecoveryConfig recovery;
+  /// Rack/PDU/ToR map of the fleet (not owned; must outlive the run).
+  /// Required by domain faults — scripted or sampled — and by nothing
+  /// else: a null topology with no domain faults behaves exactly as
+  /// before the field existed.
+  const Topology* topology = nullptr;
+  DomainFailureConfig domains;
 
-  /// Validates ranges and that every scripted event targets a server in
-  /// [0, server_count). Throws std::invalid_argument.
+  /// Validates ranges, that every scripted event targets a server (or
+  /// domain) in range, and that `topology` — when present — covers
+  /// exactly `server_count` servers. Throws std::invalid_argument.
   void validate(int server_count) const;
 };
 
@@ -130,10 +201,11 @@ class FailureSchedule {
   /// Time of the earliest pending fault, or +infinity when none.
   [[nodiscard]] double next_time() const noexcept;
 
-  /// Pops every fault due at or before `now` (script first, then sampled
-  /// crashes, each group in deterministic order) into `out`, which is
+  /// Pops every fault due at or before `now` into `out`, which is
   /// cleared first — hot callers hand in a reused scratch buffer so a
-  /// fault-free event costs no heap allocation.
+  /// fault-free event costs no heap allocation. The batch is emitted in
+  /// the canonical (time, domain/server, kind) order whatever mix of
+  /// script, per-server sampling, and domain sampling produced it.
   void pop_due(double now, std::vector<FailureEvent>& out);
 
   /// Convenience overload materializing a fresh vector (tests, cold paths).
@@ -151,28 +223,44 @@ class FailureSchedule {
 
   /// Mutable schedule state for checkpoint/restore (src/persist/). The
   /// script itself is re-derived from the config on construction, so only
-  /// the cursor and per-server sampling state need to travel.
+  /// the cursors and sampling state need to travel.
   struct State {
     std::size_t script_next = 0;
     std::vector<util::Rng::State> streams;
     std::vector<double> sampled_next;
+    std::vector<util::Rng::State> pdu_streams;
+    std::vector<double> pdu_next;
+    std::vector<util::Rng::State> tor_streams;
+    std::vector<double> tor_next;
   };
 
   /// Captures the mutable state.
   [[nodiscard]] State state() const;
 
   /// Restores state captured from a schedule built with an identical
-  /// config; throws std::invalid_argument when the per-server vectors do
-  /// not match this schedule's shape.
+  /// config; throws std::invalid_argument when the per-server or
+  /// per-domain vectors do not match this schedule's shape.
   void restore(const State& state);
 
  private:
-  std::vector<FailureEvent> script_;   ///< sorted by at_s, stable
+  std::vector<FailureEvent> script_;   ///< canonical event order
   std::size_t script_next_ = 0;
   std::vector<util::Rng> streams_;     ///< one sampling stream per server
   std::vector<double> sampled_next_;   ///< +inf while down or unsampled
   double mtbf_s_ = 0.0;
   double mttr_s_ = 0.0;
+  // Domain sampling (empty unless a topology with a sampled process is
+  // wired). Unlike per-server crashes, domain processes re-arm at pop
+  // time — next = heal instant + exp(mtbf) — which is equivalent to
+  // re-arming at the heal because nothing else touches these streams.
+  std::vector<util::Rng> pdu_streams_;
+  std::vector<double> pdu_next_;
+  std::vector<util::Rng> tor_streams_;
+  std::vector<double> tor_next_;
+  double pdu_mtbf_s_ = 0.0;
+  double pdu_mttr_s_ = 0.0;
+  double tor_mtbf_s_ = 0.0;
+  double tor_mttr_s_ = 0.0;
 };
 
 /// Parses a scripted failure trace. Format, one event per line:
@@ -181,9 +269,13 @@ class FailureSchedule {
 ///     crash    <server> <at_s> <repair_s>
 ///     degrade  <server> <at_s> <window_s> <rate-multiplier>
 ///     brownout <server> <at_s> <window_s> <cap_w>
+///     pdu      <feed>   <at_s> <repair_s>
+///     tor      <switch> <at_s> <window_s>
 ///
-/// Throws std::invalid_argument on malformed input (unknown kind, wrong
-/// arity, non-finite numbers, out-of-range magnitudes).
+/// Domain lines name a PDU feed / ToR switch of the run's Topology
+/// (bounds checked at FailureConfig::validate time, when the topology is
+/// known). Throws std::invalid_argument on malformed input (unknown
+/// kind, wrong arity, non-finite numbers, out-of-range magnitudes).
 [[nodiscard]] std::vector<FailureEvent> parse_failure_script(std::istream& in);
 [[nodiscard]] std::vector<FailureEvent> parse_failure_script(
     const std::string& text);

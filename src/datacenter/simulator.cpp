@@ -10,6 +10,7 @@
 
 #include "core/cost_model.hpp"
 #include "datacenter/fcfs_queue.hpp"
+#include "datacenter/topology.hpp"
 #include "persist/snapshot.hpp"
 #include "util/arena.hpp"
 #include "util/atomic_file.hpp"
@@ -96,6 +97,7 @@ class FleetSoA {
   // Flags & failure windows (inert while failures are disabled).
   std::vector<std::uint8_t> powered;
   std::vector<std::uint8_t> down;
+  std::vector<std::uint8_t> isolated;  ///< ToR fault: masked, VMs stalled
   std::vector<std::uint8_t> ever_powered;
   std::vector<double> repair_s;
   std::vector<double> degrade_until;
@@ -108,6 +110,7 @@ class FleetSoA {
         busy_power_w(n, 0.0),
         powered(n, 0),
         down(n, 0),
+        isolated(n, 0),
         ever_powered(n, 0),
         repair_s(n, kInf),
         degrade_until(n, -kInf),
@@ -156,31 +159,44 @@ class FleetSoA {
   /// Masks a crashed server from the allocator view (order-preserving
   /// in-place erase — O(fleet) but crashes are rare by construction).
   /// The caller zeroes the resident mix afterwards; direct writes to
-  /// `alloc` are only legal while the server is masked.
+  /// `alloc` are only legal while the server is masked. A crash during a
+  /// ToR isolation keeps the server masked either way (view membership is
+  /// !down && !isolated throughout).
   void crash(int server) {
     const auto s = static_cast<std::size_t>(server);
     down[s] = 1;
     powered[s] = 0;
-    const std::size_t pos = view_pos_[s];
-    if (pos != kNotInView) {
-      view_.erase(view_.begin() + static_cast<std::ptrdiff_t>(pos));
-      view_pos_[s] = kNotInView;
-      reindex_from(pos);
-    }
+    remove_from_view(s);
   }
 
   /// Returns a repaired server to the view — cold and empty, at its
-  /// id-ordered slot (capacity was reserved up front: no allocation).
+  /// id-ordered slot (capacity was reserved up front: no allocation). A
+  /// server repaired while its rack is still isolated stays masked until
+  /// the switch heals.
   void repair(int server) {
     const auto s = static_cast<std::size_t>(server);
     down[s] = 0;
-    const auto it =
-        std::lower_bound(view_.begin(), view_.end(), server,
-                         [](const ServerState& a, int id) { return a.id < id; });
-    const auto pos = static_cast<std::size_t>(it - view_.begin());
-    view_.insert(it, ServerState{server, alloc[s], powered[s] != 0,
-                                 hardware_[s]});
-    reindex_from(pos);
+    if (isolated[s] == 0) {
+      insert_into_view(s);
+    }
+  }
+
+  /// Masks a rack-isolated server (ToR fault). Residents stay resident —
+  /// their progress is frozen by the caller — so the mix is untouched.
+  void isolate(int server) {
+    const auto s = static_cast<std::size_t>(server);
+    isolated[s] = 1;
+    remove_from_view(s);
+  }
+
+  /// Lifts the isolation; the server rejoins the view unless it is also
+  /// down (crashed mid-isolation, repair still pending).
+  void deisolate(int server) {
+    const auto s = static_cast<std::size_t>(server);
+    isolated[s] = 0;
+    if (down[s] == 0) {
+      insert_into_view(s);
+    }
   }
 
   /// Rebuilds the view from the arrays (initial build, snapshot restore).
@@ -188,7 +204,7 @@ class FleetSoA {
     view_.clear();
     std::fill(view_pos_.begin(), view_pos_.end(), kNotInView);
     for (std::size_t s = 0; s < alloc.size(); ++s) {
-      if (down[s] != 0) {
+      if (down[s] != 0 || isolated[s] != 0) {
         continue;
       }
       view_pos_[s] = view_.size();
@@ -198,6 +214,29 @@ class FleetSoA {
   }
 
  private:
+  void remove_from_view(std::size_t s) {
+    const std::size_t pos = view_pos_[s];
+    if (pos != kNotInView) {
+      view_.erase(view_.begin() + static_cast<std::ptrdiff_t>(pos));
+      view_pos_[s] = kNotInView;
+      reindex_from(pos);
+    }
+  }
+
+  void insert_into_view(std::size_t s) {
+    if (view_pos_[s] != kNotInView) {
+      return;
+    }
+    const int server = static_cast<int>(s);
+    const auto it =
+        std::lower_bound(view_.begin(), view_.end(), server,
+                         [](const ServerState& a, int id) { return a.id < id; });
+    const auto pos = static_cast<std::size_t>(it - view_.begin());
+    view_.insert(it, ServerState{server, alloc[s], powered[s] != 0,
+                                 hardware_[s]});
+    reindex_from(pos);
+  }
+
   void reindex_from(std::size_t pos) {
     for (std::size_t i = pos; i < view_.size(); ++i) {
       view_pos_[static_cast<std::size_t>(view_[i].id)] = i;
@@ -277,6 +316,26 @@ std::uint64_t fingerprint_config(const CloudConfig& cloud,
   fp.mix_double(fail.recovery.checkpoint_period_s);
   fp.mix_double(fail.recovery.checkpoint_tax);
   fp.mix(static_cast<std::uint64_t>(fail.recovery.max_retries));
+  // Correlated failure domains: the domain processes and the full rack →
+  // PDU/ToR map are part of the run's identity — a snapshot from a
+  // different topology must be refused.
+  fp.mix_double(fail.domains.pdu_mtbf_s);
+  fp.mix_double(fail.domains.pdu_mttr_s);
+  fp.mix_double(fail.domains.tor_mtbf_s);
+  fp.mix_double(fail.domains.tor_mttr_s);
+  fp.mix(fail.topology != nullptr ? 1 : 0);
+  if (fail.topology != nullptr) {
+    const Topology& topo = *fail.topology;
+    fp.mix(static_cast<std::uint64_t>(topo.rack_count()));
+    for (const RackSpec& rack : topo.racks()) {
+      fp.mix(static_cast<std::uint64_t>(rack.pdu));
+      fp.mix(static_cast<std::uint64_t>(rack.tor));
+      fp.mix(rack.servers.size());
+      for (const int server : rack.servers) {
+        fp.mix(static_cast<std::uint64_t>(server));
+      }
+    }
+  }
   fp.mix(static_cast<std::uint64_t>(cloud.backfill_window));
   fp.mix(cloud.record_completions ? 1 : 0);
   fp.mix(db_count);
@@ -300,7 +359,7 @@ std::vector<core::ServerState> restored_server_states(
   states.reserve(snapshot.servers.size());
   for (std::size_t s = 0; s < snapshot.servers.size(); ++s) {
     const persist::ServerPersistState& server = snapshot.servers[s];
-    if (cloud.failure.enabled && server.down) {
+    if (cloud.failure.enabled && (server.down || server.isolated)) {
       continue;
     }
     const int hardware = s < cloud.hardware.size() ? cloud.hardware[s] : 0;
@@ -429,6 +488,8 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     obs::Counter* crashes = nullptr;
     obs::Counter* degrades = nullptr;
     obs::Counter* brownouts = nullptr;
+    obs::Counter* pdu_faults = nullptr;
+    obs::Counter* tor_faults = nullptr;
     obs::Counter* abandoned = nullptr;
     obs::Counter* snapshots = nullptr;
     obs::Counter* snapshot_bytes = nullptr;
@@ -455,6 +516,8 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     sobs.crashes = &reg.counter("sim.failures.crash");
     sobs.degrades = &reg.counter("sim.failures.degrade");
     sobs.brownouts = &reg.counter("sim.failures.brownout");
+    sobs.pdu_faults = &reg.counter("sim.failures.pdu");
+    sobs.tor_faults = &reg.counter("sim.failures.tor");
     sobs.abandoned = &reg.counter("sim.vms_abandoned");
     sobs.snapshots = &reg.counter("sim.snapshots");
     sobs.snapshot_bytes = &reg.counter("sim.snapshot_bytes");
@@ -469,6 +532,27 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
   obs::Span run_span(sobs.trace, "run", "sim", t0);
 
   FailureSchedule failure_schedule(fail, cloud_.server_count, t0);
+
+  // Correlated failure domains (failure.hpp "Correlated domain faults").
+  // Per-switch heal instants close event intervals exactly like repair
+  // windows do; +inf means healthy. The vector stays empty unless a ToR
+  // fault can actually occur — an inert topology must leave the run (and
+  // its snapshot bytes) identical to the topology-free model. The
+  // blast-radius sum is the run-local accumulator behind
+  // SimMetrics::blast_radius_vms_mean and travels through snapshots as
+  // MetricsState::blast_radius_vm_sum.
+  const Topology* topo = fail_on ? fail.topology : nullptr;
+  const bool tor_possible =
+      topo != nullptr &&
+      (fail.domains.tor_mtbf_s > 0.0 ||
+       std::any_of(fail.script.begin(), fail.script.end(),
+                   [](const FailureEvent& event) {
+                     return event.kind == FailureKind::kTorFault;
+                   }));
+  // Hoisted per-run state, sized once at setup; events only mutate it.
+  std::vector<double> tor_heal_s(
+      tor_possible ? static_cast<std::size_t>(topo->tor_count()) : 0, kInf);
+  double blast_radius_vm_sum = 0.0;
 
   // Hardware class of each server (class 0 when no map is configured).
   const auto hardware_of = [&](std::size_t s) { return fleet.hardware(s); };
@@ -485,6 +569,20 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     const auto s = static_cast<std::size_t>(server_id);
     if (fleet.alloc[s].total() == 0) {
       fleet.busy_power_w[s] = 0.0;
+      return;
+    }
+    // Rack-isolated servers (ToR fault): residents stall — progress frozen
+    // at rate zero, released on heal — while the machine idles at its
+    // floor draw. Completion scans stay NaN-free: a stalled VM's
+    // remaining/rate is +inf, never 0/0, because completed VMs (remaining
+    // <= kEps) are removed before the next event scan.
+    if (fail_on && fleet.isolated[s] != 0) {
+      fleet.busy_power_w[s] = cloud_.idle_power_w;
+      for (RunningVm& vm : running) {
+        if (vm.server == server_id) {
+          vm.rate = 0.0;
+        }
+      }
       return;
     }
     const modeldb::Record rec = db_of(hardware_of(s)).estimate(fleet.alloc[s]);
@@ -774,8 +872,9 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
         break;
       }
       const int load = fleet.alloc[src].total();
-      if (load == 0 || load > mig.evict_below_vms || frozen[src] != 0) {
-        continue;
+      if (load == 0 || load > mig.evict_below_vms || frozen[src] != 0 ||
+          (fail_on && fleet.isolated[src] != 0)) {
+        continue;  // an isolated rack cannot drain (its VMs are stalled)
       }
       // Tentatively rehome every VM of this server.
       plan.clear();
@@ -792,7 +891,8 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
         bool placed = false;
         for (std::size_t dst = 0; dst < n_servers && !placed; ++dst) {
           if (dst == src || frozen[dst] != 0 ||
-              (fail_on && fleet.down[dst] != 0)) {
+              (fail_on &&
+               (fleet.down[dst] != 0 || fleet.isolated[dst] != 0))) {
             continue;
           }
           // Consolidate toward equally-or-more-loaded busy machines; an
@@ -868,7 +968,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     std::vector<std::size_t>& order = scratch.take<std::size_t>();
     for (std::size_t s = 0; s < n_servers; ++s) {
       if (inlets[s] > redline && fleet.alloc[s].total() > 0 &&
-          frozen[s] == 0) {
+          frozen[s] == 0 && !(fail_on && fleet.isolated[s] != 0)) {
         order.push_back(s);
       }
     }
@@ -895,7 +995,8 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       std::size_t best = n_servers;
       for (std::size_t dst = 0; dst < n_servers; ++dst) {
         if (dst == src || frozen[dst] != 0 || inlets[dst] > redline - 1.0 ||
-            (fail_on && fleet.down[dst] != 0)) {
+            (fail_on &&
+             (fleet.down[dst] != 0 || fleet.isolated[dst] != 0))) {
           continue;
         }
         ClassCounts combined = fleet.alloc[dst];
@@ -939,53 +1040,24 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     sobs.trace->record(std::move(record));
   };
 
-  // Applies one due fault. Crashes lose every resident VM, abort inbound
-  // transfers cleanly (the VM never left its source), and mask the server
-  // until repair; degrade/brownout just open their windows.
-  const auto apply_failure = [&](const FailureEvent& event) {
-    const auto sv = static_cast<std::size_t>(event.server);
-    if (event.kind == FailureKind::kDegrade) {
-      if (fleet.down[sv] != 0) {
-        return;  // a masked server cannot degrade further
-      }
-      fleet.degrade_until[sv] = now + event.duration_s;
-      fleet.degrade_mult[sv] = event.magnitude;
-      refresh_server(event.server);
-      if (sobs.degrades != nullptr) {
-        sobs.degrades->add();
-        trace_fault("degrade", event);
-      }
-      return;
-    }
-    if (event.kind == FailureKind::kBrownout) {
-      if (fleet.down[sv] != 0) {
-        return;
-      }
-      fleet.brownout_until[sv] = now + event.duration_s;
-      fleet.brownout_cap_w[sv] = event.magnitude;
-      refresh_server(event.server);
-      if (sobs.brownouts != nullptr) {
-        sobs.brownouts->add();
-        trace_fault("brownout", event);
-      }
-      return;
-    }
-    // Crash.
-    if (fleet.down[sv] != 0) {
-      return;  // scripted overlap with a sampled outage: already masked
-    }
+  // Crashes one server: loses every resident VM, aborts inbound transfers
+  // cleanly (the VM never left its source), and masks the server until
+  // `now + duration_s`. Shared by plain kCrash events and by each server
+  // of a PDU feed fault. Resets the scratch pool — callers must not hold
+  // pool buffers across a call (docs/ARCHITECTURE.md scratch rule).
+  const auto apply_server_crash = [&](int server, double duration_s) {
+    const auto sv = static_cast<std::size_t>(server);
     ++metrics.failures;
     if (sobs.crashes != nullptr) {
       sobs.crashes->add();
-      trace_fault("crash", event);
     }
-    fleet.crash(event.server);  // masks, powers off (cold wake-up premium)
-    fleet.repair_s[sv] = now + event.duration_s;
+    fleet.crash(server);  // masks, powers off (cold wake-up premium)
+    fleet.repair_s[sv] = now + duration_s;
     fleet.degrade_until[sv] = -kInf;
     fleet.degrade_mult[sv] = 1.0;
     fleet.brownout_until[sv] = -kInf;
     fleet.brownout_cap_w[sv] = kInf;
-    failure_schedule.on_crash(event.server);
+    failure_schedule.on_crash(server);
 
     scratch.reset();
     std::vector<int>& touched = scratch.take<int>();
@@ -994,7 +1066,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     // ends, and the stop-and-copy loss is refunded — the downtime never
     // happened, so charging it would double-account the abort.
     for (RunningVm& vm : running) {
-      if (vm.migrating && vm.dest_server == event.server) {
+      if (vm.migrating && vm.dest_server == server) {
         vm.migrating = false;
         vm.dest_server = -1;
         vm.remaining -= mig.downtime_work_fraction;
@@ -1005,7 +1077,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     // source — are lost. Work beyond the resume point is destroyed.
     for (std::size_t i = 0; i < running.size();) {
       RunningVm& vm = running[i];
-      if (vm.server != event.server) {
+      if (vm.server != server) {
         ++i;
         continue;
       }
@@ -1038,10 +1110,151 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     touched.erase(std::unique(touched.begin(), touched.end()),
                   touched.end());
     for (const int t : touched) {
-      if (t != event.server) {
+      if (t != server) {
         refresh_server(t);
       }
     }
+  };
+
+  // Applies one due fault. Crashes lose every resident VM and mask the
+  // server until repair; degrade/brownout just open their windows; PDU
+  // faults crash every server on the feed in one correlated event; ToR
+  // faults isolate a rack — residents stall in place, progress frozen,
+  // and the whole rack rejoins the view when the switch heals.
+  const auto apply_failure = [&](const FailureEvent& event) {
+    const auto sv = static_cast<std::size_t>(event.server);
+    if (event.kind == FailureKind::kDegrade) {
+      if (fleet.down[sv] != 0) {
+        return;  // a masked server cannot degrade further
+      }
+      fleet.degrade_until[sv] = now + event.duration_s;
+      fleet.degrade_mult[sv] = event.magnitude;
+      refresh_server(event.server);
+      if (sobs.degrades != nullptr) {
+        sobs.degrades->add();
+        trace_fault("degrade", event);
+      }
+      return;
+    }
+    if (event.kind == FailureKind::kBrownout) {
+      if (fleet.down[sv] != 0) {
+        return;
+      }
+      fleet.brownout_until[sv] = now + event.duration_s;
+      fleet.brownout_cap_w[sv] = event.magnitude;
+      refresh_server(event.server);
+      if (sobs.brownouts != nullptr) {
+        sobs.brownouts->add();
+        trace_fault("brownout", event);
+      }
+      return;
+    }
+    if (event.kind == FailureKind::kPduFault) {
+      // event.server is the feed id; validate() guarantees a topology.
+      ++metrics.correlated_failures;
+      if (sobs.pdu_faults != nullptr) {
+        sobs.pdu_faults->add();
+        trace_fault("pdu", event);
+      }
+      // Blast radius: every VM resident on the feed at the fault instant.
+      // (Residents only exist on up servers, so no down-mask is needed.)
+      std::size_t blast = 0;
+      for (const RunningVm& vm : running) {
+        if (topo->pdu_of(vm.server) == event.server) {
+          ++blast;
+        }
+      }
+      blast_radius_vm_sum += static_cast<double>(blast);
+      metrics.blast_radius_vms_max =
+          std::max(metrics.blast_radius_vms_max, blast);
+      // Expand to per-server crashes in ascending id order (the canonical
+      // expansion order — bit-stable replay depends on it). Servers that
+      // are already down keep their standing repair time.
+      const double lost_before = metrics.lost_work_s;
+      for (const int server : topo->servers_on_pdu(event.server)) {
+        if (fleet.down[static_cast<std::size_t>(server)] != 0) {
+          continue;
+        }
+        apply_server_crash(server, event.duration_s);
+      }
+      metrics.lost_work_correlated_s += metrics.lost_work_s - lost_before;
+      return;
+    }
+    if (event.kind == FailureKind::kTorFault) {
+      // event.server is the switch id. Residents stall rather than die,
+      // so nothing is charged to lost work; the cost is frozen progress.
+      ++metrics.correlated_failures;
+      if (sobs.tor_faults != nullptr) {
+        sobs.tor_faults->add();
+        trace_fault("tor", event);
+      }
+      const double heal = now + event.duration_s;
+      double& heal_slot = tor_heal_s[static_cast<std::size_t>(event.server)];
+      if (heal_slot == kInf || heal_slot < heal) {
+        heal_slot = heal;  // overlapping scripted windows extend the outage
+      }
+      scratch.reset();
+      std::vector<int>& touched = scratch.take<int>();
+      // In-flight transfers touching the rack abort cleanly, exactly as a
+      // crash aborts inbound copies: the VM stays whole on its source, the
+      // reservation is dropped, the stop-and-copy loss is refunded.
+      for (RunningVm& vm : running) {
+        if (!vm.migrating) {
+          continue;
+        }
+        if (topo->tor_of(vm.server) != event.server &&
+            topo->tor_of(vm.dest_server) != event.server) {
+          continue;
+        }
+        fleet.remove_vm(vm.dest_server, vm.profile);
+        touched.push_back(vm.dest_server);
+        touched.push_back(vm.server);
+        vm.migrating = false;
+        vm.dest_server = -1;
+        vm.remaining -= mig.downtime_work_fraction;
+      }
+      std::size_t blast = 0;
+      for (const RunningVm& vm : running) {
+        if (topo->tor_of(vm.server) == event.server) {
+          ++blast;
+        }
+      }
+      blast_radius_vm_sum += static_cast<double>(blast);
+      metrics.blast_radius_vms_max =
+          std::max(metrics.blast_radius_vms_max, blast);
+      // Mask the whole rack (down servers too: a repair inside the window
+      // stays masked until the switch heals — view membership is
+      // !down && !isolated throughout).
+      for (const int server : topo->servers_on_tor(event.server)) {
+        if (fleet.isolated[static_cast<std::size_t>(server)] == 0) {
+          fleet.isolate(server);
+        }
+      }
+      // Stall residents (rate 0, idle draw) on the isolated servers, then
+      // refresh outside servers whose transfers were just dropped.
+      for (const int server : topo->servers_on_tor(event.server)) {
+        if (fleet.down[static_cast<std::size_t>(server)] == 0) {
+          refresh_server(server);
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      for (const int t : touched) {
+        if (topo->tor_of(t) != event.server) {
+          refresh_server(t);
+        }
+      }
+      return;
+    }
+    // Crash.
+    if (fleet.down[sv] != 0) {
+      return;  // scripted overlap with a sampled outage: already masked
+    }
+    if (sobs.crashes != nullptr) {
+      trace_fault("crash", event);
+    }
+    apply_server_crash(event.server, event.duration_s);
   };
 
   std::size_t guard = 0;
@@ -1089,6 +1302,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       out.busy_power_w = fleet.busy_power_w[i];
       out.powered = fleet.powered[i] != 0;
       out.down = fleet.down[i] != 0;
+      out.isolated = fleet.isolated[i] != 0;
       out.repair_s = fleet.repair_s[i];
       out.degrade_until = fleet.degrade_until[i];
       out.degrade_mult = fleet.degrade_mult[i];
@@ -1155,6 +1369,12 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     m.lost_work_s = metrics.lost_work_s;
     m.goodput_fraction = metrics.goodput_fraction;
     m.fallback_allocations = metrics.fallback_allocations;
+    m.correlated_failures =
+        static_cast<std::uint64_t>(metrics.correlated_failures);
+    m.blast_radius_vms_max =
+        static_cast<std::uint64_t>(metrics.blast_radius_vms_max);
+    m.blast_radius_vm_sum = blast_radius_vm_sum;
+    m.lost_work_correlated_s = metrics.lost_work_correlated_s;
     m.rejects_by_reason.reserve(metrics.rejects_by_reason.size());
     for (const std::size_t tally : metrics.rejects_by_reason) {
       m.rejects_by_reason.push_back(static_cast<std::uint64_t>(tally));
@@ -1172,6 +1392,11 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     s.failure.script_next = fs.script_next;
     s.failure.streams = fs.streams;
     s.failure.sampled_next = fs.sampled_next;
+    s.failure.pdu_streams = fs.pdu_streams;
+    s.failure.pdu_next = fs.pdu_next;
+    s.failure.tor_streams = fs.tor_streams;
+    s.failure.tor_next = fs.tor_next;
+    s.tor_heal_s = tor_heal_s;
 
     if (!snap.path.empty()) {
       const std::string bytes = persist::encode_snapshot(s);
@@ -1240,6 +1465,8 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       require_snapshot(r.job_index < jobs.size(),
                        "restart VM's job out of range");
     }
+    require_snapshot(s.tor_heal_s.size() == tor_heal_s.size(),
+                     "per-switch heal table does not match the topology");
 
     now = s.now;
     next_job = static_cast<std::size_t>(s.next_job);
@@ -1255,6 +1482,7 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       fleet.busy_power_w[i] = in.busy_power_w;
       fleet.powered[i] = in.powered ? 1 : 0;
       fleet.down[i] = in.down ? 1 : 0;
+      fleet.isolated[i] = in.isolated ? 1 : 0;
       fleet.repair_s[i] = in.repair_s;
       fleet.degrade_until[i] = in.degrade_until;
       fleet.degrade_mult[i] = in.degrade_mult;
@@ -1319,6 +1547,12 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     metrics.goodput_fraction = m.goodput_fraction;
     metrics.fallback_allocations =
         static_cast<std::size_t>(m.fallback_allocations);
+    metrics.correlated_failures =
+        static_cast<std::size_t>(m.correlated_failures);
+    metrics.blast_radius_vms_max =
+        static_cast<std::size_t>(m.blast_radius_vms_max);
+    blast_radius_vm_sum = m.blast_radius_vm_sum;
+    metrics.lost_work_correlated_s = m.lost_work_correlated_s;
     if (m.rejects_by_reason.size() != metrics.rejects_by_reason.size()) {
       throw persist::SnapshotMismatchError(
           "snapshot carries " + std::to_string(m.rejects_by_reason.size()) +
@@ -1343,7 +1577,12 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     fail_state.script_next = static_cast<std::size_t>(s.failure.script_next);
     fail_state.streams = s.failure.streams;
     fail_state.sampled_next = s.failure.sampled_next;
+    fail_state.pdu_streams = s.failure.pdu_streams;
+    fail_state.pdu_next = s.failure.pdu_next;
+    fail_state.tor_streams = s.failure.tor_streams;
+    fail_state.tor_next = s.failure.tor_next;
     failure_schedule.restore(fail_state);
+    tor_heal_s = s.tor_heal_s;
   }
 
   while (next_job < jobs.size() || !queue.empty() || !running.empty() ||
@@ -1382,6 +1621,12 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
           if (fleet.brownout_until[s] > now) {
             next_window = std::min(next_window, fleet.brownout_until[s]);
           }
+        }
+      }
+      // ToR heal instants close intervals exactly like repair windows.
+      for (const double heal : tor_heal_s) {
+        if (heal != kInf) {
+          next_window = std::min(next_window, heal);
         }
       }
     }
@@ -1563,6 +1808,26 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
           failure_schedule.on_repair(static_cast<int>(s), now);
         }
       }
+      // Due ToR heals: the whole rack rejoins the allocator view at the
+      // same instant and stalled residents resume at full rate. Servers
+      // that crashed mid-isolation stay masked until their repair.
+      if (topo != nullptr) {
+        for (std::size_t r = 0; r < tor_heal_s.size(); ++r) {
+          if (tor_heal_s[r] == kInf || tor_heal_s[r] > now + kEps) {
+            continue;
+          }
+          tor_heal_s[r] = kInf;
+          for (const int server : topo->servers_on_tor(static_cast<int>(r))) {
+            if (fleet.isolated[static_cast<std::size_t>(server)] == 0) {
+              continue;
+            }
+            fleet.deisolate(server);
+            if (fleet.down[static_cast<std::size_t>(server)] == 0) {
+              refresh_server(server);
+            }
+          }
+        }
+      }
     }
 
     // Periodic migration sweep (catching up over idle gaps).
@@ -1613,6 +1878,11 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
       useful_work_s + metrics.lost_work_s > 0.0
           ? useful_work_s / (useful_work_s + metrics.lost_work_s)
           : 1.0;
+  metrics.blast_radius_vms_mean =
+      metrics.correlated_failures > 0
+          ? blast_radius_vm_sum /
+                static_cast<double>(metrics.correlated_failures)
+          : 0.0;
   if (cloud_.obs != nullptr) {
     obs::MetricsRegistry& reg = cloud_.obs->metrics();
     reg.gauge("sim.makespan_s").set(metrics.makespan_s);
@@ -1620,6 +1890,9 @@ SimMetrics Simulator::run_impl(const trace::PreparedWorkload& workload,
     reg.gauge("sim.sla_violation_pct").set(metrics.sla_violation_pct);
     reg.gauge("sim.lost_work_s").set(metrics.lost_work_s);
     reg.gauge("sim.goodput_fraction").set(metrics.goodput_fraction);
+    reg.gauge("sim.lost_work_correlated_s")
+        .set(metrics.lost_work_correlated_s);
+    reg.gauge("sim.blast_radius_vms_mean").set(metrics.blast_radius_vms_mean);
     run_span.arg("strategy", allocator.name());
     run_span.arg("jobs", std::to_string(metrics.jobs));
     run_span.arg("vms", std::to_string(metrics.vms));

@@ -184,6 +184,19 @@ struct SimMetrics {
   /// useful / (useful + lost), where useful is the same solo-equivalent
   /// measure summed over completed VMs. 1.0 in a fail-free run.
   double goodput_fraction = 1.0;
+  // --- correlated failure domains (docs/RESILIENCE.md; requires a wired
+  // FailureConfig::topology) ----------------------------------------------
+  /// Correlated domain faults applied: PDU feed faults (every server on
+  /// the feed crashes at once) plus ToR isolations (the rack stalls).
+  std::size_t correlated_failures = 0;
+  /// Largest blast radius of one correlated fault, in resident VMs
+  /// (crashed by the PDU fault or stalled by the ToR isolation).
+  std::size_t blast_radius_vms_max = 0;
+  /// Mean blast radius over all correlated faults (0 when none fired).
+  double blast_radius_vms_mean = 0.0;
+  /// Portion of lost_work_s destroyed by correlated (PDU) faults — ToR
+  /// isolation stalls work but destroys none.
+  double lost_work_correlated_s = 0.0;
   /// Requests placed via an allocator's degradation fallback
   /// (AllocationPath::kFallbackFirstFit).
   std::size_t fallback_allocations = 0;

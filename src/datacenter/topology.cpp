@@ -1,0 +1,283 @@
+#include "datacenter/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace aeva::datacenter {
+
+namespace {
+
+/// Ids stay small so dense per-domain tables cannot be bloated by one
+/// absurd declaration (mirrors the failure-script parser's server bound).
+constexpr int kMaxId = 1'000'000;
+
+void check_id(int id, const char* what, std::size_t index) {
+  AEVA_REQUIRE(id >= 0 && id <= kMaxId, "topology rack declaration ", index,
+               ": ", what, " id ", id, " outside [0, ", kMaxId, "]");
+}
+
+}  // namespace
+
+Topology Topology::from_racks(std::vector<RackSpec> racks) {
+  AEVA_REQUIRE(!racks.empty(), "topology needs at least one rack");
+  std::sort(racks.begin(), racks.end(),
+            [](const RackSpec& a, const RackSpec& b) { return a.rack < b.rack; });
+
+  int max_pdu = -1;
+  int max_tor = -1;
+  std::size_t total_servers = 0;
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    RackSpec& rack = racks[i];
+    check_id(rack.rack, "rack", i);
+    check_id(rack.pdu, "pdu", i);
+    check_id(rack.tor, "tor", i);
+    AEVA_REQUIRE(rack.rack == static_cast<int>(i),
+                 "topology rack ids must be dense from 0: expected rack ", i,
+                 ", got ", rack.rack,
+                 i > 0 && racks[i - 1].rack == rack.rack ? " (duplicate)" : "");
+    AEVA_REQUIRE(!rack.servers.empty(), "topology rack ", rack.rack,
+                 " declares no servers");
+    for (const int server : rack.servers) {
+      AEVA_REQUIRE(server >= 0 && server <= kMaxId, "topology rack ",
+                   rack.rack, " lists server id ", server, " outside [0, ",
+                   kMaxId, "]");
+    }
+    std::sort(rack.servers.begin(), rack.servers.end());
+    max_pdu = std::max(max_pdu, rack.pdu);
+    max_tor = std::max(max_tor, rack.tor);
+    total_servers += rack.servers.size();
+  }
+
+  Topology topo;
+  topo.rack_of_.assign(total_servers, -1);
+  topo.pdu_of_.assign(total_servers, -1);
+  topo.tor_of_.assign(total_servers, -1);
+  topo.pdu_members_.assign(static_cast<std::size_t>(max_pdu) + 1, {});
+  topo.tor_members_.assign(static_cast<std::size_t>(max_tor) + 1, {});
+  for (const RackSpec& rack : racks) {
+    for (const int server : rack.servers) {
+      const auto s = static_cast<std::size_t>(server);
+      AEVA_REQUIRE(s < total_servers,
+                   "topology server ids must be dense from 0: server ",
+                   server, " with only ", total_servers, " servers declared");
+      AEVA_REQUIRE(topo.rack_of_[s] < 0, "topology server ", server,
+                   " appears in rack ", topo.rack_of_[s], " and rack ",
+                   rack.rack);
+      topo.rack_of_[s] = rack.rack;
+      topo.pdu_of_[s] = rack.pdu;
+      topo.tor_of_[s] = rack.tor;
+    }
+  }
+  // Dense server coverage follows from the pigeonhole above: total_servers
+  // slots, every id in range and claimed at most once, so all claimed.
+  // Membership lists fill in ascending server order by construction.
+  for (std::size_t s = 0; s < total_servers; ++s) {
+    topo.pdu_members_[static_cast<std::size_t>(topo.pdu_of_[s])].push_back(
+        static_cast<int>(s));
+    topo.tor_members_[static_cast<std::size_t>(topo.tor_of_[s])].push_back(
+        static_cast<int>(s));
+  }
+  for (std::size_t p = 0; p < topo.pdu_members_.size(); ++p) {
+    AEVA_REQUIRE(!topo.pdu_members_[p].empty(),
+                 "topology pdu ids must be dense from 0: feed ", p,
+                 " has no servers");
+  }
+  for (std::size_t t = 0; t < topo.tor_members_.size(); ++t) {
+    AEVA_REQUIRE(!topo.tor_members_[t].empty(),
+                 "topology tor ids must be dense from 0: switch ", t,
+                 " has no servers");
+  }
+  topo.racks_ = std::move(racks);
+  return topo;
+}
+
+int Topology::rack_of(int server) const {
+  AEVA_REQUIRE(server >= 0 && server < server_count(), "topology server ",
+               server, " outside [0, ", server_count(), ")");
+  return rack_of_[static_cast<std::size_t>(server)];
+}
+
+int Topology::pdu_of(int server) const {
+  AEVA_REQUIRE(server >= 0 && server < server_count(), "topology server ",
+               server, " outside [0, ", server_count(), ")");
+  return pdu_of_[static_cast<std::size_t>(server)];
+}
+
+int Topology::tor_of(int server) const {
+  AEVA_REQUIRE(server >= 0 && server < server_count(), "topology server ",
+               server, " outside [0, ", server_count(), ")");
+  return tor_of_[static_cast<std::size_t>(server)];
+}
+
+int Topology::pdu_of_rack(int rack) const {
+  AEVA_REQUIRE(rack >= 0 && rack < rack_count(), "topology rack ", rack,
+               " outside [0, ", rack_count(), ")");
+  return racks_[static_cast<std::size_t>(rack)].pdu;
+}
+
+int Topology::tor_of_rack(int rack) const {
+  AEVA_REQUIRE(rack >= 0 && rack < rack_count(), "topology rack ", rack,
+               " outside [0, ", rack_count(), ")");
+  return racks_[static_cast<std::size_t>(rack)].tor;
+}
+
+std::span<const int> Topology::servers_in_rack(int rack) const {
+  AEVA_REQUIRE(rack >= 0 && rack < rack_count(), "topology rack ", rack,
+               " outside [0, ", rack_count(), ")");
+  return racks_[static_cast<std::size_t>(rack)].servers;
+}
+
+std::span<const int> Topology::servers_on_pdu(int pdu) const {
+  AEVA_REQUIRE(pdu >= 0 && pdu < pdu_count(), "topology pdu ", pdu,
+               " outside [0, ", pdu_count(), ")");
+  return pdu_members_[static_cast<std::size_t>(pdu)];
+}
+
+std::span<const int> Topology::servers_on_tor(int tor) const {
+  AEVA_REQUIRE(tor >= 0 && tor < tor_count(), "topology tor ", tor,
+               " outside [0, ", tor_count(), ")");
+  return tor_members_[static_cast<std::size_t>(tor)];
+}
+
+Topology make_synthetic_topology(const SyntheticTopologyConfig& config) {
+  AEVA_REQUIRE(config.server_count > 0, "synthetic topology needs servers, ",
+               "got ", config.server_count);
+  AEVA_REQUIRE(config.servers_per_rack > 0,
+               "servers_per_rack must be positive, got ",
+               config.servers_per_rack);
+  AEVA_REQUIRE(config.racks_per_pdu > 0, "racks_per_pdu must be positive, ",
+               "got ", config.racks_per_pdu);
+  AEVA_REQUIRE(config.racks_per_tor > 0, "racks_per_tor must be positive, ",
+               "got ", config.racks_per_tor);
+  const int rack_count =
+      (config.server_count + config.servers_per_rack - 1) /
+      config.servers_per_rack;
+  std::vector<RackSpec> racks;
+  racks.reserve(static_cast<std::size_t>(rack_count));
+  for (int r = 0; r < rack_count; ++r) {
+    RackSpec rack;
+    rack.rack = r;
+    rack.pdu = r / config.racks_per_pdu;
+    rack.tor = r / config.racks_per_tor;
+    const int lo = r * config.servers_per_rack;
+    const int hi = std::min((r + 1) * config.servers_per_rack,
+                            config.server_count);
+    rack.servers.reserve(static_cast<std::size_t>(hi - lo));
+    for (int s = lo; s < hi; ++s) {
+      rack.servers.push_back(s);
+    }
+    racks.push_back(std::move(rack));
+  }
+  return Topology::from_racks(std::move(racks));
+}
+
+// --- spec I/O ---------------------------------------------------------------
+
+namespace {
+
+int parse_id(const std::string& field, std::size_t lineno, const char* what) {
+  const auto parsed = util::parse_double(field);
+  AEVA_REQUIRE(parsed.has_value() && std::isfinite(*parsed) && *parsed >= 0.0 &&
+                   *parsed <= kMaxId && *parsed == std::floor(*parsed),
+               "topology line ", lineno, ": malformed ", what, " '",
+               field.substr(0, 32), "' (want an integer in [0, ", kMaxId,
+               "])");
+  return static_cast<int>(*parsed);
+}
+
+}  // namespace
+
+Topology parse_topology(std::istream& in) {
+  std::vector<RackSpec> racks;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string text = util::trim(line);
+    if (text.empty() || text.front() == '#' || text.front() == ';') {
+      continue;
+    }
+    const std::vector<std::string> fields = util::split_whitespace(text);
+    AEVA_REQUIRE(fields.front() == "rack", "topology line ", lineno,
+                 ": unknown keyword '", fields.front().substr(0, 32),
+                 "' (want 'rack')");
+    AEVA_REQUIRE(fields.size() >= 8, "topology line ", lineno,
+                 ": rack takes <id> pdu <id> tor <id> servers <id>..., got ",
+                 fields.size() - 1, " fields");
+    AEVA_REQUIRE(fields[2] == "pdu", "topology line ", lineno,
+                 ": expected 'pdu', got '", fields[2].substr(0, 32), "'");
+    AEVA_REQUIRE(fields[4] == "tor", "topology line ", lineno,
+                 ": expected 'tor', got '", fields[4].substr(0, 32), "'");
+    AEVA_REQUIRE(fields[6] == "servers", "topology line ", lineno,
+                 ": expected 'servers', got '", fields[6].substr(0, 32), "'");
+    RackSpec rack;
+    rack.rack = parse_id(fields[1], lineno, "rack id");
+    rack.pdu = parse_id(fields[3], lineno, "pdu id");
+    rack.tor = parse_id(fields[5], lineno, "tor id");
+    rack.servers.reserve(fields.size() - 7);
+    for (std::size_t f = 7; f < fields.size(); ++f) {
+      rack.servers.push_back(parse_id(fields[f], lineno, "server id"));
+    }
+    racks.push_back(std::move(rack));
+  }
+  return Topology::from_racks(std::move(racks));
+}
+
+Topology parse_topology(const std::string& text) {
+  std::istringstream in(text);
+  return parse_topology(in);
+}
+
+Topology read_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open topology spec: " + path);
+  }
+  return parse_topology(in);
+}
+
+void write_topology(std::ostream& out, const Topology& topology) {
+  out << "# aeva topology: rack <id> pdu <id> tor <id> servers <id>...\n";
+  for (const RackSpec& rack : topology.racks()) {
+    out << "rack " << rack.rack << " pdu " << rack.pdu << " tor " << rack.tor
+        << " servers";
+    for (const int server : rack.servers) {
+      out << ' ' << server;
+    }
+    out << '\n';
+  }
+}
+
+core::SpreadConfig spread_by_rack(const Topology& topology,
+                                  int max_vms_per_domain,
+                                  double blast_penalty) {
+  AEVA_REQUIRE(!topology.empty(),
+               "spread_by_rack needs a non-empty topology");
+  AEVA_REQUIRE(max_vms_per_domain >= 1,
+               "max_vms_per_domain must be >= 1, got ", max_vms_per_domain);
+  AEVA_REQUIRE(std::isfinite(blast_penalty) && blast_penalty >= 0.0,
+               "blast_penalty must be finite and non-negative, got ",
+               blast_penalty);
+  core::SpreadConfig spread;
+  spread.enabled = true;
+  spread.max_vms_per_domain = max_vms_per_domain;
+  spread.domain_count = topology.rack_count();
+  spread.blast_penalty = blast_penalty;
+  spread.domain_of_server.reserve(
+      static_cast<std::size_t>(topology.server_count()));
+  for (int s = 0; s < topology.server_count(); ++s) {
+    spread.domain_of_server.push_back(topology.rack_of(s));
+  }
+  return spread;
+}
+
+}  // namespace aeva::datacenter

@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file topology.hpp
+/// Physical failure-domain topology of the simulated cloud.
+///
+/// The paper evaluates allocation on a topology-free cloud; production
+/// datacenters are not flat. Servers sit in racks, racks hang off PDU
+/// power feeds and top-of-rack (ToR) switches, and those shared elements
+/// are *correlated* failure domains: one feed fault takes down every
+/// server on the feed in a single event, one ToR fault isolates a whole
+/// rack (docs/RESILIENCE.md, "Correlated failure domains"). This module
+/// describes that physical structure; the fault model that exercises it
+/// lives in datacenter/failure.{hpp,cpp}, and the placement defense
+/// (per-job spread constraints, blast-radius penalty) in src/core/.
+///
+/// A topology is a total map: every server of the cloud belongs to
+/// exactly one rack, and every rack to exactly one PDU feed and one ToR
+/// switch. Ids are dense — servers 0..S-1, racks 0..R-1, PDUs 0..P-1,
+/// ToRs 0..T-1 — so domain lookups are array indexing and per-domain
+/// member lists are precomputed spans. Instances are immutable after
+/// construction and validated with typed errors (std::invalid_argument
+/// via AEVA_REQUIRE), exactly like the other input parsers.
+///
+/// The on-disk spec is line-oriented and round-trippable
+/// (parse_topology ∘ write_topology = identity):
+///
+///     # comment (also ';')
+///     rack <rack-id> pdu <pdu-id> tor <tor-id> servers <id> [<id> ...]
+///
+/// The synthetic generator (make_synthetic_topology) builds the regular
+/// layouts the benches sweep — N servers per rack, M racks per feed /
+/// switch — by deterministic round-robin: topology construction uses no
+/// randomness at all, so it can never perturb a seeded experiment.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace aeva::datacenter {
+
+/// One rack declaration: its id, the PDU feed and ToR switch it hangs
+/// off, and the member servers (stored sorted ascending).
+struct RackSpec {
+  int rack = 0;
+  int pdu = 0;
+  int tor = 0;
+  std::vector<int> servers;
+};
+
+/// Immutable, validated rack/PDU/ToR topology. Default-constructed
+/// instances are empty (zero servers) — useful only as placeholders;
+/// build real ones with from_racks / parse_topology /
+/// make_synthetic_topology.
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Builds and validates a topology from rack declarations (any order).
+  /// Requirements, each violated with a typed std::invalid_argument:
+  /// at least one rack; rack ids unique and dense from 0; every rack
+  /// non-empty; server ids unique and dense from 0 across all racks;
+  /// PDU and ToR id sets dense from 0.
+  [[nodiscard]] static Topology from_racks(std::vector<RackSpec> racks);
+
+  [[nodiscard]] int server_count() const noexcept {
+    return static_cast<int>(rack_of_.size());
+  }
+  [[nodiscard]] int rack_count() const noexcept {
+    return static_cast<int>(racks_.size());
+  }
+  [[nodiscard]] int pdu_count() const noexcept {
+    return static_cast<int>(pdu_members_.size());
+  }
+  [[nodiscard]] int tor_count() const noexcept {
+    return static_cast<int>(tor_members_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return racks_.empty(); }
+
+  /// Domain of one server; throws std::invalid_argument out of range.
+  [[nodiscard]] int rack_of(int server) const;
+  [[nodiscard]] int pdu_of(int server) const;
+  [[nodiscard]] int tor_of(int server) const;
+
+  /// Domain of one rack; throws std::invalid_argument out of range.
+  [[nodiscard]] int pdu_of_rack(int rack) const;
+  [[nodiscard]] int tor_of_rack(int rack) const;
+
+  /// Member servers of one domain, ascending id — the canonical
+  /// expansion order of a correlated fault. Throws out of range.
+  [[nodiscard]] std::span<const int> servers_in_rack(int rack) const;
+  [[nodiscard]] std::span<const int> servers_on_pdu(int pdu) const;
+  [[nodiscard]] std::span<const int> servers_on_tor(int tor) const;
+
+  /// Rack declarations, sorted by rack id, member lists ascending.
+  [[nodiscard]] const std::vector<RackSpec>& racks() const noexcept {
+    return racks_;
+  }
+
+ private:
+  std::vector<RackSpec> racks_;      ///< sorted by rack id
+  std::vector<int> rack_of_;         ///< server → rack
+  std::vector<int> pdu_of_;          ///< server → pdu
+  std::vector<int> tor_of_;          ///< server → tor
+  std::vector<std::vector<int>> pdu_members_;  ///< pdu → servers, ascending
+  std::vector<std::vector<int>> tor_members_;  ///< tor → servers, ascending
+};
+
+/// Regular synthetic layout for benches and tests: servers are dealt
+/// into racks of `servers_per_rack` in id order (the last rack may be
+/// partial), racks onto feeds/switches in groups of `racks_per_pdu` /
+/// `racks_per_tor`. Purely deterministic — no RNG.
+struct SyntheticTopologyConfig {
+  int server_count = 60;
+  int servers_per_rack = 10;
+  int racks_per_pdu = 2;
+  int racks_per_tor = 1;
+};
+
+/// Builds the regular layout; throws std::invalid_argument on
+/// non-positive sizes.
+[[nodiscard]] Topology make_synthetic_topology(
+    const SyntheticTopologyConfig& config);
+
+/// Parses the line-oriented spec described in the file comment. Throws
+/// std::invalid_argument on malformed input (unknown keyword, wrong
+/// arity, non-integer ids) and on any structural violation from_racks
+/// rejects.
+[[nodiscard]] Topology parse_topology(std::istream& in);
+[[nodiscard]] Topology parse_topology(const std::string& text);
+
+/// Reads a spec file; std::runtime_error when unreadable.
+[[nodiscard]] Topology read_topology_file(const std::string& path);
+
+/// Writes the spec format (round-trippable through parse_topology).
+void write_topology(std::ostream& out, const Topology& topology);
+
+/// Convenience bridge to the placement defense: a core::SpreadConfig
+/// whose failure domains are this topology's racks. `max_vms_per_domain`
+/// caps one job's VMs per rack; `blast_penalty` weights the expected-
+/// lost-work concentration term in the proactive score
+/// (docs/RESILIENCE.md, "Spread-constraint tuning").
+[[nodiscard]] core::SpreadConfig spread_by_rack(const Topology& topology,
+                                                int max_vms_per_domain,
+                                                double blast_penalty = 0.0);
+
+}  // namespace aeva::datacenter

@@ -162,7 +162,9 @@ void encode_payload(std::string& out, const ServeSnapshot& s) {
   put_u64(out, m.breaker_trips);
   put_u64(out, m.breaker_rearms);
   put_u64(out, m.crashes);
+  put_u64(out, m.correlated_failures);
   put_u64(out, m.groups_lost);
+  put_u64(out, m.groups_lost_correlated);
   put_u64(out, m.restarts);
   put_u64(out, m.decisions_incremental);
   put_u64(out, m.oracle_checks);
@@ -310,7 +312,9 @@ ServeSnapshot decode_payload(Reader& in) {
   m.breaker_trips = in.u64();
   m.breaker_rearms = in.u64();
   m.crashes = in.u64();
+  m.correlated_failures = in.u64();
   m.groups_lost = in.u64();
+  m.groups_lost_correlated = in.u64();
   m.restarts = in.u64();
   m.decisions_incremental = in.u64();
   m.oracle_checks = in.u64();

@@ -42,7 +42,10 @@ namespace aeva::persist {
 /// Current serve-snapshot format version (exact-match policy, as with
 /// kSnapshotVersion). Bump on any layout change.
 /// v2: incremental-planner oracle state + counters, 4-valued path enum.
-inline constexpr std::uint32_t kServeSnapshotVersion = 2;
+/// v3: FailureScheduleState gained the correlated-domain (PDU/ToR)
+///     sampling streams (shared wire helper with the sim snapshot), and
+///     the metrics block gained the correlated-failure counters.
+inline constexpr std::uint32_t kServeSnapshotVersion = 3;
 
 /// One request, as carried in queues / pending retries.
 struct ServeRequestState {
@@ -154,7 +157,9 @@ struct ServeMetricsState {
   std::uint64_t breaker_trips = 0;
   std::uint64_t breaker_rearms = 0;
   std::uint64_t crashes = 0;
+  std::uint64_t correlated_failures = 0;
   std::uint64_t groups_lost = 0;
+  std::uint64_t groups_lost_correlated = 0;
   std::uint64_t restarts = 0;
   std::uint64_t decisions_incremental = 0;
   std::uint64_t oracle_checks = 0;

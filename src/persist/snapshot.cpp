@@ -56,6 +56,7 @@ void encode_payload(std::string& out, const SimSnapshot& s) {
     put_f64(out, server.brownout_until);
     put_f64(out, server.brownout_cap_w);
     put_bool(out, server.ever_powered);
+    put_bool(out, server.isolated);
   }
 
   put_u64(out, s.running.size());
@@ -127,6 +128,10 @@ void encode_payload(std::string& out, const SimSnapshot& s) {
   put_f64(out, m.lost_work_s);
   put_f64(out, m.goodput_fraction);
   put_u64(out, m.fallback_allocations);
+  put_u64(out, m.correlated_failures);
+  put_u64(out, m.blast_radius_vms_max);
+  put_f64(out, m.blast_radius_vm_sum);
+  put_f64(out, m.lost_work_correlated_s);
   put_u64(out, m.rejects_by_reason.size());
   for (const std::uint64_t n : m.rejects_by_reason) {
     put_u64(out, n);
@@ -147,6 +152,7 @@ void encode_payload(std::string& out, const SimSnapshot& s) {
   put_stats_state(out, s.job_wait_stats);
 
   put_failure_state(out, s.failure);
+  wire::put_f64_vector(out, s.tor_heal_s);
 }
 
 SimSnapshot decode_payload(Reader& in) {
@@ -163,7 +169,7 @@ SimSnapshot decode_payload(Reader& in) {
   s.next_sweep = in.f64();
   s.parked = in.u64();
 
-  const std::size_t n_servers = in.count(12 + 8 * 6 + 3);
+  const std::size_t n_servers = in.count(12 + 8 * 6 + 4);
   s.servers.reserve(n_servers);
   for (std::size_t i = 0; i < n_servers; ++i) {
     ServerPersistState server;
@@ -177,6 +183,7 @@ SimSnapshot decode_payload(Reader& in) {
     server.brownout_until = in.f64();
     server.brownout_cap_w = in.f64();
     server.ever_powered = in.boolean();
+    server.isolated = in.boolean();
     s.servers.push_back(server);
   }
 
@@ -262,6 +269,10 @@ SimSnapshot decode_payload(Reader& in) {
   m.lost_work_s = in.f64();
   m.goodput_fraction = in.f64();
   m.fallback_allocations = in.u64();
+  m.correlated_failures = in.u64();
+  m.blast_radius_vms_max = in.u64();
+  m.blast_radius_vm_sum = in.f64();
+  m.lost_work_correlated_s = in.f64();
   const std::size_t n_reject_reasons = in.count(8);
   m.rejects_by_reason.reserve(n_reject_reasons);
   for (std::size_t i = 0; i < n_reject_reasons; ++i) {
@@ -286,6 +297,7 @@ SimSnapshot decode_payload(Reader& in) {
   s.job_wait_stats = read_stats_state(in);
 
   s.failure = read_failure_state(in);
+  s.tor_heal_s = wire::read_f64_vector(in);
 
   return s;
 }

@@ -48,7 +48,11 @@ namespace aeva::persist {
 /// v3: MetricsState gained mean_job_wait_s and SimSnapshot gained
 ///     job_wait_stats (per-job queue-wait accumulator — the per-VM
 ///     wait_stats weights a 16-VM job 16 times; see SimMetrics docs).
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+/// v4: correlated failure domains (docs/RESILIENCE.md): servers gained
+///     the ToR-isolation flag, FailureScheduleState gained the PDU/ToR
+///     sampling streams, SimSnapshot gained the per-switch heal times,
+///     and MetricsState gained the correlated-failure tallies.
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// Base of every snapshot failure; catch this to handle "could not load a
 /// snapshot" uniformly.
@@ -136,6 +140,8 @@ struct ServerPersistState {
   double brownout_until = 0.0;
   double brownout_cap_w = 0.0;
   bool ever_powered = false;
+  /// Rack isolated by a ToR fault: residents stall, server masked.
+  bool isolated = false;
 };
 
 /// One VM lost to a crash, waiting to be re-placed.
@@ -179,6 +185,13 @@ struct MetricsState {
   double lost_work_s = 0.0;
   double goodput_fraction = 1.0;
   std::uint64_t fallback_allocations = 0;
+  // Correlated failure domains (docs/RESILIENCE.md).
+  std::uint64_t correlated_failures = 0;
+  std::uint64_t blast_radius_vms_max = 0;
+  /// Running sum of per-fault blast radii (the mean divides this by
+  /// correlated_failures at run end, so the sum is what must travel).
+  double blast_radius_vm_sum = 0.0;
+  double lost_work_correlated_s = 0.0;
   /// Admission rejections by core::RejectReason (index = enum value).
   std::vector<std::uint64_t> rejects_by_reason;
   std::vector<CompletionState> completions;
@@ -190,6 +203,11 @@ struct FailureScheduleState {
   std::uint64_t script_next = 0;
   std::vector<util::Rng::State> streams;
   std::vector<double> sampled_next;
+  // Correlated-domain sampling (empty when no topology is wired).
+  std::vector<util::Rng::State> pdu_streams;
+  std::vector<double> pdu_next;
+  std::vector<util::Rng::State> tor_streams;
+  std::vector<double> tor_next;
 };
 
 /// Complete simulator state at one event-loop boundary.
@@ -221,6 +239,9 @@ struct SimSnapshot {
   util::RunningStats::State wait_stats;
   util::RunningStats::State job_wait_stats;
   FailureScheduleState failure;
+  /// Pending ToR-isolation heal instants, one per switch (+inf when the
+  /// switch is healthy); empty when the run has no topology.
+  std::vector<double> tor_heal_s;
 };
 
 /// Serializes a snapshot to the on-disk byte format (header + payload).

@@ -214,31 +214,60 @@ inline util::RunningStats::State read_stats_state(Reader& in) {
   return s;
 }
 
-inline void put_failure_state(std::string& out, const FailureScheduleState& f) {
-  put_u64(out, f.script_next);
-  put_u64(out, f.streams.size());
-  for (const util::Rng::State& stream : f.streams) {
+inline void put_rng_states(std::string& out,
+                           const std::vector<util::Rng::State>& streams) {
+  put_u64(out, streams.size());
+  for (const util::Rng::State& stream : streams) {
     put_rng_state(out, stream);
   }
-  put_u64(out, f.sampled_next.size());
-  for (const double next : f.sampled_next) {
-    put_f64(out, next);
+}
+
+inline std::vector<util::Rng::State> read_rng_states(Reader& in) {
+  const std::size_t n = in.count(8 * 5 + 1);
+  std::vector<util::Rng::State> streams;
+  streams.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    streams.push_back(read_rng_state(in));
   }
+  return streams;
+}
+
+inline void put_f64_vector(std::string& out, const std::vector<double>& v) {
+  put_u64(out, v.size());
+  for (const double x : v) {
+    put_f64(out, x);
+  }
+}
+
+inline std::vector<double> read_f64_vector(Reader& in) {
+  const std::size_t n = in.count(8);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.push_back(in.f64());
+  }
+  return v;
+}
+
+inline void put_failure_state(std::string& out, const FailureScheduleState& f) {
+  put_u64(out, f.script_next);
+  put_rng_states(out, f.streams);
+  put_f64_vector(out, f.sampled_next);
+  put_rng_states(out, f.pdu_streams);
+  put_f64_vector(out, f.pdu_next);
+  put_rng_states(out, f.tor_streams);
+  put_f64_vector(out, f.tor_next);
 }
 
 inline FailureScheduleState read_failure_state(Reader& in) {
   FailureScheduleState f;
   f.script_next = in.u64();
-  const std::size_t n_streams = in.count(8 * 5 + 1);
-  f.streams.reserve(n_streams);
-  for (std::size_t i = 0; i < n_streams; ++i) {
-    f.streams.push_back(read_rng_state(in));
-  }
-  const std::size_t n_sampled = in.count(8);
-  f.sampled_next.reserve(n_sampled);
-  for (std::size_t i = 0; i < n_sampled; ++i) {
-    f.sampled_next.push_back(in.f64());
-  }
+  f.streams = read_rng_states(in);
+  f.sampled_next = read_f64_vector(in);
+  f.pdu_streams = read_rng_states(in);
+  f.pdu_next = read_f64_vector(in);
+  f.tor_streams = read_rng_states(in);
+  f.tor_next = read_f64_vector(in);
   return f;
 }
 

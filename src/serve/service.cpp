@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/incremental.hpp"
+#include "datacenter/topology.hpp"
 #include "util/error.hpp"
 
 namespace aeva::serve {
@@ -219,6 +220,16 @@ void ServeConfig::validate() const {
   AEVA_REQUIRE(snapshot.every_s >= 0.0, "snapshot period must be >= 0");
   if (failure.enabled) {
     failure.validate(server_count);
+    // Serve has no progress model: a ToR fault's stall-without-loss
+    // semantics cannot be honoured, so reject rather than misrepresent.
+    AEVA_REQUIRE(failure.domains.tor_mtbf_s == 0.0,
+                 "serve mode does not support ToR fault sampling; "
+                 "set domains.tor_mtbf_s = 0");
+    for (const datacenter::FailureEvent& ev : failure.script) {
+      AEVA_REQUIRE(ev.kind != datacenter::FailureKind::kTorFault,
+                   "serve mode does not support scripted ToR faults "
+                   "(switch ", ev.server, " at t=", ev.at_s, ")");
+    }
   }
 }
 
@@ -857,9 +868,42 @@ struct AllocationService::Loop {
 
   // --- failures ------------------------------------------------------------
 
+  void apply_failure(const datacenter::FailureEvent& ev) {
+    switch (ev.kind) {
+      case datacenter::FailureKind::kCrash:
+        apply_crash(ev);
+        break;
+      case datacenter::FailureKind::kPduFault:
+        apply_pdu_fault(ev);
+        break;
+      case datacenter::FailureKind::kTorFault:
+        AEVA_INVARIANT(false,
+                       "ToR fault reached the serve loop despite validate()");
+        break;
+      default:
+        break;  // degrade/brownout: no effect on the serve capacity model
+    }
+  }
+
+  /// A PDU feed fault is one correlated event that crashes every server
+  /// on the feed (ascending id, mirroring the simulator's expansion); the
+  /// groups destroyed by the expansion are tallied as correlated losses.
+  void apply_pdu_fault(const datacenter::FailureEvent& ev) {
+    ++metrics.correlated_failures;
+    const std::uint64_t lost_before = metrics.groups_lost;
+    datacenter::FailureEvent member = ev;
+    member.kind = datacenter::FailureKind::kCrash;
+    for (const int server :
+         cfg.failure.topology->servers_on_pdu(ev.server)) {
+      member.server = server;
+      apply_crash(member);
+    }
+    metrics.groups_lost_correlated += metrics.groups_lost - lost_before;
+  }
+
   void apply_crash(const datacenter::FailureEvent& ev) {
     if (ev.kind != datacenter::FailureKind::kCrash) {
-      return;  // degrade/brownout: no effect on the serve capacity model
+      return;  // unreachable via apply_failure; keeps the helper total
     }
     const std::size_t s = static_cast<std::size_t>(ev.server);
     if (down[s] != 0) {
@@ -1078,6 +1122,10 @@ struct AllocationService::Loop {
       s.failure.script_next = fs.script_next;
       s.failure.streams = fs.streams;
       s.failure.sampled_next = fs.sampled_next;
+      s.failure.pdu_streams = fs.pdu_streams;
+      s.failure.pdu_next = fs.pdu_next;
+      s.failure.tor_streams = fs.tor_streams;
+      s.failure.tor_next = fs.tor_next;
     }
 
     persist::ServeMetricsState& m = s.metrics;
@@ -1096,7 +1144,9 @@ struct AllocationService::Loop {
     m.breaker_trips = metrics.breaker_trips;
     m.breaker_rearms = metrics.breaker_rearms;
     m.crashes = metrics.crashes;
+    m.correlated_failures = metrics.correlated_failures;
     m.groups_lost = metrics.groups_lost;
+    m.groups_lost_correlated = metrics.groups_lost_correlated;
     m.restarts = metrics.restarts;
     m.decisions_incremental = metrics.decisions_incremental;
     m.oracle_checks = metrics.oracle_checks;
@@ -1273,6 +1323,10 @@ struct AllocationService::Loop {
       fs.script_next = static_cast<std::size_t>(s.failure.script_next);
       fs.streams = s.failure.streams;
       fs.sampled_next = s.failure.sampled_next;
+      fs.pdu_streams = s.failure.pdu_streams;
+      fs.pdu_next = s.failure.pdu_next;
+      fs.tor_streams = s.failure.tor_streams;
+      fs.tor_next = s.failure.tor_next;
       failures->restore(fs);
     }
 
@@ -1292,7 +1346,9 @@ struct AllocationService::Loop {
     metrics.breaker_trips = m.breaker_trips;
     metrics.breaker_rearms = m.breaker_rearms;
     metrics.crashes = m.crashes;
+    metrics.correlated_failures = m.correlated_failures;
     metrics.groups_lost = m.groups_lost;
+    metrics.groups_lost_correlated = m.groups_lost_correlated;
     metrics.restarts = m.restarts;
     metrics.decisions_incremental = m.decisions_incremental;
     metrics.oracle_checks = m.oracle_checks;
@@ -1430,7 +1486,7 @@ struct AllocationService::Loop {
       // Phase 2: faults due now.
       if (failures.has_value() && failures->next_time() <= now) {
         for (const datacenter::FailureEvent& ev : failures->pop_due(now)) {
-          apply_crash(ev);
+          apply_failure(ev);
         }
       }
       // Phase 3: fresh stream arrivals at this instant.
@@ -1523,6 +1579,7 @@ std::string serve_metrics_json(const ServeMetrics& m) {
   put_u("arrivals", m.arrivals);
   put_u("breaker_rearms", m.breaker_rearms);
   put_u("breaker_trips", m.breaker_trips);
+  put_u("correlated_failures", m.correlated_failures);
   put_u("crashes", m.crashes);
   put_u("decisions_incremental", m.decisions_incremental);
   put_d("duration_s", m.duration_s);
@@ -1530,6 +1587,7 @@ std::string serve_metrics_json(const ServeMetrics& m) {
   put_u("fleet_resyncs", m.fleet_resyncs);
   put_d("goodput_fraction", m.goodput_fraction);
   put_u("groups_lost", m.groups_lost);
+  put_u("groups_lost_correlated", m.groups_lost_correlated);
   put_u("invalidated", m.invalidated);
   put_d("max_decision_latency_s", m.max_decision_latency_s);
   put_d("max_wait_s", m.max_wait_s);

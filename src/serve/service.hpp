@@ -185,10 +185,13 @@ struct ServeConfig {
   DecisionCostConfig cost;
   IncrementalConfig incremental;
 
-  /// Fault injection (crash kind only: a crashed server loses its
-  /// resident groups — each is journaled as `lost` and re-admitted — and
-  /// is masked until repair; degrade/brownout events are ignored by the
-  /// serve capacity model).
+  /// Fault injection. Crashes lose the server's resident groups — each is
+  /// journaled as `lost` and re-admitted — and mask it until repair; PDU
+  /// faults expand to a crash of every server on the feed (scripted `pdu`
+  /// events and `domains.pdu_mtbf_s` sampling both need `topology` wired);
+  /// degrade/brownout events are ignored by the serve capacity model. ToR
+  /// faults are rejected at validate(): serve has no progress model, so
+  /// the simulator's stall-without-loss semantics cannot be honoured.
   datacenter::FailureConfig failure;
 
   std::uint64_t seed = 2026;  ///< retry-jitter stream seed
@@ -227,7 +230,12 @@ struct ServeMetrics {
   std::uint64_t breaker_trips = 0;
   std::uint64_t breaker_rearms = 0;
   std::uint64_t crashes = 0;
+  /// Domain-level faults applied (each may crash several servers).
+  std::uint64_t correlated_failures = 0;
   std::uint64_t groups_lost = 0;  ///< placed groups lost to crashes
+  /// Subset of groups_lost destroyed by one correlated fault — the serve
+  ///-level blast radius (docs/RESILIENCE.md, correlated failure domains).
+  std::uint64_t groups_lost_correlated = 0;
   std::uint64_t restarts = 0;     ///< lost groups re-admitted
   /// Incremental rung (zero unless IncrementalConfig::enabled).
   std::uint64_t decisions_incremental = 0;  ///< served from FleetState

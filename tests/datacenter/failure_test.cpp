@@ -6,10 +6,12 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "core/first_fit.hpp"
 #include "datacenter/failure.hpp"
 #include "datacenter/simulator.hpp"
+#include "datacenter/topology.hpp"
 #include "testing/shared_db.hpp"
 
 namespace aeva::datacenter {
@@ -437,6 +439,304 @@ TEST(FailureScript, RoundTripsThroughText) {
     EXPECT_DOUBLE_EQ(parsed[i].at_s, events[i].at_s);
     EXPECT_DOUBLE_EQ(parsed[i].duration_s, events[i].duration_s);
   }
+}
+
+// --- correlated failure domains --------------------------------------------
+
+FailureEvent domain_fault(FailureKind kind, int domain, double at_s,
+                          double window_s) {
+  FailureEvent event;
+  event.kind = kind;
+  event.server = domain;
+  event.at_s = at_s;
+  event.duration_s = window_s;
+  return event;
+}
+
+/// rack 0 = {0, 1} on pdu/tor 0, rack 1 = {2} on pdu/tor 1.
+Topology small_topology() {
+  return Topology::from_racks(
+      {RackSpec{0, 0, 0, {0, 1}}, RackSpec{1, 1, 1, {2}}});
+}
+
+TEST(DomainFailure, PduFaultCrashesTheWholeFeed) {
+  // The VM runs on server 0; feed 0 also powers the idle server 1. One
+  // pdu event must crash both at once, and the blast radius counts only
+  // the resident VM. The orphan restarts on server 2 (feed 1).
+  const Topology topo = small_topology();
+  const double T = 0.25 * solo_s();
+  CloudConfig cloud = cloud_of(3);
+  cloud.failure.enabled = true;
+  cloud.failure.topology = &topo;
+  cloud.failure.script.push_back(
+      domain_fault(FailureKind::kPduFault, 0, T, 1e12));
+  cloud.record_completions = true;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(one_vm(), ff);
+  EXPECT_EQ(m.failures, 2u) << "both servers on the feed crash";
+  EXPECT_EQ(m.correlated_failures, 1u) << "but it is one correlated fault";
+  EXPECT_EQ(m.blast_radius_vms_max, 1u);
+  EXPECT_DOUBLE_EQ(m.blast_radius_vms_mean, 1.0);
+  EXPECT_EQ(m.vm_restarts, 1u);
+  EXPECT_EQ(m.vms, 1u);
+  EXPECT_NEAR(m.lost_work_s, 0.25 * solo_s(), 1e-6 * solo_s());
+  EXPECT_EQ(m.lost_work_correlated_s, m.lost_work_s)
+      << "all lost work came from the PDU fault";
+  EXPECT_NEAR(m.makespan_s, 1.25 * solo_s(), 1e-6 * solo_s());
+  ASSERT_EQ(m.completions.size(), 1u);
+  EXPECT_EQ(m.completions.front().server, 2) << "restarted off the dead feed";
+}
+
+TEST(DomainFailure, TorFaultStallsResidentsWithoutLosingWork) {
+  // An isolated rack freezes its residents: no crash, no lost work, no
+  // restart — the VM simply finishes one window later.
+  const Topology topo =
+      Topology::from_racks({RackSpec{0, 0, 0, {0}}, RackSpec{1, 1, 1, {1}}});
+  const double window = 500.0;
+  CloudConfig cloud = cloud_of(2);
+  cloud.failure.enabled = true;
+  cloud.failure.topology = &topo;
+  cloud.failure.script.push_back(
+      domain_fault(FailureKind::kTorFault, 0, 0.25 * solo_s(), window));
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(one_vm(), ff);
+  EXPECT_EQ(m.failures, 0u) << "isolation is not a crash";
+  EXPECT_EQ(m.correlated_failures, 1u);
+  EXPECT_EQ(m.blast_radius_vms_max, 1u);
+  EXPECT_EQ(m.vm_restarts, 0u);
+  EXPECT_DOUBLE_EQ(m.lost_work_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.lost_work_correlated_s, 0.0);
+  EXPECT_EQ(m.vms, 1u);
+  EXPECT_NEAR(m.makespan_s, solo_s() + window, 1e-6 * solo_s());
+  EXPECT_DOUBLE_EQ(m.goodput_fraction, 1.0);
+}
+
+TEST(DomainFailure, IsolatedRackIsMaskedFromTheAllocator) {
+  // Rack 0 is isolated before the job arrives: first-fit must route to
+  // the reachable server even though the isolated one comes first.
+  const Topology topo =
+      Topology::from_racks({RackSpec{0, 0, 0, {0}}, RackSpec{1, 1, 1, {1}}});
+  PreparedWorkload workload = one_vm();
+  workload.jobs.front().submit_s = 50.0;  // mid-outage
+  CloudConfig cloud = cloud_of(2);
+  cloud.failure.enabled = true;
+  cloud.failure.topology = &topo;
+  cloud.failure.script.push_back(
+      domain_fault(FailureKind::kTorFault, 0, 0.0, 300.0));
+  cloud.record_completions = true;
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(workload, ff);
+  ASSERT_EQ(m.completions.size(), 1u);
+  EXPECT_EQ(m.completions.front().server, 1);
+  EXPECT_EQ(m.correlated_failures, 1u);
+  EXPECT_EQ(m.blast_radius_vms_max, 0u) << "nothing was resident at fault";
+}
+
+TEST(DomainFailure, TorHealReleasesTheWholeRackAtOnce) {
+  // Two VMs co-resident on one rack stall together and resume together:
+  // the makespan extends by exactly one window, not two.
+  const Topology topo = small_topology();
+  PreparedWorkload workload;
+  for (int i = 0; i < 2; ++i) {
+    JobRequest job;
+    job.id = i + 1;
+    job.submit_s = 0.0;
+    job.profile = ProfileClass::kCpu;
+    job.vm_count = 1;
+    job.runtime_scale = 1.0;
+    job.deadline_s = 1e12;
+    workload.jobs.push_back(job);
+    workload.total_vms += 1;
+  }
+  const double window = 400.0;
+  CloudConfig cloud = cloud_of(3);
+  cloud.failure.enabled = true;
+  cloud.failure.topology = &topo;
+  cloud.failure.script.push_back(
+      domain_fault(FailureKind::kTorFault, 0, 0.25 * solo_s(), window));
+  const core::FirstFitAllocator ff(1);
+  const SimMetrics m = Simulator(db(), cloud).run(workload, ff);
+  EXPECT_EQ(m.vms, 2u);
+  EXPECT_EQ(m.correlated_failures, 1u);
+  EXPECT_EQ(m.blast_radius_vms_max, 2u) << "both residents in the blast";
+  EXPECT_DOUBLE_EQ(m.blast_radius_vms_mean, 2.0);
+  EXPECT_EQ(m.vm_restarts, 0u);
+  EXPECT_GE(m.makespan_s, solo_s() + window - 1e-6 * solo_s());
+}
+
+TEST(DomainFailure, SampledDomainFaultsAreReproducible) {
+  const Topology topo = make_synthetic_topology(
+      SyntheticTopologyConfig{4, 2, 1, 1});
+  CloudConfig cloud = cloud_of(4);
+  cloud.failure.enabled = true;
+  cloud.failure.topology = &topo;
+  cloud.failure.domains.pdu_mtbf_s = 3000.0;
+  cloud.failure.domains.pdu_mttr_s = 300.0;
+  cloud.failure.domains.tor_mtbf_s = 2500.0;
+  cloud.failure.domains.tor_mttr_s = 200.0;
+  const core::FirstFitAllocator ff(2);
+  const Simulator sim(db(), cloud);
+  const SimMetrics a = sim.run(staggered(12), ff);
+  const SimMetrics b = sim.run(staggered(12), ff);
+  expect_identical(a, b);
+  EXPECT_EQ(a.correlated_failures, b.correlated_failures);
+  EXPECT_EQ(a.lost_work_correlated_s, b.lost_work_correlated_s);
+  EXPECT_EQ(a.blast_radius_vms_mean, b.blast_radius_vms_mean);
+  EXPECT_GT(a.correlated_failures, 0u);
+}
+
+TEST(DomainFailure, DomainSamplingNeverShiftsPerServerDraws) {
+  // The "domain-failures" named stream is independent of the per-server
+  // "failures" stream: wiring up PDU/ToR sampling must leave the sampled
+  // per-server crash sequence untouched, draw for draw.
+  const Topology topo = make_synthetic_topology(
+      SyntheticTopologyConfig{4, 2, 1, 1});
+  const auto crash_sequence = [&](bool with_domains) {
+    FailureConfig config;
+    config.enabled = true;
+    config.mtbf_s = 2000.0;
+    config.mttr_s = 300.0;
+    config.topology = &topo;
+    if (with_domains) {
+      config.domains.pdu_mtbf_s = 4000.0;
+      config.domains.tor_mtbf_s = 3500.0;
+    }
+    config.validate(4);
+    FailureSchedule schedule(config, 4, 0.0);
+    std::vector<FailureEvent> due;
+    std::vector<std::pair<int, double>> crashes;
+    std::size_t domain_events = 0;
+    while (schedule.next_time() < 50000.0) {
+      schedule.pop_due(schedule.next_time(), due);
+      for (const FailureEvent& event : due) {
+        if (event.kind == FailureKind::kCrash) {
+          crashes.emplace_back(event.server, event.at_s);
+          schedule.on_crash(event.server);
+          schedule.on_repair(event.server, event.at_s + event.duration_s);
+        } else {
+          ++domain_events;
+        }
+      }
+    }
+    return std::make_pair(crashes, domain_events);
+  };
+  const auto [base, base_domain_events] = crash_sequence(false);
+  const auto [mixed, mixed_domain_events] = crash_sequence(true);
+  EXPECT_EQ(base_domain_events, 0u);
+  EXPECT_GT(mixed_domain_events, 0u);
+  ASSERT_EQ(base.size(), mixed.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].first, mixed[i].first);
+    EXPECT_EQ(base[i].second, mixed[i].second);  // bitwise
+  }
+  EXPECT_FALSE(base.empty());
+}
+
+TEST(DomainFailure, SimultaneousFaultsPopInCanonicalOrder) {
+  // Satellite regression: a batch of same-instant faults must come out in
+  // (time, domain/server, kind) order no matter the script order.
+  const Topology topo = small_topology();
+  FailureConfig config;
+  config.enabled = true;
+  config.topology = &topo;
+  config.script.push_back(crash(2, 100.0, 50.0));
+  config.script.push_back(
+      domain_fault(FailureKind::kTorFault, 1, 100.0, 50.0));
+  config.script.push_back(
+      domain_fault(FailureKind::kPduFault, 0, 100.0, 50.0));
+  config.validate(3);
+  FailureSchedule schedule(config, 3, 0.0);
+  const std::vector<FailureEvent> due = schedule.pop_due(100.0);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].kind, FailureKind::kPduFault);
+  EXPECT_EQ(due[0].server, 0);
+  EXPECT_EQ(due[1].kind, FailureKind::kTorFault);
+  EXPECT_EQ(due[1].server, 1);
+  EXPECT_EQ(due[2].kind, FailureKind::kCrash);
+  EXPECT_EQ(due[2].server, 2);
+}
+
+TEST(DomainFailure, ReplayIsByteEqualUnderScriptPermutation) {
+  // Same fault set, permuted script order: the canonical event order must
+  // make the two runs bitwise identical, correlated metrics included.
+  const Topology topo = make_synthetic_topology(
+      SyntheticTopologyConfig{4, 2, 1, 1});
+  const std::vector<FailureEvent> events = {
+      crash(3, 400.0, 100.0),
+      domain_fault(FailureKind::kPduFault, 0, 400.0, 300.0),
+      domain_fault(FailureKind::kTorFault, 1, 400.0, 200.0),
+  };
+  const core::FirstFitAllocator ff(2);
+  CloudConfig forward = cloud_of(4);
+  forward.failure.enabled = true;
+  forward.failure.topology = &topo;
+  forward.failure.script = events;
+  const SimMetrics a = Simulator(db(), forward).run(staggered(8), ff);
+  CloudConfig reversed = cloud_of(4);
+  reversed.failure.enabled = true;
+  reversed.failure.topology = &topo;
+  reversed.failure.script.assign(events.rbegin(), events.rend());
+  const SimMetrics b = Simulator(db(), reversed).run(staggered(8), ff);
+  expect_identical(a, b);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.correlated_failures, b.correlated_failures);
+  EXPECT_EQ(a.lost_work_s, b.lost_work_s);
+  EXPECT_EQ(a.lost_work_correlated_s, b.lost_work_correlated_s);
+  EXPECT_EQ(a.blast_radius_vms_mean, b.blast_radius_vms_mean);
+  EXPECT_EQ(a.correlated_failures, 2u);
+}
+
+TEST(DomainFailure, RejectsDomainEventsWithoutOrOutsideTheTopology) {
+  const core::FirstFitAllocator ff(1);
+  const Topology topo = small_topology();
+
+  CloudConfig bad = cloud_of(3);
+  bad.failure.enabled = true;  // pdu event but no topology wired
+  bad.failure.script.push_back(
+      domain_fault(FailureKind::kPduFault, 0, 1.0, 1.0));
+  EXPECT_THROW((void)Simulator(db(), bad).run(one_vm(), ff),
+               std::invalid_argument);
+
+  bad = cloud_of(3);
+  bad.failure.enabled = true;
+  bad.failure.topology = &topo;
+  bad.failure.script.push_back(
+      domain_fault(FailureKind::kPduFault, 2, 1.0, 1.0));  // feed range
+  EXPECT_THROW((void)Simulator(db(), bad).run(one_vm(), ff),
+               std::invalid_argument);
+
+  bad = cloud_of(3);
+  bad.failure.enabled = true;
+  bad.failure.topology = &topo;
+  bad.failure.script.push_back(
+      domain_fault(FailureKind::kTorFault, 5, 1.0, 1.0));  // switch range
+  EXPECT_THROW((void)Simulator(db(), bad).run(one_vm(), ff),
+               std::invalid_argument);
+
+  bad = cloud_of(2);  // topology covers 3 servers, cloud has 2
+  bad.failure.enabled = true;
+  bad.failure.topology = &topo;
+  EXPECT_THROW((void)Simulator(db(), bad).run(one_vm(), ff),
+               std::invalid_argument);
+}
+
+TEST(DomainFailure, ScriptRoundTripsDomainEvents) {
+  std::vector<FailureEvent> events;
+  events.push_back(domain_fault(FailureKind::kPduFault, 1, 10.0, 600.0));
+  events.push_back(domain_fault(FailureKind::kTorFault, 0, 20.5, 90.0));
+  std::ostringstream out;
+  write_failure_script(out, events);
+  const std::vector<FailureEvent> parsed = parse_failure_script(out.str());
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i].kind, events[i].kind);
+    EXPECT_EQ(parsed[i].server, events[i].server);
+    EXPECT_DOUBLE_EQ(parsed[i].at_s, events[i].at_s);
+    EXPECT_DOUBLE_EQ(parsed[i].duration_s, events[i].duration_s);
+  }
+  EXPECT_THROW((void)parse_failure_script("pdu 0 1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_failure_script("tor 0 1 -2"),
+               std::invalid_argument);
 }
 
 TEST(FailureScript, RejectsMalformedInput) {

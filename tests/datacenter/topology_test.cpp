@@ -1,0 +1,240 @@
+/// Rack/PDU/ToR topology: structural validation, domain queries, the
+/// synthetic generator, spec round-trips, and the spread-config bridge
+/// (docs/RESILIENCE.md, "Correlated failure domains").
+
+#include "datacenter/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace aeva::datacenter {
+namespace {
+
+RackSpec rack_spec(int rack, int pdu, int tor, std::vector<int> servers) {
+  RackSpec spec;
+  spec.rack = rack;
+  spec.pdu = pdu;
+  spec.tor = tor;
+  spec.servers = std::move(servers);
+  return spec;
+}
+
+Topology two_racks() {
+  std::vector<RackSpec> racks;
+  racks.push_back(rack_spec(0, 0, 0, {0, 1, 2}));
+  racks.push_back(rack_spec(1, 0, 1, {3, 4, 5}));
+  return Topology::from_racks(std::move(racks));
+}
+
+TEST(Topology, DomainQueriesMatchDeclaration) {
+  const Topology topo = two_racks();
+  EXPECT_EQ(topo.server_count(), 6);
+  EXPECT_EQ(topo.rack_count(), 2);
+  EXPECT_EQ(topo.pdu_count(), 1);
+  EXPECT_EQ(topo.tor_count(), 2);
+  EXPECT_EQ(topo.rack_of(0), 0);
+  EXPECT_EQ(topo.rack_of(5), 1);
+  EXPECT_EQ(topo.pdu_of(2), 0);
+  EXPECT_EQ(topo.pdu_of(4), 0);
+  EXPECT_EQ(topo.tor_of(1), 0);
+  EXPECT_EQ(topo.tor_of(3), 1);
+  EXPECT_EQ(topo.pdu_of_rack(1), 0);
+  EXPECT_EQ(topo.tor_of_rack(1), 1);
+}
+
+TEST(Topology, MemberSpansAreAscendingAndComplete) {
+  // Declared out of order and with shuffled member lists: the builder
+  // must sort racks by id and member lists ascending — the canonical
+  // expansion order of a correlated fault.
+  std::vector<RackSpec> racks;
+  racks.push_back(rack_spec(1, 1, 0, {5, 3}));
+  racks.push_back(rack_spec(0, 0, 0, {4, 0, 2, 1}));
+  const Topology topo = Topology::from_racks(std::move(racks));
+  const std::span<const int> rack0 = topo.servers_in_rack(0);
+  ASSERT_EQ(rack0.size(), 4u);
+  EXPECT_EQ(rack0[0], 0);
+  EXPECT_EQ(rack0[3], 4);
+  const std::span<const int> pdu1 = topo.servers_on_pdu(1);
+  ASSERT_EQ(pdu1.size(), 2u);
+  EXPECT_EQ(pdu1[0], 3);
+  EXPECT_EQ(pdu1[1], 5);
+  const std::span<const int> tor0 = topo.servers_on_tor(0);
+  EXPECT_EQ(tor0.size(), 6u);
+}
+
+TEST(Topology, RejectsStructuralViolations) {
+  // No racks at all.
+  EXPECT_THROW((void)Topology::from_racks({}), std::invalid_argument);
+  // Duplicate rack id.
+  {
+    std::vector<RackSpec> racks;
+    racks.push_back(rack_spec(0, 0, 0, {0}));
+    racks.push_back(rack_spec(0, 0, 0, {1}));
+    EXPECT_THROW((void)Topology::from_racks(std::move(racks)),
+                 std::invalid_argument);
+  }
+  // Rack ids with a gap.
+  {
+    std::vector<RackSpec> racks;
+    racks.push_back(rack_spec(0, 0, 0, {0}));
+    racks.push_back(rack_spec(2, 0, 0, {1}));
+    EXPECT_THROW((void)Topology::from_racks(std::move(racks)),
+                 std::invalid_argument);
+  }
+  // Empty rack.
+  {
+    std::vector<RackSpec> racks;
+    racks.push_back(rack_spec(0, 0, 0, {}));
+    EXPECT_THROW((void)Topology::from_racks(std::move(racks)),
+                 std::invalid_argument);
+  }
+  // Duplicate server across racks.
+  {
+    std::vector<RackSpec> racks;
+    racks.push_back(rack_spec(0, 0, 0, {0, 1}));
+    racks.push_back(rack_spec(1, 0, 0, {1, 2}));
+    EXPECT_THROW((void)Topology::from_racks(std::move(racks)),
+                 std::invalid_argument);
+  }
+  // Server ids with a gap (0, 2 but no 1).
+  {
+    std::vector<RackSpec> racks;
+    racks.push_back(rack_spec(0, 0, 0, {0, 2}));
+    EXPECT_THROW((void)Topology::from_racks(std::move(racks)),
+                 std::invalid_argument);
+  }
+  // PDU ids with a gap (feed 1 used, feed 0 absent).
+  {
+    std::vector<RackSpec> racks;
+    racks.push_back(rack_spec(0, 1, 0, {0, 1}));
+    EXPECT_THROW((void)Topology::from_racks(std::move(racks)),
+                 std::invalid_argument);
+  }
+  // ToR ids with a gap.
+  {
+    std::vector<RackSpec> racks;
+    racks.push_back(rack_spec(0, 0, 2, {0, 1}));
+    EXPECT_THROW((void)Topology::from_racks(std::move(racks)),
+                 std::invalid_argument);
+  }
+  // Negative ids.
+  {
+    std::vector<RackSpec> racks;
+    racks.push_back(rack_spec(0, 0, 0, {-1}));
+    EXPECT_THROW((void)Topology::from_racks(std::move(racks)),
+                 std::invalid_argument);
+  }
+}
+
+TEST(Topology, QueriesRejectOutOfRangeIndices) {
+  const Topology topo = two_racks();
+  EXPECT_THROW((void)topo.rack_of(-1), std::invalid_argument);
+  EXPECT_THROW((void)topo.rack_of(6), std::invalid_argument);
+  EXPECT_THROW((void)topo.servers_in_rack(2), std::invalid_argument);
+  EXPECT_THROW((void)topo.servers_on_pdu(1), std::invalid_argument);
+  EXPECT_THROW((void)topo.servers_on_tor(2), std::invalid_argument);
+}
+
+TEST(Topology, SyntheticGeneratorDealsRoundRobin) {
+  SyntheticTopologyConfig config;
+  config.server_count = 10;
+  config.servers_per_rack = 4;
+  config.racks_per_pdu = 2;
+  config.racks_per_tor = 1;
+  const Topology topo = make_synthetic_topology(config);
+  EXPECT_EQ(topo.server_count(), 10);
+  EXPECT_EQ(topo.rack_count(), 3);  // 4 + 4 + 2 (last rack partial)
+  EXPECT_EQ(topo.pdu_count(), 2);   // racks {0,1} on feed 0, rack {2} on 1
+  EXPECT_EQ(topo.tor_count(), 3);
+  EXPECT_EQ(topo.rack_of(3), 0);
+  EXPECT_EQ(topo.rack_of(4), 1);
+  EXPECT_EQ(topo.rack_of(9), 2);
+  EXPECT_EQ(topo.pdu_of(7), 0);
+  EXPECT_EQ(topo.pdu_of(8), 1);
+  EXPECT_EQ(topo.servers_in_rack(2).size(), 2u);
+}
+
+TEST(Topology, SyntheticGeneratorRejectsBadSizes) {
+  SyntheticTopologyConfig config;
+  config.server_count = 0;
+  EXPECT_THROW((void)make_synthetic_topology(config), std::invalid_argument);
+  config.server_count = 4;
+  config.servers_per_rack = 0;
+  EXPECT_THROW((void)make_synthetic_topology(config), std::invalid_argument);
+  config.servers_per_rack = 2;
+  config.racks_per_pdu = -1;
+  EXPECT_THROW((void)make_synthetic_topology(config), std::invalid_argument);
+}
+
+TEST(Topology, SpecRoundTripsThroughText) {
+  SyntheticTopologyConfig config;
+  config.server_count = 24;
+  config.servers_per_rack = 5;
+  config.racks_per_pdu = 3;
+  config.racks_per_tor = 2;
+  const Topology original = make_synthetic_topology(config);
+  std::ostringstream out;
+  write_topology(out, original);
+  const Topology reparsed = parse_topology(out.str());
+  ASSERT_EQ(reparsed.rack_count(), original.rack_count());
+  for (int r = 0; r < original.rack_count(); ++r) {
+    EXPECT_EQ(reparsed.pdu_of_rack(r), original.pdu_of_rack(r));
+    EXPECT_EQ(reparsed.tor_of_rack(r), original.tor_of_rack(r));
+    const std::span<const int> a = original.servers_in_rack(r);
+    const std::span<const int> b = reparsed.servers_in_rack(r);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+    }
+  }
+  // A second write of the reparsed topology is byte-identical.
+  std::ostringstream again;
+  write_topology(again, reparsed);
+  EXPECT_EQ(out.str(), again.str());
+}
+
+TEST(Topology, ParserAcceptsCommentsAndRejectsMalformedInput) {
+  const Topology topo = parse_topology(
+      "# header comment\n"
+      "; alt comment\n"
+      "\n"
+      "rack 0 pdu 0 tor 0 servers 0 1\n"
+      "rack 1 pdu 0 tor 0 servers 2\n");
+  EXPECT_EQ(topo.server_count(), 3);
+  EXPECT_THROW((void)parse_topology("shelf 0 pdu 0 tor 0 servers 0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_topology("rack 0 pdu 0 tor 0 servers"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_topology("rack 0 pdu 0 servers 0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_topology("rack 0 pdu 0 tor 0 servers x"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_topology("rack 0.5 pdu 0 tor 0 servers 0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_topology("rack 0 tor 0 pdu 0 servers 0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_topology(""), std::invalid_argument);
+}
+
+TEST(Topology, SpreadBridgeMapsRacksToDomains) {
+  const Topology topo = two_racks();
+  const core::SpreadConfig spread = spread_by_rack(topo, 2, 0.25);
+  EXPECT_TRUE(spread.enabled);
+  EXPECT_EQ(spread.max_vms_per_domain, 2);
+  EXPECT_EQ(spread.domain_count, 2);
+  EXPECT_DOUBLE_EQ(spread.blast_penalty, 0.25);
+  ASSERT_EQ(spread.domain_of_server.size(), 6u);
+  EXPECT_EQ(spread.domain_of(0), 0);
+  EXPECT_EQ(spread.domain_of(5), 1);
+  EXPECT_EQ(spread.domain_of(6), -1);  // outside the map: unconstrained
+  EXPECT_TRUE(spread.feasible_width(4));
+  EXPECT_FALSE(spread.feasible_width(5));
+  EXPECT_THROW((void)spread_by_rack(topo, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)spread_by_rack(Topology{}, 1, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeva::datacenter

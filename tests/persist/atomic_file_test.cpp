@@ -3,6 +3,7 @@
 /// files left behind on either path.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -24,7 +25,13 @@ std::string read_all(const fs::path& path) {
 
 struct TempDir {
   fs::path dir;
-  TempDir() : dir(fs::temp_directory_path() / "aeva_atomic_file_test") {
+  // Unique per test process: ctest runs each TEST as its own process, and
+  // a shared fixed path makes concurrently-running tests delete each
+  // other's directory (flaky under `ctest -j`).
+  TempDir()
+      : dir(fs::temp_directory_path() /
+            ("aeva_atomic_file_test_" +
+             std::to_string(static_cast<long long>(::getpid())))) {
     fs::remove_all(dir);
     fs::create_directories(dir);
   }

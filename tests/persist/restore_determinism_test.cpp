@@ -14,6 +14,7 @@
 #include "core/first_fit.hpp"
 #include "core/proactive.hpp"
 #include "datacenter/simulator.hpp"
+#include "datacenter/topology.hpp"
 #include "persist/snapshot.hpp"
 #include "testing/shared_db.hpp"
 #include "trace/prepare.hpp"
@@ -134,6 +135,13 @@ void expect_identical(const SimMetrics& a, const SimMetrics& b,
   EXPECT_EQ(a.migration_transfer_s, b.migration_transfer_s)
       << "seed " << seed;
   EXPECT_EQ(a.failures, b.failures) << "seed " << seed;
+  EXPECT_EQ(a.correlated_failures, b.correlated_failures) << "seed " << seed;
+  EXPECT_EQ(a.blast_radius_vms_max, b.blast_radius_vms_max)
+      << "seed " << seed;
+  EXPECT_EQ(a.blast_radius_vms_mean, b.blast_radius_vms_mean)
+      << "seed " << seed;
+  EXPECT_EQ(a.lost_work_correlated_s, b.lost_work_correlated_s)
+      << "seed " << seed;
   EXPECT_EQ(a.vm_restarts, b.vm_restarts) << "seed " << seed;
   EXPECT_EQ(a.vms_abandoned, b.vms_abandoned) << "seed " << seed;
   EXPECT_EQ(a.lost_work_s, b.lost_work_s) << "seed " << seed;
@@ -205,6 +213,56 @@ TEST(RestoreDeterminism, ResumeFromEveryCheckpointOfOneRun) {
   ASSERT_GE(checkpoints.size(), 3u);
   for (const persist::SimSnapshot& checkpoint : checkpoints) {
     expect_identical(reference, sim.resume(workload, *allocator, checkpoint),
+                     seed);
+  }
+}
+
+TEST(RestoreDeterminism, ResumeReproducesCorrelatedDomainFaults) {
+  // Snapshot v4 carries the domain-fault machinery: PDU/ToR sampler
+  // streams, the ToR heal clock, the isolated flag, and the correlated
+  // metrics accumulators. Kill-and-resume across a run mixing scripted
+  // and MTBF-sampled domain faults must stay bit-identical.
+  const datacenter::Topology topo = datacenter::make_synthetic_topology(
+      datacenter::SyntheticTopologyConfig{8, 2, 2, 1});
+  const std::uint64_t seed = 21;
+  const PreparedWorkload workload = random_workload(seed);
+  CloudConfig cloud;
+  cloud.server_count = 8;
+  cloud.failure.enabled = true;
+  cloud.failure.topology = &topo;
+  cloud.failure.domains.pdu_mtbf_s = 20000.0;
+  cloud.failure.domains.pdu_mttr_s = 900.0;
+  cloud.failure.domains.tor_mtbf_s = 15000.0;
+  cloud.failure.domains.tor_mttr_s = 400.0;
+  FailureEvent pdu;
+  pdu.kind = FailureKind::kPduFault;
+  pdu.server = 0;
+  pdu.at_s = 700.0;
+  pdu.duration_s = 1200.0;
+  FailureEvent tor;
+  tor.kind = FailureKind::kTorFault;
+  tor.server = 3;
+  tor.at_s = 1000.0;
+  tor.duration_s = 350.0;
+  cloud.failure.script = {pdu, tor};
+  cloud.failure.recovery.checkpoint_period_s = 600.0;
+  const core::FirstFitAllocator allocator(2);
+  const Simulator sim(db(), cloud);
+  const SimMetrics reference = sim.run(workload, allocator);
+  ASSERT_GT(reference.correlated_failures, 0u);
+
+  std::vector<persist::SimSnapshot> checkpoints;
+  CloudConfig snap_cloud = cloud;
+  snap_cloud.snapshot.every_s = reference.makespan_s / 8.0;
+  snap_cloud.snapshot.hook = [&](const persist::SimSnapshot& snapshot) {
+    checkpoints.push_back(snapshot);
+  };
+  (void)Simulator(db(), snap_cloud).run(workload, allocator);
+  ASSERT_GE(checkpoints.size(), 3u);
+  for (const persist::SimSnapshot& checkpoint : checkpoints) {
+    const persist::SimSnapshot rehydrated =
+        persist::decode_snapshot(persist::encode_snapshot(checkpoint));
+    expect_identical(reference, sim.resume(workload, allocator, rehydrated),
                      seed);
   }
 }

@@ -7,8 +7,10 @@
 
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <string>
 
+#include "core/types.hpp"
 #include "persist/snapshot.hpp"
 
 namespace aeva::persist {
@@ -43,7 +45,11 @@ SimSnapshot sample_snapshot() {
   down.degrade_until = 6000.0;
   down.degrade_mult = 0.5;
   down.ever_powered = true;
-  snap.servers = {busy, down, ServerPersistState{}};
+  ServerPersistState stalled;  // rack cut off by a ToR fault
+  stalled.powered = true;
+  stalled.ever_powered = true;
+  stalled.isolated = true;
+  snap.servers = {busy, down, stalled};
 
   VmState vm;
   vm.vm_id = 5;
@@ -74,7 +80,16 @@ SimSnapshot sample_snapshot() {
   snap.metrics.jobs = 1;
   snap.metrics.vms = 3;
   snap.metrics.failures = 2;
+  snap.metrics.correlated_failures = 1;
+  snap.metrics.blast_radius_vms_max = 2;
+  snap.metrics.blast_radius_vm_sum = 2.0;
+  snap.metrics.lost_work_correlated_s = 415.25;
   snap.metrics.goodput_fraction = 0.875;
+  snap.metrics.rejects_by_reason.assign(core::kRejectReasonCount, 0);
+  snap.metrics.rejects_by_reason[static_cast<std::size_t>(
+      core::RejectReason::kNoFeasibleServer)] = 2;
+  snap.metrics.rejects_by_reason[static_cast<std::size_t>(
+      core::RejectReason::kSpreadInfeasible)] = 1;
   snap.metrics.completions = {CompletionState{3, 1, 0, 0, 0.0, 5.0, 900.0}};
 
   snap.response_stats = {3, 300.0, 1250.0, 900.0, 100.0, 600.0};
@@ -85,6 +100,12 @@ SimSnapshot sample_snapshot() {
   snap.failure.script_next = 1;
   snap.failure.streams = {rng.state(), util::Rng(7).state()};
   snap.failure.sampled_next = {8000.0, -1.0};
+  snap.failure.pdu_streams = {util::Rng(11).state()};
+  snap.failure.pdu_next = {12000.0};
+  snap.failure.tor_streams = {util::Rng(13).state(), util::Rng(17).state()};
+  snap.failure.tor_next = {9000.0, -1.0};
+  snap.tor_heal_s = {4600.0,
+                     std::numeric_limits<double>::infinity()};
   return snap;
 }
 
@@ -115,6 +136,7 @@ void expect_equal(const SimSnapshot& a, const SimSnapshot& b) {
     EXPECT_EQ(a.servers[i].brownout_until, b.servers[i].brownout_until);
     EXPECT_EQ(a.servers[i].brownout_cap_w, b.servers[i].brownout_cap_w);
     EXPECT_EQ(a.servers[i].ever_powered, b.servers[i].ever_powered);
+    EXPECT_EQ(a.servers[i].isolated, b.servers[i].isolated);
   }
   ASSERT_EQ(a.running.size(), b.running.size());
   for (std::size_t i = 0; i < a.running.size(); ++i) {
@@ -149,6 +171,7 @@ void expect_equal(const SimSnapshot& a, const SimSnapshot& b) {
   EXPECT_EQ(a.metrics.vms, b.metrics.vms);
   EXPECT_EQ(a.metrics.failures, b.metrics.failures);
   EXPECT_EQ(a.metrics.goodput_fraction, b.metrics.goodput_fraction);
+  EXPECT_EQ(a.metrics.rejects_by_reason, b.metrics.rejects_by_reason);
   ASSERT_EQ(a.metrics.completions.size(), b.metrics.completions.size());
   for (std::size_t i = 0; i < a.metrics.completions.size(); ++i) {
     EXPECT_EQ(a.metrics.completions[i].vm_id, b.metrics.completions[i].vm_id);
@@ -170,6 +193,22 @@ void expect_equal(const SimSnapshot& a, const SimSnapshot& b) {
               b.failure.streams[i].has_cached_normal);
   }
   EXPECT_EQ(a.failure.sampled_next, b.failure.sampled_next);
+  ASSERT_EQ(a.failure.pdu_streams.size(), b.failure.pdu_streams.size());
+  for (std::size_t i = 0; i < a.failure.pdu_streams.size(); ++i) {
+    EXPECT_EQ(a.failure.pdu_streams[i].words, b.failure.pdu_streams[i].words);
+  }
+  EXPECT_EQ(a.failure.pdu_next, b.failure.pdu_next);
+  ASSERT_EQ(a.failure.tor_streams.size(), b.failure.tor_streams.size());
+  for (std::size_t i = 0; i < a.failure.tor_streams.size(); ++i) {
+    EXPECT_EQ(a.failure.tor_streams[i].words, b.failure.tor_streams[i].words);
+  }
+  EXPECT_EQ(a.failure.tor_next, b.failure.tor_next);
+  EXPECT_EQ(a.tor_heal_s, b.tor_heal_s);
+  EXPECT_EQ(a.metrics.correlated_failures, b.metrics.correlated_failures);
+  EXPECT_EQ(a.metrics.blast_radius_vms_max, b.metrics.blast_radius_vms_max);
+  EXPECT_EQ(a.metrics.blast_radius_vm_sum, b.metrics.blast_radius_vm_sum);
+  EXPECT_EQ(a.metrics.lost_work_correlated_s,
+            b.metrics.lost_work_correlated_s);
 }
 
 TEST(Snapshot, RoundTripIsExact) {

@@ -98,6 +98,12 @@ ServeSnapshot sample_snapshot() {
   stream_state.words = {5, 6, 7, 8};
   s.failure.streams = {stream_state, stream_state};
   s.failure.sampled_next = {70.0, 80.0};
+  util::Rng::State domain_state;
+  domain_state.words = {9, 10, 11, 12};
+  s.failure.pdu_streams = {domain_state};
+  s.failure.pdu_next = {120.0};
+  s.failure.tor_streams = {domain_state, domain_state};
+  s.failure.tor_next = {60.0, 75.5};
 
   s.latency_stats.count = 5;
   s.latency_stats.mean = 0.04;
@@ -106,8 +112,12 @@ ServeSnapshot sample_snapshot() {
 
   s.metrics.offered = 9;
   s.metrics.placed = 5;
-  s.metrics.rejects_by_reason.assign(11, 0);
+  s.metrics.correlated_failures = 2;
+  s.metrics.groups_lost_correlated = 1;
+  s.metrics.rejects_by_reason.assign(core::kRejectReasonCount, 0);
   s.metrics.rejects_by_reason[2] = 3;
+  s.metrics.rejects_by_reason[static_cast<std::size_t>(
+      core::RejectReason::kSpreadInfeasible)] = 4;
   s.metrics.time_in_mode_s = {10.0, 2.5, 0.0};
   s.metrics.queue_depth_integral = 4.75;
   s.metrics.peak_queue_depth = 6.0;
@@ -165,7 +175,16 @@ void expect_equal(const ServeSnapshot& a, const ServeSnapshot& b) {
   ASSERT_EQ(a.failure.streams.size(), b.failure.streams.size());
   EXPECT_EQ(a.failure.streams[0].words, b.failure.streams[0].words);
   EXPECT_EQ(a.failure.sampled_next, b.failure.sampled_next);
+  ASSERT_EQ(a.failure.pdu_streams.size(), b.failure.pdu_streams.size());
+  EXPECT_EQ(a.failure.pdu_streams[0].words, b.failure.pdu_streams[0].words);
+  EXPECT_EQ(a.failure.pdu_next, b.failure.pdu_next);
+  ASSERT_EQ(a.failure.tor_streams.size(), b.failure.tor_streams.size());
+  EXPECT_EQ(a.failure.tor_streams[1].words, b.failure.tor_streams[1].words);
+  EXPECT_EQ(a.failure.tor_next, b.failure.tor_next);
   EXPECT_EQ(a.metrics.placed, b.metrics.placed);
+  EXPECT_EQ(a.metrics.correlated_failures, b.metrics.correlated_failures);
+  EXPECT_EQ(a.metrics.groups_lost_correlated,
+            b.metrics.groups_lost_correlated);
   EXPECT_EQ(a.metrics.rejects_by_reason, b.metrics.rejects_by_reason);
   EXPECT_EQ(a.metrics.time_in_mode_s, b.metrics.time_in_mode_s);
   ASSERT_EQ(a.log.size(), b.log.size());

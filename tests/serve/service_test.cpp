@@ -9,6 +9,7 @@
 #include <limits>
 #include <vector>
 
+#include "datacenter/topology.hpp"
 #include "serve/service.hpp"
 #include "testing/shared_db.hpp"
 
@@ -432,6 +433,90 @@ TEST(Drain, StopFinishesInFlightAndPreservesTheQueue) {
 }
 
 // --- metrics JSON --------------------------------------------------------
+
+// --- correlated failure domains ------------------------------------------
+
+TEST(ServeDomainFaults, PduFaultCrashesTheFeedAndTalliesCorrelatedLosses) {
+  // Both servers share PDU feed 0: one scripted pdu event must crash the
+  // pair, lose both resident groups as *correlated* losses, and re-admit
+  // them.
+  const datacenter::Topology topo = datacenter::Topology::from_racks(
+      {datacenter::RackSpec{0, 0, 0, {0, 1}}});
+  ServeConfig config = plain_config();
+  config.server_count = 2;
+  config.failure.enabled = true;
+  config.failure.topology = &topo;
+  datacenter::FailureEvent pdu;
+  pdu.kind = datacenter::FailureKind::kPduFault;
+  pdu.server = 0;  // feed id, not a server id
+  pdu.at_s = 1.0;
+  pdu.duration_s = 5.0;
+  config.failure.script.push_back(pdu);
+
+  ServeRequest first = request(1, 0.0);
+  first.hold_s = 100.0;
+  ServeRequest second = request(2, 0.2);
+  second.hold_s = 100.0;
+  const AllocationService service(db(), config);
+  const ServeResult result = service.run({first, second});
+  const ServeMetrics& m = result.metrics;
+  EXPECT_EQ(m.placed, 2u);
+  EXPECT_EQ(m.crashes, 2u) << "the fault expands to every server on feed 0";
+  EXPECT_EQ(m.correlated_failures, 1u);
+  EXPECT_EQ(m.groups_lost, 2u);
+  EXPECT_EQ(m.groups_lost_correlated, 2u);
+  EXPECT_EQ(m.restarts, 2u);
+  const std::string json = serve_metrics_json(m);
+  EXPECT_NE(json.find("\"correlated_failures\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"groups_lost_correlated\":2"), std::string::npos);
+}
+
+TEST(ServeDomainFaults, TorFaultsAreRejectedAtValidation) {
+  // Serve has no progress model, so the simulator's stall-without-loss
+  // ToR semantics cannot be honoured — both scripted and sampled ToR
+  // faults must be refused up front, not silently dropped.
+  const datacenter::Topology topo = datacenter::Topology::from_racks(
+      {datacenter::RackSpec{0, 0, 0, {0, 1}}});
+  ServeConfig config = plain_config();
+  config.server_count = 2;
+  config.failure.enabled = true;
+  config.failure.topology = &topo;
+  datacenter::FailureEvent tor;
+  tor.kind = datacenter::FailureKind::kTorFault;
+  tor.server = 0;
+  tor.at_s = 1.0;
+  tor.duration_s = 5.0;
+  config.failure.script.push_back(tor);
+  EXPECT_THROW(AllocationService(db(), config), std::invalid_argument);
+
+  config.failure.script.clear();
+  config.failure.domains.tor_mtbf_s = 1000.0;
+  EXPECT_THROW(AllocationService(db(), config), std::invalid_argument);
+}
+
+TEST(ServeDomainFaults, SampledPduFaultsAreReproducible) {
+  const datacenter::Topology topo = datacenter::make_synthetic_topology(
+      datacenter::SyntheticTopologyConfig{8, 2, 2, 1});
+  ServeConfig config = plain_config();
+  config.failure.enabled = true;
+  config.failure.topology = &topo;
+  config.failure.domains.pdu_mtbf_s = 5.0;
+  config.failure.domains.pdu_mttr_s = 2.0;
+  std::vector<ServeRequest> stream;
+  for (int i = 0; i < 20; ++i) {
+    ServeRequest req = request(i + 1, i * 1.0);
+    req.hold_s = 10.0;
+    stream.push_back(req);
+  }
+  const AllocationService service(db(), config);
+  const ServeResult a = service.run(stream);
+  const ServeResult b = service.run(stream);
+  EXPECT_EQ(serve_metrics_json(a.metrics), serve_metrics_json(b.metrics));
+  EXPECT_EQ(render_decision_log(a.log), render_decision_log(b.log));
+  EXPECT_GT(a.metrics.correlated_failures, 0u);
+  EXPECT_GE(a.metrics.crashes, 2u * a.metrics.correlated_failures)
+      << "every sampled pdu fault crashes a whole four-server feed";
+}
 
 TEST(MetricsJson, ByteStableAndCarriesReasonTable) {
   ServeConfig config = plain_config();

@@ -1,0 +1,21 @@
+// Deliberately bad translation unit for the rng-entry rule. Opts into
+// the scope with the marker the rule documents:
+// aeva-lint: rng-entry
+//
+// Prose mentioning util::named_stream(seed, "weather") must NOT trip the
+// rule — call sites are located on comment-stripped source.
+
+#include "util/rng.hpp"
+
+namespace fixture {
+
+inline double draw(std::uint64_t seed) {
+  // A novel label forks a stream the replay-stability contract never
+  // sanctioned for this subsystem.
+  aeva::util::Rng rogue = aeva::util::named_stream(seed, "weather");  // EXPECT[rng-entry]
+  // Direct seeded construction bypasses named_stream entirely.
+  aeva::util::Rng raw(seed * 2 + 1);  // EXPECT[rng-entry]
+  return rogue.exponential(1.0) + raw.exponential(1.0);
+}
+
+}  // namespace fixture

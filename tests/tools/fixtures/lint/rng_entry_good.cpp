@@ -1,0 +1,28 @@
+// Clean counterpart for the rng-entry rule. Opts into the scope with
+// the marker (aeva-lint: rng-entry); every RNG below enters through a
+// sanctioned named stream and fans out with fork(), the idiom
+// src/datacenter/failure.cpp standardized on.
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fixture {
+
+inline std::vector<aeva::util::Rng> per_server_streams(std::uint64_t seed,
+                                                       std::size_t n) {
+  aeva::util::Rng root = aeva::util::named_stream(seed, "failures");
+  std::vector<aeva::util::Rng> streams;
+  streams.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    streams.push_back(root.fork(s));
+  }
+  return streams;
+}
+
+inline double first_domain_draw(std::uint64_t seed, double mtbf_s) {
+  aeva::util::Rng domains = aeva::util::named_stream(seed, "domain-failures");
+  return domains.fork(0).exponential(1.0 / mtbf_s);
+}
+
+}  // namespace fixture

@@ -134,6 +134,28 @@ def main() -> int:
         check_case("aeva_lint hot-path clean fixture stays clean",
                    rc == 0, f"  exit={rc}\n{out}")
 
+        # ---- aeva_lint: rng-entry opt-in fixture reports the marked set --
+        rng_bad = FIXTURES / "lint" / "rng_entry_bad.cpp"
+        report_path = tmpdir / "lint_rng_bad.json"
+        rc, out = run_tool([
+            str(LINT), str(rng_bad), "--no-compile", "--no-doc-links",
+            "--allowlist", str(empty_allowlist), "--json", str(report_path)])
+        report = json.loads(report_path.read_text())
+        expected = expected_from([rng_bad])
+        got = reported_from(report, "rule")
+        check_case("aeva_lint rng-entry fixture finds exactly the marked "
+                   "violations",
+                   rc == 1 and got == expected,
+                   diff(expected, got) + f"\n  exit={rc}\n{out}")
+
+        # ---- aeva_lint: sanctioned named-stream idioms stay clean ----
+        rng_good = FIXTURES / "lint" / "rng_entry_good.cpp"
+        rc, out = run_tool([
+            str(LINT), str(rng_good), "--no-compile", "--no-doc-links",
+            "--allowlist", str(empty_allowlist)])
+        check_case("aeva_lint rng-entry clean fixture stays clean",
+                   rc == 0, f"  exit={rc}\n{out}")
+
         # ---- aeva_check (--files): bad fixtures report the marked set --
         check_dir = FIXTURES / "check"
         check_files = sorted(check_dir.glob("*.cpp"))

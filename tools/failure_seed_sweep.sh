@@ -7,6 +7,13 @@
 # (c) every emitted goodput lies in [0, 1]. Catches nondeterminism or
 # blow-ups in the failure path that a single fixed-seed test would miss.
 #
+# Then runs the correlated-failure-domain bench in full mode, whose
+# internal 30-seed suite checks that an attached-but-inert topology
+# leaves metrics and normalized snapshot bytes identical to the
+# topology-free model (the topology-disabled bit-identity gate), plus
+# the spread-defense retention gates. The bench exits nonzero if either
+# gate fails.
+#
 # Usage: tools/failure_seed_sweep.sh [build-dir] [iterations]
 
 set -euo pipefail
@@ -46,3 +53,24 @@ for ((seed = 1; seed <= iterations; ++seed)); do
 done
 
 echo "PASS: $iterations seeds reproducible and sane"
+
+domains_bench="$build_dir/bench/failure_domains"
+if [[ ! -x "$domains_bench" ]]; then
+  echo "error: $domains_bench not built (configure + build first)" >&2
+  exit 1
+fi
+
+# Full mode arms the 30-seed topology-disabled bit-identity suite; the
+# binary itself exits 1 on a gate failure, so a plain run is the check.
+"$domains_bench" > "$workdir/domains.txt" || {
+  echo "FAIL: failure_domains gates" >&2
+  cat "$workdir/domains.txt" >&2
+  exit 1
+}
+if ! grep -q '"bit_identity_gate":true' "$workdir/domains.txt"; then
+  echo "FAIL: failure_domains emitted no passing identity-gate record" >&2
+  cat "$workdir/domains.txt" >&2
+  exit 1
+fi
+
+echo "PASS: correlated-domain defense + 30-seed bit-identity gates"

@@ -154,7 +154,8 @@ PATTERN_RULES = [
         ),
         "all randomness must flow from util::Rng with an explicit seed "
         "(deterministic trace-driven simulation; stochastic failure "
-        "sampling uses util::named_stream)",
+        "sampling uses util::named_stream — the rng-entry rule pins the "
+        "sanctioned stream labels per subsystem)",
     ),
     (
         "wall-clock",
@@ -235,6 +236,27 @@ HOT_COLD_CONTEXT_RE = re.compile(
     r"|hoisted|reused|thread_local",
     re.IGNORECASE,
 )
+
+# rng-entry: the fault-injection subsystem keeps per-server and domain
+# sampling on dedicated named streams so adding one process can never
+# shift another's draws (failure.hpp). The rule pins that seam: inside
+# the scoped files every RNG must enter through util::named_stream with
+# one of the file's sanctioned labels — a direct seeded Rng construction
+# or a novel label silently creates a stream whose draws interleave with
+# (and perturb) the replay-stable ones. Fixtures and future stream
+# owners opt in with the marker.
+RNG_ENTRY_SCOPE = {
+    "src/datacenter/failure.*": {"failures", "domain-failures"},
+    "src/datacenter/topology.*": {"domain-failures"},
+}
+RNG_ENTRY_MARKER = "aeva-lint: rng-entry"
+RNG_ENTRY_MARKER_LABELS = {"failures", "domain-failures"}
+NAMED_STREAM_RE = re.compile(r"\bnamed_stream\s*\(")
+NAMED_STREAM_LABEL_RE = re.compile(r'named_stream\s*\([^"]*"([^"]*)"')
+# Seeded construction sites: a temporary `Rng(...)`/`Rng{...}` or a
+# declaration with constructor arguments (`Rng name(...)`). Plain
+# declarations, references, and Rng-valued template params don't match.
+RNG_CONSTRUCT_RE = re.compile(r"(?<![\w.])Rng\s*(\w+\s*)?[({]")
 
 # unbounded-queue is not a PATTERN_RULE: the pattern matches *stripped*
 # source, but the suppressing bound declaration usually lives in a
@@ -510,6 +532,71 @@ def run_hot_path_container_rule(files: list[Path], allowlist) -> list[dict]:
     return findings
 
 
+def run_rng_entry_rule(files: list[Path], allowlist) -> list[dict]:
+    """Pins the sanctioned util::named_stream labels in scoped files.
+
+    Scope: RNG_ENTRY_SCOPE globs (each with its own label set) plus any
+    file carrying RNG_ENTRY_MARKER (which gets the default label set).
+    Call sites are located on stripped source (prose in comments cannot
+    trip the rule), but the label itself lives in a string literal, so it
+    is re-read from the raw line."""
+    findings = []
+    for path in files:
+        rel = rel_to_repo(path)
+        if is_exempt("rng-entry", rel, allowlist):
+            continue
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        sanctioned = None
+        for pattern, labels in RNG_ENTRY_SCOPE.items():
+            if fnmatch.fnmatch(rel, pattern):
+                sanctioned = labels
+                break
+        if sanctioned is None and RNG_ENTRY_MARKER in raw:
+            sanctioned = RNG_ENTRY_MARKER_LABELS
+        if sanctioned is None:
+            continue
+        raw_lines = raw.splitlines()
+        stripped_lines = strip_comments_and_strings(raw).splitlines()
+        allowed = ", ".join(sorted(sanctioned))
+        for idx, line in enumerate(stripped_lines):
+            if NAMED_STREAM_RE.search(line):
+                m = NAMED_STREAM_LABEL_RE.search(raw_lines[idx])
+                label = m.group(1) if m else None
+                if label in sanctioned:
+                    continue
+                what = (
+                    f'unsanctioned stream label "{label}"'
+                    if label is not None
+                    else "label must be a string literal on the call line"
+                )
+                findings.append(
+                    {
+                        "rule": "rng-entry",
+                        "path": rel,
+                        "line": idx + 1,
+                        "message": f"{what}: this file's randomness is "
+                        f"pinned to the named streams [{allowed}] so new "
+                        "draws can never shift existing replay-stable "
+                        "sequences (failure.hpp stream isolation)",
+                        "excerpt": raw_lines[idx].strip()[:120],
+                    }
+                )
+            elif RNG_CONSTRUCT_RE.search(line):
+                findings.append(
+                    {
+                        "rule": "rng-entry",
+                        "path": rel,
+                        "line": idx + 1,
+                        "message": "direct Rng construction bypasses the "
+                        f"sanctioned named streams [{allowed}] — derive "
+                        "the stream with util::named_stream(seed, label) "
+                        "and fork() per entity instead",
+                        "excerpt": raw_lines[idx].strip()[:120],
+                    }
+                )
+    return findings
+
+
 def find_compiler() -> list[str] | None:
     for cxx in ("c++", "g++", "clang++"):
         if shutil.which(cxx):
@@ -675,6 +762,7 @@ def main() -> int:
     findings = run_pattern_rules(files, allowlist)
     findings += run_unbounded_queue_rule(files, allowlist)
     findings += run_hot_path_container_rule(files, allowlist)
+    findings += run_rng_entry_rule(files, allowlist)
     if not args.no_compile:
         findings += run_header_standalone(files, allowlist, args.jobs)
     if not args.no_doc_links:
